@@ -1,0 +1,226 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixturePaths writes the carrier/factory/rules/facts files once per test.
+func fixturePaths(t *testing.T) (carrier, factory, rules, facts string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	carrier = write("carrier.onto", `
+ontology carrier
+node Transportation
+node Cars
+node Trucks
+node PassengerCar
+node Price
+edge Cars SubclassOf Transportation
+edge Trucks SubclassOf Transportation
+edge PassengerCar SubclassOf Cars
+edge Cars AttributeOf Price
+`)
+	factory = write("factory.idl", `
+module factory {
+  interface Transportation {};
+  interface Vehicle : Transportation { attribute float Price; };
+  interface CargoCarrier : Transportation {};
+  interface Truck : Vehicle, CargoCarrier {};
+};
+`)
+	rules = write("rules.txt", `
+carrier.Cars => factory.Vehicle
+carrier.Transportation => factory.Transportation
+(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks
+`)
+	facts = write("carrier.facts", `
+MyCar InstanceOf PassengerCar
+MyCar Price 2000
+`)
+	return
+}
+
+// captureStdout runs f with os.Stdout redirected and returns the output.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	errRun := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return out
+}
+
+func TestCmdArticulateOutputs(t *testing.T) {
+	carrier, factory, rules, _ := fixturePaths(t)
+	out := captureStdout(t, func() error {
+		return cmdArticulate([]string{"-left", carrier, "-right", factory, "-rules", rules, "-name", "transport", "-inherit"})
+	})
+	for _, want := range []string{"articulation transport", "SIBridge", "CargoCarrierVehicle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("articulate output missing %q:\n%s", want, out)
+		}
+	}
+	// Summary mode.
+	out = captureStdout(t, func() error {
+		return cmdArticulate([]string{"-left", carrier, "-right", factory, "-rules", rules, "-name", "transport", "-summary"})
+	})
+	if !strings.Contains(out, "bridges:") {
+		t.Fatalf("summary output missing bridges:\n%s", out)
+	}
+	// DOT mode.
+	out = captureStdout(t, func() error {
+		return cmdArticulate([]string{"-left", carrier, "-right", factory, "-rules", rules, "-name", "transport", "-dot"})
+	})
+	if !strings.Contains(out, "digraph transport") {
+		t.Fatalf("dot output wrong:\n%s", out)
+	}
+}
+
+func TestCmdAlgebraOutputs(t *testing.T) {
+	carrier, factory, rules, _ := fixturePaths(t)
+	base := []string{"-left", carrier, "-right", factory, "-rules", rules, "-name", "transport"}
+
+	out := captureStdout(t, func() error { return cmdAlgebra("union", base) })
+	if !strings.Contains(out, "carrier.Cars") || !strings.Contains(out, "factory.Vehicle") {
+		t.Fatalf("union output wrong:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdAlgebra("intersect", base) })
+	if !strings.Contains(out, "node Vehicle") {
+		t.Fatalf("intersect output wrong:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdAlgebra("diff", base) })
+	if strings.Contains(out, "node Cars") {
+		t.Fatalf("diff kept determined term:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdAlgebra("diff", append(base, "-swap", "-mode", "example")) })
+	if !strings.Contains(out, "ontology factory-carrier") {
+		t.Fatalf("swapped diff name wrong:\n%s", out)
+	}
+	if err := cmdAlgebra("diff", append(base, "-mode", "bogus")); err == nil {
+		t.Fatalf("bad diff mode accepted")
+	}
+}
+
+func TestCmdQueryOutputs(t *testing.T) {
+	carrier, factory, rules, facts := fixturePaths(t)
+	out := captureStdout(t, func() error {
+		return cmdQuery([]string{
+			"-left", carrier, "-right", factory, "-rules", rules, "-name", "transport",
+			"-leftkb", facts,
+			"-q", "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p",
+		})
+	})
+	if !strings.Contains(out, "carrier.MyCar") || !strings.Contains(out, "2000") {
+		t.Fatalf("query output wrong:\n%s", out)
+	}
+	if err := cmdQuery([]string{"-left", carrier, "-right", factory, "-name", "t"}); err == nil {
+		t.Fatalf("query without -q accepted")
+	}
+}
+
+func TestCmdQueryExplain(t *testing.T) {
+	carrier, factory, rules, _ := fixturePaths(t)
+	out := captureStdout(t, func() error {
+		return cmdQuery([]string{
+			"-left", carrier, "-right", factory, "-rules", rules, "-name", "transport",
+			"-q", "SELECT ?x WHERE ?x InstanceOf Vehicle",
+			"-explain",
+		})
+	})
+	if !strings.Contains(out, "plan for") || !strings.Contains(out, "triple ?x InstanceOf Vehicle") {
+		t.Fatalf("explain output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "carrier") {
+		t.Fatalf("explain missing source scans:\n%s", out)
+	}
+}
+
+func TestCmdSessionScripted(t *testing.T) {
+	carrier, factory, _, _ := fixturePaths(t)
+	oldStdin := os.Stdin
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = r
+	go func() {
+		_, _ = w.WriteString("y\nq\n")
+		w.Close()
+	}()
+	defer func() { os.Stdin = oldStdin }()
+	out := captureStdout(t, func() error {
+		return cmdSession([]string{"-left", carrier, "-right", factory, "-rounds", "1"})
+	})
+	if !strings.Contains(out, "=>") {
+		t.Fatalf("session emitted no rules:\n%s", out)
+	}
+}
+
+func TestCmdInfoAndDot(t *testing.T) {
+	carrier, _, _, _ := fixturePaths(t)
+	out := captureStdout(t, func() error { return cmdInfo([]string{carrier}) })
+	if !strings.Contains(out, "terms:         5") {
+		t.Fatalf("info output wrong:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdInfo([]string{"-tree", carrier}) })
+	if !strings.Contains(out, "└─") && !strings.Contains(out, "├─") {
+		t.Fatalf("tree output wrong:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdDot([]string{carrier}) })
+	if !strings.Contains(out, "digraph carrier") {
+		t.Fatalf("dot output wrong:\n%s", out)
+	}
+	if err := cmdDot([]string{}); err == nil {
+		t.Fatalf("dot without file accepted")
+	}
+}
+
+func TestCmdSuggestOutputs(t *testing.T) {
+	carrier, factory, _, _ := fixturePaths(t)
+	out := captureStdout(t, func() error {
+		return cmdSuggest([]string{"-left", carrier, "-right", factory, "-top", "-rules"})
+	})
+	if !strings.Contains(out, "carrier.Transportation => factory.Transportation") {
+		t.Fatalf("suggest output wrong:\n%s", out)
+	}
+	if err := cmdSuggest([]string{"-left", carrier}); err == nil {
+		t.Fatalf("suggest without -right accepted")
+	}
+}
+
+func TestArtFlagsErrors(t *testing.T) {
+	carrier, _, _, _ := fixturePaths(t)
+	if err := cmdArticulate([]string{"-left", carrier}); err == nil {
+		t.Fatalf("missing -right accepted")
+	}
+	if err := cmdArticulate([]string{"-left", carrier, "-right", "/nonexistent.onto"}); err == nil {
+		t.Fatalf("missing right file accepted")
+	}
+}

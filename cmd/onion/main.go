@@ -1,0 +1,406 @@
+// Onion is the command-line toolkit over the ONION library — the
+// text-mode stand-in for the paper's graphical viewer (§2.2): inspect and
+// convert ontologies, run SKAT suggestions, generate articulations, apply
+// the ontology algebra, and query across articulations.
+//
+// Usage:
+//
+//	onion convert  -in carrier.xml -out carrier.idl
+//	onion validate carrier.onto factory.xml
+//	onion info     carrier.onto
+//	onion dot      carrier.onto > carrier.dot
+//	onion suggest  -left carrier.onto -right factory.xml [-min 0.55] [-structural 2]
+//	onion articulate -left carrier.onto -right factory.xml -rules rules.txt \
+//	                 -name transport [-inherit] [-lenient]
+//	onion union | intersect | diff  -left ... -right ... -rules ... -name art [-swap] [-mode example]
+//	onion query  -left carrier.onto -right factory.xml -rules rules.txt -name transport \
+//	             [-leftkb carrier.facts] [-rightkb factory.facts] -q "SELECT ?x WHERE ?x InstanceOf Vehicle"
+//
+// Ontology formats are detected by extension (.onto/.adj/.txt adjacency,
+// .xml, .idl); -informat/-outformat override.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	onion "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "convert":
+		err = cmdConvert(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "info":
+		err = cmdInfo(args)
+	case "dot":
+		err = cmdDot(args)
+	case "suggest":
+		err = cmdSuggest(args)
+	case "session":
+		err = cmdSession(args)
+	case "articulate":
+		err = cmdArticulate(args)
+	case "union", "intersect", "diff":
+		err = cmdAlgebra(cmd, args)
+	case "query":
+		err = cmdQuery(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "onion: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onion %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `onion — ONION ontology articulation toolkit
+
+commands:
+  convert     convert an ontology between formats (adjacency, xml, idl)
+  validate    check consistency of ontology files
+  info        print ontology statistics
+  dot         render an ontology as Graphviz DOT
+  suggest     propose articulation rules between two ontologies (SKAT)
+  session     interactive SKAT session: review suggestions, emit a rule file
+  articulate  generate an articulation from a rule file
+  union       unified ontology of two sources under a rule file
+  intersect   articulation ontology of two sources (O1 ∩ O2)
+  diff        difference of two sources (O1 − O2)
+  query       run a query across an articulation
+
+run 'onion <command> -h' for flags.`)
+}
+
+// loadOntology reads one ontology file, auto-detecting the format unless
+// override is non-empty.
+func loadOntology(path, override string) (*onion.Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	format := onion.DetectFormat(path)
+	if override != "" {
+		var perr error
+		format, perr = parseFormat(override)
+		if perr != nil {
+			return nil, perr
+		}
+	}
+	o, err := onion.ReadOntology(bufio.NewReader(f), format)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return o, nil
+}
+
+func parseFormat(name string) (onion.Format, error) {
+	switch strings.ToLower(name) {
+	case "adjacency", "adj", "onto", "txt":
+		return onion.FormatAdjacency, nil
+	case "xml":
+		return onion.FormatXML, nil
+	case "idl":
+		return onion.FormatIDL, nil
+	default:
+		return 0, fmt.Errorf("unknown format %q (adjacency|xml|idl)", name)
+	}
+}
+
+func loadRules(path string) (*onion.RuleSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set, err := onion.ParseRules(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return set, nil
+}
+
+// loadKB reads a fact file: one "subject predicate value" triple per
+// line, '#' comments; values parse as numbers, quoted strings, or terms.
+func loadKB(path, name string) (*onion.KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	store := onion.NewKB(name)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: want 'subject predicate value'", path, line)
+		}
+		raw := strings.Join(fields[2:], " ")
+		var v onion.Value
+		switch {
+		case strings.HasPrefix(raw, `"`) && strings.HasSuffix(raw, `"`) && len(raw) >= 2:
+			v = onion.Str(raw[1 : len(raw)-1])
+		default:
+			if n, err := strconv.ParseFloat(raw, 64); err == nil {
+				v = onion.Num(n)
+			} else {
+				v = onion.Term(raw)
+			}
+		}
+		if err := store.Add(fields[0], fields[1], v); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+	}
+	return store, sc.Err()
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input ontology file")
+	out := fs.String("out", "", "output file ('-' for stdout)")
+	informat := fs.String("informat", "", "override input format")
+	outformat := fs.String("outformat", "", "override output format")
+	name := fs.String("name", "", "rename the ontology")
+	_ = fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("need -in and -out")
+	}
+	o, err := loadOntology(*in, *informat)
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		o.SetName(*name)
+	}
+	format := onion.DetectFormat(*out)
+	if *outformat != "" {
+		if format, err = parseFormat(*outformat); err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return onion.WriteOntology(w, o, format)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	informat := fs.String("informat", "", "override input format")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("need ontology files")
+	}
+	failed := false
+	for _, path := range fs.Args() {
+		o, err := loadOntology(path, *informat)
+		if err != nil {
+			fmt.Printf("%-30s FAIL  %v\n", path, err)
+			failed = true
+			continue
+		}
+		if err := o.Validate(); err != nil {
+			fmt.Printf("%-30s FAIL  %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-30s ok    (%d terms, %d relationships)\n", path, o.NumTerms(), o.NumRelationships())
+	}
+	if failed {
+		return fmt.Errorf("validation failed")
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	informat := fs.String("informat", "", "override input format")
+	full := fs.Bool("full", false, "dump the full ontology")
+	tree := fs.Bool("tree", false, "render the class hierarchy as a tree")
+	depth := fs.Int("depth", 0, "tree depth limit (0 = unlimited)")
+	_ = fs.Parse(args)
+	for _, path := range fs.Args() {
+		o, err := loadOntology(path, *informat)
+		if err != nil {
+			return err
+		}
+		if *tree {
+			opts := onion.DefaultViewOptions()
+			opts.MaxDepth = *depth
+			fmt.Print(onion.RenderTree(o, opts))
+			continue
+		}
+		stats := o.Graph().ComputeStats()
+		fmt.Printf("%s: ontology %s\n", path, o.Name())
+		fmt.Printf("  terms:         %d\n", stats.Nodes)
+		fmt.Printf("  relationships: %d (%d labels)\n", stats.Edges, stats.EdgeLabels)
+		fmt.Printf("  components:    %d\n", stats.Components)
+		fmt.Printf("  max degree:    out %d / in %d\n", stats.MaxOutDeg, stats.MaxInDeg)
+		if *full {
+			fmt.Print(o)
+		}
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	informat := fs.String("informat", "", "override input format")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one ontology file")
+	}
+	o, err := loadOntology(fs.Arg(0), *informat)
+	if err != nil {
+		return err
+	}
+	fmt.Print(o.Graph().DOT())
+	return nil
+}
+
+func cmdSuggest(args []string) error {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	left := fs.String("left", "", "left ontology file")
+	right := fs.String("right", "", "right ontology file")
+	min := fs.Float64("min", 0.55, "minimum suggestion score")
+	structural := fs.Int("structural", 0, "structural propagation rounds")
+	noLexicon := fs.Bool("nolexicon", false, "disable the semantic lexicon")
+	lexFile := fs.String("lexicon", "", "load a custom lexicon file (words : parents : gloss)")
+	top := fs.Bool("top", false, "keep only the best suggestion per left term")
+	asRules := fs.Bool("rules", false, "print as a parseable rule file")
+	_ = fs.Parse(args)
+	if *left == "" || *right == "" {
+		return fmt.Errorf("need -left and -right")
+	}
+	l, err := loadOntology(*left, "")
+	if err != nil {
+		return err
+	}
+	r, err := loadOntology(*right, "")
+	if err != nil {
+		return err
+	}
+	cfg := onion.SKATConfig{MinScore: *min, StructuralRounds: *structural}
+	switch {
+	case *lexFile != "":
+		f, err := os.Open(*lexFile)
+		if err != nil {
+			return err
+		}
+		lex, err := onion.LoadLexicon(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Lexicon = lex
+	case !*noLexicon:
+		cfg.Lexicon = onion.DefaultLexicon()
+	}
+	ss := onion.Propose(l, r, cfg)
+	if *top {
+		ss = topPerLeft(ss)
+	}
+	for _, s := range ss {
+		if *asRules {
+			fmt.Printf("%s    # %.2f\n", s.Rule(), s.Score)
+		} else {
+			fmt.Println(s)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d suggestions\n", len(ss))
+	return nil
+}
+
+// cmdSession drives the interactive propose → confirm/reject/modify loop
+// of §2.4 on the terminal and prints the accepted rule set (redirect to a
+// file and feed it to 'onion articulate').
+func cmdSession(args []string) error {
+	fs := flag.NewFlagSet("session", flag.ExitOnError)
+	left := fs.String("left", "", "left ontology file")
+	right := fs.String("right", "", "right ontology file")
+	min := fs.Float64("min", 0.55, "minimum suggestion score")
+	structural := fs.Int("structural", 2, "structural propagation rounds")
+	rounds := fs.Int("rounds", 2, "maximum propose/review rounds")
+	_ = fs.Parse(args)
+	if *left == "" || *right == "" {
+		return fmt.Errorf("need -left and -right")
+	}
+	l, err := loadOntology(*left, "")
+	if err != nil {
+		return err
+	}
+	r, err := loadOntology(*right, "")
+	if err != nil {
+		return err
+	}
+	sys := onion.NewSystem()
+	if err := sys.Register(l); err != nil {
+		return err
+	}
+	if err := sys.Register(r); err != nil {
+		return err
+	}
+	expert := onion.NewIOExpert(os.Stdin, os.Stderr, *rounds)
+	set, stats, err := sys.RunSession(l.Name(), r.Name(), onion.SKATConfig{
+		MinScore:         *min,
+		StructuralRounds: *structural,
+	}, expert)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "session: %d reviewed, %d accepted, %d rejected, %d modified in %d round(s)\n",
+		stats.Reviewed, stats.Accepted, stats.Rejected, stats.Modified, stats.Rounds)
+	fmt.Print(set)
+	return nil
+}
+
+func topPerLeft(ss []onion.Suggestion) []onion.Suggestion {
+	best := make(map[string]onion.Suggestion)
+	var order []string
+	for _, s := range ss {
+		cur, ok := best[s.Left.Term]
+		if !ok {
+			order = append(order, s.Left.Term)
+		}
+		if !ok || s.Score > cur.Score {
+			best[s.Left.Term] = s
+		}
+	}
+	out := make([]onion.Suggestion, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	onion "repro"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadOntologyDetectsFormat(t *testing.T) {
+	adj := writeFile(t, "c.onto", "ontology c\nnode A\nnode B\nedge A SubclassOf B\n")
+	o, err := loadOntology(adj, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "c" || o.NumTerms() != 2 {
+		t.Fatalf("loaded = %s", o)
+	}
+
+	idl := writeFile(t, "f.idl", "module f { interface X {}; };")
+	o, err = loadOntology(idl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "f" {
+		t.Fatalf("IDL name = %q", o.Name())
+	}
+
+	// Override beats extension.
+	weird := writeFile(t, "f.bin", "ontology w\nnode A\n")
+	if _, err := loadOntology(weird, ""); err == nil {
+		t.Fatalf("unknown extension without override accepted")
+	}
+	if _, err := loadOntology(weird, "adjacency"); err != nil {
+		t.Fatalf("override failed: %v", err)
+	}
+	if _, err := loadOntology(weird, "nope"); err == nil {
+		t.Fatalf("bad override accepted")
+	}
+	if _, err := loadOntology(filepath.Join(t.TempDir(), "missing.onto"), ""); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	path := writeFile(t, "r.txt", "a.X => b.Y\n# comment\n")
+	set, err := loadRules(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("rules = %d", set.Len())
+	}
+	bad := writeFile(t, "bad.txt", "a.X =>\n")
+	if _, err := loadRules(bad); err == nil {
+		t.Fatalf("bad rules accepted")
+	}
+}
+
+func TestLoadKBParsesValueKinds(t *testing.T) {
+	path := writeFile(t, "facts.txt", `
+# facts
+MyCar InstanceOf PassengerCar
+MyCar Price 2000
+MyCar Owner "Alice Smith"
+`)
+	store, err := loadKB(path, "carrier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 3 || store.Name() != "carrier" {
+		t.Fatalf("store = %s", store)
+	}
+	fs := store.Match("MyCar", "Price", nil)
+	if len(fs) != 1 || !fs[0].Object.IsNumber() || fs[0].Object.Num != 2000 {
+		t.Fatalf("number fact = %v", fs)
+	}
+	fs = store.Match("MyCar", "Owner", nil)
+	if len(fs) != 1 || fs[0].Object.Str != "Alice Smith" {
+		t.Fatalf("string fact = %v", fs)
+	}
+	fs = store.Match("MyCar", "InstanceOf", nil)
+	if len(fs) != 1 || !fs[0].Object.IsTerm() {
+		t.Fatalf("term fact = %v", fs)
+	}
+
+	bad := writeFile(t, "bad.txt", "only two\n")
+	if _, err := loadKB(bad, "x"); err == nil {
+		t.Fatalf("short fact line accepted")
+	}
+}
+
+func TestTopPerLeft(t *testing.T) {
+	ss := []onion.Suggestion{
+		{Left: onion.MakeRef("a", "X"), Right: onion.MakeRef("b", "P"), Score: 0.5},
+		{Left: onion.MakeRef("a", "X"), Right: onion.MakeRef("b", "Q"), Score: 0.9},
+		{Left: onion.MakeRef("a", "Y"), Right: onion.MakeRef("b", "R"), Score: 0.7},
+	}
+	top := topPerLeft(ss)
+	if len(top) != 2 {
+		t.Fatalf("topPerLeft = %v", top)
+	}
+	if top[0].Right.Term != "Q" {
+		t.Fatalf("best suggestion not kept: %v", top)
+	}
+}
+
+func TestParseFormatNames(t *testing.T) {
+	for name, want := range map[string]onion.Format{
+		"adjacency": onion.FormatAdjacency,
+		"adj":       onion.FormatAdjacency,
+		"XML":       onion.FormatXML,
+		"idl":       onion.FormatIDL,
+	} {
+		got, err := parseFormat(name)
+		if err != nil || got != want {
+			t.Errorf("parseFormat(%s) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseFormat("docx"); err == nil {
+		t.Errorf("parseFormat(docx) accepted")
+	}
+}
+
+func TestCmdConvertRoundTrip(t *testing.T) {
+	in := writeFile(t, "c.onto", "ontology c\nnode A\nnode B\nedge A SubclassOf B\n")
+	out := filepath.Join(t.TempDir(), "c.xml")
+	if err := cmdConvert([]string{"-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := loadOntology(out, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumTerms() != 2 {
+		t.Fatalf("converted ontology lost terms")
+	}
+}
+
+func TestCmdValidate(t *testing.T) {
+	good := writeFile(t, "g.onto", "ontology g\nnode A\n")
+	if err := cmdValidate([]string{good}); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	bad := writeFile(t, "b.onto", "node\n")
+	if err := cmdValidate([]string{bad}); err == nil {
+		t.Fatalf("invalid file accepted")
+	}
+}

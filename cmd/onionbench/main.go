@@ -1,0 +1,42 @@
+// Onionbench regenerates the experiment tables of DESIGN.md /
+// EXPERIMENTS.md: the Fig. 1 / Fig. 2 reproductions (E1, E2) and the
+// quantified claims (E3..E10).
+//
+//	onionbench             # run everything
+//	onionbench -exp E3     # one experiment
+//	onionbench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (E1..E10); empty runs all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, t := range bench.All() {
+			fmt.Printf("%-4s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		t, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "onionbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(t.Render())
+		return
+	}
+	for _, t := range bench.All() {
+		fmt.Print(t.Render())
+		fmt.Println()
+	}
+}

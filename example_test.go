@@ -1,0 +1,109 @@
+package onion_test
+
+import (
+	"fmt"
+	"strings"
+
+	onion "repro"
+)
+
+// ExampleNewSystem articulates two tiny ontologies and queries across
+// them — the smallest complete ONION workflow.
+func ExampleNewSystem() {
+	shop := onion.NewOntology("shop")
+	shop.MustAddTerm("Bike")
+	shop.MustAddTerm("Product")
+	shop.MustRelate("Bike", onion.SubclassOf, "Product")
+
+	depot := onion.NewOntology("depot")
+	depot.MustAddTerm("Bicycle")
+	depot.MustAddTerm("Item")
+	depot.MustRelate("Bicycle", onion.SubclassOf, "Item")
+
+	sys := onion.NewSystem()
+	_ = sys.Register(shop)
+	_ = sys.Register(depot)
+
+	kb := onion.NewKB("depot")
+	kb.MustAdd("Clunker7", "InstanceOf", onion.Term("Bicycle"))
+	_ = sys.RegisterKB(kb)
+
+	set, _ := onion.ParseRules("shop.Bike => depot.Bicycle")
+	_, _ = sys.Articulate("trade", "shop", "depot", set, onion.GenerateOptions{})
+
+	res, _ := sys.Query("trade", "SELECT ?x WHERE ?x InstanceOf Bicycle")
+	for _, row := range res.Rows {
+		fmt.Println(row[0].Format())
+	}
+	// Output:
+	// depot.Clunker7
+}
+
+// ExampleParseRule shows the rule forms of §4.1.
+func ExampleParseRule() {
+	for _, text := range []string{
+		"carrier.Car => factory.Vehicle",
+		"(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks",
+		"DGToEuroFn() : carrier.Price => transport.Price",
+	} {
+		r, err := onion.ParseRule(text)
+		fmt.Println(r.String(), err)
+	}
+	// Output:
+	// carrier.Car => factory.Vehicle <nil>
+	// (factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks <nil>
+	// DGToEuroFn() : carrier.Price => transport.Price <nil>
+}
+
+// ExampleParsePattern shows the paper's textual pattern notation.
+func ExampleParsePattern() {
+	p, _ := onion.ParsePattern("carrier:car:driver")
+	fmt.Println(p.Ont, len(p.Nodes), len(p.Edges))
+
+	p, _ = onion.ParsePattern("truck(O:owner, model)")
+	fmt.Println(p.Nodes[1].Var, p.Nodes[1].Name)
+	// Output:
+	// carrier 2 1
+	// O owner
+}
+
+// ExampleGenerate shows the three-bridge translation of a simple rule.
+func ExampleGenerate() {
+	carrier := onion.NewOntology("carrier")
+	carrier.MustAddTerm("Car")
+	factory := onion.NewOntology("factory")
+	factory.MustAddTerm("Vehicle")
+
+	set, _ := onion.ParseRules("carrier.Car => factory.Vehicle")
+	res, _ := onion.Generate("transport", carrier, factory, set, onion.GenerateOptions{})
+	for _, b := range res.Art.Bridges {
+		fmt.Println(b)
+	}
+	// Output:
+	// (carrier.Car, "SIBridge", transport.Vehicle)
+	// (factory.Vehicle, "SIBridge", transport.Vehicle)
+	// (transport.Vehicle, "SIBridge", factory.Vehicle)
+}
+
+// ExampleDefaultLexicon shows the WordNet-substitute queries SKAT uses.
+func ExampleDefaultLexicon() {
+	lex := onion.DefaultLexicon()
+	fmt.Println(lex.AreSynonyms("car", "automobile"))
+	fmt.Println(lex.IsHypernymOf("vehicle", "truck"))
+	fmt.Println(strings.Join(lex.Synonyms("factory"), " "))
+	// Output:
+	// true
+	// true
+	// manufactory mill plant works
+}
+
+// ExampleFilter shows the unary select-analogue of the algebra.
+func ExampleFilter() {
+	o := onion.NewOntology("demo")
+	o.MustAddTerm("Keep")
+	o.MustAddTerm("Drop")
+	out := onion.Filter(o, func(term string) bool { return term == "Keep" })
+	fmt.Println(out.Terms())
+	// Output:
+	// [Keep]
+}

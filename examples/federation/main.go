@@ -1,0 +1,126 @@
+// Federation: scalable multi-source composition (§4.2, §5.2).
+//
+// Three autonomous sources join a federation one at a time. Instead of
+// re-merging everything whenever a source arrives — the global-schema
+// approach the paper argues against — each new source is articulated
+// against the EXISTING articulation ontology: "the articulation ontology
+// of two ontologies can be composed with another source ontology to
+// create a second articulation that spans over all three source
+// ontologies ... with the addition of new sources, we do not need to
+// restructure existing ontologies or articulations."
+//
+// SKAT proposes the rules for each step; a threshold expert confirms.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	onion "repro"
+)
+
+func main() {
+	sys := onion.NewSystem()
+
+	// Source 1: a European haulage operator.
+	haulage := onion.NewOntology("haulage")
+	for _, t := range []string{"Transport", "Truck", "Trailer", "Driver", "Route", "Price"} {
+		haulage.MustAddTerm(t)
+	}
+	haulage.MustRelate("Truck", onion.SubclassOf, "Transport")
+	haulage.MustRelate("Trailer", onion.SubclassOf, "Transport")
+	haulage.MustRelate("Truck", onion.AttributeOf, "Price")
+	haulage.MustRelate("Truck", "drivenBy", "Driver")
+	haulage.MustRelate("Truck", "assignedTo", "Route")
+
+	// Source 2: a vehicle manufacturer.
+	maker := onion.NewOntology("maker")
+	for _, t := range []string{"Product", "Vehicle", "Lorry", "Van", "Cost", "Plant"} {
+		maker.MustAddTerm(t)
+	}
+	maker.MustRelate("Vehicle", onion.SubclassOf, "Product")
+	maker.MustRelate("Lorry", onion.SubclassOf, "Vehicle")
+	maker.MustRelate("Van", onion.SubclassOf, "Vehicle")
+	maker.MustRelate("Vehicle", onion.AttributeOf, "Cost")
+	maker.MustRelate("Plant", "builds", "Vehicle")
+
+	// Source 3: an insurer, arriving later.
+	insurer := onion.NewOntology("insurer")
+	for _, t := range []string{"Asset", "MotorVehicle", "Policy", "Premium", "Holder"} {
+		insurer.MustAddTerm(t)
+	}
+	insurer.MustRelate("MotorVehicle", onion.SubclassOf, "Asset")
+	insurer.MustRelate("Policy", "covers", "MotorVehicle")
+	insurer.MustRelate("Policy", onion.AttributeOf, "Premium")
+	insurer.MustRelate("Policy", "heldBy", "Holder")
+
+	must(sys.Register(haulage))
+	must(sys.Register(maker))
+	must(sys.Register(insurer))
+
+	// Step 1: articulate haulage × maker. SKAT proposes, an expert who
+	// trusts high scores confirms, and the accepted rules generate the
+	// articulation "logistics".
+	fmt.Println("=== step 1: haulage x maker ===")
+	set1, stats1, err := sys.RunSession("haulage", "maker", onion.SKATConfig{
+		MinScore:         0.55,
+		StructuralRounds: 2,
+	}, onion.ThresholdExpert{AcceptAt: 0.65, MaxRounds: 2})
+	must(err)
+	fmt.Printf("SKAT: %d suggested, %d accepted, %d rejected in %d round(s)\n",
+		stats1.Suggested, stats1.Accepted, stats1.Rejected, stats1.Rounds)
+	fmt.Print(set1)
+
+	res1, err := sys.Articulate("logistics", "haulage", "maker", set1, onion.GenerateOptions{
+		InheritStructure: true,
+	})
+	must(err)
+	fmt.Printf("articulation logistics: %d terms, %d bridges\n\n",
+		res1.Art.Ont.NumTerms(), len(res1.Art.Bridges))
+
+	// Step 2: the insurer joins — articulated against the EXISTING
+	// articulation ontology, not against each source separately.
+	fmt.Println("=== step 2: logistics x insurer ===")
+	set2, stats2, err := sys.RunSession("logistics", "insurer", onion.SKATConfig{
+		MinScore:         0.5,
+		StructuralRounds: 2,
+	}, onion.ThresholdExpert{AcceptAt: 0.6, MaxRounds: 2})
+	must(err)
+	// The expert also supplies one rule SKAT cannot know: lorries are
+	// insurable assets.
+	extra, err := onion.ParseRule("logistics.Lorry => insurer.Asset")
+	must(err)
+	set2.Add(extra)
+	fmt.Printf("SKAT: %d suggested, %d accepted in %d round(s); 1 expert rule added\n",
+		stats2.Suggested, stats2.Accepted, stats2.Rounds)
+	fmt.Print(set2)
+
+	res2, err := sys.Articulate("federation", "logistics", "insurer", set2, onion.GenerateOptions{
+		InheritStructure: true,
+	})
+	must(err)
+	fmt.Printf("articulation federation: %d terms, %d bridges\n\n",
+		res2.Art.Ont.NumTerms(), len(res2.Art.Bridges))
+
+	// The federation spans all three sources: reachability crosses two
+	// articulation layers.
+	u, err := sys.Union("federation")
+	must(err)
+	fmt.Println("=== union over the full federation ===")
+	fmt.Printf("terms: %d, relationships: %d, components: %d\n",
+		u.Ont.NumTerms(), u.Ont.NumRelationships(),
+		len(u.Ont.Graph().ConnectedComponents()))
+
+	// What part of the insurer remains untouched by the federation?
+	diff, err := sys.Difference("federation", true, onion.DiffFormal)
+	must(err)
+	fmt.Printf("insurer - federation (free to change): %v\n", diff.Terms())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

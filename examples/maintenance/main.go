@@ -1,0 +1,125 @@
+// Maintenance: difference-driven change management (§5.3).
+//
+// "The difference provides us the portions of the knowledge bases that can
+// be independently manipulated without having to update any articulation."
+// This example shows the full maintenance loop: assess which source
+// changes are free, apply churn, and regenerate the articulation only when
+// the assessment demands it.
+//
+//	go run ./examples/maintenance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	onion "repro"
+)
+
+func main() {
+	sys := onion.NewSystem()
+
+	library := onion.NewOntology("library")
+	for _, t := range []string{"Publication", "Book", "Journal", "Author", "Title", "Shelf", "Basement"} {
+		library.MustAddTerm(t)
+	}
+	library.MustRelate("Book", onion.SubclassOf, "Publication")
+	library.MustRelate("Journal", onion.SubclassOf, "Publication")
+	library.MustRelate("Publication", onion.AttributeOf, "Title")
+	library.MustRelate("Book", "writtenBy", "Author")
+	library.MustRelate("Book", "storedOn", "Shelf")
+	library.MustRelate("Shelf", "locatedIn", "Basement")
+
+	press := onion.NewOntology("press")
+	for _, t := range []string{"Work", "Monograph", "Periodical", "Creator", "Name"} {
+		press.MustAddTerm(t)
+	}
+	press.MustRelate("Monograph", onion.SubclassOf, "Work")
+	press.MustRelate("Periodical", onion.SubclassOf, "Work")
+	press.MustRelate("Work", onion.AttributeOf, "Name")
+	press.MustRelate("Monograph", "createdBy", "Creator")
+
+	must(sys.Register(library))
+	must(sys.Register(press))
+
+	set, err := onion.ParseRules(`
+library.Book => press.Monograph
+library.Journal => press.Periodical
+library.Publication => press.Work
+library.Author => press.Creator
+library.Title => press.Name
+`)
+	must(err)
+	res, err := sys.Articulate("catalog", "library", "press", set, onion.GenerateOptions{InheritStructure: true})
+	must(err)
+	fmt.Println("=== catalog articulation ===")
+	fmt.Print(res.Art)
+	fmt.Println()
+
+	// The difference tells the library maintainer what is theirs alone.
+	diff, err := sys.Difference("catalog", false, onion.DiffFormal)
+	must(err)
+	fmt.Printf("library - press (free to change): %v\n\n", diff.Terms())
+
+	// Change 1: reorganising shelving. Entirely inside the difference.
+	impact, err := sys.AssessChange("catalog", "library", []string{"Shelf", "Basement"})
+	must(err)
+	fmt.Printf("change {Shelf, Basement}: needs articulation update? %v\n", impact.NeedsUpdate())
+	library.MustAddTerm("Attic")
+	library.MustRelate("Shelf", "locatedIn", "Attic")
+	library.Unrelate("Shelf", "locatedIn", "Basement")
+	library.RemoveTerm("Basement")
+	fmt.Println("  applied shelving reorganisation; articulation untouched")
+
+	// The articulation is still valid against the mutated source.
+	must(sys.Validate())
+	fmt.Println("  system validates without regeneration ✔")
+	fmt.Println()
+
+	// Change 2: the library renames Author — inside the coverage.
+	impact, err = sys.AssessChange("catalog", "library", []string{"Author"})
+	must(err)
+	fmt.Printf("change {Author}: needs articulation update? %v (affected: %v)\n",
+		impact.NeedsUpdate(), impact.Affected)
+	library.RemoveTerm("Author")
+	library.MustAddTerm("Writer")
+	library.MustRelate("Book", "writtenBy", "Writer")
+
+	// Regeneration is lenient: the stale rule is skipped and reported so
+	// the expert can supply its replacement.
+	res2, err := sys.Regenerate("catalog", onion.GenerateOptions{InheritStructure: true})
+	must(err)
+	fmt.Printf("  regenerated; %d stale rule(s) skipped:\n", len(res2.Skipped))
+	for _, sk := range res2.Skipped {
+		fmt.Printf("    %s (%s)\n", sk.Rule, sk.Reason)
+	}
+
+	// The expert repairs the rule set: drop the stale rules, add the
+	// replacement for the renamed term.
+	stale := make(map[string]bool, len(res2.Skipped))
+	for _, sk := range res2.Skipped {
+		stale[sk.Rule] = true
+	}
+	repaired := onion.NewRuleSet()
+	for _, r := range res2.Art.Rules.Rules {
+		if !stale[r.String()] {
+			repaired.Add(r)
+		}
+	}
+	rule, err := onion.ParseRule("library.Writer => press.Creator")
+	must(err)
+	repaired.Add(rule)
+	sys.Drop("catalog")
+	res3, err := sys.Articulate("catalog", "library", "press", repaired, onion.GenerateOptions{InheritStructure: true})
+	must(err)
+	fmt.Printf("  repaired articulation covers: library=%v press=%v\n",
+		res3.Art.Covers("library"), res3.Art.Covers("press"))
+	must(sys.Validate())
+	fmt.Println("  system validates after repair ✔")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

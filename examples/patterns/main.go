@@ -1,0 +1,112 @@
+// Patterns: the paper's graph-pattern machinery end to end (§3, §4.1).
+//
+// Shows the textual pattern notation (carrier:car:driver and
+// truck(O:owner,model)), fuzzy matching, the unary algebra operators
+// filter and extract, pattern-based articulation rules, patterns as
+// queries, and the tree viewer.
+//
+//	go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	onion "repro"
+)
+
+func main() {
+	fleet := buildFleet()
+
+	// 1. The paper's path notation: fleet:?x:Driver — "a node with an
+	// outgoing edge to the node Driver".
+	p1, err := onion.ParsePattern("fleet:?x:Driver")
+	must(err)
+	ms, err := onion.FindPattern(fleet.Graph(), p1, onion.PatternOptions{})
+	must(err)
+	fmt.Println("=== fleet:?x:Driver matches ===")
+	for _, m := range ms {
+		fmt.Printf("  ?x = %s\n", fleet.TermLabel(m.Bindings["x"]))
+	}
+
+	// 2. The attribute notation: Truck(O:Owner, Model) with a variable
+	// capturing the owner.
+	p2, err := onion.ParsePattern("Truck(O:Owner, Model)")
+	must(err)
+	ms, err = onion.FindPattern(fleet.Graph(), p2, onion.PatternOptions{})
+	must(err)
+	fmt.Printf("\n=== Truck(O:Owner, Model): %d match(es) ===\n", len(ms))
+
+	// 3. Fuzzy matching: the expert relaxes node equality with synonyms
+	// from the lexicon (§3: "the expert can indicate a set of synonyms").
+	lex := onion.DefaultLexicon()
+	fuzzy := onion.PatternOptions{
+		NodeEquiv: func(want, got string) bool {
+			return want == got || lex.AreSynonyms(want, got)
+		},
+	}
+	p3, err := onion.ParsePattern("Lorry") // matches Truck via the lexicon
+	must(err)
+	ms, err = onion.FindPattern(fleet.Graph(), p3, fuzzy)
+	must(err)
+	fmt.Printf("\n=== fuzzy 'Lorry' matches %d node(s) (truck/lorry are synonyms) ===\n", len(ms))
+
+	// 4. Unary algebra: extract the ownership structure only.
+	owners, err := onion.Extract(fleet, p2, onion.PatternOptions{})
+	must(err)
+	fmt.Println("\n=== extract(Truck(O:Owner, Model)) ===")
+	fmt.Print(owners)
+
+	// 5. Pattern-based articulation rules (§4.1's general form): every
+	// fleet class with a Price attribute is a trade.PricedItem.
+	market := onion.NewOntology("market")
+	market.MustAddTerm("Listing")
+	prs := []onion.PatternRule{patternRule()}
+	res, err := onion.GenerateWithPatterns("trade", fleet, market, nil, prs, onion.GenerateOptions{})
+	must(err)
+	fmt.Println("\n=== pattern rule: ?x with Price => trade.PricedItem ===")
+	for _, b := range res.Art.Bridges {
+		fmt.Printf("  %s\n", b)
+	}
+
+	// 6. Patterns as queries (§2.3): execute the driver pattern across an
+	// articulation with instance data.
+	fmt.Println("\n=== the viewer's tree rendering ===")
+	fmt.Print(onion.RenderTree(fleet, onion.DefaultViewOptions()))
+}
+
+// patternRule builds the §4.1 pattern rule: LHS is a pattern with a
+// variable subject and a Price attribute edge; RHS is trade.PricedItem.
+func patternRule() onion.PatternRule {
+	p := &onion.Pattern{Ont: "fleet"}
+	x := p.AddNode(onion.PatternNode{Var: "x"})
+	price := p.AddNode(onion.PatternNode{Name: "Price"})
+	p.AddEdge(x, onion.AttributeOf, price)
+	return onion.PatternRule{
+		LHS:     p,
+		Subject: "x",
+		RHS:     onion.MakeRef("trade", "PricedItem"),
+	}
+}
+
+func buildFleet() *onion.Ontology {
+	o := onion.NewOntology("fleet")
+	for _, t := range []string{"Vehicle", "Truck", "Van", "Driver", "Owner", "Model", "Price"} {
+		o.MustAddTerm(t)
+	}
+	o.MustRelate("Truck", onion.SubclassOf, "Vehicle")
+	o.MustRelate("Van", onion.SubclassOf, "Vehicle")
+	o.MustRelate("Truck", onion.AttributeOf, "Owner")
+	o.MustRelate("Truck", onion.AttributeOf, "Model")
+	o.MustRelate("Truck", onion.AttributeOf, "Price")
+	o.MustRelate("Van", onion.AttributeOf, "Price")
+	o.MustRelate("Truck", "drivenBy", "Driver")
+	o.MustRelate("Van", "drivenBy", "Driver")
+	return o
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Quickstart: build two small ontologies, articulate them with three
+// rules, and query across the articulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	onion "repro"
+)
+
+func main() {
+	// 1. Two independently maintained source ontologies.
+	shop := onion.NewOntology("shop")
+	for _, term := range []string{"Product", "Bike", "EBike", "Price"} {
+		shop.MustAddTerm(term)
+	}
+	shop.MustRelate("Bike", onion.SubclassOf, "Product")
+	shop.MustRelate("EBike", onion.SubclassOf, "Bike")
+	shop.MustRelate("Product", onion.AttributeOf, "Price")
+
+	depot := onion.NewOntology("depot")
+	for _, term := range []string{"Item", "Bicycle", "Cost"} {
+		depot.MustAddTerm(term)
+	}
+	depot.MustRelate("Bicycle", onion.SubclassOf, "Item")
+	depot.MustRelate("Item", onion.AttributeOf, "Cost")
+
+	sys := onion.NewSystem()
+	must(sys.Register(shop))
+	must(sys.Register(depot))
+
+	// 2. Instance data beneath each source.
+	shopKB := onion.NewKB("shop")
+	shopKB.MustAdd("SpeedsterX", "InstanceOf", onion.Term("EBike"))
+	shopKB.MustAdd("SpeedsterX", "Price", onion.Num(1200))
+	must(sys.RegisterKB(shopKB))
+
+	depotKB := onion.NewKB("depot")
+	depotKB.MustAdd("Clunker7", "InstanceOf", onion.Term("Bicycle"))
+	depotKB.MustAdd("Clunker7", "Cost", onion.Num(80))
+	must(sys.RegisterKB(depotKB))
+
+	// 3. Articulation rules bridging the two vocabularies. The cascaded
+	// rule routes both terms through the articulation term "Bike"; the
+	// attribute terms are linked so queries reach both price fields.
+	rules, err := onion.ParseRules(`
+shop.Bike => trade.Bike => depot.Bicycle
+shop.Product => depot.Item
+shop.Price => depot.Cost
+`)
+	must(err)
+
+	res, err := sys.Articulate("trade", "shop", "depot", rules, onion.GenerateOptions{
+		InheritStructure: true,
+	})
+	must(err)
+
+	fmt.Println("=== articulation ===")
+	fmt.Print(res.Art)
+
+	// 4. One query over both sources, phrased in articulation terms.
+	out, err := sys.Query("trade", "SELECT ?x WHERE ?x InstanceOf Bike")
+	must(err)
+	fmt.Println("=== bikes everywhere ===")
+	for _, row := range out.Rows {
+		fmt.Printf("  %s\n", row[0].Format())
+	}
+
+	// 5. The algebra composes: intersection is itself an ontology.
+	inter, err := sys.Intersection("trade")
+	must(err)
+	fmt.Println("=== intersection (articulation ontology) ===")
+	fmt.Print(inter)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Transportation: the paper's full running example (EDBT 2000, Fig. 2).
+//
+// Two autonomous sources — a carrier and a factory — are articulated into
+// a transport articulation ontology using every rule form of §4.1: simple
+// and cascaded implications, a conjunction (CargoCarrierVehicle), a
+// disjunction (CarsTrucks), intra-articulation structuring, and two-way
+// currency conversion functions. Queries then cross the semantic gap,
+// with prices normalised to euros.
+//
+//	go run ./examples/transportation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	onion "repro"
+)
+
+func main() {
+	sys := onion.NewSystem()
+	must(sys.Register(buildCarrier()))
+	must(sys.Register(buildFactory()))
+	must(sys.RegisterKB(buildCarrierKB()))
+	must(sys.RegisterKB(buildFactoryKB()))
+
+	funcs := onion.NewFuncRegistry()
+	must(funcs.RegisterLinear("PSToEuroFn", "EuroToPSFn", 1/0.625, 0))   // GBP ↔ EUR
+	must(funcs.RegisterLinear("DGToEuroFn", "EuroToDGFn", 1/2.20371, 0)) // NLG ↔ EUR (fixed rate)
+
+	set, err := onion.ParseRules(`
+# Fig. 2 articulation rules
+carrier.Transportation => factory.Transportation
+carrier.Cars => factory.Vehicle
+carrier.PassengerCar => transport.PassengerCar => factory.Vehicle
+(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks
+factory.Vehicle => (carrier.Cars v carrier.Trucks)
+carrier.Person => factory.Person
+carrier.Owner => transport.Owner
+transport.Owner => transport.Person
+carrier.Person => transport.Person
+PSToEuroFn() : carrier.Price => transport.Price
+EuroToPSFn() : transport.Price => carrier.Price
+DGToEuroFn() : factory.Price => transport.Price
+EuroToDGFn() : transport.Price => factory.Price
+`)
+	must(err)
+
+	res, err := sys.Articulate("transport", "carrier", "factory", set, onion.GenerateOptions{
+		Funcs:            funcs,
+		InheritStructure: true,
+	})
+	must(err)
+
+	fmt.Println("=== transport articulation (Fig. 2) ===")
+	fmt.Print(res.Art)
+	fmt.Println()
+
+	queries := []struct {
+		title string
+		text  string
+	}{
+		{"all vehicles across both sources", "SELECT ?x WHERE ?x InstanceOf Vehicle"},
+		{"vehicle prices, normalised to euros", "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"},
+		{"who owns what (string attributes)", `SELECT ?x ?o WHERE ?x Owner ?o`},
+		{"articulation-level structure", "SELECT ?x WHERE ?x SubclassOf transport.Person"},
+	}
+	for _, q := range queries {
+		out, err := sys.Query("transport", q.text)
+		must(err)
+		fmt.Printf("=== %s ===\n  %s\n", q.title, q.text)
+		for _, row := range out.Rows {
+			fmt.Print("  ")
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Print(v.Format())
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	// The union ontology as Graphviz, for the viewer-minded.
+	u, err := sys.Union("transport")
+	must(err)
+	fmt.Println("=== union ontology (DOT, first lines) ===")
+	dot := u.Ont.Graph().DOT()
+	for i, line := range splitLines(dot, 8) {
+		fmt.Printf("  %s\n", line)
+		if i == 7 {
+			fmt.Println("  ...")
+		}
+	}
+
+	// Differences drive maintenance decisions (§5.3).
+	diff, err := sys.Difference("transport", false, onion.DiffFormal)
+	must(err)
+	fmt.Printf("\n=== carrier - factory (changes here never touch the articulation) ===\n")
+	fmt.Printf("  %v\n", diff.Terms())
+	if len(os.Args) > 1 && os.Args[1] == "-dot" {
+		fmt.Println(dot)
+	}
+}
+
+func buildCarrier() *onion.Ontology {
+	o := onion.NewOntology("carrier")
+	for _, t := range []string{
+		"Transportation", "Cars", "Trucks", "PassengerCar", "SUV",
+		"MyCar", "Person", "Driver", "Owner", "Model", "Price", "2000",
+	} {
+		o.MustAddTerm(t)
+	}
+	for _, r := range [][3]string{
+		{"Cars", onion.SubclassOf, "Transportation"},
+		{"Trucks", onion.SubclassOf, "Transportation"},
+		{"PassengerCar", onion.SubclassOf, "Cars"},
+		{"SUV", onion.SubclassOf, "Cars"},
+		{"Driver", onion.SubclassOf, "Person"},
+		{"MyCar", onion.InstanceOf, "PassengerCar"},
+		{"Cars", onion.AttributeOf, "Price"},
+		{"Cars", onion.AttributeOf, "Owner"},
+		{"Trucks", onion.AttributeOf, "Model"},
+		{"Trucks", onion.AttributeOf, "Owner"},
+		{"Cars", "drivenBy", "Driver"},
+		{"MyCar", "Price", "2000"},
+	} {
+		o.MustRelate(r[0], r[1], r[2])
+	}
+	return o
+}
+
+func buildFactory() *onion.Ontology {
+	o := onion.NewOntology("factory")
+	for _, t := range []string{
+		"Transportation", "Vehicle", "CargoCarrier", "GoodsVehicle", "Truck",
+		"Factory", "Person", "Buyer", "Price", "Weight",
+	} {
+		o.MustAddTerm(t)
+	}
+	for _, r := range [][3]string{
+		{"Vehicle", onion.SubclassOf, "Transportation"},
+		{"CargoCarrier", onion.SubclassOf, "Transportation"},
+		{"GoodsVehicle", onion.SubclassOf, "Vehicle"},
+		{"GoodsVehicle", onion.SubclassOf, "CargoCarrier"},
+		{"Truck", onion.SubclassOf, "GoodsVehicle"},
+		{"Buyer", onion.SubclassOf, "Person"},
+		{"Vehicle", onion.AttributeOf, "Price"},
+		{"Vehicle", onion.AttributeOf, "Weight"},
+		{"Factory", "sells", "Vehicle"},
+		{"Buyer", "buysFrom", "Factory"},
+	} {
+		o.MustRelate(r[0], r[1], r[2])
+	}
+	return o
+}
+
+func buildCarrierKB() *onion.KB {
+	s := onion.NewKB("carrier")
+	s.MustAdd("MyCar", "InstanceOf", onion.Term("PassengerCar"))
+	s.MustAdd("MyCar", "Price", onion.Num(2000)) // pounds sterling
+	s.MustAdd("MyCar", "Owner", onion.Str("Alice"))
+	s.MustAdd("Suv9", "InstanceOf", onion.Term("SUV"))
+	s.MustAdd("Suv9", "Price", onion.Num(5000))
+	s.MustAdd("Suv9", "Owner", onion.Str("Bob"))
+	s.MustAdd("Rig1", "InstanceOf", onion.Term("Trucks"))
+	s.MustAdd("Rig1", "Price", onion.Num(12500))
+	return s
+}
+
+func buildFactoryKB() *onion.KB {
+	s := onion.NewKB("factory")
+	s.MustAdd("Truck77", "InstanceOf", onion.Term("Truck"))
+	s.MustAdd("Truck77", "Price", onion.Num(44074.2)) // guilders = 20000 EUR
+	s.MustAdd("Wagon3", "InstanceOf", onion.Term("GoodsVehicle"))
+	s.MustAdd("Wagon3", "Price", onion.Num(22037.1)) // guilders = 10000 EUR
+	s.MustAdd("BuyerCo", "InstanceOf", onion.Term("Buyer"))
+	return s
+}
+
+func splitLines(s string, max int) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s) && len(out) < max; i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package algebra implements ONION's ontology algebra (EDBT 2000, §5):
+// unary filter and extract operators (the select/project analogues) and
+// the binary Union, Intersection and Difference operators defined over two
+// ontologies and a set of articulation rules.
+//
+// Every operator returns an ontology, so results compose: the intersection
+// (articulation ontology) of two sources "can be further composed with
+// other ontologies", which is the paper's scalability mechanism — adding a
+// source means articulating against an existing articulation, not
+// restructuring anything (§4.2, §5.2).
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+)
+
+// Filter is the unary select-analogue (§5): it returns a new ontology
+// containing exactly the terms satisfying keep, with every relationship of
+// o whose endpoints both survive (the induced subontology).
+func Filter(o *ontology.Ontology, keep func(term string) bool) *ontology.Ontology {
+	g := o.Graph()
+	var ids []graph.NodeID
+	for _, id := range g.Nodes() {
+		if keep(g.Label(id)) {
+			ids = append(ids, id)
+		}
+	}
+	sub := g.InducedSubgraph(ids)
+	out, err := ontology.FromGraph(sub)
+	if err != nil {
+		// An induced subgraph of a consistent ontology stays consistent.
+		panic("algebra: filter broke consistency: " + err.Error())
+	}
+	copyRelations(o, out)
+	return out
+}
+
+// FilterPattern is Filter with a graph pattern as the selection predicate:
+// a term survives when it appears in at least one match of p.
+func FilterPattern(o *ontology.Ontology, p *pattern.Pattern, opts pattern.Options) (*ontology.Ontology, error) {
+	matched, err := matchedNodes(o, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Filter(o, func(term string) bool {
+		id, ok := o.Term(term)
+		return ok && matched[id]
+	}), nil
+}
+
+// Extract is the unary project-analogue (§5): it returns the image of the
+// pattern — only the matched nodes and the images of the pattern's edges,
+// not the full induced subgraph. Matching the interesting shape and
+// extracting it is how the expert "carves out portions of an ontology
+// required by the articulation" (§4).
+func Extract(o *ontology.Ontology, p *pattern.Pattern, opts pattern.Options) (*ontology.Ontology, error) {
+	g := o.Graph()
+	ms, err := pattern.Find(g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := ontology.New(o.Name())
+	copyRelations(o, out)
+	for _, m := range ms {
+		for _, id := range m.Nodes {
+			if _, err := out.EnsureTerm(g.Label(id)); err != nil {
+				return nil, err
+			}
+		}
+		for _, pe := range p.Edges {
+			from, to := g.Label(m.Nodes[pe.From]), g.Label(m.Nodes[pe.To])
+			// Recover the concrete edge label: the pattern edge may be
+			// unconstrained ("" matches any label).
+			for _, ge := range g.OutEdges(m.Nodes[pe.From]) {
+				if ge.To != m.Nodes[pe.To] {
+					continue
+				}
+				if pe.Label == "" || edgeLabelMatches(pe.Label, ge.Label, opts) {
+					if err := out.Relate(from, ge.Label, to); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func edgeLabelMatches(want, got string, opts pattern.Options) bool {
+	if opts.IgnoreEdgeLabels {
+		return true
+	}
+	if opts.EdgeEquiv != nil {
+		return opts.EdgeEquiv(want, got)
+	}
+	return want == got
+}
+
+func matchedNodes(o *ontology.Ontology, p *pattern.Pattern, opts pattern.Options) (map[graph.NodeID]bool, error) {
+	ms, err := pattern.Find(o.Graph(), p, opts)
+	if err != nil {
+		return nil, err
+	}
+	matched := make(map[graph.NodeID]bool)
+	for _, m := range ms {
+		for _, id := range m.Nodes {
+			matched[id] = true
+		}
+	}
+	return matched, nil
+}
+
+func copyRelations(from, to *ontology.Ontology) {
+	for _, spec := range from.Relations() {
+		to.DeclareRelation(spec)
+	}
+}
+
+// Qualify returns a copy of o in which every term is prefixed with the
+// ontology's name ("Cars" in carrier becomes "carrier.Cars"). The union
+// operator works over qualified copies so that same-named terms from
+// different sources — distinct concepts by the paper's consistency rule —
+// stay distinct in the unified graph.
+func Qualify(o *ontology.Ontology) *ontology.Ontology {
+	g := o.Graph()
+	out := ontology.New(o.Name())
+	copyRelations(o, out)
+	for _, id := range g.Nodes() {
+		// Labels are unique in a consistent ontology, so EnsureTerm cannot
+		// be ambiguous here.
+		if _, err := out.EnsureTerm(qualified(o.Name(), g.Label(id))); err != nil {
+			panic("algebra: qualify: " + err.Error())
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := out.Relate(qualified(o.Name(), g.Label(e.From)), e.Label, qualified(o.Name(), g.Label(e.To))); err != nil {
+			panic("algebra: qualify: " + err.Error())
+		}
+	}
+	return out
+}
+
+func qualified(ont, term string) string {
+	return ontology.MakeRef(ont, term).String()
+}
+
+// merge copies every (qualified) term and relationship of src into dst.
+func merge(dst, src *ontology.Ontology) error {
+	g := src.Graph()
+	for _, id := range g.Nodes() {
+		if _, err := dst.EnsureTerm(g.Label(id)); err != nil {
+			return fmt.Errorf("algebra: merge: %w", err)
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := dst.Relate(g.Label(e.From), e.Label, g.Label(e.To)); err != nil {
+			return fmt.Errorf("algebra: merge: %w", err)
+		}
+	}
+	copyRelations(src, dst)
+	return nil
+}

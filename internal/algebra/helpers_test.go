@@ -1,0 +1,16 @@
+package algebra
+
+import (
+	"repro/internal/articulation"
+	"repro/internal/rules"
+)
+
+// Aliases keeping the main test file free of repeated qualified names.
+type (
+	articulationT = articulation.Articulation
+	rulesSet      = rules.Set
+)
+
+func parseRules(text string) (*rules.Set, error) {
+	return rules.ParseSetString(text)
+}

@@ -1,0 +1,181 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/articulation"
+	"repro/internal/ontology"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+// pairFor builds a deterministic overlapping pair and rule set for a
+// property-check seed.
+func pairFor(seed int64, classes int, overlap float64) (*ontology.Ontology, *ontology.Ontology, *rules.Set) {
+	o1, o2, truth := workload.GeneratePair(workload.PairSpec{
+		Spec:         workload.Spec{Name: "p1", Classes: classes, AttrsPerClass: 0.3, Seed: seed},
+		Overlap:      overlap,
+		ExtraClasses: classes / 4,
+	})
+	set := rules.NewSet()
+	for l, r := range truth {
+		set.Add(rules.Implication(ontology.MakeRef(o1.Name(), l), ontology.MakeRef(o2.Name(), r)))
+	}
+	return o1, o2, set
+}
+
+// Property: the union's cardinalities are exactly the paper's definition
+// N1 ∪ N2 ∪ NA and E1 ∪ E2 ∪ EA ∪ BridgeEdges (qualification makes the
+// unions disjoint).
+func TestQuickUnionCardinality(t *testing.T) {
+	f := func(seed int64, c8 uint8, ov8 uint8) bool {
+		classes := int(c8)%40 + 5
+		overlap := float64(ov8%90+5) / 100
+		o1, o2, set := pairFor(seed, classes, overlap)
+		res, err := Union(o1, o2, set, Options{Gen: articulation.Options{Lenient: true}})
+		if err != nil {
+			return false
+		}
+		wantN := o1.NumTerms() + o2.NumTerms() + res.Art.Ont.NumTerms()
+		wantE := o1.NumRelationships() + o2.NumRelationships() +
+			res.Art.Ont.NumRelationships() + len(res.Art.Bridges)
+		return res.Ont.NumTerms() == wantN && res.Ont.NumRelationships() == wantE &&
+			res.Ont.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the difference is always a subontology of O1 (terms and
+// relationships), in both difference modes.
+func TestQuickDifferenceIsSubontology(t *testing.T) {
+	f := func(seed int64, c8 uint8, mode8 uint8) bool {
+		classes := int(c8)%40 + 5
+		mode := DiffFormal
+		if mode8%2 == 1 {
+			mode = DiffExample
+		}
+		o1, o2, set := pairFor(seed, classes, 0.4)
+		diff, err := Difference(o1, o2, set, Options{
+			Gen: articulation.Options{Lenient: true}, DiffMode: mode,
+		})
+		if err != nil {
+			return false
+		}
+		for _, term := range diff.Terms() {
+			if !o1.HasTerm(term) {
+				return false
+			}
+		}
+		g := diff.Graph()
+		for _, e := range g.Edges() {
+			if !o1.Related(g.Label(e.From), e.Label, g.Label(e.To)) {
+				return false
+			}
+		}
+		return diff.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with an empty rule set the difference is the identity and
+// the intersection is empty.
+func TestQuickEmptyRulesIdentityLaws(t *testing.T) {
+	f := func(seed int64, c8 uint8) bool {
+		classes := int(c8)%40 + 5
+		o1, o2, _ := pairFor(seed, classes, 0.4)
+		diff, err := Difference(o1, o2, nil, Options{})
+		if err != nil {
+			return false
+		}
+		inter, err := Intersection(o1, o2, nil, Options{})
+		if err != nil {
+			return false
+		}
+		return diff.NumTerms() == o1.NumTerms() &&
+			diff.NumRelationships() == o1.NumRelationships() &&
+			inter.NumTerms() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determined terms never survive the formal difference, and the
+// difference plus the determined set covers no more than O1.
+func TestQuickDeterminedTermsEliminated(t *testing.T) {
+	f := func(seed int64, c8 uint8) bool {
+		classes := int(c8)%30 + 5
+		o1, o2, set := pairFor(seed, classes, 0.5)
+		res, err := articulation.Generate("artp", o1, o2, set, articulation.Options{Lenient: true})
+		if err != nil {
+			return false
+		}
+		diff, err := DifferenceWith(o1, o2, res.Art, Options{})
+		if err != nil {
+			return false
+		}
+		for _, d := range DeterminedTerms(res.Art, o1.Name(), o2.Name()) {
+			if diff.HasTerm(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Filter with a tautological predicate is the identity; Filter
+// result is always consistent.
+func TestQuickFilterIdentityAndConsistency(t *testing.T) {
+	f := func(seed int64, c8 uint8, keepMod uint8) bool {
+		classes := int(c8)%40 + 5
+		o := workload.Generate(workload.Spec{Name: "f", Classes: classes, AttrsPerClass: 0.5, Seed: seed})
+		all := Filter(o, func(string) bool { return true })
+		if all.NumTerms() != o.NumTerms() || all.NumRelationships() != o.NumRelationships() {
+			return false
+		}
+		mod := int(keepMod)%3 + 2
+		i := 0
+		some := Filter(o, func(string) bool { i++; return i%mod == 0 })
+		return some.Validate() == nil && some.NumTerms() <= o.NumTerms()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union composes — the union result can itself be articulated
+// with a third ontology without violating consistency.
+func TestQuickUnionComposes(t *testing.T) {
+	f := func(seed int64, c8 uint8) bool {
+		classes := int(c8)%20 + 5
+		o1, o2, set := pairFor(seed, classes, 0.4)
+		inter, err := Intersection(o1, o2, set, Options{ArtName: "mid", Gen: articulation.Options{Lenient: true}})
+		if err != nil {
+			return false
+		}
+		third := workload.Generate(workload.Spec{Name: "third", Classes: 10, Seed: seed ^ 0xabc})
+		set2 := rules.NewSet()
+		if len(inter.Terms()) > 0 && len(third.Terms()) > 0 {
+			set2.Add(rules.Implication(
+				ontology.MakeRef("mid", inter.Terms()[0]),
+				ontology.MakeRef("third", third.Terms()[0]),
+			))
+		}
+		res, err := Union(inter, third, set2, Options{ArtName: "top", Gen: articulation.Options{Lenient: true}})
+		if err != nil {
+			return false
+		}
+		return res.Ont.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package articulation implements ONION's articulation of ontologies
+// (EDBT 2000, §4): the articulation ontology, the semantic bridges that
+// link it to the source ontologies, and the articulation generator that
+// builds both from articulation rules.
+//
+// An articulation between source ontologies O1 and O2 consists of
+//
+//   - an articulation ontology OA — a small ontology holding the terms
+//     semantically relevant to both sources, and
+//   - semantic bridges — SIBridge (directed semantic-implication) edges and
+//     functional-conversion edges connecting OA's terms with source terms.
+//
+// The unified ontology O1 ∪rules O2 is virtual: only the articulation is
+// materialised, the sources stay untouched and independently maintained
+// (§2, "the articulation is the only thing that is physically stored").
+package articulation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/rules"
+)
+
+// BridgeLabel is the edge label of semantic-implication bridges (§4.1).
+const BridgeLabel = ontology.SIBridge
+
+// Bridge is one semantic bridge: From semantically implies To (for
+// SIBridge edges), or From converts to To through the named function (for
+// functional edges, whose Label is "Fn()").
+type Bridge struct {
+	From  ontology.Ref
+	Label string
+	To    ontology.Ref
+	// Rule is the index of the generating rule in the articulation's rule
+	// set; -1 marks bridges added by structure inheritance or closure.
+	Rule int
+}
+
+// String renders the bridge as an edge triple.
+func (b Bridge) String() string {
+	return fmt.Sprintf("(%s, %q, %s)", b.From, b.Label, b.To)
+}
+
+// Functional reports whether the bridge carries a conversion function.
+func (b Bridge) Functional() bool { return b.Label != BridgeLabel }
+
+// FuncName returns the conversion function name of a functional bridge
+// (without the "()" suffix), or "".
+func (b Bridge) FuncName() string {
+	if !b.Functional() {
+		return ""
+	}
+	return strings.TrimSuffix(b.Label, "()")
+}
+
+// Articulation is the physically stored articulation between two source
+// ontologies: the articulation ontology plus its semantic bridges.
+type Articulation struct {
+	// Ont is the articulation ontology (the paper's OA, e.g. "transport").
+	Ont *ontology.Ontology
+	// Bridges are the semantic bridges between Ont and the sources, and —
+	// for namesake equivalences — between source terms and Ont.
+	Bridges []Bridge
+	// Rules is the rule set the articulation was generated from.
+	Rules *rules.Set
+	// Sources names the two source ontologies.
+	Sources [2]string
+	// Funcs holds the conversion functions registered for functional
+	// bridges; keys are bare function names.
+	Funcs *FuncRegistry
+}
+
+// Name returns the articulation ontology's name.
+func (a *Articulation) Name() string { return a.Ont.Name() }
+
+// SortBridges orders bridges deterministically.
+func SortBridges(bs []Bridge) {
+	sort.Slice(bs, func(i, j int) bool {
+		x, y := bs[i], bs[j]
+		if x.From != y.From {
+			return x.From.Less(y.From)
+		}
+		if x.Label != y.Label {
+			return x.Label < y.Label
+		}
+		if x.To != y.To {
+			return x.To.Less(y.To)
+		}
+		return x.Rule < y.Rule
+	})
+}
+
+// HasBridge reports whether an exact (from, label, to) bridge exists.
+func (a *Articulation) HasBridge(from ontology.Ref, label string, to ontology.Ref) bool {
+	for _, b := range a.Bridges {
+		if b.From == from && b.Label == label && b.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// BridgesFrom returns the bridges leaving ref, sorted.
+func (a *Articulation) BridgesFrom(ref ontology.Ref) []Bridge {
+	var out []Bridge
+	for _, b := range a.Bridges {
+		if b.From == ref {
+			out = append(out, b)
+		}
+	}
+	SortBridges(out)
+	return out
+}
+
+// BridgesTo returns the bridges entering ref, sorted.
+func (a *Articulation) BridgesTo(ref ontology.Ref) []Bridge {
+	var out []Bridge
+	for _, b := range a.Bridges {
+		if b.To == ref {
+			out = append(out, b)
+		}
+	}
+	SortBridges(out)
+	return out
+}
+
+// Covers returns the sorted set of terms of the named source ontology that
+// participate in any bridge. This is the articulation's coverage of that
+// source: changes to terms outside it never require articulation updates
+// (§5.3).
+func (a *Articulation) Covers(ont string) []string {
+	set := make(map[string]struct{})
+	for _, b := range a.Bridges {
+		if b.From.Ont == ont {
+			set[b.From.Term] = struct{}{}
+		}
+		if b.To.Ont == ont {
+			set[b.To.Term] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ImagesOf returns the articulation terms that the given source term maps
+// into: targets of SIBridge bridges leaving it plus sources of equivalence
+// bridges entering it, restricted to the articulation ontology, sorted.
+func (a *Articulation) ImagesOf(src ontology.Ref) []string {
+	set := make(map[string]struct{})
+	for _, b := range a.Bridges {
+		if b.Label != BridgeLabel {
+			continue
+		}
+		if b.From == src && b.To.Ont == a.Ont.Name() {
+			set[b.To.Term] = struct{}{}
+		}
+		if b.To == src && b.From.Ont == a.Ont.Name() {
+			set[b.From.Term] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceAnchors returns, for an articulation term, the source refs it is
+// bridged with (either direction), sorted. The structure-inheritance pass
+// and the query reformulator both rely on this mapping.
+func (a *Articulation) SourceAnchors(term string) []ontology.Ref {
+	art := a.Ont.Name()
+	set := make(map[ontology.Ref]struct{})
+	for _, b := range a.Bridges {
+		if b.Label != BridgeLabel {
+			continue
+		}
+		if b.From.Ont == art && b.From.Term == term && b.To.Ont != art {
+			set[b.To] = struct{}{}
+		}
+		if b.To.Ont == art && b.To.Term == term && b.From.Ont != art {
+			set[b.From] = struct{}{}
+		}
+	}
+	out := make([]ontology.Ref, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Validate checks that every bridge endpoint resolves: articulation-side
+// endpoints must be terms of Ont, source-side endpoints must be terms of
+// their source ontology as provided by the resolver.
+func (a *Articulation) Validate(res ontology.Resolver) error {
+	art := a.Ont.Name()
+	check := func(r ontology.Ref) error {
+		if r.Ont == art {
+			if !a.Ont.HasTerm(r.Term) {
+				return fmt.Errorf("articulation %s: bridge endpoint %s not in articulation ontology", art, r)
+			}
+			return nil
+		}
+		o, ok := res.Ontology(r.Ont)
+		if !ok {
+			return fmt.Errorf("articulation %s: bridge endpoint %s references unknown ontology", art, r)
+		}
+		if !o.HasTerm(r.Term) {
+			return fmt.Errorf("articulation %s: bridge endpoint %s is not a term of %s", art, r, r.Ont)
+		}
+		return nil
+	}
+	for _, b := range a.Bridges {
+		if b.Label == "" {
+			return fmt.Errorf("articulation %s: bridge %v has empty label", art, b)
+		}
+		if err := check(b.From); err != nil {
+			return err
+		}
+		if err := check(b.To); err != nil {
+			return err
+		}
+	}
+	return a.Ont.Validate()
+}
+
+// Stats summarises an articulation for reporting.
+type Stats struct {
+	ArtTerms    int
+	ArtEdges    int
+	Bridges     int
+	Functional  int
+	CoverSource [2]int
+}
+
+// ComputeStats gathers Stats.
+func (a *Articulation) ComputeStats() Stats {
+	s := Stats{
+		ArtTerms: a.Ont.NumTerms(),
+		ArtEdges: a.Ont.NumRelationships(),
+		Bridges:  len(a.Bridges),
+	}
+	for _, b := range a.Bridges {
+		if b.Functional() {
+			s.Functional++
+		}
+	}
+	s.CoverSource[0] = len(a.Covers(a.Sources[0]))
+	s.CoverSource[1] = len(a.Covers(a.Sources[1]))
+	return s
+}
+
+// String renders a deterministic dump of the articulation.
+func (a *Articulation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "articulation %s of (%s, %s): %d terms, %d bridges\n",
+		a.Ont.Name(), a.Sources[0], a.Sources[1], a.Ont.NumTerms(), len(a.Bridges))
+	b.WriteString(a.Ont.String())
+	bs := append([]Bridge(nil), a.Bridges...)
+	SortBridges(bs)
+	for _, br := range bs {
+		fmt.Fprintf(&b, "  bridge %s\n", br)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package articulation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/inference"
+	"repro/internal/ontology"
+	"repro/internal/rules"
+)
+
+// DerivedRule is one rule produced by inference, with the supporting facts
+// so the expert can audit it before accepting (§2.4: the inference engine
+// "derive[s] more rules if possible"; the expert keeps the final word).
+type DerivedRule struct {
+	Rule rules.Rule
+	// Support lists the base facts (source relationships and supplied
+	// rules, rendered as implication facts) behind the derivation.
+	Support []string
+}
+
+// InferRules derives additional simple articulation rules from the
+// supplied rule set and the sources' own class structure:
+//
+//   - a subclass implies whatever its superclass implies
+//     (carrier.PassengerCar ⊑ carrier.Cars and Cars => Vehicle give
+//     PassengerCar => Vehicle);
+//   - an implication into a class also reaches the class's superclasses
+//     (Car => GoodsVehicle and GoodsVehicle ⊑ Vehicle give Car => Vehicle);
+//   - implication chains compose transitively across ontologies.
+//
+// Only new cross-ontology simple rules are returned (the input rules and
+// intra-ontology consequences are filtered out); order is deterministic.
+// Compound rules participate through their Decompose()d simple forms.
+func InferRules(o1, o2 *ontology.Ontology, set *rules.Set) ([]DerivedRule, error) {
+	if o1 == nil || o2 == nil {
+		return nil, fmt.Errorf("articulation: nil source ontology")
+	}
+	if set == nil {
+		set = rules.NewSet()
+	}
+	const (
+		implies = "implies"
+		sub     = "SubclassOf"
+	)
+	eng, err := inference.New(
+		inference.MustParseClause("implies(?x,?z) :- SubclassOf(?x,?y), implies(?y,?z)"),
+		inference.MustParseClause("implies(?x,?z) :- implies(?x,?y), SubclassOf(?y,?z)"),
+		inference.MustParseClause("implies(?x,?z) :- implies(?x,?y), implies(?y,?z)"),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	// Source structure as qualified SubclassOf facts.
+	for _, o := range []*ontology.Ontology{o1, o2} {
+		g := o.Graph()
+		for _, e := range g.EdgesWithLabel(ontology.SubclassOf) {
+			eng.AddFact(inference.Fact{
+				Pred: sub,
+				Subj: ontology.MakeRef(o.Name(), g.Label(e.From)).String(),
+				Obj:  ontology.MakeRef(o.Name(), g.Label(e.To)).String(),
+			})
+		}
+	}
+	// Supplied rules as implication facts (simple forms only; functional
+	// conversions are value mappings, not subset relations, so they do
+	// not feed implication inference).
+	base := make(map[string]bool)
+	for _, r := range set.Decompose().Rules {
+		if !r.IsSimple() || r.Fn != "" {
+			continue
+		}
+		lhs, rhs := r.Steps[0].Terms[0], r.Steps[1].Terms[0]
+		eng.AddFact(inference.Fact{Pred: implies, Subj: lhs.String(), Obj: rhs.String()})
+		base[lhs.String()+"=>"+rhs.String()] = true
+	}
+	eng.Run()
+
+	var out []DerivedRule
+	for _, f := range eng.Derived() {
+		if f.Pred != implies {
+			continue
+		}
+		lhs, err1 := ontology.ParseRef(f.Subj)
+		rhs, err2 := ontology.ParseRef(f.Obj)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		// Keep only new cross-ontology implications between the two
+		// sources (articulation-relevant bridges).
+		if lhs.Ont == rhs.Ont || base[f.Subj+"=>"+f.Obj] {
+			continue
+		}
+		dr := DerivedRule{Rule: rules.Implication(lhs, rhs)}
+		for _, s := range eng.ExplainDeep(f) {
+			dr.Support = append(dr.Support, s.String())
+		}
+		if d, ok := eng.Explain(f); ok {
+			for _, b := range d.Body {
+				dr.Support = append(dr.Support, b.String())
+			}
+		}
+		dr.Support = dedupeSorted(dr.Support)
+		out = append(out, dr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.String() < out[j].Rule.String() })
+	return out, nil
+}
+
+func dedupeSorted(ss []string) []string {
+	sort.Strings(ss)
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package articulation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+func deriveFrom(t *testing.T, ruleText string) []DerivedRule {
+	t.Helper()
+	carrier, factory := twoSources(t)
+	set, err := rules.ParseSetString(ruleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := InferRules(carrier, factory, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func hasDerived(ds []DerivedRule, rule string) bool {
+	for _, d := range ds {
+		if d.Rule.String() == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInferRulesSubclassOfAntecedent(t *testing.T) {
+	// carrier.Cars ⊑ carrier.Car and Car => Vehicle derive
+	// Cars => Vehicle.
+	ds := deriveFrom(t, "carrier.Car => factory.Vehicle")
+	if !hasDerived(ds, "carrier.Cars => factory.Vehicle") {
+		t.Fatalf("subclass-of-antecedent rule not derived: %v", ds)
+	}
+}
+
+func TestInferRulesSuperclassOfConsequent(t *testing.T) {
+	// Car => factory.GoodsVehicle and GoodsVehicle ⊑ Vehicle derive
+	// Car => Vehicle (and ⊑ CargoCarrier gives Car => CargoCarrier).
+	ds := deriveFrom(t, "carrier.Car => factory.GoodsVehicle")
+	if !hasDerived(ds, "carrier.Car => factory.Vehicle") {
+		t.Fatalf("superclass-of-consequent rule not derived: %v", ds)
+	}
+	if !hasDerived(ds, "carrier.Car => factory.CargoCarrier") {
+		t.Fatalf("second superclass rule not derived: %v", ds)
+	}
+}
+
+func TestInferRulesChainAcrossBothSides(t *testing.T) {
+	// Cars ⊑ Car, Car => GoodsVehicle, GoodsVehicle ⊑ Vehicle:
+	// the two-sided chain derives Cars => Vehicle.
+	ds := deriveFrom(t, "carrier.Car => factory.GoodsVehicle")
+	if !hasDerived(ds, "carrier.Cars => factory.Vehicle") {
+		t.Fatalf("two-sided chain not derived: %v", ds)
+	}
+}
+
+func TestInferRulesExcludesBaseAndIntraOntology(t *testing.T) {
+	ds := deriveFrom(t, "carrier.Car => factory.Vehicle")
+	for _, d := range ds {
+		if d.Rule.String() == "carrier.Car => factory.Vehicle" {
+			t.Fatalf("base rule re-derived: %v", ds)
+		}
+		lhs := d.Rule.Steps[0].Terms[0]
+		rhs := d.Rule.Steps[1].Terms[0]
+		if lhs.Ont == rhs.Ont {
+			t.Fatalf("intra-ontology consequence leaked: %v", d.Rule)
+		}
+	}
+}
+
+func TestInferRulesSupportIsAuditable(t *testing.T) {
+	ds := deriveFrom(t, "carrier.Car => factory.GoodsVehicle")
+	for _, d := range ds {
+		if d.Rule.String() != "carrier.Car => factory.Vehicle" {
+			continue
+		}
+		joined := strings.Join(d.Support, "\n")
+		if !strings.Contains(joined, "SubclassOf(factory.GoodsVehicle, factory.Vehicle)") &&
+			!strings.Contains(joined, "implies(carrier.Car, factory.GoodsVehicle)") {
+			t.Fatalf("support not auditable:\n%s", joined)
+		}
+		return
+	}
+	t.Fatalf("expected derived rule missing")
+}
+
+func TestInferRulesFunctionalAndCompoundIgnoredSafely(t *testing.T) {
+	ds := deriveFrom(t, `
+Fn() : carrier.Price => factory.Price
+(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks
+`)
+	// Functional rules carry no subset semantics; the conjunction's
+	// compound LHS has no simple decomposition — nothing derivable here.
+	if len(ds) != 0 {
+		t.Fatalf("unexpected derivations: %v", ds)
+	}
+}
+
+func TestInferRulesEmptyInput(t *testing.T) {
+	carrier, factory := twoSources(t)
+	ds, err := InferRules(carrier, factory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("derivations from nothing: %v", ds)
+	}
+	if _, err := InferRules(nil, factory, nil); err == nil {
+		t.Fatalf("nil source accepted")
+	}
+}
+
+func TestInferRulesDeterministic(t *testing.T) {
+	a := deriveFrom(t, "carrier.Car => factory.GoodsVehicle")
+	b := deriveFrom(t, "carrier.Car => factory.GoodsVehicle")
+	if len(a) != len(b) {
+		t.Fatalf("derivation count unstable")
+	}
+	for i := range a {
+		if a[i].Rule.String() != b[i].Rule.String() {
+			t.Fatalf("derivation order unstable")
+		}
+	}
+}
+
+func TestInferRulesFeedGeneration(t *testing.T) {
+	// End to end: derived rules strengthen the articulation.
+	carrier, factory := twoSources(t)
+	set := rules.NewSet(rules.MustParse("carrier.Car => factory.Vehicle"))
+	ds, err := InferRules(carrier, factory, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		set.Add(d.Rule)
+	}
+	res, err := Generate("transport", carrier, factory, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derived Cars => Vehicle materialises as a bridge.
+	if !res.Art.HasBridge(ref("carrier.Cars"), BridgeLabel, ref("transport.Vehicle")) {
+		t.Fatalf("derived rule did not reach the articulation: %v", res.Art.Bridges)
+	}
+}

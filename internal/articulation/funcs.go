@@ -1,0 +1,88 @@
+package articulation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ConvFunc is a normalization function attached to a functional bridge
+// (§4.1 "Functional Rules"): it converts a value from the source term's
+// metric space into the target term's (e.g. Dutch guilders to euros).
+type ConvFunc func(float64) (float64, error)
+
+// FuncRegistry maps bare function names to conversion functions. The
+// domain expert "is expected to also supply the functions to perform the
+// conversions both ways"; registering an inverse pair satisfies that.
+type FuncRegistry struct {
+	funcs map[string]ConvFunc
+}
+
+// NewFuncRegistry returns an empty registry.
+func NewFuncRegistry() *FuncRegistry {
+	return &FuncRegistry{funcs: make(map[string]ConvFunc)}
+}
+
+// Register installs fn under name (without "()"), replacing any previous
+// registration. Nil functions and empty names are rejected.
+func (r *FuncRegistry) Register(name string, fn ConvFunc) error {
+	if name == "" {
+		return fmt.Errorf("articulation: conversion function with empty name")
+	}
+	if fn == nil {
+		return fmt.Errorf("articulation: nil conversion function %q", name)
+	}
+	r.funcs[name] = fn
+	return nil
+}
+
+// RegisterLinear installs a linear conversion v*factor + offset under
+// name, and its exact inverse under invName when invName is non-empty.
+func (r *FuncRegistry) RegisterLinear(name, invName string, factor, offset float64) error {
+	if factor == 0 {
+		return fmt.Errorf("articulation: linear conversion %q with zero factor", name)
+	}
+	if err := r.Register(name, func(v float64) (float64, error) {
+		return v*factor + offset, nil
+	}); err != nil {
+		return err
+	}
+	if invName == "" {
+		return nil
+	}
+	return r.Register(invName, func(v float64) (float64, error) {
+		return (v - offset) / factor, nil
+	})
+}
+
+// Has reports whether name is registered.
+func (r *FuncRegistry) Has(name string) bool {
+	_, ok := r.funcs[name]
+	return ok
+}
+
+// Names returns registered names, sorted.
+func (r *FuncRegistry) Names() []string {
+	out := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply runs the named conversion.
+func (r *FuncRegistry) Apply(name string, v float64) (float64, error) {
+	fn, ok := r.funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("articulation: conversion function %q not registered", name)
+	}
+	return fn(v)
+}
+
+// Convert applies the conversion carried by a functional bridge.
+func (a *Articulation) Convert(b Bridge, v float64) (float64, error) {
+	if !b.Functional() {
+		return 0, fmt.Errorf("articulation: bridge %v is not functional", b)
+	}
+	return a.Funcs.Apply(b.FuncName(), v)
+}

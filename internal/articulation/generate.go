@@ -1,0 +1,479 @@
+package articulation
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/rules"
+)
+
+// Options tune articulation generation.
+type Options struct {
+	// Rename maps a default-generated articulation node label (the
+	// "predicate text" of conjunction/disjunction rules) to the expert's
+	// preferred label (§4.1: "which can be overruled by the user using a
+	// more concise and appropriate name").
+	Rename map[string]string
+	// Lenient skips rules that reference unknown terms instead of failing;
+	// skipped rules are reported in Result.Skipped.
+	Lenient bool
+	// InheritStructure copies structure between articulation terms from
+	// the sources (§4.2): for anchored articulation terms a, b whose
+	// anchors lie in the same source and are connected by a (transitive)
+	// SubclassOf path there, a SubclassOf edge a→b is added to the
+	// articulation ontology.
+	InheritStructure bool
+	// StructureFrom restricts structure inheritance to expert-selected
+	// portions of the sources (§4.2: "the expert can select portions of
+	// O_i and indicate that the structure of OA is similar to these
+	// portions"): only anchors matched by at least one of these patterns
+	// (each addressed to its source via the pattern's Ont field)
+	// contribute inherited edges. Empty means every anchor contributes.
+	// Implies InheritStructure when non-empty.
+	StructureFrom []*pattern.Pattern
+	// Funcs provides conversion functions for functional rules. Rules
+	// naming unregistered functions still generate bridges, but are
+	// reported in Result.MissingFuncs.
+	Funcs *FuncRegistry
+}
+
+// Result is the outcome of Generate: the articulation plus diagnostics the
+// expert reviews (§2.4: "the expert has the final word ... and is
+// responsible to correct inconsistencies").
+type Result struct {
+	Art *Articulation
+	// Skipped lists rules ignored in lenient mode, with reasons.
+	Skipped []SkippedRule
+	// MissingFuncs lists functional rules whose function is unregistered.
+	MissingFuncs []string
+	// InheritedEdges counts SubclassOf edges added by structure
+	// inheritance.
+	InheritedEdges int
+}
+
+// SkippedRule records one lenient-mode skip.
+type SkippedRule struct {
+	Rule   string
+	Reason string
+}
+
+// Generate builds the articulation of o1 and o2 under the given rule set,
+// naming the articulation ontology artName. It implements the rule
+// translation of §4.1 and (optionally) the structure inheritance of §4.2.
+func Generate(artName string, o1, o2 *ontology.Ontology, set *rules.Set, opts Options) (*Result, error) {
+	if artName == "" {
+		return nil, fmt.Errorf("articulation: empty articulation name")
+	}
+	if o1 == nil || o2 == nil {
+		return nil, fmt.Errorf("articulation: nil source ontology")
+	}
+	if artName == o1.Name() || artName == o2.Name() || o1.Name() == o2.Name() {
+		return nil, fmt.Errorf("articulation: names must be distinct (%s, %s, %s)", artName, o1.Name(), o2.Name())
+	}
+	if set == nil {
+		set = rules.NewSet()
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("articulation: %w", err)
+	}
+	funcs := opts.Funcs
+	if funcs == nil {
+		funcs = NewFuncRegistry()
+	}
+	g := &generator{
+		art: &Articulation{
+			Ont:     ontology.New(artName),
+			Rules:   set,
+			Sources: [2]string{o1.Name(), o2.Name()},
+			Funcs:   funcs,
+		},
+		sources: ontology.MapResolver{o1.Name(): o1, o2.Name(): o2},
+		opts:    opts,
+		res:     &Result{},
+	}
+	g.res.Art = g.art
+
+	// The paper decomposes multi-term implications into atomic rules
+	// before translation (§4.1); rule indices refer to the original set.
+	for idx, r := range set.Rules {
+		for _, atomic := range r.Decompose() {
+			if err := g.applyAtomic(atomic, idx); err != nil {
+				if !opts.Lenient {
+					return nil, fmt.Errorf("articulation: rule %d (%s): %w", idx, r, err)
+				}
+				g.res.Skipped = append(g.res.Skipped, SkippedRule{Rule: atomic.String(), Reason: err.Error()})
+			}
+		}
+	}
+	if opts.InheritStructure || len(opts.StructureFrom) > 0 {
+		allowed, err := g.structurePortion(opts.StructureFrom)
+		if err != nil {
+			return nil, fmt.Errorf("articulation: structure portion: %w", err)
+		}
+		g.inheritStructure(allowed)
+	}
+	SortBridges(g.art.Bridges)
+	if err := g.art.Ont.Validate(); err != nil {
+		return nil, fmt.Errorf("articulation: generated ontology invalid: %w", err)
+	}
+	return g.res, nil
+}
+
+type generator struct {
+	art     *Articulation
+	sources ontology.MapResolver
+	opts    Options
+	res     *Result
+	// bridgeSet deduplicates bridges across rules.
+	bridgeSet map[string]bool
+}
+
+// endpoint is a resolved rule operand: either a source term or an
+// articulation term.
+type endpoint struct {
+	ref ontology.Ref
+	art bool
+}
+
+// applyAtomic translates one atomic (two-step) rule.
+func (g *generator) applyAtomic(r rules.Rule, ruleIdx int) error {
+	lhs, rhs := r.Steps[0], r.Steps[1]
+
+	// Disjunctive LHS means each disjunct implies the RHS; conjunctive RHS
+	// means the LHS implies each conjunct. Both split into simpler rules.
+	if lhs.Conn == rules.Or {
+		for _, t := range lhs.Terms {
+			sub := rules.Rule{Steps: []rules.Step{rules.NewStep(rules.Single, t), rhs}, Fn: r.Fn}
+			if err := g.applyAtomic(sub, ruleIdx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if rhs.Conn == rules.And {
+		for _, t := range rhs.Terms {
+			sub := rules.Rule{Steps: []rules.Step{lhs, rules.NewStep(rules.Single, t)}, Fn: r.Fn}
+			if err := g.applyAtomic(sub, ruleIdx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	lep, err := g.resolveLHS(lhs, ruleIdx)
+	if err != nil {
+		return err
+	}
+	rep, err := g.resolveRHS(rhs, ruleIdx)
+	if err != nil {
+		return err
+	}
+
+	if r.Fn != "" {
+		return g.applyFunctional(r.Fn, lep, rep, ruleIdx)
+	}
+	return g.connect(lep, rep, ruleIdx)
+}
+
+// resolveLHS resolves a Single or And step to one endpoint; conjunctions
+// create an articulation node per §4.1.
+func (g *generator) resolveLHS(s rules.Step, ruleIdx int) (endpoint, error) {
+	if s.Conn == rules.And && len(s.Terms) > 1 {
+		return g.conjunctionNode(s.Terms, ruleIdx)
+	}
+	return g.resolveRef(s.Terms[0])
+}
+
+// resolveRHS resolves a Single or Or step; disjunctions create an
+// articulation node per §4.1.
+func (g *generator) resolveRHS(s rules.Step, ruleIdx int) (endpoint, error) {
+	if s.Conn == rules.Or && len(s.Terms) > 1 {
+		return g.disjunctionNode(s.Terms, ruleIdx)
+	}
+	return g.resolveRef(s.Terms[0])
+}
+
+// resolveRef checks a term reference against the articulation and source
+// ontologies. Articulation-side terms are created on demand (rules define
+// the articulation ontology); source terms must already exist.
+func (g *generator) resolveRef(r ontology.Ref) (endpoint, error) {
+	artName := g.art.Ont.Name()
+	if r.Ont == "" {
+		return endpoint{}, fmt.Errorf("unqualified term %q", r.Term)
+	}
+	if r.Ont == artName {
+		if _, err := g.art.Ont.EnsureTerm(r.Term); err != nil {
+			return endpoint{}, err
+		}
+		return endpoint{ref: r, art: true}, nil
+	}
+	o, ok := g.sources.Ontology(r.Ont)
+	if !ok {
+		return endpoint{}, fmt.Errorf("term %s references unknown ontology %q", r, r.Ont)
+	}
+	if !o.HasTerm(r.Term) {
+		return endpoint{}, fmt.Errorf("term %s not defined in ontology %s", r, r.Ont)
+	}
+	return endpoint{ref: r}, nil
+}
+
+// connect links two endpoints with semantic-implication semantics.
+//
+// Both endpoints in sources (the paper's first example): the articulation
+// acquires a node named after the RHS term; the LHS term specialises it
+// and the RHS term is equivalent to it:
+//
+//	EA[OU, {(carrier.Car,  SIBridge, transport.Vehicle),
+//	        (factory.Vehicle, SIBridge, transport.Vehicle),
+//	        (transport.Vehicle, SIBridge, factory.Vehicle)}]
+//
+// Mixed endpoints produce a single bridge; two articulation endpoints
+// produce a SubclassOf edge inside the articulation ontology (the paper's
+// transport.Owner => transport.Person example).
+func (g *generator) connect(lhs, rhs endpoint, ruleIdx int) error {
+	artName := g.art.Ont.Name()
+	switch {
+	case !lhs.art && !rhs.art:
+		artRef := ontology.MakeRef(artName, rhs.ref.Term)
+		if _, err := g.art.Ont.EnsureTerm(artRef.Term); err != nil {
+			return err
+		}
+		g.addBridge(Bridge{From: lhs.ref, Label: BridgeLabel, To: artRef, Rule: ruleIdx})
+		g.addBridge(Bridge{From: rhs.ref, Label: BridgeLabel, To: artRef, Rule: ruleIdx})
+		g.addBridge(Bridge{From: artRef, Label: BridgeLabel, To: rhs.ref, Rule: ruleIdx})
+		return nil
+	case lhs.art && rhs.art:
+		return g.art.Ont.Relate(lhs.ref.Term, ontology.SubclassOf, rhs.ref.Term)
+	default:
+		g.addBridge(Bridge{From: lhs.ref, Label: BridgeLabel, To: rhs.ref, Rule: ruleIdx})
+		return nil
+	}
+}
+
+// applyFunctional adds the conversion edge of a functional rule (§4.1):
+// (carrier.DutchGuilders, "DGToEuroFn()", transport.Euro).
+func (g *generator) applyFunctional(fn string, lhs, rhs endpoint, ruleIdx int) error {
+	label := fn + "()"
+	g.addBridge(Bridge{From: lhs.ref, Label: label, To: rhs.ref, Rule: ruleIdx})
+	if !g.art.Funcs.Has(fn) {
+		g.res.MissingFuncs = appendUnique(g.res.MissingFuncs, fn)
+	}
+	return nil
+}
+
+// conjunctionNode implements (A ^ B) => ... : a node N is added to the
+// articulation whose default label is the predicate text; N is a subclass
+// of every conjunct, and every common (transitive) subclass of all
+// conjuncts within their shared source becomes a subclass of N (§4.1, the
+// CargoCarrierVehicle example).
+func (g *generator) conjunctionNode(terms []ontology.Ref, ruleIdx int) (endpoint, error) {
+	label := g.nodeLabel(terms)
+	artRef := ontology.MakeRef(g.art.Ont.Name(), label)
+	if _, err := g.art.Ont.EnsureTerm(label); err != nil {
+		return endpoint{}, err
+	}
+	sameOnt := true
+	for _, t := range terms {
+		ep, err := g.resolveRef(t)
+		if err != nil {
+			return endpoint{}, err
+		}
+		if ep.art {
+			sameOnt = false
+			if err := g.art.Ont.Relate(artRef.Term, ontology.SubclassOf, t.Term); err != nil {
+				return endpoint{}, err
+			}
+			continue
+		}
+		if t.Ont != terms[0].Ont {
+			sameOnt = false
+		}
+		g.addBridge(Bridge{From: artRef, Label: BridgeLabel, To: t, Rule: ruleIdx})
+	}
+	// Common-subclass enrichment requires all conjuncts in one source.
+	if sameOnt {
+		if src, ok := g.sources.Ontology(terms[0].Ont); ok {
+			for _, cand := range src.Terms() {
+				if isConjunct(cand, terms) {
+					continue
+				}
+				all := true
+				for _, t := range terms {
+					if !src.IsA(cand, t.Term) {
+						all = false
+						break
+					}
+				}
+				if all {
+					g.addBridge(Bridge{
+						From:  ontology.MakeRef(src.Name(), cand),
+						Label: BridgeLabel,
+						To:    artRef,
+						Rule:  ruleIdx,
+					})
+				}
+			}
+		}
+	}
+	return endpoint{ref: artRef, art: true}, nil
+}
+
+// disjunctionNode implements ... => (A v B): a node N is added to the
+// articulation and every disjunct becomes a subclass of N (§4.1, the
+// CarsTrucks example). The implying LHS is connected to N by the caller.
+func (g *generator) disjunctionNode(terms []ontology.Ref, ruleIdx int) (endpoint, error) {
+	label := g.nodeLabel(terms)
+	artRef := ontology.MakeRef(g.art.Ont.Name(), label)
+	if _, err := g.art.Ont.EnsureTerm(label); err != nil {
+		return endpoint{}, err
+	}
+	for _, t := range terms {
+		ep, err := g.resolveRef(t)
+		if err != nil {
+			return endpoint{}, err
+		}
+		if ep.art {
+			if err := g.art.Ont.Relate(t.Term, ontology.SubclassOf, artRef.Term); err != nil {
+				return endpoint{}, err
+			}
+			continue
+		}
+		g.addBridge(Bridge{From: t, Label: BridgeLabel, To: artRef, Rule: ruleIdx})
+	}
+	return endpoint{ref: artRef, art: true}, nil
+}
+
+// nodeLabel derives the default label of a generated articulation node —
+// the concatenated term names ("predicate text") — then applies any expert
+// rename.
+func (g *generator) nodeLabel(terms []ontology.Ref) string {
+	var b strings.Builder
+	for _, t := range terms {
+		b.WriteString(t.Term)
+	}
+	label := b.String()
+	if ren, ok := g.opts.Rename[label]; ok && ren != "" {
+		return ren
+	}
+	return label
+}
+
+func (g *generator) addBridge(b Bridge) {
+	if g.bridgeSet == nil {
+		g.bridgeSet = make(map[string]bool)
+	}
+	key := b.From.String() + "\x00" + b.Label + "\x00" + b.To.String()
+	if g.bridgeSet[key] {
+		return
+	}
+	g.bridgeSet[key] = true
+	g.art.Bridges = append(g.art.Bridges, b)
+}
+
+// structurePortion resolves the expert's portion selection into the set
+// of allowed anchor refs; a nil map means "everything allowed".
+func (g *generator) structurePortion(patterns []*pattern.Pattern) (map[ontology.Ref]bool, error) {
+	if len(patterns) == 0 {
+		return nil, nil
+	}
+	allowed := make(map[ontology.Ref]bool)
+	for _, p := range patterns {
+		if p == nil {
+			continue
+		}
+		src, ok := g.sources.Ontology(p.Ont)
+		if !ok {
+			return nil, fmt.Errorf("pattern addresses unknown ontology %q", p.Ont)
+		}
+		matches, err := pattern.Find(src.Graph(), p, pattern.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			for _, id := range m.Nodes {
+				allowed[ontology.MakeRef(src.Name(), src.Graph().Label(id))] = true
+			}
+		}
+	}
+	return allowed, nil
+}
+
+// inheritStructure adds SubclassOf edges between articulation terms whose
+// source anchors are connected by a (transitive) SubclassOf path within
+// one source ontology (§4.2: edges "based primarily on the edges in the
+// selected portion of O_i, the transitive closure of the edges in it").
+// A non-nil allowed set restricts which anchors may contribute.
+func (g *generator) inheritStructure(allowed map[ontology.Ref]bool) {
+	terms := g.art.Ont.Terms()
+	anchors := make(map[string][]ontology.Ref, len(terms))
+	for _, t := range terms {
+		all := g.art.SourceAnchors(t)
+		if allowed == nil {
+			anchors[t] = all
+			continue
+		}
+		var kept []ontology.Ref
+		for _, r := range all {
+			if allowed[r] {
+				kept = append(kept, r)
+			}
+		}
+		anchors[t] = kept
+	}
+	for _, a := range terms {
+		for _, b := range terms {
+			if a == b || g.art.Ont.Related(a, ontology.SubclassOf, b) {
+				continue
+			}
+			if g.anchorsImplySubclass(anchors[a], anchors[b]) {
+				// Anchors from different sources can suggest both a→b and
+				// b→a; never introduce a SubclassOf cycle into the
+				// articulation ontology.
+				if g.art.Ont.IsA(b, a) {
+					continue
+				}
+				if err := g.art.Ont.Relate(a, ontology.SubclassOf, b); err == nil {
+					g.res.InheritedEdges++
+				}
+			}
+		}
+	}
+}
+
+func (g *generator) anchorsImplySubclass(as, bs []ontology.Ref) bool {
+	for _, ra := range as {
+		src, ok := g.sources.Ontology(ra.Ont)
+		if !ok {
+			continue
+		}
+		for _, rb := range bs {
+			if rb.Ont != ra.Ont || ra.Term == rb.Term {
+				continue
+			}
+			if src.IsA(ra.Term, rb.Term) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isConjunct(term string, terms []ontology.Ref) bool {
+	for _, t := range terms {
+		if t.Term == term {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(ss []string, s string) []string {
+	for _, x := range ss {
+		if x == s {
+			return ss
+		}
+	}
+	return append(ss, s)
+}

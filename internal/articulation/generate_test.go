@@ -1,0 +1,484 @@
+package articulation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/rules"
+)
+
+func ref(s string) ontology.Ref { return ontology.MustParseRef(s) }
+
+// twoSources builds minimal carrier/factory-like sources for focused rule
+// tests (the full Fig. 2 reconstruction lives in package fixtures and is
+// exercised in its own test below the integration packages).
+func twoSources(t testing.TB) (*ontology.Ontology, *ontology.Ontology) {
+	t.Helper()
+	carrier := ontology.New("carrier")
+	for _, term := range []string{"Car", "Cars", "Trucks", "Person", "Owner", "Price"} {
+		carrier.MustAddTerm(term)
+	}
+	carrier.MustRelate("Cars", ontology.SubclassOf, "Car")
+
+	factory := ontology.New("factory")
+	for _, term := range []string{"Vehicle", "CargoCarrier", "GoodsVehicle", "Truck", "Person", "Price"} {
+		factory.MustAddTerm(term)
+	}
+	factory.MustRelate("GoodsVehicle", ontology.SubclassOf, "Vehicle")
+	factory.MustRelate("GoodsVehicle", ontology.SubclassOf, "CargoCarrier")
+	factory.MustRelate("Truck", ontology.SubclassOf, "GoodsVehicle")
+	return carrier, factory
+}
+
+func generate(t testing.TB, ruleText string, opts Options) *Result {
+	t.Helper()
+	carrier, factory := twoSources(t)
+	set, err := rules.ParseSetString(ruleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate("transport", carrier, factory, set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimpleImplicationCreatesNamesakeAndThreeBridges(t *testing.T) {
+	// The paper's first example: carrier.Car => factory.Vehicle yields
+	// exactly the three edges of the EA operation in §4.1.
+	res := generate(t, "carrier.Car => factory.Vehicle", Options{})
+	art := res.Art
+	if !art.Ont.HasTerm("Vehicle") {
+		t.Fatalf("articulation missing namesake node Vehicle")
+	}
+	wantBridges := []Bridge{
+		{From: ref("carrier.Car"), Label: BridgeLabel, To: ref("transport.Vehicle")},
+		{From: ref("factory.Vehicle"), Label: BridgeLabel, To: ref("transport.Vehicle")},
+		{From: ref("transport.Vehicle"), Label: BridgeLabel, To: ref("factory.Vehicle")},
+	}
+	if len(art.Bridges) != len(wantBridges) {
+		t.Fatalf("bridges = %v, want %d", art.Bridges, len(wantBridges))
+	}
+	for _, w := range wantBridges {
+		if !art.HasBridge(w.From, w.Label, w.To) {
+			t.Fatalf("missing bridge %v in %v", w, art.Bridges)
+		}
+	}
+}
+
+func TestCascadedRuleAddsIntermediateNode(t *testing.T) {
+	// carrier.Car => transport.PassengerCar => factory.Vehicle (§4.1's
+	// "cascaded short hand").
+	res := generate(t, "carrier.Car => transport.PassengerCar => factory.Vehicle", Options{})
+	art := res.Art
+	if !art.Ont.HasTerm("PassengerCar") {
+		t.Fatalf("articulation missing PassengerCar")
+	}
+	if !art.HasBridge(ref("carrier.Car"), BridgeLabel, ref("transport.PassengerCar")) {
+		t.Fatalf("missing carrier.Car -> transport.PassengerCar bridge")
+	}
+	if !art.HasBridge(ref("transport.PassengerCar"), BridgeLabel, ref("factory.Vehicle")) {
+		t.Fatalf("missing transport.PassengerCar -> factory.Vehicle bridge")
+	}
+	if len(art.Bridges) != 2 {
+		t.Fatalf("cascaded rule should add exactly 2 bridges, got %v", art.Bridges)
+	}
+}
+
+func TestIntraArticulationRuleAddsSubclassEdge(t *testing.T) {
+	// transport.Owner => transport.Person: "the class Owner is a subclass
+	// of the class Person" inside the articulation ontology.
+	res := generate(t, "transport.Owner => transport.Person", Options{})
+	art := res.Art
+	if !art.Ont.Related("Owner", ontology.SubclassOf, "Person") {
+		t.Fatalf("intra-articulation SubclassOf edge missing")
+	}
+	if len(art.Bridges) != 0 {
+		t.Fatalf("intra-articulation rule should add no bridges, got %v", art.Bridges)
+	}
+}
+
+func TestConjunctionCreatesNodeAndEnrichesCommonSubclasses(t *testing.T) {
+	// (factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks: node
+	// CargoCarrierVehicle; subclass of both conjuncts and of Trucks; all
+	// common subclasses (GoodsVehicle, Truck) become its subclasses.
+	res := generate(t, "(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks", Options{})
+	art := res.Art
+	if !art.Ont.HasTerm("CargoCarrierVehicle") {
+		t.Fatalf("conjunction node missing; terms = %v", art.Ont.Terms())
+	}
+	n := ref("transport.CargoCarrierVehicle")
+	for _, to := range []string{"factory.CargoCarrier", "factory.Vehicle", "carrier.Trucks"} {
+		if !art.HasBridge(n, BridgeLabel, ref(to)) {
+			t.Fatalf("missing subclass bridge %v -> %s", n, to)
+		}
+	}
+	for _, from := range []string{"factory.GoodsVehicle", "factory.Truck"} {
+		if !art.HasBridge(ref(from), BridgeLabel, n) {
+			t.Fatalf("missing common-subclass bridge %s -> %v\nbridges: %v", from, n, art.Bridges)
+		}
+	}
+	// The conjuncts themselves must not be made subclasses of the node.
+	if art.HasBridge(ref("factory.Vehicle"), BridgeLabel, n) {
+		t.Fatalf("conjunct wrongly enrolled as subclass")
+	}
+}
+
+func TestDisjunctionCreatesNodeWithSubclassBridges(t *testing.T) {
+	// factory.Vehicle => (carrier.Cars v carrier.Trucks): node CarsTrucks;
+	// Cars, Trucks and Vehicle all become its subclasses.
+	res := generate(t, "factory.Vehicle => (carrier.Cars v carrier.Trucks)", Options{})
+	art := res.Art
+	if !art.Ont.HasTerm("CarsTrucks") {
+		t.Fatalf("disjunction node missing; terms = %v", art.Ont.Terms())
+	}
+	n := ref("transport.CarsTrucks")
+	for _, from := range []string{"carrier.Cars", "carrier.Trucks", "factory.Vehicle"} {
+		if !art.HasBridge(ref(from), BridgeLabel, n) {
+			t.Fatalf("missing bridge %s -> %v", from, n)
+		}
+	}
+	if len(art.Bridges) != 3 {
+		t.Fatalf("disjunction should add exactly 3 bridges, got %v", art.Bridges)
+	}
+}
+
+func TestRenameOverridesGeneratedLabel(t *testing.T) {
+	res := generate(t, "(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks", Options{
+		Rename: map[string]string{"CargoCarrierVehicle": "FreightVehicle"},
+	})
+	if !res.Art.Ont.HasTerm("FreightVehicle") {
+		t.Fatalf("rename not applied; terms = %v", res.Art.Ont.Terms())
+	}
+	if res.Art.Ont.HasTerm("CargoCarrierVehicle") {
+		t.Fatalf("default label still present after rename")
+	}
+}
+
+func TestDisjunctiveLHSSplits(t *testing.T) {
+	// (carrier.Cars v carrier.Trucks) => factory.Vehicle behaves as two
+	// simple rules.
+	res := generate(t, "(carrier.Cars v carrier.Trucks) => factory.Vehicle", Options{})
+	art := res.Art
+	if !art.HasBridge(ref("carrier.Cars"), BridgeLabel, ref("transport.Vehicle")) ||
+		!art.HasBridge(ref("carrier.Trucks"), BridgeLabel, ref("transport.Vehicle")) {
+		t.Fatalf("disjunctive LHS not split: %v", art.Bridges)
+	}
+}
+
+func TestConjunctiveRHSSplits(t *testing.T) {
+	// carrier.Car => (factory.Vehicle ^ factory.CargoCarrier) behaves as
+	// two simple rules.
+	res := generate(t, "carrier.Car => (factory.Vehicle ^ factory.CargoCarrier)", Options{})
+	art := res.Art
+	if !art.Ont.HasTerm("Vehicle") || !art.Ont.HasTerm("CargoCarrier") {
+		t.Fatalf("conjunctive RHS not split: %v", art.Ont.Terms())
+	}
+}
+
+func TestFunctionalRuleAddsConversionBridge(t *testing.T) {
+	funcs := NewFuncRegistry()
+	if err := funcs.RegisterLinear("PSToEuroFn", "EuroToPSFn", 1.6, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := generate(t, `
+PSToEuroFn() : carrier.Price => transport.Price
+EuroToPSFn() : transport.Price => carrier.Price
+`, Options{Funcs: funcs})
+	art := res.Art
+	if !art.HasBridge(ref("carrier.Price"), "PSToEuroFn()", ref("transport.Price")) {
+		t.Fatalf("functional bridge missing: %v", art.Bridges)
+	}
+	if len(res.MissingFuncs) != 0 {
+		t.Fatalf("registered functions reported missing: %v", res.MissingFuncs)
+	}
+	// Round trip through the registered pair.
+	var b Bridge
+	for _, x := range art.Bridges {
+		if x.Label == "PSToEuroFn()" {
+			b = x
+		}
+	}
+	euros, err := art.Convert(b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if euros != 160 {
+		t.Fatalf("Convert = %v, want 160", euros)
+	}
+}
+
+func TestFunctionalRuleMissingFuncReported(t *testing.T) {
+	res := generate(t, "NoSuchFn() : carrier.Price => transport.Price", Options{})
+	if len(res.MissingFuncs) != 1 || res.MissingFuncs[0] != "NoSuchFn" {
+		t.Fatalf("MissingFuncs = %v", res.MissingFuncs)
+	}
+	if !res.Art.HasBridge(ref("carrier.Price"), "NoSuchFn()", ref("transport.Price")) {
+		t.Fatalf("functional bridge should still be generated")
+	}
+}
+
+func TestStrictModeRejectsUnknownTerm(t *testing.T) {
+	carrier, factory := twoSources(t)
+	set := rules.NewSet(rules.MustParse("carrier.Ghost => factory.Vehicle"))
+	_, err := Generate("transport", carrier, factory, set, Options{})
+	if err == nil || !strings.Contains(err.Error(), "Ghost") {
+		t.Fatalf("unknown term accepted: %v", err)
+	}
+	set2 := rules.NewSet(rules.MustParse("nowhere.X => factory.Vehicle"))
+	if _, err := Generate("transport", carrier, factory, set2, Options{}); err == nil {
+		t.Fatalf("unknown ontology accepted")
+	}
+	set3 := rules.NewSet(rules.MustParse("Car => factory.Vehicle"))
+	if _, err := Generate("transport", carrier, factory, set3, Options{}); err == nil {
+		t.Fatalf("unqualified term accepted")
+	}
+}
+
+func TestLenientModeSkipsAndReports(t *testing.T) {
+	res := generate(t, `
+carrier.Ghost => factory.Vehicle
+carrier.Car => factory.Vehicle
+`, Options{Lenient: true})
+	if len(res.Skipped) != 1 || !strings.Contains(res.Skipped[0].Reason, "Ghost") {
+		t.Fatalf("Skipped = %v", res.Skipped)
+	}
+	if !res.Art.Ont.HasTerm("Vehicle") {
+		t.Fatalf("valid rule not applied in lenient mode")
+	}
+}
+
+func TestGenerateNameValidation(t *testing.T) {
+	carrier, factory := twoSources(t)
+	if _, err := Generate("", carrier, factory, nil, Options{}); err == nil {
+		t.Fatalf("empty articulation name accepted")
+	}
+	if _, err := Generate("carrier", carrier, factory, nil, Options{}); err == nil {
+		t.Fatalf("articulation name clashing with source accepted")
+	}
+	if _, err := Generate("a", carrier, nil, nil, Options{}); err == nil {
+		t.Fatalf("nil source accepted")
+	}
+	if _, err := Generate("a", carrier, carrier, nil, Options{}); err == nil {
+		t.Fatalf("identical sources accepted")
+	}
+}
+
+func TestGenerateEmptyRuleSet(t *testing.T) {
+	carrier, factory := twoSources(t)
+	res, err := Generate("transport", carrier, factory, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Art.Ont.NumTerms() != 0 || len(res.Art.Bridges) != 0 {
+		t.Fatalf("empty rule set should yield empty articulation")
+	}
+}
+
+func TestBridgesDeduplicated(t *testing.T) {
+	res := generate(t, `
+carrier.Car => factory.Vehicle
+carrier.Car => factory.Vehicle
+`, Options{})
+	if len(res.Art.Bridges) != 3 {
+		t.Fatalf("duplicate rules duplicated bridges: %v", res.Art.Bridges)
+	}
+}
+
+func TestInheritStructure(t *testing.T) {
+	// transport.Vehicle (anchored to factory.Vehicle) and
+	// transport.GoodsVehicle (anchored to factory.GoodsVehicle): factory
+	// knows GoodsVehicle IsA Vehicle, so the articulation inherits
+	// GoodsVehicle -> Vehicle.
+	res := generate(t, `
+carrier.Car => factory.Vehicle
+carrier.Trucks => factory.GoodsVehicle
+`, Options{InheritStructure: true})
+	art := res.Art
+	if !art.Ont.Related("GoodsVehicle", ontology.SubclassOf, "Vehicle") {
+		t.Fatalf("structure not inherited:\n%s", art)
+	}
+	if res.InheritedEdges == 0 {
+		t.Fatalf("InheritedEdges not counted")
+	}
+	if err := art.Ont.Validate(); err != nil {
+		t.Fatalf("inherited structure broke validity: %v", err)
+	}
+}
+
+func TestInheritStructureFromPortion(t *testing.T) {
+	// Without restriction, two inheritances apply: GoodsVehicle ⊑ Vehicle
+	// (factory) and Cars ⊑ Car (carrier). Selecting only the factory
+	// portion must suppress the carrier-derived edge.
+	ruleText := `
+carrier.Car => factory.Vehicle
+carrier.Trucks => factory.GoodsVehicle
+carrier.Cars => transport.Cars
+carrier.Car => transport.Car
+`
+	unrestricted := generate(t, ruleText, Options{InheritStructure: true})
+	if !unrestricted.Art.Ont.Related("GoodsVehicle", ontology.SubclassOf, "Vehicle") ||
+		!unrestricted.Art.Ont.Related("Cars", ontology.SubclassOf, "Car") {
+		t.Fatalf("unrestricted inheritance incomplete:\n%s", unrestricted.Art.Ont)
+	}
+
+	factoryPortion := &pattern.Pattern{
+		Ont:   "factory",
+		Nodes: []pattern.Node{{Var: "x"}, {Var: "y"}},
+		Edges: []pattern.Edge{{From: 0, Label: ontology.SubclassOf, To: 1}},
+	}
+	restricted := generate(t, ruleText, Options{StructureFrom: []*pattern.Pattern{factoryPortion}})
+	if !restricted.Art.Ont.Related("GoodsVehicle", ontology.SubclassOf, "Vehicle") {
+		t.Fatalf("selected portion not inherited:\n%s", restricted.Art.Ont)
+	}
+	if restricted.Art.Ont.Related("Cars", ontology.SubclassOf, "Car") {
+		t.Fatalf("unselected portion inherited despite restriction:\n%s", restricted.Art.Ont)
+	}
+}
+
+func TestStructureFromUnknownOntology(t *testing.T) {
+	bad := &pattern.Pattern{Ont: "nowhere", Nodes: []pattern.Node{{Var: "x"}}}
+	carrier, factory := twoSources(t)
+	set := rules.NewSet(rules.MustParse("carrier.Car => factory.Vehicle"))
+	if _, err := Generate("transport", carrier, factory, set, Options{StructureFrom: []*pattern.Pattern{bad}}); err == nil {
+		t.Fatalf("unknown portion ontology accepted")
+	}
+}
+
+func TestValidateDetectsDanglingBridge(t *testing.T) {
+	carrier, factory := twoSources(t)
+	res := generate(t, "carrier.Car => factory.Vehicle", Options{})
+	art := res.Art
+	resolver := ontology.MapResolver{"carrier": carrier, "factory": factory}
+	if err := art.Validate(resolver); err != nil {
+		t.Fatalf("valid articulation rejected: %v", err)
+	}
+	art.Bridges = append(art.Bridges, Bridge{From: ref("carrier.Ghost"), Label: BridgeLabel, To: ref("transport.Vehicle")})
+	if err := art.Validate(resolver); err == nil {
+		t.Fatalf("dangling bridge accepted")
+	}
+}
+
+func TestCoversAndImages(t *testing.T) {
+	res := generate(t, `
+carrier.Car => factory.Vehicle
+(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks
+`, Options{})
+	art := res.Art
+	covers := art.Covers("carrier")
+	if len(covers) != 2 || covers[0] != "Car" || covers[1] != "Trucks" {
+		t.Fatalf("Covers(carrier) = %v", covers)
+	}
+	imgs := art.ImagesOf(ref("carrier.Car"))
+	if len(imgs) != 1 || imgs[0] != "Vehicle" {
+		t.Fatalf("ImagesOf(carrier.Car) = %v", imgs)
+	}
+	anchors := art.SourceAnchors("Vehicle")
+	if len(anchors) != 2 {
+		t.Fatalf("SourceAnchors(Vehicle) = %v", anchors)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	res := generate(t, `
+carrier.Car => factory.Vehicle
+NoFn() : carrier.Price => transport.Price
+`, Options{})
+	s := res.Art.ComputeStats()
+	if s.Bridges != 4 || s.Functional != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.CoverSource[0] != 2 { // carrier.Car and carrier.Price
+		t.Fatalf("CoverSource = %+v", s)
+	}
+}
+
+func TestAssessChange(t *testing.T) {
+	res := generate(t, "carrier.Car => factory.Vehicle", Options{})
+	impact := res.Art.AssessChange("carrier", []string{"Car", "Person", "Person"})
+	if !impact.NeedsUpdate() {
+		t.Fatalf("change to articulated term should need update")
+	}
+	if len(impact.Affected) != 1 || impact.Affected[0] != "Car" {
+		t.Fatalf("Affected = %v", impact.Affected)
+	}
+	if len(impact.Unaffected) != 1 || impact.Unaffected[0] != "Person" {
+		t.Fatalf("Unaffected = %v", impact.Unaffected)
+	}
+	free := res.Art.AssessChange("carrier", []string{"Owner", "Price"})
+	if free.NeedsUpdate() {
+		t.Fatalf("changes outside coverage should be free")
+	}
+}
+
+func TestRegenerateAfterSourceChange(t *testing.T) {
+	carrier, factory := twoSources(t)
+	set := rules.NewSet(
+		rules.MustParse("carrier.Car => factory.Vehicle"),
+		rules.MustParse("carrier.Trucks => factory.Truck"),
+	)
+	res, err := Generate("transport", carrier, factory, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete factory.Truck; the second rule can no longer resolve.
+	factory.RemoveTerm("Truck")
+	res2, err := res.Art.Regenerate(carrier, factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Skipped) != 1 {
+		t.Fatalf("Skipped = %v, want the Truck rule", res2.Skipped)
+	}
+	if !res2.Art.Ont.HasTerm("Vehicle") || res2.Art.Ont.HasTerm("Truck") {
+		t.Fatalf("regenerated articulation wrong: %v", res2.Art.Ont.Terms())
+	}
+}
+
+func TestBridgeAccessors(t *testing.T) {
+	b := Bridge{From: ref("a.X"), Label: "Fn()", To: ref("b.Y")}
+	if !b.Functional() || b.FuncName() != "Fn" {
+		t.Fatalf("functional accessors wrong: %v", b)
+	}
+	si := Bridge{From: ref("a.X"), Label: BridgeLabel, To: ref("b.Y")}
+	if si.Functional() || si.FuncName() != "" {
+		t.Fatalf("SI accessors wrong: %v", si)
+	}
+	if !strings.Contains(b.String(), "Fn()") {
+		t.Fatalf("Bridge.String = %q", b.String())
+	}
+}
+
+func TestFuncRegistry(t *testing.T) {
+	r := NewFuncRegistry()
+	if err := r.Register("", nil); err == nil {
+		t.Fatalf("empty name accepted")
+	}
+	if err := r.Register("f", nil); err == nil {
+		t.Fatalf("nil func accepted")
+	}
+	if err := r.RegisterLinear("zero", "", 0, 0); err == nil {
+		t.Fatalf("zero factor accepted")
+	}
+	if err := r.RegisterLinear("c2f", "f2c", 9.0/5.0, 32); err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.Apply("c2f", 100)
+	if err != nil || f != 212 {
+		t.Fatalf("c2f(100) = (%v,%v)", f, err)
+	}
+	c, err := r.Apply("f2c", 212)
+	if err != nil || c != 100 {
+		t.Fatalf("f2c(212) = (%v,%v)", c, err)
+	}
+	if _, err := r.Apply("nope", 1); err == nil {
+		t.Fatalf("unregistered function applied")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "c2f" {
+		t.Fatalf("Names = %v", names)
+	}
+}

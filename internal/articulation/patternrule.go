@@ -1,0 +1,127 @@
+package articulation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/rules"
+)
+
+// PatternRule is the general articulation rule form of §4.1: "articulation
+// rules take the form P => Q where P, Q are complex graph patterns". The
+// LHS is a graph pattern matched into one source ontology; every matched
+// subject becomes the antecedent of an ordinary implication whose
+// consequent is the rule's RHS term. This is how an expert states rules
+// like "every factory class that carries a Price attribute is a
+// transport.PricedItem" without enumerating the classes.
+type PatternRule struct {
+	// LHS is matched into the source ontology named by LHS.Ont (which
+	// must be one of the articulation's sources).
+	LHS *pattern.Pattern
+	// Subject names the pattern variable whose image is the implying
+	// term; empty means the pattern's first node.
+	Subject string
+	// RHS is the implied term: an articulation term (created on demand)
+	// or a source term (namesake translation, as for simple rules).
+	RHS ontology.Ref
+	// Fn optionally makes every generated implication functional.
+	Fn string
+	// Opts tunes the match (fuzzy node/edge equivalences, §3).
+	Opts pattern.Options
+}
+
+// Validate checks structural sanity.
+func (pr PatternRule) Validate() error {
+	if pr.LHS == nil {
+		return fmt.Errorf("articulation: pattern rule without LHS")
+	}
+	if err := pr.LHS.Validate(); err != nil {
+		return err
+	}
+	if pr.LHS.Ont == "" {
+		return fmt.Errorf("articulation: pattern rule LHS must name its ontology")
+	}
+	if pr.RHS.Term == "" || pr.RHS.Ont == "" {
+		return fmt.Errorf("articulation: pattern rule needs a qualified RHS term")
+	}
+	if pr.Subject != "" {
+		found := false
+		for _, n := range pr.LHS.Nodes {
+			if n.Var == pr.Subject {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("articulation: pattern rule subject ?%s not bound by LHS", pr.Subject)
+		}
+	}
+	return nil
+}
+
+// Expand matches the rule's LHS into its source ontology and returns the
+// equivalent atomic term-level rules, sorted and deduplicated. The
+// articulation generator applies them exactly like hand-written rules, so
+// pattern rules compose with every other rule form.
+func (pr PatternRule) Expand(res ontology.Resolver) ([]rules.Rule, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	src, ok := res.Ontology(pr.LHS.Ont)
+	if !ok {
+		return nil, fmt.Errorf("articulation: pattern rule LHS references unknown ontology %q", pr.LHS.Ont)
+	}
+	matches, err := pattern.Find(src.Graph(), pr.LHS, pr.Opts)
+	if err != nil {
+		return nil, err
+	}
+	g := src.Graph()
+	seen := make(map[string]bool)
+	var out []rules.Rule
+	for _, m := range matches {
+		id := m.Nodes[0]
+		if pr.Subject != "" {
+			id = m.Bindings[pr.Subject]
+		}
+		term := g.Label(id)
+		if term == "" || seen[term] {
+			continue
+		}
+		seen[term] = true
+		r := rules.Implication(ontology.MakeRef(src.Name(), term), pr.RHS)
+		r.Fn = pr.Fn
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+// GenerateWithPatterns is Generate with additional pattern rules: each
+// pattern rule is expanded against the sources and the resulting atomic
+// rules are appended to the set before generation. The returned result's
+// rule set contains the expanded rules, so regeneration after source
+// churn re-applies them at their *expanded* state; call
+// GenerateWithPatterns again to re-expand against changed sources.
+func GenerateWithPatterns(artName string, o1, o2 *ontology.Ontology, set *rules.Set, patternRules []PatternRule, opts Options) (*Result, error) {
+	full := rules.NewSet()
+	if set != nil {
+		full.Add(set.Rules...)
+	}
+	resolver := ontology.MapResolver{}
+	if o1 != nil {
+		resolver[o1.Name()] = o1
+	}
+	if o2 != nil {
+		resolver[o2.Name()] = o2
+	}
+	for i, pr := range patternRules {
+		expanded, err := pr.Expand(resolver)
+		if err != nil {
+			return nil, fmt.Errorf("articulation: pattern rule %d: %w", i, err)
+		}
+		full.Add(expanded...)
+	}
+	return Generate(artName, o1, o2, full, opts)
+}

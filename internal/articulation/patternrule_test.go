@@ -1,0 +1,192 @@
+package articulation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/rules"
+)
+
+func TestPatternRuleExpandsOverAllMatches(t *testing.T) {
+	carrier, factory := twoSources(t)
+	// Every factory class that is (directly) a subclass of Vehicle
+	// semantically implies transport.VehicleKind.
+	pr := PatternRule{
+		LHS: &pattern.Pattern{
+			Ont:   "factory",
+			Nodes: []pattern.Node{{Var: "x"}, {Name: "Vehicle"}},
+			Edges: []pattern.Edge{{From: 0, Label: ontology.SubclassOf, To: 1}},
+		},
+		Subject: "x",
+		RHS:     ontology.MakeRef("transport", "VehicleKind"),
+	}
+	res, err := GenerateWithPatterns("transport", carrier, factory, nil, []PatternRule{pr}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := res.Art
+	if !art.Ont.HasTerm("VehicleKind") {
+		t.Fatalf("pattern rule did not create articulation term: %v", art.Ont.Terms())
+	}
+	// GoodsVehicle is the only direct subclass of Vehicle in the fixture.
+	if !art.HasBridge(ref("factory.GoodsVehicle"), BridgeLabel, ref("transport.VehicleKind")) {
+		t.Fatalf("pattern match bridge missing: %v", art.Bridges)
+	}
+	// Truck is a subclass of GoodsVehicle, not directly of Vehicle: the
+	// pattern is structural, not transitive.
+	if art.HasBridge(ref("factory.Truck"), BridgeLabel, ref("transport.VehicleKind")) {
+		t.Fatalf("pattern rule over-matched transitively")
+	}
+}
+
+func TestPatternRuleDefaultSubjectIsFirstNode(t *testing.T) {
+	carrier, factory := twoSources(t)
+	pr := PatternRule{
+		LHS: &pattern.Pattern{
+			Ont:   "carrier",
+			Nodes: []pattern.Node{{Var: "x"}, {Name: "Car"}},
+			Edges: []pattern.Edge{{From: 0, Label: ontology.SubclassOf, To: 1}},
+		},
+		RHS: ontology.MakeRef("transport", "CarKind"),
+	}
+	res, err := GenerateWithPatterns("transport", carrier, factory, nil, []PatternRule{pr}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Art.HasBridge(ref("carrier.Cars"), BridgeLabel, ref("transport.CarKind")) {
+		t.Fatalf("default-subject expansion missing: %v", res.Art.Bridges)
+	}
+}
+
+func TestPatternRuleCombinesWithTermRules(t *testing.T) {
+	carrier, factory := twoSources(t)
+	set := rules.NewSet(rules.MustParse("carrier.Car => factory.Vehicle"))
+	pr := PatternRule{
+		LHS: &pattern.Pattern{
+			Ont:   "factory",
+			Nodes: []pattern.Node{{Var: "x"}, {Name: "Vehicle"}},
+			Edges: []pattern.Edge{{From: 0, Label: ontology.SubclassOf, To: 1}},
+		},
+		Subject: "x",
+		RHS:     ontology.MakeRef("transport", "Vehicle"),
+	}
+	res, err := GenerateWithPatterns("transport", carrier, factory, set, []PatternRule{pr}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Term rule creates the namesake node; pattern rule adds the
+	// structural members into the same node.
+	if !res.Art.HasBridge(ref("carrier.Car"), BridgeLabel, ref("transport.Vehicle")) {
+		t.Fatalf("term rule lost")
+	}
+	if !res.Art.HasBridge(ref("factory.GoodsVehicle"), BridgeLabel, ref("transport.Vehicle")) {
+		t.Fatalf("pattern rule lost: %v", res.Art.Bridges)
+	}
+}
+
+func TestPatternRuleFunctional(t *testing.T) {
+	carrier, factory := twoSources(t)
+	pr := PatternRule{
+		LHS:     &pattern.Pattern{Ont: "carrier", Nodes: []pattern.Node{{Name: "Price"}}},
+		RHS:     ontology.MakeRef("transport", "Price"),
+		Fn:      "ToEuro",
+		Subject: "",
+	}
+	res, err := GenerateWithPatterns("transport", carrier, factory, nil, []PatternRule{pr}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Art.HasBridge(ref("carrier.Price"), "ToEuro()", ref("transport.Price")) {
+		t.Fatalf("functional pattern rule missing: %v", res.Art.Bridges)
+	}
+	if len(res.MissingFuncs) != 1 {
+		t.Fatalf("missing func not reported")
+	}
+}
+
+func TestPatternRuleValidation(t *testing.T) {
+	carrier, factory := twoSources(t)
+	cases := []PatternRule{
+		{}, // no LHS
+		{LHS: &pattern.Pattern{Nodes: []pattern.Node{{Name: "X"}}}, RHS: ref("t.X")},                                   // no Ont
+		{LHS: &pattern.Pattern{Ont: "carrier", Nodes: []pattern.Node{{Name: "X"}}}, RHS: ontology.Ref{}},               // no RHS
+		{LHS: &pattern.Pattern{Ont: "carrier", Nodes: []pattern.Node{{Name: "X"}}}, RHS: ref("t.X"), Subject: "ghost"}, // unbound subject
+		{LHS: &pattern.Pattern{Ont: "nowhere", Nodes: []pattern.Node{{Name: "X"}}}, RHS: ref("t.X")},                   // unknown ontology
+	}
+	for i, pr := range cases {
+		if _, err := GenerateWithPatterns("transport", carrier, factory, nil, []PatternRule{pr}, Options{}); err == nil {
+			t.Errorf("case %d: invalid pattern rule accepted", i)
+		}
+	}
+}
+
+func TestPatternRuleNoMatchesIsFine(t *testing.T) {
+	carrier, factory := twoSources(t)
+	pr := PatternRule{
+		LHS: &pattern.Pattern{Ont: "carrier", Nodes: []pattern.Node{{Name: "NoSuchTerm"}}},
+		RHS: ontology.MakeRef("transport", "X"),
+	}
+	res, err := GenerateWithPatterns("transport", carrier, factory, nil, []PatternRule{pr}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Art.Bridges) != 0 {
+		t.Fatalf("no-match pattern rule produced bridges")
+	}
+}
+
+func TestPatternRuleFuzzyMatching(t *testing.T) {
+	carrier, factory := twoSources(t)
+	// Fuzzy node equivalence: "Auto" matches "Car" via the option.
+	pr := PatternRule{
+		LHS: &pattern.Pattern{Ont: "carrier", Nodes: []pattern.Node{{Name: "Auto"}}},
+		RHS: ontology.MakeRef("transport", "Vehicle"),
+		Opts: pattern.Options{NodeEquiv: func(p, g string) bool {
+			return p == g || (p == "Auto" && g == "Car")
+		}},
+	}
+	res, err := GenerateWithPatterns("transport", carrier, factory, nil, []PatternRule{pr}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Art.HasBridge(ref("carrier.Car"), BridgeLabel, ref("transport.Vehicle")) {
+		t.Fatalf("fuzzy pattern rule missing: %v", res.Art.Bridges)
+	}
+}
+
+func TestPatternRuleExpandDeterministic(t *testing.T) {
+	carrier, factory := twoSources(t)
+	resolver := ontology.MapResolver{"carrier": carrier, "factory": factory}
+	pr := PatternRule{
+		LHS: &pattern.Pattern{
+			Ont:   "factory",
+			Nodes: []pattern.Node{{Var: "x"}, {Var: "y"}},
+			Edges: []pattern.Edge{{From: 0, Label: ontology.SubclassOf, To: 1}},
+		},
+		Subject: "x",
+		RHS:     ontology.MakeRef("transport", "Sub"),
+	}
+	a, err := pr.Expand(resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := pr.Expand(resolver)
+	if len(a) != len(b) {
+		t.Fatalf("expansion count unstable")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("expansion order unstable")
+		}
+	}
+	// Duplicate subjects collapse.
+	text := ""
+	for _, r := range a {
+		text += r.String() + "\n"
+	}
+	if strings.Count(text, "factory.Truck =>") != 1 {
+		t.Fatalf("duplicate subject rules: %s", text)
+	}
+}

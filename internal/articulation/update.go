@@ -1,0 +1,76 @@
+package articulation
+
+import (
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/rules"
+)
+
+// ChangeImpact classifies how a set of changed source terms affects an
+// articulation (§5.3: "If a change to a source ontology ... occurs in the
+// difference of O1 with other ontologies, no change needs to occur in any
+// of the articulation ontologies").
+type ChangeImpact struct {
+	// Affected lists the changed terms inside the articulation's coverage
+	// of their source; non-empty means the articulation must be
+	// regenerated (or patched).
+	Affected []string
+	// Unaffected lists the changed terms outside the coverage; changes to
+	// these are free — the sources remain independently maintainable.
+	Unaffected []string
+}
+
+// NeedsUpdate reports whether the articulation must change.
+func (c ChangeImpact) NeedsUpdate() bool { return len(c.Affected) > 0 }
+
+// AssessChange splits changed terms of the named source ontology into
+// articulation-affecting and free changes. A term affects the articulation
+// when it participates in a bridge or is mentioned by a rule (a rule
+// mention matters even without a bridge: the regenerated articulation
+// could differ, e.g. after the term's subclass relations changed).
+func (a *Articulation) AssessChange(ont string, changedTerms []string) ChangeImpact {
+	covered := make(map[string]bool)
+	for _, t := range a.Covers(ont) {
+		covered[t] = true
+	}
+	if a.Rules != nil {
+		for _, t := range a.Rules.SourceTerms(ont) {
+			covered[t] = true
+		}
+	}
+	var impact ChangeImpact
+	seen := make(map[string]bool, len(changedTerms))
+	for _, t := range changedTerms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if covered[t] {
+			impact.Affected = append(impact.Affected, t)
+		} else {
+			impact.Unaffected = append(impact.Unaffected, t)
+		}
+	}
+	sort.Strings(impact.Affected)
+	sort.Strings(impact.Unaffected)
+	return impact
+}
+
+// Regenerate rebuilds the articulation against the current state of its
+// sources using the stored rule set, preserving name, function registry
+// and options. Rules that no longer resolve (their terms were deleted)
+// are skipped and reported — the paper's deletion primitives exist
+// precisely for "updating the articulation in response to changes in the
+// underlying ontologies" (§3).
+func (a *Articulation) Regenerate(o1, o2 *ontology.Ontology, opts Options) (*Result, error) {
+	if opts.Funcs == nil {
+		opts.Funcs = a.Funcs
+	}
+	opts.Lenient = true
+	set := a.Rules
+	if set == nil {
+		set = rules.NewSet()
+	}
+	return Generate(a.Ont.Name(), o1, o2, set, opts)
+}

@@ -1,0 +1,367 @@
+// Package core is the ONION data layer (EDBT 2000, §2, Fig. 1): the
+// registry that "manages the ontology representations, the articulations
+// and the rule sets involved and the rules required for query processing",
+// and the entry point that wires the other components together — wrappers
+// feed ontologies in, SKAT proposes articulation rules, the articulation
+// engine materialises articulations, the algebra composes ontologies, and
+// the query system answers articulation-level queries against the sources.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/articulation"
+	"repro/internal/inference"
+	"repro/internal/kb"
+	"repro/internal/lexicon"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/skat"
+	"repro/internal/wrapper"
+)
+
+// System is one ONION instance: a set of registered source ontologies,
+// their knowledge bases, and the articulations generated between them.
+// Articulation ontologies are registered as ordinary sources, so they
+// compose: an articulation can be articulated with a further source
+// (§4.2). A System is not safe for concurrent mutation; wrap it if
+// several goroutines register or articulate concurrently.
+type System struct {
+	ontologies map[string]*ontology.Ontology
+	kbs        map[string]*kb.Store
+	arts       map[string]*articulation.Articulation
+	lex        *lexicon.Lexicon
+}
+
+// NewSystem returns an empty system using the embedded default lexicon
+// for SKAT suggestions.
+func NewSystem() *System {
+	return &System{
+		ontologies: make(map[string]*ontology.Ontology),
+		kbs:        make(map[string]*kb.Store),
+		arts:       make(map[string]*articulation.Articulation),
+		lex:        lexicon.DefaultLexicon(),
+	}
+}
+
+// SetLexicon replaces the semantic lexicon used for suggestions.
+func (s *System) SetLexicon(l *lexicon.Lexicon) { s.lex = l }
+
+// Lexicon returns the system's semantic lexicon.
+func (s *System) Lexicon() *lexicon.Lexicon { return s.lex }
+
+// Register adds a source ontology. Names must be unique.
+func (s *System) Register(o *ontology.Ontology) error {
+	if o == nil {
+		return fmt.Errorf("core: nil ontology")
+	}
+	if err := o.Validate(); err != nil {
+		return fmt.Errorf("core: register %s: %w", o.Name(), err)
+	}
+	if _, dup := s.ontologies[o.Name()]; dup {
+		return fmt.Errorf("core: ontology %q already registered", o.Name())
+	}
+	s.ontologies[o.Name()] = o
+	return nil
+}
+
+// RegisterKB attaches a knowledge base to a registered ontology of the
+// same name.
+func (s *System) RegisterKB(store *kb.Store) error {
+	if store == nil {
+		return fmt.Errorf("core: nil knowledge base")
+	}
+	if _, ok := s.ontologies[store.Name()]; !ok {
+		return fmt.Errorf("core: knowledge base %q has no registered ontology", store.Name())
+	}
+	s.kbs[store.Name()] = store
+	return nil
+}
+
+// Load reads an ontology from r in the given wrapper format and registers
+// it. A non-empty name overrides the name carried by the document.
+func (s *System) Load(r io.Reader, f wrapper.Format, name string) (*ontology.Ontology, error) {
+	o, err := wrapper.Read(r, f)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		o.SetName(name)
+	}
+	if err := s.Register(o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Ontology implements ontology.Resolver over the registry.
+func (s *System) Ontology(name string) (*ontology.Ontology, bool) {
+	o, ok := s.ontologies[name]
+	return o, ok
+}
+
+// KB returns the knowledge base attached to an ontology, if any.
+func (s *System) KB(name string) (*kb.Store, bool) {
+	st, ok := s.kbs[name]
+	return st, ok
+}
+
+// Ontologies lists registered ontology names, sorted.
+func (s *System) Ontologies() []string {
+	out := make([]string, 0, len(s.ontologies))
+	for n := range s.ontologies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Articulations lists registered articulation names, sorted.
+func (s *System) Articulations() []string {
+	out := make([]string, 0, len(s.arts))
+	for n := range s.arts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Articulation returns a registered articulation.
+func (s *System) Articulation(name string) (*articulation.Articulation, bool) {
+	a, ok := s.arts[name]
+	return a, ok
+}
+
+// Drop removes an ontology "from further consideration" (§2.2), along
+// with its knowledge base. Articulations referring to it stay registered
+// but will fail validation until regenerated. Dropping an articulation
+// ontology also unregisters the articulation.
+func (s *System) Drop(name string) bool {
+	if _, ok := s.ontologies[name]; !ok {
+		return false
+	}
+	delete(s.ontologies, name)
+	delete(s.kbs, name)
+	delete(s.arts, name)
+	return true
+}
+
+// Suggest runs SKAT over two registered ontologies. The system's lexicon
+// is used unless cfg provides one.
+func (s *System) Suggest(o1, o2 string, cfg skat.Config) ([]skat.Suggestion, error) {
+	a, b, err := s.pair(o1, o2)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = s.lex
+	}
+	return skat.Propose(a, b, cfg), nil
+}
+
+// RunSession drives the SKAT expert loop over two registered ontologies.
+func (s *System) RunSession(o1, o2 string, cfg skat.Config, expert skat.Expert) (*rules.Set, skat.SessionStats, error) {
+	a, b, err := s.pair(o1, o2)
+	if err != nil {
+		return nil, skat.SessionStats{}, err
+	}
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = s.lex
+	}
+	set, stats := skat.RunSession(a, b, cfg, expert)
+	return set, stats, nil
+}
+
+// InferRules derives additional simple articulation rules from a rule set
+// and the sources' class structure (§2.4: the inference engine "derive[s]
+// more rules if possible"; the expert reviews before accepting).
+func (s *System) InferRules(o1, o2 string, set *rules.Set) ([]articulation.DerivedRule, error) {
+	a, b, err := s.pair(o1, o2)
+	if err != nil {
+		return nil, err
+	}
+	return articulation.InferRules(a, b, set)
+}
+
+// Articulate generates and registers the articulation artName between two
+// registered ontologies. The articulation ontology itself is registered
+// as a source, so it can be articulated further (§4.2).
+func (s *System) Articulate(artName, o1, o2 string, set *rules.Set, opts articulation.Options) (*articulation.Result, error) {
+	a, b, err := s.pair(o1, o2)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := s.ontologies[artName]; dup {
+		return nil, fmt.Errorf("core: articulation name %q collides with a registered ontology", artName)
+	}
+	res, err := articulation.Generate(artName, a, b, set, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Art.Validate(s); err != nil {
+		return nil, err
+	}
+	s.arts[artName] = res.Art
+	s.ontologies[artName] = res.Art.Ont
+	return res, nil
+}
+
+// Union computes the unified ontology over a registered articulation.
+func (s *System) Union(artName string) (*algebra.UnionResult, error) {
+	art, a, b, err := s.artSources(artName)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.UnionWith(a, b, art, algebra.Options{})
+}
+
+// Intersection returns (a clone of) the articulation ontology — the
+// paper's O1 ∩rules O2 (§5.2).
+func (s *System) Intersection(artName string) (*ontology.Ontology, error) {
+	art, _, _, err := s.artSources(artName)
+	if err != nil {
+		return nil, err
+	}
+	return art.Ont.Clone(), nil
+}
+
+// Difference computes O1 −rules O2 over a registered articulation; swap
+// reverses the operand order.
+func (s *System) Difference(artName string, swap bool, mode algebra.DiffMode) (*ontology.Ontology, error) {
+	art, a, b, err := s.artSources(artName)
+	if err != nil {
+		return nil, err
+	}
+	if swap {
+		a, b = b, a
+	}
+	return algebra.DifferenceWith(a, b, art, algebra.Options{DiffMode: mode})
+}
+
+// QueryEngine builds a query engine over a registered articulation, its
+// two sources and their knowledge bases.
+func (s *System) QueryEngine(artName string) (*query.Engine, error) {
+	art, a, b, err := s.artSources(artName)
+	if err != nil {
+		return nil, err
+	}
+	sources := map[string]*query.Source{
+		a.Name(): {Ont: a, KB: s.kbs[a.Name()]},
+		b.Name(): {Ont: b, KB: s.kbs[b.Name()]},
+	}
+	return query.NewEngine(art, sources)
+}
+
+// Query parses and executes a query against a registered articulation.
+func (s *System) Query(artName, text string) (*query.Result, error) {
+	e, err := s.QueryEngine(artName)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Explain reformulates a query against a registered articulation without
+// executing it, returning the per-triple, per-source scan plan.
+func (s *System) Explain(artName, text string) (*query.Plan, error) {
+	e, err := s.QueryEngine(artName)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Explain(q)
+}
+
+// Infer expands a registered ontology with the consequences of its
+// relationship property declarations (via the semi-naive Horn engine) and
+// returns the number of edges added.
+func (s *System) Infer(ontName string) (int, error) {
+	o, ok := s.ontologies[ontName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown ontology %q", ontName)
+	}
+	eng, err := inference.New(inference.ClausesFromRelations(o)...)
+	if err != nil {
+		return 0, err
+	}
+	eng.AddGraph(o.Graph())
+	eng.Run()
+	applied, _ := inference.ApplyDerived(o, eng.Derived())
+	return applied, nil
+}
+
+// AssessChange reports how changed terms of a source affect a registered
+// articulation (§5.3 maintenance).
+func (s *System) AssessChange(artName, ontName string, changed []string) (articulation.ChangeImpact, error) {
+	art, ok := s.arts[artName]
+	if !ok {
+		return articulation.ChangeImpact{}, fmt.Errorf("core: unknown articulation %q", artName)
+	}
+	return art.AssessChange(ontName, changed), nil
+}
+
+// Regenerate rebuilds a registered articulation against the current state
+// of its sources (after source churn).
+func (s *System) Regenerate(artName string, opts articulation.Options) (*articulation.Result, error) {
+	art, a, b, err := s.artSources(artName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := art.Regenerate(a, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.arts[artName] = res.Art
+	s.ontologies[artName] = res.Art.Ont
+	return res, nil
+}
+
+// Validate checks every registered ontology and articulation.
+func (s *System) Validate() error {
+	for _, name := range s.Ontologies() {
+		if err := s.ontologies[name].Validate(); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.Articulations() {
+		if err := s.arts[name].Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) pair(o1, o2 string) (*ontology.Ontology, *ontology.Ontology, error) {
+	a, ok := s.ontologies[o1]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown ontology %q", o1)
+	}
+	b, ok := s.ontologies[o2]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown ontology %q", o2)
+	}
+	return a, b, nil
+}
+
+func (s *System) artSources(artName string) (*articulation.Articulation, *ontology.Ontology, *ontology.Ontology, error) {
+	art, ok := s.arts[artName]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("core: unknown articulation %q", artName)
+	}
+	a, b, err := s.pair(art.Sources[0], art.Sources[1])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return art, a, b, nil
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/articulation"
+	"repro/internal/fixtures"
+	"repro/internal/ontology"
+	"repro/internal/skat"
+	"repro/internal/wrapper"
+)
+
+// paperSystem registers the Fig. 2 world and articulates it.
+func paperSystem(t testing.TB) *System {
+	t.Helper()
+	s := NewSystem()
+	if err := s.Register(fixtures.Carrier()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(fixtures.Factory()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterKB(fixtures.CarrierKB()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterKB(fixtures.FactoryKB()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Articulate(fixtures.ArtName, "carrier", "factory", fixtures.TransportRules(), fixtures.GenOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewSystem()
+	if err := s.Register(nil); err == nil {
+		t.Fatalf("nil ontology accepted")
+	}
+	if err := s.Register(fixtures.Carrier()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(fixtures.Carrier()); err == nil {
+		t.Fatalf("duplicate registration accepted")
+	}
+	bad := ontology.New("bad")
+	bad.Graph().AddNode("X")
+	bad.Graph().AddNode("X")
+	if err := s.Register(bad); err == nil {
+		t.Fatalf("inconsistent ontology accepted")
+	}
+}
+
+func TestRegisterKBRequiresOntology(t *testing.T) {
+	s := NewSystem()
+	if err := s.RegisterKB(fixtures.CarrierKB()); err == nil {
+		t.Fatalf("orphan KB accepted")
+	}
+	if err := s.RegisterKB(nil); err == nil {
+		t.Fatalf("nil KB accepted")
+	}
+}
+
+func TestLoadFromWrapper(t *testing.T) {
+	s := NewSystem()
+	doc := "ontology loaded\nnode A\nnode B\nedge A SubclassOf B\n"
+	o, err := s.Load(strings.NewReader(doc), wrapper.FormatAdjacency, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "loaded" || !o.Related("A", ontology.SubclassOf, "B") {
+		t.Fatalf("loaded ontology wrong: %s", o)
+	}
+	if _, ok := s.Ontology("loaded"); !ok {
+		t.Fatalf("loaded ontology not registered")
+	}
+	// Name override.
+	if _, err := s.Load(strings.NewReader(doc), wrapper.FormatAdjacency, "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Ontology("renamed"); !ok {
+		t.Fatalf("override name not applied")
+	}
+}
+
+func TestArticulateRegistersComposableOntology(t *testing.T) {
+	s := paperSystem(t)
+	if _, ok := s.Articulation("transport"); !ok {
+		t.Fatalf("articulation not registered")
+	}
+	// The articulation ontology is itself a registered source...
+	if _, ok := s.Ontology("transport"); !ok {
+		t.Fatalf("articulation ontology not registered as source")
+	}
+	// ...so it composes with a third ontology (§4.2).
+	office := ontology.New("office")
+	office.MustAddTerm("Fleet")
+	office.MustAddTerm("Asset")
+	office.MustRelate("Fleet", ontology.SubclassOf, "Asset")
+	if err := s.Register(office); err != nil {
+		t.Fatal(err)
+	}
+	set, err := parseRuleSet("transport.Vehicle => office.Fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Articulate("corp", "transport", "office", set, articulation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Art.Ont.HasTerm("Fleet") {
+		t.Fatalf("second-level articulation wrong: %v", res.Art.Ont.Terms())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("system invalid after composition: %v", err)
+	}
+}
+
+func TestArticulateNameCollision(t *testing.T) {
+	s := paperSystem(t)
+	if _, err := s.Articulate("carrier", "carrier", "factory", nil, articulation.Options{}); err == nil {
+		t.Fatalf("articulation name colliding with ontology accepted")
+	}
+	if _, err := s.Articulate("x", "carrier", "ghost", nil, articulation.Options{}); err == nil {
+		t.Fatalf("unknown source accepted")
+	}
+}
+
+func TestSystemAlgebra(t *testing.T) {
+	s := paperSystem(t)
+	u, err := s.Union("transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Ont.NumTerms() == 0 || len(u.Art.Bridges) == 0 {
+		t.Fatalf("union empty")
+	}
+	inter, err := s.Intersection("transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inter.HasTerm("Vehicle") {
+		t.Fatalf("intersection missing Vehicle")
+	}
+	diff, err := s.Difference("transport", false, algebra.DiffFormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.HasTerm("Cars") {
+		t.Fatalf("difference kept determined term")
+	}
+	rdiff, err := s.Difference("transport", true, algebra.DiffFormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rdiff.HasTerm("Factory") {
+		t.Fatalf("reverse difference lost factory-only term")
+	}
+	if _, err := s.Union("nope"); err == nil {
+		t.Fatalf("unknown articulation accepted")
+	}
+}
+
+func TestSystemQuery(t *testing.T) {
+	s := paperSystem(t)
+	res, err := s.Query("transport", "SELECT ?x WHERE ?x InstanceOf Vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("query rows = %v", res.Rows)
+	}
+	if _, err := s.Query("transport", "garbage"); err == nil {
+		t.Fatalf("bad query accepted")
+	}
+	if _, err := s.Query("nope", "SELECT ?x WHERE ?x a b"); err == nil {
+		t.Fatalf("unknown articulation accepted")
+	}
+}
+
+func TestSystemSuggestAndSession(t *testing.T) {
+	s := paperSystem(t)
+	ss, err := s.Suggest("carrier", "factory", skat.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) == 0 {
+		t.Fatalf("no suggestions")
+	}
+	// The system's lexicon is injected by default: Cars/Vehicle needs it.
+	found := false
+	for _, sg := range ss {
+		if sg.Left.Term == "Cars" && sg.Right.Term == "Vehicle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("default lexicon not applied: %v", ss)
+	}
+	set, stats, err := s.RunSession("carrier", "factory", skat.Config{}, skat.ThresholdExpert{AcceptAt: 0.9, MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted == 0 || set.Len() == 0 {
+		t.Fatalf("session accepted nothing")
+	}
+	if _, err := s.Suggest("carrier", "ghost", skat.Config{}); err == nil {
+		t.Fatalf("unknown ontology accepted")
+	}
+}
+
+func TestSystemInferRules(t *testing.T) {
+	s := paperSystem(t)
+	set, err := parseRuleSet("carrier.Cars => factory.Vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := s.InferRules("carrier", "factory", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range derived {
+		if d.Rule.String() == "carrier.PassengerCar => factory.Vehicle" {
+			found = true
+			if len(d.Support) == 0 {
+				t.Fatalf("derived rule without support")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected derivation missing: %v", derived)
+	}
+	if _, err := s.InferRules("carrier", "ghost", set); err == nil {
+		t.Fatalf("unknown ontology accepted")
+	}
+}
+
+func TestSystemInfer(t *testing.T) {
+	s := NewSystem()
+	o := ontology.New("chain")
+	o.MustAddTerm("A")
+	o.MustAddTerm("B")
+	o.MustAddTerm("C")
+	o.MustRelate("A", ontology.SubclassOf, "B")
+	o.MustRelate("B", ontology.SubclassOf, "C")
+	if err := s.Register(o); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Infer("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !o.Related("A", ontology.SubclassOf, "C") {
+		t.Fatalf("Infer added %d, A->C present=%v", n, o.Related("A", ontology.SubclassOf, "C"))
+	}
+	if _, err := s.Infer("ghost"); err == nil {
+		t.Fatalf("unknown ontology accepted")
+	}
+}
+
+func TestSystemMaintenanceFlow(t *testing.T) {
+	s := paperSystem(t)
+	impact, err := s.AssessChange("transport", "carrier", []string{"Cars", "Model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impact.NeedsUpdate() || len(impact.Unaffected) != 1 {
+		t.Fatalf("impact = %+v", impact)
+	}
+	// Source churn: remove an articulated term and regenerate leniently.
+	carrier, _ := s.Ontology("carrier")
+	carrier.RemoveTerm("PassengerCar")
+	res, err := s.Regenerate("transport", fixtures.GenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skipped) == 0 {
+		t.Fatalf("regeneration should skip the PassengerCar rule")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("system invalid after regeneration: %v", err)
+	}
+	if _, err := s.AssessChange("ghost", "carrier", nil); err == nil {
+		t.Fatalf("unknown articulation accepted")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := paperSystem(t)
+	if !s.Drop("transport") {
+		t.Fatalf("drop failed")
+	}
+	if _, ok := s.Articulation("transport"); ok {
+		t.Fatalf("articulation survived drop")
+	}
+	if s.Drop("transport") {
+		t.Fatalf("second drop succeeded")
+	}
+	names := s.Ontologies()
+	if len(names) != 2 {
+		t.Fatalf("Ontologies = %v", names)
+	}
+}
+
+func TestListings(t *testing.T) {
+	s := paperSystem(t)
+	if got := s.Ontologies(); len(got) != 3 { // carrier, factory, transport
+		t.Fatalf("Ontologies = %v", got)
+	}
+	if got := s.Articulations(); len(got) != 1 || got[0] != "transport" {
+		t.Fatalf("Articulations = %v", got)
+	}
+	if _, ok := s.KB("carrier"); !ok {
+		t.Fatalf("carrier KB missing")
+	}
+	if _, ok := s.KB("transport"); ok {
+		t.Fatalf("transport should have no KB")
+	}
+}

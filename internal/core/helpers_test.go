@@ -1,0 +1,7 @@
+package core
+
+import "repro/internal/rules"
+
+func parseRuleSet(text string) (*rules.Set, error) {
+	return rules.ParseSetString(text)
+}

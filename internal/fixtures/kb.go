@@ -1,0 +1,35 @@
+package fixtures
+
+import "repro/internal/kb"
+
+// CarrierKB builds instance data beneath the carrier ontology: vehicles
+// with prices in pounds sterling (the metric space the functional rules
+// normalise away from).
+func CarrierKB() *kb.Store {
+	s := kb.New("carrier")
+	s.MustAdd("MyCar", "InstanceOf", kb.Term("PassengerCar"))
+	s.MustAdd("MyCar", "Price", kb.Number(2000))
+	s.MustAdd("MyCar", "Owner", kb.String("Alice"))
+	s.MustAdd("MyCar", "Model", kb.String("T"))
+	s.MustAdd("Suv9", "InstanceOf", kb.Term("SUV"))
+	s.MustAdd("Suv9", "Price", kb.Number(5000))
+	s.MustAdd("Suv9", "Owner", kb.String("Bob"))
+	s.MustAdd("Rig1", "InstanceOf", kb.Term("Trucks"))
+	s.MustAdd("Rig1", "Price", kb.Number(12500))
+	s.MustAdd("Rig1", "Model", kb.String("Heavy8"))
+	return s
+}
+
+// FactoryKB builds instance data beneath the factory ontology: vehicles
+// with prices in Dutch guilders.
+func FactoryKB() *kb.Store {
+	s := kb.New("factory")
+	s.MustAdd("Truck77", "InstanceOf", kb.Term("Truck"))
+	s.MustAdd("Truck77", "Price", kb.Number(44074.2)) // 20_000 EUR
+	s.MustAdd("Truck77", "Weight", kb.Number(3500))
+	s.MustAdd("Wagon3", "InstanceOf", kb.Term("GoodsVehicle"))
+	s.MustAdd("Wagon3", "Price", kb.Number(22037.1)) // 10_000 EUR
+	s.MustAdd("BuyerCo", "InstanceOf", kb.Term("Buyer"))
+	s.MustAdd("BuyerCo", "buysFrom", kb.Term("Factory"))
+	return s
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DOTOptions control Graphviz export.
+type DOTOptions struct {
+	// Highlight contains nodes drawn with a distinct style (the viewer uses
+	// this for articulation-ontology nodes).
+	Highlight map[NodeID]bool
+	// EdgeStyles maps an edge label to a Graphviz style attribute value
+	// (e.g. "dashed" for SIBridge edges).
+	EdgeStyles map[string]string
+	// RankDir sets the layout direction; empty means Graphviz's default.
+	RankDir string
+}
+
+// WriteDOT renders the graph in Graphviz DOT syntax. Output is
+// deterministic. The ONION viewer substitute (cmd/onion) uses this for
+// visual inspection of ontologies and articulations.
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", dotID(g.name))
+	if opts.RankDir != "" {
+		fmt.Fprintf(&b, "  rankdir=%s;\n", opts.RankDir)
+	}
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, id := range g.Nodes() {
+		attrs := fmt.Sprintf("label=%q", g.Label(id))
+		if opts.Highlight[id] {
+			attrs += ", style=filled, fillcolor=lightgrey"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", id, attrs)
+	}
+	for _, e := range g.Edges() {
+		attrs := fmt.Sprintf("label=%q", e.Label)
+		if style, ok := opts.EdgeStyles[e.Label]; ok {
+			attrs += fmt.Sprintf(", style=%s", style)
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.From, e.To, attrs)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DOT returns the Graphviz rendering as a string.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	_ = g.WriteDOT(&sb, DOTOptions{})
+	return sb.String()
+}
+
+func dotID(s string) string {
+	if s == "" {
+		return "G"
+	}
+	clean := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			clean = append(clean, r)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	if clean[0] >= '0' && clean[0] <= '9' {
+		clean = append([]rune{'_'}, clean...)
+	}
+	return string(clean)
+}
+
+// String renders a deterministic, human-readable dump: one line per node
+// (sorted by label, then id) followed by one line per labeled edge triple.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s (%d nodes, %d edges)\n", g.name, g.NumNodes(), g.NumEdges())
+
+	type nl struct {
+		label string
+		id    NodeID
+	}
+	nodes := make([]nl, 0, g.NumNodes())
+	for _, id := range g.Nodes() {
+		nodes = append(nodes, nl{g.Label(id), id})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].label != nodes[j].label {
+			return nodes[i].label < nodes[j].label
+		}
+		return nodes[i].id < nodes[j].id
+	})
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  node %s\n", n.label)
+	}
+	for _, t := range g.labelTriples() {
+		fmt.Fprintf(&b, "  edge %s -[%s]-> %s\n", t.from, t.label, t.to)
+	}
+	return b.String()
+}
+
+// Stats summarises a graph for reporting.
+type Stats struct {
+	Nodes      int
+	Edges      int
+	EdgeLabels int
+	Components int
+	MaxOutDeg  int
+	MaxInDeg   int
+}
+
+// ComputeStats gathers Stats in one pass plus a component sweep.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		EdgeLabels: len(g.EdgeLabels()),
+		Components: len(g.ConnectedComponents()),
+	}
+	for id := range g.labels {
+		if d := len(g.out[id]); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if d := len(g.in[id]); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+	}
+	return s
+}

@@ -1,0 +1,587 @@
+// Package graph implements the directed labeled graph model that underlies
+// ONION ontologies (Mitra, Wiederhold, Kersten; EDBT 2000, §3).
+//
+// An ontology O is represented by a directed labeled graph G = (N, E): N is
+// a finite set of labeled nodes and E a finite set of labeled edges. The
+// node-label function λ maps every node to a non-empty string (usually a
+// noun phrase naming a concept); the edge-label function δ maps every edge
+// to a string naming a semantic relationship or a natural-language verb.
+//
+// The package is deliberately more permissive than a consistent ontology:
+// it is a multigraph and it allows duplicate node labels, so that higher
+// layers (the articulation generator in particular) can stage intermediate
+// states. Package ontology layers consistency checking on top.
+//
+// All exported iteration orders are deterministic: node sets are sorted by
+// id, edge sets by (From, Label, To). This keeps tests, benchmarks and DOT
+// output reproducible.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a single Graph. IDs are assigned densely
+// from 1 and are never reused, even after deletion, so that stale IDs can be
+// detected. The zero value is invalid.
+type NodeID int
+
+// Invalid is the zero NodeID; no node ever has it.
+const Invalid NodeID = 0
+
+// Edge is a directed labeled edge (n1, α, n2) as written in the paper.
+// Edges are values: two edges are the same edge iff all three fields match.
+type Edge struct {
+	From  NodeID
+	Label string
+	To    NodeID
+}
+
+// String renders the edge in the paper's (from, label, to) notation.
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d,%q,%d)", e.From, e.Label, e.To)
+}
+
+// HalfEdge describes an edge relative to an implicit anchor node, used by
+// the NA (node addition) primitive which accepts a node together with its
+// adjacent edges.
+type HalfEdge struct {
+	Label string
+	Other NodeID
+	// Out reports the direction: true means anchor→Other, false Other→anchor.
+	Out bool
+}
+
+// Graph is a mutable directed labeled multigraph. The zero value is not
+// ready to use; call New.
+type Graph struct {
+	name    string
+	labels  map[NodeID]string
+	byLabel map[string][]NodeID
+	out     map[NodeID][]Edge
+	in      map[NodeID][]Edge
+	edges   map[Edge]struct{}
+	nextID  NodeID
+}
+
+// New returns an empty graph. The name is carried through clones and
+// appears in error messages and exports; it typically names the ontology.
+func New(name string) *Graph {
+	return &Graph{
+		name:    name,
+		labels:  make(map[NodeID]string),
+		byLabel: make(map[string][]NodeID),
+		out:     make(map[NodeID][]Edge),
+		in:      make(map[NodeID][]Edge),
+		edges:   make(map[Edge]struct{}),
+		nextID:  1,
+	}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// SetName renames the graph.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// NumNodes returns the number of nodes currently in the graph.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns the number of distinct edges currently in the graph.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode adds a fresh node carrying label and returns its id. Duplicate
+// labels are allowed at this layer. An empty label is rejected because λ
+// must map into non-null strings (§3); callers get Invalid back.
+func (g *Graph) AddNode(label string) NodeID {
+	if label == "" {
+		return Invalid
+	}
+	id := g.nextID
+	g.nextID++
+	g.labels[id] = label
+	g.byLabel[label] = append(g.byLabel[label], id)
+	return id
+}
+
+// addNodeWithID registers a node under a caller-chosen id. It is used to
+// undo an ND transform, which must restore the deleted node under its
+// original id so that recorded incident edges remain valid.
+func (g *Graph) addNodeWithID(id NodeID, label string) error {
+	if label == "" {
+		return fmt.Errorf("graph %s: restore node %d: empty label", g.name, id)
+	}
+	if id == Invalid {
+		return fmt.Errorf("graph %s: restore: invalid id", g.name)
+	}
+	if _, exists := g.labels[id]; exists {
+		return fmt.Errorf("graph %s: restore node %d: id in use", g.name, id)
+	}
+	g.labels[id] = label
+	g.byLabel[label] = append(g.byLabel[label], id)
+	if id >= g.nextID {
+		g.nextID = id + 1
+	}
+	return nil
+}
+
+// AddNodeWithEdges is the NA primitive (§3): it adds node N with label and
+// the given adjacent edges in one operation. Edges referring to unknown
+// neighbours are reported as an error after the node itself (and any valid
+// edges) have been added.
+func (g *Graph) AddNodeWithEdges(label string, adj []HalfEdge) (NodeID, error) {
+	id := g.AddNode(label)
+	if id == Invalid {
+		return Invalid, fmt.Errorf("graph %s: NA: empty node label", g.name)
+	}
+	var firstErr error
+	for _, h := range adj {
+		e := Edge{From: id, Label: h.Label, To: h.Other}
+		if !h.Out {
+			e = Edge{From: h.Other, Label: h.Label, To: id}
+		}
+		if err := g.AddEdge(e.From, e.Label, e.To); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("graph %s: NA %q: %w", g.name, label, err)
+		}
+	}
+	return id, firstErr
+}
+
+// DeleteNode is the ND primitive (§3): it removes the node and every edge
+// incident with it. It reports whether the node existed.
+func (g *Graph) DeleteNode(id NodeID) bool {
+	label, ok := g.labels[id]
+	if !ok {
+		return false
+	}
+	for _, e := range g.out[id] {
+		delete(g.edges, e)
+		g.in[e.To] = removeEdge(g.in[e.To], e)
+	}
+	for _, e := range g.in[id] {
+		delete(g.edges, e)
+		g.out[e.From] = removeEdge(g.out[e.From], e)
+	}
+	delete(g.out, id)
+	delete(g.in, id)
+	delete(g.labels, id)
+	g.byLabel[label] = removeID(g.byLabel[label], id)
+	if len(g.byLabel[label]) == 0 {
+		delete(g.byLabel, label)
+	}
+	return true
+}
+
+// AddEdge is the single-edge form of the EA primitive (§3). Both endpoints
+// must exist; the edge label may be empty (relationships are sometimes
+// anonymous during staging, though ontologies reject that later). Adding an
+// edge that is already present is a no-op.
+func (g *Graph) AddEdge(from NodeID, label string, to NodeID) error {
+	if _, ok := g.labels[from]; !ok {
+		return fmt.Errorf("graph %s: EA: unknown source node %d", g.name, from)
+	}
+	if _, ok := g.labels[to]; !ok {
+		return fmt.Errorf("graph %s: EA: unknown target node %d", g.name, to)
+	}
+	e := Edge{From: from, Label: label, To: to}
+	if _, dup := g.edges[e]; dup {
+		return nil
+	}
+	g.edges[e] = struct{}{}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	return nil
+}
+
+// AddEdges is the EA primitive over an edge set: EA[G, SE] yields
+// E' = E ∪ SE. It stops at the first endpoint error and reports it.
+func (g *Graph) AddEdges(es []Edge) error {
+	for _, e := range es {
+		if err := g.AddEdge(e.From, e.Label, e.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteEdge is the single-edge form of the ED primitive (§3). It reports
+// whether the edge was present.
+func (g *Graph) DeleteEdge(e Edge) bool {
+	if _, ok := g.edges[e]; !ok {
+		return false
+	}
+	delete(g.edges, e)
+	g.out[e.From] = removeEdge(g.out[e.From], e)
+	g.in[e.To] = removeEdge(g.in[e.To], e)
+	return true
+}
+
+// DeleteEdges is the ED primitive over an edge set: E' = E − SE. It returns
+// the number of edges actually removed.
+func (g *Graph) DeleteEdges(es []Edge) int {
+	n := 0
+	for _, e := range es {
+		if g.DeleteEdge(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// HasNode reports whether id names a live node.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.labels[id]
+	return ok
+}
+
+// HasEdge reports whether the exact edge (from, label, to) is present.
+func (g *Graph) HasEdge(from NodeID, label string, to NodeID) bool {
+	_, ok := g.edges[Edge{From: from, Label: label, To: to}]
+	return ok
+}
+
+// HasEdgeAnyLabel reports whether any edge from→to exists regardless of label.
+func (g *Graph) HasEdgeAnyLabel(from, to NodeID) bool {
+	for _, e := range g.out[from] {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Label returns λ(id), or "" if the node does not exist.
+func (g *Graph) Label(id NodeID) string { return g.labels[id] }
+
+// SetLabel relabels a node. It fails on unknown nodes and empty labels.
+// The paper's viewer uses this when the expert overrides the default label
+// of a conjunction/disjunction node (§4.1).
+func (g *Graph) SetLabel(id NodeID, label string) error {
+	old, ok := g.labels[id]
+	if !ok {
+		return fmt.Errorf("graph %s: relabel: unknown node %d", g.name, id)
+	}
+	if label == "" {
+		return fmt.Errorf("graph %s: relabel node %d: empty label", g.name, id)
+	}
+	if old == label {
+		return nil
+	}
+	g.labels[id] = label
+	g.byLabel[old] = removeID(g.byLabel[old], id)
+	if len(g.byLabel[old]) == 0 {
+		delete(g.byLabel, old)
+	}
+	g.byLabel[label] = append(g.byLabel[label], id)
+	return nil
+}
+
+// NodeByLabel returns the unique node carrying label. If no node or more
+// than one node carries it, it returns (Invalid, false); use NodesByLabel
+// when duplicates are expected.
+func (g *Graph) NodeByLabel(label string) (NodeID, bool) {
+	ids := g.byLabel[label]
+	if len(ids) != 1 {
+		return Invalid, false
+	}
+	return ids[0], true
+}
+
+// AnyNodeByLabel returns the lowest-id node carrying label, if any.
+func (g *Graph) AnyNodeByLabel(label string) (NodeID, bool) {
+	ids := g.byLabel[label]
+	if len(ids) == 0 {
+		return Invalid, false
+	}
+	min := ids[0]
+	for _, id := range ids[1:] {
+		if id < min {
+			min = id
+		}
+	}
+	return min, true
+}
+
+// NodesByLabel returns all nodes carrying label, sorted by id.
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	ids := append([]NodeID(nil), g.byLabel[label]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EnsureNode returns the unique node labelled label, creating it if absent.
+// It fails if the label is ambiguous (present on several nodes).
+func (g *Graph) EnsureNode(label string) (NodeID, error) {
+	switch ids := g.byLabel[label]; len(ids) {
+	case 0:
+		id := g.AddNode(label)
+		if id == Invalid {
+			return Invalid, fmt.Errorf("graph %s: ensure: empty label", g.name)
+		}
+		return id, nil
+	case 1:
+		return ids[0], nil
+	default:
+		return Invalid, fmt.Errorf("graph %s: ensure %q: label is ambiguous (%d nodes)", g.name, label, len(ids))
+	}
+}
+
+// Nodes returns all node ids in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(g.labels))
+	for id := range g.labels {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Labels returns the multiset of node labels in sorted order.
+func (g *Graph) Labels() []string {
+	ls := make([]string, 0, len(g.labels))
+	for _, l := range g.labels {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// Edges returns every edge, sorted by (From, Label, To).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		es = append(es, e)
+	}
+	SortEdges(es)
+	return es
+}
+
+// OutEdges returns the edges leaving id, sorted by (Label, To).
+func (g *Graph) OutEdges(id NodeID) []Edge {
+	es := append([]Edge(nil), g.out[id]...)
+	SortEdges(es)
+	return es
+}
+
+// InEdges returns the edges entering id, sorted by (From, Label).
+func (g *Graph) InEdges(id NodeID) []Edge {
+	es := append([]Edge(nil), g.in[id]...)
+	SortEdges(es)
+	return es
+}
+
+// OutDegree returns the number of edges leaving id.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.out[id]) }
+
+// InDegree returns the number of edges entering id.
+func (g *Graph) InDegree(id NodeID) int { return len(g.in[id]) }
+
+// Degree returns OutDegree + InDegree.
+func (g *Graph) Degree(id NodeID) int { return len(g.out[id]) + len(g.in[id]) }
+
+// EdgeLabels returns the sorted set of distinct edge labels in use.
+func (g *Graph) EdgeLabels() []string {
+	set := make(map[string]struct{})
+	for e := range g.edges {
+		set[e.Label] = struct{}{}
+	}
+	ls := make([]string, 0, len(set))
+	for l := range set {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// EdgesWithLabel returns every edge carrying label, sorted.
+func (g *Graph) EdgesWithLabel(label string) []Edge {
+	var es []Edge
+	for e := range g.edges {
+		if e.Label == label {
+			es = append(es, e)
+		}
+	}
+	SortEdges(es)
+	return es
+}
+
+// Clone returns a deep copy sharing no mutable state with g. Node ids are
+// preserved, so ids obtained from g remain valid against the clone.
+func (g *Graph) Clone() *Graph {
+	c := New(g.name)
+	c.nextID = g.nextID
+	for id, l := range g.labels {
+		c.labels[id] = l
+		c.byLabel[l] = append(c.byLabel[l], id)
+	}
+	for e := range g.edges {
+		c.edges[e] = struct{}{}
+		c.out[e.From] = append(c.out[e.From], e)
+		c.in[e.To] = append(c.in[e.To], e)
+	}
+	return c
+}
+
+// InducedSubgraph returns a new graph containing exactly the given nodes
+// (unknown ids are ignored) and every edge of g whose endpoints both
+// survive. Node ids are preserved.
+func (g *Graph) InducedSubgraph(keep []NodeID) *Graph {
+	s := New(g.name)
+	s.nextID = g.nextID
+	in := make(map[NodeID]bool, len(keep))
+	for _, id := range keep {
+		if l, ok := g.labels[id]; ok && !in[id] {
+			in[id] = true
+			s.labels[id] = l
+			s.byLabel[l] = append(s.byLabel[l], id)
+		}
+	}
+	for e := range g.edges {
+		if in[e.From] && in[e.To] {
+			s.edges[e] = struct{}{}
+			s.out[e.From] = append(s.out[e.From], e)
+			s.in[e.To] = append(s.in[e.To], e)
+		}
+	}
+	return s
+}
+
+// EqualByLabels reports whether g and h describe the same labeled graph up
+// to node identity: the same multiset of node labels and the same multiset
+// of (fromLabel, edgeLabel, toLabel) triples. For consistent ontologies
+// (unique labels) this is exact graph equality modulo node ids.
+func (g *Graph) EqualByLabels(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	gl, hl := g.Labels(), h.Labels()
+	for i := range gl {
+		if gl[i] != hl[i] {
+			return false
+		}
+	}
+	gt, ht := g.labelTriples(), h.labelTriples()
+	for i := range gt {
+		if gt[i] != ht[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type triple struct{ from, label, to string }
+
+func (g *Graph) labelTriples() []triple {
+	ts := make([]triple, 0, len(g.edges))
+	for e := range g.edges {
+		ts = append(ts, triple{g.labels[e.From], e.Label, g.labels[e.To]})
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return a.to < b.to
+	})
+	return ts
+}
+
+// Validate checks internal invariants (index consistency). It is cheap
+// relative to graph size and is used by property-based tests; production
+// callers may use it after bulk imports.
+func (g *Graph) Validate() error {
+	for id, l := range g.labels {
+		if l == "" {
+			return fmt.Errorf("graph %s: node %d has empty label", g.name, id)
+		}
+		if !containsID(g.byLabel[l], id) {
+			return fmt.Errorf("graph %s: node %d missing from label index %q", g.name, id, l)
+		}
+	}
+	for l, ids := range g.byLabel {
+		for _, id := range ids {
+			if g.labels[id] != l {
+				return fmt.Errorf("graph %s: label index %q lists node %d with label %q", g.name, l, id, g.labels[id])
+			}
+		}
+	}
+	nOut, nIn := 0, 0
+	for id, es := range g.out {
+		for _, e := range es {
+			nOut++
+			if e.From != id {
+				return fmt.Errorf("graph %s: out index of %d holds foreign edge %v", g.name, id, e)
+			}
+			if _, ok := g.edges[e]; !ok {
+				return fmt.Errorf("graph %s: out index holds phantom edge %v", g.name, e)
+			}
+		}
+	}
+	for id, es := range g.in {
+		for _, e := range es {
+			nIn++
+			if e.To != id {
+				return fmt.Errorf("graph %s: in index of %d holds foreign edge %v", g.name, id, e)
+			}
+			if _, ok := g.edges[e]; !ok {
+				return fmt.Errorf("graph %s: in index holds phantom edge %v", g.name, e)
+			}
+		}
+	}
+	if nOut != len(g.edges) || nIn != len(g.edges) {
+		return fmt.Errorf("graph %s: index cardinality mismatch: %d edges, %d out, %d in", g.name, len(g.edges), nOut, nIn)
+	}
+	for e := range g.edges {
+		if !g.HasNode(e.From) || !g.HasNode(e.To) {
+			return fmt.Errorf("graph %s: dangling edge %v", g.name, e)
+		}
+	}
+	return nil
+}
+
+// SortEdges sorts a slice of edges by (From, Label, To) in place.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.To < b.To
+	})
+}
+
+func removeEdge(es []Edge, e Edge) []Edge {
+	for i := range es {
+		if es[i] == e {
+			es[i] = es[len(es)-1]
+			return es[:len(es)-1]
+		}
+	}
+	return es
+}
+
+func removeID(ids []NodeID, id NodeID) []NodeID {
+	for i := range ids {
+		if ids[i] == id {
+			ids[i] = ids[len(ids)-1]
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}
+
+func containsID(ids []NodeID, id NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

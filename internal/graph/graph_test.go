@@ -1,0 +1,423 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCarrier constructs a fragment of the paper's carrier ontology for
+// use across tests.
+func buildCarrier(t testing.TB) (*Graph, map[string]NodeID) {
+	t.Helper()
+	g := New("carrier")
+	ids := make(map[string]NodeID)
+	for _, l := range []string{"Transportation", "Cars", "Trucks", "PassengerCar", "SUV", "MyCar", "Driver", "Price", "Owner", "Model"} {
+		ids[l] = g.AddNode(l)
+	}
+	edges := []struct{ from, label, to string }{
+		{"Cars", "SubclassOf", "Transportation"},
+		{"Trucks", "SubclassOf", "Transportation"},
+		{"PassengerCar", "SubclassOf", "Cars"},
+		{"SUV", "SubclassOf", "Cars"},
+		{"MyCar", "InstanceOf", "PassengerCar"},
+		{"Cars", "AttributeOf", "Price"},
+		{"Cars", "AttributeOf", "Owner"},
+		{"Trucks", "AttributeOf", "Model"},
+		{"Cars", "drivenBy", "Driver"},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(ids[e.from], e.label, ids[e.to]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g, ids
+}
+
+func TestAddNodeAssignsDistinctIDs(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	if a == Invalid || b == Invalid {
+		t.Fatalf("AddNode returned Invalid for non-empty labels")
+	}
+	if a == b {
+		t.Fatalf("AddNode returned duplicate id %d", a)
+	}
+	if g.Label(a) != "A" || g.Label(b) != "B" {
+		t.Fatalf("labels misassigned: %q %q", g.Label(a), g.Label(b))
+	}
+}
+
+func TestAddNodeRejectsEmptyLabel(t *testing.T) {
+	g := New("t")
+	if id := g.AddNode(""); id != Invalid {
+		t.Fatalf("AddNode(\"\") = %d, want Invalid", id)
+	}
+	if g.NumNodes() != 0 {
+		t.Fatalf("empty-label node was stored")
+	}
+}
+
+func TestAddNodeAllowsDuplicateLabels(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("X")
+	b := g.AddNode("X")
+	if a == b {
+		t.Fatalf("duplicate-label nodes share id")
+	}
+	if got := g.NodesByLabel("X"); len(got) != 2 {
+		t.Fatalf("NodesByLabel = %v, want 2 nodes", got)
+	}
+	if _, ok := g.NodeByLabel("X"); ok {
+		t.Fatalf("NodeByLabel should refuse ambiguous label")
+	}
+	if id, ok := g.AnyNodeByLabel("X"); !ok || id != a {
+		t.Fatalf("AnyNodeByLabel = (%d,%v), want lowest id %d", id, ok, a)
+	}
+}
+
+func TestAddEdgeRequiresEndpoints(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("A")
+	if err := g.AddEdge(a, "rel", NodeID(99)); err == nil {
+		t.Fatalf("AddEdge with unknown target succeeded")
+	}
+	if err := g.AddEdge(NodeID(99), "rel", a); err == nil {
+		t.Fatalf("AddEdge with unknown source succeeded")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("failed AddEdge left %d edges", g.NumEdges())
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New("t")
+	a, b := g.AddNode("A"), g.AddNode("B")
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(a, "rel", b); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edge stored: %d edges", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after duplicate adds: %v", err)
+	}
+}
+
+func TestMultigraphDistinctLabelsBetweenSamePair(t *testing.T) {
+	g := New("t")
+	a, b := g.AddNode("A"), g.AddNode("B")
+	mustAdd(t, g, a, "rel1", b)
+	mustAdd(t, g, a, "rel2", b)
+	if g.NumEdges() != 2 {
+		t.Fatalf("want 2 parallel edges, got %d", g.NumEdges())
+	}
+	if !g.HasEdge(a, "rel1", b) || !g.HasEdge(a, "rel2", b) {
+		t.Fatalf("parallel edges not both present")
+	}
+	if !g.HasEdgeAnyLabel(a, b) || g.HasEdgeAnyLabel(b, a) {
+		t.Fatalf("HasEdgeAnyLabel direction wrong")
+	}
+}
+
+func TestDeleteNodeRemovesIncidentEdges(t *testing.T) {
+	g, ids := buildCarrier(t)
+	before := g.NumEdges()
+	if !g.DeleteNode(ids["Cars"]) {
+		t.Fatalf("DeleteNode(Cars) = false")
+	}
+	// Cars participates in 6 edges in the fixture.
+	if got := before - g.NumEdges(); got != 6 {
+		t.Fatalf("DeleteNode removed %d edges, want 6", got)
+	}
+	if g.HasNode(ids["Cars"]) {
+		t.Fatalf("deleted node still present")
+	}
+	if _, ok := g.NodeByLabel("Cars"); ok {
+		t.Fatalf("label index still resolves deleted node")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after delete: %v", err)
+	}
+}
+
+func TestDeleteNodeUnknown(t *testing.T) {
+	g := New("t")
+	if g.DeleteNode(NodeID(7)) {
+		t.Fatalf("DeleteNode of unknown id returned true")
+	}
+}
+
+func TestDeleteEdge(t *testing.T) {
+	g, ids := buildCarrier(t)
+	e := Edge{From: ids["Cars"], Label: "SubclassOf", To: ids["Transportation"]}
+	if !g.DeleteEdge(e) {
+		t.Fatalf("DeleteEdge of present edge returned false")
+	}
+	if g.DeleteEdge(e) {
+		t.Fatalf("DeleteEdge of absent edge returned true")
+	}
+	if g.HasEdge(e.From, e.Label, e.To) {
+		t.Fatalf("edge survives deletion")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after edge delete: %v", err)
+	}
+}
+
+func TestDeleteEdgesCountsRemovals(t *testing.T) {
+	g, ids := buildCarrier(t)
+	es := []Edge{
+		{From: ids["Cars"], Label: "SubclassOf", To: ids["Transportation"]},
+		{From: ids["Cars"], Label: "SubclassOf", To: ids["Transportation"]}, // dup
+		{From: ids["SUV"], Label: "SubclassOf", To: ids["Cars"]},
+	}
+	if n := g.DeleteEdges(es); n != 2 {
+		t.Fatalf("DeleteEdges removed %d, want 2", n)
+	}
+}
+
+func TestAddNodeWithEdges(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	id, err := g.AddNodeWithEdges("N", []HalfEdge{
+		{Label: "to", Other: a, Out: true},
+		{Label: "from", Other: b, Out: false},
+	})
+	if err != nil {
+		t.Fatalf("AddNodeWithEdges: %v", err)
+	}
+	if !g.HasEdge(id, "to", a) {
+		t.Fatalf("outgoing half-edge missing")
+	}
+	if !g.HasEdge(b, "from", id) {
+		t.Fatalf("incoming half-edge missing")
+	}
+}
+
+func TestAddNodeWithEdgesReportsBadNeighbour(t *testing.T) {
+	g := New("t")
+	id, err := g.AddNodeWithEdges("N", []HalfEdge{{Label: "to", Other: NodeID(42), Out: true}})
+	if err == nil {
+		t.Fatalf("expected error for unknown neighbour")
+	}
+	if !g.HasNode(id) {
+		t.Fatalf("node itself should still be added")
+	}
+}
+
+func TestSetLabel(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("Old")
+	if err := g.SetLabel(a, "New"); err != nil {
+		t.Fatalf("SetLabel: %v", err)
+	}
+	if _, ok := g.NodeByLabel("Old"); ok {
+		t.Fatalf("old label still indexed")
+	}
+	if id, ok := g.NodeByLabel("New"); !ok || id != a {
+		t.Fatalf("new label not indexed")
+	}
+	if err := g.SetLabel(a, ""); err == nil {
+		t.Fatalf("SetLabel accepted empty label")
+	}
+	if err := g.SetLabel(NodeID(99), "X"); err == nil {
+		t.Fatalf("SetLabel accepted unknown node")
+	}
+	if err := g.SetLabel(a, "New"); err != nil {
+		t.Fatalf("SetLabel to same label should be a no-op: %v", err)
+	}
+}
+
+func TestEnsureNode(t *testing.T) {
+	g := New("t")
+	a, err := g.EnsureNode("X")
+	if err != nil {
+		t.Fatalf("EnsureNode create: %v", err)
+	}
+	b, err := g.EnsureNode("X")
+	if err != nil || b != a {
+		t.Fatalf("EnsureNode reuse = (%d,%v), want (%d,nil)", b, err, a)
+	}
+	g.AddNode("X") // force ambiguity
+	if _, err := g.EnsureNode("X"); err == nil {
+		t.Fatalf("EnsureNode on ambiguous label should fail")
+	}
+	if _, err := g.EnsureNode(""); err == nil {
+		t.Fatalf("EnsureNode on empty label should fail")
+	}
+}
+
+func TestEdgesSortedDeterministically(t *testing.T) {
+	g, _ := buildCarrier(t)
+	es1 := g.Edges()
+	es2 := g.Edges()
+	if len(es1) != len(es2) {
+		t.Fatalf("Edges length unstable")
+	}
+	for i := range es1 {
+		if es1[i] != es2[i] {
+			t.Fatalf("Edges order unstable at %d: %v vs %v", i, es1[i], es2[i])
+		}
+	}
+	for i := 1; i < len(es1); i++ {
+		a, b := es1[i-1], es1[i]
+		if a.From > b.From || (a.From == b.From && a.Label > b.Label) ||
+			(a.From == b.From && a.Label == b.Label && a.To > b.To) {
+			t.Fatalf("Edges not sorted at %d: %v before %v", i, a, b)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g, ids := buildCarrier(t)
+	c := g.Clone()
+	if !g.EqualByLabels(c) {
+		t.Fatalf("clone differs from original")
+	}
+	// Ids remain valid in the clone.
+	if c.Label(ids["Cars"]) != "Cars" {
+		t.Fatalf("clone lost node id mapping")
+	}
+	// Mutating the clone must not affect the original.
+	c.DeleteNode(ids["Cars"])
+	if !g.HasNode(ids["Cars"]) {
+		t.Fatalf("clone mutation leaked into original")
+	}
+	// New nodes in the clone must not collide with original ids.
+	n := c.AddNode("Fresh")
+	if g.HasNode(n) {
+		t.Fatalf("clone id collides with original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone Validate: %v", err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g, ids := buildCarrier(t)
+	s := g.InducedSubgraph([]NodeID{ids["Cars"], ids["Transportation"], ids["Price"], ids["Cars"]})
+	if s.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d, want 3 (dups ignored)", s.NumNodes())
+	}
+	if !s.HasEdge(ids["Cars"], "SubclassOf", ids["Transportation"]) {
+		t.Fatalf("internal edge dropped")
+	}
+	if !s.HasEdge(ids["Cars"], "AttributeOf", ids["Price"]) {
+		t.Fatalf("attribute edge dropped")
+	}
+	if s.NumEdges() != 2 {
+		t.Fatalf("subgraph edges = %d, want 2", s.NumEdges())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("subgraph Validate: %v", err)
+	}
+}
+
+func TestEqualByLabelsDetectsDifferences(t *testing.T) {
+	g1 := New("a")
+	x1, y1 := g1.AddNode("X"), g1.AddNode("Y")
+	mustAdd(t, g1, x1, "r", y1)
+
+	g2 := New("b")
+	y2, x2 := g2.AddNode("Y"), g2.AddNode("X") // different insertion order
+	mustAdd(t, g2, x2, "r", y2)
+
+	if !g1.EqualByLabels(g2) {
+		t.Fatalf("label-isomorphic graphs reported unequal")
+	}
+	mustAdd(t, g2, y2, "r", x2)
+	if g1.EqualByLabels(g2) {
+		t.Fatalf("graphs with different edges reported equal")
+	}
+}
+
+func TestEdgeLabelQueries(t *testing.T) {
+	g, _ := buildCarrier(t)
+	labels := g.EdgeLabels()
+	want := []string{"AttributeOf", "InstanceOf", "SubclassOf", "drivenBy"}
+	if len(labels) != len(want) {
+		t.Fatalf("EdgeLabels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("EdgeLabels = %v, want %v", labels, want)
+		}
+	}
+	if got := len(g.EdgesWithLabel("SubclassOf")); got != 4 {
+		t.Fatalf("EdgesWithLabel(SubclassOf) = %d, want 4", got)
+	}
+	if got := g.EdgesWithLabel("nope"); got != nil {
+		t.Fatalf("EdgesWithLabel(nope) = %v, want nil", got)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g, ids := buildCarrier(t)
+	if d := g.OutDegree(ids["Cars"]); d != 4 {
+		t.Fatalf("OutDegree(Cars) = %d, want 4", d)
+	}
+	if d := g.InDegree(ids["Cars"]); d != 2 {
+		t.Fatalf("InDegree(Cars) = %d, want 2", d)
+	}
+	if d := g.Degree(ids["Cars"]); d != 6 {
+		t.Fatalf("Degree(Cars) = %d, want 6", d)
+	}
+}
+
+func TestStringDumpIsStable(t *testing.T) {
+	g, _ := buildCarrier(t)
+	s1, s2 := g.String(), g.String()
+	if s1 != s2 {
+		t.Fatalf("String() unstable")
+	}
+	if !strings.Contains(s1, "edge Cars -[SubclassOf]-> Transportation") {
+		t.Fatalf("String() missing expected edge line:\n%s", s1)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, ids := buildCarrier(t)
+	var sb strings.Builder
+	err := g.WriteDOT(&sb, DOTOptions{
+		Highlight:  map[NodeID]bool{ids["Cars"]: true},
+		EdgeStyles: map[string]string{"SubclassOf": "bold"},
+		RankDir:    "BT",
+	})
+	if err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph carrier", "rankdir=BT", "fillcolor=lightgrey", "style=bold", `label="Cars"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g, _ := buildCarrier(t)
+	s := g.ComputeStats()
+	if s.Nodes != 10 || s.Edges != 9 {
+		t.Fatalf("Stats = %+v, want 10 nodes / 9 edges", s)
+	}
+	if s.EdgeLabels != 4 {
+		t.Fatalf("Stats.EdgeLabels = %d, want 4", s.EdgeLabels)
+	}
+	if s.MaxOutDeg != 4 {
+		t.Fatalf("Stats.MaxOutDeg = %d, want 4", s.MaxOutDeg)
+	}
+	if s.Components != 1 {
+		t.Fatalf("Stats.Components = %d, want 1", s.Components)
+	}
+}
+
+func mustAdd(t testing.TB, g *Graph, from NodeID, label string, to NodeID) {
+	t.Helper()
+	if err := g.AddEdge(from, label, to); err != nil {
+		t.Fatalf("AddEdge(%d,%s,%d): %v", from, label, to, err)
+	}
+}

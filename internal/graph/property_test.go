@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a pseudo-random graph from a seed: n nodes labelled
+// L0..L{n-1} and m random edges over a small label alphabet.
+func randomGraph(seed int64, n, m int) (*Graph, []NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("rand")
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddNode(labelFor(i))
+	}
+	labels := []string{"S", "A", "I", "r"}
+	for i := 0; i < m; i++ {
+		from := ids[rng.Intn(n)]
+		to := ids[rng.Intn(n)]
+		_ = g.AddEdge(from, labels[rng.Intn(len(labels))], to)
+	}
+	return g, ids
+}
+
+func labelFor(i int) string {
+	const alpha = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	s := ""
+	for {
+		s = string(alpha[i%26]) + s
+		i /= 26
+		if i == 0 {
+			return s
+		}
+	}
+}
+
+// Property: after any random construction the structural invariants hold.
+func TestQuickValidateRandomGraphs(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%40 + 1
+		m := int(m8) % 120
+		g, _ := randomGraph(seed, n, m)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is structurally equal and independently mutable.
+func TestQuickCloneEquality(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%30 + 1
+		m := int(m8) % 90
+		g, ids := randomGraph(seed, n, m)
+		c := g.Clone()
+		if !g.EqualByLabels(c) {
+			return false
+		}
+		c.DeleteNode(ids[0])
+		return g.HasNode(ids[0]) && c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deleting every node empties the graph completely.
+func TestQuickDeleteAllNodes(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%30 + 1
+		m := int(m8) % 90
+		g, ids := randomGraph(seed, n, m)
+		for _, id := range ids {
+			g.DeleteNode(id)
+		}
+		return g.NumNodes() == 0 && g.NumEdges() == 0 && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transitive closure is a fixpoint (applying twice adds nothing)
+// and never removes reachability.
+func TestQuickTransitiveClosureFixpoint(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%20 + 2
+		m := int(m8) % 60
+		g, _ := randomGraph(seed, n, m)
+		g.CloseTransitive("S")
+		return len(g.TransitiveClosure("S")) == 0 && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after closure, every 2-hop S-path has a direct S-edge.
+func TestQuickClosureCoversTwoHops(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%15 + 2
+		m := int(m8) % 45
+		g, _ := randomGraph(seed, n, m)
+		g.CloseTransitive("S")
+		for _, e1 := range g.EdgesWithLabel("S") {
+			for _, e2 := range g.OutEdges(e1.To) {
+				if e2.Label != "S" || e1.From == e2.To {
+					continue
+				}
+				if !g.HasEdge(e1.From, "S", e2.To) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random journal session undone in full restores the graph.
+func TestQuickJournalRoundTrip(t *testing.T) {
+	f := func(seed int64, n8, m8, ops8 uint8) bool {
+		n := int(n8)%20 + 2
+		m := int(m8) % 60
+		ops := int(ops8) % 25
+		g, _ := randomGraph(seed, n, m)
+		snapshot := g.Clone()
+		j := NewJournal(g)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for i := 0; i < ops; i++ {
+			nodes := g.Nodes()
+			if len(nodes) == 0 {
+				break
+			}
+			pick := func() NodeID { return nodes[rng.Intn(len(nodes))] }
+			switch rng.Intn(4) {
+			case 0:
+				if _, err := j.Apply(NodeAdd(labelFor(1000 + i))); err != nil {
+					return false
+				}
+			case 1:
+				if _, err := j.Apply(NodeDelete(pick())); err != nil {
+					return false
+				}
+			case 2:
+				if _, err := j.Apply(EdgeAdd(Edge{From: pick(), Label: "S", To: pick()})); err != nil {
+					return false
+				}
+			case 3:
+				es := g.Edges()
+				if len(es) == 0 {
+					continue
+				}
+				if _, err := j.Apply(EdgeDelete(es[rng.Intn(len(es))])); err != nil {
+					return false
+				}
+			}
+		}
+		j.UndoAll()
+		return g.EqualByLabels(snapshot) && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopoSort succeeds exactly when FindCycle finds nothing.
+func TestQuickTopoSortIffAcyclic(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%15 + 2
+		m := int(m8) % 45
+		g, _ := randomGraph(seed, n, m)
+		_, ok := g.TopoSort("S")
+		cyc := g.FindCycle("S")
+		return ok == (cyc == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reachability is monotone under edge addition.
+func TestQuickReachabilityMonotone(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%15 + 3
+		m := int(m8) % 30
+		g, ids := randomGraph(seed, n, m)
+		before := len(g.Reachable(ids[0], nil))
+		_ = g.AddEdge(ids[0], "r", ids[n-1])
+		after := len(g.Reachable(ids[0], nil))
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

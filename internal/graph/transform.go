@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op names one of the paper's four graph transformation primitives (§3).
+type Op uint8
+
+// The four primitives: node addition, node deletion, edge addition and
+// edge deletion.
+const (
+	OpNodeAdd Op = iota + 1
+	OpNodeDelete
+	OpEdgeAdd
+	OpEdgeDelete
+)
+
+// String returns the paper's abbreviation for the primitive.
+func (op Op) String() string {
+	switch op {
+	case OpNodeAdd:
+		return "NA"
+	case OpNodeDelete:
+		return "ND"
+	case OpEdgeAdd:
+		return "EA"
+	case OpEdgeDelete:
+		return "ED"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// Transform is one reified graph transformation. Reifying the primitives
+// (rather than only exposing methods) lets the articulation generator emit
+// a transformation script, lets tests assert on the exact operations a rule
+// produces, and lets the maintenance machinery replay or undo source-
+// ontology changes (§4, §5.3).
+type Transform struct {
+	Op    Op
+	Node  NodeID // node affected by NA/ND (output for NA)
+	Label string // node label for NA/ND
+	Edges []Edge // adjacent edges for NA/ND; the edge set for EA/ED
+}
+
+// String renders the transform in a compact script form.
+func (t Transform) String() string {
+	var b strings.Builder
+	b.WriteString(t.Op.String())
+	switch t.Op {
+	case OpNodeAdd, OpNodeDelete:
+		fmt.Fprintf(&b, "[%q", t.Label)
+		for _, e := range t.Edges {
+			fmt.Fprintf(&b, ", %s", e)
+		}
+		b.WriteString("]")
+	case OpEdgeAdd, OpEdgeDelete:
+		b.WriteString("[")
+		for i, e := range t.Edges {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// NodeAdd builds an NA transform adding a node with the given label and
+// adjacent edges. Within Edges, use Invalid as the placeholder for the new
+// node's id; Apply substitutes the freshly assigned id.
+func NodeAdd(label string, adjacent ...Edge) Transform {
+	return Transform{Op: OpNodeAdd, Label: label, Edges: adjacent}
+}
+
+// NodeDelete builds an ND transform removing node id.
+func NodeDelete(id NodeID) Transform {
+	return Transform{Op: OpNodeDelete, Node: id}
+}
+
+// EdgeAdd builds an EA transform adding the given edge set.
+func EdgeAdd(edges ...Edge) Transform {
+	return Transform{Op: OpEdgeAdd, Edges: edges}
+}
+
+// EdgeDelete builds an ED transform removing the given edge set.
+func EdgeDelete(edges ...Edge) Transform {
+	return Transform{Op: OpEdgeDelete, Edges: edges}
+}
+
+// Apply executes the transform against g and returns the inverse transform
+// that undoes it. For NA the returned Transform carries the new node's id
+// in Node. Applying an EA of already-present edges is a no-op whose inverse
+// deletes nothing (the inverse only contains edges actually added).
+func (t Transform) Apply(g *Graph) (inverse Transform, err error) {
+	switch t.Op {
+	case OpNodeAdd:
+		var id NodeID
+		if t.Node != Invalid {
+			// Restore under a specific id (undo of ND).
+			if err := g.addNodeWithID(t.Node, t.Label); err != nil {
+				return Transform{}, err
+			}
+			id = t.Node
+		} else {
+			id = g.AddNode(t.Label)
+			if id == Invalid {
+				return Transform{}, fmt.Errorf("graph %s: NA: empty node label", g.Name())
+			}
+		}
+		var added []Edge
+		for _, e := range t.Edges {
+			if e.From == Invalid {
+				e.From = id
+			}
+			if e.To == Invalid {
+				e.To = id
+			}
+			if g.HasEdge(e.From, e.Label, e.To) {
+				continue
+			}
+			if err := g.AddEdge(e.From, e.Label, e.To); err != nil {
+				return Transform{}, fmt.Errorf("NA %q: %w", t.Label, err)
+			}
+			added = append(added, e)
+		}
+		// Deleting the node removes its incident edges too; edges between
+		// pre-existing nodes would not be removed by ND, but NA only adds
+		// edges adjacent to the new node, so ND is a complete inverse.
+		return Transform{Op: OpNodeDelete, Node: id, Label: t.Label, Edges: added}, nil
+
+	case OpNodeDelete:
+		label := g.Label(t.Node)
+		if label == "" {
+			return Transform{}, fmt.Errorf("graph %s: ND: unknown node %d", g.Name(), t.Node)
+		}
+		incident := append(g.OutEdges(t.Node), g.InEdges(t.Node)...)
+		g.DeleteNode(t.Node)
+		return Transform{Op: OpNodeAdd, Node: t.Node, Label: label, Edges: incident}, nil
+
+	case OpEdgeAdd:
+		var added []Edge
+		for _, e := range t.Edges {
+			if g.HasEdge(e.From, e.Label, e.To) {
+				continue
+			}
+			if err := g.AddEdge(e.From, e.Label, e.To); err != nil {
+				// Roll back partial application so EA is atomic.
+				g.DeleteEdges(added)
+				return Transform{}, err
+			}
+			added = append(added, e)
+		}
+		return Transform{Op: OpEdgeDelete, Edges: added}, nil
+
+	case OpEdgeDelete:
+		var removed []Edge
+		for _, e := range t.Edges {
+			if g.DeleteEdge(e) {
+				removed = append(removed, e)
+			}
+		}
+		return Transform{Op: OpEdgeAdd, Edges: removed}, nil
+
+	default:
+		return Transform{}, fmt.Errorf("graph %s: unknown transform op %d", g.Name(), t.Op)
+	}
+}
+
+// Journal records applied transforms against one graph and can undo them in
+// LIFO order. It is the substrate for "updating the articulation in
+// response to changes in the underlying ontologies" (§3): source churn is
+// applied through a Journal, and the affected region is computed from the
+// recorded operations.
+type Journal struct {
+	g        *Graph
+	applied  []Transform // forward ops, in application order
+	inverses []Transform // matching inverse ops
+}
+
+// NewJournal returns a journal bound to g.
+func NewJournal(g *Graph) *Journal { return &Journal{g: g} }
+
+// Apply executes t against the journal's graph and records it. For NA, the
+// assigned node id is returned via the recorded inverse and the returned
+// transform's Node field.
+func (j *Journal) Apply(t Transform) (Transform, error) {
+	inv, err := t.Apply(j.g)
+	if err != nil {
+		return Transform{}, err
+	}
+	if t.Op == OpNodeAdd {
+		t.Node = inv.Node
+	}
+	j.applied = append(j.applied, t)
+	j.inverses = append(j.inverses, inv)
+	return t, nil
+}
+
+// Len returns the number of recorded transforms.
+func (j *Journal) Len() int { return len(j.applied) }
+
+// Applied returns the recorded forward transforms in application order.
+// The slice is a copy.
+func (j *Journal) Applied() []Transform {
+	return append([]Transform(nil), j.applied...)
+}
+
+// Undo reverts the most recent transform. It reports false when the journal
+// is empty.
+func (j *Journal) Undo() bool {
+	n := len(j.inverses)
+	if n == 0 {
+		return false
+	}
+	inv := j.inverses[n-1]
+	// Inverses of successfully applied transforms cannot fail: ND of the
+	// node NA created, NA restoring a deleted node, EA/ED of known edges.
+	if _, err := inv.Apply(j.g); err != nil {
+		// Defensive: surface via panic in tests; production graphs cannot
+		// reach this unless mutated behind the journal's back.
+		panic(fmt.Sprintf("graph: journal undo failed: %v", err))
+	}
+	j.applied = j.applied[:n-1]
+	j.inverses = j.inverses[:n-1]
+	return true
+}
+
+// UndoAll reverts every recorded transform, newest first, and returns the
+// number undone.
+func (j *Journal) UndoAll() int {
+	n := 0
+	for j.Undo() {
+		n++
+	}
+	return n
+}
+
+// TouchedNodes returns the ids of all nodes referenced by recorded
+// transforms (added, deleted, or edge endpoints), sorted. The maintenance
+// machinery intersects this set with the articulation coverage to decide
+// whether an articulation must be regenerated (§5.3).
+func (j *Journal) TouchedNodes() []NodeID {
+	set := make(map[NodeID]struct{})
+	for _, t := range j.applied {
+		switch t.Op {
+		case OpNodeAdd, OpNodeDelete:
+			if t.Node != Invalid {
+				set[t.Node] = struct{}{}
+			}
+		}
+		for _, e := range t.Edges {
+			if e.From != Invalid {
+				set[e.From] = struct{}{}
+			}
+			if e.To != Invalid {
+				set[e.To] = struct{}{}
+			}
+		}
+	}
+	ids := make([]NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	return ids
+}
+
+func sortNodeIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

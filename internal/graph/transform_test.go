@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransformNodeAddApplyAndInverse(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("A")
+	tr := NodeAdd("N", Edge{From: Invalid, Label: "rel", To: a})
+	inv, err := tr.Apply(g)
+	if err != nil {
+		t.Fatalf("Apply NA: %v", err)
+	}
+	id := inv.Node
+	if !g.HasNode(id) || g.Label(id) != "N" {
+		t.Fatalf("NA did not add node")
+	}
+	if !g.HasEdge(id, "rel", a) {
+		t.Fatalf("NA did not substitute placeholder id in edge")
+	}
+	if _, err := inv.Apply(g); err != nil {
+		t.Fatalf("Apply inverse: %v", err)
+	}
+	if g.HasNode(id) || g.NumEdges() != 0 {
+		t.Fatalf("inverse did not restore graph")
+	}
+}
+
+func TestTransformNodeDeleteInverseRestoresEdges(t *testing.T) {
+	g, ids := buildCarrier(t)
+	snapshot := g.Clone()
+	inv, err := NodeDelete(ids["Cars"]).Apply(g)
+	if err != nil {
+		t.Fatalf("Apply ND: %v", err)
+	}
+	if g.HasNode(ids["Cars"]) {
+		t.Fatalf("ND left node")
+	}
+	if _, err := inv.Apply(g); err != nil {
+		t.Fatalf("Apply ND inverse: %v", err)
+	}
+	if !g.EqualByLabels(snapshot) {
+		t.Fatalf("ND inverse did not restore graph:\n%s\nvs\n%s", g, snapshot)
+	}
+}
+
+func TestTransformEdgeAddAtomicOnError(t *testing.T) {
+	g := New("t")
+	a, b := g.AddNode("A"), g.AddNode("B")
+	tr := EdgeAdd(
+		Edge{From: a, Label: "ok", To: b},
+		Edge{From: a, Label: "bad", To: NodeID(99)},
+	)
+	if _, err := tr.Apply(g); err == nil {
+		t.Fatalf("EA with bad endpoint should fail")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("failed EA left partial edges: %d", g.NumEdges())
+	}
+}
+
+func TestTransformEdgeAddInverseOnlyRemovesNewEdges(t *testing.T) {
+	g := New("t")
+	a, b := g.AddNode("A"), g.AddNode("B")
+	mustAdd(t, g, a, "pre", b)
+	inv, err := EdgeAdd(
+		Edge{From: a, Label: "pre", To: b}, // already present
+		Edge{From: b, Label: "new", To: a},
+	).Apply(g)
+	if err != nil {
+		t.Fatalf("Apply EA: %v", err)
+	}
+	if _, err := inv.Apply(g); err != nil {
+		t.Fatalf("Apply EA inverse: %v", err)
+	}
+	if !g.HasEdge(a, "pre", b) {
+		t.Fatalf("inverse removed pre-existing edge")
+	}
+	if g.HasEdge(b, "new", a) {
+		t.Fatalf("inverse kept new edge")
+	}
+}
+
+func TestTransformEdgeDeleteInverse(t *testing.T) {
+	g := New("t")
+	a, b := g.AddNode("A"), g.AddNode("B")
+	mustAdd(t, g, a, "r", b)
+	inv, err := EdgeDelete(Edge{From: a, Label: "r", To: b}, Edge{From: b, Label: "missing", To: a}).Apply(g)
+	if err != nil {
+		t.Fatalf("Apply ED: %v", err)
+	}
+	if len(inv.Edges) != 1 {
+		t.Fatalf("ED inverse should only restore removed edges, got %v", inv.Edges)
+	}
+	if _, err := inv.Apply(g); err != nil {
+		t.Fatalf("Apply ED inverse: %v", err)
+	}
+	if !g.HasEdge(a, "r", b) {
+		t.Fatalf("ED inverse did not restore edge")
+	}
+}
+
+func TestTransformUnknownOp(t *testing.T) {
+	g := New("t")
+	if _, err := (Transform{Op: Op(42)}).Apply(g); err == nil {
+		t.Fatalf("unknown op accepted")
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	s := NodeAdd("X", Edge{From: Invalid, Label: "r", To: 3}).String()
+	if !strings.HasPrefix(s, "NA[") || !strings.Contains(s, `"X"`) {
+		t.Fatalf("NA String = %q", s)
+	}
+	if got := EdgeDelete(Edge{From: 1, Label: "r", To: 2}).String(); !strings.HasPrefix(got, "ED[") {
+		t.Fatalf("ED String = %q", got)
+	}
+	if Op(0).String() == "" {
+		t.Fatalf("unknown op String empty")
+	}
+}
+
+func TestJournalUndoAllRestoresGraph(t *testing.T) {
+	g, ids := buildCarrier(t)
+	snapshot := g.Clone()
+	j := NewJournal(g)
+
+	applied, err := j.Apply(NodeAdd("Bike", Edge{From: Invalid, Label: "SubclassOf", To: ids["Transportation"]}))
+	if err != nil {
+		t.Fatalf("journal NA: %v", err)
+	}
+	if applied.Node == Invalid {
+		t.Fatalf("journal NA did not report assigned id")
+	}
+	if _, err := j.Apply(EdgeDelete(Edge{From: ids["SUV"], Label: "SubclassOf", To: ids["Cars"]})); err != nil {
+		t.Fatalf("journal ED: %v", err)
+	}
+	if _, err := j.Apply(NodeDelete(ids["MyCar"])); err != nil {
+		t.Fatalf("journal ND: %v", err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("journal Len = %d, want 3", j.Len())
+	}
+	if n := j.UndoAll(); n != 3 {
+		t.Fatalf("UndoAll = %d, want 3", n)
+	}
+	if !g.EqualByLabels(snapshot) {
+		t.Fatalf("journal undo did not restore graph:\n%s\nvs\n%s", g, snapshot)
+	}
+	if j.Undo() {
+		t.Fatalf("Undo on empty journal returned true")
+	}
+}
+
+func TestJournalApplyErrorNotRecorded(t *testing.T) {
+	g := New("t")
+	j := NewJournal(g)
+	if _, err := j.Apply(EdgeAdd(Edge{From: 1, Label: "r", To: 2})); err == nil {
+		t.Fatalf("journal accepted bad EA")
+	}
+	if j.Len() != 0 {
+		t.Fatalf("failed transform recorded")
+	}
+}
+
+func TestJournalTouchedNodes(t *testing.T) {
+	g, ids := buildCarrier(t)
+	j := NewJournal(g)
+	if _, err := j.Apply(EdgeDelete(Edge{From: ids["SUV"], Label: "SubclassOf", To: ids["Cars"]})); err != nil {
+		t.Fatalf("journal ED: %v", err)
+	}
+	na, err := j.Apply(NodeAdd("Bike"))
+	if err != nil {
+		t.Fatalf("journal NA: %v", err)
+	}
+	touched := j.TouchedNodes()
+	want := []NodeID{ids["SUV"], ids["Cars"], na.Node}
+	sortNodeIDs(want)
+	if len(touched) != len(want) {
+		t.Fatalf("TouchedNodes = %v, want %v", touched, want)
+	}
+	for i := range want {
+		if touched[i] != want[i] {
+			t.Fatalf("TouchedNodes = %v, want %v", touched, want)
+		}
+	}
+}
+
+func TestJournalApplied(t *testing.T) {
+	g := New("t")
+	a, b := g.AddNode("A"), g.AddNode("B")
+	j := NewJournal(g)
+	if _, err := j.Apply(EdgeAdd(Edge{From: a, Label: "r", To: b})); err != nil {
+		t.Fatalf("journal EA: %v", err)
+	}
+	ops := j.Applied()
+	if len(ops) != 1 || ops[0].Op != OpEdgeAdd {
+		t.Fatalf("Applied = %v", ops)
+	}
+	// The returned slice is a copy.
+	ops[0].Op = OpNodeDelete
+	if j.Applied()[0].Op != OpEdgeAdd {
+		t.Fatalf("Applied leaked internal state")
+	}
+}

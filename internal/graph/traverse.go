@@ -1,0 +1,397 @@
+package graph
+
+import "sort"
+
+// EdgeFilter selects which edges a traversal may follow. A nil EdgeFilter
+// follows every edge.
+type EdgeFilter func(Edge) bool
+
+// LabelFilter returns an EdgeFilter following only edges whose label is one
+// of labels. With no labels it follows nothing.
+func LabelFilter(labels ...string) EdgeFilter {
+	set := make(map[string]struct{}, len(labels))
+	for _, l := range labels {
+		set[l] = struct{}{}
+	}
+	return func(e Edge) bool {
+		_, ok := set[e.Label]
+		return ok
+	}
+}
+
+// Reachable returns every node reachable from start (inclusive) following
+// edges forward through the filter, sorted by id. Unknown starts yield nil.
+func (g *Graph) Reachable(start NodeID, follow EdgeFilter) []NodeID {
+	if !g.HasNode(start) {
+		return nil
+	}
+	return g.reachableFrom([]NodeID{start}, follow, false)
+}
+
+// ReachableReverse is Reachable along reversed edges (ancestors).
+func (g *Graph) ReachableReverse(start NodeID, follow EdgeFilter) []NodeID {
+	if !g.HasNode(start) {
+		return nil
+	}
+	return g.reachableFrom([]NodeID{start}, follow, true)
+}
+
+// ReachableFromAny returns every node reachable from any of the starts
+// (inclusive), sorted by id.
+func (g *Graph) ReachableFromAny(starts []NodeID, follow EdgeFilter) []NodeID {
+	live := starts[:0:0]
+	for _, s := range starts {
+		if g.HasNode(s) {
+			live = append(live, s)
+		}
+	}
+	return g.reachableFrom(live, follow, false)
+}
+
+// ReachableFromAnyReverse returns every node from which any of the starts
+// can be reached (inclusive), sorted by id — reachability along reversed
+// edges.
+func (g *Graph) ReachableFromAnyReverse(starts []NodeID) []NodeID {
+	live := starts[:0:0]
+	for _, s := range starts {
+		if g.HasNode(s) {
+			live = append(live, s)
+		}
+	}
+	return g.reachableFrom(live, nil, true)
+}
+
+func (g *Graph) reachableFrom(starts []NodeID, follow EdgeFilter, reverse bool) []NodeID {
+	seen := make(map[NodeID]bool, len(starts))
+	queue := make([]NodeID, 0, len(starts))
+	for _, s := range starts {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		adj := g.out[n]
+		if reverse {
+			adj = g.in[n]
+		}
+		for _, e := range adj {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			next := e.To
+			if reverse {
+				next = e.From
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathExists reports whether a directed path from from to to exists through
+// the filter. A node trivially reaches itself.
+func (g *Graph) PathExists(from, to NodeID, follow EdgeFilter) bool {
+	if !g.HasNode(from) || !g.HasNode(to) {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	seen := map[NodeID]bool{from: true}
+	stack := []NodeID{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[n] {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if e.To == to {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// ShortestPath returns one shortest directed path (as an edge sequence)
+// from from to to through the filter, or nil if none exists. Ties are
+// broken deterministically by edge order (From, Label, To).
+func (g *Graph) ShortestPath(from, to NodeID, follow EdgeFilter) []Edge {
+	if !g.HasNode(from) || !g.HasNode(to) {
+		return nil
+	}
+	if from == to {
+		return []Edge{}
+	}
+	parent := make(map[NodeID]Edge)
+	seen := map[NodeID]bool{from: true}
+	queue := []NodeID{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.OutEdges(n) { // sorted for determinism
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			parent[e.To] = e
+			if e.To == to {
+				return unwindPath(parent, from, to)
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil
+}
+
+func unwindPath(parent map[NodeID]Edge, from, to NodeID) []Edge {
+	var rev []Edge
+	for at := to; at != from; {
+		e := parent[at]
+		rev = append(rev, e)
+		at = e.From
+	}
+	path := make([]Edge, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path
+}
+
+// TransitiveClosure returns the edges with the given label implied by
+// transitivity but not yet present: for every pair (a, c) such that a
+// reaches c via one or more label-edges and a≠c, the edge (a,label,c) is
+// produced if absent. The result is sorted; the graph is not modified.
+//
+// Ontologies use this for relationships declared transitive (the paper's
+// example: SubclassOf), and the articulation generator uses it when
+// inheriting structure into the articulation ontology (§4.2).
+func (g *Graph) TransitiveClosure(label string) []Edge {
+	follow := LabelFilter(label)
+	var missing []Edge
+	for _, n := range g.Nodes() {
+		// Only nodes with an outgoing label-edge can be closure sources.
+		hasLabelOut := false
+		for _, e := range g.out[n] {
+			if e.Label == label {
+				hasLabelOut = true
+				break
+			}
+		}
+		if !hasLabelOut {
+			continue
+		}
+		for _, r := range g.Reachable(n, follow) {
+			if r == n {
+				continue
+			}
+			if !g.HasEdge(n, label, r) {
+				missing = append(missing, Edge{From: n, Label: label, To: r})
+			}
+		}
+	}
+	SortEdges(missing)
+	return missing
+}
+
+// CloseTransitive applies TransitiveClosure(label) to the graph, returning
+// the number of edges added.
+func (g *Graph) CloseTransitive(label string) int {
+	missing := g.TransitiveClosure(label)
+	for _, e := range missing {
+		// Endpoints exist by construction; error is impossible.
+		_ = g.AddEdge(e.From, e.Label, e.To)
+	}
+	return len(missing)
+}
+
+// FindCycle returns one directed cycle using only label-edges, as a node
+// sequence whose last element equals the first, or nil if the label-edge
+// subgraph is acyclic. Ontologies use this to reject cyclic SubclassOf
+// hierarchies.
+func (g *Graph) FindCycle(label string) []NodeID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[NodeID]int, len(g.labels))
+	parent := make(map[NodeID]NodeID)
+
+	var cycle []NodeID
+	var visit func(n NodeID) bool
+	visit = func(n NodeID) bool {
+		color[n] = grey
+		for _, e := range g.OutEdges(n) {
+			if e.Label != label {
+				continue
+			}
+			switch color[e.To] {
+			case white:
+				parent[e.To] = n
+				if visit(e.To) {
+					return true
+				}
+			case grey:
+				// Found a back edge n→e.To: unwind the cycle.
+				cycle = []NodeID{e.To}
+				for at := n; at != e.To; at = parent[at] {
+					cycle = append(cycle, at)
+				}
+				// Reverse into forward order and close the loop.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				cycle = append(cycle, cycle[0])
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range g.Nodes() {
+		if color[n] == white {
+			if visit(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// TopoSort returns the nodes in a topological order of the label-edge
+// subgraph (edge a→b places a before b), and reports whether such an order
+// exists (false when the subgraph has a cycle). Nodes without label-edges
+// are included. Output is deterministic.
+func (g *Graph) TopoSort(label string) ([]NodeID, bool) {
+	indeg := make(map[NodeID]int, len(g.labels))
+	for _, n := range g.Nodes() {
+		indeg[n] = 0
+	}
+	for e := range g.edges {
+		if e.Label == label {
+			indeg[e.To]++
+		}
+	}
+	// Deterministic frontier: min-id first via sorted scan.
+	var frontier []NodeID
+	for _, n := range g.Nodes() {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	var order []NodeID
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, n)
+		for _, e := range g.OutEdges(n) {
+			if e.Label != label {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				// Insert keeping frontier sorted.
+				i := sort.Search(len(frontier), func(i int) bool { return frontier[i] >= e.To })
+				frontier = append(frontier, 0)
+				copy(frontier[i+1:], frontier[i:])
+				frontier[i] = e.To
+			}
+		}
+	}
+	return order, len(order) == len(g.labels)
+}
+
+// Roots returns nodes with no outgoing label-edge, sorted. Under the
+// convention that SubclassOf points from subclass to superclass, these are
+// the hierarchy roots (most general terms).
+func (g *Graph) Roots(label string) []NodeID {
+	var roots []NodeID
+	for _, n := range g.Nodes() {
+		has := false
+		for _, e := range g.out[n] {
+			if e.Label == label {
+				has = true
+				break
+			}
+		}
+		if !has {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// Leaves returns nodes with no incoming label-edge, sorted.
+func (g *Graph) Leaves(label string) []NodeID {
+	var leaves []NodeID
+	for _, n := range g.Nodes() {
+		has := false
+		for _, e := range g.in[n] {
+			if e.Label == label {
+				has = true
+				break
+			}
+		}
+		if !has {
+			leaves = append(leaves, n)
+		}
+	}
+	return leaves
+}
+
+// ConnectedComponents returns the weakly connected components (treating
+// edges as undirected, any label), each sorted by id; components are sorted
+// by their smallest member.
+func (g *Graph) ConnectedComponents() [][]NodeID {
+	seen := make(map[NodeID]bool, len(g.labels))
+	var comps [][]NodeID
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, e := range g.out[n] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+			for _, e := range g.in[n] {
+				if !seen[e.From] {
+					seen[e.From] = true
+					stack = append(stack, e.From)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}

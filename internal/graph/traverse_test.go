@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReachableFollowsFilter(t *testing.T) {
+	g, ids := buildCarrier(t)
+	got := g.Reachable(ids["PassengerCar"], LabelFilter("SubclassOf"))
+	want := []NodeID{ids["Transportation"], ids["Cars"], ids["PassengerCar"]}
+	sortNodeIDs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Reachable = %v, want %v", got, want)
+	}
+}
+
+func TestReachableNilFilterFollowsEverything(t *testing.T) {
+	g, ids := buildCarrier(t)
+	got := g.Reachable(ids["MyCar"], nil)
+	// MyCar →I→ PassengerCar →S→ Cars →{S,A,A,drivenBy}→ ...
+	wantLabels := map[string]bool{
+		"MyCar": true, "PassengerCar": true, "Cars": true,
+		"Transportation": true, "Price": true, "Owner": true, "Driver": true,
+	}
+	if len(got) != len(wantLabels) {
+		t.Fatalf("Reachable size = %d, want %d (%v)", len(got), len(wantLabels), labelsOf(g, got))
+	}
+	for _, id := range got {
+		if !wantLabels[g.Label(id)] {
+			t.Fatalf("unexpected reachable node %s", g.Label(id))
+		}
+	}
+}
+
+func TestReachableUnknownStart(t *testing.T) {
+	g, _ := buildCarrier(t)
+	if got := g.Reachable(NodeID(999), nil); got != nil {
+		t.Fatalf("Reachable(unknown) = %v, want nil", got)
+	}
+}
+
+func TestReachableReverse(t *testing.T) {
+	g, ids := buildCarrier(t)
+	got := g.ReachableReverse(ids["Transportation"], LabelFilter("SubclassOf"))
+	want := []NodeID{ids["Transportation"], ids["Cars"], ids["Trucks"], ids["PassengerCar"], ids["SUV"]}
+	sortNodeIDs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReachableReverse = %v, want %v", labelsOf(g, got), labelsOf(g, want))
+	}
+}
+
+func TestReachableFromAny(t *testing.T) {
+	g, ids := buildCarrier(t)
+	got := g.ReachableFromAny([]NodeID{ids["SUV"], ids["Trucks"], NodeID(999)}, LabelFilter("SubclassOf"))
+	want := []NodeID{ids["SUV"], ids["Trucks"], ids["Cars"], ids["Transportation"]}
+	sortNodeIDs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReachableFromAny = %v, want %v", labelsOf(g, got), labelsOf(g, want))
+	}
+}
+
+func TestPathExists(t *testing.T) {
+	g, ids := buildCarrier(t)
+	cases := []struct {
+		from, to string
+		filter   EdgeFilter
+		want     bool
+	}{
+		{"MyCar", "Transportation", nil, true},
+		{"MyCar", "Transportation", LabelFilter("SubclassOf"), false}, // first hop is InstanceOf
+		{"PassengerCar", "Transportation", LabelFilter("SubclassOf"), true},
+		{"Transportation", "MyCar", nil, false}, // wrong direction
+		{"MyCar", "MyCar", LabelFilter("nothing"), true},
+	}
+	for _, c := range cases {
+		if got := g.PathExists(ids[c.from], ids[c.to], c.filter); got != c.want {
+			t.Errorf("PathExists(%s→%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	if g.PathExists(NodeID(999), ids["Cars"], nil) {
+		t.Errorf("PathExists from unknown node = true")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g, ids := buildCarrier(t)
+	p := g.ShortestPath(ids["MyCar"], ids["Transportation"], nil)
+	if len(p) != 3 {
+		t.Fatalf("ShortestPath length = %d, want 3 (%v)", len(p), p)
+	}
+	if p[0].From != ids["MyCar"] || p[len(p)-1].To != ids["Transportation"] {
+		t.Fatalf("ShortestPath endpoints wrong: %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].From != p[i-1].To {
+			t.Fatalf("ShortestPath not contiguous: %v", p)
+		}
+	}
+	if p := g.ShortestPath(ids["Transportation"], ids["MyCar"], nil); p != nil {
+		t.Fatalf("ShortestPath against edge direction = %v, want nil", p)
+	}
+	if p := g.ShortestPath(ids["Cars"], ids["Cars"], nil); p == nil || len(p) != 0 {
+		t.Fatalf("ShortestPath self = %v, want empty non-nil", p)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g, ids := buildCarrier(t)
+	missing := g.TransitiveClosure("SubclassOf")
+	// PassengerCar→Transportation and SUV→Transportation are implied.
+	want := []Edge{
+		{From: ids["PassengerCar"], Label: "SubclassOf", To: ids["Transportation"]},
+		{From: ids["SUV"], Label: "SubclassOf", To: ids["Transportation"]},
+	}
+	SortEdges(want)
+	if !reflect.DeepEqual(missing, want) {
+		t.Fatalf("TransitiveClosure = %v, want %v", missing, want)
+	}
+	// Applying the closure then recomputing yields nothing new.
+	if n := g.CloseTransitive("SubclassOf"); n != 2 {
+		t.Fatalf("CloseTransitive added %d, want 2", n)
+	}
+	if again := g.TransitiveClosure("SubclassOf"); len(again) != 0 {
+		t.Fatalf("closure not idempotent: %v", again)
+	}
+}
+
+func TestTransitiveClosureOnCycle(t *testing.T) {
+	g := New("t")
+	a, b, c := g.AddNode("A"), g.AddNode("B"), g.AddNode("C")
+	mustAdd(t, g, a, "r", b)
+	mustAdd(t, g, b, "r", c)
+	mustAdd(t, g, c, "r", a)
+	missing := g.TransitiveClosure("r")
+	// Every ordered pair except self-loops and existing edges: 6-3 = 3.
+	if len(missing) != 3 {
+		t.Fatalf("cycle closure size = %d, want 3 (%v)", len(missing), missing)
+	}
+	g.CloseTransitive("r")
+	if len(g.TransitiveClosure("r")) != 0 {
+		t.Fatalf("cycle closure not a fixpoint")
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	g, ids := buildCarrier(t)
+	if c := g.FindCycle("SubclassOf"); c != nil {
+		t.Fatalf("acyclic hierarchy reported cycle %v", c)
+	}
+	mustAdd(t, g, ids["Transportation"], "SubclassOf", ids["SUV"])
+	c := g.FindCycle("SubclassOf")
+	if c == nil {
+		t.Fatalf("cycle not found after back edge")
+	}
+	if c[0] != c[len(c)-1] {
+		t.Fatalf("cycle not closed: %v", c)
+	}
+	// Verify every step is a real SubclassOf edge.
+	for i := 1; i < len(c); i++ {
+		if !g.HasEdge(c[i-1], "SubclassOf", c[i]) {
+			t.Fatalf("cycle step %d→%d is not an edge: %v", c[i-1], c[i], c)
+		}
+	}
+}
+
+func TestFindCycleIgnoresOtherLabels(t *testing.T) {
+	g := New("t")
+	a, b := g.AddNode("A"), g.AddNode("B")
+	mustAdd(t, g, a, "x", b)
+	mustAdd(t, g, b, "y", a)
+	if c := g.FindCycle("x"); c != nil {
+		t.Fatalf("mixed-label cycle wrongly detected: %v", c)
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g, ids := buildCarrier(t)
+	order, ok := g.TopoSort("SubclassOf")
+	if !ok {
+		t.Fatalf("TopoSort reported cycle on acyclic input")
+	}
+	if len(order) != g.NumNodes() {
+		t.Fatalf("TopoSort order incomplete: %d of %d", len(order), g.NumNodes())
+	}
+	pos := make(map[NodeID]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.EdgesWithLabel("SubclassOf") {
+		if pos[e.From] > pos[e.To] {
+			t.Fatalf("TopoSort violates edge %v", e)
+		}
+	}
+	mustAdd(t, g, ids["Transportation"], "SubclassOf", ids["Cars"])
+	if _, ok := g.TopoSort("SubclassOf"); ok {
+		t.Fatalf("TopoSort missed cycle")
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	g, ids := buildCarrier(t)
+	roots := g.Roots("SubclassOf")
+	// Every node without an outgoing SubclassOf: all but Cars, Trucks,
+	// PassengerCar, SUV.
+	if len(roots) != 6 {
+		t.Fatalf("Roots = %v, want 6 nodes", labelsOf(g, roots))
+	}
+	found := false
+	for _, r := range roots {
+		if r == ids["Transportation"] {
+			found = true
+		}
+		if r == ids["SUV"] {
+			t.Fatalf("SUV should not be a root")
+		}
+	}
+	if !found {
+		t.Fatalf("Transportation missing from roots")
+	}
+	leaves := g.Leaves("SubclassOf")
+	for _, l := range leaves {
+		if l == ids["Cars"] || l == ids["Transportation"] {
+			t.Fatalf("%s should not be a SubclassOf leaf", g.Label(l))
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g, _ := buildCarrier(t)
+	if comps := g.ConnectedComponents(); len(comps) != 1 {
+		t.Fatalf("fixture should be one component, got %d", len(comps))
+	}
+	iso := g.AddNode("Island")
+	iso2 := g.AddNode("Island2")
+	mustAdd(t, g, iso, "near", iso2)
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[1]) != 2 {
+		t.Fatalf("island component = %v, want 2 nodes", comps[1])
+	}
+}
+
+func labelsOf(g *Graph, ids []NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Label(id)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package inference
+
+import "sort"
+
+// Ask answers a single goal atom goal-directed: instead of materialising
+// the closure of the whole program, it restricts evaluation to the
+// clauses whose head predicates can (transitively) contribute to the
+// goal's predicate, runs the light semi-naive engine over that fragment,
+// and returns the matching facts, sorted.
+//
+// This is the query-side counterpart of the paper's pluggable-engine
+// design (§2.1): the query processor does not need the full consequence
+// set of a knowledge base, only the fragment relevant to one question.
+// Variables in the goal are wildcards; constants filter.
+//
+// Ask leaves the engine's fact store untouched — evaluation happens on a
+// scratch copy — so interleaving Ask with Run is safe.
+func (e *Engine) Ask(goal Atom) ([]Fact, Stats) {
+	relevant := e.relevantPreds(goal.Pred)
+
+	scratch := &Engine{
+		facts:  make(map[Fact]struct{}),
+		base:   make(map[Fact]struct{}),
+		byPred: make(map[string][]Fact),
+		bySubj: make(map[string][]Fact),
+		byObj:  make(map[string][]Fact),
+		prov:   make(map[Fact]Derivation),
+	}
+	for _, c := range e.clauses {
+		if relevant[c.Head.Pred] {
+			scratch.clauses = append(scratch.clauses, c)
+		}
+	}
+	for f := range e.facts {
+		if relevant[f.Pred] {
+			scratch.AddFact(f)
+		}
+	}
+	stats := scratch.Run()
+
+	var out []Fact
+	for _, f := range scratch.byPred[goal.Pred] {
+		if matchTerm(goal.Args[0], f.Subj) && matchTerm(goal.Args[1], f.Obj) {
+			out = append(out, f)
+		}
+	}
+	sortFacts(out)
+	return out, stats
+}
+
+// relevantPreds returns the predicates that can contribute to target:
+// target itself plus, transitively, the body predicates of every clause
+// whose head is already relevant.
+func (e *Engine) relevantPreds(target string) map[string]bool {
+	relevant := map[string]bool{target: true}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range e.clauses {
+			if !relevant[c.Head.Pred] {
+				continue
+			}
+			for _, b := range c.Body {
+				if !relevant[b.Pred] {
+					relevant[b.Pred] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return relevant
+}
+
+func matchTerm(t Term, val string) bool {
+	if t.IsVar() {
+		return true
+	}
+	return t.Const == val
+}
+
+// Preds returns the sorted set of predicates with at least one known fact.
+func (e *Engine) Preds() []string {
+	out := make([]string, 0, len(e.byPred))
+	for p, fs := range e.byPred {
+		if len(fs) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package inference
+
+import (
+	"reflect"
+	"testing"
+)
+
+// askEngine has two independent clause families: ancestor over parents,
+// and location over containment. Asking about one must not evaluate the
+// other.
+func askEngine(t testing.TB) *Engine {
+	t.Helper()
+	e := mustEngine(t,
+		MustParseClause("anc(?x,?y) :- par(?x,?y)"),
+		MustParseClause("anc(?x,?z) :- par(?x,?y), anc(?y,?z)"),
+		MustParseClause("within(?x,?z) :- in(?x,?y), within(?y,?z)"),
+		MustParseClause("within(?x,?y) :- in(?x,?y)"),
+	)
+	for _, f := range []Fact{
+		{"par", "a", "b"}, {"par", "b", "c"}, {"par", "c", "d"},
+		{"in", "desk", "room"}, {"in", "room", "house"},
+	} {
+		e.AddFact(f)
+	}
+	return e
+}
+
+func TestAskAnswersGoal(t *testing.T) {
+	e := askEngine(t)
+	got, _ := e.Ask(A("anc", C("a"), V("z")))
+	want := []Fact{{"anc", "a", "b"}, {"anc", "a", "c"}, {"anc", "a", "d"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ask = %v, want %v", got, want)
+	}
+}
+
+func TestAskGroundGoal(t *testing.T) {
+	e := askEngine(t)
+	got, _ := e.Ask(A("anc", C("a"), C("d")))
+	if len(got) != 1 {
+		t.Fatalf("ground Ask = %v", got)
+	}
+	got, _ = e.Ask(A("anc", C("d"), C("a")))
+	if len(got) != 0 {
+		t.Fatalf("false ground Ask = %v", got)
+	}
+}
+
+func TestAskRestrictsEvaluationToRelevantFragment(t *testing.T) {
+	e := askEngine(t)
+	_, stats := e.Ask(A("within", V("x"), V("y")))
+	// The ancestor family (3 par facts + recursive clause) must not be
+	// evaluated: derived facts come only from the containment family
+	// (within: desk-room, room-house, desk-house = 3, of which 1 is
+	// transitive).
+	if stats.Derived != 3 {
+		t.Fatalf("Ask evaluated irrelevant fragment: derived %d", stats.Derived)
+	}
+}
+
+func TestAskDoesNotMutateEngine(t *testing.T) {
+	e := askEngine(t)
+	before := e.NumFacts()
+	if _, _ = e.Ask(A("anc", V("x"), V("y"))); e.NumFacts() != before {
+		t.Fatalf("Ask materialised into the engine: %d -> %d", before, e.NumFacts())
+	}
+	// The engine still works normally afterwards.
+	e.Run()
+	if !e.Has(Fact{"anc", "a", "d"}) {
+		t.Fatalf("Run after Ask incomplete")
+	}
+}
+
+func TestAskUnknownPredicate(t *testing.T) {
+	e := askEngine(t)
+	got, _ := e.Ask(A("nope", V("x"), V("y")))
+	if len(got) != 0 {
+		t.Fatalf("unknown predicate answered: %v", got)
+	}
+}
+
+func TestAskBaseOnlyPredicate(t *testing.T) {
+	e := askEngine(t)
+	got, _ := e.Ask(A("par", V("x"), C("c")))
+	if len(got) != 1 || got[0].Subj != "b" {
+		t.Fatalf("base-fact Ask = %v", got)
+	}
+}
+
+func TestPreds(t *testing.T) {
+	e := askEngine(t)
+	got := e.Preds()
+	want := []string{"in", "par"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Preds = %v, want %v", got, want)
+	}
+	e.Run()
+	got = e.Preds()
+	want = []string{"anc", "in", "par", "within"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Preds after Run = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,196 @@
+package inference
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseClause parses one clause in datalog-style syntax over binary atoms:
+//
+//	SubclassOf(?x, ?z) :- SubclassOf(?x, ?y), SubclassOf(?y, ?z)
+//	SIBridge(Car, Vehicle)
+//
+// Variables start with '?'; everything else is a constant. Predicates and
+// constants may contain any characters except whitespace and the
+// punctuation "(),".
+func ParseClause(s string) (Clause, error) {
+	p := clauseParser{in: s}
+	c, err := p.parse()
+	if err != nil {
+		return Clause{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Clause{}, err
+	}
+	return c, nil
+}
+
+// MustParseClause is ParseClause for static construction code; it panics
+// on error.
+func MustParseClause(s string) Clause {
+	c, err := ParseClause(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseProgram reads a clause set: one clause per line, '%' or '#' starting
+// a comment, blank lines ignored, optional trailing '.'.
+func ParseProgram(r io.Reader) ([]Clause, error) {
+	var cs []Clause
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		for _, marker := range []string{"%", "#"} {
+			if i := strings.Index(text, marker); i >= 0 {
+				text = text[:i]
+			}
+		}
+		text = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(text), "."))
+		if text == "" {
+			continue
+		}
+		c, err := ParseClause(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		cs = append(cs, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("inference: reading program: %w", err)
+	}
+	return cs, nil
+}
+
+// ParseProgramString is ParseProgram over a string.
+func ParseProgramString(s string) ([]Clause, error) {
+	return ParseProgram(strings.NewReader(s))
+}
+
+type clauseParser struct {
+	in  string
+	pos int
+}
+
+func (p *clauseParser) parse() (Clause, error) {
+	var c Clause
+	head, err := p.parseAtom()
+	if err != nil {
+		return c, err
+	}
+	c.Head = head
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return c, nil // fact
+	}
+	if !strings.HasPrefix(p.in[p.pos:], ":-") {
+		return c, p.errf("expected ':-' or end of clause")
+	}
+	p.pos += 2
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return c, err
+		}
+		c.Body = append(c.Body, a)
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) {
+		return c, p.errf("trailing input")
+	}
+	return c, nil
+}
+
+func (p *clauseParser) parseAtom() (Atom, error) {
+	var a Atom
+	pred, err := p.parseName("predicate")
+	if err != nil {
+		return a, err
+	}
+	a.Pred = pred
+	if err := p.consume('('); err != nil {
+		return a, err
+	}
+	t0, err := p.parseTerm()
+	if err != nil {
+		return a, err
+	}
+	if err := p.consume(','); err != nil {
+		return a, err
+	}
+	t1, err := p.parseTerm()
+	if err != nil {
+		return a, err
+	}
+	if err := p.consume(')'); err != nil {
+		return a, err
+	}
+	a.Args = [2]Term{t0, t1}
+	return a, nil
+}
+
+func (p *clauseParser) parseTerm() (Term, error) {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '?' {
+		p.pos++
+		name, err := p.parseName("variable name")
+		if err != nil {
+			return Term{}, err
+		}
+		return V(name), nil
+	}
+	name, err := p.parseName("constant")
+	if err != nil {
+		return Term{}, err
+	}
+	return C(name), nil
+}
+
+func (p *clauseParser) parseName(what string) (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ' ' || c == '\t' || c == '(' || c == ')' || c == ',' || c == '?' {
+			break
+		}
+		if c == ':' && p.pos+1 < len(p.in) && p.in[p.pos+1] == '-' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected %s", what)
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *clauseParser) consume(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *clauseParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *clauseParser) errf(format string, args ...any) error {
+	return fmt.Errorf("inference: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.in)
+}

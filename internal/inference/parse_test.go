@@ -1,0 +1,135 @@
+package inference
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseClauseRule(t *testing.T) {
+	c, err := ParseClause("SubclassOf(?x, ?z) :- SubclassOf(?x, ?y), SubclassOf(?y, ?z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Head.Pred != "SubclassOf" || len(c.Body) != 2 {
+		t.Fatalf("parsed clause = %v", c)
+	}
+	if !c.Head.Args[0].IsVar() || c.Head.Args[0].Var != "x" {
+		t.Fatalf("head arg0 = %v", c.Head.Args[0])
+	}
+}
+
+func TestParseClauseFact(t *testing.T) {
+	c, err := ParseClause("SIBridge(Car, Vehicle)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Body) != 0 || c.Head.Args[0].Const != "Car" || c.Head.Args[1].Const != "Vehicle" {
+		t.Fatalf("parsed fact = %v", c)
+	}
+}
+
+func TestParseClauseMixedTerms(t *testing.T) {
+	c, err := ParseClause("p(?x, depot) :- q(?x, Vehicle)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Head.Args[1].Const != "depot" || c.Body[0].Args[1].Const != "Vehicle" {
+		t.Fatalf("constants mangled: %v", c)
+	}
+}
+
+func TestParseClauseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"p(?x)",                  // unary
+		"p(?x, ?y, ?z)",          // ternary
+		"p(?x, ?y) :-",           // empty body
+		"p(?x, ?y) :- q(?x)",     // bad body atom
+		"p(?x, ?y) :- q(?x, ?z)", // unbound head var
+		"p(a, ?y)",               // non-ground fact
+		"p(?x, ?y) extra",        // trailing
+		"(?x, ?y) :- q(?x, ?y)",  // missing predicate
+		"p(? , ?y) :- q(?x, ?y)", // empty variable name
+	}
+	for _, s := range bad {
+		if _, err := ParseClause(s); err == nil {
+			t.Errorf("ParseClause(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseClauseStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"SubclassOf(?x, ?z) :- SubclassOf(?x, ?y), SubclassOf(?y, ?z)",
+		"near(?y, ?x) :- near(?x, ?y)",
+		"SIBridge(Car, Vehicle)",
+		"p(?x, depot) :- q(?x, Vehicle), r(?x, ?x)",
+	}
+	for _, in := range inputs {
+		c := MustParseClause(in)
+		out := c.String()
+		c2, err := ParseClause(out)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", out, err)
+		}
+		if c2.String() != out {
+			t.Fatalf("round trip unstable: %q -> %q", out, c2.String())
+		}
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	prog := `
+% transitive subclass
+SubclassOf(?x, ?z) :- SubclassOf(?x, ?y), SubclassOf(?y, ?z).
+# another comment style
+SIBridge(Car, Vehicle).
+
+near(?y, ?x) :- near(?x, ?y)
+`
+	cs, err := ParseProgramString(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("program size = %d, want 3", len(cs))
+	}
+	if _, err := ParseProgramString("ok(a, b)\nbroken(?x"); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("program error should carry line number: %v", err)
+	}
+}
+
+func TestMustParseClausePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustParseClause did not panic")
+		}
+	}()
+	MustParseClause("nope(")
+}
+
+// Property: engine-built transitive closure over a random chain matches
+// the arithmetic expectation n*(n-1)/2 total pairs.
+func TestQuickChainClosureCount(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8)%20 + 2 // chain of n nodes
+		e, err := New(transitivity("S"))
+		if err != nil {
+			return false
+		}
+		for i := 0; i+1 < n; i++ {
+			e.AddFact(Fact{"S", labelOf(i), labelOf(i + 1)})
+		}
+		e.Run()
+		want := n * (n - 1) / 2
+		return e.NumFacts() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func labelOf(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}

@@ -1,0 +1,237 @@
+// Package kb is the knowledge-base substrate beneath each source ontology
+// (EDBT 2000, §2.1, Fig. 1: the knowledge bases KB1..KB3 under the
+// ontology graphs).
+//
+// ONION's query system reformulates articulation-level queries and
+// executes them "against the sources involved"; something must hold the
+// instance data those plans scan. The paper's sources are external (web
+// sources, databases); this in-memory triple store is the synthetic
+// equivalent that exercises the same plan/scan/join path.
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates Value.
+type ValueKind uint8
+
+// Value kinds: a term (node in some ontology/KB), a string literal, or a
+// numeric literal.
+const (
+	KindTerm ValueKind = iota
+	KindString
+	KindNumber
+)
+
+// Value is an object position of a fact: a term name, a string literal or
+// a number.
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Num  float64
+}
+
+// Term builds a term value.
+func Term(name string) Value { return Value{Kind: KindTerm, Str: name} }
+
+// String builds a string-literal value. (Shadowing the fmt.Stringer name
+// is deliberate: kb.String("x") reads as a constructor, and Value itself
+// implements fmt.Stringer via Format.)
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Number builds a numeric value.
+func Number(n float64) Value { return Value{Kind: KindNumber, Num: n} }
+
+// IsTerm reports whether the value is a term.
+func (v Value) IsTerm() bool { return v.Kind == KindTerm }
+
+// IsNumber reports whether the value is numeric.
+func (v Value) IsNumber() bool { return v.Kind == KindNumber }
+
+// Format renders the value: terms bare, strings quoted, numbers in
+// minimal decimal form.
+func (v Value) Format() string {
+	switch v.Kind {
+	case KindString:
+		return strconv.Quote(v.Str)
+	case KindNumber:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	default:
+		return v.Str
+	}
+}
+
+// Equal compares values strictly (kind and payload).
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	if v.Kind == KindNumber {
+		return v.Num == w.Num
+	}
+	return v.Str == w.Str
+}
+
+// Less orders values deterministically: by kind, then payload.
+func (v Value) Less(w Value) bool {
+	if v.Kind != w.Kind {
+		return v.Kind < w.Kind
+	}
+	if v.Kind == KindNumber {
+		return v.Num < w.Num
+	}
+	return v.Str < w.Str
+}
+
+// Fact is one (subject, predicate, object) statement about instances.
+type Fact struct {
+	Subject   string
+	Predicate string
+	Object    Value
+}
+
+// String renders the fact.
+func (f Fact) String() string {
+	return fmt.Sprintf("%s %s %s", f.Subject, f.Predicate, f.Object.Format())
+}
+
+// Store is an indexed in-memory fact store for one knowledge source. The
+// zero value is not usable; call New.
+type Store struct {
+	name     string
+	facts    []Fact
+	bySubj   map[string][]int
+	byPred   map[string][]int
+	existing map[string]struct{}
+}
+
+// New returns an empty store named after its knowledge source (usually
+// the owning ontology).
+func New(name string) *Store {
+	return &Store{
+		name:     name,
+		bySubj:   make(map[string][]int),
+		byPred:   make(map[string][]int),
+		existing: make(map[string]struct{}),
+	}
+}
+
+// Name returns the store's source name.
+func (s *Store) Name() string { return s.name }
+
+// Len returns the number of facts.
+func (s *Store) Len() int { return len(s.facts) }
+
+// Add inserts a fact (duplicates are ignored). Empty subjects or
+// predicates are rejected.
+func (s *Store) Add(subject, predicate string, object Value) error {
+	if subject == "" || predicate == "" {
+		return fmt.Errorf("kb %s: fact needs subject and predicate", s.name)
+	}
+	f := Fact{Subject: subject, Predicate: predicate, Object: object}
+	key := f.String()
+	if _, dup := s.existing[key]; dup {
+		return nil
+	}
+	s.existing[key] = struct{}{}
+	idx := len(s.facts)
+	s.facts = append(s.facts, f)
+	s.bySubj[subject] = append(s.bySubj[subject], idx)
+	s.byPred[predicate] = append(s.byPred[predicate], idx)
+	return nil
+}
+
+// MustAdd is Add for fixtures; it panics on error.
+func (s *Store) MustAdd(subject, predicate string, object Value) {
+	if err := s.Add(subject, predicate, object); err != nil {
+		panic(err)
+	}
+}
+
+// Match returns facts matching the given constraints; empty subject or
+// predicate and nil object match anything. Results are sorted.
+func (s *Store) Match(subject, predicate string, object *Value) []Fact {
+	var idxs []int
+	switch {
+	case subject != "":
+		idxs = s.bySubj[subject]
+	case predicate != "":
+		idxs = s.byPred[predicate]
+	default:
+		idxs = make([]int, len(s.facts))
+		for i := range s.facts {
+			idxs[i] = i
+		}
+	}
+	var out []Fact
+	for _, i := range idxs {
+		f := s.facts[i]
+		if subject != "" && f.Subject != subject {
+			continue
+		}
+		if predicate != "" && f.Predicate != predicate {
+			continue
+		}
+		if object != nil && !f.Object.Equal(*object) {
+			continue
+		}
+		out = append(out, f)
+	}
+	SortFacts(out)
+	return out
+}
+
+// Facts returns every fact, sorted.
+func (s *Store) Facts() []Fact {
+	out := append([]Fact(nil), s.facts...)
+	SortFacts(out)
+	return out
+}
+
+// Subjects returns the distinct subjects, sorted.
+func (s *Store) Subjects() []string {
+	out := make([]string, 0, len(s.bySubj))
+	for subj := range s.bySubj {
+		out = append(out, subj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predicates returns the distinct predicates, sorted.
+func (s *Store) Predicates() []string {
+	out := make([]string, 0, len(s.byPred))
+	for p := range s.byPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a sorted dump.
+func (s *Store) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kb %s (%d facts)\n", s.name, len(s.facts))
+	for _, f := range s.Facts() {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// SortFacts orders facts by (Subject, Predicate, Object).
+func SortFacts(fs []Fact) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object.Less(b.Object)
+	})
+}

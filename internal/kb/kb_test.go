@@ -1,0 +1,136 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample(t testing.TB) *Store {
+	t.Helper()
+	s := New("carrier")
+	s.MustAdd("MyCar", "InstanceOf", Term("PassengerCar"))
+	s.MustAdd("MyCar", "Price", Number(2000))
+	s.MustAdd("MyCar", "Owner", String("Alice"))
+	s.MustAdd("Suv9", "Price", Number(5000))
+	return s
+}
+
+func TestAddAndLen(t *testing.T) {
+	s := sample(t)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	// Duplicates are ignored.
+	s.MustAdd("MyCar", "Price", Number(2000))
+	if s.Len() != 4 {
+		t.Fatalf("duplicate stored")
+	}
+	if err := s.Add("", "p", Number(1)); err == nil {
+		t.Fatalf("empty subject accepted")
+	}
+	if err := s.Add("s", "", Number(1)); err == nil {
+		t.Fatalf("empty predicate accepted")
+	}
+}
+
+func TestMatchBySubject(t *testing.T) {
+	s := sample(t)
+	fs := s.Match("MyCar", "", nil)
+	if len(fs) != 3 {
+		t.Fatalf("Match(MyCar) = %v", fs)
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Predicate < fs[i-1].Predicate {
+			t.Fatalf("Match results not sorted")
+		}
+	}
+}
+
+func TestMatchByPredicate(t *testing.T) {
+	s := sample(t)
+	fs := s.Match("", "Price", nil)
+	if len(fs) != 2 {
+		t.Fatalf("Match(Price) = %v", fs)
+	}
+}
+
+func TestMatchWithObject(t *testing.T) {
+	s := sample(t)
+	v := Number(2000)
+	fs := s.Match("", "Price", &v)
+	if len(fs) != 1 || fs[0].Subject != "MyCar" {
+		t.Fatalf("Match(Price=2000) = %v", fs)
+	}
+	w := Number(999)
+	if fs := s.Match("", "Price", &w); len(fs) != 0 {
+		t.Fatalf("Match(Price=999) = %v", fs)
+	}
+	// Subject+predicate+object all constrained.
+	o := String("Alice")
+	if fs := s.Match("MyCar", "Owner", &o); len(fs) != 1 {
+		t.Fatalf("full Match = %v", fs)
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	s := sample(t)
+	if fs := s.Match("", "", nil); len(fs) != 4 {
+		t.Fatalf("Match(all) = %d", len(fs))
+	}
+}
+
+func TestValueSemantics(t *testing.T) {
+	if !Term("X").IsTerm() || Term("X").IsNumber() {
+		t.Fatalf("Term kind wrong")
+	}
+	if !Number(1).IsNumber() {
+		t.Fatalf("Number kind wrong")
+	}
+	if Term("a").Equal(String("a")) {
+		t.Fatalf("cross-kind Equal")
+	}
+	if !Number(2).Equal(Number(2)) || Number(2).Equal(Number(3)) {
+		t.Fatalf("Number Equal wrong")
+	}
+	if !Number(1).Less(Number(2)) || Number(2).Less(Number(1)) {
+		t.Fatalf("Number Less wrong")
+	}
+	if !Term("x").Less(String("a")) { // kind order: term < string
+		t.Fatalf("kind ordering wrong")
+	}
+	if String("ab").Format() != `"ab"` {
+		t.Fatalf("String Format = %q", String("ab").Format())
+	}
+	if Number(2.5).Format() != "2.5" {
+		t.Fatalf("Number Format = %q", Number(2.5).Format())
+	}
+	if Term("T").Format() != "T" {
+		t.Fatalf("Term Format = %q", Term("T").Format())
+	}
+}
+
+func TestSubjectsAndPredicates(t *testing.T) {
+	s := sample(t)
+	subs := s.Subjects()
+	if len(subs) != 2 || subs[0] != "MyCar" || subs[1] != "Suv9" {
+		t.Fatalf("Subjects = %v", subs)
+	}
+	preds := s.Predicates()
+	if len(preds) != 3 {
+		t.Fatalf("Predicates = %v", preds)
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	s := sample(t)
+	out := s.String()
+	if !strings.Contains(out, "kb carrier (4 facts)") {
+		t.Fatalf("String header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `MyCar Owner "Alice"`) {
+		t.Fatalf("String missing fact:\n%s", out)
+	}
+	if s.String() != s.String() {
+		t.Fatalf("String unstable")
+	}
+}

@@ -1,0 +1,187 @@
+package lexicon
+
+import "sync"
+
+// synsetDef is one row of the embedded vocabulary: words sharing a sense
+// and the head word of the parent (more general) synset. Parents are
+// resolved by the head word (first word) of the parent row, which must be
+// unique among heads.
+type synsetDef struct {
+	words    string // comma-separated; first is the head word
+	hypernym string // head word of the parent synset, "" for roots
+	gloss    string
+}
+
+// defaultVocabulary is a compact WordNet-style noun hierarchy around the
+// paper's transportation/commerce domain plus enough general vocabulary to
+// exercise ambiguity (words with several senses) and unknown-word misses.
+var defaultVocabulary = []synsetDef{
+	// Upper ontology.
+	{"entity", "", "that which exists"},
+	{"object,physical_object", "entity", "a tangible entity"},
+	{"abstraction,abstract_entity", "entity", "an intangible entity"},
+	{"artifact,artefact", "object", "a man-made object"},
+	{"instrumentality,instrumentation", "artifact", "an artifact serving a purpose"},
+	{"structure,construction", "artifact", "a built thing"},
+
+	// Transportation (the paper's running example).
+	{"conveyance,transport", "instrumentality", "something that serves as a means of transportation"},
+	{"vehicle", "conveyance", "a conveyance that transports people or objects"},
+	{"wheeled_vehicle", "vehicle", "a vehicle that moves on wheels"},
+	{"self_propelled_vehicle", "wheeled_vehicle", "a wheeled vehicle with its own engine"},
+	{"motor_vehicle,automotive_vehicle", "self_propelled_vehicle", "a self-propelled wheeled vehicle"},
+	{"car,auto,automobile,motorcar", "motor_vehicle", "a four-wheeled motor vehicle"},
+	{"passenger_car", "car", "a car for carrying passengers"},
+	{"suv,sport_utility_vehicle", "car", "a high-clearance passenger car"},
+	{"truck,motortruck,lorry", "motor_vehicle", "a motor vehicle for transporting loads"},
+	{"van", "motor_vehicle", "an enclosed cargo motor vehicle"},
+	{"bus,autobus,coach", "motor_vehicle", "a vehicle carrying many passengers"},
+	{"bicycle,bike,cycle", "wheeled_vehicle", "a pedal-driven two-wheeler"},
+	{"train,railroad_train", "conveyance", "a connected line of railroad cars"},
+	{"ship,vessel", "conveyance", "a large watercraft"},
+	{"aircraft,airplane,plane", "conveyance", "a machine for air travel"},
+	{"carrier,transporter", "conveyance", "a conveyance or company that carries"},
+	{"cargo_carrier", "carrier", "a carrier for goods"},
+	{"goods_vehicle,freight_vehicle", "truck", "a vehicle for carrying goods"},
+
+	// Cargo and goods.
+	{"cargo,freight,payload,shipment,lading", "object", "goods carried by a conveyance"},
+	{"goods,commodity,merchandise,ware", "object", "articles of commerce"},
+	{"product", "object", "an article produced or manufactured"},
+	{"container", "instrumentality", "an object for holding things"},
+	{"box,crate", "container", "a rigid container"},
+	{"pallet", "container", "a portable platform for goods"},
+
+	// People and roles.
+	{"person,individual,human,soul", "object", "a human being"},
+	{"driver,motorist,operator", "person", "a person who drives a vehicle"},
+	{"owner,proprietor,possessor", "person", "a person who owns something"},
+	{"buyer,purchaser,vendee,customer,client", "person", "a person who buys"},
+	{"seller,vendor,marketer,trader", "person", "a person who sells"},
+	{"worker,employee", "person", "a person who works"},
+	{"passenger,rider", "person", "a traveller in a conveyance"},
+	{"expert,specialist", "person", "a person with special knowledge"},
+
+	// Organizations and places.
+	{"organization,organisation,establishment", "abstraction", "a group with a purpose"},
+	{"company,firm,business,enterprise,corporation", "organization", "a commercial organization"},
+	{"factory,plant,mill,manufactory,works", "company", "a building or company where goods are made"},
+	{"warehouse,depot,storehouse,entrepot", "structure", "a storage building"},
+	{"shop,store", "structure", "a building where goods are sold"},
+	{"port,harbor,harbour", "structure", "a place where ships dock"},
+
+	// Commerce and attributes.
+	{"transportation,transport_service,shipping", "abstraction", "the commercial movement of goods or people"},
+	{"attribute,property,dimension", "abstraction", "a quality ascribed to something"},
+	{"price,cost,terms,damage", "attribute", "the amount of money needed to buy"},
+	{"value,worth", "attribute", "the monetary magnitude of something"},
+	{"weight,mass", "attribute", "the heaviness of an object"},
+	{"size,magnitude", "attribute", "physical extent"},
+	{"model,version,variant", "attribute", "a particular design or version"},
+	{"name,designation,appellation", "attribute", "what something is called"},
+	{"color,colour", "attribute", "visual hue"},
+	{"speed,velocity", "attribute", "rate of motion"},
+	{"capacity,content_volume", "attribute", "the amount that can be contained"},
+	{"quantity,amount,measure", "abstraction", "how much there is of something"},
+	{"number,figure", "quantity", "a numeric quantity"},
+
+	// Money and currency (the paper's functional-rule example).
+	{"money,currency", "abstraction", "a medium of exchange"},
+	{"euro", "money", "the European common currency"},
+	{"guilder,gulden,florin,dutch_guilder", "money", "the former Dutch currency"},
+	{"pound,pound_sterling,quid", "money", "the British currency"},
+	{"dollar,buck,clam", "money", "the US currency"},
+
+	// Documents and data (knowledge-source vocabulary).
+	{"document,record,papers", "abstraction", "a written account"},
+	{"invoice,bill,account", "document", "an itemized statement of money owed"},
+	{"order,purchase_order", "document", "a commission to buy"},
+	{"contract,agreement", "document", "a binding commercial accord"},
+	{"schedule,timetable", "document", "a plan of times"},
+	{"catalog,catalogue,inventory_list", "document", "an itemized list"},
+
+	// A second sense of several words, to exercise ambiguity.
+	{"machine", "instrumentality", "a mechanical device"},
+	{"machine_car_sense,machine", "car", "an informal word for a car"},
+	{"plant_organism,plant,flora", "object", "a living organism lacking locomotion"},
+	{"coach_trainer,coach", "person", "a person who trains athletes"},
+	{"mill_grinder,mill", "machine", "a machine for grinding"},
+	{"order_command,order,command", "abstraction", "an authoritative instruction"},
+	{"pound_unit,pound", "weight", "a unit of weight"},
+
+	// Office / administrative vocabulary (federation example).
+	{"department,section,division", "organization", "an organizational unit"},
+	{"office,bureau", "organization", "an administrative unit"},
+	{"manager,director,supervisor", "person", "a person who manages"},
+	{"address,street_address", "attribute", "where something is located"},
+	{"date,day_of_record", "attribute", "a particular day"},
+	{"identifier,id,key", "attribute", "a distinguishing code"},
+}
+
+var (
+	defaultOnce sync.Once
+	defaultLex  *Lexicon
+)
+
+// DefaultLexicon returns the embedded vocabulary, built once and shared;
+// callers must treat it as read-only (build a fresh lexicon with New for
+// mutation).
+func DefaultLexicon() *Lexicon {
+	defaultOnce.Do(func() {
+		lex, err := buildDefault()
+		if err != nil {
+			// The embedded table is static; failure is a programming error.
+			panic("lexicon: building embedded vocabulary: " + err.Error())
+		}
+		defaultLex = lex
+	})
+	return defaultLex
+}
+
+func buildDefault() (*Lexicon, error) {
+	l := New()
+	byHead := make(map[string]SynsetID, len(defaultVocabulary))
+	for _, def := range defaultVocabulary {
+		words := splitWords(def.words)
+		id, err := l.AddSynset(words, def.gloss)
+		if err != nil {
+			return nil, err
+		}
+		head := NormalizeWord(words[0])
+		byHead[head] = id
+	}
+	for _, def := range defaultVocabulary {
+		if def.hypernym == "" {
+			continue
+		}
+		child := byHead[NormalizeWord(splitWords(def.words)[0])]
+		parent, ok := byHead[NormalizeWord(def.hypernym)]
+		if !ok {
+			return nil, errUnknownHypernym(def.hypernym)
+		}
+		if err := l.AddHypernym(child, parent); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+type errUnknownHypernym string
+
+func (e errUnknownHypernym) Error() string {
+	return "lexicon: unknown hypernym head word " + string(e)
+}
+
+func splitWords(csv string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(csv); i++ {
+		if i == len(csv) || csv[i] == ',' {
+			if i > start {
+				out = append(out, csv[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+// Package lexicon is the semantic lexicon substrate ONION's articulation
+// tool consults when proposing semantic bridges (EDBT 2000, §2.4: "SKAT
+// ... uses expert rules and other external knowledge sources or semantic
+// lexicons (e.g., Wordnet)").
+//
+// WordNet itself is external data this reproduction does not ship, so the
+// package implements the same structure — synsets (synonym sets) linked by
+// hypernymy — with an embedded domain vocabulary (see DefaultLexicon)
+// covering the paper's transportation world and enough general vocabulary
+// to exercise ambiguity and miss behaviour. The query surface (Synonyms,
+// Hypernyms, path-based similarity) is what SKAT's matchers consume; any
+// richer lexicon can be loaded through the same builder API.
+package lexicon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SynsetID identifies a synset within one Lexicon.
+type SynsetID int
+
+// Synset is a set of words sharing one sense, with hypernym links to more
+// general synsets.
+type Synset struct {
+	ID        SynsetID
+	Words     []string
+	Gloss     string
+	Hypernyms []SynsetID
+}
+
+// Lexicon is an in-memory synset database. The zero value is not usable;
+// call New.
+type Lexicon struct {
+	synsets []Synset
+	byWord  map[string][]SynsetID
+	// hyponyms is the inverse of the hypernym relation.
+	hyponyms map[SynsetID][]SynsetID
+}
+
+// New returns an empty lexicon.
+func New() *Lexicon {
+	return &Lexicon{
+		byWord:   make(map[string][]SynsetID),
+		hyponyms: make(map[SynsetID][]SynsetID),
+	}
+}
+
+// AddSynset registers a new synset with the given words and gloss and
+// returns its id. Words are normalised (lowercased, spaces collapsed to
+// underscores); empty word lists are rejected.
+func (l *Lexicon) AddSynset(words []string, gloss string) (SynsetID, error) {
+	if len(words) == 0 {
+		return 0, fmt.Errorf("lexicon: synset with no words")
+	}
+	id := SynsetID(len(l.synsets))
+	norm := make([]string, 0, len(words))
+	for _, w := range words {
+		nw := NormalizeWord(w)
+		if nw == "" {
+			return 0, fmt.Errorf("lexicon: empty word in synset %v", words)
+		}
+		norm = append(norm, nw)
+		l.byWord[nw] = append(l.byWord[nw], id)
+	}
+	l.synsets = append(l.synsets, Synset{ID: id, Words: norm, Gloss: gloss})
+	return id, nil
+}
+
+// AddHypernym links child (more specific) to parent (more general).
+func (l *Lexicon) AddHypernym(child, parent SynsetID) error {
+	if !l.valid(child) || !l.valid(parent) {
+		return fmt.Errorf("lexicon: unknown synset in hypernym link %d -> %d", child, parent)
+	}
+	if child == parent {
+		return fmt.Errorf("lexicon: synset %d cannot be its own hypernym", child)
+	}
+	for _, h := range l.synsets[child].Hypernyms {
+		if h == parent {
+			return nil
+		}
+	}
+	l.synsets[child].Hypernyms = append(l.synsets[child].Hypernyms, parent)
+	l.hyponyms[parent] = append(l.hyponyms[parent], child)
+	return nil
+}
+
+func (l *Lexicon) valid(id SynsetID) bool {
+	return id >= 0 && int(id) < len(l.synsets)
+}
+
+// NumSynsets returns the number of synsets.
+func (l *Lexicon) NumSynsets() int { return len(l.synsets) }
+
+// NumWords returns the number of distinct indexed words.
+func (l *Lexicon) NumWords() int { return len(l.byWord) }
+
+// Synset returns a synset by id.
+func (l *Lexicon) Synset(id SynsetID) (Synset, bool) {
+	if !l.valid(id) {
+		return Synset{}, false
+	}
+	return l.synsets[id], true
+}
+
+// lookup returns the synsets of word, falling back to simple English
+// plural lemmatisation when the surface form is unknown ("cars" → "car").
+// Ontology terms are frequently pluralised; WordNet-style lookups
+// lemmatise before searching, and so does this lexicon.
+func (l *Lexicon) lookup(word string) []SynsetID {
+	nw := NormalizeWord(word)
+	if ids := l.byWord[nw]; len(ids) > 0 {
+		return ids
+	}
+	for _, cand := range pluralLemmas(nw) {
+		if ids := l.byWord[cand]; len(ids) > 0 {
+			return ids
+		}
+	}
+	return nil
+}
+
+// Lemma returns the canonical lexicon form of word: the normalised word
+// itself if known, else its first known plural-stripped variant, else the
+// normalised input unchanged.
+func (l *Lexicon) Lemma(word string) string {
+	nw := NormalizeWord(word)
+	if len(l.byWord[nw]) > 0 {
+		return nw
+	}
+	for _, cand := range pluralLemmas(nw) {
+		if len(l.byWord[cand]) > 0 {
+			return cand
+		}
+	}
+	return nw
+}
+
+func pluralLemmas(w string) []string {
+	var out []string
+	if strings.HasSuffix(w, "ies") && len(w) > 3 {
+		out = append(out, w[:len(w)-3]+"y")
+	}
+	if strings.HasSuffix(w, "es") && len(w) > 2 {
+		out = append(out, w[:len(w)-2])
+	}
+	if strings.HasSuffix(w, "s") && len(w) > 1 {
+		out = append(out, w[:len(w)-1])
+	}
+	return out
+}
+
+// SynsetsOf returns the synsets containing word (its senses), after
+// lemmatisation.
+func (l *Lexicon) SynsetsOf(word string) []SynsetID {
+	return append([]SynsetID(nil), l.lookup(word)...)
+}
+
+// Known reports whether the word (or its lemma) appears in the lexicon.
+func (l *Lexicon) Known(word string) bool {
+	return len(l.lookup(word)) > 0
+}
+
+// Synonyms returns every word sharing a synset with word (excluding the
+// word's own lemma), sorted. Unknown words yield nil.
+func (l *Lexicon) Synonyms(word string) []string {
+	lemma := l.Lemma(word)
+	set := make(map[string]struct{})
+	for _, id := range l.lookup(word) {
+		for _, w := range l.synsets[id].Words {
+			if w != lemma {
+				set[w] = struct{}{}
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return sortedKeys(set)
+}
+
+// AreSynonyms reports whether the two words share any synset (after
+// lemmatisation).
+func (l *Lexicon) AreSynonyms(a, b string) bool {
+	na, nb := l.Lemma(a), l.Lemma(b)
+	if na == nb {
+		return len(l.byWord[na]) > 0
+	}
+	bs := l.byWord[nb]
+	for _, ia := range l.byWord[na] {
+		for _, ib := range bs {
+			if ia == ib {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Hypernyms returns the words of the immediate hypernym synsets of every
+// sense of word, sorted.
+func (l *Lexicon) Hypernyms(word string) []string {
+	set := make(map[string]struct{})
+	for _, id := range l.lookup(word) {
+		for _, h := range l.synsets[id].Hypernyms {
+			for _, w := range l.synsets[h].Words {
+				set[w] = struct{}{}
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return sortedKeys(set)
+}
+
+// Hyponyms returns the words of the immediate hyponym synsets of every
+// sense of word, sorted.
+func (l *Lexicon) Hyponyms(word string) []string {
+	set := make(map[string]struct{})
+	for _, id := range l.lookup(word) {
+		for _, h := range l.hyponyms[id] {
+			for _, w := range l.synsets[h].Words {
+				set[w] = struct{}{}
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return sortedKeys(set)
+}
+
+// IsHypernymOf reports whether general is a (transitive) hypernym of
+// specific, under any sense pairing.
+func (l *Lexicon) IsHypernymOf(general, specific string) bool {
+	gs := l.lookup(general)
+	if len(gs) == 0 {
+		return false
+	}
+	gset := make(map[SynsetID]bool, len(gs))
+	for _, g := range gs {
+		gset[g] = true
+	}
+	for _, s := range l.lookup(specific) {
+		for _, anc := range l.ancestors(s) {
+			if gset[anc] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AncestorSynsets returns the synsets of word plus all hypernym synsets up
+// to maxDepth levels above any of its senses (depth 0 = the senses
+// themselves). SKAT's candidate gate uses shallow ancestor overlap to pair
+// terms whose heads sit near each other in the hierarchy.
+func (l *Lexicon) AncestorSynsets(word string, maxDepth int) []SynsetID {
+	start := l.lookup(word)
+	if len(start) == 0 {
+		return nil
+	}
+	depth := make(map[SynsetID]int, len(start))
+	queue := append([]SynsetID(nil), start...)
+	for _, s := range start {
+		depth[s] = 0
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if depth[n] >= maxDepth {
+			continue
+		}
+		for _, h := range l.synsets[n].Hypernyms {
+			if _, seen := depth[h]; !seen {
+				depth[h] = depth[n] + 1
+				queue = append(queue, h)
+			}
+		}
+	}
+	out := make([]SynsetID, 0, len(depth))
+	for s := range depth {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ancestors returns all transitive hypernym synsets of id (excluding id).
+func (l *Lexicon) ancestors(id SynsetID) []SynsetID {
+	seen := make(map[SynsetID]bool)
+	var out []SynsetID
+	stack := append([]SynsetID(nil), l.synsets[id].Hypernyms...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		stack = append(stack, l.synsets[n].Hypernyms...)
+	}
+	return out
+}
+
+// PathDistance returns the length of the shortest path between any sense
+// of a and any sense of b through the hypernym graph (edges traversed in
+// either direction). Synonymous words have distance 0. The second result
+// is false when no path exists or a word is unknown.
+func (l *Lexicon) PathDistance(a, b string) (int, bool) {
+	as := l.lookup(a)
+	bs := l.lookup(b)
+	if len(as) == 0 || len(bs) == 0 {
+		return 0, false
+	}
+	targets := make(map[SynsetID]bool, len(bs))
+	for _, ib := range bs {
+		targets[ib] = true
+	}
+	// Multi-source BFS from all senses of a.
+	dist := make(map[SynsetID]int, len(as))
+	queue := make([]SynsetID, 0, len(as))
+	for _, ia := range as {
+		if targets[ia] {
+			return 0, true
+		}
+		dist[ia] = 0
+		queue = append(queue, ia)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		var nbrs []SynsetID
+		nbrs = append(nbrs, l.synsets[n].Hypernyms...)
+		nbrs = append(nbrs, l.hyponyms[n]...)
+		for _, m := range nbrs {
+			if _, seen := dist[m]; seen {
+				continue
+			}
+			dist[m] = dist[n] + 1
+			if targets[m] {
+				return dist[m], true
+			}
+			queue = append(queue, m)
+		}
+	}
+	return 0, false
+}
+
+// PathSimilarity maps PathDistance into (0,1]: 1/(1+d); unrelated or
+// unknown pairs score 0.
+func (l *Lexicon) PathSimilarity(a, b string) float64 {
+	d, ok := l.PathDistance(a, b)
+	if !ok {
+		return 0
+	}
+	return 1.0 / float64(1+d)
+}
+
+// Words returns every indexed word, sorted. Mainly for diagnostics.
+func (l *Lexicon) Words() []string {
+	set := make(map[string]struct{}, len(l.byWord))
+	for w := range l.byWord {
+		set[w] = struct{}{}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NormalizeWord lowercases a word and canonicalises separators (spaces and
+// hyphens become underscores) so lexicon lookups are robust against
+// labelling style.
+func NormalizeWord(w string) string {
+	w = strings.TrimSpace(strings.ToLower(w))
+	w = strings.ReplaceAll(w, " ", "_")
+	w = strings.ReplaceAll(w, "-", "_")
+	return w
+}

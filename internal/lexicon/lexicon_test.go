@@ -1,0 +1,227 @@
+package lexicon
+
+import (
+	"reflect"
+	"testing"
+)
+
+func smallLexicon(t testing.TB) *Lexicon {
+	t.Helper()
+	l := New()
+	add := func(gloss string, words ...string) SynsetID {
+		id, err := l.AddSynset(words, gloss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	vehicle := add("a conveyance", "vehicle")
+	car := add("a four-wheeled motor vehicle", "car", "auto", "automobile")
+	truck := add("a cargo motor vehicle", "truck", "lorry")
+	person := add("a human", "person", "individual")
+	driver := add("operates a vehicle", "driver", "operator")
+	for child, parent := range map[SynsetID]SynsetID{car: vehicle, truck: vehicle, driver: person} {
+		if err := l.AddHypernym(child, parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestSynonyms(t *testing.T) {
+	l := smallLexicon(t)
+	got := l.Synonyms("car")
+	want := []string{"auto", "automobile"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Synonyms(car) = %v, want %v", got, want)
+	}
+	if l.Synonyms("spaceship") != nil {
+		t.Fatalf("Synonyms of unknown word should be nil")
+	}
+	// Case-insensitive lookup.
+	if got := l.Synonyms("CAR"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Synonyms(CAR) = %v, want %v", got, want)
+	}
+}
+
+func TestAreSynonyms(t *testing.T) {
+	l := smallLexicon(t)
+	if !l.AreSynonyms("car", "automobile") {
+		t.Fatalf("car/automobile should be synonyms")
+	}
+	if l.AreSynonyms("car", "truck") {
+		t.Fatalf("car/truck are not synonyms")
+	}
+	if !l.AreSynonyms("car", "car") {
+		t.Fatalf("a known word is its own synonym")
+	}
+	if l.AreSynonyms("spaceship", "spaceship") {
+		t.Fatalf("unknown words are not synonyms of themselves")
+	}
+}
+
+func TestHypernymsAndHyponyms(t *testing.T) {
+	l := smallLexicon(t)
+	if got := l.Hypernyms("car"); !reflect.DeepEqual(got, []string{"vehicle"}) {
+		t.Fatalf("Hypernyms(car) = %v", got)
+	}
+	hypo := l.Hyponyms("vehicle")
+	for _, want := range []string{"car", "truck", "lorry", "auto"} {
+		if !containsStr(hypo, want) {
+			t.Fatalf("Hyponyms(vehicle) missing %s: %v", want, hypo)
+		}
+	}
+	if l.Hypernyms("vehicle") != nil {
+		t.Fatalf("root should have no hypernyms")
+	}
+}
+
+func TestIsHypernymOf(t *testing.T) {
+	l := DefaultLexicon()
+	cases := []struct {
+		general, specific string
+		want              bool
+	}{
+		{"vehicle", "car", true},
+		{"vehicle", "truck", true},
+		{"conveyance", "suv", true}, // multi-level
+		{"car", "vehicle", false},   // wrong direction
+		{"person", "driver", true},
+		{"person", "car", false},
+		{"entity", "invoice", true},
+		{"nothing", "car", false},
+	}
+	for _, c := range cases {
+		if got := l.IsHypernymOf(c.general, c.specific); got != c.want {
+			t.Errorf("IsHypernymOf(%s,%s) = %v, want %v", c.general, c.specific, got, c.want)
+		}
+	}
+}
+
+func TestPathDistance(t *testing.T) {
+	l := smallLexicon(t)
+	if d, ok := l.PathDistance("car", "automobile"); !ok || d != 0 {
+		t.Fatalf("synonym distance = (%d,%v), want (0,true)", d, ok)
+	}
+	if d, ok := l.PathDistance("car", "vehicle"); !ok || d != 1 {
+		t.Fatalf("parent distance = (%d,%v), want (1,true)", d, ok)
+	}
+	if d, ok := l.PathDistance("car", "truck"); !ok || d != 2 {
+		t.Fatalf("sibling distance = (%d,%v), want (2,true)", d, ok)
+	}
+	if _, ok := l.PathDistance("car", "driver"); ok {
+		t.Fatalf("disconnected components should have no path")
+	}
+	if _, ok := l.PathDistance("car", "spaceship"); ok {
+		t.Fatalf("unknown word should have no path")
+	}
+}
+
+func TestPathSimilarity(t *testing.T) {
+	l := smallLexicon(t)
+	if s := l.PathSimilarity("car", "automobile"); s != 1 {
+		t.Fatalf("synonym similarity = %v, want 1", s)
+	}
+	sib := l.PathSimilarity("car", "truck")
+	par := l.PathSimilarity("car", "vehicle")
+	if !(par > sib && sib > 0) {
+		t.Fatalf("similarity ordering wrong: parent %v, sibling %v", par, sib)
+	}
+	if s := l.PathSimilarity("car", "spaceship"); s != 0 {
+		t.Fatalf("unknown similarity = %v, want 0", s)
+	}
+}
+
+func TestAddSynsetValidation(t *testing.T) {
+	l := New()
+	if _, err := l.AddSynset(nil, ""); err == nil {
+		t.Fatalf("empty synset accepted")
+	}
+	if _, err := l.AddSynset([]string{" "}, ""); err == nil {
+		t.Fatalf("blank word accepted")
+	}
+}
+
+func TestAddHypernymValidation(t *testing.T) {
+	l := New()
+	a, _ := l.AddSynset([]string{"a"}, "")
+	if err := l.AddHypernym(a, a); err == nil {
+		t.Fatalf("self-hypernym accepted")
+	}
+	if err := l.AddHypernym(a, SynsetID(99)); err == nil {
+		t.Fatalf("unknown parent accepted")
+	}
+	b, _ := l.AddSynset([]string{"b"}, "")
+	if err := l.AddHypernym(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate links are idempotent.
+	if err := l.AddHypernym(a, b); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := l.Synset(a)
+	if len(s.Hypernyms) != 1 {
+		t.Fatalf("duplicate hypernym stored")
+	}
+}
+
+func TestDefaultLexiconIntegrity(t *testing.T) {
+	l := DefaultLexicon()
+	if l.NumSynsets() < 60 {
+		t.Fatalf("embedded vocabulary too small: %d synsets", l.NumSynsets())
+	}
+	// The paper's key words must be present and sensibly connected.
+	if !l.AreSynonyms("car", "automobile") {
+		t.Fatalf("car/automobile not synonyms in default lexicon")
+	}
+	if !l.AreSynonyms("factory", "plant") {
+		t.Fatalf("factory/plant not synonyms")
+	}
+	if !l.AreSynonyms("price", "cost") {
+		t.Fatalf("price/cost not synonyms")
+	}
+	if !l.AreSynonyms("guilder", "dutch_guilder") {
+		t.Fatalf("guilder/dutch_guilder not synonyms")
+	}
+	if !l.IsHypernymOf("vehicle", "passenger_car") {
+		t.Fatalf("vehicle should be hypernym of passenger_car")
+	}
+	if s := l.PathSimilarity("car", "truck"); s <= 0 {
+		t.Fatalf("car/truck unrelated in default lexicon")
+	}
+	// Ambiguity is represented: "plant" is both factory and organism.
+	if got := len(l.SynsetsOf("plant")); got < 2 {
+		t.Fatalf("plant should be ambiguous, has %d senses", got)
+	}
+	// DefaultLexicon is memoised.
+	if DefaultLexicon() != l {
+		t.Fatalf("DefaultLexicon not memoised")
+	}
+}
+
+func TestSynsetAccessors(t *testing.T) {
+	l := smallLexicon(t)
+	if _, ok := l.Synset(SynsetID(99)); ok {
+		t.Fatalf("unknown synset returned")
+	}
+	ids := l.SynsetsOf("car")
+	if len(ids) != 1 {
+		t.Fatalf("SynsetsOf(car) = %v", ids)
+	}
+	s, ok := l.Synset(ids[0])
+	if !ok || !containsStr(s.Words, "auto") {
+		t.Fatalf("Synset lookup wrong: %v", s)
+	}
+	if l.NumWords() == 0 || len(l.Words()) != l.NumWords() {
+		t.Fatalf("word accounting inconsistent")
+	}
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

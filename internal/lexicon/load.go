@@ -1,0 +1,117 @@
+package lexicon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Load reads a lexicon from its text format, one synset per line:
+//
+//	word1,word2,... : parentHead1,parentHead2 : gloss
+//
+// The first word of a line is the synset's head word; parent references
+// name the head word of another line (forward references allowed). The
+// parent and gloss fields may be empty; '#' starts a comment. This is the
+// bulk-import path for plugging a real WordNet-derived vocabulary into
+// SKAT in place of the embedded default.
+func Load(r io.Reader) (*Lexicon, error) {
+	l := New()
+	type pending struct {
+		child   SynsetID
+		parents []string
+		line    int
+	}
+	byHead := make(map[string]SynsetID)
+	var links []pending
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, ":", 3)
+		words := splitTrim(parts[0], ",")
+		if len(words) == 0 {
+			return nil, fmt.Errorf("lexicon: line %d: synset needs at least one word", line)
+		}
+		gloss := ""
+		if len(parts) == 3 {
+			gloss = strings.TrimSpace(parts[2])
+		}
+		id, err := l.AddSynset(words, gloss)
+		if err != nil {
+			return nil, fmt.Errorf("lexicon: line %d: %w", line, err)
+		}
+		head := NormalizeWord(words[0])
+		if _, dup := byHead[head]; dup {
+			return nil, fmt.Errorf("lexicon: line %d: duplicate head word %q", line, head)
+		}
+		byHead[head] = id
+		if len(parts) >= 2 {
+			if parents := splitTrim(parts[1], ","); len(parents) > 0 {
+				links = append(links, pending{child: id, parents: parents, line: line})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lexicon: reading: %w", err)
+	}
+	for _, p := range links {
+		for _, parent := range p.parents {
+			pid, ok := byHead[NormalizeWord(parent)]
+			if !ok {
+				return nil, fmt.Errorf("lexicon: line %d: unknown parent head %q", p.line, parent)
+			}
+			if err := l.AddHypernym(p.child, pid); err != nil {
+				return nil, fmt.Errorf("lexicon: line %d: %w", p.line, err)
+			}
+		}
+	}
+	return l, nil
+}
+
+// LoadString is Load over an in-memory string.
+func LoadString(s string) (*Lexicon, error) {
+	return Load(strings.NewReader(s))
+}
+
+// Dump renders the lexicon in Load's text format (sorted by synset id, so
+// a Load → Dump → Load round trip is stable).
+func (l *Lexicon) Dump(w io.Writer) error {
+	var b strings.Builder
+	for _, s := range l.synsets {
+		b.WriteString(strings.Join(s.Words, ","))
+		b.WriteString(" : ")
+		parents := make([]string, 0, len(s.Hypernyms))
+		for _, h := range s.Hypernyms {
+			parents = append(parents, l.synsets[h].Words[0])
+		}
+		b.WriteString(strings.Join(parents, ","))
+		b.WriteString(" : ")
+		b.WriteString(s.Gloss)
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func splitTrim(s, sep string) []string {
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLexicon = `
+# tiny vocabulary
+entity : : that which exists
+vehicle : entity : a conveyance
+car,auto,automobile : vehicle : four wheels
+truck,lorry : vehicle : carries cargo
+amphibious : vehicle,boat : both  # forward reference to boat
+boat : entity : floats
+`
+
+func TestLoadBuildsLexicon(t *testing.T) {
+	l, err := LoadString(sampleLexicon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumSynsets() != 6 {
+		t.Fatalf("synsets = %d, want 6", l.NumSynsets())
+	}
+	if !l.AreSynonyms("car", "automobile") {
+		t.Fatalf("synonyms lost")
+	}
+	if !l.IsHypernymOf("vehicle", "truck") {
+		t.Fatalf("hypernymy lost")
+	}
+	// Multiple parents (forward reference).
+	if !l.IsHypernymOf("boat", "amphibious") || !l.IsHypernymOf("vehicle", "amphibious") {
+		t.Fatalf("multi-parent links lost")
+	}
+	// Gloss preserved.
+	ids := l.SynsetsOf("car")
+	s, _ := l.Synset(ids[0])
+	if s.Gloss != "four wheels" {
+		t.Fatalf("gloss = %q", s.Gloss)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	bad := []string{
+		"word : nonexistent_parent",
+		", : :",             // empty words
+		"a : :\na : :",      // duplicate head
+		"self : self : own", // self-hypernym
+	}
+	for _, in := range bad {
+		if _, err := LoadString(in); err == nil {
+			t.Errorf("LoadString(%q) should fail", in)
+		}
+	}
+}
+
+func TestLoadDumpRoundTrip(t *testing.T) {
+	l, err := LoadString(sampleLexicon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := l.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LoadString(buf.String())
+	if err != nil {
+		t.Fatalf("re-load failed: %v\n%s", err, buf.String())
+	}
+	var buf2 strings.Builder
+	if err := l2.Dump(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestLoadedLexiconDrivesMatching(t *testing.T) {
+	l, err := LoadString(sampleLexicon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.PathSimilarity("car", "truck") <= 0 {
+		t.Fatalf("siblings unrelated in loaded lexicon")
+	}
+}

@@ -1,0 +1,199 @@
+package lexicon
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokens splits an ontology term into lowercase word tokens: CamelCase
+// boundaries, underscores, hyphens, dots and spaces all separate tokens,
+// and digit runs form their own tokens. "CargoCarrierVehicle" becomes
+// ["cargo", "carrier", "vehicle"].
+func Tokens(term string) []string {
+	var toks []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			toks = append(toks, strings.ToLower(string(cur)))
+			cur = cur[:0]
+		}
+	}
+	runes := []rune(term)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == ' ' || r == '.' || r == ':' || r == '/':
+			flush()
+		case unicode.IsUpper(r):
+			// New token at lower→Upper and at Upper followed by lower
+			// within an acronym run (e.g. "XMLFile" -> xml, file).
+			if i > 0 {
+				prev := runes[i-1]
+				nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+				if unicode.IsLower(prev) || unicode.IsDigit(prev) || (unicode.IsUpper(prev) && nextLower) {
+					flush()
+				}
+			}
+			cur = append(cur, r)
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			if i > 0 && unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// HeadToken returns the final token of a term — the head noun of an
+// English compound ("PassengerCar" → "car"), which carries most of the
+// semantic weight in lexicon lookups.
+func HeadToken(term string) string {
+	toks := Tokens(term)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[len(toks)-1]
+}
+
+// Normalize lowercases a term and joins its tokens with underscores,
+// giving a canonical comparison form.
+func Normalize(term string) string {
+	return strings.Join(Tokens(term), "_")
+}
+
+// EditDistance returns the Levenshtein distance between two strings,
+// computed over runes.
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity maps edit distance into [0,1]: 1 for identical strings,
+// 0 for completely different ones.
+func EditSimilarity(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(a, b))/float64(max)
+}
+
+// JaccardTokens returns |A ∩ B| / |A ∪ B| over token sets.
+func JaccardTokens(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]uint8, len(a)+len(b))
+	for _, t := range a {
+		set[t] |= 1
+	}
+	for _, t := range b {
+		set[t] |= 2
+	}
+	inter, union := 0, 0
+	for _, m := range set {
+		union++
+		if m == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+// TrigramSimilarity returns the Jaccard similarity of character trigram
+// sets (with padding), a robust fuzzy-string measure for short labels.
+func TrigramSimilarity(a, b string) float64 {
+	return TrigramSet(a).Similarity(TrigramSet(b))
+}
+
+// Trigrams is a precomputed trigram set; bulk matchers (SKAT's fuzzy
+// candidate gate) build one per term once instead of re-deriving sets for
+// every pair.
+type Trigrams map[string]struct{}
+
+// TrigramSet builds the padded trigram set of s.
+func TrigramSet(s string) Trigrams { return trigrams(s) }
+
+// Similarity is the Jaccard similarity of two trigram sets.
+func (ta Trigrams) Similarity(tb Trigrams) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	small, large := ta, tb
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for t := range small {
+		if _, ok := large[t]; ok {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return float64(inter) / float64(union)
+}
+
+func trigrams(s string) Trigrams {
+	s = strings.ToLower(s)
+	if s == "" {
+		return nil
+	}
+	padded := "  " + s + " "
+	out := make(map[string]struct{}, len(padded))
+	runes := []rune(padded)
+	for i := 0; i+3 <= len(runes); i++ {
+		out[string(runes[i:i+3])] = struct{}{}
+	}
+	return out
+}

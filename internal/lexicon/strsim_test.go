@@ -1,0 +1,167 @@
+package lexicon
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"CargoCarrierVehicle", []string{"cargo", "carrier", "vehicle"}},
+		{"PassengerCar", []string{"passenger", "car"}},
+		{"my_term-name", []string{"my", "term", "name"}},
+		{"XMLFile", []string{"xml", "file"}},
+		{"price2000", []string{"price", "2000"}},
+		{"2000price", []string{"2000", "price"}},
+		{"lowercase", []string{"lowercase"}},
+		{"ALLCAPS", []string{"allcaps"}},
+		{"", nil},
+		{"a.b:c/d", []string{"a", "b", "c", "d"}},
+	}
+	for _, c := range cases {
+		if got := Tokens(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHeadToken(t *testing.T) {
+	if got := HeadToken("PassengerCar"); got != "car" {
+		t.Fatalf("HeadToken = %q, want car", got)
+	}
+	if got := HeadToken(""); got != "" {
+		t.Fatalf("HeadToken(\"\") = %q", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("CargoCarrier"); got != "cargo_carrier" {
+		t.Fatalf("Normalize = %q", got)
+	}
+	if Normalize("cargo_carrier") != Normalize("CargoCarrier") {
+		t.Fatalf("Normalize not canonical across styles")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"car", "cart", 1},
+		{"car", "car", 0},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if s := EditSimilarity("car", "car"); s != 1 {
+		t.Fatalf("identical similarity = %v", s)
+	}
+	if s := EditSimilarity("", ""); s != 1 {
+		t.Fatalf("empty similarity = %v", s)
+	}
+	if s := EditSimilarity("abc", "xyz"); s != 0 {
+		t.Fatalf("disjoint similarity = %v", s)
+	}
+	if a, b := EditSimilarity("vehicle", "vehicles"), EditSimilarity("vehicle", "truck"); a <= b {
+		t.Fatalf("similarity ordering wrong: %v vs %v", a, b)
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	a := Tokens("CargoCarrierVehicle")
+	b := Tokens("VehicleCarrier")
+	got := JaccardTokens(a, b)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("JaccardTokens = %v, want in (0,1)", got)
+	}
+	if JaccardTokens(a, a) != 1 {
+		t.Fatalf("self Jaccard != 1")
+	}
+	if JaccardTokens(nil, nil) != 1 {
+		t.Fatalf("empty-empty Jaccard != 1")
+	}
+	if JaccardTokens(a, nil) != 0 {
+		t.Fatalf("empty-right Jaccard != 0")
+	}
+}
+
+func TestTrigramSimilarity(t *testing.T) {
+	if TrigramSimilarity("vehicle", "vehicle") != 1 {
+		t.Fatalf("self trigram != 1")
+	}
+	if TrigramSimilarity("", "") != 1 {
+		t.Fatalf("empty trigram != 1")
+	}
+	if TrigramSimilarity("vehicle", "") != 0 {
+		t.Fatalf("empty-right trigram != 0")
+	}
+	near := TrigramSimilarity("vehicle", "vehicles")
+	far := TrigramSimilarity("vehicle", "factory")
+	if near <= far {
+		t.Fatalf("trigram ordering wrong: %v vs %v", near, far)
+	}
+}
+
+// Property: edit distance is a metric (symmetry and identity; triangle
+// inequality spot-checked).
+func TestQuickEditDistanceMetric(t *testing.T) {
+	sym := func(a, b string) bool {
+		if len(a) > 30 || len(b) > 30 {
+			return true
+		}
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	ident := func(a string) bool {
+		if len(a) > 30 {
+			return true
+		}
+		return EditDistance(a, a) == 0
+	}
+	if err := quick.Check(ident, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	tri := func(a, b, c string) bool {
+		if len(a) > 15 || len(b) > 15 || len(c) > 15 {
+			return true
+		}
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all similarity measures stay within [0,1].
+func TestQuickSimilarityBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 || len(b) > 30 {
+			return true
+		}
+		es := EditSimilarity(a, b)
+		ts := TrigramSimilarity(a, b)
+		js := JaccardTokens(Tokens(a), Tokens(b))
+		ok := func(x float64) bool { return x >= 0 && x <= 1 }
+		return ok(es) && ok(ts) && ok(js)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package ontology
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Superclasses returns every proper superclass of term (transitive),
+// sorted. Unknown terms yield nil.
+func (o *Ontology) Superclasses(term string) []string {
+	return o.properReach(term, SubclassOf, false)
+}
+
+// Subclasses returns every proper subclass of term (transitive), sorted.
+func (o *Ontology) Subclasses(term string) []string {
+	return o.properReach(term, SubclassOf, true)
+}
+
+// Implies returns every term that term semantically implies, following SI
+// edges transitively (excluding term itself), sorted.
+func (o *Ontology) Implies(term string) []string {
+	return o.properReach(term, SI, false)
+}
+
+func (o *Ontology) properReach(term, rel string, reverse bool) []string {
+	id, ok := o.g.NodeByLabel(term)
+	if !ok {
+		return nil
+	}
+	var reach []graph.NodeID
+	if reverse {
+		reach = o.g.ReachableReverse(id, graph.LabelFilter(rel))
+	} else {
+		reach = o.g.Reachable(id, graph.LabelFilter(rel))
+	}
+	out := make([]string, 0, len(reach))
+	for _, r := range reach {
+		if r != id {
+			out = append(out, o.g.Label(r))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsA reports whether sub is (transitively) a subclass of super, or the
+// same term.
+func (o *Ontology) IsA(sub, super string) bool {
+	s, ok1 := o.g.NodeByLabel(sub)
+	p, ok2 := o.g.NodeByLabel(super)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return o.g.PathExists(s, p, graph.LabelFilter(SubclassOf))
+}
+
+// Attributes returns the attributes of term: its direct AttributeOf targets
+// plus those inherited from all (transitive) superclasses, sorted and
+// de-duplicated.
+func (o *Ontology) Attributes(term string) []string {
+	id, ok := o.g.NodeByLabel(term)
+	if !ok {
+		return nil
+	}
+	set := make(map[string]struct{})
+	classes := o.g.Reachable(id, graph.LabelFilter(SubclassOf)) // includes term
+	for _, c := range classes {
+		for _, e := range o.g.OutEdges(c) {
+			if e.Label == AttributeOf {
+				set[o.g.Label(e.To)] = struct{}{}
+			}
+		}
+	}
+	return sortedSet(set)
+}
+
+// DirectAttributes returns only the attributes attached directly to term.
+func (o *Ontology) DirectAttributes(term string) []string {
+	id, ok := o.g.NodeByLabel(term)
+	if !ok {
+		return nil
+	}
+	set := make(map[string]struct{})
+	for _, e := range o.g.OutEdges(id) {
+		if e.Label == AttributeOf {
+			set[o.g.Label(e.To)] = struct{}{}
+		}
+	}
+	return sortedSet(set)
+}
+
+// Instances returns the instances of term: terms with an InstanceOf edge to
+// term or to any (transitive) subclass of term, sorted.
+func (o *Ontology) Instances(term string) []string {
+	id, ok := o.g.NodeByLabel(term)
+	if !ok {
+		return nil
+	}
+	set := make(map[string]struct{})
+	classes := o.g.ReachableReverse(id, graph.LabelFilter(SubclassOf)) // term + subclasses
+	for _, c := range classes {
+		for _, e := range o.g.InEdges(c) {
+			if e.Label == InstanceOf {
+				set[o.g.Label(e.From)] = struct{}{}
+			}
+		}
+	}
+	return sortedSet(set)
+}
+
+// ClassOf returns the classes that instance directly belongs to (its
+// InstanceOf targets), sorted.
+func (o *Ontology) ClassOf(instance string) []string {
+	id, ok := o.g.NodeByLabel(instance)
+	if !ok {
+		return nil
+	}
+	set := make(map[string]struct{})
+	for _, e := range o.g.OutEdges(id) {
+		if e.Label == InstanceOf {
+			set[o.g.Label(e.To)] = struct{}{}
+		}
+	}
+	return sortedSet(set)
+}
+
+// Neighborhood returns the terms within radius hops of term, ignoring edge
+// direction and labels, sorted. Radius 0 yields just the term. SKAT's
+// structural matcher uses neighbourhoods as context signatures.
+func (o *Ontology) Neighborhood(term string, radius int) []string {
+	id, ok := o.g.NodeByLabel(term)
+	if !ok {
+		return nil
+	}
+	seen := map[graph.NodeID]bool{id: true}
+	frontier := []graph.NodeID{id}
+	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
+		var next []graph.NodeID
+		for _, n := range frontier {
+			for _, e := range o.g.OutEdges(n) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range o.g.InEdges(n) {
+				if !seen[e.From] {
+					seen[e.From] = true
+					next = append(next, e.From)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, o.g.Label(n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CloseTransitiveRelations applies transitive closure to every relationship
+// declared Transitive and materialises Symmetric and Reflexive
+// declarations, returning the number of edges added. The inference package
+// offers rule-driven, provenance-tracking expansion; this method is the
+// quick structural variant used by the algebra.
+func (o *Ontology) CloseTransitiveRelations() int {
+	added := 0
+	for _, spec := range o.Relations() {
+		if spec.Props.Has(Symmetric) {
+			for _, e := range o.g.EdgesWithLabel(spec.Name) {
+				if !o.g.HasEdge(e.To, spec.Name, e.From) {
+					if err := o.g.AddEdge(e.To, spec.Name, e.From); err == nil {
+						added++
+					}
+				}
+			}
+		}
+		if spec.Props.Has(Transitive) {
+			added += o.g.CloseTransitive(spec.Name)
+		}
+		if spec.Props.Has(Reflexive) {
+			for _, n := range o.g.Nodes() {
+				if !o.g.HasEdge(n, spec.Name, n) {
+					if err := o.g.AddEdge(n, spec.Name, n); err == nil {
+						added++
+					}
+				}
+			}
+		}
+	}
+	return added
+}
+
+func sortedSet(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,296 @@
+// Package ontology layers ONION's notion of a consistent ontology on top of
+// the graph model (EDBT 2000, §1, §3).
+//
+// An ontology here is a named, directed, labeled graph in which every term
+// (node label) denotes exactly one concept — the paper's consistency
+// requirement, which lets terms be used interchangeably with nodes. The
+// package fixes the standard semantic relationships the paper builds on
+// (SubclassOf, AttributeOf, InstanceOf, semantic implication) and records
+// per-relationship property declarations (e.g. transitivity) that the
+// inference engine consumes.
+//
+// Directional conventions, used consistently across the repository:
+//
+//   - SubclassOf points from the subclass to the superclass.
+//   - InstanceOf points from the instance to its class.
+//   - AttributeOf points from the concept to its attribute, so a concept
+//     has outgoing edges to each of its attributes (this matches the
+//     paper's pattern notation truck(O:owner,model), where the truck node
+//     owns outgoing attribute edges).
+//   - SI (semantic implication) points from the more specific term to the
+//     more general: A —SI→ B means "A semantically implies B".
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// The standard relationship labels of the paper's semantic model (§2.5),
+// with their single-letter figure abbreviations S, A, I, SI.
+const (
+	SubclassOf  = "SubclassOf"
+	AttributeOf = "AttributeOf"
+	InstanceOf  = "InstanceOf"
+	// SI is the semantic-implication relationship; within articulations its
+	// bridge form SIBridge links articulation terms to source terms (§4.1).
+	SI       = "SI"
+	SIBridge = "SIBridge"
+)
+
+// Property is a bit set of algebraic properties a relationship may be
+// declared to have. The paper notes ontologies carry "rules that define the
+// properties of each relationship" (§2.5); these declarations are those
+// rules in structured form, and the inference engine expands them.
+type Property uint8
+
+// Relationship properties.
+const (
+	Transitive Property = 1 << iota
+	Symmetric
+	Reflexive
+)
+
+// Has reports whether p includes q.
+func (p Property) Has(q Property) bool { return p&q != 0 }
+
+// String lists the set, e.g. "transitive|symmetric".
+func (p Property) String() string {
+	var parts []string
+	if p.Has(Transitive) {
+		parts = append(parts, "transitive")
+	}
+	if p.Has(Symmetric) {
+		parts = append(parts, "symmetric")
+	}
+	if p.Has(Reflexive) {
+		parts = append(parts, "reflexive")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// RelationSpec declares one relationship and its properties.
+type RelationSpec struct {
+	Name  string
+	Props Property
+	// InverseOf, when non-empty, names the relationship holding in the
+	// opposite direction (e.g. a HasInstance inverse for InstanceOf).
+	InverseOf string
+}
+
+// Ontology is a consistent ontology: a named graph whose node labels
+// (terms) are unique. The zero value is not usable; call New.
+type Ontology struct {
+	g         *graph.Graph
+	relations map[string]RelationSpec
+}
+
+// New returns an empty ontology with the standard relationship
+// declarations: SubclassOf and SI are transitive; AttributeOf and
+// InstanceOf carry no algebraic properties.
+func New(name string) *Ontology {
+	o := &Ontology{
+		g:         graph.New(name),
+		relations: make(map[string]RelationSpec),
+	}
+	o.DeclareRelation(RelationSpec{Name: SubclassOf, Props: Transitive})
+	o.DeclareRelation(RelationSpec{Name: SI, Props: Transitive})
+	o.DeclareRelation(RelationSpec{Name: AttributeOf})
+	o.DeclareRelation(RelationSpec{Name: InstanceOf})
+	return o
+}
+
+// FromGraph wraps an existing graph as an ontology with the standard
+// relationship declarations. It fails if the graph violates consistency
+// (duplicate or empty labels).
+func FromGraph(g *graph.Graph) (*Ontology, error) {
+	o := New(g.Name())
+	o.g = g
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Name returns the ontology's name (e.g. "carrier").
+func (o *Ontology) Name() string { return o.g.Name() }
+
+// SetName renames the ontology.
+func (o *Ontology) SetName(name string) { o.g.SetName(name) }
+
+// Graph exposes the underlying graph. Mutating it directly bypasses
+// consistency checks; prefer the Ontology methods, and call Validate after
+// bulk manipulation.
+func (o *Ontology) Graph() *graph.Graph { return o.g }
+
+// DeclareRelation records (or replaces) a relationship declaration.
+func (o *Ontology) DeclareRelation(spec RelationSpec) {
+	o.relations[spec.Name] = spec
+}
+
+// Relation returns the declaration for name, if any.
+func (o *Ontology) Relation(name string) (RelationSpec, bool) {
+	s, ok := o.relations[name]
+	return s, ok
+}
+
+// Relations returns all declarations sorted by name.
+func (o *Ontology) Relations() []RelationSpec {
+	specs := make([]RelationSpec, 0, len(o.relations))
+	for _, s := range o.relations {
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// AddTerm introduces a new term. It fails if the term already exists
+// (consistency: one node per concept) or is empty.
+func (o *Ontology) AddTerm(term string) (graph.NodeID, error) {
+	if term == "" {
+		return graph.Invalid, fmt.Errorf("ontology %s: empty term", o.Name())
+	}
+	if _, exists := o.g.AnyNodeByLabel(term); exists {
+		return graph.Invalid, fmt.Errorf("ontology %s: term %q already defined", o.Name(), term)
+	}
+	return o.g.AddNode(term), nil
+}
+
+// EnsureTerm returns the node for term, creating it if missing.
+func (o *Ontology) EnsureTerm(term string) (graph.NodeID, error) {
+	return o.g.EnsureNode(term)
+}
+
+// Term resolves a term to its node.
+func (o *Ontology) Term(term string) (graph.NodeID, bool) {
+	return o.g.NodeByLabel(term)
+}
+
+// HasTerm reports whether the term is defined.
+func (o *Ontology) HasTerm(term string) bool {
+	_, ok := o.g.NodeByLabel(term)
+	return ok
+}
+
+// TermLabel returns the term carried by a node id ("" if unknown).
+func (o *Ontology) TermLabel(id graph.NodeID) string { return o.g.Label(id) }
+
+// Terms returns every term in sorted order.
+func (o *Ontology) Terms() []string { return o.g.Labels() }
+
+// NumTerms returns the number of terms.
+func (o *Ontology) NumTerms() int { return o.g.NumNodes() }
+
+// NumRelationships returns the number of relationship edges.
+func (o *Ontology) NumRelationships() int { return o.g.NumEdges() }
+
+// Relate adds the relationship from —rel→ to between existing terms.
+func (o *Ontology) Relate(from, rel, to string) error {
+	if rel == "" {
+		return fmt.Errorf("ontology %s: empty relationship label", o.Name())
+	}
+	f, ok := o.g.NodeByLabel(from)
+	if !ok {
+		return fmt.Errorf("ontology %s: unknown term %q", o.Name(), from)
+	}
+	t, ok := o.g.NodeByLabel(to)
+	if !ok {
+		return fmt.Errorf("ontology %s: unknown term %q", o.Name(), to)
+	}
+	return o.g.AddEdge(f, rel, t)
+}
+
+// MustRelate is Relate for static construction code (fixtures, examples);
+// it panics on error.
+func (o *Ontology) MustRelate(from, rel, to string) {
+	if err := o.Relate(from, rel, to); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddTerm is AddTerm for static construction code; it panics on error.
+func (o *Ontology) MustAddTerm(term string) graph.NodeID {
+	id, err := o.AddTerm(term)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Related reports whether from —rel→ to holds directly (no inference).
+func (o *Ontology) Related(from, rel, to string) bool {
+	f, ok1 := o.g.NodeByLabel(from)
+	t, ok2 := o.g.NodeByLabel(to)
+	return ok1 && ok2 && o.g.HasEdge(f, rel, t)
+}
+
+// Unrelate removes a direct relationship, reporting whether it existed.
+func (o *Ontology) Unrelate(from, rel, to string) bool {
+	f, ok1 := o.g.NodeByLabel(from)
+	t, ok2 := o.g.NodeByLabel(to)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return o.g.DeleteEdge(graph.Edge{From: f, Label: rel, To: t})
+}
+
+// RemoveTerm deletes a term and all its relationships, reporting whether
+// it existed.
+func (o *Ontology) RemoveTerm(term string) bool {
+	id, ok := o.g.NodeByLabel(term)
+	if !ok {
+		return false
+	}
+	return o.g.DeleteNode(id)
+}
+
+// Clone returns a deep copy (graph and declarations).
+func (o *Ontology) Clone() *Ontology {
+	c := &Ontology{
+		g:         o.g.Clone(),
+		relations: make(map[string]RelationSpec, len(o.relations)),
+	}
+	for k, v := range o.relations {
+		c.relations[k] = v
+	}
+	return c
+}
+
+// Validate checks the consistency requirements of §1: every term names one
+// concept (labels unique and non-empty), relationship labels are non-empty,
+// and the SubclassOf hierarchy is acyclic (a cycle would make two classes
+// mutually proper subclasses, i.e. the same concept under two terms).
+func (o *Ontology) Validate() error {
+	if err := o.g.Validate(); err != nil {
+		return err
+	}
+	seen := make(map[string]bool, o.g.NumNodes())
+	for _, l := range o.g.Labels() {
+		if seen[l] {
+			return fmt.Errorf("ontology %s: inconsistent: term %q defined twice", o.Name(), l)
+		}
+		seen[l] = true
+	}
+	for _, e := range o.g.Edges() {
+		if e.Label == "" {
+			return fmt.Errorf("ontology %s: relationship with empty label: %v", o.Name(), e)
+		}
+	}
+	if cyc := o.g.FindCycle(SubclassOf); cyc != nil {
+		names := make([]string, len(cyc))
+		for i, id := range cyc {
+			names[i] = o.g.Label(id)
+		}
+		return fmt.Errorf("ontology %s: SubclassOf cycle: %s", o.Name(), strings.Join(names, " -> "))
+	}
+	return nil
+}
+
+// String renders a deterministic dump (delegates to the graph).
+func (o *Ontology) String() string { return o.g.String() }

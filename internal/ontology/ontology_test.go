@@ -1,0 +1,308 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+// carrierFixture builds the carrier fragment from Fig. 2.
+func carrierFixture(t testing.TB) *Ontology {
+	t.Helper()
+	o := New("carrier")
+	for _, term := range []string{"Transportation", "Cars", "Trucks", "PassengerCar", "SUV", "MyCar", "Driver", "Price", "Owner", "Model", "2000"} {
+		o.MustAddTerm(term)
+	}
+	rel := [][3]string{
+		{"Cars", SubclassOf, "Transportation"},
+		{"Trucks", SubclassOf, "Transportation"},
+		{"PassengerCar", SubclassOf, "Cars"},
+		{"SUV", SubclassOf, "Cars"},
+		{"MyCar", InstanceOf, "PassengerCar"},
+		{"Cars", AttributeOf, "Price"},
+		{"Cars", AttributeOf, "Owner"},
+		{"Trucks", AttributeOf, "Model"},
+		{"Trucks", AttributeOf, "Owner"},
+		{"MyCar", "hasPrice", "2000"},
+	}
+	for _, r := range rel {
+		o.MustRelate(r[0], r[1], r[2])
+	}
+	return o
+}
+
+func TestAddTermRejectsDuplicates(t *testing.T) {
+	o := New("t")
+	if _, err := o.AddTerm("Car"); err != nil {
+		t.Fatalf("AddTerm: %v", err)
+	}
+	if _, err := o.AddTerm("Car"); err == nil {
+		t.Fatalf("duplicate term accepted — ontology no longer consistent")
+	}
+	if _, err := o.AddTerm(""); err == nil {
+		t.Fatalf("empty term accepted")
+	}
+}
+
+func TestEnsureTermIdempotent(t *testing.T) {
+	o := New("t")
+	a, err := o.EnsureTerm("Car")
+	if err != nil {
+		t.Fatalf("EnsureTerm: %v", err)
+	}
+	b, err := o.EnsureTerm("Car")
+	if err != nil || a != b {
+		t.Fatalf("EnsureTerm not idempotent: (%d,%v) vs %d", b, err, a)
+	}
+}
+
+func TestRelateUnknownTerms(t *testing.T) {
+	o := New("t")
+	o.MustAddTerm("Car")
+	if err := o.Relate("Car", SubclassOf, "Vehicle"); err == nil {
+		t.Fatalf("Relate with unknown target accepted")
+	}
+	if err := o.Relate("Vehicle", SubclassOf, "Car"); err == nil {
+		t.Fatalf("Relate with unknown source accepted")
+	}
+	if err := o.Relate("Car", "", "Car"); err == nil {
+		t.Fatalf("Relate with empty relationship accepted")
+	}
+}
+
+func TestRelatedAndUnrelate(t *testing.T) {
+	o := carrierFixture(t)
+	if !o.Related("Cars", SubclassOf, "Transportation") {
+		t.Fatalf("Related missed existing edge")
+	}
+	if o.Related("Transportation", SubclassOf, "Cars") {
+		t.Fatalf("Related ignored direction")
+	}
+	if !o.Unrelate("Cars", SubclassOf, "Transportation") {
+		t.Fatalf("Unrelate failed on existing edge")
+	}
+	if o.Unrelate("Cars", SubclassOf, "Transportation") {
+		t.Fatalf("Unrelate succeeded twice")
+	}
+	if o.Unrelate("Nope", SubclassOf, "Transportation") {
+		t.Fatalf("Unrelate of unknown term succeeded")
+	}
+}
+
+func TestRemoveTerm(t *testing.T) {
+	o := carrierFixture(t)
+	if !o.RemoveTerm("Cars") {
+		t.Fatalf("RemoveTerm(Cars) = false")
+	}
+	if o.HasTerm("Cars") {
+		t.Fatalf("term survives removal")
+	}
+	if o.RemoveTerm("Cars") {
+		t.Fatalf("RemoveTerm twice succeeded")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("Validate after removal: %v", err)
+	}
+}
+
+func TestValidateDetectsSubclassCycle(t *testing.T) {
+	o := carrierFixture(t)
+	o.MustRelate("Transportation", SubclassOf, "SUV")
+	err := o.Validate()
+	if err == nil {
+		t.Fatalf("Validate missed SubclassOf cycle")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Validate error does not mention cycle: %v", err)
+	}
+}
+
+func TestValidateDetectsDuplicateLabels(t *testing.T) {
+	o := New("t")
+	o.MustAddTerm("X")
+	o.Graph().AddNode("X") // bypass the consistency check deliberately
+	if err := o.Validate(); err == nil {
+		t.Fatalf("Validate missed duplicate term")
+	}
+}
+
+func TestSuperAndSubclasses(t *testing.T) {
+	o := carrierFixture(t)
+	got := o.Superclasses("SUV")
+	want := []string{"Cars", "Transportation"}
+	assertStrings(t, "Superclasses(SUV)", got, want)
+
+	got = o.Subclasses("Transportation")
+	want = []string{"Cars", "PassengerCar", "SUV", "Trucks"}
+	assertStrings(t, "Subclasses(Transportation)", got, want)
+
+	if o.Superclasses("NoSuchTerm") != nil {
+		t.Fatalf("Superclasses of unknown term should be nil")
+	}
+}
+
+func TestIsA(t *testing.T) {
+	o := carrierFixture(t)
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"SUV", "Transportation", true},
+		{"SUV", "Cars", true},
+		{"SUV", "SUV", true},
+		{"Cars", "SUV", false},
+		{"MyCar", "Cars", false}, // InstanceOf is not SubclassOf
+		{"Ghost", "Cars", false},
+	}
+	for _, c := range cases {
+		if got := o.IsA(c.sub, c.super); got != c.want {
+			t.Errorf("IsA(%s,%s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestAttributesInherited(t *testing.T) {
+	o := carrierFixture(t)
+	got := o.Attributes("SUV") // inherits Price, Owner from Cars
+	assertStrings(t, "Attributes(SUV)", got, []string{"Owner", "Price"})
+
+	got = o.DirectAttributes("SUV")
+	if len(got) != 0 {
+		t.Fatalf("DirectAttributes(SUV) = %v, want none", got)
+	}
+	got = o.DirectAttributes("Trucks")
+	assertStrings(t, "DirectAttributes(Trucks)", got, []string{"Model", "Owner"})
+}
+
+func TestInstancesIncludeSubclassInstances(t *testing.T) {
+	o := carrierFixture(t)
+	assertStrings(t, "Instances(Cars)", o.Instances("Cars"), []string{"MyCar"})
+	assertStrings(t, "Instances(Transportation)", o.Instances("Transportation"), []string{"MyCar"})
+	if got := o.Instances("Trucks"); len(got) != 0 {
+		t.Fatalf("Instances(Trucks) = %v, want none", got)
+	}
+	assertStrings(t, "ClassOf(MyCar)", o.ClassOf("MyCar"), []string{"PassengerCar"})
+}
+
+func TestNeighborhood(t *testing.T) {
+	o := carrierFixture(t)
+	assertStrings(t, "Neighborhood r0", o.Neighborhood("Cars", 0), []string{"Cars"})
+	n1 := o.Neighborhood("Cars", 1)
+	for _, want := range []string{"Cars", "Transportation", "PassengerCar", "SUV", "Price", "Owner"} {
+		if !containsString(n1, want) {
+			t.Fatalf("Neighborhood(Cars,1) missing %s: %v", want, n1)
+		}
+	}
+	if containsString(n1, "MyCar") {
+		t.Fatalf("Neighborhood(Cars,1) should not reach MyCar (2 hops)")
+	}
+	if !containsString(o.Neighborhood("Cars", 2), "MyCar") {
+		t.Fatalf("Neighborhood(Cars,2) should reach MyCar")
+	}
+}
+
+func TestCloseTransitiveRelations(t *testing.T) {
+	o := carrierFixture(t)
+	added := o.CloseTransitiveRelations()
+	if added == 0 {
+		t.Fatalf("no transitive edges added")
+	}
+	if !o.Related("SUV", SubclassOf, "Transportation") {
+		t.Fatalf("closure missing SUV->Transportation")
+	}
+	if o.CloseTransitiveRelations() != 0 {
+		t.Fatalf("closure not a fixpoint")
+	}
+}
+
+func TestCloseSymmetricAndReflexive(t *testing.T) {
+	o := New("t")
+	o.MustAddTerm("A")
+	o.MustAddTerm("B")
+	o.DeclareRelation(RelationSpec{Name: "near", Props: Symmetric})
+	o.DeclareRelation(RelationSpec{Name: "self", Props: Reflexive})
+	o.MustRelate("A", "near", "B")
+	o.CloseTransitiveRelations()
+	if !o.Related("B", "near", "A") {
+		t.Fatalf("symmetric closure missing")
+	}
+	if !o.Related("A", "self", "A") || !o.Related("B", "self", "B") {
+		t.Fatalf("reflexive closure missing")
+	}
+}
+
+func TestRelationsDeclarations(t *testing.T) {
+	o := New("t")
+	spec, ok := o.Relation(SubclassOf)
+	if !ok || !spec.Props.Has(Transitive) {
+		t.Fatalf("SubclassOf not declared transitive by default")
+	}
+	o.DeclareRelation(RelationSpec{Name: "partOf", Props: Transitive})
+	all := o.Relations()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	assertStrings(t, "Relations", names, []string{AttributeOf, InstanceOf, SI, SubclassOf, "partOf"})
+}
+
+func TestPropertyString(t *testing.T) {
+	if got := (Transitive | Symmetric).String(); got != "transitive|symmetric" {
+		t.Fatalf("Property.String = %q", got)
+	}
+	if got := Property(0).String(); got != "none" {
+		t.Fatalf("Property(0).String = %q", got)
+	}
+	if got := Reflexive.String(); got != "reflexive" {
+		t.Fatalf("Reflexive.String = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	o := carrierFixture(t)
+	c := o.Clone()
+	c.DeclareRelation(RelationSpec{Name: "extra"})
+	c.RemoveTerm("Cars")
+	if !o.HasTerm("Cars") {
+		t.Fatalf("clone mutation leaked into original")
+	}
+	if _, ok := o.Relation("extra"); ok {
+		t.Fatalf("clone declaration leaked into original")
+	}
+}
+
+func TestFromGraphValidates(t *testing.T) {
+	o := carrierFixture(t)
+	o2, err := FromGraph(o.Graph().Clone())
+	if err != nil {
+		t.Fatalf("FromGraph on valid graph: %v", err)
+	}
+	if o2.NumTerms() != o.NumTerms() {
+		t.Fatalf("FromGraph lost terms")
+	}
+	bad := o.Graph().Clone()
+	bad.AddNode("Cars") // duplicate label
+	if _, err := FromGraph(bad); err == nil {
+		t.Fatalf("FromGraph accepted inconsistent graph")
+	}
+}
+
+func assertStrings(t testing.TB, what string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+}
+
+func containsString(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package ontology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ref is a qualified term reference "ontology.Term" — the paper prefixes
+// terms with their ontology (e.g. carrier.Car) wherever rules cross
+// ontology boundaries (§4.1). An empty Ont means the reference is local to
+// whichever ontology is implied by context.
+type Ref struct {
+	Ont  string
+	Term string
+}
+
+// MakeRef builds a Ref from its parts.
+func MakeRef(ont, term string) Ref { return Ref{Ont: ont, Term: term} }
+
+// ParseRef parses "ontology.Term", "ontology:Term" or a bare "Term".
+// Only the first separator splits, so terms may themselves contain dots
+// (rare, but label alphabets are unrestricted).
+func ParseRef(s string) (Ref, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Ref{}, fmt.Errorf("ontology: empty term reference")
+	}
+	i := strings.IndexAny(s, ".:")
+	if i < 0 {
+		return Ref{Term: s}, nil
+	}
+	ont, term := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+	if ont == "" || term == "" {
+		return Ref{}, fmt.Errorf("ontology: malformed term reference %q", s)
+	}
+	return Ref{Ont: ont, Term: term}, nil
+}
+
+// MustParseRef is ParseRef for static construction code; it panics on error.
+func MustParseRef(s string) Ref {
+	r, err := ParseRef(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// String renders "ontology.Term", or just "Term" when unqualified.
+func (r Ref) String() string {
+	if r.Ont == "" {
+		return r.Term
+	}
+	return r.Ont + "." + r.Term
+}
+
+// Qualified reports whether the reference names its ontology.
+func (r Ref) Qualified() bool { return r.Ont != "" }
+
+// In returns a copy of r qualified with ont when r is unqualified;
+// qualified refs are returned unchanged.
+func (r Ref) In(ont string) Ref {
+	if r.Ont == "" {
+		r.Ont = ont
+	}
+	return r
+}
+
+// Less orders refs lexicographically by (Ont, Term), for deterministic
+// output.
+func (r Ref) Less(s Ref) bool {
+	if r.Ont != s.Ont {
+		return r.Ont < s.Ont
+	}
+	return r.Term < s.Term
+}
+
+// Resolver resolves qualified references against a set of ontologies.
+// The core data layer implements it; rules and the articulation generator
+// depend only on this interface.
+type Resolver interface {
+	// Ontology returns the registered ontology with the given name.
+	Ontology(name string) (*Ontology, bool)
+}
+
+// MapResolver is a trivial Resolver over a map, handy for tests and small
+// assemblies.
+type MapResolver map[string]*Ontology
+
+// Ontology implements Resolver.
+func (m MapResolver) Ontology(name string) (*Ontology, bool) {
+	o, ok := m[name]
+	return o, ok
+}
+
+// Resolve looks the ref's term up in its ontology via r.
+func Resolve(r Resolver, ref Ref) (*Ontology, bool) {
+	if !ref.Qualified() {
+		return nil, false
+	}
+	o, ok := r.Ontology(ref.Ont)
+	if !ok {
+		return nil, false
+	}
+	if !o.HasTerm(ref.Term) {
+		return nil, false
+	}
+	return o, true
+}

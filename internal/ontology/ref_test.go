@@ -1,0 +1,91 @@
+package ontology
+
+import "testing"
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Ref
+		wantErr bool
+	}{
+		{"carrier.Car", Ref{"carrier", "Car"}, false},
+		{"carrier:Car", Ref{"carrier", "Car"}, false},
+		{"Car", Ref{"", "Car"}, false},
+		{"  factory.Vehicle  ", Ref{"factory", "Vehicle"}, false},
+		{"a.b.c", Ref{"a", "b.c"}, false}, // first separator wins
+		{"", Ref{}, true},
+		{".Car", Ref{}, true},
+		{"carrier.", Ref{}, true},
+		{"   ", Ref{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRef(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseRef(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseRef(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if got := (Ref{"carrier", "Car"}).String(); got != "carrier.Car" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Ref{"", "Car"}).String(); got != "Car" {
+		t.Fatalf("unqualified String = %q", got)
+	}
+}
+
+func TestRefIn(t *testing.T) {
+	r := Ref{Term: "Car"}
+	if got := r.In("carrier"); got.Ont != "carrier" {
+		t.Fatalf("In did not qualify: %v", got)
+	}
+	q := Ref{"factory", "Vehicle"}
+	if got := q.In("carrier"); got.Ont != "factory" {
+		t.Fatalf("In overrode existing qualification: %v", got)
+	}
+}
+
+func TestRefLess(t *testing.T) {
+	a := Ref{"a", "Z"}
+	b := Ref{"b", "A"}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("Less should order by ontology first")
+	}
+	c := Ref{"a", "A"}
+	if !c.Less(a) {
+		t.Fatalf("Less should order by term second")
+	}
+}
+
+func TestMustParseRefPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustParseRef did not panic on bad input")
+		}
+	}()
+	MustParseRef("")
+}
+
+func TestResolve(t *testing.T) {
+	o := New("carrier")
+	o.MustAddTerm("Car")
+	res := MapResolver{"carrier": o}
+
+	if got, ok := Resolve(res, Ref{"carrier", "Car"}); !ok || got != o {
+		t.Fatalf("Resolve known ref failed")
+	}
+	if _, ok := Resolve(res, Ref{"carrier", "Ghost"}); ok {
+		t.Fatalf("Resolve unknown term succeeded")
+	}
+	if _, ok := Resolve(res, Ref{"nowhere", "Car"}); ok {
+		t.Fatalf("Resolve unknown ontology succeeded")
+	}
+	if _, ok := Resolve(res, Ref{"", "Car"}); ok {
+		t.Fatalf("Resolve unqualified ref succeeded")
+	}
+}

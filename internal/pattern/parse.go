@@ -1,0 +1,308 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AttributeEdgeLabel is the edge label produced for parenthesised
+// attribute arguments in the textual notation, mirroring
+// ontology.AttributeOf (duplicated here to keep this package at the graph
+// layer).
+const AttributeEdgeLabel = "AttributeOf"
+
+// Parse parses the paper's textual pattern notation (§3):
+//
+//	carrier:car:driver        a path in ontology carrier: node car with an
+//	                          outgoing edge to node driver
+//	truck(O:owner,model)      node truck with AttributeOf edges to owner and
+//	                          model; variable O captures the owner's image
+//	carrier:truck(O:owner)    both combined
+//	factory:?x:Price          ?x is a pure variable node
+//
+// Following the paper, when a chain has two or more components the first
+// bare component names the ontology. To parse a multi-step path without an
+// ontology qualifier use ParseLocal.
+func Parse(s string) (*Pattern, error) {
+	elems, err := parseChain(s)
+	if err != nil {
+		return nil, err
+	}
+	ont := ""
+	if len(elems) >= 2 && elems[0].bare() {
+		ont = elems[0].name
+		elems = elems[1:]
+	}
+	return build(ont, elems)
+}
+
+// ParseLocal parses the chain without treating the first component as an
+// ontology name: "car:driver" is a two-node path.
+func ParseLocal(s string) (*Pattern, error) {
+	elems, err := parseChain(s)
+	if err != nil {
+		return nil, err
+	}
+	return build("", elems)
+}
+
+// ParseIn is ParseLocal with the resulting pattern addressed to ont.
+func ParseIn(ont, s string) (*Pattern, error) {
+	p, err := ParseLocal(s)
+	if err != nil {
+		return nil, err
+	}
+	p.Ont = ont
+	return p, nil
+}
+
+// MustParse is Parse for static construction code; it panics on error.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// element is one parsed chain component.
+type element struct {
+	name  string // "" for pure variables
+	vr    string // variable name, if any
+	isVar bool
+	args  []element
+}
+
+func (e element) bare() bool { return !e.isVar && e.vr == "" && len(e.args) == 0 && e.name != "" }
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokColon
+	tokLParen
+	tokRParen
+	tokComma
+	tokQuestion
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && (l.in[l.pos] == ' ' || l.in[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	switch c := l.in[l.pos]; c {
+	case ':':
+		l.pos++
+		return token{tokColon, ":", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '?':
+		l.pos++
+		return token{tokQuestion, "?", start}, nil
+	}
+	end := l.pos
+	for end < len(l.in) && isIdentByte(l.in, end) {
+		end++
+	}
+	if end == l.pos {
+		return token{}, fmt.Errorf("pattern: unexpected character %q at %d in %q", l.in[l.pos], l.pos, l.in)
+	}
+	text := l.in[l.pos:end]
+	l.pos = end
+	return token{tokIdent, text, start}, nil
+}
+
+func isIdentByte(s string, i int) bool {
+	c := s[i]
+	if c >= 0x80 {
+		// Accept all non-ASCII bytes: labels may be any UTF-8 text.
+		return true
+	}
+	return c == '_' || c == '-' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+type parser struct {
+	lex  *lexer
+	cur  token
+	prev token
+}
+
+func newParser(s string) (*parser, error) {
+	p := &parser{lex: &lexer{in: s}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.prev, p.cur = p.cur, t
+	return nil
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, fmt.Errorf("pattern: expected %s at %d in %q", what, p.cur.pos, p.lex.in)
+	}
+	t := p.cur
+	return t, p.advance()
+}
+
+// parseChain parses element (':' element)*.
+func parseChain(s string) ([]element, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("pattern: empty pattern")
+	}
+	p, err := newParser(s)
+	if err != nil {
+		return nil, err
+	}
+	var elems []element
+	for {
+		el, err := p.parseElement(false)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, el)
+		if p.cur.kind != tokColon {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("pattern: trailing input at %d in %q", p.cur.pos, p.lex.in)
+	}
+	return elems, nil
+}
+
+// parseElement parses [var ':'] (ident | '?' [ident]) [ '(' args ')' ].
+// Variable prefixes (V:name) are only legal in argument position, because
+// in chain position a leading ident followed by ':' is a path step.
+func (p *parser) parseElement(argPos bool) (element, error) {
+	var el element
+	switch p.cur.kind {
+	case tokQuestion:
+		if err := p.advance(); err != nil {
+			return el, err
+		}
+		el.isVar = true
+		if p.cur.kind == tokIdent {
+			el.vr = p.cur.text
+			if err := p.advance(); err != nil {
+				return el, err
+			}
+		}
+	case tokIdent:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return el, err
+		}
+		// In argument position, ident ':' ident is a variable binding.
+		if argPos && p.cur.kind == tokColon {
+			if err := p.advance(); err != nil {
+				return el, err
+			}
+			el.vr = name
+			switch p.cur.kind {
+			case tokIdent:
+				el.name = p.cur.text
+				if err := p.advance(); err != nil {
+					return el, err
+				}
+			case tokQuestion:
+				if err := p.advance(); err != nil {
+					return el, err
+				}
+				el.isVar = true
+			default:
+				return el, fmt.Errorf("pattern: expected term after %q: at %d in %q", name, p.cur.pos, p.lex.in)
+			}
+		} else {
+			el.name = name
+		}
+	default:
+		return el, fmt.Errorf("pattern: expected term at %d in %q", p.cur.pos, p.lex.in)
+	}
+
+	if p.cur.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return el, err
+		}
+		for {
+			arg, err := p.parseElement(true)
+			if err != nil {
+				return el, err
+			}
+			el.args = append(el.args, arg)
+			if p.cur.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return el, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return el, err
+		}
+	}
+	return el, nil
+}
+
+// build converts chain elements into a Pattern: consecutive chain elements
+// are linked by unconstrained edges; arguments hang off their parent via
+// AttributeOf edges.
+func build(ont string, elems []element) (*Pattern, error) {
+	if len(elems) == 0 {
+		return nil, fmt.Errorf("pattern: empty pattern")
+	}
+	p := &Pattern{Ont: ont}
+	var addElem func(el element) int
+	addElem = func(el element) int {
+		idx := p.AddNode(Node{Name: el.name, Var: el.vr})
+		for _, a := range el.args {
+			ai := addElem(a)
+			p.AddEdge(idx, AttributeEdgeLabel, ai)
+		}
+		return idx
+	}
+	prev := -1
+	for _, el := range elems {
+		idx := addElem(el)
+		if prev >= 0 {
+			p.AddEdge(prev, "", idx)
+		}
+		prev = idx
+	}
+	return p, p.Validate()
+}

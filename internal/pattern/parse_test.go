@@ -1,0 +1,198 @@
+package pattern
+
+import "testing"
+
+func TestParsePaperPathNotation(t *testing.T) {
+	// carrier:car:driver — a pattern in the carrier ontology: node car with
+	// an outgoing edge to node driver (§3).
+	p, err := Parse("carrier:car:driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ont != "carrier" {
+		t.Fatalf("Ont = %q, want carrier", p.Ont)
+	}
+	if len(p.Nodes) != 2 || p.Nodes[0].Name != "car" || p.Nodes[1].Name != "driver" {
+		t.Fatalf("Nodes = %v", p.Nodes)
+	}
+	if len(p.Edges) != 1 || p.Edges[0].Label != "" || p.Edges[0].From != 0 || p.Edges[0].To != 1 {
+		t.Fatalf("Edges = %v", p.Edges)
+	}
+}
+
+func TestParsePaperAttributeNotation(t *testing.T) {
+	// truck(O : owner, model) — node truck with attributes owner and model,
+	// variable O binding the owner (§3).
+	p, err := Parse("truck(O : owner, model)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ont != "" {
+		t.Fatalf("Ont = %q, want none", p.Ont)
+	}
+	if len(p.Nodes) != 3 {
+		t.Fatalf("Nodes = %v, want 3", p.Nodes)
+	}
+	if p.Nodes[0].Name != "truck" {
+		t.Fatalf("root = %v", p.Nodes[0])
+	}
+	if p.Nodes[1].Name != "owner" || p.Nodes[1].Var != "O" {
+		t.Fatalf("owner arg = %v", p.Nodes[1])
+	}
+	if p.Nodes[2].Name != "model" || p.Nodes[2].Var != "" {
+		t.Fatalf("model arg = %v", p.Nodes[2])
+	}
+	for _, e := range p.Edges {
+		if e.Label != AttributeEdgeLabel || e.From != 0 {
+			t.Fatalf("attribute edge = %v", e)
+		}
+	}
+}
+
+func TestParseCombined(t *testing.T) {
+	p, err := Parse("carrier:truck(O:owner):depot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ont != "carrier" {
+		t.Fatalf("Ont = %q", p.Ont)
+	}
+	// nodes: truck, owner, depot
+	if len(p.Nodes) != 3 {
+		t.Fatalf("Nodes = %v", p.Nodes)
+	}
+	// edges: truck-A->owner, truck-?->depot
+	var attr, chain int
+	for _, e := range p.Edges {
+		if e.Label == AttributeEdgeLabel {
+			attr++
+		} else if e.Label == "" {
+			chain++
+			if p.Nodes[e.From].Name != "truck" || p.Nodes[e.To].Name != "depot" {
+				t.Fatalf("chain edge endpoints wrong: %v", e)
+			}
+		}
+	}
+	if attr != 1 || chain != 1 {
+		t.Fatalf("edge mix wrong: %v", p.Edges)
+	}
+}
+
+func TestParseVariables(t *testing.T) {
+	p, err := Parse("carrier:?x:driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes[0].Name != "" || p.Nodes[0].Var != "x" {
+		t.Fatalf("?x node = %v", p.Nodes[0])
+	}
+	p, err = Parse("truck(O:?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes[1].Name != "" || p.Nodes[1].Var != "O" {
+		t.Fatalf("O:? node = %v", p.Nodes[1])
+	}
+	// Anonymous variable.
+	p, err = Parse("truck(?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes[1].Name != "" || p.Nodes[1].Var != "" {
+		t.Fatalf("? node = %v", p.Nodes[1])
+	}
+}
+
+func TestParseNestedArgs(t *testing.T) {
+	p, err := Parse("truck(owner(name))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 3 || len(p.Edges) != 2 {
+		t.Fatalf("nested parse shape: %v / %v", p.Nodes, p.Edges)
+	}
+	has := func(from, to string) bool {
+		for _, e := range p.Edges {
+			if p.Nodes[e.From].Name == from && p.Nodes[e.To].Name == to && e.Label == AttributeEdgeLabel {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("truck", "owner") || !has("owner", "name") {
+		t.Fatalf("nested edges wrong: %v", p.Edges)
+	}
+}
+
+func TestParseLocalKeepsFirstSegment(t *testing.T) {
+	p, err := ParseLocal("car:driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ont != "" || len(p.Nodes) != 2 {
+		t.Fatalf("ParseLocal = %v", p)
+	}
+	if p.Nodes[0].Name != "car" {
+		t.Fatalf("ParseLocal first node = %v", p.Nodes[0])
+	}
+}
+
+func TestParseInSetsOntology(t *testing.T) {
+	p, err := ParseIn("factory", "car:driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ont != "factory" || len(p.Nodes) != 2 {
+		t.Fatalf("ParseIn = %v", p)
+	}
+}
+
+func TestParseSingleTermIsLocal(t *testing.T) {
+	p, err := Parse("truck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ont != "" || len(p.Nodes) != 1 || p.Nodes[0].Name != "truck" {
+		t.Fatalf("Parse(truck) = %v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"truck(",
+		"truck)",
+		"truck(owner",
+		"truck(,owner)",
+		"truck((owner))",
+		":car",
+		"car:",
+		"truck(O:)",
+		"a;b",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustParse did not panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestParseIdentCharacters(t *testing.T) {
+	p, err := Parse("my-term_1.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes[0].Name != "my-term_1.x" {
+		t.Fatalf("ident chars mangled: %v", p.Nodes[0])
+	}
+}

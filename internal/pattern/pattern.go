@@ -1,0 +1,450 @@
+// Package pattern implements ONION graph patterns (EDBT 2000, §3).
+//
+// A pattern P = (N', E') is itself a graph; it matches into an ontology
+// graph G when a total mapping f from pattern nodes to graph nodes exists
+// such that (1) corresponding node labels are identical and (2) every
+// pattern edge (n1, α, n2) has a counterpart (f(n1), α, f(n2)) in G.
+//
+// Two relaxations from the paper are supported: the domain expert may
+// supply a node-label equivalence (e.g. synonymy from a lexicon), relaxing
+// condition (1), and an edge-label equivalence (or drop edge labels
+// entirely), relaxing condition (2).
+//
+// Patterns may carry variables. A pattern node whose Name is empty is a
+// pure variable and matches any node; a named node with a Var additionally
+// captures its image in the match's bindings. The textual notation of the
+// paper is parsed by Parse: "carrier:car:driver" (a path in the carrier
+// ontology) and "truck(O:owner,model)" (a node with attribute edges, the
+// variable O capturing the owner).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Node is one pattern node. Name is the label to match ("" for a pure
+// variable node); Var, when non-empty, records the match image under that
+// name in the bindings.
+type Node struct {
+	Name string
+	Var  string
+}
+
+// Edge connects two pattern nodes by index. An empty Label matches any
+// edge label (the paper's path notation does not constrain labels).
+type Edge struct {
+	From  int
+	Label string
+	To    int
+}
+
+// Pattern is a small graph to be matched into an ontology graph. Ont
+// optionally names the ontology the pattern addresses (first component of
+// the paper's textual notation); the matcher itself ignores it, callers
+// route on it.
+type Pattern struct {
+	Ont   string
+	Nodes []Node
+	Edges []Edge
+}
+
+// NewPath builds the path pattern n0 →α→ n1 →α→ ... for the given node
+// names with every edge carrying label (use "" for unconstrained).
+func NewPath(ont string, label string, names ...string) *Pattern {
+	p := &Pattern{Ont: ont}
+	for _, n := range names {
+		p.Nodes = append(p.Nodes, Node{Name: n})
+	}
+	for i := 0; i+1 < len(names); i++ {
+		p.Edges = append(p.Edges, Edge{From: i, Label: label, To: i + 1})
+	}
+	return p
+}
+
+// AddNode appends a node and returns its index.
+func (p *Pattern) AddNode(n Node) int {
+	p.Nodes = append(p.Nodes, n)
+	return len(p.Nodes) - 1
+}
+
+// AddEdge appends an edge between node indices.
+func (p *Pattern) AddEdge(from int, label string, to int) {
+	p.Edges = append(p.Edges, Edge{From: from, Label: label, To: to})
+}
+
+// Validate checks structural sanity: edge endpoints in range and at least
+// one node.
+func (p *Pattern) Validate() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("pattern: no nodes")
+	}
+	for _, e := range p.Edges {
+		if e.From < 0 || e.From >= len(p.Nodes) || e.To < 0 || e.To >= len(p.Nodes) {
+			return fmt.Errorf("pattern: edge %v out of range", e)
+		}
+	}
+	return nil
+}
+
+// String renders a debug form.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	if p.Ont != "" {
+		fmt.Fprintf(&b, "%s:", p.Ont)
+	}
+	b.WriteString("pattern{")
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if n.Var != "" {
+			fmt.Fprintf(&b, "%s:", n.Var)
+		}
+		if n.Name == "" {
+			b.WriteString("?")
+		} else {
+			b.WriteString(n.Name)
+		}
+	}
+	b.WriteString("; ")
+	for i, e := range p.Edges {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d-[%s]->%d", e.From, e.Label, e.To)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Equiv decides whether a pattern label may match a graph label.
+type Equiv func(patternLabel, graphLabel string) bool
+
+// Options tune matching. The zero value is strict matching per §3.
+type Options struct {
+	// NodeEquiv relaxes node label equality (condition 1); nil means exact
+	// string equality. It is only consulted for named pattern nodes.
+	NodeEquiv Equiv
+	// EdgeEquiv relaxes edge label equality (condition 2); nil means exact
+	// equality. A pattern edge with empty label always matches any edge.
+	EdgeEquiv Equiv
+	// IgnoreEdgeLabels drops condition 2 entirely (the paper's "second
+	// condition ... may not be strictly enforced").
+	IgnoreEdgeLabels bool
+	// MaxMatches bounds the number of matches returned; 0 means unlimited.
+	MaxMatches int
+	// Injective requires distinct pattern nodes to map to distinct graph
+	// nodes. The paper's mapping is total but not necessarily injective;
+	// strict subgraph isomorphism needs this on.
+	Injective bool
+	// DisableNarrowing turns off adjacency-based candidate narrowing and
+	// enumerates full candidate lists instead. Results are identical;
+	// the switch exists for the ablation benchmark quantifying what the
+	// narrowing buys (BenchmarkPatternNarrowingAblation).
+	DisableNarrowing bool
+}
+
+// Match is one total mapping from pattern nodes into graph nodes.
+type Match struct {
+	// Nodes maps pattern node index to graph node.
+	Nodes []graph.NodeID
+	// Bindings maps variable names to graph nodes.
+	Bindings map[string]graph.NodeID
+}
+
+// Find returns every match of p into g under opts. Matches are returned in
+// deterministic order. An invalid pattern yields an error.
+func Find(g *graph.Graph, p *Pattern, opts Options) ([]Match, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &matcher{g: g, p: p, opts: opts}
+	m.run()
+	return m.results, nil
+}
+
+// Matches reports whether p matches into g at least once.
+func Matches(g *graph.Graph, p *Pattern, opts Options) (bool, error) {
+	opts.MaxMatches = 1
+	ms, err := Find(g, p, opts)
+	return len(ms) > 0, err
+}
+
+type matcher struct {
+	g        *graph.Graph
+	p        *Pattern
+	opts     Options
+	order    []int // pattern node visit order, most constrained first
+	adj      [][]Edge
+	assign   []graph.NodeID
+	used     map[graph.NodeID]int // reference counts for injectivity
+	candSets map[int]map[graph.NodeID]bool
+	results  []Match
+}
+
+func (m *matcher) run() {
+	n := len(m.p.Nodes)
+	m.assign = make([]graph.NodeID, n)
+	m.used = make(map[graph.NodeID]int)
+
+	// Adjacency over pattern edges for incremental checking.
+	m.adj = make([][]Edge, n)
+	for _, e := range m.p.Edges {
+		m.adj[e.From] = append(m.adj[e.From], e)
+		if e.To != e.From {
+			m.adj[e.To] = append(m.adj[e.To], e)
+		}
+	}
+
+	// Visit order: named nodes before variables, fewer candidates first,
+	// then prefer nodes connected to already-ordered ones.
+	cands := make([][]graph.NodeID, n)
+	for i := range m.p.Nodes {
+		cands[i] = m.candidates(i)
+		if len(cands[i]) == 0 {
+			return // some pattern node has no possible image
+		}
+	}
+	m.order = connectivityOrder(n, m.adj, cands)
+	m.search(0, cands)
+}
+
+// candidates returns the possible images of pattern node i, sorted by id.
+func (m *matcher) candidates(i int) []graph.NodeID {
+	pn := m.p.Nodes[i]
+	if pn.Name == "" {
+		return m.g.Nodes()
+	}
+	if m.opts.NodeEquiv == nil {
+		return m.g.NodesByLabel(pn.Name)
+	}
+	var out []graph.NodeID
+	for _, id := range m.g.Nodes() {
+		if m.opts.NodeEquiv(pn.Name, m.g.Label(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// connectivityOrder orders pattern nodes most-constrained-first while
+// preferring nodes adjacent to already-placed ones (reduces backtracking).
+func connectivityOrder(n int, adj [][]Edge, cands [][]graph.NodeID) []int {
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestScore := -1, 0
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			connected := 0
+			for _, e := range adj[i] {
+				other := e.From
+				if other == i {
+					other = e.To
+				}
+				if placed[other] {
+					connected++
+				}
+			}
+			// Lower candidate count and higher connectivity are better.
+			score := connected*1_000_000 - len(cands[i])
+			if best == -1 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+func (m *matcher) search(depth int, cands [][]graph.NodeID) bool {
+	if depth == len(m.order) {
+		m.emit()
+		return m.opts.MaxMatches > 0 && len(m.results) >= m.opts.MaxMatches
+	}
+	pi := m.order[depth]
+	for _, cand := range m.narrowed(pi, cands[pi]) {
+		if m.opts.Injective && m.used[cand] > 0 {
+			continue
+		}
+		if !m.consistent(pi, cand) {
+			continue
+		}
+		m.assign[pi] = cand
+		m.used[cand]++
+		done := m.search(depth+1, cands)
+		m.used[cand]--
+		m.assign[pi] = graph.Invalid
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+// narrowed restricts the candidate list of pattern node pi using graph
+// adjacency: when pi has a pattern edge to an already-assigned node, only
+// graph neighbours of that node's image can match, which turns variable
+// nodes on paths from full scans into degree-bounded probes. The full
+// consistency check still runs afterwards; narrowing is purely an
+// enumeration optimisation.
+func (m *matcher) narrowed(pi int, full []graph.NodeID) []graph.NodeID {
+	if m.opts.DisableNarrowing {
+		return full
+	}
+	var best []graph.NodeID
+	found := false
+	for _, e := range m.adj[pi] {
+		var neigh []graph.NodeID
+		switch {
+		case e.From == pi && e.To != pi && m.assign[e.To] != graph.Invalid:
+			// Need cand → assign(e.To): candidates are sources of the
+			// assigned node's in-edges.
+			for _, ge := range m.g.InEdges(m.assign[e.To]) {
+				if m.edgeLabelOK(e.Label, ge.Label) {
+					neigh = append(neigh, ge.From)
+				}
+			}
+		case e.To == pi && e.From != pi && m.assign[e.From] != graph.Invalid:
+			for _, ge := range m.g.OutEdges(m.assign[e.From]) {
+				if m.edgeLabelOK(e.Label, ge.Label) {
+					neigh = append(neigh, ge.To)
+				}
+			}
+		default:
+			continue
+		}
+		if !found || len(neigh) < len(best) {
+			best, found = neigh, true
+		}
+	}
+	if !found {
+		return full
+	}
+	// Intersect the neighbour list with the label-feasible candidate set,
+	// deduplicating while preserving sorted-ish enumeration order.
+	feasible := m.candSet(pi, full)
+	out := best[:0:len(best)]
+	seen := make(map[graph.NodeID]bool, len(best))
+	for _, id := range best {
+		if !seen[id] && feasible[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// edgeLabelOK mirrors edgeOK's label logic for narrowing.
+func (m *matcher) edgeLabelOK(patternLabel, graphLabel string) bool {
+	if patternLabel == "" || m.opts.IgnoreEdgeLabels {
+		return true
+	}
+	if m.opts.EdgeEquiv != nil {
+		return m.opts.EdgeEquiv(patternLabel, graphLabel)
+	}
+	return patternLabel == graphLabel
+}
+
+// candSet memoises candidate membership per pattern node.
+func (m *matcher) candSet(pi int, full []graph.NodeID) map[graph.NodeID]bool {
+	if m.candSets == nil {
+		m.candSets = make(map[int]map[graph.NodeID]bool)
+	}
+	if set, ok := m.candSets[pi]; ok {
+		return set
+	}
+	set := make(map[graph.NodeID]bool, len(full))
+	for _, id := range full {
+		set[id] = true
+	}
+	m.candSets[pi] = set
+	return set
+}
+
+func sortIDs(ids []graph.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// consistent checks every pattern edge between pi and already-assigned
+// nodes against the graph.
+func (m *matcher) consistent(pi int, cand graph.NodeID) bool {
+	for _, e := range m.adj[pi] {
+		var from, to graph.NodeID
+		switch {
+		case e.From == pi && e.To == pi:
+			from, to = cand, cand
+		case e.From == pi:
+			to = m.assign[e.To]
+			if to == graph.Invalid {
+				continue // other endpoint not assigned yet
+			}
+			from = cand
+		default: // e.To == pi
+			from = m.assign[e.From]
+			if from == graph.Invalid {
+				continue
+			}
+			to = cand
+		}
+		if !m.edgeOK(from, e.Label, to) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *matcher) edgeOK(from graph.NodeID, label string, to graph.NodeID) bool {
+	if label == "" || m.opts.IgnoreEdgeLabels {
+		if m.g.HasEdgeAnyLabel(from, to) {
+			return true
+		}
+		return false
+	}
+	if m.opts.EdgeEquiv == nil {
+		return m.g.HasEdge(from, label, to)
+	}
+	for _, e := range m.g.OutEdges(from) {
+		if e.To == to && m.opts.EdgeEquiv(label, e.Label) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *matcher) emit() {
+	nodes := append([]graph.NodeID(nil), m.assign...)
+	var bind map[string]graph.NodeID
+	for i, pn := range m.p.Nodes {
+		if pn.Var != "" {
+			if bind == nil {
+				bind = make(map[string]graph.NodeID)
+			}
+			bind[pn.Var] = nodes[i]
+		}
+	}
+	m.results = append(m.results, Match{Nodes: nodes, Bindings: bind})
+}
+
+// SortMatches orders matches lexicographically by their node images; Find
+// already explores candidates in sorted order, so this is mainly useful
+// after merging match sets.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i].Nodes, ms[j].Nodes
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,352 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fixture builds a small carrier-like graph:
+//
+//	car -drivenBy-> driver
+//	car -AttributeOf-> price
+//	truck -AttributeOf-> owner
+//	truck -AttributeOf-> model
+//	car -SubclassOf-> vehicle ; truck -SubclassOf-> vehicle
+func fixture(t testing.TB) (*graph.Graph, map[string]graph.NodeID) {
+	t.Helper()
+	g := graph.New("carrier")
+	ids := make(map[string]graph.NodeID)
+	for _, l := range []string{"car", "driver", "price", "truck", "owner", "model", "vehicle"} {
+		ids[l] = g.AddNode(l)
+	}
+	add := func(a, l, b string) {
+		if err := g.AddEdge(ids[a], l, ids[b]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("car", "drivenBy", "driver")
+	add("car", "AttributeOf", "price")
+	add("truck", "AttributeOf", "owner")
+	add("truck", "AttributeOf", "model")
+	add("car", "SubclassOf", "vehicle")
+	add("truck", "SubclassOf", "vehicle")
+	return g, ids
+}
+
+func TestFindExactSingleNode(t *testing.T) {
+	g, ids := fixture(t)
+	p := &Pattern{Nodes: []Node{{Name: "car"}}}
+	ms, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Nodes[0] != ids["car"] {
+		t.Fatalf("Find(car) = %v", ms)
+	}
+}
+
+func TestFindNoMatchForUnknownLabel(t *testing.T) {
+	g, _ := fixture(t)
+	p := &Pattern{Nodes: []Node{{Name: "boat"}}}
+	ms, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("Find(boat) = %v, want none", ms)
+	}
+}
+
+func TestFindEdgePatternRespectsLabels(t *testing.T) {
+	g, _ := fixture(t)
+	p := &Pattern{
+		Nodes: []Node{{Name: "car"}, {Name: "driver"}},
+		Edges: []Edge{{From: 0, Label: "drivenBy", To: 1}},
+	}
+	ok, err := Matches(g, p, Options{})
+	if err != nil || !ok {
+		t.Fatalf("drivenBy pattern should match: %v %v", ok, err)
+	}
+	p.Edges[0].Label = "SubclassOf"
+	ok, err = Matches(g, p, Options{})
+	if err != nil || ok {
+		t.Fatalf("wrong edge label should not match")
+	}
+}
+
+func TestFindUnlabeledEdgeMatchesAnyLabel(t *testing.T) {
+	g, _ := fixture(t)
+	p := &Pattern{
+		Nodes: []Node{{Name: "car"}, {Name: "driver"}},
+		Edges: []Edge{{From: 0, Label: "", To: 1}},
+	}
+	ok, err := Matches(g, p, Options{})
+	if err != nil || !ok {
+		t.Fatalf("unlabeled edge should match any label")
+	}
+	// Direction still matters.
+	p.Edges[0] = Edge{From: 1, Label: "", To: 0}
+	ok, _ = Matches(g, p, Options{})
+	if ok {
+		t.Fatalf("unlabeled edge must still respect direction")
+	}
+}
+
+func TestFindVariableNode(t *testing.T) {
+	g, ids := fixture(t)
+	// ?x -SubclassOf-> vehicle matches car and truck.
+	p := &Pattern{
+		Nodes: []Node{{Var: "x"}, {Name: "vehicle"}},
+		Edges: []Edge{{From: 0, Label: "SubclassOf", To: 1}},
+	}
+	ms, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("variable pattern matches = %d, want 2", len(ms))
+	}
+	found := map[graph.NodeID]bool{}
+	for _, m := range ms {
+		found[m.Bindings["x"]] = true
+	}
+	if !found[ids["car"]] || !found[ids["truck"]] {
+		t.Fatalf("bindings = %v, want car and truck", found)
+	}
+}
+
+func TestFindAttributePatternWithBinding(t *testing.T) {
+	g, ids := fixture(t)
+	p := MustParse("truck(O:owner, model)")
+	ms, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("truck(O:owner,model) matches = %d, want 1", len(ms))
+	}
+	if ms[0].Bindings["O"] != ids["owner"] {
+		t.Fatalf("O bound to %v, want owner", ms[0].Bindings["O"])
+	}
+}
+
+func TestFindFuzzyNodeEquiv(t *testing.T) {
+	g, _ := fixture(t)
+	syn := func(p, g string) bool {
+		return p == g || (p == "auto" && g == "car")
+	}
+	p := &Pattern{Nodes: []Node{{Name: "auto"}}}
+	if ok, _ := Matches(g, p, Options{}); ok {
+		t.Fatalf("strict matching should fail for synonym")
+	}
+	ok, err := Matches(g, p, Options{NodeEquiv: syn})
+	if err != nil || !ok {
+		t.Fatalf("synonym matching should succeed")
+	}
+}
+
+func TestFindFuzzyEdgeEquiv(t *testing.T) {
+	g, _ := fixture(t)
+	p := &Pattern{
+		Nodes: []Node{{Name: "car"}, {Name: "driver"}},
+		Edges: []Edge{{From: 0, Label: "operatedBy", To: 1}},
+	}
+	eq := func(pl, gl string) bool { return pl == gl || (pl == "operatedBy" && gl == "drivenBy") }
+	if ok, _ := Matches(g, p, Options{}); ok {
+		t.Fatalf("strict edge matching should fail")
+	}
+	if ok, _ := Matches(g, p, Options{EdgeEquiv: eq}); !ok {
+		t.Fatalf("edge-equiv matching should succeed")
+	}
+	if ok, _ := Matches(g, p, Options{IgnoreEdgeLabels: true}); !ok {
+		t.Fatalf("IgnoreEdgeLabels matching should succeed")
+	}
+}
+
+func TestFindInjectivity(t *testing.T) {
+	g := graph.New("t")
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	if err := g.AddEdge(a, "r", b); err != nil {
+		t.Fatal(err)
+	}
+	// Two variable nodes both connected to... themselves not required:
+	// pattern ?x, ?y with no edges. Non-injective: 4 matches; injective: 2.
+	p := &Pattern{Nodes: []Node{{Var: "x"}, {Var: "y"}}}
+	ms, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("non-injective matches = %d, want 4", len(ms))
+	}
+	ms, err = Find(g, p, Options{Injective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("injective matches = %d, want 2", len(ms))
+	}
+}
+
+func TestFindMaxMatches(t *testing.T) {
+	g, _ := fixture(t)
+	p := &Pattern{Nodes: []Node{{Var: "x"}}}
+	ms, err := Find(g, p, Options{MaxMatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("MaxMatches=3 returned %d", len(ms))
+	}
+}
+
+func TestFindSelfLoopPattern(t *testing.T) {
+	g := graph.New("t")
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	if err := g.AddEdge(a, "self", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, "r", b); err != nil {
+		t.Fatal(err)
+	}
+	p := &Pattern{
+		Nodes: []Node{{Var: "x"}},
+		Edges: []Edge{{From: 0, Label: "self", To: 0}},
+	}
+	ms, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Nodes[0] != a {
+		t.Fatalf("self-loop pattern = %v, want just A", ms)
+	}
+}
+
+func TestFindDeterministicOrder(t *testing.T) {
+	g, _ := fixture(t)
+	p := &Pattern{
+		Nodes: []Node{{Var: "x"}, {Name: "vehicle"}},
+		Edges: []Edge{{From: 0, Label: "SubclassOf", To: 1}},
+	}
+	first, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := Find(g, p, Options{})
+		if len(again) != len(first) {
+			t.Fatalf("unstable match count")
+		}
+		for j := range again {
+			if again[j].Nodes[0] != first[j].Nodes[0] {
+				t.Fatalf("unstable match order")
+			}
+		}
+	}
+}
+
+func TestFindTriangleStructure(t *testing.T) {
+	// Pattern requiring two attributes from the same node must not match
+	// a node owning only one.
+	g, _ := fixture(t)
+	p := &Pattern{
+		Nodes: []Node{{Var: "x"}, {Name: "owner"}, {Name: "model"}},
+		Edges: []Edge{
+			{From: 0, Label: "AttributeOf", To: 1},
+			{From: 0, Label: "AttributeOf", To: 2},
+		},
+	}
+	ms, err := Find(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1 (only truck has owner+model)", len(ms))
+	}
+	if got := g.Label(ms[0].Bindings["x"]); got != "truck" {
+		t.Fatalf("x bound to %s, want truck", got)
+	}
+}
+
+func TestFindInvalidPattern(t *testing.T) {
+	g, _ := fixture(t)
+	if _, err := Find(g, &Pattern{}, Options{}); err == nil {
+		t.Fatalf("empty pattern accepted")
+	}
+	bad := &Pattern{Nodes: []Node{{Name: "car"}}, Edges: []Edge{{From: 0, To: 5}}}
+	if _, err := Find(g, bad, Options{}); err == nil {
+		t.Fatalf("out-of-range edge accepted")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := MustParse("carrier:truck(O:owner)")
+	s := p.String()
+	for _, want := range []string{"carrier:", "truck", "O:", "owner"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSortMatches(t *testing.T) {
+	ms := []Match{
+		{Nodes: []graph.NodeID{3, 1}},
+		{Nodes: []graph.NodeID{1, 2}},
+		{Nodes: []graph.NodeID{1, 1}},
+	}
+	SortMatches(ms)
+	if ms[0].Nodes[0] != 1 || ms[0].Nodes[1] != 1 || ms[2].Nodes[0] != 3 {
+		t.Fatalf("SortMatches order wrong: %v", ms)
+	}
+}
+
+func TestNarrowingEquivalence(t *testing.T) {
+	// Candidate narrowing is an enumeration optimisation only: results
+	// must be identical with it disabled, across pattern shapes.
+	g, _ := fixture(t)
+	patterns := []*Pattern{
+		{Nodes: []Node{{Var: "x"}, {Var: "y"}}, Edges: []Edge{{From: 0, Label: "SubclassOf", To: 1}}},
+		{Nodes: []Node{{Var: "x"}, {Name: "vehicle"}}, Edges: []Edge{{From: 0, Label: "", To: 1}}},
+		{Nodes: []Node{{Var: "x"}, {Var: "y"}, {Var: "z"}}, Edges: []Edge{
+			{From: 0, Label: "AttributeOf", To: 1},
+			{From: 0, Label: "AttributeOf", To: 2},
+		}},
+	}
+	for pi, p := range patterns {
+		on, err := Find(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := Find(g, p, Options{DisableNarrowing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(on) != len(off) {
+			t.Fatalf("pattern %d: narrowing changed match count: %d vs %d", pi, len(on), len(off))
+		}
+		SortMatches(on)
+		SortMatches(off)
+		for i := range on {
+			for j := range on[i].Nodes {
+				if on[i].Nodes[j] != off[i].Nodes[j] {
+					t.Fatalf("pattern %d: narrowing changed match %d", pi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNewPath(t *testing.T) {
+	p := NewPath("carrier", "SubclassOf", "a", "b", "c")
+	if len(p.Nodes) != 3 || len(p.Edges) != 2 {
+		t.Fatalf("NewPath shape wrong: %v", p)
+	}
+	if p.Edges[0].Label != "SubclassOf" || p.Ont != "carrier" {
+		t.Fatalf("NewPath fields wrong: %v", p)
+	}
+}

@@ -1,0 +1,493 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/articulation"
+	"repro/internal/kb"
+	"repro/internal/ontology"
+)
+
+// Source is one knowledge source: an ontology and (optionally) the
+// knowledge base beneath it.
+type Source struct {
+	Ont *ontology.Ontology
+	KB  *kb.Store
+}
+
+// Stats counts the work one execution performed; the query benchmarks
+// (experiment E8) report these alongside wall-clock times.
+type Stats struct {
+	// SourceScans is the number of per-source triple scans.
+	SourceScans int
+	// EdgeRows / FactRows count rows produced from ontology edges and KB
+	// facts respectively.
+	EdgeRows int
+	FactRows int
+	// JoinedRows counts rows surviving all joins (before projection).
+	JoinedRows int
+	// Conversions counts functional-bridge value conversions applied.
+	Conversions int
+	// ExpandedTerms counts articulation-term → source-term expansions.
+	ExpandedTerms int
+}
+
+// Result is a query answer: variable names and value rows, deterministic
+// order, duplicates removed.
+type Result struct {
+	Vars  []string
+	Rows  [][]kb.Value
+	Stats Stats
+}
+
+// Engine executes articulation-level queries against the sources by
+// reformulating each triple through the semantic bridges.
+type Engine struct {
+	art     *articulation.Articulation
+	sources map[string]*Source
+	names   []string // sorted source names, articulation first
+}
+
+// NewEngine builds an engine over the articulation and its sources. The
+// articulation ontology itself participates as a source (without a KB), so
+// queries can ask about articulation-level structure directly.
+func NewEngine(art *articulation.Articulation, sources map[string]*Source) (*Engine, error) {
+	if art == nil {
+		return nil, fmt.Errorf("query: nil articulation")
+	}
+	e := &Engine{art: art, sources: make(map[string]*Source, len(sources)+1)}
+	e.sources[art.Ont.Name()] = &Source{Ont: art.Ont}
+	for name, s := range sources {
+		if s == nil || s.Ont == nil {
+			return nil, fmt.Errorf("query: source %q has no ontology", name)
+		}
+		if name != s.Ont.Name() {
+			return nil, fmt.Errorf("query: source registered under %q but ontology is %q", name, s.Ont.Name())
+		}
+		e.sources[name] = s
+	}
+	for name := range e.sources {
+		e.names = append(e.names, name)
+	}
+	sort.Strings(e.names)
+	return e, nil
+}
+
+type binding map[string]kb.Value
+
+// Execute runs the query.
+func (e *Engine) Execute(q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Vars: q.Select}
+	rows := []binding{{}}
+	for _, triple := range q.Where {
+		next, err := e.evalTriple(triple, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		rows = joinBindings(rows, next)
+		if len(rows) == 0 {
+			break
+		}
+	}
+	for _, f := range q.Filters {
+		kept := rows[:0]
+		for _, b := range rows {
+			if v, bound := b[f.Var]; bound && f.Accepts(v) {
+				kept = append(kept, b)
+			}
+		}
+		rows = kept
+	}
+	res.Stats.JoinedRows = len(rows)
+
+	seen := make(map[string]bool, len(rows))
+	for _, b := range rows {
+		out := make([]kb.Value, len(q.Select))
+		ok := true
+		for i, v := range q.Select {
+			val, bound := b[v]
+			if !bound {
+				ok = false
+				break
+			}
+			out[i] = val
+		}
+		if !ok {
+			continue
+		}
+		key := formatRow(out)
+		if !seen[key] {
+			seen[key] = true
+			res.Rows = append(res.Rows, out)
+		}
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return formatRow(res.Rows[i]) < formatRow(res.Rows[j])
+	})
+	return res, nil
+}
+
+func formatRow(vals []kb.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.Format()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// evalTriple evaluates one triple against every source, reformulating
+// constants through the bridges.
+func (e *Engine) evalTriple(t Triple, stats *Stats) ([]binding, error) {
+	var out []binding
+	for _, name := range e.names {
+		src := e.sources[name]
+		stats.SourceScans++
+		rows, err := e.scanSource(name, src, t, stats)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// scanSource evaluates the triple in one source.
+func (e *Engine) scanSource(name string, src *Source, t Triple, stats *Stats) ([]binding, error) {
+	subj, okS := e.expandTerm(name, t.S, stats)
+	if !okS {
+		return nil, nil
+	}
+	preds, okP := e.expandPred(name, t.P, stats)
+	if !okP {
+		return nil, nil
+	}
+
+	isArt := name == e.art.Ont.Name()
+	var rows []binding
+
+	// Object constants: terms expand like subjects; literals pass through
+	// (with inverse conversion against each predicate at match time).
+	var objTerms map[string]bool
+	objIsTerm := !t.O.IsVar() && t.O.Value.IsTerm()
+	if objIsTerm {
+		set, ok := e.expandTerm(name, t.O, stats)
+		if !ok {
+			return nil, nil
+		}
+		objTerms = set
+	}
+
+	// Scan ontology edges.
+	g := src.Ont.Graph()
+	for _, edge := range g.Edges() {
+		if preds != nil && !preds[edge.Label] {
+			continue
+		}
+		sLabel, oLabel := g.Label(edge.From), g.Label(edge.To)
+		if subj != nil && !subj[sLabel] {
+			continue
+		}
+		if objIsTerm && !e.objectMatches(src, edge.Label, oLabel, objTerms) {
+			continue
+		}
+		if !t.O.IsVar() && !t.O.Value.IsTerm() {
+			continue // literal object never matches an ontology edge
+		}
+		b := binding{}
+		if t.S.IsVar() {
+			b[t.S.Var] = kb.Term(qualify(name, sLabel))
+		}
+		if t.P.IsVar() {
+			b[t.P.Var] = kb.Term(edge.Label)
+		}
+		if t.O.IsVar() {
+			b[t.O.Var] = kb.Term(qualify(name, oLabel))
+		}
+		rows = append(rows, b)
+		stats.EdgeRows++
+	}
+
+	// Scan KB facts.
+	if src.KB != nil && !isArt {
+		for _, f := range src.KB.Facts() {
+			if preds != nil && !preds[f.Predicate] {
+				continue
+			}
+			if subj != nil && !subj[f.Subject] {
+				continue
+			}
+			obj := f.Object
+			conv := false
+			if obj.IsNumber() {
+				if v, applied := e.normalize(name, f.Predicate, obj); applied {
+					obj = v
+					conv = true
+				}
+			}
+			if !t.O.IsVar() {
+				want := t.O.Value
+				switch {
+				case want.IsTerm():
+					if obj.Kind != kb.KindTerm {
+						continue
+					}
+					if objTerms != nil && !e.objectMatches(src, f.Predicate, obj.Str, objTerms) {
+						continue
+					}
+				default:
+					if !obj.Equal(want) {
+						continue
+					}
+				}
+			}
+			b := binding{}
+			if t.S.IsVar() {
+				b[t.S.Var] = kb.Term(qualify(name, f.Subject))
+			}
+			if t.P.IsVar() {
+				b[t.P.Var] = kb.Term(f.Predicate)
+			}
+			if t.O.IsVar() {
+				if obj.IsTerm() {
+					b[t.O.Var] = kb.Term(qualify(name, obj.Str))
+				} else {
+					b[t.O.Var] = obj
+				}
+			}
+			rows = append(rows, b)
+			stats.FactRows++
+			if conv {
+				stats.Conversions++
+			}
+		}
+	}
+	return rows, nil
+}
+
+// objectMatches checks an edge object label against the expanded object
+// terms, applying the source-side InstanceOf closure: an instance of a
+// subclass is an instance of the class.
+func (e *Engine) objectMatches(src *Source, pred, objLabel string, objTerms map[string]bool) bool {
+	if objTerms[objLabel] {
+		return true
+	}
+	if pred != ontology.InstanceOf {
+		return false
+	}
+	for want := range objTerms {
+		if src.Ont.IsA(objLabel, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// expandTerm maps a triple term constant into the given source's term
+// space. Variables expand to nil (wildcard, ok). A constant that cannot
+// denote anything in this source yields ok=false, skipping the source.
+func (e *Engine) expandTerm(srcName string, t Term, stats *Stats) (map[string]bool, bool) {
+	if t.IsVar() {
+		return nil, true
+	}
+	if !t.Value.IsTerm() {
+		return nil, true // literals are handled at match time
+	}
+	name := t.Value.Str
+	artName := e.art.Ont.Name()
+
+	if ref, err := ontology.ParseRef(name); err == nil && ref.Qualified() {
+		if _, known := e.sources[ref.Ont]; known {
+			if ref.Ont == srcName {
+				return map[string]bool{ref.Term: true}, true
+			}
+			if ref.Ont == artName && srcName != artName {
+				set := e.anchorsFor(ref.Term, srcName, stats)
+				return set, len(set) > 0
+			}
+			return nil, false
+		}
+		// Qualified-looking but unknown prefix: treat as a plain name
+		// (labels may legitimately contain dots).
+	}
+
+	set := make(map[string]bool)
+	if srcName == artName {
+		if e.art.Ont.HasTerm(name) {
+			set[name] = true
+		}
+		return set, len(set) > 0
+	}
+	if e.art.Ont.HasTerm(name) {
+		for a := range e.anchorsFor(name, srcName, stats) {
+			set[a] = true
+		}
+	}
+	src := e.sources[srcName]
+	if src.Ont.HasTerm(name) {
+		set[name] = true
+	}
+	if src.KB != nil {
+		// Instance names live in the KB, not the ontology graph.
+		if fs := src.KB.Match(name, "", nil); len(fs) > 0 {
+			set[name] = true
+		}
+	}
+	return set, len(set) > 0
+}
+
+// anchorsFor returns the source terms the articulation term (and its
+// articulation-level subclasses) bridge to in the given source.
+func (e *Engine) anchorsFor(artTerm, srcName string, stats *Stats) map[string]bool {
+	set := make(map[string]bool)
+	terms := []string{artTerm}
+	for _, sub := range e.art.Ont.Subclasses(artTerm) {
+		terms = append(terms, sub)
+	}
+	for _, a := range terms {
+		for _, ref := range e.art.SourceAnchors(a) {
+			if ref.Ont == srcName {
+				set[ref.Term] = true
+				stats.ExpandedTerms++
+			}
+		}
+	}
+	return set
+}
+
+// expandPred maps the predicate constant into the source's predicate
+// space: the predicate itself plus any source terms anchored to it when
+// the predicate names an articulation term (attribute terms like Price
+// double as predicates in KB facts).
+func (e *Engine) expandPred(srcName string, t Term, stats *Stats) (map[string]bool, bool) {
+	if t.IsVar() {
+		return nil, true
+	}
+	if !t.Value.IsTerm() {
+		return nil, false // a literal predicate matches nothing
+	}
+	name := t.Value.Str
+	artName := e.art.Ont.Name()
+	set := map[string]bool{name: true}
+	if ref, err := ontology.ParseRef(name); err == nil && ref.Qualified() {
+		if _, known := e.sources[ref.Ont]; known {
+			if ref.Ont != srcName {
+				return nil, false
+			}
+			return map[string]bool{ref.Term: true}, true
+		}
+	}
+	if srcName != artName && e.art.Ont.HasTerm(name) {
+		for a := range e.anchorsFor(name, srcName, stats) {
+			set[a] = true
+		}
+	}
+	return set, true
+}
+
+// normalize converts a numeric KB value into the articulation's metric
+// space when a functional bridge (src.pred → art.X) with a registered
+// conversion exists — the paper's "query processor will utilize these
+// normalization functions" (§4.1).
+func (e *Engine) normalize(srcName, pred string, v kb.Value) (kb.Value, bool) {
+	from := ontology.MakeRef(srcName, pred)
+	for _, b := range e.art.BridgesFrom(from) {
+		if !b.Functional() || b.To.Ont != e.art.Ont.Name() {
+			continue
+		}
+		if e.art.Funcs == nil || !e.art.Funcs.Has(b.FuncName()) {
+			continue
+		}
+		out, err := e.art.Funcs.Apply(b.FuncName(), v.Num)
+		if err != nil {
+			continue
+		}
+		return kb.Number(out), true
+	}
+	return v, false
+}
+
+func qualify(ont, term string) string {
+	return ontology.MakeRef(ont, term).String()
+}
+
+// joinBindings hash-joins two binding sets on their shared variables.
+func joinBindings(left, right []binding) []binding {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	shared := sharedVars(left, right)
+
+	if len(shared) == 0 {
+		out := make([]binding, 0, len(left)*len(right))
+		for _, l := range left {
+			for _, r := range right {
+				out = append(out, mergeBindings(l, r))
+			}
+		}
+		return out
+	}
+	index := make(map[string][]binding, len(right))
+	for _, r := range right {
+		index[joinKey(r, shared)] = append(index[joinKey(r, shared)], r)
+	}
+	var out []binding
+	for _, l := range left {
+		for _, r := range index[joinKey(l, shared)] {
+			out = append(out, mergeBindings(l, r))
+		}
+	}
+	return out
+}
+
+// sharedVars collects variables bound on both sides (checked across all
+// rows, since the left side accumulates different triples' variables).
+func sharedVars(left, right []binding) []string {
+	inLeft := make(map[string]bool)
+	for _, l := range left {
+		for v := range l {
+			inLeft[v] = true
+		}
+	}
+	sharedSet := make(map[string]bool)
+	for _, r := range right {
+		for v := range r {
+			if inLeft[v] {
+				sharedSet[v] = true
+			}
+		}
+	}
+	shared := make([]string, 0, len(sharedSet))
+	for v := range sharedSet {
+		shared = append(shared, v)
+	}
+	sort.Strings(shared)
+	return shared
+}
+
+func joinKey(b binding, vars []string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if val, ok := b[v]; ok {
+			parts[i] = val.Format()
+		} else {
+			parts[i] = "\x01unbound"
+		}
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func mergeBindings(l, r binding) binding {
+	out := make(binding, len(l)+len(r))
+	for k, v := range l {
+		out[k] = v
+	}
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}

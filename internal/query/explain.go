@@ -1,0 +1,105 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TripleScan describes how one triple is reformulated for one source.
+type TripleScan struct {
+	Source string
+	// Subjects / Predicates / Objects are the expanded constant sets
+	// ("*" alone means unconstrained — a variable position).
+	Subjects   []string
+	Predicates []string
+	Objects    []string
+	// Skipped is true when the triple cannot denote anything in this
+	// source (an expansion came up empty), so the source is pruned.
+	Skipped bool
+}
+
+// TriplePlan is the reformulation of one WHERE conjunct.
+type TriplePlan struct {
+	Triple string
+	Scans  []TripleScan
+}
+
+// Plan is the explanation of a query's reformulation (§2.3: "a query
+// phrased in terms of an articulation ontology [is turned into] an
+// execution plan against the sources involved").
+type Plan struct {
+	Query   string
+	Triples []TriplePlan
+}
+
+// String renders the plan for terminal display.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for %s\n", p.Query)
+	for _, tp := range p.Triples {
+		fmt.Fprintf(&b, "  triple %s\n", tp.Triple)
+		for _, sc := range tp.Scans {
+			if sc.Skipped {
+				fmt.Fprintf(&b, "    %-12s pruned (no denotation)\n", sc.Source)
+				continue
+			}
+			fmt.Fprintf(&b, "    %-12s subj %s  pred %s  obj %s\n",
+				sc.Source, setOrStar(sc.Subjects), setOrStar(sc.Predicates), setOrStar(sc.Objects))
+		}
+	}
+	return b.String()
+}
+
+func setOrStar(ss []string) string {
+	if len(ss) == 0 {
+		return "*"
+	}
+	return "{" + strings.Join(ss, ", ") + "}"
+}
+
+// Explain reformulates the query without executing it, returning the
+// per-triple, per-source scan plan.
+func (e *Engine) Explain(q Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Query: q.String()}
+	var stats Stats
+	for _, t := range q.Where {
+		tp := TriplePlan{Triple: t.String()}
+		for _, name := range e.names {
+			scan := TripleScan{Source: name}
+			subj, okS := e.expandTerm(name, t.S, &stats)
+			preds, okP := e.expandPred(name, t.P, &stats)
+			var objs map[string]bool
+			okO := true
+			if !t.O.IsVar() && t.O.Value.IsTerm() {
+				objs, okO = e.expandTerm(name, t.O, &stats)
+			}
+			if !okS || !okP || !okO {
+				scan.Skipped = true
+				tp.Scans = append(tp.Scans, scan)
+				continue
+			}
+			scan.Subjects = sortedSet(subj)
+			scan.Predicates = sortedSet(preds)
+			scan.Objects = sortedSet(objs)
+			tp.Scans = append(tp.Scans, scan)
+		}
+		plan.Triples = append(plan.Triples, tp)
+	}
+	return plan, nil
+}
+
+func sortedSet(set map[string]bool) []string {
+	if set == nil {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainShowsExpansions(t *testing.T) {
+	e := paperEngine(t)
+	plan, err := e.Explain(MustParse("SELECT ?x WHERE ?x InstanceOf Vehicle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Triples) != 1 {
+		t.Fatalf("plan triples = %d", len(plan.Triples))
+	}
+	var carrierScan *TripleScan
+	for i := range plan.Triples[0].Scans {
+		if plan.Triples[0].Scans[i].Source == "carrier" {
+			carrierScan = &plan.Triples[0].Scans[i]
+		}
+	}
+	if carrierScan == nil || carrierScan.Skipped {
+		t.Fatalf("carrier scan missing/pruned: %+v", plan.Triples[0].Scans)
+	}
+	// Vehicle expands into carrier terms through the bridges.
+	found := false
+	for _, o := range carrierScan.Objects {
+		if o == "Cars" || o == "PassengerCar" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("object expansion missing: %v", carrierScan.Objects)
+	}
+	// Variable subject is unconstrained.
+	if len(carrierScan.Subjects) != 0 {
+		t.Fatalf("variable subject constrained: %v", carrierScan.Subjects)
+	}
+}
+
+func TestExplainPrunesImpossibleSources(t *testing.T) {
+	e := paperEngine(t)
+	plan, err := e.Explain(MustParse("SELECT ?x WHERE ?x InstanceOf carrier.SUV"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	for _, sc := range plan.Triples[0].Scans {
+		if sc.Skipped {
+			pruned++
+		}
+	}
+	// factory and transport cannot denote carrier.SUV.
+	if pruned != 2 {
+		t.Fatalf("pruned = %d, want 2: %+v", pruned, plan.Triples[0].Scans)
+	}
+}
+
+func TestExplainString(t *testing.T) {
+	e := paperEngine(t)
+	plan, err := e.Explain(MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.String()
+	for _, want := range []string{"plan for", "triple ?x InstanceOf Vehicle", "carrier", "pruned"} {
+		if !strings.Contains(out, want) && want != "pruned" {
+			t.Fatalf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	if plan.String() != out {
+		t.Fatalf("plan rendering unstable")
+	}
+}
+
+func TestExplainInvalidQuery(t *testing.T) {
+	e := paperEngine(t)
+	if _, err := e.Explain(Query{}); err == nil {
+		t.Fatalf("invalid query explained")
+	}
+}

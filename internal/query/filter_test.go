@@ -1,0 +1,113 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func TestParseFilterClauses(t *testing.T) {
+	q, err := Parse(`SELECT ?x ?p WHERE ?x Price ?p . FILTER ?p > 1000 . FILTER ?p <= 9000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %v", q.Filters)
+	}
+	if q.Filters[0].Op != OpGT || q.Filters[0].Value.Num != 1000 {
+		t.Fatalf("filter 0 = %v", q.Filters[0])
+	}
+	if q.Filters[1].Op != OpLE {
+		t.Fatalf("filter 1 = %v", q.Filters[1])
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	bad := []string{
+		"SELECT ?x WHERE ?x a b . FILTER ?y > 1",  // unbound filter var
+		"SELECT ?x WHERE ?x a b . FILTER x > 1",   // not a variable
+		"SELECT ?x WHERE ?x a b . FILTER ?x ~ 1",  // unknown operator
+		"SELECT ?x WHERE ?x a b . FILTER ?x > ?y", // variable value
+		"SELECT ?x WHERE ?x a b . FILTER ?x >",    // missing value
+		"SELECT ?x WHERE ?x a b . FILTER",         // bare keyword
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestFilterStringRoundTrip(t *testing.T) {
+	in := `SELECT ?x ?p WHERE ?x Price ?p . FILTER ?p >= 100`
+	q := MustParse(in)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("round trip unstable: %q vs %q", q.String(), q2.String())
+	}
+}
+
+func TestFilterAccepts(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		v    kb.Value
+		want bool
+	}{
+		{Filter{Op: OpLT, Value: kb.Number(5)}, kb.Number(4), true},
+		{Filter{Op: OpLT, Value: kb.Number(5)}, kb.Number(5), false},
+		{Filter{Op: OpGE, Value: kb.Number(5)}, kb.Number(5), true},
+		{Filter{Op: OpEQ, Value: kb.String("a")}, kb.String("a"), true},
+		{Filter{Op: OpNE, Value: kb.String("a")}, kb.String("b"), true},
+		{Filter{Op: OpNE, Value: kb.String("a")}, kb.Number(1), false}, // type mismatch
+		{Filter{Op: OpGT, Value: kb.Number(5)}, kb.Term("x"), false},   // non-numeric
+		{Filter{Op: OpEQ, Value: kb.Term("T")}, kb.Term("T"), true},
+	}
+	for i, c := range cases {
+		if got := c.f.Accepts(c.v); got != c.want {
+			t.Errorf("case %d: Accepts(%v) = %v, want %v", i, c.v, got, c.want)
+		}
+	}
+}
+
+func TestFilterRestrictsQueryResults(t *testing.T) {
+	e := paperEngine(t)
+	// All prices in euros: MyCar 3200, Suv9 8000, Rig1 20000, Truck77
+	// 20000, Wagon3 10000 (plus the 2000 term node from the graph edge).
+	res := rows(t, e, `SELECT ?x ?p WHERE ?x Price ?p . FILTER ?p < 9000`)
+	if !hasRow(res, "carrier.MyCar", "3200") || !hasRow(res, "carrier.Suv9", "8000") {
+		t.Fatalf("filter dropped valid rows: %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[1].IsNumber() && r[1].Num >= 9000 {
+			t.Fatalf("filter leaked %v", r)
+		}
+		if !r[1].IsNumber() {
+			t.Fatalf("non-numeric binding passed numeric filter: %v", r)
+		}
+	}
+	// Band query.
+	res = rows(t, e, `SELECT ?x WHERE ?x Price ?p . FILTER ?p > 9000 . FILTER ?p <= 20000`)
+	for _, want := range []string{"factory.Truck77", "factory.Wagon3", "carrier.Rig1"} {
+		if !hasRow(res, want) {
+			t.Fatalf("band filter missing %s: %v", want, res.Rows)
+		}
+	}
+	if hasRow(res, "carrier.MyCar") {
+		t.Fatalf("band filter leaked MyCar")
+	}
+}
+
+func TestFilterOnStringEquality(t *testing.T) {
+	e := paperEngine(t)
+	res := rows(t, e, `SELECT ?x WHERE ?x Owner ?o . FILTER ?o = "Alice"`)
+	if len(res.Rows) != 1 || !hasRow(res, "carrier.MyCar") {
+		t.Fatalf("string filter = %v", res.Rows)
+	}
+	res = rows(t, e, `SELECT ?x WHERE ?x Owner ?o . FILTER ?o != "Alice"`)
+	if !hasRow(res, "carrier.Suv9") || hasRow(res, "carrier.MyCar") {
+		t.Fatalf("negated string filter = %v", res.Rows)
+	}
+}

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/kb"
+	"repro/internal/pattern"
+)
+
+// FromPattern converts a graph pattern (§3) into a conjunctive query —
+// the paper uses the same pattern notation for querying ("possible
+// patterns over our transportation world are carrier:car:driver, and
+// truck(O:owner,model)"; "we refer interested readers to papers on
+// semi-structured query languages").
+//
+// Each pattern edge becomes a triple; named pattern nodes become term
+// constants, variable nodes become query variables (anonymous variables
+// get generated names v0, v1, ...). Unlabeled pattern edges have no
+// triple-level counterpart ("any predicate"), so they become a predicate
+// variable. selectVars picks the projection; empty selects every named
+// variable.
+func FromPattern(p *pattern.Pattern, selectVars ...string) (Query, error) {
+	if err := p.Validate(); err != nil {
+		return Query{}, err
+	}
+	if len(p.Edges) == 0 {
+		return Query{}, fmt.Errorf("query: pattern has no edges; a query needs at least one triple")
+	}
+	names := make([]string, len(p.Nodes))
+	var autoVars []string
+	anon := 0
+	for i, n := range p.Nodes {
+		switch {
+		case n.Var != "":
+			names[i] = "?" + n.Var
+			autoVars = append(autoVars, n.Var)
+		case n.Name == "":
+			v := fmt.Sprintf("v%d", anon)
+			anon++
+			names[i] = "?" + v
+			autoVars = append(autoVars, v)
+		default:
+			names[i] = n.Name
+		}
+	}
+	term := func(s string) Term {
+		if len(s) > 1 && s[0] == '?' {
+			return V(s[1:])
+		}
+		return C(kb.Term(s))
+	}
+	var q Query
+	predAnon := 0
+	for _, e := range p.Edges {
+		var pt Term
+		if e.Label == "" {
+			v := fmt.Sprintf("p%d", predAnon)
+			predAnon++
+			pt = V(v)
+		} else {
+			pt = C(kb.Term(e.Label))
+		}
+		q.Where = append(q.Where, Triple{S: term(names[e.From]), P: pt, O: term(names[e.To])})
+	}
+	if len(selectVars) > 0 {
+		q.Select = selectVars
+	} else {
+		q.Select = dedupeStrings(autoVars)
+		if len(q.Select) == 0 {
+			return Query{}, fmt.Errorf("query: pattern binds no variables; name one with ?x or O:term")
+		}
+	}
+	return q, q.Validate()
+}
+
+func dedupeStrings(ss []string) []string {
+	seen := make(map[string]bool, len(ss))
+	out := ss[:0:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

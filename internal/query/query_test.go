@@ -1,0 +1,95 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func TestParseBasicQuery(t *testing.T) {
+	q, err := Parse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0] != "x" || q.Select[1] != "p" {
+		t.Fatalf("Select = %v", q.Select)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("Where = %v", q.Where)
+	}
+	if !q.Where[0].S.IsVar() || q.Where[0].P.Value.Str != "InstanceOf" || q.Where[0].O.Value.Str != "Vehicle" {
+		t.Fatalf("triple 0 = %v", q.Where[0])
+	}
+}
+
+func TestParseLiteralsAndQualifiedNames(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE ?x Owner "Alice" . ?x Price 2000 . ?x InstanceOf carrier.SUV`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].O.Value.Kind != kb.KindString || q.Where[0].O.Value.Str != "Alice" {
+		t.Fatalf("string literal = %v", q.Where[0].O)
+	}
+	if q.Where[1].O.Value.Kind != kb.KindNumber || q.Where[1].O.Value.Num != 2000 {
+		t.Fatalf("number literal = %v", q.Where[1].O)
+	}
+	if q.Where[2].O.Value.Str != "carrier.SUV" {
+		t.Fatalf("qualified term = %v", q.Where[2].O)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select ?x where ?x a b"); err != nil {
+		t.Fatalf("lowercase keywords rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"WHERE ?x a b",                        // no SELECT
+		"SELECT WHERE ?x a b",                 // no vars
+		"SELECT ?x",                           // no WHERE
+		"SELECT ?x WHERE ?x a",                // incomplete triple
+		"SELECT ?x WHERE ?x a b ?y c d",       // missing dot
+		"SELECT ?y WHERE ?x a b",              // unbound select var
+		"SELECT ?x WHERE ?x a \"unterminated", // bad string
+		"SELECT ? WHERE ?x a b",               // empty var
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	in := `SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p . ?x Owner "Alice"`
+	q := MustParse(in)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("round trip unstable: %q vs %q", q.String(), q2.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := Query{Select: []string{"x"}, Where: []Triple{{S: V("x"), P: C(kb.Term("a")), O: C(kb.Term("b"))}}}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Query{}).Validate(); err == nil {
+		t.Fatalf("empty query valid")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if V("x").String() != "?x" {
+		t.Fatalf("var String wrong")
+	}
+	if C(kb.Number(3)).String() != "3" {
+		t.Fatalf("const String wrong")
+	}
+}

@@ -1,0 +1,262 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// Parse parses one rule from its textual form, e.g.
+//
+//	carrier.Car => factory.Vehicle
+//	(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks
+//	factory.Vehicle => (carrier.Cars v carrier.Trucks)
+//	DGToEuroFn() : carrier.DutchGuilders => transport.Euro
+//
+// Qualified references accept both "ont.Term" and "ont:Term". The
+// disjunction connective is the bare word "v" or the symbol "|"; the
+// conjunction connective is "^" or "&".
+func Parse(s string) (Rule, error) {
+	p := &ruleParser{in: s, toks: tokenizeRule(s)}
+	r, err := p.parseRule()
+	if err != nil {
+		return Rule{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// MustParse is Parse for static construction code; it panics on error.
+func MustParse(s string) Rule {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseSet reads a rule set: one rule per line, '#' starting a comment,
+// blank lines ignored. It reports the first error with its line number.
+func ParseSet(r io.Reader) (*Set, error) {
+	set := &Set{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		rule, err := Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		set.Add(rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rules: reading rule set: %w", err)
+	}
+	return set, nil
+}
+
+// ParseSetString is ParseSet over an in-memory string.
+func ParseSetString(s string) (*Set, error) {
+	return ParseSet(strings.NewReader(s))
+}
+
+type ruleTok struct {
+	kind string // "term", "=>", "(", ")", "^", "v", ":", "fn"
+	text string
+	pos  int
+}
+
+// tokenizeRule splits the rule text. Terms are maximal runs of characters
+// that are not whitespace or rule punctuation; "v" alone is the OR
+// connective. A ':' directly after ')' is the functional-rule separator;
+// anywhere else it is part of a qualified term reference (ont:Term).
+func tokenizeRule(s string) []ruleTok {
+	var toks []ruleTok
+	lastKind := func() string {
+		if len(toks) == 0 {
+			return ""
+		}
+		return toks[len(toks)-1].kind
+	}
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(':
+			toks = append(toks, ruleTok{"(", "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, ruleTok{")", ")", i})
+			i++
+		case c == '^' || c == '&':
+			toks = append(toks, ruleTok{"^", string(c), i})
+			i++
+		case c == '|':
+			toks = append(toks, ruleTok{"v", "|", i})
+			i++
+		case c == ':' && lastKind() == ")":
+			toks = append(toks, ruleTok{":", ":", i})
+			i++
+		case c == '=' && i+1 < len(s) && s[i+1] == '>':
+			toks = append(toks, ruleTok{"=>", "=>", i})
+			i += 2
+		default:
+			start := i
+			for i < len(s) {
+				c2 := s[i]
+				if c2 == ' ' || c2 == '\t' || c2 == '(' || c2 == ')' || c2 == '^' || c2 == '&' || c2 == '|' {
+					break
+				}
+				if c2 == '=' && i+1 < len(s) && s[i+1] == '>' {
+					break
+				}
+				i++
+			}
+			text := s[start:i]
+			if text == "v" {
+				toks = append(toks, ruleTok{"v", "v", start})
+			} else {
+				toks = append(toks, ruleTok{"term", text, start})
+			}
+		}
+	}
+	return toks
+}
+
+type ruleParser struct {
+	in   string
+	toks []ruleTok
+	pos  int
+}
+
+func (p *ruleParser) peek() ruleTok {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ruleTok{kind: "eof", pos: len(p.in)}
+}
+
+func (p *ruleParser) next() ruleTok {
+	t := p.peek()
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *ruleParser) errf(t ruleTok, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	return fmt.Errorf("rules: %s at offset %d in %q", msg, t.pos, p.in)
+}
+
+// parseRule := [term '(' ')' ':'] step ('=>' step)+
+func (p *ruleParser) parseRule() (Rule, error) {
+	var r Rule
+	// Functional prefix: term, "(", ")", ":".
+	if p.peek().kind == "term" && p.pos+3 < len(p.toks)+1 {
+		save := p.pos
+		fn := p.next()
+		if p.peek().kind == "(" {
+			p.next()
+			if p.peek().kind == ")" {
+				p.next()
+				if p.peek().kind == ":" {
+					p.next()
+					r.Fn = fn.text
+				} else {
+					p.pos = save
+				}
+			} else {
+				p.pos = save
+			}
+		} else {
+			p.pos = save
+		}
+	}
+
+	first, err := p.parseStep()
+	if err != nil {
+		return Rule{}, err
+	}
+	r.Steps = append(r.Steps, first)
+	for p.peek().kind == "=>" {
+		p.next()
+		s, err := p.parseStep()
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Steps = append(r.Steps, s)
+	}
+	if len(r.Steps) < 2 {
+		return Rule{}, p.errf(p.peek(), "expected '=>'")
+	}
+	if t := p.peek(); t.kind != "eof" {
+		return Rule{}, p.errf(t, "trailing input %q", t.text)
+	}
+	return r, nil
+}
+
+// parseStep := term | '(' term (conn term)* ')'
+func (p *ruleParser) parseStep() (Step, error) {
+	t := p.peek()
+	if t.kind == "term" {
+		p.next()
+		ref, err := ontology.ParseRef(t.text)
+		if err != nil {
+			return Step{}, p.errf(t, "bad term %q: %v", t.text, err)
+		}
+		return NewStep(Single, ref), nil
+	}
+	if t.kind != "(" {
+		return Step{}, p.errf(t, "expected term or '('")
+	}
+	p.next()
+	var terms []ontology.Ref
+	conn := Single
+	for {
+		tt := p.next()
+		if tt.kind != "term" {
+			return Step{}, p.errf(tt, "expected term inside group")
+		}
+		ref, err := ontology.ParseRef(tt.text)
+		if err != nil {
+			return Step{}, p.errf(tt, "bad term %q: %v", tt.text, err)
+		}
+		terms = append(terms, ref)
+		nt := p.next()
+		switch nt.kind {
+		case ")":
+			if len(terms) > 1 && conn == Single {
+				return Step{}, p.errf(nt, "group with several terms needs a connective")
+			}
+			return Step{Terms: terms, Conn: conn}, nil
+		case "^":
+			if conn == Or {
+				return Step{}, p.errf(nt, "mixed connectives in one group")
+			}
+			conn = And
+		case "v":
+			if conn == And {
+				return Step{}, p.errf(nt, "mixed connectives in one group")
+			}
+			conn = Or
+		default:
+			return Step{}, p.errf(nt, "expected connective or ')'")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package rules defines ONION articulation rules (EDBT 2000, §4.1).
+//
+// Articulation rules take the form P => Q, read "P semantically implies Q"
+// (equivalently, "the object P semantically belongs to the class Q").
+// Operands are qualified term references; the paper's rule forms are all
+// representable:
+//
+//	carrier.Car => factory.Vehicle                       simple implication
+//	carrier.Car => transport.PassengerCar => factory.Vehicle   cascaded
+//	(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks conjunction
+//	factory.Vehicle => (carrier.Cars v carrier.Trucks)         disjunction
+//	DGToEuroFn() : carrier.DutchGuilders => transport.Euro     functional
+//
+// The articulation generator (package articulation) consumes these rules
+// and translates them into graph transformations; the inference engine
+// breaks multi-term implications into atomic ones via Decompose.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// Connective joins the terms inside one step of an implication chain.
+type Connective uint8
+
+// Step connectives: a single term, a conjunction (A ^ B), or a
+// disjunction (A v B).
+const (
+	Single Connective = iota
+	And
+	Or
+)
+
+// String returns the rule-syntax spelling of the connective.
+func (c Connective) String() string {
+	switch c {
+	case And:
+		return "^"
+	case Or:
+		return "v"
+	default:
+		return ""
+	}
+}
+
+// Step is one operand of an implication chain: one term, or several terms
+// joined by a connective.
+type Step struct {
+	Terms []ontology.Ref
+	Conn  Connective
+}
+
+// NewStep builds a step, normalising the connective for single terms.
+func NewStep(conn Connective, terms ...ontology.Ref) Step {
+	if len(terms) <= 1 {
+		conn = Single
+	}
+	return Step{Terms: terms, Conn: conn}
+}
+
+// String renders the step in rule syntax.
+func (s Step) String() string {
+	if len(s.Terms) == 1 {
+		return s.Terms[0].String()
+	}
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " "+s.Conn.String()+" ") + ")"
+}
+
+// Rule is one articulation rule: an implication chain with an optional
+// conversion-function prefix (functional rules, §4.1 "Functional Rules").
+type Rule struct {
+	// Steps holds the implication chain left to right; Steps[i] implies
+	// Steps[i+1]. Valid rules have at least two steps.
+	Steps []Step
+	// Fn names the conversion function of a functional rule, without
+	// parentheses (e.g. "DGToEuroFn"); empty for plain implications.
+	Fn string
+}
+
+// Implication builds a simple rule lhs => rhs.
+func Implication(lhs, rhs ontology.Ref) Rule {
+	return Rule{Steps: []Step{NewStep(Single, lhs), NewStep(Single, rhs)}}
+}
+
+// Functional builds a functional rule fn() : lhs => rhs.
+func Functional(fn string, lhs, rhs ontology.Ref) Rule {
+	r := Implication(lhs, rhs)
+	r.Fn = fn
+	return r
+}
+
+// Chain builds a cascaded rule s0 => s1 => ... from the given steps.
+func Chain(steps ...Step) Rule { return Rule{Steps: steps} }
+
+// String renders the rule in parseable rule syntax.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Steps))
+	for i, s := range r.Steps {
+		parts[i] = s.String()
+	}
+	body := strings.Join(parts, " => ")
+	if r.Fn != "" {
+		return r.Fn + "() : " + body
+	}
+	return body
+}
+
+// Validate checks structural sanity: at least two steps, every step
+// non-empty, every term non-empty, and functional rules being simple
+// (single-term, two-step) as in the paper's examples.
+func (r Rule) Validate() error {
+	if len(r.Steps) < 2 {
+		return fmt.Errorf("rule %q: implication needs at least two steps", r.String())
+	}
+	for i, s := range r.Steps {
+		if len(s.Terms) == 0 {
+			return fmt.Errorf("rule %q: step %d is empty", r.String(), i)
+		}
+		if len(s.Terms) > 1 && s.Conn == Single {
+			return fmt.Errorf("rule %q: step %d has several terms but no connective", r.String(), i)
+		}
+		for _, t := range s.Terms {
+			if t.Term == "" {
+				return fmt.Errorf("rule %q: step %d has an empty term", r.String(), i)
+			}
+		}
+	}
+	if r.Fn != "" {
+		if len(r.Steps) != 2 || len(r.Steps[0].Terms) != 1 || len(r.Steps[1].Terms) != 1 {
+			return fmt.Errorf("rule %q: functional rules must be simple A => B", r.String())
+		}
+	}
+	return nil
+}
+
+// Decompose breaks a cascaded chain s0 => s1 => ... => sn into the atomic
+// pairwise rules s0 => s1, s1 => s2, ..., as the paper's inference engine
+// does for "the notational convenience of multi-term implication" (§4.1).
+// Two-step rules decompose to themselves; the functional prefix stays on
+// the first atomic rule only (the conversion applies at the source side).
+func (r Rule) Decompose() []Rule {
+	if len(r.Steps) <= 2 {
+		return []Rule{r}
+	}
+	out := make([]Rule, 0, len(r.Steps)-1)
+	for i := 0; i+1 < len(r.Steps); i++ {
+		a := Rule{Steps: []Step{r.Steps[i], r.Steps[i+1]}}
+		if i == 0 {
+			a.Fn = r.Fn
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Refs returns every term reference mentioned by the rule, in chain order.
+func (r Rule) Refs() []ontology.Ref {
+	var refs []ontology.Ref
+	for _, s := range r.Steps {
+		refs = append(refs, s.Terms...)
+	}
+	return refs
+}
+
+// IsSimple reports whether the rule is a plain two-step single-term
+// implication A => B.
+func (r Rule) IsSimple() bool {
+	return len(r.Steps) == 2 && len(r.Steps[0].Terms) == 1 && len(r.Steps[1].Terms) == 1
+}
+
+// Set is an ordered collection of articulation rules, the "articulation
+// rule set" a domain interoperation expert supplies or SKAT generates.
+type Set struct {
+	Rules []Rule
+}
+
+// NewSet builds a set from rules, without validation.
+func NewSet(rs ...Rule) *Set { return &Set{Rules: rs} }
+
+// Add appends rules to the set.
+func (s *Set) Add(rs ...Rule) { s.Rules = append(s.Rules, rs...) }
+
+// Len returns the number of rules.
+func (s *Set) Len() int { return len(s.Rules) }
+
+// Validate validates every rule, reporting the first failure.
+func (s *Set) Validate() error {
+	for i, r := range s.Rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the whole set, one rule per line, parseable by ParseSet.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, r := range s.Rules {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Decompose returns a new set with every cascaded rule broken into atomic
+// rules, duplicates removed (by string form), order preserved.
+func (s *Set) Decompose() *Set {
+	out := &Set{}
+	seen := make(map[string]bool)
+	for _, r := range s.Rules {
+		for _, a := range r.Decompose() {
+			k := a.String()
+			if !seen[k] {
+				seen[k] = true
+				out.Rules = append(out.Rules, a)
+			}
+		}
+	}
+	return out
+}
+
+// SourceTerms returns, for the named ontology, the sorted set of its terms
+// mentioned anywhere in the rule set. The maintenance machinery (§5.3)
+// uses this as the articulation coverage: changes to terms outside this
+// set cannot require articulation updates.
+func (s *Set) SourceTerms(ont string) []string {
+	set := make(map[string]struct{})
+	for _, r := range s.Rules {
+		for _, ref := range r.Refs() {
+			if ref.Ont == ont {
+				set[ref.Term] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ontologies returns the sorted set of ontology names mentioned in the set.
+func (s *Set) Ontologies() []string {
+	set := make(map[string]struct{})
+	for _, r := range s.Rules {
+		for _, ref := range r.Refs() {
+			if ref.Ont != "" {
+				set[ref.Ont] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

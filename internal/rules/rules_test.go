@@ -1,0 +1,292 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+func ref(s string) ontology.Ref { return ontology.MustParseRef(s) }
+
+func TestParseSimpleImplication(t *testing.T) {
+	r, err := Parse("carrier.Car => factory.Vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsSimple() {
+		t.Fatalf("rule should be simple: %v", r)
+	}
+	if r.Steps[0].Terms[0] != ref("carrier.Car") || r.Steps[1].Terms[0] != ref("factory.Vehicle") {
+		t.Fatalf("terms wrong: %v", r)
+	}
+	if r.Fn != "" {
+		t.Fatalf("unexpected Fn %q", r.Fn)
+	}
+}
+
+func TestParseColonQualifiedRefs(t *testing.T) {
+	r, err := Parse("carrier:Car => factory:Vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps[0].Terms[0] != ref("carrier.Car") {
+		t.Fatalf("colon-qualified ref mis-parsed: %v", r.Steps[0].Terms[0])
+	}
+}
+
+func TestParseCascaded(t *testing.T) {
+	r, err := Parse("carrier.Car => transport.PassengerCar => factory.Vehicle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(r.Steps))
+	}
+	if r.Steps[1].Terms[0] != ref("transport.PassengerCar") {
+		t.Fatalf("middle step wrong: %v", r.Steps[1])
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	r, err := Parse("(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Steps[0]
+	if s.Conn != And || len(s.Terms) != 2 {
+		t.Fatalf("conjunction step wrong: %+v", s)
+	}
+	// '&' is an accepted alias.
+	r2, err := Parse("(factory.CargoCarrier & factory.Vehicle) => carrier.Trucks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Steps[0].Conn != And {
+		t.Fatalf("& alias not accepted")
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	r, err := Parse("factory.Vehicle => (carrier.Cars v carrier.Trucks)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Steps[1]
+	if s.Conn != Or || len(s.Terms) != 2 {
+		t.Fatalf("disjunction step wrong: %+v", s)
+	}
+	if _, err := Parse("factory.Vehicle => (carrier.Cars | carrier.Trucks)"); err != nil {
+		t.Fatalf("| alias not accepted: %v", err)
+	}
+}
+
+func TestParseFunctional(t *testing.T) {
+	r, err := Parse("DGToEuroFn() : carrier.DutchGuilders => transport.Euro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fn != "DGToEuroFn" {
+		t.Fatalf("Fn = %q", r.Fn)
+	}
+	if r.Steps[0].Terms[0] != ref("carrier.DutchGuilders") {
+		t.Fatalf("functional LHS wrong: %v", r.Steps[0])
+	}
+	// Without spaces around the colon.
+	r2, err := Parse("F(): a.X => b.Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Fn != "F" {
+		t.Fatalf("Fn = %q", r2.Fn)
+	}
+}
+
+func TestParseTermNamedV(t *testing.T) {
+	// A bare "v" between group terms is the connective, but "v" can still
+	// appear inside qualified names.
+	r, err := Parse("ont.v => ont.w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps[0].Terms[0] != ref("ont.v") {
+		t.Fatalf("term containing v mis-parsed: %v", r.Steps[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"carrier.Car",                      // no implication
+		"carrier.Car =>",                   // dangling
+		"=> factory.Vehicle",               // missing LHS
+		"(a.X ^ b.Y v c.Z) => d.W",         // mixed connectives
+		"(a.X b.Y) => c.Z",                 // missing connective
+		"(a.X ^ ) => c.Z",                  // dangling connective
+		"( => a.X",                         // bad group
+		"a.X => b.Y trailing",              // trailing garbage
+		"F() : (a.X ^ a.Y) => b.Z",         // functional must be simple
+		"F() : a.X => b.Y => c.Z",          // functional must be two steps
+		"carrier.Car => factory.Vehicle )", // stray paren
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"carrier.Car => factory.Vehicle",
+		"carrier.Car => transport.PassengerCar => factory.Vehicle",
+		"(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks",
+		"factory.Vehicle => (carrier.Cars v carrier.Trucks)",
+		"DGToEuroFn() : carrier.DutchGuilders => transport.Euro",
+	}
+	for _, in := range inputs {
+		r := MustParse(in)
+		out := r.String()
+		r2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", out, in, err)
+		}
+		if r2.String() != out {
+			t.Fatalf("round trip unstable: %q -> %q", out, r2.String())
+		}
+	}
+}
+
+func TestDecomposeCascade(t *testing.T) {
+	r := MustParse("carrier.Car => transport.PassengerCar => factory.Vehicle")
+	atoms := r.Decompose()
+	if len(atoms) != 2 {
+		t.Fatalf("Decompose = %d rules, want 2", len(atoms))
+	}
+	if atoms[0].String() != "carrier.Car => transport.PassengerCar" {
+		t.Fatalf("atom 0 = %q", atoms[0].String())
+	}
+	if atoms[1].String() != "transport.PassengerCar => factory.Vehicle" {
+		t.Fatalf("atom 1 = %q", atoms[1].String())
+	}
+}
+
+func TestDecomposeSimpleIsIdentity(t *testing.T) {
+	r := MustParse("a.X => b.Y")
+	atoms := r.Decompose()
+	if len(atoms) != 1 || atoms[0].String() != r.String() {
+		t.Fatalf("Decompose(simple) = %v", atoms)
+	}
+}
+
+func TestDecomposeKeepsFnOnFirstAtom(t *testing.T) {
+	r := Chain(
+		NewStep(Single, ref("a.X")),
+		NewStep(Single, ref("art.M")),
+		NewStep(Single, ref("b.Y")),
+	)
+	r.Fn = "Conv"
+	atoms := r.Decompose()
+	if atoms[0].Fn != "Conv" || atoms[1].Fn != "" {
+		t.Fatalf("Fn distribution wrong: %v", atoms)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Rule{}).Validate(); err == nil {
+		t.Fatalf("empty rule valid")
+	}
+	r := Rule{Steps: []Step{{Terms: []ontology.Ref{ref("a.X"), ref("a.Y")}, Conn: Single}, NewStep(Single, ref("b.Z"))}}
+	if err := r.Validate(); err == nil {
+		t.Fatalf("multi-term Single step valid")
+	}
+	r2 := Rule{Steps: []Step{NewStep(Single, ontology.Ref{}), NewStep(Single, ref("b.Z"))}}
+	if err := r2.Validate(); err == nil {
+		t.Fatalf("empty term valid")
+	}
+}
+
+func TestParseSetWithCommentsAndErrors(t *testing.T) {
+	text := `
+# articulation of carrier and factory
+carrier.Car => factory.Vehicle   # simple
+(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks
+
+DGToEuroFn() : carrier.DutchGuilders => transport.Euro
+`
+	set, err := ParseSetString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("set size = %d, want 3", set.Len())
+	}
+	if _, err := ParseSetString("a.X => b.Y\nbroken =>\n"); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("ParseSet error should carry line number, got %v", err)
+	}
+}
+
+func TestSetStringRoundTrip(t *testing.T) {
+	set := NewSet(
+		MustParse("carrier.Car => factory.Vehicle"),
+		MustParse("factory.Vehicle => (carrier.Cars v carrier.Trucks)"),
+	)
+	again, err := ParseSetString(set.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != set.String() {
+		t.Fatalf("set round trip unstable:\n%q\n%q", set.String(), again.String())
+	}
+}
+
+func TestSetDecomposeDeduplicates(t *testing.T) {
+	set := NewSet(
+		MustParse("a.X => m.M => b.Y"),
+		MustParse("a.X => m.M"), // duplicate of first atom
+	)
+	d := set.Decompose()
+	if d.Len() != 2 {
+		t.Fatalf("Decompose set size = %d, want 2 (deduplicated)", d.Len())
+	}
+}
+
+func TestSourceTerms(t *testing.T) {
+	set := NewSet(
+		MustParse("carrier.Car => factory.Vehicle"),
+		MustParse("(factory.CargoCarrier ^ factory.Vehicle) => carrier.Trucks"),
+		MustParse("carrier.Car => transport.PassengerCar => factory.Vehicle"),
+	)
+	got := set.SourceTerms("carrier")
+	want := []string{"Car", "Trucks"}
+	if len(got) != len(want) {
+		t.Fatalf("SourceTerms(carrier) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SourceTerms(carrier) = %v, want %v", got, want)
+		}
+	}
+	onts := set.Ontologies()
+	wantOnts := []string{"carrier", "factory", "transport"}
+	if len(onts) != len(wantOnts) {
+		t.Fatalf("Ontologies = %v, want %v", onts, wantOnts)
+	}
+}
+
+func TestStepString(t *testing.T) {
+	s := NewStep(And, ref("a.X"), ref("a.Y"))
+	if got := s.String(); got != "(a.X ^ a.Y)" {
+		t.Fatalf("Step.String = %q", got)
+	}
+	single := NewStep(Or, ref("a.X")) // normalised to Single
+	if single.Conn != Single || single.String() != "a.X" {
+		t.Fatalf("NewStep single normalisation failed: %v", single)
+	}
+}
+
+func TestConnectiveString(t *testing.T) {
+	if And.String() != "^" || Or.String() != "v" || Single.String() != "" {
+		t.Fatalf("Connective.String wrong")
+	}
+}

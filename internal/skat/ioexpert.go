@@ -1,0 +1,77 @@
+package skat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// IOExpert is an interactive Expert reading decisions from a stream — the
+// text-mode counterpart of the viewer's confirmation dialogue (§2.2,
+// §2.4). For each suggestion it prints the proposal and its evidence and
+// reads one line:
+//
+//	y | yes          accept the suggested rule
+//	n | no           reject (forbidden in later rounds)
+//	m <rule text>    replace with a modified rule
+//	q | quit         reject this and every remaining suggestion, stop
+//
+// Unparseable input counts as rejection (the conservative choice; the
+// expert has the final word and silence must not create bridges).
+type IOExpert struct {
+	In  io.Reader
+	Out io.Writer
+	// MaxRounds caps propose/review iterations; default 2.
+	MaxRounds int
+
+	reader *bufio.Reader
+	quit   bool
+}
+
+// Review implements Expert.
+func (e *IOExpert) Review(s Suggestion) (Decision, rules.Rule) {
+	if e.quit {
+		return Reject, rules.Rule{}
+	}
+	if e.reader == nil {
+		e.reader = bufio.NewReader(e.In)
+	}
+	fmt.Fprintf(e.Out, "suggest %s\n  [y]es / [n]o / m <rule> / [q]uit: ", s)
+	line, err := e.reader.ReadString('\n')
+	if err != nil && line == "" {
+		e.quit = true
+		return Reject, rules.Rule{}
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "y" || line == "yes":
+		return Accept, rules.Rule{}
+	case line == "q" || line == "quit":
+		e.quit = true
+		return Reject, rules.Rule{}
+	case strings.HasPrefix(line, "m "):
+		r, perr := rules.Parse(strings.TrimSpace(line[2:]))
+		if perr != nil {
+			fmt.Fprintf(e.Out, "  bad rule (%v); rejecting\n", perr)
+			return Reject, rules.Rule{}
+		}
+		return Modify, r
+	default:
+		return Reject, rules.Rule{}
+	}
+}
+
+// Satisfied implements Expert.
+func (e *IOExpert) Satisfied(round, newlyAccepted int) bool {
+	if e.quit {
+		return true
+	}
+	max := e.MaxRounds
+	if max == 0 {
+		max = 2
+	}
+	return round >= max
+}

@@ -1,0 +1,70 @@
+package skat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/lexicon"
+)
+
+func TestIOExpertDecisions(t *testing.T) {
+	// Scripted terminal input: accept, reject, modify, then quit.
+	in := strings.NewReader("y\nn\nm carrier.Cars => transport.Wheeled => factory.Vehicle\nq\n")
+	var out strings.Builder
+	expert := &IOExpert{In: in, Out: &out, MaxRounds: 1}
+
+	set, stats := RunSession(fixtures.Carrier(), fixtures.Factory(), Config{
+		Lexicon:  lexicon.DefaultLexicon(),
+		MinScore: 0.5,
+	}, expert)
+
+	if stats.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1: %+v", stats.Accepted, stats)
+	}
+	if stats.Modified != 1 {
+		t.Fatalf("modified = %d, want 1: %+v", stats.Modified, stats)
+	}
+	if stats.Rejected < 2 { // the explicit 'n' plus everything after 'q'
+		t.Fatalf("rejected = %d, want >= 2: %+v", stats.Rejected, stats)
+	}
+	if set.Len() != 2 { // one accepted + one modified
+		t.Fatalf("rule set = %d rules:\n%s", set.Len(), set)
+	}
+	if !strings.Contains(set.String(), "transport.Wheeled") {
+		t.Fatalf("modified rule missing:\n%s", set)
+	}
+	if !strings.Contains(out.String(), "suggest") {
+		t.Fatalf("no prompts written:\n%s", out.String())
+	}
+}
+
+func TestIOExpertBadModifyFallsBackToReject(t *testing.T) {
+	in := strings.NewReader("m not a rule\n")
+	var out strings.Builder
+	expert := &IOExpert{In: in, Out: &out, MaxRounds: 1}
+	d, _ := expert.Review(Suggestion{})
+	if d != Reject {
+		t.Fatalf("bad modify decision = %v, want Reject", d)
+	}
+	if !strings.Contains(out.String(), "bad rule") {
+		t.Fatalf("no diagnostic written")
+	}
+}
+
+func TestIOExpertEOFQuits(t *testing.T) {
+	expert := &IOExpert{In: strings.NewReader(""), Out: &strings.Builder{}}
+	if d, _ := expert.Review(Suggestion{}); d != Reject {
+		t.Fatalf("EOF should reject")
+	}
+	if !expert.Satisfied(1, 0) {
+		t.Fatalf("EOF should end the session")
+	}
+}
+
+func TestIOExpertUnknownInputRejects(t *testing.T) {
+	expert := &IOExpert{In: strings.NewReader("maybe\n"), Out: &strings.Builder{}}
+	if d, _ := expert.Review(Suggestion{}); d != Reject {
+		t.Fatalf("unknown input should reject")
+	}
+}

@@ -1,0 +1,537 @@
+// Package skat reproduces SKAT, the Semantic Knowledge Articulation Tool
+// that ONION builds on (EDBT 2000, §2.4; Mitra, Wiederhold, Jannink,
+// FUSION'99): it proposes articulation rules between two source ontologies
+// semi-automatically, using expert seed rules, string matching, a semantic
+// lexicon (the WordNet stand-in of package lexicon), and structural
+// evidence; a domain expert then confirms, rejects or modifies the
+// proposals in an iterative loop (package skat's Session).
+package skat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/ontology"
+	"repro/internal/rules"
+)
+
+// Weights control how the matching signals combine. Each signal yields a
+// score in [0,1]; the pair score is the weighted maximum — one strong
+// signal suffices, which mirrors how hints work: an exact name match needs
+// no lexicon support and vice versa.
+type Weights struct {
+	// Exact scales exact (normalised) label equality.
+	Exact float64
+	// Token scales synonym-aware token-set overlap.
+	Token float64
+	// Lexicon scales lexicon evidence (synonymy/hypernymy of heads).
+	Lexicon float64
+	// String scales fuzzy string similarity (edit + trigram).
+	String float64
+}
+
+// DefaultWeights order the signals by reliability: exact > lexicon >
+// token > string.
+func DefaultWeights() Weights {
+	return Weights{Exact: 1.0, Lexicon: 0.9, Token: 0.8, String: 0.6}
+}
+
+// ExpertRuleKind distinguishes seed rules.
+type ExpertRuleKind int
+
+// Expert seed rules either force a correspondence the matcher must emit
+// with full confidence, or forbid one it must never emit.
+const (
+	Force ExpertRuleKind = iota
+	Forbid
+)
+
+// ExpertRule is one seed rule from the domain expert.
+type ExpertRule struct {
+	Kind  ExpertRuleKind
+	Left  string // term in the first ontology
+	Right string // term in the second ontology
+}
+
+// Config tunes proposal generation.
+type Config struct {
+	// Lexicon supplies semantic evidence; nil disables lexicon matching
+	// (string and structural signals still apply).
+	Lexicon *lexicon.Lexicon
+	// Weights for signal combination; zero value uses DefaultWeights.
+	Weights Weights
+	// MinScore is the proposal threshold; pairs scoring below it are not
+	// suggested. Default 0.55.
+	MinScore float64
+	// StructuralRounds runs that many rounds of neighbourhood score
+	// propagation (a light similarity-flooding); 0 disables.
+	StructuralRounds int
+	// StructuralAlpha blends propagated neighbourhood evidence into pair
+	// scores (0..1); default 0.3 when StructuralRounds > 0.
+	StructuralAlpha float64
+	// ExpertRules seed the matcher.
+	ExpertRules []ExpertRule
+	// MaxSuggestions bounds the output (0 = unlimited); the top-scored
+	// suggestions are kept.
+	MaxSuggestions int
+}
+
+func (c Config) weights() Weights {
+	if c.Weights == (Weights{}) {
+		return DefaultWeights()
+	}
+	return c.Weights
+}
+
+func (c Config) minScore() float64 {
+	if c.MinScore == 0 {
+		return 0.55
+	}
+	return c.MinScore
+}
+
+func (c Config) alpha() float64 {
+	if c.StructuralAlpha == 0 {
+		return 0.3
+	}
+	return c.StructuralAlpha
+}
+
+// Suggestion is one proposed semantic bridge with its score and the
+// evidence trail shown to the expert.
+type Suggestion struct {
+	Left     ontology.Ref
+	Right    ontology.Ref
+	Score    float64
+	Evidence []string
+}
+
+// Rule renders the suggestion as the articulation rule Left => Right.
+func (s Suggestion) Rule() rules.Rule {
+	return rules.Implication(s.Left, s.Right)
+}
+
+// String renders the suggestion for expert display.
+func (s Suggestion) String() string {
+	return fmt.Sprintf("%s => %s  [%.2f: %s]", s.Left, s.Right, s.Score, strings.Join(s.Evidence, "; "))
+}
+
+// Propose generates scored correspondence suggestions between o1 and o2,
+// sorted by descending score (ties broken by term order). It never
+// suggests forbidden pairs and always suggests forced ones.
+func Propose(o1, o2 *ontology.Ontology, cfg Config) []Suggestion {
+	m := newMatcher(o1, o2, cfg)
+	m.collectCandidates()
+	if cfg.StructuralRounds > 0 {
+		m.propagate(cfg.StructuralRounds, cfg.alpha())
+	}
+	return m.suggestions()
+}
+
+// ancestorGateDepth bounds the shared-ancestry candidate gate: two terms
+// become a candidate pair when their head tokens share a hypernym within
+// this many levels of either (deep enough for car ⇝ vehicle, shallow
+// enough to keep car and invoice apart).
+const ancestorGateDepth = 4
+
+type pairKey struct{ l, r string }
+
+type candidate struct {
+	base     float64
+	score    float64
+	evidence []string
+	forced   bool
+}
+
+type matcher struct {
+	o1, o2 *ontology.Ontology
+	cfg    Config
+	w      Weights
+	cands  map[pairKey]*candidate
+	forbid map[pairKey]bool
+	// Per-term memos: token lists and head tokens are recomputed for
+	// every candidate pair otherwise; synonym verdicts repeat massively
+	// across token pairs.
+	tokMemo  map[string][]string
+	synMemo  map[pairKey]bool
+	normMemo map[string]string
+	headMemo map[pairKey]headScore
+}
+
+type headScore struct {
+	score float64
+	why   string
+}
+
+func newMatcher(o1, o2 *ontology.Ontology, cfg Config) *matcher {
+	m := &matcher{
+		o1: o1, o2: o2, cfg: cfg, w: cfg.weights(),
+		cands:    make(map[pairKey]*candidate),
+		forbid:   make(map[pairKey]bool),
+		tokMemo:  make(map[string][]string),
+		synMemo:  make(map[pairKey]bool),
+		normMemo: make(map[string]string),
+		headMemo: make(map[pairKey]headScore),
+	}
+	for _, er := range cfg.ExpertRules {
+		if er.Kind == Forbid {
+			m.forbid[pairKey{er.Left, er.Right}] = true
+		}
+	}
+	return m
+}
+
+func (m *matcher) tokens(term string) []string {
+	if t, ok := m.tokMemo[term]; ok {
+		return t
+	}
+	t := lexicon.Tokens(term)
+	m.tokMemo[term] = t
+	return t
+}
+
+func (m *matcher) normalize(term string) string {
+	if n, ok := m.normMemo[term]; ok {
+		return n
+	}
+	n := lexicon.Normalize(term)
+	m.normMemo[term] = n
+	return n
+}
+
+// lexHeadScore memoises the lexicon evidence of one head-token pair —
+// heads repeat across many compound terms, so this caches the expensive
+// synonym/path queries.
+func (m *matcher) lexHeadScore(h1, h2 string) (float64, string) {
+	key := pairKey{h1, h2}
+	if v, ok := m.headMemo[key]; ok {
+		return v.score, v.why
+	}
+	var out headScore
+	lex := m.cfg.Lexicon
+	if lex.AreSynonyms(h1, h2) {
+		out = headScore{m.w.Lexicon * 0.9, "lexicon head synonyms"}
+	} else if ps := lex.PathSimilarity(h1, h2); ps >= 0.5 {
+		out = headScore{m.w.Lexicon * ps, fmt.Sprintf("lexicon path similarity %.2f", ps)}
+	}
+	m.headMemo[key] = out
+	return out.score, out.why
+}
+
+func headOf(tokens []string) string {
+	if len(tokens) == 0 {
+		return ""
+	}
+	return tokens[len(tokens)-1]
+}
+
+func (m *matcher) areSyn(x, y string) bool {
+	if x == y {
+		return true
+	}
+	if m.cfg.Lexicon == nil {
+		return false
+	}
+	key := pairKey{x, y}
+	if v, ok := m.synMemo[key]; ok {
+		return v
+	}
+	v := m.cfg.Lexicon.AreSynonyms(x, y)
+	m.synMemo[key] = v
+	return v
+}
+
+// collectCandidates scores term pairs. Pair enumeration is gated by cheap
+// signals (shared tokens, lexicon links, trigram floor) so the quadratic
+// scan does minimal work per pair.
+func (m *matcher) collectCandidates() {
+	terms1, terms2 := m.o1.Terms(), m.o2.Terms()
+
+	// Token index over o2 for the gate.
+	byToken := make(map[string][]string)
+	for _, t2 := range terms2 {
+		for _, tok := range lexicon.Tokens(t2) {
+			byToken[tok] = append(byToken[tok], t2)
+		}
+	}
+	// Ancestor-synset index over o2 head tokens for gate 2b.
+	byAncestor := make(map[lexicon.SynsetID][]string)
+	if m.cfg.Lexicon != nil {
+		for _, t2 := range terms2 {
+			for _, syn := range m.cfg.Lexicon.AncestorSynsets(lexicon.HeadToken(t2), ancestorGateDepth) {
+				byAncestor[syn] = append(byAncestor[syn], t2)
+			}
+		}
+	}
+	// Precomputed trigram sets for gate 3 (one per term, not per pair).
+	tri2 := make(map[string]lexicon.Trigrams, len(terms2))
+	for _, t2 := range terms2 {
+		tri2[t2] = lexicon.TrigramSet(t2)
+	}
+
+	for _, er := range m.cfg.ExpertRules {
+		if er.Kind != Force {
+			continue
+		}
+		if !m.o1.HasTerm(er.Left) || !m.o2.HasTerm(er.Right) {
+			continue
+		}
+		m.cands[pairKey{er.Left, er.Right}] = &candidate{
+			base: 1, score: 1, forced: true,
+			evidence: []string{"expert rule (forced)"},
+		}
+	}
+
+	for _, t1 := range terms1 {
+		seen := make(map[string]bool)
+		consider := func(t2 string) {
+			if t2 == "" || seen[t2] {
+				return
+			}
+			seen[t2] = true
+			key := pairKey{t1, t2}
+			if m.forbid[key] {
+				return
+			}
+			if _, ok := m.cands[key]; ok {
+				return
+			}
+			score, ev := m.scorePair(t1, t2)
+			if score > 0 {
+				m.cands[key] = &candidate{base: score, score: score, evidence: ev}
+			}
+		}
+		// Gate 1: shared surface tokens.
+		toks := lexicon.Tokens(t1)
+		for _, tok := range toks {
+			for _, t2 := range byToken[tok] {
+				consider(t2)
+			}
+		}
+		// Gate 2: lexicon neighbours of each token (synonyms and
+		// immediate hypernyms/hyponyms) that appear as tokens in o2.
+		if m.cfg.Lexicon != nil {
+			for _, tok := range toks {
+				var related []string
+				related = append(related, m.cfg.Lexicon.Synonyms(tok)...)
+				related = append(related, m.cfg.Lexicon.Hypernyms(tok)...)
+				related = append(related, m.cfg.Lexicon.Hyponyms(tok)...)
+				for _, r := range related {
+					for _, t2 := range byToken[r] {
+						consider(t2)
+					}
+				}
+			}
+			// Gate 2b: shared shallow hypernym ancestry of head tokens —
+			// catches multi-level hypernymy like Cars vs Vehicle.
+			for _, syn := range m.cfg.Lexicon.AncestorSynsets(lexicon.HeadToken(t1), ancestorGateDepth) {
+				for _, t2 := range byAncestor[syn] {
+					consider(t2)
+				}
+			}
+		}
+		// Gate 3: fuzzy-string sweep (catches typos and morphology);
+		// only a cheap precomputed-trigram prefilter per pair.
+		tri1 := lexicon.TrigramSet(t1)
+		for _, t2 := range terms2 {
+			if !seen[t2] && tri1.Similarity(tri2[t2]) >= 0.35 {
+				consider(t2)
+			}
+		}
+	}
+}
+
+// scorePair combines the matching signals for one term pair.
+func (m *matcher) scorePair(t1, t2 string) (float64, []string) {
+	var best float64
+	var ev []string
+	bump := func(s float64, why string) {
+		if s <= 0 {
+			return
+		}
+		ev = append(ev, why)
+		if s > best {
+			best = s
+		}
+	}
+
+	n1, n2 := m.normalize(t1), m.normalize(t2)
+	if n1 == n2 {
+		bump(m.w.Exact, "exact label match")
+	}
+
+	tok1, tok2 := m.tokens(t1), m.tokens(t2)
+	if j := m.synAwareJaccard(tok1, tok2); j > 0 {
+		bump(m.w.Token*j, fmt.Sprintf("token overlap %.2f", j))
+	}
+
+	if m.cfg.Lexicon != nil {
+		lex := m.cfg.Lexicon
+		switch {
+		case lex.AreSynonyms(n1, n2):
+			bump(m.w.Lexicon, "lexicon synonyms")
+		case lex.IsHypernymOf(n2, n1) || lex.IsHypernymOf(n1, n2):
+			bump(m.w.Lexicon*0.85, "lexicon hypernymy")
+		default:
+			h1, h2 := headOf(m.tokens(t1)), headOf(m.tokens(t2))
+			if h1 != "" && h2 != "" {
+				score, why := m.lexHeadScore(h1, h2)
+				bump(score, why)
+			}
+		}
+	}
+
+	es := lexicon.EditSimilarity(n1, n2)
+	ts := lexicon.TrigramSimilarity(n1, n2)
+	ss := es
+	if ts > ss {
+		ss = ts
+	}
+	if ss >= 0.7 {
+		bump(m.w.String*ss, fmt.Sprintf("string similarity %.2f", ss))
+	}
+	return best, ev
+}
+
+// synAwareJaccard is token-set overlap where tokens also match through
+// lexicon synonymy (memoised per token pair).
+func (m *matcher) synAwareJaccard(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	used := make([]bool, len(b))
+	inter := 0
+	for _, x := range a {
+		for j, y := range b {
+			if !used[j] && m.areSyn(x, y) {
+				used[j] = true
+				inter++
+				break
+			}
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// propagate runs structural score refinement: a pair's score is blended
+// with the average best score among its label-compatible neighbour pairs.
+// Anchored neighbourhoods reinforce each other the way SKAT's structural
+// matching rules do.
+func (m *matcher) propagate(rounds int, alpha float64) {
+	g1, g2 := m.o1.Graph(), m.o2.Graph()
+	for r := 0; r < rounds; r++ {
+		next := make(map[pairKey]float64, len(m.cands))
+		for key, c := range m.cands {
+			if c.forced {
+				next[key] = 1
+				continue
+			}
+			id1, ok1 := m.o1.Term(key.l)
+			id2, ok2 := m.o2.Term(key.r)
+			if !ok1 || !ok2 {
+				next[key] = c.score
+				continue
+			}
+			var sum float64
+			var n int
+			for _, dir := range []bool{true, false} {
+				var e1, e2 []string
+				if dir {
+					for _, e := range g1.OutEdges(id1) {
+						e1 = append(e1, e.Label+"\x00"+g1.Label(e.To))
+					}
+					for _, e := range g2.OutEdges(id2) {
+						e2 = append(e2, e.Label+"\x00"+g2.Label(e.To))
+					}
+				} else {
+					for _, e := range g1.InEdges(id1) {
+						e1 = append(e1, e.Label+"\x00"+g1.Label(e.From))
+					}
+					for _, e := range g2.InEdges(id2) {
+						e2 = append(e2, e.Label+"\x00"+g2.Label(e.From))
+					}
+				}
+				for _, x := range e1 {
+					lbl, t1 := splitPair(x)
+					best := 0.0
+					for _, y := range e2 {
+						lbl2, t2 := splitPair(y)
+						if lbl != lbl2 {
+							continue
+						}
+						if s, ok := m.cands[pairKey{t1, t2}]; ok && s.score > best {
+							best = s.score
+						}
+					}
+					sum += best
+					n++
+				}
+			}
+			structural := c.base
+			if n > 0 {
+				structural = sum / float64(n)
+			}
+			blended := (1-alpha)*c.base + alpha*structural
+			if blended > 1 {
+				blended = 1
+			}
+			next[key] = blended
+		}
+		changed := false
+		for key, s := range next {
+			c := m.cands[key]
+			if diff := s - c.score; diff > 1e-9 || diff < -1e-9 {
+				changed = true
+			}
+			c.score = s
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, c := range m.cands {
+		if !c.forced && c.score != c.base {
+			c.evidence = append(c.evidence, "structural propagation")
+		}
+	}
+}
+
+func splitPair(s string) (string, string) {
+	i := strings.IndexByte(s, 0)
+	return s[:i], s[i+1:]
+}
+
+// suggestions converts candidates above threshold into sorted output.
+func (m *matcher) suggestions() []Suggestion {
+	min := m.cfg.minScore()
+	var out []Suggestion
+	for key, c := range m.cands {
+		if !c.forced && c.score < min {
+			continue
+		}
+		ev := append([]string(nil), c.evidence...)
+		sort.Strings(ev)
+		out = append(out, Suggestion{
+			Left:     ontology.MakeRef(m.o1.Name(), key.l),
+			Right:    ontology.MakeRef(m.o2.Name(), key.r),
+			Score:    c.score,
+			Evidence: ev,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Left != out[j].Left {
+			return out[i].Left.Less(out[j].Left)
+		}
+		return out[i].Right.Less(out[j].Right)
+	})
+	if m.cfg.MaxSuggestions > 0 && len(out) > m.cfg.MaxSuggestions {
+		out = out[:m.cfg.MaxSuggestions]
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package view renders ontologies and articulations as text — the
+// stand-in for the ONION viewer's graphical presentation (§2.2). The
+// paper's motivation for the graph model is precisely that "structural
+// relationships [are] often hard to visualize" in text-based models; this
+// renderer lays the SubclassOf hierarchy out as an indented tree with
+// attribute and instance annotations so a terminal user gets the same
+// at-a-glance structure.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/articulation"
+	"repro/internal/graph"
+	"repro/internal/ontology"
+)
+
+// Options tune rendering.
+type Options struct {
+	// ShowAttributes annotates classes with their direct attributes.
+	ShowAttributes bool
+	// ShowInstances lists direct instances beneath their classes.
+	ShowInstances bool
+	// ShowOther lists non-standard relationships as annotations.
+	ShowOther bool
+	// MaxDepth bounds the tree depth (0 = unlimited).
+	MaxDepth int
+}
+
+// DefaultOptions show everything.
+func DefaultOptions() Options {
+	return Options{ShowAttributes: true, ShowInstances: true, ShowOther: true}
+}
+
+// Tree renders the ontology's SubclassOf hierarchy as an indented tree.
+// Roots are classes without superclasses; terms that are only attributes
+// or instances appear as annotations, and any remaining disconnected
+// terms are listed at the end. Output is deterministic. Cycles (invalid
+// ontologies) are cut with a "…cycle…" marker rather than looping.
+func Tree(o *ontology.Ontology, opts Options) string {
+	g := o.Graph()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d terms, %d relationships)\n", o.Name(), o.NumTerms(), o.NumRelationships())
+
+	// Classify terms: attributes and instances are annotations, not tree
+	// nodes of their own.
+	attrOnly := make(map[graph.NodeID]bool)
+	instOnly := make(map[graph.NodeID]bool)
+	for _, e := range g.Edges() {
+		switch e.Label {
+		case ontology.AttributeOf:
+			attrOnly[e.To] = true
+		case ontology.InstanceOf:
+			instOnly[e.From] = true
+		}
+	}
+	// A term that also participates in the class hierarchy stays a class.
+	for _, e := range g.EdgesWithLabel(ontology.SubclassOf) {
+		delete(attrOnly, e.From)
+		delete(attrOnly, e.To)
+		delete(instOnly, e.From)
+		delete(instOnly, e.To)
+	}
+
+	// Roots: class nodes with no outgoing SubclassOf edge.
+	var roots []graph.NodeID
+	printed := make(map[graph.NodeID]bool)
+	for _, id := range g.Nodes() {
+		if attrOnly[id] || instOnly[id] {
+			continue
+		}
+		isRoot := true
+		for _, e := range g.OutEdges(id) {
+			if e.Label == ontology.SubclassOf {
+				isRoot = false
+				break
+			}
+		}
+		if isRoot {
+			roots = append(roots, id)
+		}
+	}
+	sortByLabel(g, roots)
+
+	var render func(id graph.NodeID, prefix string, last bool, depth int, onPath map[graph.NodeID]bool)
+	render = func(id graph.NodeID, prefix string, last bool, depth int, onPath map[graph.NodeID]bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if prefix == "" && connector != "" {
+			connector = ""
+			childPrefix = "   "
+		}
+		line := prefix + connector + g.Label(id)
+		if ann := annotations(o, g, id, opts); ann != "" {
+			line += "  " + ann
+		}
+		b.WriteString(line + "\n")
+		printed[id] = true
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			hasChild := false
+			for _, e := range g.InEdges(id) {
+				if e.Label == ontology.SubclassOf {
+					hasChild = true
+					break
+				}
+			}
+			if hasChild {
+				b.WriteString(childPrefix + "…\n")
+			}
+			return
+		}
+		if onPath[id] {
+			b.WriteString(childPrefix + "…cycle…\n")
+			return
+		}
+		onPath[id] = true
+		defer delete(onPath, id)
+
+		var children []graph.NodeID
+		for _, e := range g.InEdges(id) {
+			if e.Label == ontology.SubclassOf {
+				children = append(children, e.From)
+			}
+		}
+		sortByLabel(g, children)
+		if opts.ShowInstances {
+			var insts []graph.NodeID
+			for _, e := range g.InEdges(id) {
+				if e.Label == ontology.InstanceOf {
+					insts = append(insts, e.From)
+				}
+			}
+			sortByLabel(g, insts)
+			for _, inst := range insts {
+				printed[inst] = true
+				b.WriteString(childPrefix + "• " + g.Label(inst) + "\n")
+			}
+		}
+		for i, c := range children {
+			render(c, childPrefix, i == len(children)-1, depth+1, onPath)
+		}
+	}
+	for i, r := range roots {
+		render(r, "", i == len(roots)-1, 1, map[graph.NodeID]bool{})
+	}
+
+	// Anything not printed and not an annotation target: list it. Under a
+	// depth limit, unprinted terms are truncation, not disconnection.
+	if opts.MaxDepth == 0 {
+		var loose []graph.NodeID
+		for _, id := range g.Nodes() {
+			if !printed[id] && !attrOnly[id] && !instOnly[id] {
+				loose = append(loose, id)
+			}
+		}
+		sortByLabel(g, loose)
+		if len(loose) > 0 {
+			b.WriteString("unconnected:\n")
+			for _, id := range loose {
+				b.WriteString("   " + g.Label(id) + "\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// annotations builds the [attr: ...] {rel: ...} suffix of a class line.
+func annotations(o *ontology.Ontology, g *graph.Graph, id graph.NodeID, opts Options) string {
+	var parts []string
+	if opts.ShowAttributes {
+		var attrs []string
+		for _, e := range g.OutEdges(id) {
+			if e.Label == ontology.AttributeOf {
+				attrs = append(attrs, g.Label(e.To))
+			}
+		}
+		sort.Strings(attrs)
+		if len(attrs) > 0 {
+			parts = append(parts, "[attr: "+strings.Join(attrs, ", ")+"]")
+		}
+	}
+	if opts.ShowOther {
+		var others []string
+		for _, e := range g.OutEdges(id) {
+			switch e.Label {
+			case ontology.SubclassOf, ontology.AttributeOf, ontology.InstanceOf:
+			default:
+				others = append(others, e.Label+"→"+g.Label(e.To))
+			}
+		}
+		sort.Strings(others)
+		if len(others) > 0 {
+			parts = append(parts, "{"+strings.Join(others, ", ")+"}")
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// ArticulationSummary renders an articulation the way the expert reviews
+// it: the articulation tree first, then the bridges grouped per
+// articulation term.
+func ArticulationSummary(a *articulation.Articulation, opts Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "articulation %s between %s and %s\n", a.Ont.Name(), a.Sources[0], a.Sources[1])
+	b.WriteString(Tree(a.Ont, opts))
+	b.WriteString("bridges:\n")
+	for _, term := range a.Ont.Terms() {
+		anchors := a.SourceAnchors(term)
+		if len(anchors) == 0 {
+			continue
+		}
+		names := make([]string, len(anchors))
+		for i, r := range anchors {
+			names[i] = r.String()
+		}
+		fmt.Fprintf(&b, "   %s ⇔ %s\n", term, strings.Join(names, ", "))
+	}
+	funcs := false
+	for _, br := range a.Bridges {
+		if br.Functional() {
+			if !funcs {
+				b.WriteString("conversions:\n")
+				funcs = true
+			}
+			fmt.Fprintf(&b, "   %s —%s→ %s\n", br.From, br.FuncName(), br.To)
+		}
+	}
+	return b.String()
+}
+
+func sortByLabel(g *graph.Graph, ids []graph.NodeID) {
+	sort.Slice(ids, func(i, j int) bool {
+		li, lj := g.Label(ids[i]), g.Label(ids[j])
+		if li != lj {
+			return li < lj
+		}
+		return ids[i] < ids[j]
+	})
+}

@@ -1,0 +1,123 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/ontology"
+)
+
+func TestTreeRendersHierarchy(t *testing.T) {
+	out := Tree(fixtures.Carrier(), DefaultOptions())
+	// Hierarchy structure: Cars indented under Transportation,
+	// PassengerCar under Cars.
+	idxTrans := strings.Index(out, "Transportation")
+	idxCars := strings.Index(out, "Cars")
+	idxPass := strings.Index(out, "PassengerCar")
+	if idxTrans < 0 || idxCars < 0 || idxPass < 0 {
+		t.Fatalf("tree missing classes:\n%s", out)
+	}
+	if !(idxTrans < idxCars) {
+		t.Fatalf("root not before subclass:\n%s", out)
+	}
+	// Tree connectors present.
+	if !strings.Contains(out, "└─") && !strings.Contains(out, "├─") {
+		t.Fatalf("no tree connectors:\n%s", out)
+	}
+}
+
+func TestTreeAnnotations(t *testing.T) {
+	out := Tree(fixtures.Carrier(), DefaultOptions())
+	if !strings.Contains(out, "[attr: Owner, Price]") {
+		t.Fatalf("attribute annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "• MyCar") {
+		t.Fatalf("instance bullet missing:\n%s", out)
+	}
+	if !strings.Contains(out, "drivenBy→Driver") {
+		t.Fatalf("other-relationship annotation missing:\n%s", out)
+	}
+}
+
+func TestTreeOptionsDisableAnnotations(t *testing.T) {
+	out := Tree(fixtures.Carrier(), Options{})
+	if strings.Contains(out, "[attr:") || strings.Contains(out, "• MyCar") {
+		t.Fatalf("annotations shown despite options:\n%s", out)
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	deep := Tree(fixtures.Carrier(), Options{})
+	shallow := Tree(fixtures.Carrier(), Options{MaxDepth: 1})
+	if strings.Contains(shallow, "PassengerCar") {
+		t.Fatalf("MaxDepth=1 still shows depth-2 class:\n%s", shallow)
+	}
+	if !strings.Contains(deep, "PassengerCar") {
+		t.Fatalf("unbounded tree missing depth-2 class:\n%s", deep)
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	a := Tree(fixtures.Factory(), DefaultOptions())
+	b := Tree(fixtures.Factory(), DefaultOptions())
+	if a != b {
+		t.Fatalf("tree rendering unstable")
+	}
+}
+
+func TestTreeMultipleParentsPrintedUnderEach(t *testing.T) {
+	out := Tree(fixtures.Factory(), DefaultOptions())
+	// GoodsVehicle is a subclass of both Vehicle and CargoCarrier: it must
+	// appear under both.
+	if strings.Count(out, "GoodsVehicle") < 2 {
+		t.Fatalf("diamond child not shown under both parents:\n%s", out)
+	}
+}
+
+func TestTreeCycleGuard(t *testing.T) {
+	o := ontology.New("cyc")
+	o.MustAddTerm("A")
+	o.MustAddTerm("B")
+	// Build a cycle through the raw graph (Validate would reject it).
+	o.MustRelate("A", ontology.SubclassOf, "B")
+	o.MustRelate("B", ontology.SubclassOf, "A")
+	out := Tree(o, Options{})
+	if !strings.Contains(out, "…cycle…") && !strings.Contains(out, "unconnected") {
+		t.Fatalf("cycle not handled:\n%s", out)
+	}
+}
+
+func TestTreeUnconnectedTerms(t *testing.T) {
+	o := ontology.New("loose")
+	o.MustAddTerm("Island")
+	o.MustAddTerm("Root")
+	o.MustAddTerm("Child")
+	o.MustRelate("Child", ontology.SubclassOf, "Root")
+	out := Tree(o, Options{})
+	// Island is a root of its own (no SubclassOf out-edge): it renders as
+	// a root, not as unconnected.
+	if !strings.Contains(out, "Island") {
+		t.Fatalf("isolated term missing:\n%s", out)
+	}
+}
+
+func TestArticulationSummary(t *testing.T) {
+	res, _, _ := fixtures.GenerateTransport()
+	out := ArticulationSummary(res.Art, DefaultOptions())
+	for _, want := range []string{
+		"articulation transport between carrier and factory",
+		"bridges:",
+		"Vehicle ⇔",
+		"carrier.Cars",
+		"conversions:",
+		"PSToEuroFn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if ArticulationSummary(res.Art, DefaultOptions()) != out {
+		t.Fatalf("summary unstable")
+	}
+}

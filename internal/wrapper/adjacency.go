@@ -1,0 +1,233 @@
+// Package wrapper implements ONION's source wrappers (EDBT 2000, §2.1):
+// "We accept ontologies based on IDL specifications and XML-based
+// documents, as well as simple adjacency list representations." Each
+// format round-trips: Read* parses an external representation into an
+// ontology graph, Write* renders it back deterministically.
+package wrapper
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// ReadAdjacency parses the adjacency-list text format:
+//
+//	ontology carrier
+//	relation partOf transitive
+//	node Cars
+//	node "Term With Spaces"
+//	edge Cars SubclassOf Transportation
+//
+// '#' starts a comment; labels containing whitespace are quoted with Go
+// string syntax. Unknown edge endpoints are created implicitly (adjacency
+// dumps commonly list edges only).
+func ReadAdjacency(r io.Reader) (*ontology.Ontology, error) {
+	o := ontology.New("ontology")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(stripComment(sc.Text()))
+		if text == "" {
+			continue
+		}
+		fields, err := splitQuoted(text)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: line %d: %w", line, err)
+		}
+		switch fields[0] {
+		case "ontology":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("wrapper: line %d: ontology needs a name", line)
+			}
+			o.SetName(fields[1])
+		case "relation":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("wrapper: line %d: relation needs a name", line)
+			}
+			spec := ontology.RelationSpec{Name: fields[1]}
+			for _, prop := range fields[2:] {
+				switch prop {
+				case "transitive":
+					spec.Props |= ontology.Transitive
+				case "symmetric":
+					spec.Props |= ontology.Symmetric
+				case "reflexive":
+					spec.Props |= ontology.Reflexive
+				default:
+					if inv, ok := strings.CutPrefix(prop, "inverseOf="); ok {
+						spec.InverseOf = inv
+					} else {
+						return nil, fmt.Errorf("wrapper: line %d: unknown relation property %q", line, prop)
+					}
+				}
+			}
+			o.DeclareRelation(spec)
+		case "node":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("wrapper: line %d: node needs exactly one label", line)
+			}
+			if _, err := o.EnsureTerm(fields[1]); err != nil {
+				return nil, fmt.Errorf("wrapper: line %d: %w", line, err)
+			}
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("wrapper: line %d: edge needs from, label, to", line)
+			}
+			for _, term := range []string{fields[1], fields[3]} {
+				if _, err := o.EnsureTerm(term); err != nil {
+					return nil, fmt.Errorf("wrapper: line %d: %w", line, err)
+				}
+			}
+			if err := o.Relate(fields[1], fields[2], fields[3]); err != nil {
+				return nil, fmt.Errorf("wrapper: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("wrapper: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wrapper: reading adjacency input: %w", err)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// WriteAdjacency renders the ontology in the adjacency-list format,
+// deterministically: declarations, nodes sorted by label, then edges
+// sorted by (from, label, to).
+func WriteAdjacency(w io.Writer, o *ontology.Ontology) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ontology %s\n", quoteIfNeeded(o.Name()))
+	for _, spec := range o.Relations() {
+		if spec.Props == 0 && spec.InverseOf == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "relation %s", quoteIfNeeded(spec.Name))
+		if spec.Props.Has(ontology.Transitive) {
+			b.WriteString(" transitive")
+		}
+		if spec.Props.Has(ontology.Symmetric) {
+			b.WriteString(" symmetric")
+		}
+		if spec.Props.Has(ontology.Reflexive) {
+			b.WriteString(" reflexive")
+		}
+		if spec.InverseOf != "" {
+			fmt.Fprintf(&b, " inverseOf=%s", spec.InverseOf)
+		}
+		b.WriteString("\n")
+	}
+	for _, term := range o.Terms() {
+		fmt.Fprintf(&b, "node %s\n", quoteIfNeeded(term))
+	}
+	g := o.Graph()
+	rows := make([]edgeRow, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		rows = append(rows, edgeRow{g.Label(e.From), e.Label, g.Label(e.To)})
+	}
+	sortRows(rows)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "edge %s %s %s\n", quoteIfNeeded(r.from), quoteIfNeeded(r.label), quoteIfNeeded(r.to))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// edgeRow is a label-level edge triple used by the deterministic writers.
+type edgeRow struct{ from, label, to string }
+
+func sortRows(rows []edgeRow) {
+	sort.Slice(rows, func(i, j int) bool { return rowLess(rows[i], rows[j]) })
+}
+
+func rowLess(a, b edgeRow) bool {
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	if a.label != b.label {
+		return a.label < b.label
+	}
+	return a.to < b.to
+}
+
+func stripComment(s string) string {
+	// A '#' inside a quoted label must survive.
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '\\':
+			i++
+		case '#':
+			if !inQuote {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// splitQuoted splits on whitespace while honouring Go-quoted fields.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '"' {
+			j := i + 1
+			for j < len(s) {
+				if s[j] == '\\' {
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			unq, err := strconv.Unquote(s[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field %s: %v", s[i:j+1], err)
+			}
+			out = append(out, unq)
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		out = append(out, s[i:j])
+		i = j
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return out, nil
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\"#") {
+		return strconv.Quote(s)
+	}
+	return s
+}

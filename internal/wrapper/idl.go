@@ -1,0 +1,322 @@
+package wrapper
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// ReadIDL parses the IDL subset the paper mentions as an accepted source
+// representation (§2.1):
+//
+//	module carrier {
+//	  interface Vehicle {
+//	    attribute float price;
+//	    attribute string owner;
+//	  };
+//	  interface Truck : Vehicle, CargoCarrier {
+//	    attribute string model;
+//	  };
+//	};
+//
+// Interfaces become terms; inheritance lists become SubclassOf edges;
+// attribute declarations become attribute terms connected by AttributeOf
+// edges (attribute types are recorded as hasType edges to type terms).
+// The module name, when present, names the ontology. Both // and /* */
+// comments are stripped.
+func ReadIDL(r io.Reader) (*ontology.Ontology, error) {
+	src, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: reading IDL: %w", err)
+	}
+	toks, err := lexIDL(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &idlParser{toks: toks}
+	o, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// HasTypeLabel is the edge label connecting an attribute to its declared
+// IDL type.
+const HasTypeLabel = "hasType"
+
+type idlTok struct {
+	text string
+	pos  int
+}
+
+func lexIDL(s string) ([]idlTok, error) {
+	var toks []idlTok
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(s) && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(s) && s[i+1] == '*':
+			end := strings.Index(s[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("wrapper: IDL: unterminated block comment at %d", i)
+			}
+			i += 2 + end + 2
+		case c == '{' || c == '}' || c == ';' || c == ':' || c == ',':
+			toks = append(toks, idlTok{string(c), i})
+			i++
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n\r{};:,", rune(s[j])) {
+				if s[j] == '/' && j+1 < len(s) && (s[j+1] == '/' || s[j+1] == '*') {
+					break
+				}
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("wrapper: IDL: unexpected character %q at %d", s[i], i)
+			}
+			toks = append(toks, idlTok{s[i:j], i})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type idlParser struct {
+	toks []idlTok
+	pos  int
+}
+
+func (p *idlParser) peek() idlTok {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return idlTok{text: "", pos: -1}
+}
+
+func (p *idlParser) next() idlTok {
+	t := p.peek()
+	if t.pos >= 0 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *idlParser) expect(text string) error {
+	if t := p.next(); t.text != text {
+		return fmt.Errorf("wrapper: IDL: expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *idlParser) parse() (*ontology.Ontology, error) {
+	o := ontology.New("idl")
+	// Optional single module wrapper.
+	if p.peek().text == "module" {
+		p.next()
+		name := p.next()
+		if name.text == "" || name.text == "{" {
+			return nil, fmt.Errorf("wrapper: IDL: module needs a name")
+		}
+		o.SetName(name.text)
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		for p.peek().text != "}" && p.peek().pos >= 0 {
+			if err := p.parseInterface(o); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		if p.peek().text == ";" {
+			p.next()
+		}
+	}
+	for p.peek().pos >= 0 {
+		if err := p.parseInterface(o); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+func (p *idlParser) parseInterface(o *ontology.Ontology) error {
+	if err := p.expect("interface"); err != nil {
+		return err
+	}
+	name := p.next()
+	if name.text == "" || strings.ContainsAny(name.text, "{};:,") {
+		return fmt.Errorf("wrapper: IDL: interface needs a name")
+	}
+	if _, err := o.EnsureTerm(name.text); err != nil {
+		return err
+	}
+	if p.peek().text == ":" {
+		p.next()
+		for {
+			parent := p.next()
+			if parent.text == "" || strings.ContainsAny(parent.text, "{};:,") {
+				return fmt.Errorf("wrapper: IDL: bad parent list for %s", name.text)
+			}
+			if _, err := o.EnsureTerm(parent.text); err != nil {
+				return err
+			}
+			if err := o.Relate(name.text, ontology.SubclassOf, parent.text); err != nil {
+				return err
+			}
+			if p.peek().text != "," {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for p.peek().text != "}" {
+		if p.peek().pos < 0 {
+			return fmt.Errorf("wrapper: IDL: unterminated interface %s", name.text)
+		}
+		if err := p.parseMember(o, name.text); err != nil {
+			return err
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return err
+	}
+	if p.peek().text == ";" {
+		p.next()
+	}
+	return nil
+}
+
+func (p *idlParser) parseMember(o *ontology.Ontology, owner string) error {
+	kw := p.next()
+	switch kw.text {
+	case "attribute":
+		typ := p.next()
+		attr := p.next()
+		if typ.text == "" || attr.text == "" || strings.ContainsAny(typ.text+attr.text, "{};:,") {
+			return fmt.Errorf("wrapper: IDL: attribute needs type and name in %s", owner)
+		}
+		if _, err := o.EnsureTerm(attr.text); err != nil {
+			return err
+		}
+		if _, err := o.EnsureTerm(typ.text); err != nil {
+			return err
+		}
+		if err := o.Relate(owner, ontology.AttributeOf, attr.text); err != nil {
+			return err
+		}
+		if err := o.Relate(attr.text, HasTypeLabel, typ.text); err != nil {
+			return err
+		}
+		return p.expect(";")
+	case "relationship":
+		// relationship verb Target;
+		verb := p.next()
+		target := p.next()
+		if verb.text == "" || target.text == "" {
+			return fmt.Errorf("wrapper: IDL: relationship needs verb and target in %s", owner)
+		}
+		if _, err := o.EnsureTerm(target.text); err != nil {
+			return err
+		}
+		if err := o.Relate(owner, verb.text, target.text); err != nil {
+			return err
+		}
+		return p.expect(";")
+	default:
+		return fmt.Errorf("wrapper: IDL: unknown member %q in interface %s", kw.text, owner)
+	}
+}
+
+// WriteIDL renders the class/attribute structure of the ontology as the
+// IDL subset (terms without SubclassOf/AttributeOf participation are
+// emitted as empty interfaces so the round trip is lossless for class
+// structure; non-standard relationship edges become relationship members).
+func WriteIDL(w io.Writer, o *ontology.Ontology) error {
+	g := o.Graph()
+	// Attribute terms (targets of AttributeOf) and type terms (targets of
+	// hasType) do not get their own interfaces.
+	attrTerm := make(map[string]bool)
+	typeTerm := make(map[string]bool)
+	for _, e := range g.Edges() {
+		switch e.Label {
+		case ontology.AttributeOf:
+			attrTerm[g.Label(e.To)] = true
+		case HasTypeLabel:
+			typeTerm[g.Label(e.To)] = true
+		}
+	}
+	var classes []string
+	for _, term := range o.Terms() {
+		if !attrTerm[term] && !typeTerm[term] {
+			classes = append(classes, term)
+		}
+	}
+	sort.Strings(classes)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s {\n", o.Name())
+	for _, c := range classes {
+		id, _ := o.Term(c)
+		var parents, members []string
+		for _, e := range g.OutEdges(id) {
+			to := g.Label(e.To)
+			switch e.Label {
+			case ontology.SubclassOf:
+				parents = append(parents, to)
+			case ontology.AttributeOf:
+				typ := "any"
+				if attrID, ok := o.Term(to); ok {
+					for _, te := range g.OutEdges(attrID) {
+						if te.Label == HasTypeLabel {
+							typ = g.Label(te.To)
+							break
+						}
+					}
+				}
+				members = append(members, fmt.Sprintf("attribute %s %s;", typ, to))
+			case HasTypeLabel:
+				// handled from the attribute side
+			default:
+				members = append(members, fmt.Sprintf("relationship %s %s;", e.Label, to))
+			}
+		}
+		sort.Strings(parents)
+		sort.Strings(members)
+		fmt.Fprintf(&b, "  interface %s", c)
+		if len(parents) > 0 {
+			fmt.Fprintf(&b, " : %s", strings.Join(parents, ", "))
+		}
+		if len(members) == 0 {
+			b.WriteString(" {};\n")
+			continue
+		}
+		b.WriteString(" {\n")
+		for _, m := range members {
+			fmt.Fprintf(&b, "    %s\n", m)
+		}
+		b.WriteString("  };\n")
+	}
+	b.WriteString("};\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,92 @@
+package wrapper
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// Format identifies a wrapper format.
+type Format int
+
+// Supported formats.
+const (
+	FormatUnknown Format = iota
+	FormatAdjacency
+	FormatXML
+	FormatIDL
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatAdjacency:
+		return "adjacency"
+	case FormatXML:
+		return "xml"
+	case FormatIDL:
+		return "idl"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectFormat maps a file name to its format by extension: .onto/.adj/.txt
+// → adjacency, .xml → XML, .idl → IDL.
+func DetectFormat(path string) Format {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".onto", ".adj", ".txt":
+		return FormatAdjacency
+	case ".xml":
+		return FormatXML
+	case ".idl":
+		return FormatIDL
+	default:
+		return FormatUnknown
+	}
+}
+
+// ParseFormat parses a format name ("adjacency", "xml", "idl").
+func ParseFormat(name string) (Format, error) {
+	switch strings.ToLower(name) {
+	case "adjacency", "adj", "onto", "txt":
+		return FormatAdjacency, nil
+	case "xml":
+		return FormatXML, nil
+	case "idl":
+		return FormatIDL, nil
+	default:
+		return FormatUnknown, fmt.Errorf("wrapper: unknown format %q", name)
+	}
+}
+
+// Read parses an ontology in the given format.
+func Read(r io.Reader, f Format) (*ontology.Ontology, error) {
+	switch f {
+	case FormatAdjacency:
+		return ReadAdjacency(r)
+	case FormatXML:
+		return ReadXML(r)
+	case FormatIDL:
+		return ReadIDL(r)
+	default:
+		return nil, fmt.Errorf("wrapper: cannot read format %v", f)
+	}
+}
+
+// Write renders an ontology in the given format.
+func Write(w io.Writer, o *ontology.Ontology, f Format) error {
+	switch f {
+	case FormatAdjacency:
+		return WriteAdjacency(w, o)
+	case FormatXML:
+		return WriteXML(w, o)
+	case FormatIDL:
+		return WriteIDL(w, o)
+	default:
+		return fmt.Errorf("wrapper: cannot write format %v", f)
+	}
+}

@@ -1,0 +1,259 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/ontology"
+)
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	carrier := fixtures.Carrier()
+	var buf strings.Builder
+	if err := WriteAdjacency(&buf, carrier); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAdjacency(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, buf.String())
+	}
+	if !back.Graph().EqualByLabels(carrier.Graph()) {
+		t.Fatalf("adjacency round trip changed graph:\n%s\nvs\n%s", back, carrier)
+	}
+	if back.Name() != "carrier" {
+		t.Fatalf("name lost: %q", back.Name())
+	}
+}
+
+func TestAdjacencyQuotedLabelsAndComments(t *testing.T) {
+	in := `
+# a comment
+ontology demo
+node "Term With Spaces"
+node Plain
+edge Plain likes "Term With Spaces"   # trailing comment
+edge Plain has "quoted \" and # inside"
+`
+	o, err := ReadAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.HasTerm("Term With Spaces") {
+		t.Fatalf("quoted label lost: %v", o.Terms())
+	}
+	if !o.Related("Plain", "likes", "Term With Spaces") {
+		t.Fatalf("edge with quoted endpoint lost")
+	}
+	if !o.HasTerm(`quoted " and # inside`) {
+		t.Fatalf("escaped label lost: %v", o.Terms())
+	}
+	// Round trip with quoting.
+	var buf strings.Builder
+	if err := WriteAdjacency(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAdjacency(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Graph().EqualByLabels(o.Graph()) {
+		t.Fatalf("quoted round trip changed graph")
+	}
+}
+
+func TestAdjacencyRelationDeclarations(t *testing.T) {
+	in := `
+ontology demo
+relation partOf transitive inverseOf=hasPart
+relation near symmetric
+node A
+`
+	o, err := ReadAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := o.Relation("partOf")
+	if !ok || !spec.Props.Has(ontology.Transitive) || spec.InverseOf != "hasPart" {
+		t.Fatalf("partOf spec = %+v", spec)
+	}
+	if spec, _ := o.Relation("near"); !spec.Props.Has(ontology.Symmetric) {
+		t.Fatalf("near spec wrong")
+	}
+}
+
+func TestAdjacencyErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate x",
+		"node",
+		"node a b",
+		"edge a b",
+		"ontology",
+		`node "unterminated`,
+		"relation",
+		"relation r bogusprop",
+	}
+	for _, in := range bad {
+		if _, err := ReadAdjacency(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadAdjacency(%q) should fail", in)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	factory := fixtures.Factory()
+	factory.DeclareRelation(ontology.RelationSpec{Name: "partOf", Props: ontology.Transitive, InverseOf: "hasPart"})
+	var buf strings.Builder
+	if err := WriteXML(&buf, factory); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXML(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, buf.String())
+	}
+	if !back.Graph().EqualByLabels(factory.Graph()) {
+		t.Fatalf("XML round trip changed graph")
+	}
+	spec, ok := back.Relation("partOf")
+	if !ok || !spec.Props.Has(ontology.Transitive) || spec.InverseOf != "hasPart" {
+		t.Fatalf("XML relation declaration lost: %+v", spec)
+	}
+}
+
+func TestXMLRejectsGarbage(t *testing.T) {
+	if _, err := ReadXML(strings.NewReader("not xml at all")); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if _, err := ReadXML(strings.NewReader(`<ontology><relation/></ontology>`)); err == nil {
+		t.Fatalf("nameless relation accepted")
+	}
+}
+
+func TestIDLParse(t *testing.T) {
+	in := `
+// carrier fleet model
+module carrier {
+  interface Vehicle {
+    attribute float price;
+    attribute string owner;
+  };
+  /* trucks inherit twice */
+  interface Truck : Vehicle, CargoCarrier {
+    attribute string model;
+    relationship drivenBy Driver;
+  };
+  interface CargoCarrier {};
+  interface Driver {};
+};
+`
+	o, err := ReadIDL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "carrier" {
+		t.Fatalf("module name lost: %q", o.Name())
+	}
+	if !o.Related("Truck", ontology.SubclassOf, "Vehicle") || !o.Related("Truck", ontology.SubclassOf, "CargoCarrier") {
+		t.Fatalf("inheritance lost:\n%s", o)
+	}
+	if !o.Related("Vehicle", ontology.AttributeOf, "price") {
+		t.Fatalf("attribute lost")
+	}
+	if !o.Related("price", HasTypeLabel, "float") {
+		t.Fatalf("attribute type lost")
+	}
+	if !o.Related("Truck", "drivenBy", "Driver") {
+		t.Fatalf("relationship lost")
+	}
+}
+
+func TestIDLRoundTrip(t *testing.T) {
+	in := `
+module demo {
+  interface A { attribute int x; };
+  interface B : A { relationship uses C; };
+  interface C {};
+};
+`
+	o, err := ReadIDL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteIDL(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIDL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, buf.String())
+	}
+	if !back.Graph().EqualByLabels(o.Graph()) {
+		t.Fatalf("IDL round trip changed graph:\n%s\nvs\n%s", buf.String(), o)
+	}
+}
+
+func TestIDLErrors(t *testing.T) {
+	bad := []string{
+		"interface {}",
+		"interface A { attribute ; };",
+		"interface A { bogus x; };",
+		"interface A : { };",
+		"interface A { attribute int x }",
+		"module { interface A {}; };",
+		"interface A { /* unterminated",
+	}
+	for _, in := range bad {
+		if _, err := ReadIDL(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadIDL(%q) should fail", in)
+		}
+	}
+}
+
+func TestDetectAndParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"x.onto": FormatAdjacency,
+		"x.adj":  FormatAdjacency,
+		"x.txt":  FormatAdjacency,
+		"x.XML":  FormatXML,
+		"x.idl":  FormatIDL,
+		"x.bin":  FormatUnknown,
+	}
+	for path, want := range cases {
+		if got := DetectFormat(path); got != want {
+			t.Errorf("DetectFormat(%s) = %v, want %v", path, got, want)
+		}
+	}
+	if f, err := ParseFormat("xml"); err != nil || f != FormatXML {
+		t.Fatalf("ParseFormat(xml) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("nope"); err == nil {
+		t.Fatalf("ParseFormat(nope) accepted")
+	}
+	if FormatIDL.String() != "idl" || FormatUnknown.String() != "unknown" {
+		t.Fatalf("Format.String wrong")
+	}
+}
+
+func TestReadWriteDispatch(t *testing.T) {
+	carrier := fixtures.Carrier()
+	for _, f := range []Format{FormatAdjacency, FormatXML} {
+		var buf strings.Builder
+		if err := Write(&buf, carrier, f); err != nil {
+			t.Fatalf("Write %v: %v", f, err)
+		}
+		back, err := Read(strings.NewReader(buf.String()), f)
+		if err != nil {
+			t.Fatalf("Read %v: %v", f, err)
+		}
+		if back.NumTerms() != carrier.NumTerms() {
+			t.Fatalf("dispatch round trip %v lost terms", f)
+		}
+	}
+	if _, err := Read(strings.NewReader(""), FormatUnknown); err == nil {
+		t.Fatalf("Read unknown format accepted")
+	}
+	var sb strings.Builder
+	if err := Write(&sb, carrier, FormatUnknown); err == nil {
+		t.Fatalf("Write unknown format accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package wrapper
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"repro/internal/ontology"
+)
+
+// xmlOntology is the XML document structure:
+//
+//	<ontology name="carrier">
+//	  <relation name="partOf" transitive="true"/>
+//	  <node label="Cars"/>
+//	  <edge from="Cars" label="SubclassOf" to="Transportation"/>
+//	</ontology>
+type xmlOntology struct {
+	XMLName   xml.Name      `xml:"ontology"`
+	Name      string        `xml:"name,attr"`
+	Relations []xmlRelation `xml:"relation"`
+	Nodes     []xmlNode     `xml:"node"`
+	Edges     []xmlEdge     `xml:"edge"`
+}
+
+type xmlRelation struct {
+	Name       string `xml:"name,attr"`
+	Transitive bool   `xml:"transitive,attr,omitempty"`
+	Symmetric  bool   `xml:"symmetric,attr,omitempty"`
+	Reflexive  bool   `xml:"reflexive,attr,omitempty"`
+	InverseOf  string `xml:"inverseOf,attr,omitempty"`
+}
+
+type xmlNode struct {
+	Label string `xml:"label,attr"`
+}
+
+type xmlEdge struct {
+	From  string `xml:"from,attr"`
+	Label string `xml:"label,attr"`
+	To    string `xml:"to,attr"`
+}
+
+// ReadXML parses the XML ontology format.
+func ReadXML(r io.Reader) (*ontology.Ontology, error) {
+	var doc xmlOntology
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("wrapper: parsing XML ontology: %w", err)
+	}
+	name := doc.Name
+	if name == "" {
+		name = "ontology"
+	}
+	o := ontology.New(name)
+	for _, rel := range doc.Relations {
+		if rel.Name == "" {
+			return nil, fmt.Errorf("wrapper: XML relation without name")
+		}
+		spec := ontology.RelationSpec{Name: rel.Name, InverseOf: rel.InverseOf}
+		if rel.Transitive {
+			spec.Props |= ontology.Transitive
+		}
+		if rel.Symmetric {
+			spec.Props |= ontology.Symmetric
+		}
+		if rel.Reflexive {
+			spec.Props |= ontology.Reflexive
+		}
+		o.DeclareRelation(spec)
+	}
+	for _, n := range doc.Nodes {
+		if _, err := o.EnsureTerm(n.Label); err != nil {
+			return nil, fmt.Errorf("wrapper: XML node: %w", err)
+		}
+	}
+	for _, e := range doc.Edges {
+		for _, term := range []string{e.From, e.To} {
+			if _, err := o.EnsureTerm(term); err != nil {
+				return nil, fmt.Errorf("wrapper: XML edge: %w", err)
+			}
+		}
+		if err := o.Relate(e.From, e.Label, e.To); err != nil {
+			return nil, fmt.Errorf("wrapper: XML edge: %w", err)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// WriteXML renders the ontology as an XML document, deterministically
+// (sorted nodes and edges), indented for human inspection.
+func WriteXML(w io.Writer, o *ontology.Ontology) error {
+	doc := xmlOntology{Name: o.Name()}
+	for _, spec := range o.Relations() {
+		if spec.Props == 0 && spec.InverseOf == "" {
+			continue
+		}
+		doc.Relations = append(doc.Relations, xmlRelation{
+			Name:       spec.Name,
+			Transitive: spec.Props.Has(ontology.Transitive),
+			Symmetric:  spec.Props.Has(ontology.Symmetric),
+			Reflexive:  spec.Props.Has(ontology.Reflexive),
+			InverseOf:  spec.InverseOf,
+		})
+	}
+	for _, term := range o.Terms() {
+		doc.Nodes = append(doc.Nodes, xmlNode{Label: term})
+	}
+	g := o.Graph()
+	rows := make([]edgeRow, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		rows = append(rows, edgeRow{g.Label(e.From), e.Label, g.Label(e.To)})
+	}
+	sortRows(rows)
+	for _, r := range rows {
+		doc.Edges = append(doc.Edges, xmlEdge{From: r.from, Label: r.label, To: r.to})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("wrapper: encoding XML ontology: %w", err)
+	}
+	// Encoder.Encode does not emit a trailing newline.
+	_, err := io.WriteString(w, "\n")
+	return err
+}
