@@ -298,6 +298,34 @@ func BenchmarkQuerySourceQualified(b *testing.B) {
 	}
 }
 
+// --- E11: sequential reference vs. planned/parallel execution ---
+
+func BenchmarkQuerySequentialPath(b *testing.B) {
+	eng := queryWorld(b)
+	q := query.MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p")
+	opts := query.Options{Sequential: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecuteWith(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryPlannedPath(b *testing.B) {
+	eng := queryWorld(b)
+	q := query.MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p")
+	var opts query.Options
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecuteWith(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- E9: inference strategies ---
 
 func ancestorEngine(b *testing.B, n int) *inference.Engine {

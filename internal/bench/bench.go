@@ -84,10 +84,11 @@ func All() []*Table {
 		E8Query(nil),
 		E9Inference(nil),
 		E10Incremental(nil),
+		E11ParallelQuery(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E10"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E11"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -111,6 +112,8 @@ func ByID(id string) (*Table, bool) {
 		return E9Inference(nil), true
 	case "E10":
 		return E10Incremental(nil), true
+	case "E11":
+		return E11ParallelQuery(nil), true
 	default:
 		return nil, false
 	}

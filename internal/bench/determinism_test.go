@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/query"
+)
+
+// TestPlannedExecutionMatchesSequential is the determinism regression:
+// across every experiment query world, the planned/parallel path must
+// return byte-identical Result rows and row ordering to the sequential
+// reference — inline, with a worker pool, and on a plan-cache hit.
+func TestPlannedExecutionMatchesSequential(t *testing.T) {
+	type world struct {
+		name string
+		eng  *query.Engine
+		qs   []query.Query
+	}
+	var worlds []world
+
+	// The E8 reformulation-overhead world, articulation-level and
+	// source-qualified vocabulary.
+	for _, n := range []int{50, 150} {
+		eng, artTerm, srcTerm := buildQueryWorld(n)
+		worlds = append(worlds, world{
+			name: fmt.Sprintf("E8/%d", n),
+			eng:  eng,
+			qs: []query.Query{
+				query.MustParse("SELECT ?x ?p WHERE ?x InstanceOf " + artTerm + " . ?x Price ?p"),
+				query.MustParse("SELECT ?x ?p WHERE ?x InstanceOf " + srcTerm + " . ?x Price ?p"),
+			},
+		})
+	}
+
+	// The E11 multi-source fan-out world (scaled down for test speed).
+	feng, fq, _ := buildFanoutWorld(4, 300)
+	worlds = append(worlds, world{name: "E11/4", eng: feng, qs: []query.Query{fq}})
+
+	// The Fig. 2 paper world used by E1/E2, including a filter query and
+	// a constant-subject query.
+	res, carrier, factory := fixtures.GenerateTransport()
+	peng, err := query.NewEngine(res.Art, map[string]*query.Source{
+		"carrier": {Ont: carrier, KB: fixtures.CarrierKB()},
+		"factory": {Ont: factory, KB: fixtures.FactoryKB()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds = append(worlds, world{name: "Fig2", eng: peng, qs: []query.Query{
+		query.MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"),
+		query.MustParse("SELECT ?x WHERE ?x InstanceOf Vehicle"),
+		query.MustParse("SELECT ?p WHERE carrier.MyCar Price ?p"),
+		query.MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p . FILTER ?p > 3000"),
+		query.MustParse("SELECT ?x ?r ?y WHERE ?x ?r ?y"),
+	}})
+
+	modes := []struct {
+		name string
+		opts query.Options
+	}{
+		{"inline", query.Options{Workers: 1}},
+		{"pool-8", query.Options{Workers: 8}},
+		{"pool-8-cached", query.Options{Workers: 8}}, // second run hits the plan cache
+	}
+	for _, w := range worlds {
+		for qi, q := range w.qs {
+			want, err := w.eng.ExecuteWith(q, query.Options{Sequential: true})
+			if err != nil {
+				t.Fatalf("%s q%d sequential: %v", w.name, qi, err)
+			}
+			for _, m := range modes {
+				got, err := w.eng.ExecuteWith(q, m.opts)
+				if err != nil {
+					t.Fatalf("%s q%d %s: %v", w.name, qi, m.name, err)
+				}
+				if !want.EqualRows(got) {
+					t.Errorf("%s q%d %s diverged: sequential %d rows, planned %d rows",
+						w.name, qi, m.name, len(want.Rows), len(got.Rows))
+				}
+			}
+		}
+	}
+}
+
+// TestE11PlannedBeatsSequential locks the E11 shape: rows identical in
+// every row, joins reordered, and the planned path ahead of the
+// sequential reference. The full ≥1.5x margin at n=32 is reported by
+// `onionbench -exp E11`; the test asserts the direction at a small scale
+// to stay robust under CI timing noise.
+func TestE11PlannedBeatsSequential(t *testing.T) {
+	tab := E11ParallelQuery([]int{2, 8})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E11 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("E11 determinism check failed: %v", row)
+		}
+		if row[6] == "0" {
+			t.Errorf("E11 planner did not reorder joins: %v", row)
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	sp := parseFloat(t, strings.TrimSuffix(last[5], "x"))
+	if sp <= 1.0 {
+		t.Errorf("planned path not faster at largest n: %v", last)
+	}
+}

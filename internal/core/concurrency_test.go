@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/ontology"
+	"repro/internal/query"
+)
+
+// TestConcurrentSystemQueries hammers one System with concurrent Query,
+// QueryWith, Explain and read-path lookups — the concurrency its doc
+// comment promises. Run with -race.
+func TestConcurrentSystemQueries(t *testing.T) {
+	s := paperSystem(t)
+	const q = "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"
+	want, err := s.QueryWith(fixtures.ArtName, q, query.Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch g % 4 {
+				case 0:
+					got, err := s.Query(fixtures.ArtName, q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !want.EqualRows(got) {
+						errs <- fmt.Errorf("query diverged under concurrency")
+						return
+					}
+				case 1:
+					got, err := s.QueryWith(fixtures.ArtName, q, query.Options{Workers: 3})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !want.EqualRows(got) {
+						errs <- fmt.Errorf("QueryWith diverged under concurrency")
+						return
+					}
+				case 2:
+					if _, err := s.Explain(fixtures.ArtName, q); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					s.Ontologies()
+					s.Articulations()
+					if _, ok := s.Ontology("carrier"); !ok {
+						errs <- fmt.Errorf("carrier vanished")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMutationAndQuery mixes registry mutation (Register,
+// RegisterKB, Drop, Articulate on unrelated ontologies) with queries
+// against a stable articulation: mutations must serialise cleanly and
+// queries must keep answering correctly throughout.
+func TestConcurrentMutationAndQuery(t *testing.T) {
+	s := paperSystem(t)
+	const q = "SELECT ?x WHERE ?x InstanceOf Vehicle"
+	want, err := s.QueryWith(fixtures.ArtName, q, query.Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if g%4 == 0 {
+					// Churn unrelated ontologies through the registry.
+					name := fmt.Sprintf("scratch%d", g)
+					o := ontology.New(name)
+					o.MustAddTerm("Thing")
+					if err := s.Register(o); err != nil && !strings.Contains(err.Error(), "already registered") {
+						errs <- err
+						return
+					}
+					s.Drop(name)
+					continue
+				}
+				if g%4 == 1 {
+					// Mutate a queried source in place: Infer holds the
+					// write lock, so in-flight queries must never see a
+					// half-mutated graph.
+					if _, err := s.Infer("carrier"); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				got, err := s.Query(fixtures.ArtName, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !want.EqualRows(got) {
+					errs <- fmt.Errorf("query diverged during registry churn")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestEngineCacheInvalidation checks that mutations drop cached query
+// engines: after Infer adds edges, a repeated query sees the new state.
+func TestEngineCacheInvalidation(t *testing.T) {
+	s := paperSystem(t)
+	e1, err := s.QueryEngine(fixtures.ArtName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.QueryEngine(fixtures.ArtName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("engine not cached across calls")
+	}
+	if _, err := s.Infer("carrier"); err != nil {
+		t.Fatal(err)
+	}
+	e3, err := s.QueryEngine(fixtures.ArtName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e1 {
+		t.Fatalf("engine cache not invalidated by Infer")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/articulation"
@@ -28,13 +29,27 @@ import (
 // their knowledge bases, and the articulations generated between them.
 // Articulation ontologies are registered as ordinary sources, so they
 // compose: an articulation can be articulated with a further source
-// (§4.2). A System is not safe for concurrent mutation; wrap it if
-// several goroutines register or articulate concurrently.
+// (§4.2).
+//
+// A System is safe for concurrent use: read operations (Query, Explain,
+// lookups, algebra) run concurrently, while mutating operations
+// (Register, RegisterKB, Load, Drop, Articulate, Regenerate, Infer,
+// SetLexicon) serialise against everything else and invalidate the
+// cached query engines. Callers must not mutate an *Ontology or *Store
+// obtained from the registry while other goroutines query the system.
 type System struct {
+	mu         sync.RWMutex
 	ontologies map[string]*ontology.Ontology
 	kbs        map[string]*kb.Store
 	arts       map[string]*articulation.Articulation
 	lex        *lexicon.Lexicon
+
+	// engMu guards the query-engine cache. Engines carry compiled-plan
+	// and scan-index caches, so System reuses one engine per
+	// articulation until a mutation invalidates it. Lock order: s.mu
+	// before engMu, never the reverse.
+	engMu   sync.Mutex
+	engines map[string]*query.Engine
 }
 
 // NewSystem returns an empty system using the embedded default lexicon
@@ -45,17 +60,36 @@ func NewSystem() *System {
 		kbs:        make(map[string]*kb.Store),
 		arts:       make(map[string]*articulation.Articulation),
 		lex:        lexicon.DefaultLexicon(),
+		engines:    make(map[string]*query.Engine),
 	}
 }
 
+// invalidateEnginesLocked drops the cached query engines; callers hold
+// s.mu for writing.
+func (s *System) invalidateEnginesLocked() {
+	s.engMu.Lock()
+	s.engines = make(map[string]*query.Engine)
+	s.engMu.Unlock()
+}
+
 // SetLexicon replaces the semantic lexicon used for suggestions.
-func (s *System) SetLexicon(l *lexicon.Lexicon) { s.lex = l }
+func (s *System) SetLexicon(l *lexicon.Lexicon) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lex = l
+}
 
 // Lexicon returns the system's semantic lexicon.
-func (s *System) Lexicon() *lexicon.Lexicon { return s.lex }
+func (s *System) Lexicon() *lexicon.Lexicon {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lex
+}
 
 // Register adds a source ontology. Names must be unique.
 func (s *System) Register(o *ontology.Ontology) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if o == nil {
 		return fmt.Errorf("core: nil ontology")
 	}
@@ -66,12 +100,15 @@ func (s *System) Register(o *ontology.Ontology) error {
 		return fmt.Errorf("core: ontology %q already registered", o.Name())
 	}
 	s.ontologies[o.Name()] = o
+	s.invalidateEnginesLocked()
 	return nil
 }
 
 // RegisterKB attaches a knowledge base to a registered ontology of the
 // same name.
 func (s *System) RegisterKB(store *kb.Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if store == nil {
 		return fmt.Errorf("core: nil knowledge base")
 	}
@@ -79,6 +116,7 @@ func (s *System) RegisterKB(store *kb.Store) error {
 		return fmt.Errorf("core: knowledge base %q has no registered ontology", store.Name())
 	}
 	s.kbs[store.Name()] = store
+	s.invalidateEnginesLocked()
 	return nil
 }
 
@@ -100,18 +138,24 @@ func (s *System) Load(r io.Reader, f wrapper.Format, name string) (*ontology.Ont
 
 // Ontology implements ontology.Resolver over the registry.
 func (s *System) Ontology(name string) (*ontology.Ontology, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	o, ok := s.ontologies[name]
 	return o, ok
 }
 
 // KB returns the knowledge base attached to an ontology, if any.
 func (s *System) KB(name string) (*kb.Store, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, ok := s.kbs[name]
 	return st, ok
 }
 
 // Ontologies lists registered ontology names, sorted.
 func (s *System) Ontologies() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.ontologies))
 	for n := range s.ontologies {
 		out = append(out, n)
@@ -122,6 +166,8 @@ func (s *System) Ontologies() []string {
 
 // Articulations lists registered articulation names, sorted.
 func (s *System) Articulations() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.arts))
 	for n := range s.arts {
 		out = append(out, n)
@@ -132,6 +178,8 @@ func (s *System) Articulations() []string {
 
 // Articulation returns a registered articulation.
 func (s *System) Articulation(name string) (*articulation.Articulation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	a, ok := s.arts[name]
 	return a, ok
 }
@@ -141,18 +189,23 @@ func (s *System) Articulation(name string) (*articulation.Articulation, bool) {
 // but will fail validation until regenerated. Dropping an articulation
 // ontology also unregisters the articulation.
 func (s *System) Drop(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.ontologies[name]; !ok {
 		return false
 	}
 	delete(s.ontologies, name)
 	delete(s.kbs, name)
 	delete(s.arts, name)
+	s.invalidateEnginesLocked()
 	return true
 }
 
 // Suggest runs SKAT over two registered ontologies. The system's lexicon
 // is used unless cfg provides one.
 func (s *System) Suggest(o1, o2 string, cfg skat.Config) ([]skat.Suggestion, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	a, b, err := s.pair(o1, o2)
 	if err != nil {
 		return nil, err
@@ -164,14 +217,21 @@ func (s *System) Suggest(o1, o2 string, cfg skat.Config) ([]skat.Suggestion, err
 }
 
 // RunSession drives the SKAT expert loop over two registered ontologies.
+// The session runs on clones taken under the read lock, so a (possibly
+// interactive, long-running) expert never holds the registry lock and
+// may call back into the System freely.
 func (s *System) RunSession(o1, o2 string, cfg skat.Config, expert skat.Expert) (*rules.Set, skat.SessionStats, error) {
+	s.mu.RLock()
 	a, b, err := s.pair(o1, o2)
-	if err != nil {
-		return nil, skat.SessionStats{}, err
-	}
 	if cfg.Lexicon == nil {
 		cfg.Lexicon = s.lex
 	}
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, skat.SessionStats{}, err
+	}
+	a, b = a.Clone(), b.Clone()
+	s.mu.RUnlock()
 	set, stats := skat.RunSession(a, b, cfg, expert)
 	return set, stats, nil
 }
@@ -180,6 +240,8 @@ func (s *System) RunSession(o1, o2 string, cfg skat.Config, expert skat.Expert) 
 // and the sources' class structure (§2.4: the inference engine "derive[s]
 // more rules if possible"; the expert reviews before accepting).
 func (s *System) InferRules(o1, o2 string, set *rules.Set) ([]articulation.DerivedRule, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	a, b, err := s.pair(o1, o2)
 	if err != nil {
 		return nil, err
@@ -191,6 +253,8 @@ func (s *System) InferRules(o1, o2 string, set *rules.Set) ([]articulation.Deriv
 // registered ontologies. The articulation ontology itself is registered
 // as a source, so it can be articulated further (§4.2).
 func (s *System) Articulate(artName, o1, o2 string, set *rules.Set, opts articulation.Options) (*articulation.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a, b, err := s.pair(o1, o2)
 	if err != nil {
 		return nil, err
@@ -202,16 +266,19 @@ func (s *System) Articulate(artName, o1, o2 string, set *rules.Set, opts articul
 	if err != nil {
 		return nil, err
 	}
-	if err := res.Art.Validate(s); err != nil {
+	if err := res.Art.Validate(ontology.MapResolver(s.ontologies)); err != nil {
 		return nil, err
 	}
 	s.arts[artName] = res.Art
 	s.ontologies[artName] = res.Art.Ont
+	s.invalidateEnginesLocked()
 	return res, nil
 }
 
 // Union computes the unified ontology over a registered articulation.
 func (s *System) Union(artName string) (*algebra.UnionResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	art, a, b, err := s.artSources(artName)
 	if err != nil {
 		return nil, err
@@ -222,6 +289,8 @@ func (s *System) Union(artName string) (*algebra.UnionResult, error) {
 // Intersection returns (a clone of) the articulation ontology — the
 // paper's O1 ∩rules O2 (§5.2).
 func (s *System) Intersection(artName string) (*ontology.Ontology, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	art, _, _, err := s.artSources(artName)
 	if err != nil {
 		return nil, err
@@ -232,6 +301,8 @@ func (s *System) Intersection(artName string) (*ontology.Ontology, error) {
 // Difference computes O1 −rules O2 over a registered articulation; swap
 // reverses the operand order.
 func (s *System) Difference(artName string, swap bool, mode algebra.DiffMode) (*ontology.Ontology, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	art, a, b, err := s.artSources(artName)
 	if err != nil {
 		return nil, err
@@ -242,9 +313,28 @@ func (s *System) Difference(artName string, swap bool, mode algebra.DiffMode) (*
 	return algebra.DifferenceWith(a, b, art, algebra.Options{DiffMode: mode})
 }
 
-// QueryEngine builds a query engine over a registered articulation, its
-// two sources and their knowledge bases.
+// QueryEngine returns the query engine over a registered articulation,
+// its two sources and their knowledge bases. Engines are cached (they
+// hold compiled plans and scan indexes) and invalidated whenever the
+// system mutates. An engine used directly is not synchronised with
+// System mutations — prefer Query/QueryWith, which execute under the
+// registry read lock, when mutators may run concurrently.
 func (s *System) QueryEngine(artName string) (*query.Engine, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engineLocked(artName)
+}
+
+// engineLocked returns the cached or freshly built engine. Callers hold
+// s.mu (read or write), so no mutation — and therefore no cache
+// invalidation — can interleave between building and storing.
+func (s *System) engineLocked(artName string) (*query.Engine, error) {
+	s.engMu.Lock()
+	e := s.engines[artName]
+	s.engMu.Unlock()
+	if e != nil {
+		return e, nil
+	}
 	art, a, b, err := s.artSources(artName)
 	if err != nil {
 		return nil, err
@@ -253,30 +343,53 @@ func (s *System) QueryEngine(artName string) (*query.Engine, error) {
 		a.Name(): {Ont: a, KB: s.kbs[a.Name()]},
 		b.Name(): {Ont: b, KB: s.kbs[b.Name()]},
 	}
-	return query.NewEngine(art, sources)
+	e, err = query.NewEngine(art, sources)
+	if err != nil {
+		return nil, err
+	}
+	s.engMu.Lock()
+	if cached := s.engines[artName]; cached != nil {
+		e = cached
+	} else {
+		s.engines[artName] = e
+	}
+	s.engMu.Unlock()
+	return e, nil
 }
 
 // Query parses and executes a query against a registered articulation.
 func (s *System) Query(artName, text string) (*query.Result, error) {
-	e, err := s.QueryEngine(artName)
-	if err != nil {
-		return nil, err
-	}
+	return s.QueryWith(artName, text, query.Options{})
+}
+
+// QueryWith is Query with explicit execution options (worker-pool size,
+// sequential reference path). Execution runs under the registry read
+// lock, so mutators (Infer, Regenerate, ...) wait for in-flight queries
+// instead of racing their scans.
+func (s *System) QueryWith(artName, text string, opts query.Options) (*query.Result, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(q)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.engineLocked(artName)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteWith(q, opts)
 }
 
 // Explain reformulates a query against a registered articulation without
 // executing it, returning the per-triple, per-source scan plan.
 func (s *System) Explain(artName, text string) (*query.Plan, error) {
-	e, err := s.QueryEngine(artName)
+	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	q, err := query.Parse(text)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.engineLocked(artName)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +400,8 @@ func (s *System) Explain(artName, text string) (*query.Plan, error) {
 // relationship property declarations (via the semi-naive Horn engine) and
 // returns the number of edges added.
 func (s *System) Infer(ontName string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.ontologies[ontName]
 	if !ok {
 		return 0, fmt.Errorf("core: unknown ontology %q", ontName)
@@ -298,12 +413,17 @@ func (s *System) Infer(ontName string) (int, error) {
 	eng.AddGraph(o.Graph())
 	eng.Run()
 	applied, _ := inference.ApplyDerived(o, eng.Derived())
+	if applied > 0 {
+		s.invalidateEnginesLocked()
+	}
 	return applied, nil
 }
 
 // AssessChange reports how changed terms of a source affect a registered
 // articulation (§5.3 maintenance).
 func (s *System) AssessChange(artName, ontName string, changed []string) (articulation.ChangeImpact, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	art, ok := s.arts[artName]
 	if !ok {
 		return articulation.ChangeImpact{}, fmt.Errorf("core: unknown articulation %q", artName)
@@ -314,6 +434,8 @@ func (s *System) AssessChange(artName, ontName string, changed []string) (articu
 // Regenerate rebuilds a registered articulation against the current state
 // of its sources (after source churn).
 func (s *System) Regenerate(artName string, opts articulation.Options) (*articulation.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	art, a, b, err := s.artSources(artName)
 	if err != nil {
 		return nil, err
@@ -324,18 +446,31 @@ func (s *System) Regenerate(artName string, opts articulation.Options) (*articul
 	}
 	s.arts[artName] = res.Art
 	s.ontologies[artName] = res.Art.Ont
+	s.invalidateEnginesLocked()
 	return res, nil
 }
 
 // Validate checks every registered ontology and articulation.
 func (s *System) Validate() error {
-	for _, name := range s.Ontologies() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	onts := make([]string, 0, len(s.ontologies))
+	for n := range s.ontologies {
+		onts = append(onts, n)
+	}
+	sort.Strings(onts)
+	for _, name := range onts {
 		if err := s.ontologies[name].Validate(); err != nil {
 			return err
 		}
 	}
-	for _, name := range s.Articulations() {
-		if err := s.arts[name].Validate(s); err != nil {
+	names := make([]string, 0, len(s.arts))
+	for n := range s.arts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.arts[name].Validate(ontology.MapResolver(s.ontologies)); err != nil {
 			return err
 		}
 	}

@@ -185,6 +185,44 @@ func (s *Store) Match(subject, predicate string, object *Value) []Fact {
 	return out
 }
 
+// CountByPredicate returns the number of facts carrying the predicate
+// without materialising them — the query planner's selectivity probe.
+func (s *Store) CountByPredicate(pred string) int { return len(s.byPred[pred]) }
+
+// CountBySubject returns the number of facts about the subject without
+// materialising them.
+func (s *Store) CountBySubject(subject string) int { return len(s.bySubj[subject]) }
+
+// ForEach streams every fact in insertion order without copying or
+// sorting; fn returning false stops the walk.
+func (s *Store) ForEach(fn func(Fact) bool) {
+	for _, f := range s.facts {
+		if !fn(f) {
+			return
+		}
+	}
+}
+
+// ForEachByPredicate streams the facts carrying the predicate via the
+// predicate index; fn returning false stops the walk.
+func (s *Store) ForEachByPredicate(pred string, fn func(Fact) bool) {
+	for _, i := range s.byPred[pred] {
+		if !fn(s.facts[i]) {
+			return
+		}
+	}
+}
+
+// ForEachBySubject streams the facts about the subject via the subject
+// index; fn returning false stops the walk.
+func (s *Store) ForEachBySubject(subject string, fn func(Fact) bool) {
+	for _, i := range s.bySubj[subject] {
+		if !fn(s.facts[i]) {
+			return
+		}
+	}
+}
+
 // Facts returns every fact, sorted.
 func (s *Store) Facts() []Fact {
 	out := append([]Fact(nil), s.facts...)

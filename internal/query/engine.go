@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/articulation"
+	"repro/internal/graph"
 	"repro/internal/kb"
 	"repro/internal/ontology"
 )
@@ -32,6 +34,28 @@ type Stats struct {
 	Conversions int
 	// ExpandedTerms counts articulation-term → source-term expansions.
 	ExpandedTerms int
+	// PlanCacheHit reports whether a cached compiled plan was reused
+	// (always false on the sequential path, which does not plan).
+	PlanCacheHit bool
+	// ReorderedTriples counts WHERE conjuncts the planner executed off
+	// their textual position (selectivity-ordered joins).
+	ReorderedTriples int
+	// ParallelScans counts per-source scans dispatched to the worker
+	// pool (0 when the execution ran inline).
+	ParallelScans int
+	// Workers is the scan worker-pool size the execution used (1 =
+	// inline, no goroutines).
+	Workers int
+}
+
+// accrue adds the order-independent work counters of s into dst. The
+// parallel executor gives every scan task a private Stats and merges
+// them deterministically afterwards.
+func (dst *Stats) accrue(s Stats) {
+	dst.EdgeRows += s.EdgeRows
+	dst.FactRows += s.FactRows
+	dst.Conversions += s.Conversions
+	dst.ExpandedTerms += s.ExpandedTerms
 }
 
 // Result is a query answer: variable names and value rows, deterministic
@@ -42,22 +66,64 @@ type Result struct {
 	Stats Stats
 }
 
+// EqualRows reports whether two results carry the same variables and
+// byte-identical rows in the same order — the determinism contract
+// between the sequential and the planned/parallel execution paths.
+func (r *Result) EqualRows(o *Result) bool {
+	if o == nil || len(r.Vars) != len(o.Vars) || len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range r.Vars {
+		if r.Vars[i] != o.Vars[i] {
+			return false
+		}
+	}
+	for i := range r.Rows {
+		if formatRow(r.Rows[i]) != formatRow(o.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Engine executes articulation-level queries against the sources by
 // reformulating each triple through the semantic bridges.
+//
+// An Engine is safe for concurrent Execute/ExecuteWith/Explain calls.
+// It caches compiled plans and per-source edge indexes; if a source
+// ontology or knowledge base is mutated underneath a live engine, call
+// InvalidateCache before the next query (core.System does this for its
+// own cached engines).
 type Engine struct {
 	art     *articulation.Articulation
 	sources map[string]*Source
 	names   []string // sorted source names, articulation first
+	opts    Options  // defaults for Execute
+
+	mu      sync.RWMutex
+	plans   map[string]*execPlan
+	edgeIdx map[string]map[string][]graph.Edge // source → edge label → edges
 }
 
 // NewEngine builds an engine over the articulation and its sources. The
 // articulation ontology itself participates as a source (without a KB), so
 // queries can ask about articulation-level structure directly.
 func NewEngine(art *articulation.Articulation, sources map[string]*Source) (*Engine, error) {
+	return NewEngineWith(art, sources, Options{})
+}
+
+// NewEngineWith is NewEngine with default execution options for Execute.
+func NewEngineWith(art *articulation.Articulation, sources map[string]*Source, opts Options) (*Engine, error) {
 	if art == nil {
 		return nil, fmt.Errorf("query: nil articulation")
 	}
-	e := &Engine{art: art, sources: make(map[string]*Source, len(sources)+1)}
+	e := &Engine{
+		art:     art,
+		sources: make(map[string]*Source, len(sources)+1),
+		opts:    opts,
+		plans:   make(map[string]*execPlan),
+		edgeIdx: make(map[string]map[string][]graph.Edge),
+	}
 	e.sources[art.Ont.Name()] = &Source{Ont: art.Ont}
 	for name, s := range sources {
 		if s == nil || s.Ont == nil {
@@ -77,12 +143,31 @@ func NewEngine(art *articulation.Articulation, sources map[string]*Source) (*Eng
 
 type binding map[string]kb.Value
 
-// Execute runs the query.
+// Execute runs the query with the engine's default options (the planned,
+// parallel path unless the engine was built with Options{Sequential: true}).
 func (e *Engine) Execute(q Query) (*Result, error) {
+	return e.ExecuteWith(q, e.opts)
+}
+
+// ExecuteWith runs the query with explicit execution options. Results are
+// byte-identical across option combinations; only Stats and wall-clock
+// time differ.
+func (e *Engine) ExecuteWith(q Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Sequential {
+		return e.executeSequential(q)
+	}
+	return e.executePlanned(q, opts)
+}
+
+// executeSequential is the reference execution path: textual join order,
+// unindexed scans, no plan cache, no parallelism. The determinism tests
+// and the E11 benchmark compare the planned path against it.
+func (e *Engine) executeSequential(q Query) (*Result, error) {
 	res := &Result{Vars: q.Select}
+	res.Stats.Workers = 1
 	rows := []binding{{}}
 	for _, triple := range q.Where {
 		next, err := e.evalTriple(triple, &res.Stats)
@@ -104,7 +189,14 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		rows = kept
 	}
 	res.Stats.JoinedRows = len(rows)
+	e.project(res, rows, q)
+	return res, nil
+}
 
+// project dedups the surviving bindings onto the SELECT variables and
+// sorts the rows into the deterministic output order shared by every
+// execution path.
+func (e *Engine) project(res *Result, rows []binding, q Query) {
 	seen := make(map[string]bool, len(rows))
 	for _, b := range rows {
 		out := make([]kb.Value, len(q.Select))
@@ -129,7 +221,6 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 	sort.Slice(res.Rows, func(i, j int) bool {
 		return formatRow(res.Rows[i]) < formatRow(res.Rows[j])
 	})
-	return res, nil
 }
 
 func formatRow(vals []kb.Value) string {
@@ -156,76 +247,132 @@ func (e *Engine) evalTriple(t Triple, stats *Stats) ([]binding, error) {
 	return out, nil
 }
 
-// scanSource evaluates the triple in one source.
-func (e *Engine) scanSource(name string, src *Source, t Triple, stats *Stats) ([]binding, error) {
+// scanView is the reformulation of one triple for one source: the
+// constant expansions the scan matches against. A skipped view means the
+// triple cannot denote anything in the source.
+type scanView struct {
+	subj     map[string]bool // nil = unconstrained (variable subject)
+	preds    map[string]bool
+	objTerms map[string]bool // set when the object is a constant term
+	objTerm  bool
+	skip     bool
+	// predList / subjList are the sorted sets, precomputed by the
+	// planner so indexed scans need not re-sort per execution.
+	predList []string
+	subjList []string
+}
+
+// compileView expands the triple's constants into the source's term
+// space — the per-source reformulation step, shared by the sequential
+// scan, the planner and Explain.
+func (e *Engine) compileView(name string, t Triple, stats *Stats) scanView {
 	subj, okS := e.expandTerm(name, t.S, stats)
 	if !okS {
-		return nil, nil
+		return scanView{skip: true}
 	}
 	preds, okP := e.expandPred(name, t.P, stats)
 	if !okP {
-		return nil, nil
+		return scanView{skip: true}
 	}
+	v := scanView{subj: subj, preds: preds}
+	// Object constants: terms expand like subjects; literals pass through
+	// (with inverse conversion against each predicate at match time).
+	if !t.O.IsVar() && t.O.Value.IsTerm() {
+		set, ok := e.expandTerm(name, t.O, stats)
+		if !ok {
+			return scanView{skip: true}
+		}
+		v.objTerms = set
+		v.objTerm = true
+	}
+	return v
+}
 
+// scanSource evaluates the triple in one source (sequential path:
+// expansion and full scan in one step).
+func (e *Engine) scanSource(name string, src *Source, t Triple, stats *Stats) ([]binding, error) {
+	v := e.compileView(name, t, stats)
+	return e.scanWithView(name, src, t, v, stats, false), nil
+}
+
+// scanWithView evaluates the triple in one source against a precompiled
+// view. With indexed=true the scan walks the per-source edge-label index
+// and the KB's predicate/subject indexes instead of every edge and fact;
+// both modes produce the same row set (order may differ; the final
+// projection sort normalises it).
+func (e *Engine) scanWithView(name string, src *Source, t Triple, v scanView, stats *Stats, indexed bool) []binding {
+	if v.skip {
+		return nil
+	}
 	isArt := name == e.art.Ont.Name()
 	var rows []binding
 
-	// Object constants: terms expand like subjects; literals pass through
-	// (with inverse conversion against each predicate at match time).
-	var objTerms map[string]bool
-	objIsTerm := !t.O.IsVar() && t.O.Value.IsTerm()
-	if objIsTerm {
-		set, ok := e.expandTerm(name, t.O, stats)
-		if !ok {
-			return nil, nil
+	// bindVar records a variable binding, enforcing equality when the
+	// triple repeats a variable (e.g. "?x Likes ?x").
+	bindVar := func(b binding, t Term, val kb.Value) bool {
+		if !t.IsVar() {
+			return true
 		}
-		objTerms = set
+		if old, ok := b[t.Var]; ok {
+			return old.Equal(val)
+		}
+		b[t.Var] = val
+		return true
 	}
 
 	// Scan ontology edges.
 	g := src.Ont.Graph()
-	for _, edge := range g.Edges() {
-		if preds != nil && !preds[edge.Label] {
-			continue
+	litObj := !t.O.IsVar() && !t.O.Value.IsTerm()
+	matchEdge := func(edge graph.Edge) {
+		if v.preds != nil && !v.preds[edge.Label] {
+			return
 		}
 		sLabel, oLabel := g.Label(edge.From), g.Label(edge.To)
-		if subj != nil && !subj[sLabel] {
-			continue
+		if v.subj != nil && !v.subj[sLabel] {
+			return
 		}
-		if objIsTerm && !e.objectMatches(src, edge.Label, oLabel, objTerms) {
-			continue
+		if v.objTerm && !e.objectMatches(src, edge.Label, oLabel, v.objTerms) {
+			return
 		}
-		if !t.O.IsVar() && !t.O.Value.IsTerm() {
-			continue // literal object never matches an ontology edge
+		if litObj {
+			return // literal object never matches an ontology edge
 		}
 		b := binding{}
-		if t.S.IsVar() {
-			b[t.S.Var] = kb.Term(qualify(name, sLabel))
-		}
-		if t.P.IsVar() {
-			b[t.P.Var] = kb.Term(edge.Label)
-		}
-		if t.O.IsVar() {
-			b[t.O.Var] = kb.Term(qualify(name, oLabel))
+		if !bindVar(b, t.S, kb.Term(qualify(name, sLabel))) ||
+			!bindVar(b, t.P, kb.Term(edge.Label)) ||
+			!bindVar(b, t.O, kb.Term(qualify(name, oLabel))) {
+			return
 		}
 		rows = append(rows, b)
 		stats.EdgeRows++
 	}
+	if indexed && v.preds != nil {
+		idx := e.edgeIndex(name)
+		for _, p := range v.predList {
+			for _, edge := range idx[p] {
+				matchEdge(edge)
+			}
+		}
+	} else {
+		for _, edge := range g.Edges() {
+			matchEdge(edge)
+		}
+	}
 
 	// Scan KB facts.
 	if src.KB != nil && !isArt {
-		for _, f := range src.KB.Facts() {
-			if preds != nil && !preds[f.Predicate] {
-				continue
+		matchFact := func(f kb.Fact) bool {
+			if v.preds != nil && !v.preds[f.Predicate] {
+				return true
 			}
-			if subj != nil && !subj[f.Subject] {
-				continue
+			if v.subj != nil && !v.subj[f.Subject] {
+				return true
 			}
 			obj := f.Object
 			conv := false
 			if obj.IsNumber() {
-				if v, applied := e.normalize(name, f.Predicate, obj); applied {
-					obj = v
+				if nv, applied := e.normalize(name, f.Predicate, obj); applied {
+					obj = nv
 					conv = true
 				}
 			}
@@ -234,39 +381,52 @@ func (e *Engine) scanSource(name string, src *Source, t Triple, stats *Stats) ([
 				switch {
 				case want.IsTerm():
 					if obj.Kind != kb.KindTerm {
-						continue
+						return true
 					}
-					if objTerms != nil && !e.objectMatches(src, f.Predicate, obj.Str, objTerms) {
-						continue
+					if v.objTerms != nil && !e.objectMatches(src, f.Predicate, obj.Str, v.objTerms) {
+						return true
 					}
 				default:
 					if !obj.Equal(want) {
-						continue
+						return true
 					}
 				}
 			}
+			objVal := obj
+			if obj.IsTerm() {
+				objVal = kb.Term(qualify(name, obj.Str))
+			}
 			b := binding{}
-			if t.S.IsVar() {
-				b[t.S.Var] = kb.Term(qualify(name, f.Subject))
-			}
-			if t.P.IsVar() {
-				b[t.P.Var] = kb.Term(f.Predicate)
-			}
-			if t.O.IsVar() {
-				if obj.IsTerm() {
-					b[t.O.Var] = kb.Term(qualify(name, obj.Str))
-				} else {
-					b[t.O.Var] = obj
-				}
+			if !bindVar(b, t.S, kb.Term(qualify(name, f.Subject))) ||
+				!bindVar(b, t.P, kb.Term(f.Predicate)) ||
+				!bindVar(b, t.O, objVal) {
+				return true
 			}
 			rows = append(rows, b)
 			stats.FactRows++
 			if conv {
 				stats.Conversions++
 			}
+			return true
+		}
+		switch {
+		case indexed && v.preds != nil:
+			for _, p := range v.predList {
+				src.KB.ForEachByPredicate(p, matchFact)
+			}
+		case indexed && v.subj != nil:
+			for _, s := range v.subjList {
+				src.KB.ForEachBySubject(s, matchFact)
+			}
+		case indexed:
+			src.KB.ForEach(matchFact)
+		default:
+			for _, f := range src.KB.Facts() {
+				matchFact(f)
+			}
 		}
 	}
-	return rows, nil
+	return rows
 }
 
 // objectMatches checks an edge object label against the expanded object
@@ -473,7 +633,10 @@ func joinKey(b binding, vars []string) string {
 	parts := make([]string, len(vars))
 	for i, v := range vars {
 		if val, ok := b[v]; ok {
-			parts[i] = val.Format()
+			// Tag the kind so join equality matches Value.Equal —
+			// Term("3000") and Number(3000) format identically but
+			// must not join.
+			parts[i] = fmt.Sprintf("%d:%s", val.Kind, val.Format())
 		} else {
 			parts[i] = "\x01unbound"
 		}

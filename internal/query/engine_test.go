@@ -7,6 +7,7 @@ import (
 	"repro/internal/fixtures"
 	"repro/internal/kb"
 	"repro/internal/ontology"
+	"repro/internal/rules"
 )
 
 // paperPieces returns the Fig. 2 articulation and its sources.
@@ -245,6 +246,82 @@ func TestJoinBindingsOnSharedVar(t *testing.T) {
 	}
 	if joinBindings(nil, r) != nil {
 		t.Fatalf("empty left should short-circuit")
+	}
+}
+
+// likesEngine builds a tiny two-source world with a self-referential
+// fact for the repeated-variable tests.
+func likesEngine(t *testing.T) *Engine {
+	t.Helper()
+	src := ontology.New("s")
+	src.MustAddTerm("T")
+	dst := ontology.New("d")
+	dst.MustAddTerm("U")
+	set := rules.NewSet(rules.MustParse("s.T => d.U"))
+	res, err := articulation.Generate("a", src, dst, set, articulation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kb.New("s")
+	store.MustAdd("a", "Likes", kb.Term("b"))
+	store.MustAdd("c", "Likes", kb.Term("c"))
+	eng, err := NewEngine(res.Art, map[string]*Source{
+		"s": {Ont: src, KB: store},
+		"d": {Ont: dst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestRepeatedVariableEnforcesEquality regresses the binding-overwrite
+// bug: "?x Likes ?x" must only match the self-loop, on both paths.
+func TestRepeatedVariableEnforcesEquality(t *testing.T) {
+	eng := likesEngine(t)
+	q := MustParse("SELECT ?x WHERE ?x Likes ?x")
+	for _, opts := range []Options{{Sequential: true}, {}, {Workers: 4}} {
+		res, err := eng.ExecuteWith(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Format() != "s.c" {
+			t.Fatalf("opts %+v: rows = %v, want only s.c", opts, res.Rows)
+		}
+	}
+}
+
+// TestPlanCacheDistinguishesValueKinds regresses the cache-key
+// collision: a term constant "5" and a numeric constant 5 format
+// identically but must not share a compiled plan.
+func TestPlanCacheDistinguishesValueKinds(t *testing.T) {
+	eng := likesEngine(t)
+	eng.sources["s"].KB.MustAdd("5", "Likes", kb.Term("b"))
+	qTerm := Query{Select: []string{"x"}, Where: []Triple{{S: C(kb.Term("5")), P: C(kb.Term("Likes")), O: V("x")}}}
+	qNum := Query{Select: []string{"x"}, Where: []Triple{{S: C(kb.Number(5)), P: C(kb.Term("Likes")), O: V("x")}}}
+	for _, q := range []Query{qTerm, qNum} {
+		want, err := eng.ExecuteWith(q, Options{Sequential: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.ExecuteWith(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.EqualRows(got) {
+			t.Fatalf("paths diverged for %v: sequential %v, planned %v", q, want.Rows, got.Rows)
+		}
+	}
+}
+
+// TestJoinKindStrict regresses the kind-blind join key: values that
+// format identically but differ in kind (Term "3000" vs Number 3000)
+// must not hash-join, matching Value.Equal semantics.
+func TestJoinKindStrict(t *testing.T) {
+	l := []binding{{"v": kb.Number(3000)}}
+	r := []binding{{"v": kb.Term("3000"), "o": kb.Term("x")}}
+	if out := joinBindings(l, r); len(out) != 0 {
+		t.Fatalf("kind-different values joined: %v", out)
 	}
 }
 

@@ -70,21 +70,15 @@ func (e *Engine) Explain(q Query) (*Plan, error) {
 		tp := TriplePlan{Triple: t.String()}
 		for _, name := range e.names {
 			scan := TripleScan{Source: name}
-			subj, okS := e.expandTerm(name, t.S, &stats)
-			preds, okP := e.expandPred(name, t.P, &stats)
-			var objs map[string]bool
-			okO := true
-			if !t.O.IsVar() && t.O.Value.IsTerm() {
-				objs, okO = e.expandTerm(name, t.O, &stats)
-			}
-			if !okS || !okP || !okO {
+			v := e.compileView(name, t, &stats)
+			if v.skip {
 				scan.Skipped = true
 				tp.Scans = append(tp.Scans, scan)
 				continue
 			}
-			scan.Subjects = sortedSet(subj)
-			scan.Predicates = sortedSet(preds)
-			scan.Objects = sortedSet(objs)
+			scan.Subjects = sortedSet(v.subj)
+			scan.Predicates = sortedSet(v.preds)
+			scan.Objects = sortedSet(v.objTerms)
 			tp.Scans = append(tp.Scans, scan)
 		}
 		plan.Triples = append(plan.Triples, tp)

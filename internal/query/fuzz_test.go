@@ -1,0 +1,41 @@
+package query
+
+import "testing"
+
+// FuzzParseQuery checks that the query parser never panics, that
+// everything it accepts passes Validate, and that accepted queries
+// render back into parseable, render-stable text — the contract the
+// plan cache keys on (plans are cached by q.String()).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"SELECT ?x WHERE ?x InstanceOf Vehicle",
+		"SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p",
+		"SELECT ?p WHERE carrier.MyCar Price ?p",
+		"SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p . FILTER ?p > 3000",
+		"SELECT ?x WHERE ?x InstanceOf transport.CargoCarrierVehicle",
+		`SELECT ?x WHERE ?x name "La Tour Eiffel"`,
+		"SELECT ?x WHERE ?x Price 42.5",
+		"select ?x where ?x ?r ?y",
+		"SELECT ?x WHERE ?x a b . FILTER ?x != 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails Validate: %v (input %q)", err, s)
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered query does not reparse: %v (input %q, rendered %q)", err, s, rendered)
+		}
+		if got := q2.String(); got != rendered {
+			t.Fatalf("rendering not stable: %q reparses to %q (input %q)", rendered, got, s)
+		}
+	})
+}

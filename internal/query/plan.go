@@ -1,0 +1,382 @@
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Options tune query execution.
+type Options struct {
+	// Workers bounds the scan worker pool. 0 means GOMAXPROCS; 1 runs
+	// every scan inline (no goroutines). The pool is per execution, so
+	// concurrent Execute calls do not share or contend for workers.
+	Workers int
+	// Sequential forces the reference execution path: textual join
+	// order, unindexed full scans, no plan cache, no parallelism. It
+	// exists for determinism tests and benchmarks; results are always
+	// byte-identical to the planned path.
+	Sequential bool
+}
+
+// sourceScan is one (triple, source) unit of work in a compiled plan.
+type sourceScan struct {
+	name string
+	src  *Source
+	view scanView
+	est  int // estimated result rows (selectivity probe)
+}
+
+// planStep is one WHERE conjunct with its per-source scans, placed in
+// join order by the planner.
+type planStep struct {
+	triple  Triple
+	origIdx int // textual position in the query
+	vars    []string
+	scans   []sourceScan // in sorted source order
+	est     int          // total estimate across sources
+}
+
+// execPlan is a compiled query: per-source constant expansions hoisted
+// out of the scan loops, selectivity estimates, and the join order.
+// Plans are immutable once built and cached per engine, so repeated
+// queries skip the articulation-expansion work entirely.
+type execPlan struct {
+	steps     []planStep
+	reordered int   // steps executed off their textual position
+	expand    Stats // expansion counters accrued while compiling
+}
+
+// maxCachedPlans bounds the per-engine plan cache; at the cap the cache
+// is flushed wholesale (plans are cheap to recompile) so a long-lived
+// engine serving ad-hoc query strings cannot grow without limit.
+const maxCachedPlans = 512
+
+// planKey renders the WHERE clause into an unambiguous cache key. A plan
+// depends only on the triples (SELECT and FILTER apply at execution), and
+// the key tags every constant with its value kind plus length — q.String()
+// alone would collide Term("5") with Number(5), whose Format is identical.
+func planKey(q Query) string {
+	var b strings.Builder
+	writeTerm := func(t Term) {
+		if t.IsVar() {
+			fmt.Fprintf(&b, "?%d:%s\x00", len(t.Var), t.Var)
+			return
+		}
+		s := t.Value.Format()
+		fmt.Fprintf(&b, "%d:%d:%s\x00", t.Value.Kind, len(s), s)
+	}
+	for _, tr := range q.Where {
+		writeTerm(tr.S)
+		writeTerm(tr.P)
+		writeTerm(tr.O)
+	}
+	return b.String()
+}
+
+// cachedPlan returns the compiled plan for q, building and caching it on
+// first use. The bool reports a cache hit.
+func (e *Engine) cachedPlan(q Query) (*execPlan, bool) {
+	key := planKey(q)
+	e.mu.RLock()
+	p := e.plans[key]
+	e.mu.RUnlock()
+	if p != nil {
+		return p, true
+	}
+	built := e.compile(q)
+	e.mu.Lock()
+	if p = e.plans[key]; p == nil {
+		if len(e.plans) >= maxCachedPlans {
+			e.plans = make(map[string]*execPlan)
+		}
+		e.plans[key] = built
+		p = built
+	}
+	e.mu.Unlock()
+	return p, false
+}
+
+// InvalidateCache drops the compiled plans and per-source edge indexes.
+// Call it after mutating a source ontology or knowledge base underneath
+// a live engine; core.System invalidates its cached engines instead.
+func (e *Engine) InvalidateCache() {
+	e.mu.Lock()
+	e.plans = make(map[string]*execPlan)
+	e.edgeIdx = make(map[string]map[string][]graph.Edge)
+	e.mu.Unlock()
+}
+
+// edgeIndex returns the label → edges index for one source, building it
+// lazily on first use.
+func (e *Engine) edgeIndex(name string) map[string][]graph.Edge {
+	e.mu.RLock()
+	idx := e.edgeIdx[name]
+	e.mu.RUnlock()
+	if idx != nil {
+		return idx
+	}
+	g := e.sources[name].Ont.Graph()
+	built := make(map[string][]graph.Edge)
+	for _, edge := range g.Edges() {
+		built[edge.Label] = append(built[edge.Label], edge)
+	}
+	e.mu.Lock()
+	if idx = e.edgeIdx[name]; idx == nil {
+		e.edgeIdx[name] = built
+		idx = built
+	}
+	e.mu.Unlock()
+	return idx
+}
+
+// compile reformulates every (triple, source) pair once, estimates scan
+// cardinalities from the ontology and KB indexes, and orders the joins
+// smallest-first.
+func (e *Engine) compile(q Query) *execPlan {
+	p := &execPlan{}
+	for i, t := range q.Where {
+		step := planStep{triple: t, origIdx: i, vars: tripleVars(t)}
+		for _, name := range e.names {
+			src := e.sources[name]
+			sc := sourceScan{name: name, src: src, view: e.compileView(name, t, &p.expand)}
+			// Pre-sort the constant sets once; the indexed scans walk
+			// them on every execution.
+			sc.view.predList = sortedSet(sc.view.preds)
+			sc.view.subjList = sortedSet(sc.view.subj)
+			sc.est = e.estimateScan(name, src, sc.view)
+			step.scans = append(step.scans, sc)
+			step.est += sc.est
+		}
+		p.steps = append(p.steps, step)
+	}
+	p.steps, p.reordered = orderSteps(p.steps)
+	return p
+}
+
+// estimateScan predicts how many rows the scan will produce, using the
+// per-label edge index and the KB's cardinality probes. Constant
+// positions tighten the estimate; a skipped view costs nothing.
+func (e *Engine) estimateScan(name string, src *Source, v scanView) int {
+	if v.skip {
+		return 0
+	}
+	g := src.Ont.Graph()
+	edges := g.NumEdges()
+	if v.preds != nil {
+		idx := e.edgeIndex(name)
+		edges = 0
+		for p := range v.preds {
+			edges += len(idx[p])
+		}
+	}
+	if v.subj != nil {
+		deg := 0
+		for s := range v.subj {
+			if id, ok := g.NodeByLabel(s); ok {
+				deg += g.OutDegree(id)
+			}
+		}
+		if deg < edges {
+			edges = deg
+		}
+	}
+	facts := 0
+	if src.KB != nil && name != e.art.Ont.Name() {
+		facts = src.KB.Len()
+		if v.preds != nil {
+			facts = 0
+			for p := range v.preds {
+				facts += src.KB.CountByPredicate(p)
+			}
+		}
+		if v.subj != nil {
+			bySubj := 0
+			for s := range v.subj {
+				bySubj += src.KB.CountBySubject(s)
+			}
+			if bySubj < facts {
+				facts = bySubj
+			}
+		}
+	}
+	return edges + facts
+}
+
+// orderSteps greedily orders the join: the most selective step first,
+// then repeatedly the cheapest step sharing a variable with what is
+// already bound (hash-joinable), falling back to the cheapest remaining
+// step when nothing connects. Ties keep textual order, so the order is
+// deterministic. Returns the order and how many steps moved.
+func orderSteps(steps []planStep) ([]planStep, int) {
+	n := len(steps)
+	if n < 2 {
+		return steps, 0
+	}
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	out := make([]planStep, 0, n)
+	for len(out) < n {
+		best := -1
+		bestConn := false
+		for i, st := range steps {
+			if used[i] {
+				continue
+			}
+			conn := len(bound) == 0 || sharesVar(st.vars, bound)
+			switch {
+			case best == -1:
+				best, bestConn = i, conn
+			case conn && !bestConn:
+				best, bestConn = i, conn
+			case conn == bestConn && st.est < steps[best].est:
+				best, bestConn = i, conn
+			}
+		}
+		used[best] = true
+		out = append(out, steps[best])
+		for _, v := range steps[best].vars {
+			bound[v] = true
+		}
+	}
+	moved := 0
+	for i, st := range out {
+		if st.origIdx != i {
+			moved++
+		}
+	}
+	return out, moved
+}
+
+func sharesVar(vars []string, bound map[string]bool) bool {
+	for _, v := range vars {
+		if bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func tripleVars(t Triple) []string {
+	var vs []string
+	seen := make(map[string]bool, 3)
+	for _, term := range []Term{t.S, t.P, t.O} {
+		if term.IsVar() && !seen[term.Var] {
+			seen[term.Var] = true
+			vs = append(vs, term.Var)
+		}
+	}
+	return vs
+}
+
+// executePlanned is the planned execution path: compiled (cached) plan,
+// per-source scans fanned out to a bounded worker pool, hash joins in
+// selectivity order, filters applied as soon as their variable is bound.
+// Scans dispatch one step at a time, so an empty join short-circuits the
+// remaining steps' scan work just like the sequential path.
+func (e *Engine) executePlanned(q Query, opts Options) (*Result, error) {
+	plan, hit := e.cachedPlan(q)
+	res := &Result{Vars: q.Select}
+	st := &res.Stats
+	st.PlanCacheHit = hit
+	st.ReorderedTriples = plan.reordered
+	st.Workers = 1
+	st.accrue(plan.expand)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rows := []binding{{}}
+	bound := make(map[string]bool)
+	applied := make([]bool, len(q.Filters))
+	for _, stp := range plan.steps {
+		// Every (triple, source) pair counts as a source scan, skipped
+		// or not, matching the sequential accounting.
+		st.SourceScans += len(stp.scans)
+		var tasks []int
+		for j, sc := range stp.scans {
+			if !sc.view.skip {
+				tasks = append(tasks, j)
+			}
+		}
+		results := make([][]binding, len(stp.scans))
+		taskStats := make([]Stats, len(stp.scans))
+		run := func(j int) {
+			sc := stp.scans[j]
+			results[j] = e.scanWithView(sc.name, sc.src, stp.triple, sc.view, &taskStats[j], true)
+		}
+		stepWorkers := workers
+		if stepWorkers > len(tasks) {
+			stepWorkers = len(tasks)
+		}
+		if stepWorkers <= 1 {
+			for _, j := range tasks {
+				run(j)
+			}
+		} else {
+			if stepWorkers > st.Workers {
+				st.Workers = stepWorkers
+			}
+			st.ParallelScans += len(tasks)
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < stepWorkers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range jobs {
+						run(j)
+					}
+				}()
+			}
+			for _, j := range tasks {
+				jobs <- j
+			}
+			close(jobs)
+			wg.Wait()
+		}
+		// Merge the per-task counters deterministically (source order).
+		var next []binding
+		for j := range stp.scans {
+			st.accrue(taskStats[j])
+			next = append(next, results[j]...)
+		}
+
+		rows = joinBindings(rows, next)
+		for _, v := range stp.vars {
+			bound[v] = true
+		}
+		rows = applyFilters(rows, q.Filters, applied, bound)
+		if len(rows) == 0 {
+			break
+		}
+	}
+	st.JoinedRows = len(rows)
+	e.project(res, rows, q)
+	return res, nil
+}
+
+// applyFilters runs every not-yet-applied filter whose variable is bound
+// in all rows (a variable is bound everywhere once its triple joined).
+// Early filtering shrinks the join frontier without changing the result.
+func applyFilters(rows []binding, filters []Filter, applied []bool, bound map[string]bool) []binding {
+	for i, f := range filters {
+		if applied[i] || !bound[f.Var] {
+			continue
+		}
+		applied[i] = true
+		kept := rows[:0]
+		for _, b := range rows {
+			if v, ok := b[f.Var]; ok && f.Accepts(v) {
+				kept = append(kept, b)
+			}
+		}
+		rows = kept
+	}
+	return rows
+}

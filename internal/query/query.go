@@ -233,14 +233,23 @@ func tokenize(s string) ([]qtok, error) {
 			toks = append(toks, qtok{text: ".", pos: i})
 			i++
 		case c == '"':
+			// Strings are Go-style interpreted literals, so rendering a
+			// query (strconv.Quote) and reparsing it round-trips exactly.
 			j := i + 1
 			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
 				j++
 			}
 			if j >= len(s) {
 				return nil, fmt.Errorf("query: unterminated string at %d in %q", i, s)
 			}
-			toks = append(toks, qtok{text: s[i+1 : j], pos: i, str: true})
+			text, err := strconv.Unquote(s[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("query: bad string literal at %d in %q: %v", i, s, err)
+			}
+			toks = append(toks, qtok{text: text, pos: i, str: true})
 			i = j + 1
 		default:
 			j := i
@@ -248,12 +257,18 @@ func tokenize(s string) ([]qtok, error) {
 				// Stop a bare '.' separator, but keep qualified names
 				// ("carrier.MyCar") intact: a '.' inside a token is kept
 				// when followed by a non-space.
-				if s[j] == '.' && (j+1 >= len(s) || s[j+1] == ' ' || s[j+1] == '\t' || s[j+1] == '\n') {
+				if s[j] == '.' && (j+1 >= len(s) || s[j+1] == ' ' || s[j+1] == '\t' || s[j+1] == '\n' || s[j+1] == '\r') {
 					break
 				}
 				j++
 			}
-			toks = append(toks, qtok{text: s[i:j], pos: i})
+			text := s[i:j]
+			// A token ending in '.' cannot be rendered unambiguously
+			// against the ' . ' clause separator; reject it outright.
+			if strings.HasSuffix(text, ".") {
+				return nil, fmt.Errorf("query: term ending in '.' at %d in %q", i, s)
+			}
+			toks = append(toks, qtok{text: text, pos: i})
 			i = j
 		}
 	}

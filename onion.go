@@ -26,6 +26,18 @@
 //
 //	out, _ := sys.Query("transport", "SELECT ?x WHERE ?x InstanceOf Vehicle")
 //
+// Queries compile into cached plans, reorder their joins by estimated
+// selectivity, and fan per-source scans out to a bounded worker pool.
+// QueryOptions tunes the pool (or forces the sequential reference path);
+// results are byte-identical either way:
+//
+//	out, _ = sys.QueryWith("transport",
+//	    "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p",
+//	    onion.QueryOptions{Workers: 8})
+//
+// A System is safe for concurrent use: queries run in parallel while
+// registration and articulation serialise against them.
+//
 // The package re-exports the system's building blocks; the sub-systems
 // live in internal packages (graph model, pattern matcher, rule language,
 // inference engine, lexicon, SKAT, articulation generator, algebra,
@@ -293,6 +305,13 @@ type (
 	QueryEngine = query.Engine
 	// QuerySource pairs an ontology with its knowledge base.
 	QuerySource = query.Source
+	// QueryOptions tune execution: Workers bounds the scan worker pool
+	// (0 = GOMAXPROCS, 1 = inline); Sequential forces the reference
+	// path (textual join order, unindexed scans, no plan cache).
+	QueryOptions = query.Options
+	// QueryStats counts the work one execution performed, including the
+	// plan/parallelism counters of the planned path.
+	QueryStats = query.Stats
 )
 
 // ParseQuery parses "SELECT ?x WHERE ?x InstanceOf Vehicle . ?x Price ?p".
@@ -307,6 +326,12 @@ func QueryFromPattern(p *Pattern, selectVars ...string) (Query, error) {
 // NewQueryEngine builds an engine over an articulation and its sources.
 func NewQueryEngine(art *Articulation, sources map[string]*QuerySource) (*QueryEngine, error) {
 	return query.NewEngine(art, sources)
+}
+
+// NewQueryEngineWith is NewQueryEngine with default execution options
+// applied to every Execute call.
+func NewQueryEngineWith(art *Articulation, sources map[string]*QuerySource, opts QueryOptions) (*QueryEngine, error) {
+	return query.NewEngineWith(art, sources, opts)
 }
 
 // Inference engine (Horn clauses over binary atoms).
