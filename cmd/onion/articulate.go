@@ -177,14 +177,9 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	reportDiagnostics(res)
-	if *explain {
-		plan, err := sys.Explain(*af.name, *qtext)
-		if err != nil {
-			return err
-		}
-		fmt.Print(plan)
-		return nil
-	}
+	// Register the fact files before explaining OR executing: the
+	// planner's scan estimates come from the KB indexes, so an explain
+	// without the KBs would show every fact estimate as zero.
 	if *leftKB != "" {
 		store, err := loadKB(*leftKB, res.Art.Sources[0])
 		if err != nil {
@@ -202,6 +197,14 @@ func cmdQuery(args []string) error {
 		if err := sys.RegisterKB(store); err != nil {
 			return err
 		}
+	}
+	if *explain {
+		plan, err := sys.Explain(*af.name, *qtext)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
 	}
 	out, err := sys.Query(*af.name, *qtext)
 	if err != nil {

@@ -1,22 +1,25 @@
 // Onionbench regenerates the experiment tables of DESIGN.md /
 // EXPERIMENTS.md: the Fig. 1 / Fig. 2 reproductions (E1, E2) and the
-// quantified claims (E3..E10).
+// quantified claims (E3..E12).
 //
-//	onionbench             # run everything
-//	onionbench -exp E3     # one experiment
-//	onionbench -list       # list experiments
+//	onionbench                     # run everything
+//	onionbench -exp E3             # one experiment
+//	onionbench -exp E11,E12 -json  # machine-readable results (BENCH_*.json)
+//	onionbench -list               # list experiments
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E10); empty runs all")
+	exp := flag.String("exp", "", "experiment ids, comma-separated (E1..E12); empty runs all")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -26,17 +29,36 @@ func main() {
 		}
 		return
 	}
+	var tables []*bench.Table
 	if *exp != "" {
-		t, ok := bench.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "onionbench: unknown experiment %q (use -list)\n", *exp)
-			os.Exit(2)
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			t, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "onionbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			tables = append(tables, t)
 		}
-		fmt.Print(t.Render())
+	} else {
+		tables = bench.All()
+	}
+	if *asJSON {
+		out, err := bench.ReportJSON(tables)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "onionbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
 		return
 	}
-	for _, t := range bench.All() {
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
 		fmt.Print(t.Render())
-		fmt.Println()
 	}
 }

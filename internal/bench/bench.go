@@ -85,10 +85,11 @@ func All() []*Table {
 		E9Inference(nil),
 		E10Incremental(nil),
 		E11ParallelQuery(nil),
+		E12JoinHeavy(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E11"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E12"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -114,6 +115,8 @@ func ByID(id string) (*Table, bool) {
 		return E10Incremental(nil), true
 	case "E11":
 		return E11ParallelQuery(nil), true
+	case "E12":
+		return E12JoinHeavy(nil), true
 	default:
 		return nil, false
 	}

@@ -10,9 +10,10 @@ import (
 )
 
 // TestPlannedExecutionMatchesSequential is the determinism regression:
-// across every experiment query world, the planned/parallel path must
-// return byte-identical Result rows and row ordering to the sequential
-// reference — inline, with a worker pool, and on a plan-cache hit.
+// across every experiment query world, the planned paths — the slot-
+// tuple executor (inline and partitioned/streamed) and the retained PR 1
+// binding executor — must return byte-identical Result rows and row
+// ordering to the sequential reference, including on a plan-cache hit.
 func TestPlannedExecutionMatchesSequential(t *testing.T) {
 	type world struct {
 		name string
@@ -39,6 +40,11 @@ func TestPlannedExecutionMatchesSequential(t *testing.T) {
 	feng, fq, _ := buildFanoutWorld(4, 300)
 	worlds = append(worlds, world{name: "E11/4", eng: feng, qs: []query.Query{fq}})
 
+	// The E12 join-heavy world (scaled down): the frontier stays at full
+	// width through every step, stressing the partitioned joins.
+	jeng, jq, _ := buildJoinWorld(2, 250, 4)
+	worlds = append(worlds, world{name: "E12/4", eng: jeng, qs: []query.Query{jq}})
+
 	// The Fig. 2 paper world used by E1/E2, including a filter query and
 	// a constant-subject query.
 	res, carrier, factory := fixtures.GenerateTransport()
@@ -62,8 +68,10 @@ func TestPlannedExecutionMatchesSequential(t *testing.T) {
 		opts query.Options
 	}{
 		{"inline", query.Options{Workers: 1}},
-		{"pool-8", query.Options{Workers: 8}},
+		{"pool-8", query.Options{Workers: 8}},        // partitioned/streamed joins
 		{"pool-8-cached", query.Options{Workers: 8}}, // second run hits the plan cache
+		{"compat-inline", query.Options{Workers: 1, CompatJoins: true}},
+		{"compat-pool-8", query.Options{Workers: 8, CompatJoins: true}},
 	}
 	for _, w := range worlds {
 		for qi, q := range w.qs {

@@ -1,0 +1,43 @@
+package bench
+
+import "encoding/json"
+
+// JSONExperiment is one experiment table in machine-readable form: the
+// id, the parameter/timing/speedup columns and their row cells exactly as
+// rendered, plus the parameter notes.
+type JSONExperiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// JSONReport is the onionbench -json payload. BENCH_*.json files checked
+// in across PRs use this schema to track the perf trajectory.
+type JSONReport struct {
+	Schema      int              `json:"schema"`
+	Experiments []JSONExperiment `json:"experiments"`
+}
+
+// jsonSchemaVersion bumps when the report layout changes shape.
+const jsonSchemaVersion = 1
+
+// ReportJSON renders experiment tables as an indented JSON report.
+func ReportJSON(tables []*Table) ([]byte, error) {
+	rep := JSONReport{Schema: jsonSchemaVersion}
+	for _, t := range tables {
+		rep.Experiments = append(rep.Experiments, JSONExperiment{
+			ID:      t.ID,
+			Title:   t.Title,
+			Columns: t.Columns,
+			Rows:    t.Rows,
+			Notes:   t.Notes,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestE12TupleBeatsCompat locks the E12 shape at a reduced scale: rows
+// byte-identical across all three paths and the tuple executor ahead of
+// the PR 1 binding executor on the join-heaviest row. The full ≥2x
+// margin is reported by `onionbench -exp E12`; the test asserts the
+// direction with slack for CI timing noise.
+func TestE12TupleBeatsCompat(t *testing.T) {
+	tab := E12JoinHeavy([]int{3, 5})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E12 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("E12 determinism check failed: %v", row)
+		}
+	}
+	if raceEnabled {
+		t.Skip("timing shape under the race detector; byte-identity already checked")
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	sp := parseFloat(t, strings.TrimSuffix(last[6], "x"))
+	if sp <= 1.0 {
+		t.Errorf("tuple executor not faster on join-heavy query: %v", last)
+	}
+}
+
+// Allocation-regression benchmarks: run with -benchmem (CI's bench smoke
+// does) to track the per-operation allocation drop of the slot-tuple
+// representation against the retained PR 1 baseline on the E11 fan-out
+// and E12 join-heavy worlds.
+
+func benchWorldExec(b *testing.B, eng *query.Engine, q query.Query, opts query.Options) {
+	b.Helper()
+	if _, err := eng.ExecuteWith(q, opts); err != nil { // warm plan + indexes
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecuteWith(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11WorldTupleJoins(b *testing.B) {
+	eng, q, _ := buildFanoutWorld(8, 500)
+	benchWorldExec(b, eng, q, query.Options{})
+}
+
+func BenchmarkE11WorldCompatJoins(b *testing.B) {
+	eng, q, _ := buildFanoutWorld(8, 500)
+	benchWorldExec(b, eng, q, query.Options{CompatJoins: true})
+}
+
+func BenchmarkE12WorldTupleJoins(b *testing.B) {
+	eng, q, _ := buildJoinWorld(2, 500, 4)
+	benchWorldExec(b, eng, q, query.Options{})
+}
+
+func BenchmarkE12WorldCompatJoins(b *testing.B) {
+	eng, q, _ := buildJoinWorld(2, 500, 4)
+	benchWorldExec(b, eng, q, query.Options{CompatJoins: true})
+}
+
+// BenchmarkE12WorldPartitionedJoins exercises the streamed partitioned
+// join machinery (forced 4-way pool) so its costs are tracked even on
+// single-CPU runners.
+func BenchmarkE12WorldPartitionedJoins(b *testing.B) {
+	eng, q, _ := buildJoinWorld(2, 500, 4)
+	benchWorldExec(b, eng, q, query.Options{Workers: 4})
+}

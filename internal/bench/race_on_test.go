@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock shape assertions are skipped under it (synchronization
+// costs distort the ratios the benchmarks measure).
+const raceEnabled = true

@@ -362,10 +362,13 @@ func (s *System) Query(artName, text string) (*query.Result, error) {
 	return s.QueryWith(artName, text, query.Options{})
 }
 
-// QueryWith is Query with explicit execution options (worker-pool size,
-// sequential reference path). Execution runs under the registry read
-// lock, so mutators (Infer, Regenerate, ...) wait for in-flight queries
-// instead of racing their scans.
+// QueryWith is Query with explicit execution options (worker-pool size —
+// which also bounds the join hash partitioning — plus the sequential
+// reference and compat-join paths). The returned Result's Stats carry
+// the execution counters, including JoinPartitions and StreamedBatches
+// from the partitioned scan→join pipeline. Execution runs under the
+// registry read lock, so mutators (Infer, Regenerate, ...) wait for
+// in-flight queries instead of racing their scans.
 func (s *System) QueryWith(artName, text string, opts query.Options) (*query.Result, error) {
 	q, err := query.Parse(text)
 	if err != nil {

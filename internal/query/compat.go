@@ -1,0 +1,51 @@
+package query
+
+// executeCompat is the PR 1 planned executor, retained behind
+// Options{CompatJoins} as the E12 benchmark baseline and as a third
+// differential check in the determinism suite: binding maps per row,
+// map-copy merges, string join keys re-derived from the row sets, and a
+// barrier between each step's scans and its join. The slot-based tuple
+// executor (exec.go) replaces it on the default path; the scan fan-out
+// machinery (runScanTasks) is shared.
+func (e *Engine) executeCompat(q Query, plan *execPlan, opts Options, res *Result) {
+	st := &res.Stats
+	workers := resolveWorkers(opts)
+
+	rows := []binding{{}}
+	bound := make(map[string]bool)
+	applied := make([]bool, len(q.Filters))
+	for si := range plan.steps {
+		stp := &plan.steps[si]
+		// Every (triple, source) pair counts as a source scan, skipped
+		// or not, matching the sequential accounting.
+		st.SourceScans += len(stp.scans)
+		var tasks []int
+		for j, sc := range stp.scans {
+			if !sc.view.skip {
+				tasks = append(tasks, j)
+			}
+		}
+		results := make([][]binding, len(stp.scans))
+		e.runScanTasks(stp, tasks, workers, st, func(j int, ts *Stats) {
+			sc := stp.scans[j]
+			results[j] = e.scanWithView(sc.name, sc.src, stp.triple, sc.view, ts, true)
+		})
+		// Concatenate per-task rows in source order (the barrier the
+		// tuple executor's streamed join removed).
+		var next []binding
+		for j := range stp.scans {
+			next = append(next, results[j]...)
+		}
+
+		rows = joinBindings(rows, next)
+		for _, v := range stp.vars {
+			bound[v] = true
+		}
+		rows = applyFilters(rows, q.Filters, applied, bound)
+		if len(rows) == 0 {
+			break
+		}
+	}
+	st.JoinedRows = len(rows)
+	e.project(res, rows, q)
+}

@@ -46,6 +46,13 @@ type Stats struct {
 	// Workers is the scan worker-pool size the execution used (1 =
 	// inline, no goroutines).
 	Workers int
+	// JoinPartitions is the number of hash partitions the partitioned
+	// joins ran with (the maximum across steps; 0 when every join ran
+	// inline).
+	JoinPartitions int
+	// StreamedBatches counts tuple batches streamed from scans into the
+	// partitioned joins (0 on inline and non-streaming executions).
+	StreamedBatches int
 }
 
 // accrue adds the order-independent work counters of s into dst. The
@@ -56,6 +63,7 @@ func (dst *Stats) accrue(s Stats) {
 	dst.FactRows += s.FactRows
 	dst.Conversions += s.Conversions
 	dst.ExpandedTerms += s.ExpandedTerms
+	dst.StreamedBatches += s.StreamedBatches
 }
 
 // Result is a query answer: variable names and value rows, deterministic
@@ -103,6 +111,7 @@ type Engine struct {
 	mu      sync.RWMutex
 	plans   map[string]*execPlan
 	edgeIdx map[string]map[string][]graph.Edge // source → edge label → edges
+	qualIdx map[string]map[string]string       // source → term → qualified name
 }
 
 // NewEngine builds an engine over the articulation and its sources. The
@@ -123,6 +132,7 @@ func NewEngineWith(art *articulation.Articulation, sources map[string]*Source, o
 		opts:    opts,
 		plans:   make(map[string]*execPlan),
 		edgeIdx: make(map[string]map[string][]graph.Edge),
+		qualIdx: make(map[string]map[string]string),
 	}
 	e.sources[art.Ont.Name()] = &Source{Ont: art.Ont}
 	for name, s := range sources {
@@ -197,7 +207,8 @@ func (e *Engine) executeSequential(q Query) (*Result, error) {
 // sorts the rows into the deterministic output order shared by every
 // execution path.
 func (e *Engine) project(res *Result, rows []binding, q Query) {
-	seen := make(map[string]bool, len(rows))
+	keys := make(map[string]bool, len(rows))
+	var keep []keyedRow
 	for _, b := range rows {
 		out := make([]kb.Value, len(q.Select))
 		ok := true
@@ -213,14 +224,32 @@ func (e *Engine) project(res *Result, rows []binding, q Query) {
 			continue
 		}
 		key := formatRow(out)
-		if !seen[key] {
-			seen[key] = true
-			res.Rows = append(res.Rows, out)
+		if !keys[key] {
+			keys[key] = true
+			keep = append(keep, keyedRow{key, out})
 		}
 	}
-	sort.Slice(res.Rows, func(i, j int) bool {
-		return formatRow(res.Rows[i]) < formatRow(res.Rows[j])
-	})
+	res.Rows = sortKeyedRows(keep)
+}
+
+// keyedRow pairs an output row with its formatted sort/dedup key, so the
+// final sort compares precomputed keys instead of re-formatting both rows
+// on every comparison.
+type keyedRow struct {
+	key string
+	row []kb.Value
+}
+
+// sortKeyedRows orders deduplicated rows by their format key — the
+// deterministic output order shared by every execution path. Keys are
+// unique after dedup, so the order is total.
+func sortKeyedRows(keep []keyedRow) [][]kb.Value {
+	sort.Slice(keep, func(i, j int) bool { return keep[i].key < keep[j].key })
+	rows := make([][]kb.Value, len(keep))
+	for i := range keep {
+		rows[i] = keep[i].row
+	}
+	return rows
 }
 
 func formatRow(vals []kb.Value) string {
@@ -296,17 +325,10 @@ func (e *Engine) scanSource(name string, src *Source, t Triple, stats *Stats) ([
 }
 
 // scanWithView evaluates the triple in one source against a precompiled
-// view. With indexed=true the scan walks the per-source edge-label index
-// and the KB's predicate/subject indexes instead of every edge and fact;
-// both modes produce the same row set (order may differ; the final
-// projection sort normalises it).
+// view, materialising binding-map rows — the row representation of the
+// sequential reference path and the PR 1 compat executor. The slot-based
+// executor consumes scanMatch directly with a tuple emitter instead.
 func (e *Engine) scanWithView(name string, src *Source, t Triple, v scanView, stats *Stats, indexed bool) []binding {
-	if v.skip {
-		return nil
-	}
-	isArt := name == e.art.Ont.Name()
-	var rows []binding
-
 	// bindVar records a variable binding, enforcing equality when the
 	// triple repeats a variable (e.g. "?x Likes ?x").
 	bindVar := func(b binding, t Term, val kb.Value) bool {
@@ -318,6 +340,48 @@ func (e *Engine) scanWithView(name string, src *Source, t Triple, v scanView, st
 		}
 		b[t.Var] = val
 		return true
+	}
+	var rows []binding
+	e.scanMatch(name, src, t, v, stats, indexed, func(s, p, o kb.Value) bool {
+		b := binding{}
+		if !bindVar(b, t.S, s) || !bindVar(b, t.P, p) || !bindVar(b, t.O, o) {
+			return false
+		}
+		rows = append(rows, b)
+		return true
+	})
+	return rows
+}
+
+// scanMatch is the matching core shared by every execution path: it walks
+// one source's ontology edges and KB facts against a precompiled view and
+// calls emit(subject, predicate, object) for each candidate row. emit
+// reports whether the row was accepted (a repeated triple variable may
+// reject it); row and conversion counters only count accepted rows.
+//
+// With indexed=true the scan walks the per-source edge-label index and
+// the KB's predicate/subject indexes instead of every edge and fact; both
+// modes produce the same row set (order may differ; the final projection
+// sort normalises it).
+func (e *Engine) scanMatch(name string, src *Source, t Triple, v scanView, stats *Stats, indexed bool, emit func(s, p, o kb.Value) bool) {
+	if v.skip {
+		return
+	}
+	isArt := name == e.art.Ont.Name()
+
+	// Indexed scans qualify emitted terms through the per-source table
+	// (one string per distinct term, ever) instead of concatenating a
+	// fresh "source.term" string per row. The sequential reference keeps
+	// the seed's per-row concatenation.
+	var qt map[string]string
+	if indexed {
+		qt = e.qualTable(name)
+	}
+	qual := func(term string) kb.Value {
+		if q, ok := qt[term]; ok {
+			return kb.Value{Kind: kb.KindTerm, Str: q}
+		}
+		return kb.Term(qualify(name, term))
 	}
 
 	// Scan ontology edges.
@@ -337,14 +401,9 @@ func (e *Engine) scanWithView(name string, src *Source, t Triple, v scanView, st
 		if litObj {
 			return // literal object never matches an ontology edge
 		}
-		b := binding{}
-		if !bindVar(b, t.S, kb.Term(qualify(name, sLabel))) ||
-			!bindVar(b, t.P, kb.Term(edge.Label)) ||
-			!bindVar(b, t.O, kb.Term(qualify(name, oLabel))) {
-			return
+		if emit(qual(sLabel), kb.Term(edge.Label), qual(oLabel)) {
+			stats.EdgeRows++
 		}
-		rows = append(rows, b)
-		stats.EdgeRows++
 	}
 	if indexed && v.preds != nil {
 		idx := e.edgeIndex(name)
@@ -394,18 +453,13 @@ func (e *Engine) scanWithView(name string, src *Source, t Triple, v scanView, st
 			}
 			objVal := obj
 			if obj.IsTerm() {
-				objVal = kb.Term(qualify(name, obj.Str))
+				objVal = qual(obj.Str)
 			}
-			b := binding{}
-			if !bindVar(b, t.S, kb.Term(qualify(name, f.Subject))) ||
-				!bindVar(b, t.P, kb.Term(f.Predicate)) ||
-				!bindVar(b, t.O, objVal) {
-				return true
-			}
-			rows = append(rows, b)
-			stats.FactRows++
-			if conv {
-				stats.Conversions++
+			if emit(qual(f.Subject), kb.Term(f.Predicate), objVal) {
+				stats.FactRows++
+				if conv {
+					stats.Conversions++
+				}
 			}
 			return true
 		}
@@ -418,15 +472,14 @@ func (e *Engine) scanWithView(name string, src *Source, t Triple, v scanView, st
 			for _, s := range v.subjList {
 				src.KB.ForEachBySubject(s, matchFact)
 			}
-		case indexed:
-			src.KB.ForEach(matchFact)
 		default:
-			for _, f := range src.KB.Facts() {
-				matchFact(f)
-			}
+			// Both the indexed fallback and the sequential reference
+			// stream facts in insertion order: Facts() would copy and
+			// re-sort the whole store per (triple, source) scan, and the
+			// final projection sort already normalises row order.
+			src.KB.ForEach(matchFact)
 		}
 	}
-	return rows
 }
 
 // objectMatches checks an edge object label against the expanded object

@@ -1,0 +1,536 @@
+package query
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/kb"
+)
+
+// This file is the slot-based tuple executor: the default planned
+// execution path. The compiled plan assigns every query variable a fixed
+// slot (plan.go), scans emit flat []kb.Value tuples, and joins key on the
+// precomputed slot lists — no shared-variable re-derivation over row
+// sets, no formatted string keys, no per-row map copies. When the worker
+// pool is larger than one, each keyed join is hash-partitioned across the
+// pool and scan output streams into the probe workers in batches, so
+// probing starts while slower sources are still scanning.
+
+// tuple is one execution row: a fixed-width value vector indexed by plan
+// slot. Slots not yet bound after the current step hold the zero Value
+// and are never read — which slots are bound is a plan-level property,
+// uniform across all tuples at a given step, so tuples carry no
+// per-row bound mask.
+type tuple []kb.Value
+
+// arenaBlock is how many tuples a tupleArena carves from one allocation.
+const arenaBlock = 256
+
+// tupleArena hands out fixed-width tuples from shared blocks: one
+// allocation per arenaBlock rows instead of one per row. An arena belongs
+// to a single goroutine and a single step, so an abandoned next() (a
+// repeated-variable rejection) can safely reuse its memory — the next
+// row writes the same slot set before any slot is read.
+type tupleArena struct {
+	width int
+	block []kb.Value
+}
+
+// next returns the arena's pending tuple without committing it. All slots
+// are zero except any written by a previously abandoned row, which are a
+// subset of the slots the caller is about to write.
+func (a *tupleArena) next() tuple {
+	if len(a.block) < a.width {
+		a.block = make([]kb.Value, a.width*arenaBlock)
+	}
+	return a.block[:a.width:a.width]
+}
+
+// commit finalises the pending tuple; the next next() returns fresh
+// memory.
+func (a *tupleArena) commit() { a.block = a.block[a.width:] }
+
+// appendSlotKey appends a collision-free join-key encoding of the key
+// slots to buf: a kind tag, then a fixed 8-byte float image for numbers
+// or a length-prefixed byte string otherwise. Like Value.Equal (and
+// unlike Format), the encoding is kind-strict — Term("3000") and
+// Number(3000) must not join — and the length prefix keeps payloads
+// containing separator bytes unambiguous.
+func appendSlotKey(buf []byte, tup tuple, slots []int) []byte {
+	for _, s := range slots {
+		v := tup[s]
+		buf = append(buf, byte(v.Kind))
+		if v.Kind == kb.KindNumber {
+			bits := math.Float64bits(v.Num)
+			if math.IsNaN(v.Num) {
+				// Canonicalise NaN payloads so every NaN hashes alike:
+				// the reference paths key joins on Format(), where all
+				// NaNs render "NaN" and therefore join.
+				bits = 0x7FF8000000000000
+			}
+			var n [8]byte
+			binary.LittleEndian.PutUint64(n[:], bits)
+			buf = append(buf, n[:]...)
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+			buf = append(buf, v.Str...)
+		}
+	}
+	return buf
+}
+
+// hashKey is FNV-1a over the encoded join key; it keys the join hash
+// tables and routes tuples to join partitions. Hash collisions are
+// resolved by keySlotsEqual at probe time, so no per-row key string is
+// ever materialised.
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// keySlotsEqual verifies a hash match: true when the two tuples agree on
+// every key slot under the reference paths' join equality, which keys on
+// kind plus Format(): for numbers that is float bit equality with every
+// NaN collapsing to "NaN" (so NaN joins NaN, and +0 does not join -0 —
+// "0" and "-0" format differently).
+func keySlotsEqual(l, r tuple, slots []int) bool {
+	for _, s := range slots {
+		lv, rv := l[s], r[s]
+		if lv.Kind != rv.Kind {
+			return false
+		}
+		if lv.Kind == kb.KindNumber {
+			if math.Float64bits(lv.Num) != math.Float64bits(rv.Num) &&
+				!(math.IsNaN(lv.Num) && math.IsNaN(rv.Num)) {
+				return false
+			}
+		} else if lv.Str != rv.Str {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveWorkers turns the Workers option into a concrete pool size.
+func resolveWorkers(opts Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// executePlanned is the planned execution path: compiled (cached) plan,
+// slot-tuple rows, per-source scans fanned out to a bounded worker pool,
+// hash joins in selectivity order (partitioned across the pool when it
+// has more than one worker), filters applied as soon as their variable is
+// bound. Scans dispatch one step at a time, so an empty join
+// short-circuits the remaining steps' scan work just like the sequential
+// path. Options{CompatJoins} swaps in the retained PR 1 executor.
+func (e *Engine) executePlanned(q Query, opts Options) (*Result, error) {
+	plan, hit := e.cachedPlan(q)
+	res := &Result{Vars: q.Select}
+	st := &res.Stats
+	st.PlanCacheHit = hit
+	st.ReorderedTriples = plan.reordered
+	st.Workers = 1
+	st.accrue(plan.expand)
+	if opts.CompatJoins {
+		e.executeCompat(q, plan, opts, res)
+	} else {
+		e.executeTuples(q, plan, opts, res)
+	}
+	return res, nil
+}
+
+// executeTuples runs the compiled plan on slot tuples.
+func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Result) {
+	st := &res.Stats
+	width := len(plan.slotNames)
+	workers := resolveWorkers(opts)
+
+	var rows []tuple
+	bound := make(map[string]bool)
+	applied := make([]bool, len(q.Filters))
+	for si := range plan.steps {
+		stp := &plan.steps[si]
+		// Every (triple, source) pair counts as a source scan, skipped
+		// or not, matching the sequential accounting.
+		st.SourceScans += len(stp.scans)
+		var tasks []int
+		for j, sc := range stp.scans {
+			if !sc.view.skip {
+				tasks = append(tasks, j)
+			}
+		}
+		switch {
+		case si == 0:
+			rows = e.gatherScans(stp, width, workers, tasks, st)
+		case len(stp.keySlots) == 0:
+			right := e.gatherScans(stp, width, workers, tasks, st)
+			rows = crossJoinTuples(rows, right, stp, width)
+		case workers > 1 && len(tasks) > 0:
+			rows = e.joinStreamed(rows, stp, width, workers, tasks, st)
+		default:
+			rows = e.joinInline(rows, stp, width, tasks, st)
+		}
+		for _, v := range stp.vars {
+			bound[v] = true
+		}
+		rows = applyTupleFilters(rows, q.Filters, plan, applied, bound)
+		if len(rows) == 0 {
+			break
+		}
+	}
+	st.JoinedRows = len(rows)
+	projectTuples(res, rows, q, plan)
+}
+
+// runScanTasks executes the step's live scans — inline, or fanned out on
+// a bounded worker pool — giving each task a private Stats merged in
+// source order afterwards, so the counters are deterministic under any
+// scheduling.
+func (e *Engine) runScanTasks(stp *planStep, tasks []int, workers int, st *Stats, run func(j int, ts *Stats)) {
+	taskStats := make([]Stats, len(stp.scans))
+	w := workers
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	if w <= 1 {
+		for _, j := range tasks {
+			run(j, &taskStats[j])
+		}
+	} else {
+		if w > st.Workers {
+			st.Workers = w
+		}
+		st.ParallelScans += len(tasks)
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					run(j, &taskStats[j])
+				}
+			}()
+		}
+		for _, j := range tasks {
+			jobs <- j
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for j := range stp.scans {
+		st.accrue(taskStats[j])
+	}
+}
+
+// tupleEmit adapts scanMatch's (s, p, o) callback into slot-tuple
+// construction for one step: variable positions write their slot on
+// first occurrence and enforce equality on repeats ("?x Likes ?x");
+// constant positions were already matched by the scan view.
+func tupleEmit(stp *planStep, arena *tupleArena, sink func(tuple)) func(s, p, o kb.Value) bool {
+	return func(s, p, o kb.Value) bool {
+		vals := [3]kb.Value{s, p, o}
+		tup := arena.next()
+		for i := 0; i < 3; i++ {
+			sl := stp.spec[i]
+			if sl < 0 {
+				continue
+			}
+			if stp.firstPos[i] {
+				tup[sl] = vals[i]
+			} else if !tup[sl].Equal(vals[i]) {
+				return false
+			}
+		}
+		arena.commit()
+		sink(tup)
+		return true
+	}
+}
+
+// gatherScans materialises one step's scan output as tuples (first step,
+// and the rare disconnected cross-product step).
+func (e *Engine) gatherScans(stp *planStep, width, workers int, tasks []int, st *Stats) []tuple {
+	results := make([][]tuple, len(stp.scans))
+	e.runScanTasks(stp, tasks, workers, st, func(j int, ts *Stats) {
+		sc := stp.scans[j]
+		arena := &tupleArena{width: width}
+		var out []tuple
+		e.scanMatch(sc.name, sc.src, stp.triple, sc.view, ts, true,
+			tupleEmit(stp, arena, func(t tuple) { out = append(out, t) }))
+		results[j] = out
+	})
+	var all []tuple
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all
+}
+
+// mergeTuple combines a left row with a right row from the current step:
+// copy the accumulated slots, then overlay the step's newly bound ones.
+func mergeTuple(arena *tupleArena, l, r tuple, newSlots []int) tuple {
+	out := arena.next()
+	copy(out, l)
+	for _, s := range newSlots {
+		out[s] = r[s]
+	}
+	arena.commit()
+	return out
+}
+
+// crossJoinTuples merges every left tuple with every right tuple — the
+// disconnected-query case with no shared slots.
+func crossJoinTuples(left, right []tuple, stp *planStep, width int) []tuple {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	arena := &tupleArena{width: width}
+	out := make([]tuple, 0, len(left)*len(right))
+	for _, l := range left {
+		for _, r := range right {
+			out = append(out, mergeTuple(arena, l, r, stp.newSlots))
+		}
+	}
+	return out
+}
+
+// joinInline hash-joins the accumulated rows with the step's scan output
+// on the precomputed key slots, single-threaded: the left side is indexed
+// once by key hash, then every scan-emitted tuple probes it immediately —
+// the scan side is never materialised and no key string ever is (hash
+// keys plus keySlotsEqual verification).
+func (e *Engine) joinInline(left []tuple, stp *planStep, width int, tasks []int, st *Stats) []tuple {
+	if len(left) == 0 {
+		return nil
+	}
+	build := make(map[uint64][]tuple, len(left))
+	var buf []byte
+	for _, l := range left {
+		buf = appendSlotKey(buf[:0], l, stp.keySlots)
+		h := hashKey(buf)
+		build[h] = append(build[h], l)
+	}
+	mergeArena := &tupleArena{width: width}
+	var out []tuple
+	e.runScanTasks(stp, tasks, 1, st, func(j int, ts *Stats) {
+		sc := stp.scans[j]
+		scanArena := &tupleArena{width: width}
+		e.scanMatch(sc.name, sc.src, stp.triple, sc.view, ts, true,
+			tupleEmit(stp, scanArena, func(r tuple) {
+				buf = appendSlotKey(buf[:0], r, stp.keySlots)
+				for _, l := range build[hashKey(buf)] {
+					if keySlotsEqual(l, r, stp.keySlots) {
+						out = append(out, mergeTuple(mergeArena, l, r, stp.newSlots))
+					}
+				}
+			}))
+	})
+	return out
+}
+
+// streamBatch is how many tuples a scan accumulates per partition before
+// streaming them to the probe worker.
+const streamBatch = 128
+
+// streamedBatch is one batch of scan tuples routed to a join partition,
+// carrying the key hashes computed at routing time so probe workers
+// never re-encode the keys.
+type streamedBatch struct {
+	tups   []tuple
+	hashes []uint64
+}
+
+// hashedTuple pairs a left tuple with its key hash (computed once during
+// partitioning, reused to index the partition).
+type hashedTuple struct {
+	tup  tuple
+	hash uint64
+}
+
+// joinStreamed is the partitioned, streaming hash join: the accumulated
+// left side is split by key hash into one partition per worker and
+// indexed concurrently, while the step's scans fan out on the worker pool
+// and stream their tuples — routed by the same hash — to per-partition
+// probe workers in batches. Probing therefore starts as soon as the first
+// batch lands, while slower sources are still scanning; there is no
+// barrier between scan and join. Per-partition outputs are concatenated
+// in partition order and per-task counters merge in source order, so
+// everything observable is deterministic.
+func (e *Engine) joinStreamed(left []tuple, stp *planStep, width, workers int, tasks []int, st *Stats) []tuple {
+	if len(left) == 0 {
+		return nil
+	}
+	parts := workers
+	if st.JoinPartitions < parts {
+		st.JoinPartitions = parts
+	}
+	partCh := make([]chan streamedBatch, parts)
+	for p := range partCh {
+		partCh[p] = make(chan streamedBatch, 4)
+	}
+
+	// Scans start first so sources stream while the left side is being
+	// partitioned; buffered channels absorb the head start.
+	scansDone := make(chan struct{})
+	go func() {
+		defer close(scansDone)
+		e.runScanTasks(stp, tasks, workers, st, func(j int, ts *Stats) {
+			sc := stp.scans[j]
+			arena := &tupleArena{width: width}
+			local := make([]streamedBatch, parts)
+			var buf []byte
+			batches := 0
+			e.scanMatch(sc.name, sc.src, stp.triple, sc.view, ts, true,
+				tupleEmit(stp, arena, func(r tuple) {
+					buf = appendSlotKey(buf[:0], r, stp.keySlots)
+					h := hashKey(buf)
+					p := int(h % uint64(parts))
+					local[p].tups = append(local[p].tups, r)
+					local[p].hashes = append(local[p].hashes, h)
+					if len(local[p].tups) >= streamBatch {
+						partCh[p] <- local[p]
+						local[p] = streamedBatch{}
+						batches++
+					}
+				}))
+			for p, b := range local {
+				if len(b.tups) > 0 {
+					partCh[p] <- b
+					batches++
+				}
+			}
+			ts.StreamedBatches += batches
+		})
+		for _, ch := range partCh {
+			close(ch)
+		}
+	}()
+
+	// Partition the left side in parallel chunks (hashing each key
+	// once); each probe worker then indexes its own partition before
+	// draining its channel.
+	chunks := workers
+	if chunks > len(left) {
+		chunks = len(left)
+	}
+	leftParts := make([][][]hashedTuple, chunks) // leftParts[c][p]
+	var wgPart sync.WaitGroup
+	per := (len(left) + chunks - 1) / chunks
+	for c := 0; c < chunks; c++ {
+		lo := min(c*per, len(left))
+		hi := min(lo+per, len(left))
+		wgPart.Add(1)
+		go func(c, lo, hi int) {
+			defer wgPart.Done()
+			local := make([][]hashedTuple, parts)
+			var buf []byte
+			for _, l := range left[lo:hi] {
+				buf = appendSlotKey(buf[:0], l, stp.keySlots)
+				h := hashKey(buf)
+				p := int(h % uint64(parts))
+				local[p] = append(local[p], hashedTuple{tup: l, hash: h})
+			}
+			leftParts[c] = local
+		}(c, lo, hi)
+	}
+	wgPart.Wait()
+
+	outs := make([][]tuple, parts)
+	var wgProbe sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wgProbe.Add(1)
+		go func(p int) {
+			defer wgProbe.Done()
+			build := make(map[uint64][]tuple)
+			for c := 0; c < chunks; c++ {
+				for _, l := range leftParts[c][p] {
+					build[l.hash] = append(build[l.hash], l.tup)
+				}
+			}
+			arena := &tupleArena{width: width}
+			var out []tuple
+			for batch := range partCh[p] {
+				for i, r := range batch.tups {
+					for _, l := range build[batch.hashes[i]] {
+						if keySlotsEqual(l, r, stp.keySlots) {
+							out = append(out, mergeTuple(arena, l, r, stp.newSlots))
+						}
+					}
+				}
+			}
+			outs[p] = out
+		}(p)
+	}
+	wgProbe.Wait()
+	<-scansDone
+
+	var all []tuple
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all
+}
+
+// applyTupleFilters runs every not-yet-applied filter whose variable's
+// slot is bound, reading the slot directly.
+func applyTupleFilters(rows []tuple, filters []Filter, plan *execPlan, applied []bool, bound map[string]bool) []tuple {
+	for i, f := range filters {
+		if applied[i] || !bound[f.Var] {
+			continue
+		}
+		applied[i] = true
+		sl := plan.slotOf[f.Var]
+		kept := rows[:0]
+		for _, t := range rows {
+			if f.Accepts(t[sl]) {
+				kept = append(kept, t)
+			}
+		}
+		rows = kept
+	}
+	return rows
+}
+
+// projectTuples dedups the surviving tuples onto the SELECT slots and
+// sorts the rows into the deterministic output order shared by every
+// execution path. The dedup key is computed straight from the slots, so
+// duplicate rows are dropped before any output row is materialised.
+func projectTuples(res *Result, rows []tuple, q Query, plan *execPlan) {
+	sel := make([]int, len(q.Select))
+	for i, v := range q.Select {
+		sel[i] = plan.slotOf[v]
+	}
+	keys := make(map[string]bool, len(rows))
+	var keep []keyedRow
+	var sb []byte
+	for _, t := range rows {
+		sb = sb[:0]
+		for i, s := range sel {
+			if i > 0 {
+				sb = append(sb, 0)
+			}
+			sb = append(sb, t[s].Format()...)
+		}
+		if keys[string(sb)] {
+			continue
+		}
+		key := string(sb)
+		keys[key] = true
+		out := make([]kb.Value, len(sel))
+		for i, s := range sel {
+			out[i] = t[s]
+		}
+		keep = append(keep, keyedRow{key, out})
+	}
+	res.Rows = sortKeyedRows(keep)
+}

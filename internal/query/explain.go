@@ -17,19 +17,41 @@ type TripleScan struct {
 	// Skipped is true when the triple cannot denote anything in this
 	// source (an expansion came up empty), so the source is pruned.
 	Skipped bool
+	// Est is the planner's row estimate for this scan.
+	Est int
 }
 
-// TriplePlan is the reformulation of one WHERE conjunct.
+// TriplePlan is the reformulation of one WHERE conjunct, in execution
+// (join) order.
 type TriplePlan struct {
 	Triple string
 	Scans  []TripleScan
+	// Index is the conjunct's textual position in the WHERE clause;
+	// when it differs from the slice position the planner reordered it.
+	Index int
+	// Est is the planner's total row estimate across sources.
+	Est int
+	// KeyVars are the variables the step hash-joins on (empty for the
+	// first step and for disconnected cross products).
+	KeyVars []string
+	// NewVars are the variables this step binds first.
+	NewVars []string
 }
 
 // Plan is the explanation of a query's reformulation (§2.3: "a query
 // phrased in terms of an articulation ontology [is turned into] an
-// execution plan against the sources involved").
+// execution plan against the sources involved") plus the execution
+// wiring of the slot-based engine: the variable→slot assignment and the
+// selectivity-ordered, hash-partitioned join pipeline.
 type Plan struct {
-	Query   string
+	Query string
+	// Slots is the tuple layout: Slots[i] is the variable stored at
+	// slot i.
+	Slots []string
+	// Workers is the worker-pool size the engine's default options
+	// resolve to; keyed joins hash-partition across it.
+	Workers int
+	// Triples are the WHERE conjuncts in execution (join) order.
 	Triples []TriplePlan
 }
 
@@ -37,15 +59,32 @@ type Plan struct {
 func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan for %s\n", p.Query)
-	for _, tp := range p.Triples {
-		fmt.Fprintf(&b, "  triple %s\n", tp.Triple)
+	if len(p.Slots) > 0 {
+		parts := make([]string, len(p.Slots))
+		for i, v := range p.Slots {
+			parts[i] = fmt.Sprintf("?%s=s%d", v, i)
+		}
+		fmt.Fprintf(&b, "  slots: %s\n", strings.Join(parts, " "))
+	}
+	if p.Workers > 1 {
+		fmt.Fprintf(&b, "  exec: slot tuples; keyed joins hash-partitioned across up to %d workers, scan output streamed in batches\n", p.Workers)
+	} else {
+		b.WriteString("  exec: slot tuples; keyed joins inline (single worker)\n")
+	}
+	for i, tp := range p.Triples {
+		key := "-"
+		if len(tp.KeyVars) > 0 {
+			key = "{?" + strings.Join(tp.KeyVars, " ?") + "}"
+		}
+		fmt.Fprintf(&b, "  step %d: triple %s  (where #%d, est %d, join key %s)\n",
+			i+1, tp.Triple, tp.Index+1, tp.Est, key)
 		for _, sc := range tp.Scans {
 			if sc.Skipped {
 				fmt.Fprintf(&b, "    %-12s pruned (no denotation)\n", sc.Source)
 				continue
 			}
-			fmt.Fprintf(&b, "    %-12s subj %s  pred %s  obj %s\n",
-				sc.Source, setOrStar(sc.Subjects), setOrStar(sc.Predicates), setOrStar(sc.Objects))
+			fmt.Fprintf(&b, "    %-12s subj %s  pred %s  obj %s  est %d\n",
+				sc.Source, setOrStar(sc.Subjects), setOrStar(sc.Predicates), setOrStar(sc.Objects), sc.Est)
 		}
 	}
 	return b.String()
@@ -58,32 +97,57 @@ func setOrStar(ss []string) string {
 	return "{" + strings.Join(ss, ", ") + "}"
 }
 
-// Explain reformulates the query without executing it, returning the
-// per-triple, per-source scan plan.
+// Explain compiles the query without executing it, returning the
+// per-triple, per-source scan plan in join order together with the slot
+// assignment. It shares the plan cache with execution, so explaining a
+// query warms its plan.
 func (e *Engine) Explain(q Query) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	plan := &Plan{Query: q.String()}
-	var stats Stats
-	for _, t := range q.Where {
-		tp := TriplePlan{Triple: t.String()}
-		for _, name := range e.names {
-			scan := TripleScan{Source: name}
-			v := e.compileView(name, t, &stats)
-			if v.skip {
+	ep, _ := e.cachedPlan(q)
+	plan := &Plan{
+		Query:   q.String(),
+		Slots:   append([]string(nil), ep.slotNames...),
+		Workers: resolveWorkers(e.opts),
+	}
+	for _, stp := range ep.steps {
+		tp := TriplePlan{
+			Triple:  stp.triple.String(),
+			Index:   stp.origIdx,
+			Est:     stp.est,
+			KeyVars: slotVars(ep, stp.keySlots),
+			NewVars: slotVars(ep, stp.newSlots),
+		}
+		for _, sc := range stp.scans {
+			scan := TripleScan{Source: sc.name, Est: sc.est}
+			if sc.view.skip {
 				scan.Skipped = true
 				tp.Scans = append(tp.Scans, scan)
 				continue
 			}
-			scan.Subjects = sortedSet(v.subj)
-			scan.Predicates = sortedSet(v.preds)
-			scan.Objects = sortedSet(v.objTerms)
+			// Copy the precomputed lists: the cached plan is immutable
+			// and shared with every execution, so the returned Plan must
+			// not alias its slices.
+			scan.Subjects = append([]string(nil), sc.view.subjList...)
+			scan.Predicates = append([]string(nil), sc.view.predList...)
+			scan.Objects = sortedSet(sc.view.objTerms)
 			tp.Scans = append(tp.Scans, scan)
 		}
 		plan.Triples = append(plan.Triples, tp)
 	}
 	return plan, nil
+}
+
+func slotVars(p *execPlan, slots []int) []string {
+	if len(slots) == 0 {
+		return nil
+	}
+	out := make([]string, len(slots))
+	for i, s := range slots {
+		out[i] = p.slotNames[s]
+	}
+	return out
 }
 
 func sortedSet(set map[string]bool) []string {

@@ -69,8 +69,60 @@ func TestExplainString(t *testing.T) {
 			t.Fatalf("plan output missing %q:\n%s", want, out)
 		}
 	}
+	// The refreshed output names the slot assignment and the join wiring.
+	for _, want := range []string{"slots: ?x=s0 ?p=s1", "exec: slot tuples", "join key"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan output missing %q:\n%s", want, out)
+		}
+	}
 	if plan.String() != out {
 		t.Fatalf("plan rendering unstable")
+	}
+	// The exec line matches the pool the engine's options resolve to:
+	// partitioned wording only when the pool is real.
+	pooled := *plan
+	pooled.Workers = 4
+	if !strings.Contains(pooled.String(), "hash-partitioned across up to 4 workers") {
+		t.Fatalf("pooled plan missing partition wording:\n%s", pooled.String())
+	}
+	inline := *plan
+	inline.Workers = 1
+	if !strings.Contains(inline.String(), "inline (single worker)") {
+		t.Fatalf("inline plan missing inline wording:\n%s", inline.String())
+	}
+}
+
+// TestExplainShowsSlotsAndJoinOrder covers the execution wiring the
+// slot-based engine added to Plan: the variable→slot table, the join
+// order with textual positions, and the per-step join-key variables.
+func TestExplainShowsSlotsAndJoinOrder(t *testing.T) {
+	e := paperEngine(t)
+	plan, err := e.Explain(MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Slots) != 2 || plan.Slots[0] != "x" || plan.Slots[1] != "p" {
+		t.Fatalf("slots = %v, want [x p]", plan.Slots)
+	}
+	if plan.Workers < 1 {
+		t.Fatalf("workers = %d", plan.Workers)
+	}
+	if len(plan.Triples) != 2 {
+		t.Fatalf("triples = %d", len(plan.Triples))
+	}
+	if kv := plan.Triples[0].KeyVars; len(kv) != 0 {
+		t.Errorf("first step has join key %v", kv)
+	}
+	if kv := plan.Triples[1].KeyVars; len(kv) != 1 || kv[0] != "x" {
+		t.Errorf("second step join key = %v, want [x]", kv)
+	}
+	// Execution order is recorded against textual position.
+	seen := map[int]bool{}
+	for _, tp := range plan.Triples {
+		seen[tp.Index] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("textual indices missing: %+v", plan.Triples)
 	}
 }
 

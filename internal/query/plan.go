@@ -2,11 +2,11 @@ package query
 
 import (
 	"fmt"
-	"runtime"
+	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/kb"
 )
 
 // Options tune query execution.
@@ -20,6 +20,13 @@ type Options struct {
 	// exists for determinism tests and benchmarks; results are always
 	// byte-identical to the planned path.
 	Sequential bool
+	// CompatJoins selects the PR 1 row representation on the planned
+	// path: binding maps per row, map-copy merges and string join keys,
+	// with a barrier between each step's scans and its join. It is
+	// retained as the E12 benchmark baseline and as a third differential
+	// check in the determinism suite; results are always byte-identical
+	// to the slot-based executor.
+	CompatJoins bool
 }
 
 // sourceScan is one (triple, source) unit of work in a compiled plan.
@@ -38,16 +45,32 @@ type planStep struct {
 	vars    []string
 	scans   []sourceScan // in sorted source order
 	est     int          // total estimate across sources
+
+	// Slot wiring for the tuple executor, all fixed at compile time so
+	// execution never re-derives shared variables or builds map keys.
+	spec     [3]int  // slot per triple position (S, P, O); -1 = constant
+	firstPos [3]bool // position is the first occurrence of its slot in this triple
+	keySlots []int   // slots shared with earlier steps (the hash-join key), ascending
+	newSlots []int   // slots first bound by this step, ascending
 }
 
 // execPlan is a compiled query: per-source constant expansions hoisted
-// out of the scan loops, selectivity estimates, and the join order.
-// Plans are immutable once built and cached per engine, so repeated
-// queries skip the articulation-expansion work entirely.
+// out of the scan loops, selectivity estimates, the join order, and the
+// variable→slot assignment of the tuple executor. Plans are immutable
+// once built and cached per engine, so repeated queries skip the
+// articulation-expansion work entirely.
 type execPlan struct {
 	steps     []planStep
 	reordered int   // steps executed off their textual position
 	expand    Stats // expansion counters accrued while compiling
+
+	// slotOf assigns every WHERE variable a fixed tuple index, in
+	// first-occurrence (textual) order; slotNames is the inverse. SELECT
+	// and FILTER variables resolve through the same table (Validate
+	// guarantees they occur in WHERE), so the assignment depends only on
+	// the cache key.
+	slotOf    map[string]int
+	slotNames []string
 }
 
 // maxCachedPlans bounds the per-engine plan cache; at the cap the cache
@@ -107,6 +130,7 @@ func (e *Engine) InvalidateCache() {
 	e.mu.Lock()
 	e.plans = make(map[string]*execPlan)
 	e.edgeIdx = make(map[string]map[string][]graph.Edge)
+	e.qualIdx = make(map[string]map[string]string)
 	e.mu.Unlock()
 }
 
@@ -133,13 +157,77 @@ func (e *Engine) edgeIndex(name string) map[string][]graph.Edge {
 	return idx
 }
 
+// qualTable returns the term → source-qualified-name table for one
+// source, building it lazily on first use (ontology labels, KB subjects
+// and term-valued objects). Indexed scans qualify every emitted term
+// through it instead of concatenating a fresh string per row; the table
+// is immutable once built, so scans read it without locking.
+func (e *Engine) qualTable(name string) map[string]string {
+	e.mu.RLock()
+	t := e.qualIdx[name]
+	e.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	src := e.sources[name]
+	built := make(map[string]string)
+	g := src.Ont.Graph()
+	for _, id := range g.Nodes() {
+		l := g.Label(id)
+		built[l] = qualify(name, l)
+	}
+	if src.KB != nil {
+		src.KB.ForEach(func(f kb.Fact) bool {
+			if _, ok := built[f.Subject]; !ok {
+				built[f.Subject] = qualify(name, f.Subject)
+			}
+			if f.Object.IsTerm() {
+				if _, ok := built[f.Object.Str]; !ok {
+					built[f.Object.Str] = qualify(name, f.Object.Str)
+				}
+			}
+			return true
+		})
+	}
+	e.mu.Lock()
+	if t = e.qualIdx[name]; t == nil {
+		e.qualIdx[name] = built
+		t = built
+	}
+	e.mu.Unlock()
+	return t
+}
+
 // compile reformulates every (triple, source) pair once, estimates scan
-// cardinalities from the ontology and KB indexes, and orders the joins
-// smallest-first.
+// cardinalities from the ontology and KB indexes, orders the joins
+// smallest-first, and wires the slot assignment the tuple executor runs
+// on.
 func (e *Engine) compile(q Query) *execPlan {
-	p := &execPlan{}
+	p := &execPlan{slotOf: make(map[string]int)}
+	// Assign slots in textual first-occurrence order, so the assignment
+	// is a pure function of the WHERE clause (the plan cache key).
+	for _, t := range q.Where {
+		for _, term := range [3]Term{t.S, t.P, t.O} {
+			if term.IsVar() {
+				if _, ok := p.slotOf[term.Var]; !ok {
+					p.slotOf[term.Var] = len(p.slotNames)
+					p.slotNames = append(p.slotNames, term.Var)
+				}
+			}
+		}
+	}
 	for i, t := range q.Where {
 		step := planStep{triple: t, origIdx: i, vars: tripleVars(t)}
+		occupied := make(map[int]bool, 3)
+		for pos, term := range [3]Term{t.S, t.P, t.O} {
+			step.spec[pos] = -1
+			if term.IsVar() {
+				sl := p.slotOf[term.Var]
+				step.spec[pos] = sl
+				step.firstPos[pos] = !occupied[sl]
+				occupied[sl] = true
+			}
+		}
 		for _, name := range e.names {
 			src := e.sources[name]
 			sc := sourceScan{name: name, src: src, view: e.compileView(name, t, &p.expand)}
@@ -154,6 +242,25 @@ func (e *Engine) compile(q Query) *execPlan {
 		p.steps = append(p.steps, step)
 	}
 	p.steps, p.reordered = orderSteps(p.steps)
+	// With the join order fixed, split each step's slots into the join
+	// key (already bound upstream) and the slots it binds first.
+	boundSlot := make([]bool, len(p.slotNames))
+	for i := range p.steps {
+		step := &p.steps[i]
+		for _, v := range step.vars {
+			sl := p.slotOf[v]
+			if boundSlot[sl] {
+				step.keySlots = append(step.keySlots, sl)
+			} else {
+				step.newSlots = append(step.newSlots, sl)
+			}
+		}
+		sort.Ints(step.keySlots)
+		sort.Ints(step.newSlots)
+		for _, sl := range step.newSlots {
+			boundSlot[sl] = true
+		}
+	}
 	return p
 }
 
@@ -270,95 +377,6 @@ func tripleVars(t Triple) []string {
 		}
 	}
 	return vs
-}
-
-// executePlanned is the planned execution path: compiled (cached) plan,
-// per-source scans fanned out to a bounded worker pool, hash joins in
-// selectivity order, filters applied as soon as their variable is bound.
-// Scans dispatch one step at a time, so an empty join short-circuits the
-// remaining steps' scan work just like the sequential path.
-func (e *Engine) executePlanned(q Query, opts Options) (*Result, error) {
-	plan, hit := e.cachedPlan(q)
-	res := &Result{Vars: q.Select}
-	st := &res.Stats
-	st.PlanCacheHit = hit
-	st.ReorderedTriples = plan.reordered
-	st.Workers = 1
-	st.accrue(plan.expand)
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	rows := []binding{{}}
-	bound := make(map[string]bool)
-	applied := make([]bool, len(q.Filters))
-	for _, stp := range plan.steps {
-		// Every (triple, source) pair counts as a source scan, skipped
-		// or not, matching the sequential accounting.
-		st.SourceScans += len(stp.scans)
-		var tasks []int
-		for j, sc := range stp.scans {
-			if !sc.view.skip {
-				tasks = append(tasks, j)
-			}
-		}
-		results := make([][]binding, len(stp.scans))
-		taskStats := make([]Stats, len(stp.scans))
-		run := func(j int) {
-			sc := stp.scans[j]
-			results[j] = e.scanWithView(sc.name, sc.src, stp.triple, sc.view, &taskStats[j], true)
-		}
-		stepWorkers := workers
-		if stepWorkers > len(tasks) {
-			stepWorkers = len(tasks)
-		}
-		if stepWorkers <= 1 {
-			for _, j := range tasks {
-				run(j)
-			}
-		} else {
-			if stepWorkers > st.Workers {
-				st.Workers = stepWorkers
-			}
-			st.ParallelScans += len(tasks)
-			jobs := make(chan int)
-			var wg sync.WaitGroup
-			for w := 0; w < stepWorkers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for j := range jobs {
-						run(j)
-					}
-				}()
-			}
-			for _, j := range tasks {
-				jobs <- j
-			}
-			close(jobs)
-			wg.Wait()
-		}
-		// Merge the per-task counters deterministically (source order).
-		var next []binding
-		for j := range stp.scans {
-			st.accrue(taskStats[j])
-			next = append(next, results[j]...)
-		}
-
-		rows = joinBindings(rows, next)
-		for _, v := range stp.vars {
-			bound[v] = true
-		}
-		rows = applyFilters(rows, q.Filters, applied, bound)
-		if len(rows) == 0 {
-			break
-		}
-	}
-	st.JoinedRows = len(rows)
-	e.project(res, rows, q)
-	return res, nil
 }
 
 // applyFilters runs every not-yet-applied filter whose variable is bound

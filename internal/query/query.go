@@ -9,6 +9,27 @@
 // takes a query phrased in terms of an articulation ontology and derives
 // an execution plan against the sources involved. Given the semantic
 // bridges, however, query reformulation is often required."
+//
+// # Execution model
+//
+// The default path is a slot-based tuple executor over compiled, cached
+// plans. Compilation (plan.go) hoists the per-source constant expansions
+// out of the scan loops, estimates scan cardinalities from the ontology
+// and KB indexes, orders the joins smallest-first, and assigns every
+// query variable a fixed tuple slot; each join step carries precomputed
+// key-slot and new-slot lists. Execution (exec.go) streams scans into
+// flat []kb.Value tuples and hash-joins on the slot lists — no binding
+// maps, no per-row map copies, no formatted string keys. With a worker
+// pool larger than one, each keyed join is hash-partitioned across the
+// pool: the accumulated side is partitioned and indexed in parallel
+// while per-source scans stream their tuples to the partition probe
+// workers in batches, so probing overlaps slower sources' scans.
+//
+// Two older paths are kept for differential testing: the seed's
+// sequential reference (Options{Sequential}: textual join order,
+// unindexed scans, binding maps) and the PR 1 planned executor
+// (Options{CompatJoins}: binding maps over the same compiled plans, the
+// E12 benchmark baseline). All three produce byte-identical results.
 package query
 
 import (

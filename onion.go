@@ -306,11 +306,15 @@ type (
 	// QuerySource pairs an ontology with its knowledge base.
 	QuerySource = query.Source
 	// QueryOptions tune execution: Workers bounds the scan worker pool
-	// (0 = GOMAXPROCS, 1 = inline); Sequential forces the reference
-	// path (textual join order, unindexed scans, no plan cache).
+	// (0 = GOMAXPROCS, 1 = inline) — keyed joins hash-partition across
+	// it and scan output streams into them; Sequential forces the
+	// reference path (textual join order, unindexed scans, no plan
+	// cache); CompatJoins keeps the compiled plan but runs the retained
+	// binding-map join representation (benchmark baseline).
 	QueryOptions = query.Options
 	// QueryStats counts the work one execution performed, including the
-	// plan/parallelism counters of the planned path.
+	// plan/parallelism counters of the planned path (scan workers, join
+	// partitions, streamed scan→join batches).
 	QueryStats = query.Stats
 )
 
