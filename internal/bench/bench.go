@@ -86,10 +86,11 @@ func All() []*Table {
 		E10Incremental(nil),
 		E11ParallelQuery(nil),
 		E12JoinHeavy(nil),
+		E13PipelineDepth(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E12"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E13"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -117,6 +118,8 @@ func ByID(id string) (*Table, bool) {
 		return E11ParallelQuery(nil), true
 	case "E12":
 		return E12JoinHeavy(nil), true
+	case "E13":
+		return E13PipelineDepth(nil), true
 	default:
 		return nil, false
 	}

@@ -45,6 +45,11 @@ func TestPlannedExecutionMatchesSequential(t *testing.T) {
 	jeng, jq, _ := buildJoinWorld(2, 250, 4)
 	worlds = append(worlds, world{name: "E12/4", eng: jeng, qs: []query.Query{jq}})
 
+	// The E13 deep-chain world (scaled down): six keyed join steps with a
+	// widening frontier, exercising cross-step streaming end to end.
+	ceng, cq := buildChainWorld(4, 40, 6, 2)
+	worlds = append(worlds, world{name: "E13/6", eng: ceng, qs: []query.Query{cq}})
+
 	// The Fig. 2 paper world used by E1/E2, including a filter query and
 	// a constant-subject query.
 	res, carrier, factory := fixtures.GenerateTransport()
@@ -68,8 +73,10 @@ func TestPlannedExecutionMatchesSequential(t *testing.T) {
 		opts query.Options
 	}{
 		{"inline", query.Options{Workers: 1}},
-		{"pool-8", query.Options{Workers: 8}},        // partitioned/streamed joins
-		{"pool-8-cached", query.Options{Workers: 8}}, // second run hits the plan cache
+		{"pipelined-8", query.Options{Workers: 8}},        // cross-step pipeline on keyed chains
+		{"pipelined-8-cached", query.Options{Workers: 8}}, // second run hits the plan cache
+		{"pipelined-parts-3", query.Options{Workers: 8, Partitions: 3}},
+		{"barrier-pool-8", query.Options{Workers: 8, StepBarriers: true}}, // PR 2 per-step executor
 		{"compat-inline", query.Options{Workers: 1, CompatJoins: true}},
 		{"compat-pool-8", query.Options{Workers: 8, CompatJoins: true}},
 	}

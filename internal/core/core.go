@@ -362,10 +362,12 @@ func (s *System) Query(artName, text string) (*query.Result, error) {
 	return s.QueryWith(artName, text, query.Options{})
 }
 
-// QueryWith is Query with explicit execution options (worker-pool size —
-// which also bounds the join hash partitioning — plus the sequential
-// reference and compat-join paths). The returned Result's Stats carry
-// the execution counters, including JoinPartitions and StreamedBatches
+// QueryWith is Query with explicit execution options (worker-pool size
+// and join partition count — with more than one worker, keyed join
+// chains run as a cross-step streaming pipeline — plus the per-step
+// barrier, sequential-reference and compat-join paths). The returned
+// Result's Stats carry the execution counters, including
+// JoinPartitions, StreamedBatches, PipelinedSteps and StepPartitions
 // from the partitioned scan→join pipeline. Execution runs under the
 // registry read lock, so mutators (Infer, Regenerate, ...) wait for
 // in-flight queries instead of racing their scans.

@@ -3,7 +3,6 @@ package query
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/articulation"
@@ -50,9 +49,26 @@ type Stats struct {
 	// joins ran with (the maximum across steps; 0 when every join ran
 	// inline).
 	JoinPartitions int
-	// StreamedBatches counts tuple batches streamed from scans into the
-	// partitioned joins (0 on inline and non-streaming executions).
+	// StreamedBatches counts tuple batches streamed into the partitioned
+	// joins — from scans, and on the pipelined path also from step to
+	// step (0 on inline and non-streaming executions).
 	StreamedBatches int
+	// PipelinedSteps counts join steps that received their probe input
+	// streamed from the previous step instead of from a materialised
+	// frontier — the cross-step pipeline (0 on the sequential, compat
+	// and per-step-barrier executions).
+	PipelinedSteps int
+	// StepPartitions records each join step's hash-partition count in
+	// join order (0 for the leading scan step and for inline joins; nil
+	// when no join partitioned). The counts decouple from Workers via
+	// Options{Partitions}.
+	StepPartitions []int
+	// ScansCancelled counts source scans whose dispatch was skipped
+	// because a pipeline step's output was provably empty — the
+	// pipelined form of the empty-join short-circuit. Timing-dependent
+	// (an in-flight scan runs to completion), unlike the row counters,
+	// which are deterministic.
+	ScansCancelled int
 }
 
 // accrue adds the order-independent work counters of s into dst. The
@@ -75,8 +91,11 @@ type Result struct {
 }
 
 // EqualRows reports whether two results carry the same variables and
-// byte-identical rows in the same order — the determinism contract
+// cell-identical rows in the same order — the determinism contract
 // between the sequential and the planned/parallel execution paths.
+// Cells compare kind-strictly (sameCell), so an executor that returned
+// Term("3000") where another returned Number(3000) is detected as a
+// divergence even though both cells format identically.
 func (r *Result) EqualRows(o *Result) bool {
 	if o == nil || len(r.Vars) != len(o.Vars) || len(r.Rows) != len(o.Rows) {
 		return false
@@ -87,8 +106,13 @@ func (r *Result) EqualRows(o *Result) bool {
 		}
 	}
 	for i := range r.Rows {
-		if formatRow(r.Rows[i]) != formatRow(o.Rows[i]) {
+		if len(r.Rows[i]) != len(o.Rows[i]) {
 			return false
+		}
+		for j := range r.Rows[i] {
+			if !sameCell(r.Rows[i][j], o.Rows[i][j]) {
+				return false
+			}
 		}
 	}
 	return true
@@ -209,6 +233,7 @@ func (e *Engine) executeSequential(q Query) (*Result, error) {
 func (e *Engine) project(res *Result, rows []binding, q Query) {
 	keys := make(map[string]bool, len(rows))
 	var keep []keyedRow
+	var buf []byte
 	for _, b := range rows {
 		out := make([]kb.Value, len(q.Select))
 		ok := true
@@ -223,8 +248,8 @@ func (e *Engine) project(res *Result, rows []binding, q Query) {
 		if !ok {
 			continue
 		}
-		key := formatRow(out)
-		if !keys[key] {
+		buf = appendRowKey(buf[:0], out)
+		if key := string(buf); !keys[key] {
 			keys[key] = true
 			keep = append(keep, keyedRow{key, out})
 		}
@@ -232,17 +257,18 @@ func (e *Engine) project(res *Result, rows []binding, q Query) {
 	res.Rows = sortKeyedRows(keep)
 }
 
-// keyedRow pairs an output row with its formatted sort/dedup key, so the
-// final sort compares precomputed keys instead of re-formatting both rows
-// on every comparison.
+// keyedRow pairs an output row with its encoded sort/dedup key
+// (appendRowKey), so the final sort compares precomputed keys instead of
+// re-encoding both rows on every comparison.
 type keyedRow struct {
 	key string
 	row []kb.Value
 }
 
-// sortKeyedRows orders deduplicated rows by their format key — the
-// deterministic output order shared by every execution path. Keys are
-// unique after dedup, so the order is total.
+// sortKeyedRows orders deduplicated rows by their row key — the
+// deterministic output order shared by every execution path: cell-wise,
+// kind-major, lexicographic for terms and strings, numeric for numbers.
+// Keys are unique after dedup, so the order is total.
 func sortKeyedRows(keep []keyedRow) [][]kb.Value {
 	sort.Slice(keep, func(i, j int) bool { return keep[i].key < keep[j].key })
 	rows := make([][]kb.Value, len(keep))
@@ -250,14 +276,6 @@ func sortKeyedRows(keep []keyedRow) [][]kb.Value {
 		rows[i] = keep[i].row
 	}
 	return rows
-}
-
-func formatRow(vals []kb.Value) string {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
-		parts[i] = v.Format()
-	}
-	return strings.Join(parts, "\x00")
 }
 
 // evalTriple evaluates one triple against every source, reformulating
@@ -682,19 +700,28 @@ func sharedVars(left, right []binding) []string {
 	return shared
 }
 
+// joinKey encodes a row's join key on the shared variables with the same
+// collision-free encoding the tuple executor hashes on (appendValueKey):
+// kind-strict and framing-safe, so a term literally named "\x01unbound"
+// or payloads containing '\x00' cannot falsely join (the seed joined
+// Format() strings with raw separators and an in-band unbound sentinel).
+// All three executors therefore agree on join equality exactly.
 func joinKey(b binding, vars []string) string {
-	parts := make([]string, len(vars))
-	for i, v := range vars {
+	var buf []byte
+	for _, v := range vars {
 		if val, ok := b[v]; ok {
-			// Tag the kind so join equality matches Value.Equal —
-			// Term("3000") and Number(3000) format identically but
-			// must not join.
-			parts[i] = fmt.Sprintf("%d:%s", val.Kind, val.Format())
+			buf = appendValueKey(buf, val)
 		} else {
-			parts[i] = "\x01unbound"
+			// Out-of-band unbound marker. 0x03 starts no value encoding
+			// (kind tags are 0..2) and cannot be manufactured inside one
+			// either: a 0x00 in a key is always an escape start (0x00
+			// 0xff) or a terminator followed by a field start, so no
+			// value bytes can imitate a terminator+marker pair. (0xff
+			// would be ambiguous: terminator+0xff reads as the escape.)
+			buf = append(buf, 0x03)
 		}
 	}
-	return strings.Join(parts, "\x00")
+	return string(buf)
 }
 
 func mergeBindings(l, r binding) binding {

@@ -186,9 +186,11 @@ func TestQueryDeterministicOrder(t *testing.T) {
 			}
 		}
 	}
-	// Rows are sorted and deduplicated.
+	// Rows are sorted and deduplicated under the shared row-key encoding.
 	for i := 1; i < len(a.Rows); i++ {
-		if formatRow(a.Rows[i-1]) >= formatRow(a.Rows[i]) {
+		prev := string(appendRowKey(nil, a.Rows[i-1]))
+		cur := string(appendRowKey(nil, a.Rows[i]))
+		if prev >= cur {
 			t.Fatalf("rows not strictly sorted at %d", i)
 		}
 	}

@@ -1,8 +1,6 @@
 package query
 
 import (
-	"encoding/binary"
-	"math"
 	"runtime"
 	"sync"
 
@@ -53,30 +51,14 @@ func (a *tupleArena) next() tuple {
 func (a *tupleArena) commit() { a.block = a.block[a.width:] }
 
 // appendSlotKey appends a collision-free join-key encoding of the key
-// slots to buf: a kind tag, then a fixed 8-byte float image for numbers
-// or a length-prefixed byte string otherwise. Like Value.Equal (and
-// unlike Format), the encoding is kind-strict — Term("3000") and
-// Number(3000) must not join — and the length prefix keeps payloads
+// slots to buf — appendValueKey (rowkey.go) per slot, the same encoding
+// the projection dedups and sorts on. Like Value.Equal (and unlike
+// Format), the encoding is kind-strict — Term("3000") and Number(3000)
+// must not join — and the escape/terminator framing keeps payloads
 // containing separator bytes unambiguous.
 func appendSlotKey(buf []byte, tup tuple, slots []int) []byte {
 	for _, s := range slots {
-		v := tup[s]
-		buf = append(buf, byte(v.Kind))
-		if v.Kind == kb.KindNumber {
-			bits := math.Float64bits(v.Num)
-			if math.IsNaN(v.Num) {
-				// Canonicalise NaN payloads so every NaN hashes alike:
-				// the reference paths key joins on Format(), where all
-				// NaNs render "NaN" and therefore join.
-				bits = 0x7FF8000000000000
-			}
-			var n [8]byte
-			binary.LittleEndian.PutUint64(n[:], bits)
-			buf = append(buf, n[:]...)
-		} else {
-			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
-			buf = append(buf, v.Str...)
-		}
+		buf = appendValueKey(buf, tup[s])
 	}
 	return buf
 }
@@ -95,22 +77,13 @@ func hashKey(b []byte) uint64 {
 }
 
 // keySlotsEqual verifies a hash match: true when the two tuples agree on
-// every key slot under the reference paths' join equality, which keys on
-// kind plus Format(): for numbers that is float bit equality with every
-// NaN collapsing to "NaN" (so NaN joins NaN, and +0 does not join -0 —
-// "0" and "-0" format differently).
+// every key slot under the engine's join equality — sameCell, the
+// equality appendValueKey encodes: kind-strict, string payloads
+// byte-equal, and for numbers float bit equality with every NaN in one
+// class (NaN joins NaN, and +0 does not join -0).
 func keySlotsEqual(l, r tuple, slots []int) bool {
 	for _, s := range slots {
-		lv, rv := l[s], r[s]
-		if lv.Kind != rv.Kind {
-			return false
-		}
-		if lv.Kind == kb.KindNumber {
-			if math.Float64bits(lv.Num) != math.Float64bits(rv.Num) &&
-				!(math.IsNaN(lv.Num) && math.IsNaN(rv.Num)) {
-				return false
-			}
-		} else if lv.Str != rv.Str {
+		if !sameCell(l[s], r[s]) {
 			return false
 		}
 	}
@@ -148,15 +121,26 @@ func (e *Engine) executePlanned(q Query, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// executeTuples runs the compiled plan on slot tuples.
+// executeTuples runs the compiled plan on slot tuples. With more than
+// one worker and a keyed join chain it hands off to the cross-step
+// streaming pipeline (pipeline.go); otherwise — single worker, a single
+// step, a disconnected cross product, or Options{StepBarriers} — it runs
+// the per-step path, where each join step materialises its output before
+// the next step's scans dispatch.
 func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Result) {
 	st := &res.Stats
 	width := len(plan.slotNames)
 	workers := resolveWorkers(opts)
+	if plan.pipelines(opts, workers) {
+		e.executePipelined(q, plan, opts, res)
+		return
+	}
+	parts := resolvePartitions(opts, workers)
 
 	var rows []tuple
 	bound := make(map[string]bool)
 	applied := make([]bool, len(q.Filters))
+	stepParts := make([]int, 0, len(plan.steps))
 	for si := range plan.steps {
 		stp := &plan.steps[si]
 		// Every (triple, source) pair counts as a source scan, skipped
@@ -171,13 +155,17 @@ func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Resul
 		switch {
 		case si == 0:
 			rows = e.gatherScans(stp, width, workers, tasks, st)
+			stepParts = append(stepParts, 0)
 		case len(stp.keySlots) == 0:
 			right := e.gatherScans(stp, width, workers, tasks, st)
 			rows = crossJoinTuples(rows, right, stp, width)
+			stepParts = append(stepParts, 0)
 		case workers > 1 && len(tasks) > 0:
-			rows = e.joinStreamed(rows, stp, width, workers, tasks, st)
+			rows = e.joinStreamed(rows, stp, width, workers, parts, tasks, st)
+			stepParts = append(stepParts, parts)
 		default:
 			rows = e.joinInline(rows, stp, width, tasks, st)
+			stepParts = append(stepParts, 0)
 		}
 		for _, v := range stp.vars {
 			bound[v] = true
@@ -187,8 +175,11 @@ func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Resul
 			break
 		}
 	}
+	if st.JoinPartitions > 0 {
+		st.StepPartitions = stepParts
+	}
 	st.JoinedRows = len(rows)
-	projectTuples(res, rows, q, plan)
+	projectTuples(res, [][]tuple{rows}, q, plan)
 }
 
 // runScanTasks executes the step's live scans — inline, or fanned out on
@@ -357,20 +348,21 @@ type hashedTuple struct {
 	hash uint64
 }
 
-// joinStreamed is the partitioned, streaming hash join: the accumulated
-// left side is split by key hash into one partition per worker and
+// joinStreamed is the partitioned, streaming hash join of the per-step
+// path: the accumulated left side is split by key hash into parts
+// partitions (Options{Partitions}, decoupled from the worker count) and
 // indexed concurrently, while the step's scans fan out on the worker pool
 // and stream their tuples — routed by the same hash — to per-partition
 // probe workers in batches. Probing therefore starts as soon as the first
 // batch lands, while slower sources are still scanning; there is no
-// barrier between scan and join. Per-partition outputs are concatenated
-// in partition order and per-task counters merge in source order, so
-// everything observable is deterministic.
-func (e *Engine) joinStreamed(left []tuple, stp *planStep, width, workers int, tasks []int, st *Stats) []tuple {
+// barrier between scan and join (the barrier sits between steps; the
+// pipelined executor removes that one too). Per-partition outputs are
+// concatenated in partition order and per-task counters merge in source
+// order, so everything observable is deterministic.
+func (e *Engine) joinStreamed(left []tuple, stp *planStep, width, workers, parts int, tasks []int, st *Stats) []tuple {
 	if len(left) == 0 {
 		return nil
 	}
-	parts := workers
 	if st.JoinPartitions < parts {
 		st.JoinPartitions = parts
 	}
@@ -504,33 +496,38 @@ func applyTupleFilters(rows []tuple, filters []Filter, plan *execPlan, applied [
 // projectTuples dedups the surviving tuples onto the SELECT slots and
 // sorts the rows into the deterministic output order shared by every
 // execution path. The dedup key is computed straight from the slots, so
-// duplicate rows are dropped before any output row is materialised.
-func projectTuples(res *Result, rows []tuple, q Query, plan *execPlan) {
+// duplicate rows are dropped before any output row is materialised. Rows
+// arrive as one or more slices (the pipelined executor hands its
+// per-partition outputs over directly, never concatenating the frontier).
+func projectTuples(res *Result, groups [][]tuple, q Query, plan *execPlan) {
 	sel := make([]int, len(q.Select))
 	for i, v := range q.Select {
 		sel[i] = plan.slotOf[v]
 	}
-	keys := make(map[string]bool, len(rows))
+	total := 0
+	for _, rows := range groups {
+		total += len(rows)
+	}
+	keys := make(map[string]bool, total)
 	var keep []keyedRow
 	var sb []byte
-	for _, t := range rows {
-		sb = sb[:0]
-		for i, s := range sel {
-			if i > 0 {
-				sb = append(sb, 0)
+	for _, rows := range groups {
+		for _, t := range rows {
+			sb = sb[:0]
+			for _, s := range sel {
+				sb = appendValueKey(sb, t[s])
 			}
-			sb = append(sb, t[s].Format()...)
+			if keys[string(sb)] {
+				continue
+			}
+			key := string(sb)
+			keys[key] = true
+			out := make([]kb.Value, len(sel))
+			for i, s := range sel {
+				out[i] = t[s]
+			}
+			keep = append(keep, keyedRow{key, out})
 		}
-		if keys[string(sb)] {
-			continue
-		}
-		key := string(sb)
-		keys[key] = true
-		out := make([]kb.Value, len(sel))
-		for i, s := range sel {
-			out[i] = t[s]
-		}
-		keep = append(keep, keyedRow{key, out})
 	}
 	res.Rows = sortKeyedRows(keep)
 }

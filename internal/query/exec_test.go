@@ -69,8 +69,10 @@ func TestTupleExecutorMatchesReferences(t *testing.T) {
 		opts Options
 	}{
 		{"tuple-inline", Options{Workers: 1}},
-		{"tuple-partitioned", Options{Workers: 4}},
-		{"tuple-partitioned-cached", Options{Workers: 4}},
+		{"tuple-barrier-pool", Options{Workers: 4, StepBarriers: true}},
+		{"pipelined", Options{Workers: 4}},
+		{"pipelined-cached", Options{Workers: 4}},
+		{"pipelined-parts-3", Options{Workers: 4, Partitions: 3}},
 		{"compat-inline", Options{Workers: 1, CompatJoins: true}},
 		{"compat-pool", Options{Workers: 4, CompatJoins: true}},
 	}
@@ -86,7 +88,7 @@ func TestTupleExecutorMatchesReferences(t *testing.T) {
 			t.Errorf("%s JoinedRows = %d, want %d", m.name, got.Stats.JoinedRows, want.Stats.JoinedRows)
 		}
 	}
-	// The partitioned run must actually have partitioned and streamed.
+	// The pipelined run must actually have partitioned and streamed.
 	got, err := eng.ExecuteWith(q, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +98,20 @@ func TestTupleExecutorMatchesReferences(t *testing.T) {
 	}
 	if got.Stats.StreamedBatches == 0 {
 		t.Errorf("no batches streamed: %+v", got.Stats)
+	}
+	if got.Stats.PipelinedSteps == 0 {
+		t.Errorf("pooled chain did not pipeline: %+v", got.Stats)
+	}
+	// So must the per-step barrier run — within each step.
+	barrier, err := eng.ExecuteWith(q, Options{Workers: 4, StepBarriers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barrier.Stats.JoinPartitions != 4 || barrier.Stats.StreamedBatches == 0 {
+		t.Errorf("barrier run did not partition/stream within steps: %+v", barrier.Stats)
+	}
+	if barrier.Stats.PipelinedSteps != 0 {
+		t.Errorf("barrier run claims pipelining: %+v", barrier.Stats)
 	}
 	// And the inline run must not report phantom partitions.
 	inline, err := eng.ExecuteWith(q, Options{Workers: 1})

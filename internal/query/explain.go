@@ -36,6 +36,12 @@ type TriplePlan struct {
 	KeyVars []string
 	// NewVars are the variables this step binds first.
 	NewVars []string
+	// StreamsInto is the join-order position of the step this step's
+	// output streams into on the pipelined path (-1 for the last step
+	// and on non-pipelined plans), and StreamKeyVars are the downstream
+	// key variables the output is re-hashed on at production time.
+	StreamsInto   int
+	StreamKeyVars []string
 }
 
 // Plan is the explanation of a query's reformulation (§2.3: "a query
@@ -49,8 +55,16 @@ type Plan struct {
 	// slot i.
 	Slots []string
 	// Workers is the worker-pool size the engine's default options
-	// resolve to; keyed joins hash-partition across it.
+	// resolve to.
 	Workers int
+	// Partitions is the hash-partition count of the partitioned joins
+	// (Options{Partitions}, default = Workers; 0 when joins run inline).
+	Partitions int
+	// Pipelined reports that the engine's default options execute this
+	// plan as a cross-step streaming pipeline: every step's probe output
+	// streams straight into the next step's partitions while later
+	// steps' sources are still scanning.
+	Pipelined bool
 	// Triples are the WHERE conjuncts in execution (join) order.
 	Triples []TriplePlan
 }
@@ -66,9 +80,14 @@ func (p *Plan) String() string {
 		}
 		fmt.Fprintf(&b, "  slots: %s\n", strings.Join(parts, " "))
 	}
-	if p.Workers > 1 {
-		fmt.Fprintf(&b, "  exec: slot tuples; keyed joins hash-partitioned across up to %d workers, scan output streamed in batches\n", p.Workers)
-	} else {
+	switch {
+	case p.Pipelined:
+		fmt.Fprintf(&b, "  exec: slot tuples; cross-step pipeline — %d scan workers, joins hash-partitioned %d ways, probe output streamed between steps\n",
+			p.Workers, p.Partitions)
+	case p.Workers > 1:
+		fmt.Fprintf(&b, "  exec: slot tuples; keyed joins hash-partitioned %d ways across %d workers, scan output streamed in batches, per-step barriers\n",
+			p.Partitions, p.Workers)
+	default:
 		b.WriteString("  exec: slot tuples; keyed joins inline (single worker)\n")
 	}
 	for i, tp := range p.Triples {
@@ -78,6 +97,10 @@ func (p *Plan) String() string {
 		}
 		fmt.Fprintf(&b, "  step %d: triple %s  (where #%d, est %d, join key %s)\n",
 			i+1, tp.Triple, tp.Index+1, tp.Est, key)
+		if tp.StreamsInto >= 0 {
+			fmt.Fprintf(&b, "    ~> streams into step %d on {?%s}\n",
+				tp.StreamsInto+1, strings.Join(tp.StreamKeyVars, " ?"))
+		}
 		for _, sc := range tp.Scans {
 			if sc.Skipped {
 				fmt.Fprintf(&b, "    %-12s pruned (no denotation)\n", sc.Source)
@@ -106,18 +129,28 @@ func (e *Engine) Explain(q Query) (*Plan, error) {
 		return nil, err
 	}
 	ep, _ := e.cachedPlan(q)
+	workers := resolveWorkers(e.opts)
 	plan := &Plan{
 		Query:   q.String(),
 		Slots:   append([]string(nil), ep.slotNames...),
-		Workers: resolveWorkers(e.opts),
+		Workers: workers,
 	}
-	for _, stp := range ep.steps {
+	if workers > 1 {
+		plan.Partitions = resolvePartitions(e.opts, workers)
+	}
+	plan.Pipelined = ep.pipelines(e.opts, workers)
+	for i, stp := range ep.steps {
 		tp := TriplePlan{
-			Triple:  stp.triple.String(),
-			Index:   stp.origIdx,
-			Est:     stp.est,
-			KeyVars: slotVars(ep, stp.keySlots),
-			NewVars: slotVars(ep, stp.newSlots),
+			Triple:      stp.triple.String(),
+			Index:       stp.origIdx,
+			Est:         stp.est,
+			KeyVars:     slotVars(ep, stp.keySlots),
+			NewVars:     slotVars(ep, stp.newSlots),
+			StreamsInto: -1,
+		}
+		if plan.Pipelined && i+1 < len(ep.steps) {
+			tp.StreamsInto = i + 1
+			tp.StreamKeyVars = slotVars(ep, stp.nextKeySlots)
 		}
 		for _, sc := range stp.scans {
 			scan := TripleScan{Source: sc.name, Est: sc.est}

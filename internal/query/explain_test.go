@@ -79,16 +79,69 @@ func TestExplainString(t *testing.T) {
 		t.Fatalf("plan rendering unstable")
 	}
 	// The exec line matches the pool the engine's options resolve to:
-	// partitioned wording only when the pool is real.
+	// partition/pipeline wording only when the pool is real.
 	pooled := *plan
 	pooled.Workers = 4
-	if !strings.Contains(pooled.String(), "hash-partitioned across up to 4 workers") {
+	pooled.Partitions = 4
+	if !strings.Contains(pooled.String(), "hash-partitioned 4 ways across 4 workers") {
 		t.Fatalf("pooled plan missing partition wording:\n%s", pooled.String())
 	}
 	inline := *plan
 	inline.Workers = 1
 	if !strings.Contains(inline.String(), "inline (single worker)") {
 		t.Fatalf("inline plan missing inline wording:\n%s", inline.String())
+	}
+}
+
+// TestExplainShowsPipelineEdges checks that an engine defaulting to a
+// real pool explains the cross-step pipeline: the exec header names the
+// pipeline and every non-final step carries a streams-into edge with the
+// downstream key variables.
+func TestExplainShowsPipelineEdges(t *testing.T) {
+	res, carrier, factory := paperPieces(t)
+	e, err := NewEngineWith(res.Art, map[string]*Source{
+		"carrier": {Ont: carrier},
+		"factory": {Ont: factory},
+	}, Options{Workers: 4, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Explain(MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Pipelined || plan.Partitions != 3 {
+		t.Fatalf("pipelined=%v partitions=%d, want pipelined with 3 partitions", plan.Pipelined, plan.Partitions)
+	}
+	if got := plan.Triples[0].StreamsInto; got != 1 {
+		t.Fatalf("first step StreamsInto = %d, want 1", got)
+	}
+	if kv := plan.Triples[0].StreamKeyVars; len(kv) != 1 || kv[0] != "x" {
+		t.Fatalf("first step StreamKeyVars = %v, want [x]", kv)
+	}
+	if got := plan.Triples[len(plan.Triples)-1].StreamsInto; got != -1 {
+		t.Fatalf("last step StreamsInto = %d, want -1", got)
+	}
+	out := plan.String()
+	for _, want := range []string{"cross-step pipeline", "hash-partitioned 3 ways", "~> streams into step 2 on {?x}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pipelined plan output missing %q:\n%s", want, out)
+		}
+	}
+	// A single-worker engine over the same plan shape stays inline.
+	seq, err := NewEngineWith(res.Art, map[string]*Source{
+		"carrier": {Ont: carrier},
+		"factory": {Ont: factory},
+	}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := seq.Explain(MustParse("SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Pipelined || p2.Triples[0].StreamsInto != -1 {
+		t.Fatalf("inline plan claims pipelining: %+v", p2.Triples[0])
 	}
 }
 

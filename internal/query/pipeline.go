@@ -1,0 +1,478 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pipeBatch is how many tuples a pipeline producer accumulates per
+// partition before streaming the batch downstream. Larger than the
+// scan-side streamBatch: cross-step traffic carries the whole frontier,
+// so fewer, fuller batches cut channel and select overhead, and the
+// batch pool makes their buffers free to recycle.
+const pipeBatch = 256
+
+// batchPool recycles batch buffers between pipeline producers and
+// consumers. A consumer returns a batch as soon as it has indexed or
+// probed it (only the buffer arrays are recycled — the tuple values they
+// point at live in arenas), so steady-state streaming allocates no new
+// buffers at all instead of one tups+hashes pair per batch. The pool
+// holds pointers, so Put itself never allocates a box.
+var batchPool sync.Pool
+
+func getBatch() *streamedBatch {
+	if b, ok := batchPool.Get().(*streamedBatch); ok {
+		return b
+	}
+	return &streamedBatch{tups: make([]tuple, 0, pipeBatch), hashes: make([]uint64, 0, pipeBatch)}
+}
+
+func putBatch(b *streamedBatch) {
+	b.tups = b.tups[:0]
+	b.hashes = b.hashes[:0]
+	batchPool.Put(b)
+}
+
+// This file is the cross-step streaming pipeline: the default planned
+// execution path when the worker pool has more than one worker and the
+// plan is a keyed join chain. The per-step executor (exec.go) fully
+// materialises each join step's output before the next step's scans
+// dispatch; here every step runs concurrently instead:
+//
+//   - all steps' scans share one bounded worker pool, dispatched in step
+//     order, so a later step's sources scan while earlier joins probe;
+//   - each join step is a set of partition workers that build a hash
+//     table from the step's own scan output (routed by key hash) and
+//     probe it with the accumulated tuples streamed from the previous
+//     step — no frontier is ever materialised between steps;
+//   - a step's probe output is re-hashed on the *next* step's key slots
+//     at production time (plan.nextKeySlots) and streamed straight into
+//     the next step's partition channels in batches;
+//   - when a step's output is provably empty the pipeline cancels:
+//     undispatched scans are skipped (the pipelined form of the per-step
+//     empty-join short-circuit) and the stages drain out.
+//
+// The partition count decouples from the scan worker count
+// (Options{Partitions}, default = resolved workers). Rows, JoinedRows
+// and the projection are byte-identical to every other path: tuple
+// arrival order varies run to run, but the row *set* per partition is
+// fixed by the key hash, and the final projection sort normalises order.
+
+// resolvePartitions turns the Partitions option into a concrete
+// hash-partition count for the partitioned and pipelined joins.
+func resolvePartitions(opts Options, workers int) int {
+	if opts.Partitions > 0 {
+		return opts.Partitions
+	}
+	return workers
+}
+
+// partRouter batches tuples toward one step's partition channels,
+// hashing each tuple once on the consuming step's key slots. The hash
+// travels with the batch, so the consumer indexes or probes without
+// re-encoding keys.
+type partRouter struct {
+	chans []chan *streamedBatch
+	slots []int
+	local []*streamedBatch
+	buf   []byte
+	// batches and count are per-owner totals, merged deterministically
+	// after the owning goroutine finishes.
+	batches int
+	count   int64
+}
+
+func newPartRouter(chans []chan *streamedBatch, slots []int) *partRouter {
+	return &partRouter{chans: chans, slots: slots, local: make([]*streamedBatch, len(chans))}
+}
+
+func (rt *partRouter) send(t tuple) {
+	rt.buf = appendSlotKey(rt.buf[:0], t, rt.slots)
+	rt.sendHashed(t, hashKey(rt.buf))
+}
+
+// sendHashed routes a tuple whose key hash is already known — the
+// aligned-chain fast path, where a stage forwards probe output under its
+// incoming hash (same key slots downstream, so the same partition) and
+// never re-encodes the key.
+func (rt *partRouter) sendHashed(t tuple, h uint64) {
+	p := int(h % uint64(len(rt.chans)))
+	lb := rt.local[p]
+	if lb == nil {
+		lb = getBatch()
+		rt.local[p] = lb
+	}
+	lb.tups = append(lb.tups, t)
+	lb.hashes = append(lb.hashes, h)
+	rt.count++
+	if len(lb.tups) >= pipeBatch {
+		rt.chans[p] <- lb
+		rt.local[p] = nil
+		rt.batches++
+	}
+}
+
+func (rt *partRouter) flush() {
+	for p, b := range rt.local {
+		if b != nil && len(b.tups) > 0 {
+			rt.chans[p] <- b
+			rt.local[p] = nil
+			rt.batches++
+		}
+	}
+}
+
+// stepFilterSets splits the query's filters by the step after which they
+// first apply (every variable bound), in join order — the pipelined
+// equivalent of applyTupleFilters' as-soon-as-bound rule, applied
+// per-tuple as rows stream between steps.
+func stepFilterSets(q Query, plan *execPlan) [][]Filter {
+	sets := make([][]Filter, len(plan.steps))
+	bound := make(map[string]bool)
+	taken := make([]bool, len(q.Filters))
+	for si := range plan.steps {
+		for _, v := range plan.steps[si].vars {
+			bound[v] = true
+		}
+		for fi, f := range q.Filters {
+			if !taken[fi] && bound[f.Var] {
+				taken[fi] = true
+				sets[si] = append(sets[si], f)
+			}
+		}
+	}
+	return sets
+}
+
+// passFilters applies one step's filter set to a single tuple.
+func passFilters(t tuple, fs []Filter, plan *execPlan) bool {
+	for _, f := range fs {
+		if !f.Accepts(t[plan.slotOf[f.Var]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// makePartChans builds one step's partition channels. The small buffer
+// absorbs producer/consumer jitter; stage workers always keep consuming
+// (select over both inputs), so bounded buffers cannot deadlock the
+// pipeline — they only apply backpressure upstream.
+func makePartChans(parts int) []chan *streamedBatch {
+	chs := make([]chan *streamedBatch, parts)
+	for p := range chs {
+		chs[p] = make(chan *streamedBatch, 4)
+	}
+	return chs
+}
+
+// executePipelined runs a keyed join chain as a cross-step streaming
+// pipeline. Callers guarantee: more than one worker, at least two steps,
+// and every step after the first has key slots (plan.chainKeyed).
+func (e *Engine) executePipelined(q Query, plan *execPlan, opts Options, res *Result) {
+	st := &res.Stats
+	width := len(plan.slotNames)
+	workers := resolveWorkers(opts)
+	parts := resolvePartitions(opts, workers)
+	n := len(plan.steps)
+	filters := stepFilterSets(q, plan)
+
+	// Wiring: stage si (1..n-1) builds from scanCh[si] and probes
+	// upCh[si]; both carry hashes on steps[si].keySlots. Stage si routes
+	// its output into upCh[si+1] hashed on steps[si].nextKeySlots.
+	upCh := make([][]chan *streamedBatch, n)
+	scanCh := make([][]chan *streamedBatch, n)
+	for si := 1; si < n; si++ {
+		upCh[si] = makePartChans(parts)
+		scanCh[si] = makePartChans(parts)
+	}
+
+	// cancel fires when some step's output is provably empty: the final
+	// result is empty regardless of the remaining scans, so dispatch
+	// stops and the stages drain.
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	cancelFn := func() { cancelOnce.Do(func() { close(cancel) }) }
+
+	// Per-(step, scan) private stats, merged in (step, source) order
+	// after the pipeline drains, so the work counters are deterministic
+	// under any scheduling (modulo cancellation, which is timing-
+	// dependent by nature and only ever skips work).
+	taskStats := make([][]Stats, n)
+	liveTasks := make([][]int, n)
+	total := 0
+	for si := range plan.steps {
+		stp := &plan.steps[si]
+		st.SourceScans += len(stp.scans)
+		taskStats[si] = make([]Stats, len(stp.scans))
+		for j, sc := range stp.scans {
+			if !sc.view.skip {
+				liveTasks[si] = append(liveTasks[si], j)
+			}
+		}
+		total += len(liveTasks[si])
+	}
+
+	// stepOut[si] counts the tuples step si emitted downstream (step 0:
+	// scan output after filters; stages: probe output after filters).
+	stepOut := make([]int64, n)
+	// stageBatches[si][p] counts the batches stage worker (si, p)
+	// streamed downstream; summed in index order afterwards.
+	stageBatches := make([][]int, n)
+	for si := 1; si < n; si++ {
+		stageBatches[si] = make([]int, parts)
+	}
+
+	// Scan worker pool, shared by every step's scans, dispatched in step
+	// order: step 0 feeds upCh[1] directly (hashed on step 1's keys);
+	// step si>=1 feeds its own build side scanCh[si].
+	scanWg := make([]sync.WaitGroup, n)
+	for si := range plan.steps {
+		scanWg[si].Add(len(liveTasks[si]))
+	}
+	runScan := func(si, j int) {
+		defer scanWg[si].Done()
+		stp := &plan.steps[si]
+		sc := stp.scans[j]
+		ts := &taskStats[si][j]
+		arena := &tupleArena{width: width}
+		var rt *partRouter
+		if si == 0 {
+			rt = newPartRouter(upCh[1], stp.nextKeySlots)
+		} else {
+			rt = newPartRouter(scanCh[si], stp.keySlots)
+		}
+		sink := func(t tuple) {
+			if si == 0 && !passFilters(t, filters[0], plan) {
+				return
+			}
+			rt.send(t)
+		}
+		e.scanMatch(sc.name, sc.src, stp.triple, sc.view, ts, true, tupleEmit(stp, arena, sink))
+		rt.flush()
+		ts.StreamedBatches += rt.batches
+		if si == 0 {
+			atomic.AddInt64(&stepOut[0], rt.count)
+		}
+	}
+
+	poolSize := workers
+	if poolSize > total {
+		poolSize = total
+	}
+	if poolSize > st.Workers {
+		st.Workers = poolSize
+	}
+	type scanJob struct{ si, j int }
+	jobs := make(chan scanJob)
+	var poolWg sync.WaitGroup
+	for w := 0; w < poolSize; w++ {
+		poolWg.Add(1)
+		go func() {
+			defer poolWg.Done()
+			for jb := range jobs {
+				runScan(jb.si, jb.j)
+			}
+		}()
+	}
+	dispatcherDone := make(chan struct{})
+	var dispatched, cancelled int
+	go func() {
+		defer close(dispatcherDone)
+		defer close(jobs)
+		for si := 0; si < n; si++ {
+			for _, j := range liveTasks[si] {
+				select {
+				case jobs <- scanJob{si, j}:
+					dispatched++
+				case <-cancel:
+					// Provably-empty output upstream: skip this and
+					// every remaining scan, releasing the per-step
+					// completion counts so the stages drain.
+					cancelled++
+					scanWg[si].Done()
+				}
+			}
+		}
+	}()
+
+	// Per-step closers: a step's scan side closes when its scans finish
+	// (or are skipped). Step 0's "scan side" is stage 1's probe side.
+	go func() {
+		scanWg[0].Wait()
+		for _, ch := range upCh[1] {
+			close(ch)
+		}
+		if atomic.LoadInt64(&stepOut[0]) == 0 {
+			cancelFn()
+		}
+	}()
+	for si := 1; si < n; si++ {
+		go func(si int) {
+			scanWg[si].Wait()
+			for _, ch := range scanCh[si] {
+				close(ch)
+			}
+		}(si)
+	}
+
+	// Join stages: one partition worker per (step, partition). Each
+	// builds from its scan-side channel while *always* staying ready to
+	// buffer early probe-side batches — the select keeps every producer
+	// unblocked, so the shared scan pool can never wedge behind a stage.
+	outs := make([][]tuple, parts) // last stage's per-partition output
+	stageWg := make([]sync.WaitGroup, n)
+	for si := 1; si < n; si++ {
+		stageWg[si].Add(parts)
+		for p := 0; p < parts; p++ {
+			go func(si, p int) {
+				defer stageWg[si].Done()
+				stp := &plan.steps[si]
+				build := make(map[uint64][]tuple)
+				var pending []*streamedBatch
+				sc, up := scanCh[si][p], upCh[si][p]
+				for sc != nil {
+					select {
+					case b, ok := <-sc:
+						if !ok {
+							sc = nil
+							continue
+						}
+						for i, r := range b.tups {
+							build[b.hashes[i]] = append(build[b.hashes[i]], r)
+						}
+						putBatch(b)
+					case b, ok := <-up:
+						if !ok {
+							up = nil
+							continue
+						}
+						pending = append(pending, b)
+					}
+				}
+				// Build side complete: probe the buffered batches, then
+				// whatever is still streaming in from upstream.
+				arena := &tupleArena{width: width}
+				var rt *partRouter
+				if si+1 < n {
+					rt = newPartRouter(upCh[si+1], stp.nextKeySlots)
+				}
+				var out []tuple
+				var emitted int64
+				emit := func(m tuple, h uint64) {
+					if !passFilters(m, filters[si], plan) {
+						return
+					}
+					emitted++
+					switch {
+					case rt == nil:
+						out = append(out, m)
+					case stp.alignedNext:
+						// Same key slots downstream: the merged tuple
+						// keeps the probe tuple's key values, so its
+						// downstream hash is the incoming hash.
+						rt.sendHashed(m, h)
+					default:
+						rt.send(m)
+					}
+				}
+				probe := func(b *streamedBatch) {
+					if len(build) == 0 {
+						return // drain only; nothing can join
+					}
+					for i, l := range b.tups {
+						h := b.hashes[i]
+						// A probe tuple is exclusively owned by this
+						// batch and dead once probed, so its first match
+						// merges in place (overlay the new slots on l);
+						// only additional matches pay an arena copy.
+						var first tuple
+						for _, r := range build[h] {
+							if !keySlotsEqual(l, r, stp.keySlots) {
+								continue
+							}
+							if first == nil {
+								first = r
+								continue
+							}
+							emit(mergeTuple(arena, l, r, stp.newSlots), h)
+						}
+						if first != nil {
+							for _, s := range stp.newSlots {
+								l[s] = first[s]
+							}
+							emit(l, h)
+						}
+					}
+				}
+				for _, b := range pending {
+					probe(b)
+					putBatch(b)
+				}
+				pending = nil
+				if up != nil {
+					for b := range up {
+						probe(b)
+						putBatch(b)
+					}
+				}
+				if rt != nil {
+					rt.flush()
+					stageBatches[si][p] = rt.batches
+				} else {
+					outs[p] = out
+				}
+				atomic.AddInt64(&stepOut[si], emitted)
+			}(si, p)
+		}
+	}
+	// Per-stage closers: when stage si finishes, its downstream probe
+	// side closes; an empty stage output cancels remaining scan work.
+	for si := 1; si < n; si++ {
+		go func(si int) {
+			stageWg[si].Wait()
+			if si+1 < n {
+				for _, ch := range upCh[si+1] {
+					close(ch)
+				}
+			}
+			if atomic.LoadInt64(&stepOut[si]) == 0 {
+				cancelFn()
+			}
+		}(si)
+	}
+
+	stageWg[n-1].Wait()
+	poolWg.Wait()
+	<-dispatcherDone
+
+	// Deterministic stat merge: task stats in (step, source) order, then
+	// the stage batch counters in (step, partition) order.
+	for si := range plan.steps {
+		for j := range taskStats[si] {
+			st.accrue(taskStats[si][j])
+		}
+	}
+	for si := 1; si < n; si++ {
+		for p := 0; p < parts; p++ {
+			st.StreamedBatches += stageBatches[si][p]
+		}
+	}
+	st.ParallelScans += dispatched
+	st.ScansCancelled += cancelled
+	st.PipelinedSteps = n - 1
+	if st.JoinPartitions < parts {
+		st.JoinPartitions = parts
+	}
+	st.StepPartitions = make([]int, n)
+	for si := 1; si < n; si++ {
+		st.StepPartitions[si] = parts
+	}
+
+	// Hand the per-partition outputs to the projection as-is: the final
+	// frontier is never concatenated either.
+	for _, o := range outs {
+		st.JoinedRows += len(o)
+	}
+	projectTuples(res, outs, q, plan)
+}

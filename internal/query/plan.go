@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -15,6 +16,12 @@ type Options struct {
 	// every scan inline (no goroutines). The pool is per execution, so
 	// concurrent Execute calls do not share or contend for workers.
 	Workers int
+	// Partitions sets the hash-partition count of the partitioned and
+	// pipelined joins, decoupled from the scan worker count. 0 means
+	// "same as the resolved worker pool size"; values above the worker
+	// count trade goroutines for better load balance under key skew.
+	// Ignored when the pool has a single worker (joins run inline).
+	Partitions int
 	// Sequential forces the reference execution path: textual join
 	// order, unindexed full scans, no plan cache, no parallelism. It
 	// exists for determinism tests and benchmarks; results are always
@@ -27,6 +34,12 @@ type Options struct {
 	// check in the determinism suite; results are always byte-identical
 	// to the slot-based executor.
 	CompatJoins bool
+	// StepBarriers disables cross-step streaming on the tuple executor:
+	// each join step fully materialises its output before the next
+	// step's scans dispatch (the PR 2 executor). Retained as the E13
+	// benchmark baseline and as a differential leg in the determinism
+	// suite; results are always byte-identical to the pipelined path.
+	StepBarriers bool
 }
 
 // sourceScan is one (triple, source) unit of work in a compiled plan.
@@ -52,6 +65,17 @@ type planStep struct {
 	firstPos [3]bool // position is the first occurrence of its slot in this triple
 	keySlots []int   // slots shared with earlier steps (the hash-join key), ascending
 	newSlots []int   // slots first bound by this step, ascending
+
+	// nextKeySlots is the following step's keySlots (nil on the last
+	// step): the cross-step pipeline re-hashes this step's probe output
+	// on them at production time and streams it straight into the next
+	// step's partition channels, so downstream never re-encodes keys.
+	nextKeySlots []int
+	// alignedNext reports nextKeySlots == keySlots (a chain joining on
+	// the same variables throughout). The pipeline then forwards probe
+	// output under its incoming key hash — partitions align across the
+	// steps and no key is ever re-encoded between them.
+	alignedNext bool
 }
 
 // execPlan is a compiled query: per-source constant expansions hoisted
@@ -71,6 +95,11 @@ type execPlan struct {
 	// the cache key.
 	slotOf    map[string]int
 	slotNames []string
+
+	// chainKeyed reports that every step after the first hash-joins on a
+	// non-empty key — the shape the cross-step pipeline executes; a
+	// disconnected cross-product step forces the per-step path.
+	chainKeyed bool
 }
 
 // maxCachedPlans bounds the per-engine plan cache; at the cap the cache
@@ -261,7 +290,26 @@ func (e *Engine) compile(q Query) *execPlan {
 			boundSlot[sl] = true
 		}
 	}
+	p.chainKeyed = true
+	for i := range p.steps {
+		if i > 0 && len(p.steps[i].keySlots) == 0 {
+			p.chainKeyed = false
+		}
+		if i+1 < len(p.steps) {
+			p.steps[i].nextKeySlots = p.steps[i+1].keySlots
+			p.steps[i].alignedNext = i > 0 && slices.Equal(p.steps[i].keySlots, p.steps[i].nextKeySlots)
+		}
+	}
 	return p
+}
+
+// pipelines reports whether the given options execute this plan as the
+// cross-step streaming pipeline — the one dispatch predicate shared by
+// executeTuples and Explain, so the explanation can never drift from
+// what the engine actually runs.
+func (p *execPlan) pipelines(opts Options, workers int) bool {
+	return workers > 1 && !opts.Sequential && !opts.CompatJoins && !opts.StepBarriers &&
+		p.chainKeyed && len(p.steps) > 1
 }
 
 // estimateScan predicts how many rows the scan will produce, using the

@@ -1,0 +1,98 @@
+package query
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+
+	"repro/internal/kb"
+)
+
+// This file is the one value-key encoding every execution path keys rows
+// and joins on. The seed keyed projection dedup, row sorting and the
+// sequential join on Format() strings joined with raw '\x00' — an
+// encoding that is kind-blind (Term("3000") and Number(3000) format
+// identically) and framing-ambiguous (a payload containing '\x00' shifts
+// bytes across field boundaries), so adversarial values could collapse
+// distinct SELECT rows or falsely join. appendValueKey replaces all of
+// those call sites with a single collision-free encoding.
+
+// appendValueKey appends a collision-free, order-preserving encoding of v
+// to buf:
+//
+//   - a kind tag byte first, so values of different kinds never compare
+//     equal (Term("3000") vs Number(3000) vs String("3000")), and rows
+//     sort kind-major within a column;
+//   - numbers as the 8-byte big-endian IEEE image with the sign-flip
+//     transform, so byte order equals numeric order (-0 sorts before +0,
+//     and they stay distinct — Format renders them "-0" and "0"). NaN
+//     payloads are canonicalised so every NaN encodes alike: the
+//     reference semantics key on Format(), where all NaNs render "NaN"
+//     and therefore compare equal;
+//   - terms and strings as the payload with '\x00' escaped as
+//     "\x00\xff" followed by a '\x00' terminator. The escape keeps
+//     NUL-bearing payloads from shifting bytes across field boundaries,
+//     and the terminator (never followed by 0xff; kind tags are 0..2)
+//     keeps concatenated fields prefix-free while preserving plain
+//     lexicographic order for NUL-free payloads.
+//
+// The encoding is injective up to NaN payloads, so it is simultaneously
+// the join-key, dedup-key and sort-key encoding: two values encode
+// equally iff they are equal under the engine's value semantics.
+func appendValueKey(buf []byte, v kb.Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	if v.Kind == kb.KindNumber {
+		bits := math.Float64bits(v.Num)
+		if math.IsNaN(v.Num) {
+			bits = 0x7FF8000000000000
+		}
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], bits)
+		return append(buf, n[:]...)
+	}
+	s := v.Str
+	for {
+		i := strings.IndexByte(s, 0)
+		if i < 0 {
+			break
+		}
+		buf = append(buf, s[:i]...)
+		buf = append(buf, 0x00, 0xff)
+		s = s[i+1:]
+	}
+	buf = append(buf, s...)
+	return append(buf, 0x00)
+}
+
+// appendRowKey appends the row's dedup/sort key: appendValueKey over
+// every cell. project, projectTuples and the final row sort all key on
+// it, so the deterministic output order is shared by every execution
+// path and is safe under adversarial values.
+func appendRowKey(buf []byte, vals []kb.Value) []byte {
+	for _, v := range vals {
+		buf = appendValueKey(buf, v)
+	}
+	return buf
+}
+
+// sameCell reports whether two cells are equal under the engine's value
+// semantics — the equality appendValueKey encodes: kind-strict, string
+// payloads byte-equal, numbers by IEEE bit image with every NaN in one
+// class. (kb.Value.Equal alone would call +0 and -0 equal and every NaN
+// unequal to itself, diverging from the row keys the executors dedup
+// and sort on.)
+func sameCell(a, b kb.Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == kb.KindNumber {
+		return math.Float64bits(a.Num) == math.Float64bits(b.Num) ||
+			(math.IsNaN(a.Num) && math.IsNaN(b.Num))
+	}
+	return a.Str == b.Str
+}

@@ -27,9 +27,12 @@
 //	out, _ := sys.Query("transport", "SELECT ?x WHERE ?x InstanceOf Vehicle")
 //
 // Queries compile into cached plans, reorder their joins by estimated
-// selectivity, and fan per-source scans out to a bounded worker pool.
-// QueryOptions tunes the pool (or forces the sequential reference path);
-// results are byte-identical either way:
+// selectivity, and fan per-source scans out to a bounded worker pool;
+// with more than one worker, join chains execute as a cross-step
+// streaming pipeline (each step's probe output streams straight into the
+// next step's hash partitions while later sources are still scanning).
+// QueryOptions tunes the pool and partitioning (or forces the sequential
+// reference path); results are identical either way:
 //
 //	out, _ = sys.QueryWith("transport",
 //	    "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p",
@@ -306,15 +309,20 @@ type (
 	// QuerySource pairs an ontology with its knowledge base.
 	QuerySource = query.Source
 	// QueryOptions tune execution: Workers bounds the scan worker pool
-	// (0 = GOMAXPROCS, 1 = inline) — keyed joins hash-partition across
-	// it and scan output streams into them; Sequential forces the
-	// reference path (textual join order, unindexed scans, no plan
-	// cache); CompatJoins keeps the compiled plan but runs the retained
-	// binding-map join representation (benchmark baseline).
+	// (0 = GOMAXPROCS, 1 = inline); with more than one worker a keyed
+	// join chain runs as a cross-step streaming pipeline whose
+	// hash-partition count Partitions decouples from the pool size
+	// (0 = same as workers). StepBarriers keeps the per-step executor
+	// (each join step materialises its output before the next step's
+	// scans dispatch); Sequential forces the reference path (textual
+	// join order, unindexed scans, no plan cache); CompatJoins keeps the
+	// compiled plan but runs the retained binding-map join
+	// representation (benchmark baseline).
 	QueryOptions = query.Options
 	// QueryStats counts the work one execution performed, including the
 	// plan/parallelism counters of the planned path (scan workers, join
-	// partitions, streamed scan→join batches).
+	// partitions per step, streamed batches, pipelined steps, cancelled
+	// scans).
 	QueryStats = query.Stats
 )
 
