@@ -1,0 +1,167 @@
+// Oniond is the ONION query daemon: the serving layer (internal/serve)
+// exposed over HTTP/JSON, so many applications can share one articulated
+// system — the paper's positioning of articulation as infrastructure
+// rather than a per-program library (EDBT 2000, §2).
+//
+//	oniond -fig2                        # serve the Fig. 2 world on :8080
+//	oniond -fig2 -addr :9000 -workers 8 -cache 4096 -timeout 2s
+//	oniond -smoke http://127.0.0.1:8080 # diff a live daemon against the library
+//
+// Endpoints (JSON in, JSON out):
+//
+//	POST /query      {"articulation","query","timeout_ms"?}    → vars, rows, outcome (hit|coalesced|miss), stats
+//	POST /mutate     {"source","facts":[{subject,predicate,object:{kind,value}}]} → {"added"}
+//	POST /articulate {"name","left","right","rules","lenient"?} → {"name","terms","bridges","skipped"?}
+//	GET  /stats                                                 → uptime, registry, epoch keys, serve counters
+//
+// Results are served through the epoch-keyed coalescing cache: identical
+// queries at an unchanged epoch vector are cache hits, mutations through
+// /mutate bump the touched source's epoch and the affected entries stop
+// matching on their own.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	fig2 := flag.Bool("fig2", false, "preload the paper's Fig. 2 transport world (carrier/factory/transport)")
+	workers := flag.Int("workers", 0, "scan worker pool per query (0 = GOMAXPROCS)")
+	partitions := flag.Int("partitions", 0, "join hash partitions (0 = workers)")
+	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default, negative disables)")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline (0 disables)")
+	smoke := flag.String("smoke", "", "smoke-test mode: POST the Fig. 2 query to this base URL, diff against the library result, and exit")
+	flag.Parse()
+
+	if *smoke != "" {
+		if err := runSmoke(*smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "oniond smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("oniond smoke: daemon result identical to library result")
+		return
+	}
+
+	sys := core.NewSystem()
+	if *fig2 {
+		if err := loadFig2(sys); err != nil {
+			log.Fatalf("oniond: loading Fig. 2 world: %v", err)
+		}
+	}
+	svc := serve.New(sys, serve.Options{
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		Exec:           query.Options{Workers: *workers, Partitions: *partitions},
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(svc).routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("oniond: listening on %s (fig2=%v, cache=%d, timeout=%s)", *addr, *fig2, *cacheEntries, *timeout)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// loadFig2 registers the running example: carrier and factory with their
+// KBs, articulated into transport with the paper's conversion functions.
+func loadFig2(sys *core.System) error {
+	if err := sys.Register(fixtures.Carrier()); err != nil {
+		return err
+	}
+	if err := sys.Register(fixtures.Factory()); err != nil {
+		return err
+	}
+	if err := sys.RegisterKB(fixtures.CarrierKB()); err != nil {
+		return err
+	}
+	if err := sys.RegisterKB(fixtures.FactoryKB()); err != nil {
+		return err
+	}
+	_, err := sys.Articulate(fixtures.ArtName, "carrier", "factory", fixtures.TransportRules(), fixtures.GenOptions())
+	return err
+}
+
+// smokeQuery is the Fig. 2 query the CI smoke step drives end to end.
+const smokeQuery = "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"
+
+// runSmoke drives a running daemon (started with -fig2) over HTTP and
+// diffs its /query answer against the same query executed in-process by
+// the library — the daemon must be a transparent serving shell. It
+// retries briefly so CI can start the daemon and the smoke in parallel.
+func runSmoke(baseURL string) error {
+	// Wait for the daemon to come up.
+	client := &http.Client{Timeout: 10 * time.Second}
+	var lastErr error
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); time.Sleep(200 * time.Millisecond) {
+		resp, err := client.Get(baseURL + "/stats")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		lastErr = nil
+		break
+	}
+	if lastErr != nil {
+		return fmt.Errorf("daemon never came up at %s: %w", baseURL, lastErr)
+	}
+
+	// The library-side expectation, computed in-process.
+	sys := core.NewSystem()
+	if err := loadFig2(sys); err != nil {
+		return err
+	}
+	want, err := sys.Query(fixtures.ArtName, smokeQuery)
+	if err != nil {
+		return err
+	}
+	wantRows := encodeRows(want.Rows)
+
+	// Ask the daemon twice: both answers must match the library, and the
+	// second must come from the result cache (a repeat against the same
+	// epoch vector is a hit whatever happened before).
+	for i := 0; i < 2; i++ {
+		body, _ := json.Marshal(queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery})
+		resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("query %d: HTTP %d: %s", i, resp.StatusCode, payload)
+		}
+		var got queryResponse
+		if err := json.Unmarshal(payload, &got); err != nil {
+			return fmt.Errorf("query %d: decoding response: %w", i, err)
+		}
+		if !reflect.DeepEqual(got.Vars, want.Vars) {
+			return fmt.Errorf("query %d: vars %v, library %v", i, got.Vars, want.Vars)
+		}
+		if !reflect.DeepEqual(got.Rows, wantRows) {
+			return fmt.Errorf("query %d: daemon rows diverge from library rows\n daemon: %v\n library: %v", i, got.Rows, wantRows)
+		}
+		if i == 1 && got.Outcome != "hit" {
+			return fmt.Errorf("repeat query outcome %q, want cache hit", got.Outcome)
+		}
+	}
+	return nil
+}

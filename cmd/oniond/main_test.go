@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/serve"
+)
+
+func fig2Server(t *testing.T) (*httptest.Server, *core.System) {
+	t.Helper()
+	sys := core.NewSystem()
+	if err := loadFig2(sys); err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(sys, serve.Options{})
+	ts := httptest.NewServer(newServer(svc).routes())
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+func post(t *testing.T, url string, body any, into any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestQueryEndpointMatchesLibrary is the smoke contract as a unit test:
+// the daemon's /query rows must be the library's rows, and a repeat is a
+// cache hit.
+func TestQueryEndpointMatchesLibrary(t *testing.T) {
+	ts, sys := fig2Server(t)
+	want, err := sys.Query(fixtures.ArtName, smokeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got queryResponse
+	if code := post(t, ts.URL+"/query", queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}, &got); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if !reflect.DeepEqual(got.Vars, want.Vars) || !reflect.DeepEqual(got.Rows, encodeRows(want.Rows)) {
+		t.Fatalf("daemon rows diverge from library:\n%+v\nvs\n%+v", got.Rows, encodeRows(want.Rows))
+	}
+	if got.Outcome != "miss" {
+		t.Fatalf("first query outcome = %q", got.Outcome)
+	}
+	var again queryResponse
+	post(t, ts.URL+"/query", queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}, &again)
+	if again.Outcome != "hit" || !reflect.DeepEqual(again.Rows, got.Rows) {
+		t.Fatalf("repeat outcome = %q (rows equal: %v)", again.Outcome, reflect.DeepEqual(again.Rows, got.Rows))
+	}
+
+	// Errors surface as HTTP 400 with a JSON error body.
+	var e errorResponse
+	if code := post(t, ts.URL+"/query", queryRequest{Articulation: "nope", Query: smokeQuery}, &e); code != http.StatusBadRequest || e.Error == "" {
+		t.Fatalf("unknown articulation: HTTP %d, %+v", code, e)
+	}
+	if code := post(t, ts.URL+"/query", queryRequest{Articulation: fixtures.ArtName, Query: "SELECT"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad query: HTTP %d", code)
+	}
+}
+
+// TestMutateThenQuery drives the consistency loop over HTTP: mutate a
+// source, and the next query must reflect the new fact (the epoch-keyed
+// cache must not serve the pre-mutation answer).
+func TestMutateThenQuery(t *testing.T) {
+	ts, _ := fig2Server(t)
+	q := queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}
+
+	var before queryResponse
+	post(t, ts.URL+"/query", q, &before)
+
+	var mut mutateResponse
+	code := post(t, ts.URL+"/mutate", mutateRequest{Source: "carrier", Facts: []factJSON{
+		{Subject: "NewCar", Predicate: "InstanceOf", Object: valueJSON{Kind: "term", Value: json.RawMessage(`"PassengerCar"`)}},
+		{Subject: "NewCar", Predicate: "Price", Object: valueJSON{Kind: "number", Value: json.RawMessage(`2500`)}},
+	}}, &mut)
+	if code != http.StatusOK || mut.Added != 2 {
+		t.Fatalf("mutate: HTTP %d, %+v", code, mut)
+	}
+
+	var after queryResponse
+	post(t, ts.URL+"/query", q, &after)
+	if after.Outcome != "miss" {
+		t.Fatalf("post-mutation outcome = %q, want miss", after.Outcome)
+	}
+	if len(after.Rows) != len(before.Rows)+1 {
+		t.Fatalf("rows = %d, want %d", len(after.Rows), len(before.Rows)+1)
+	}
+
+	// Unknown source and malformed values are 400s.
+	var e errorResponse
+	if code := post(t, ts.URL+"/mutate", mutateRequest{Source: "nope"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown source: HTTP %d", code)
+	}
+	if code := post(t, ts.URL+"/mutate", mutateRequest{Source: "carrier", Facts: []factJSON{
+		{Subject: "X", Predicate: "P", Object: valueJSON{Kind: "wat", Value: json.RawMessage(`1`)}},
+	}}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad value kind: HTTP %d", code)
+	}
+}
+
+// TestArticulateEndpoint generates a second articulation over the
+// running daemon and queries through it.
+func TestArticulateEndpoint(t *testing.T) {
+	ts, _ := fig2Server(t)
+	var resp articulateResponse
+	code := post(t, ts.URL+"/articulate", articulateRequest{
+		Name:  "transport2",
+		Left:  "carrier",
+		Right: "factory",
+		Rules: "carrier.Cars => factory.Vehicle",
+	}, &resp)
+	if code != http.StatusOK || resp.Bridges == 0 || resp.Terms == 0 {
+		t.Fatalf("articulate: HTTP %d, %+v", code, resp)
+	}
+	var got queryResponse
+	if code := post(t, ts.URL+"/query", queryRequest{
+		Articulation: "transport2",
+		Query:        "SELECT ?x WHERE ?x InstanceOf Vehicle",
+	}, &got); code != http.StatusOK || len(got.Rows) == 0 {
+		t.Fatalf("query over new articulation: HTTP %d, rows %d", code, len(got.Rows))
+	}
+	// Duplicate name collides.
+	var e errorResponse
+	if code := post(t, ts.URL+"/articulate", articulateRequest{
+		Name: "transport2", Left: "carrier", Right: "factory", Rules: "carrier.Cars => factory.Vehicle",
+	}, &e); code != http.StatusBadRequest {
+		t.Fatalf("duplicate articulation: HTTP %d", code)
+	}
+}
+
+// TestStatsEndpoint checks the counters and registry listing move with
+// traffic.
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := fig2Server(t)
+	q := queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}
+	post(t, ts.URL+"/query", q, nil)
+	post(t, ts.URL+"/query", q, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Serve.CacheHits != 1 || st.Serve.CacheMisses != 1 {
+		t.Fatalf("serve counters = %+v", st.Serve)
+	}
+	if len(st.Ontologies) != 3 || len(st.Articulations) != 1 {
+		t.Fatalf("registry listing = %+v", st)
+	}
+	if st.Epochs[fixtures.ArtName] == "" {
+		t.Fatalf("missing epoch key for %s: %+v", fixtures.ArtName, st.Epochs)
+	}
+}
+
+// TestValueCodecRoundTrip pins the wire encoding of every value kind.
+func TestValueCodecRoundTrip(t *testing.T) {
+	for _, v := range []struct {
+		kind  string
+		value string
+	}{
+		{"term", `"carrier.MyCar"`},
+		{"string", `"Alice\u0000x"`}, // embedded NUL survives the wire
+		{"number", `3000.5`},
+	} {
+		dec, err := decodeValue(valueJSON{Kind: v.kind, Value: json.RawMessage(v.value)})
+		if err != nil {
+			t.Fatalf("%s: %v", v.kind, err)
+		}
+		enc := encodeValue(dec)
+		if enc.Kind != v.kind {
+			t.Fatalf("round-trip kind %q -> %q", v.kind, enc.Kind)
+		}
+		dec2, err := decodeValue(enc)
+		if err != nil || !dec.Equal(dec2) {
+			t.Fatalf("%s: round-trip mismatch (%v)", v.kind, err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/articulation"
+	"repro/internal/kb"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/serve"
+)
+
+// valueJSON is the wire form of a kb.Value: a kind tag plus a value
+// whose JSON type matches the kind ("term"/"string" carry a string,
+// "number" a float).
+type valueJSON struct {
+	Kind  string          `json:"kind"`
+	Value json.RawMessage `json:"value"`
+}
+
+func encodeValue(v kb.Value) valueJSON {
+	switch v.Kind {
+	case kb.KindNumber:
+		raw, _ := json.Marshal(v.Num)
+		return valueJSON{Kind: "number", Value: raw}
+	case kb.KindString:
+		raw, _ := json.Marshal(v.Str)
+		return valueJSON{Kind: "string", Value: raw}
+	default:
+		raw, _ := json.Marshal(v.Str)
+		return valueJSON{Kind: "term", Value: raw}
+	}
+}
+
+func decodeValue(v valueJSON) (kb.Value, error) {
+	switch v.Kind {
+	case "number":
+		var n float64
+		if err := json.Unmarshal(v.Value, &n); err != nil {
+			return kb.Value{}, fmt.Errorf("number value: %w", err)
+		}
+		return kb.Number(n), nil
+	case "string", "term":
+		var s string
+		if err := json.Unmarshal(v.Value, &s); err != nil {
+			return kb.Value{}, fmt.Errorf("%s value: %w", v.Kind, err)
+		}
+		if v.Kind == "string" {
+			return kb.String(s), nil
+		}
+		return kb.Term(s), nil
+	default:
+		return kb.Value{}, fmt.Errorf("unknown value kind %q", v.Kind)
+	}
+}
+
+func encodeRows(rows [][]kb.Value) [][]valueJSON {
+	out := make([][]valueJSON, len(rows))
+	for i, row := range rows {
+		enc := make([]valueJSON, len(row))
+		for j, v := range row {
+			enc[j] = encodeValue(v)
+		}
+		out[i] = enc
+	}
+	return out
+}
+
+type queryRequest struct {
+	Articulation string `json:"articulation"`
+	Query        string `json:"query"`
+	// TimeoutMS bounds this request; 0 falls back to the service default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type queryResponse struct {
+	Vars    []string      `json:"vars"`
+	Rows    [][]valueJSON `json:"rows"`
+	Outcome string        `json:"outcome"`
+	Stats   query.Stats   `json:"stats"`
+}
+
+type factJSON struct {
+	Subject   string    `json:"subject"`
+	Predicate string    `json:"predicate"`
+	Object    valueJSON `json:"object"`
+}
+
+type mutateRequest struct {
+	Source string     `json:"source"`
+	Facts  []factJSON `json:"facts"`
+}
+
+type mutateResponse struct {
+	Added int `json:"added"`
+}
+
+type articulateRequest struct {
+	Name    string `json:"name"`
+	Left    string `json:"left"`
+	Right   string `json:"right"`
+	Rules   string `json:"rules"`
+	Lenient bool   `json:"lenient,omitempty"`
+}
+
+type articulateResponse struct {
+	Name    string   `json:"name"`
+	Terms   int      `json:"terms"`
+	Bridges int      `json:"bridges"`
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+type statsResponse struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Ontologies    []string          `json:"ontologies"`
+	Articulations []string          `json:"articulations"`
+	Epochs        map[string]string `json:"epochs"` // articulation → hex epoch key
+	Serve         serve.Stats       `json:"serve"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// server routes the daemon's endpoints over one serve.Service.
+type server struct {
+	svc     *serve.Service
+	started time.Time
+}
+
+func newServer(svc *serve.Service) *server {
+	return &server{svc: svc, started: time.Now()}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /mutate", s.handleMutate)
+	mux.HandleFunc("POST /articulate", s.handleArticulate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, outcome, err := s.svc.QueryOutcome(ctx, req.Articulation, req.Query)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Vars:    res.Vars,
+		Rows:    encodeRows(res.Rows),
+		Outcome: outcome.String(),
+		Stats:   res.Stats,
+	})
+}
+
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	facts := make([]kb.Fact, len(req.Facts))
+	for i, f := range req.Facts {
+		obj, err := decodeValue(f.Object)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("fact %d: %w", i, err))
+			return
+		}
+		facts[i] = kb.Fact{Subject: f.Subject, Predicate: f.Predicate, Object: obj}
+	}
+	added, err := s.svc.AddFacts(req.Source, facts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{Added: added})
+}
+
+func (s *server) handleArticulate(w http.ResponseWriter, r *http.Request) {
+	var req articulateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	set, err := rules.ParseSetString(req.Rules)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.svc.System().Articulate(req.Name, req.Left, req.Right, set,
+		articulation.Options{Lenient: req.Lenient})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := articulateResponse{
+		Name:    req.Name,
+		Terms:   res.Art.Ont.NumTerms(),
+		Bridges: len(res.Art.Bridges),
+	}
+	for _, sk := range res.Skipped {
+		resp.Skipped = append(resp.Skipped, fmt.Sprintf("%s: %s", sk.Rule, sk.Reason))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sys := s.svc.System()
+	arts := sys.Articulations()
+	epochs := make(map[string]string, len(arts))
+	for _, a := range arts {
+		if key, err := sys.QueryEpochKey(a); err == nil {
+			epochs[a] = fmt.Sprintf("%x", key)
+		}
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Ontologies:    sys.Ontologies(),
+		Articulations: arts,
+		Epochs:        epochs,
+		Serve:         s.svc.Stats(),
+	})
+}

@@ -87,10 +87,11 @@ func All() []*Table {
 		E11ParallelQuery(nil),
 		E12JoinHeavy(nil),
 		E13PipelineDepth(nil),
+		E14ServingThroughput(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E13"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E14"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -120,6 +121,8 @@ func ByID(id string) (*Table, bool) {
 		return E12JoinHeavy(nil), true
 	case "E13":
 		return E13PipelineDepth(nil), true
+	case "E14":
+		return E14ServingThroughput(nil), true
 	default:
 		return nil, false
 	}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/articulation"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/serve"
+)
+
+// Parameters of the E14 serving world: a registered federation behind
+// the serving layer, queried by a fixed client fleet over a rotating
+// working set of distinct queries.
+const (
+	serveSources   = 8
+	serveInstances = 400
+	serveClients   = 8
+	serveQuerySet  = 16
+	// Per-client query counts per leg: the uncached leg executes every
+	// query, so it gets a smaller fixed workload; throughput (qps)
+	// normalises the comparison.
+	serveUncachedPerClient = 24
+	serveHotPerClient      = 400
+	serveChurnRounds       = 24
+)
+
+// buildServeWorld registers a serveSources-wide federation in a
+// core.System (each source carrying Item instances with Price/Qty
+// facts), articulates the first two sources, and returns the system, the
+// articulation name and the query working set (distinct FILTER
+// thresholds, so each query is its own cache entry).
+func buildServeWorld() (*core.System, string, []string) {
+	sys := core.NewSystem()
+	for i := 1; i <= serveSources; i++ {
+		name := fmt.Sprintf("sv%d", i)
+		o := ontology.New(name)
+		o.MustAddTerm("Item")
+		for _, p := range []string{"Price", "Qty"} {
+			o.MustAddTerm(p)
+			o.MustRelate("Item", ontology.AttributeOf, p)
+		}
+		if err := sys.Register(o); err != nil {
+			panic(err)
+		}
+		store := kb.New(name)
+		rng := newRand(int64(14000 + i))
+		for k := 0; k < serveInstances; k++ {
+			inst := fmt.Sprintf("%sI%d", name, k)
+			store.MustAdd(inst, "InstanceOf", kb.Term("Item"))
+			store.MustAdd(inst, "Price", kb.Number(float64(rng.Intn(1600))))
+			store.MustAdd(inst, "Qty", kb.Number(float64(rng.Intn(50))))
+		}
+		if err := sys.RegisterKB(store); err != nil {
+			panic(err)
+		}
+	}
+	set := rules.NewSet(rules.MustParse("sv1.Item => sv2.Item"))
+	if _, err := sys.Articulate("servart", "sv1", "sv2", set, articulation.Options{Lenient: true}); err != nil {
+		panic(err)
+	}
+	queries := make([]string, serveQuerySet)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(
+			"SELECT ?x ?p WHERE ?x InstanceOf Item . ?x Price ?p . FILTER ?p > %d", i*100)
+	}
+	return sys, "servart", queries
+}
+
+// runServeWorkload drives clients concurrent goroutines, each issuing
+// perClient queries rotating through the working set from a per-client
+// offset, and returns the wall-clock duration.
+func runServeWorkload(svc *serve.Service, art string, queries []string, clients, perClient int) time.Duration {
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := svc.Query(ctx, art, queries[(c+i)%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		panic(err)
+	}
+	return time.Since(start)
+}
+
+// qps renders queries-per-second for a workload.
+func qps(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// E14ServingThroughput measures the serving layer end to end at a fixed
+// concurrent-client fleet: (1) the uncached baseline — every query
+// executes on the engine; (2) a hot result cache — the same working set
+// served from epoch-keyed entries; (3) mutation churn — a source grows
+// between rounds, so every mutation shifts the epoch vector and forces
+// recomputation, while served rows must stay byte-identical to the
+// uncached engine (EqualRows, the determinism suite's comparator).
+func E14ServingThroughput(clientCounts []int) *Table {
+	if clientCounts == nil {
+		clientCounts = []int{serveClients}
+	}
+	t := &Table{
+		ID:    "E14",
+		Title: "serving layer — epoch-keyed result cache under concurrent clients",
+		Columns: []string{"leg", "clients", "queries", "ms", "qps", "speedup",
+			"hits", "misses", "coalesced", "identical"},
+		Notes: []string{
+			fmt.Sprintf("%d sources, %d instances/source, %d-query working set; all legs run the same single-worker engine options",
+				serveSources, serveInstances, serveQuerySet),
+			"uncached: CacheEntries=-1 (every query executes); hot: default cache, working set prewarmed; churn: one mutation per round, then the fleet re-runs the set and three answers are diffed against the uncached engine",
+			"speedup is hot/churn qps over uncached qps; identical checks kind-strict cell-equal rows (EqualRows) against the uncached engine",
+		},
+	}
+	exec := query.Options{Workers: 1}
+	for _, clients := range clientCounts {
+		sys, art, queries := buildServeWorld()
+
+		// Uncached baseline: the serving layer with the result cache off.
+		uncached := serve.New(sys, serve.Options{CacheEntries: -1, Exec: exec})
+		runServeWorkload(uncached, art, queries, clients, 2) // warm plans
+		nUn := clients * serveUncachedPerClient
+		dUn := runServeWorkload(uncached, art, queries, clients, serveUncachedPerClient)
+		stUn := uncached.Stats()
+		t.Rows = append(t.Rows, []string{
+			"uncached", fmt.Sprintf("%d", clients), fmt.Sprintf("%d", nUn),
+			ms(dUn), fmt.Sprintf("%.0f", qps(nUn, dUn)), "1.00x",
+			fmt.Sprintf("%d", stUn.CacheHits), fmt.Sprintf("%d", stUn.CacheMisses),
+			fmt.Sprintf("%d", stUn.Coalesced), okMark(true),
+		})
+
+		// Hot cache: prewarm the working set, then serve it.
+		hot := serve.New(sys, serve.Options{Exec: exec})
+		runServeWorkload(hot, art, queries, 1, len(queries))
+		nHot := clients * serveHotPerClient
+		dHot := runServeWorkload(hot, art, queries, clients, serveHotPerClient)
+		stHot := hot.Stats()
+		hotIdentical := true
+		for _, q := range queries[:3] {
+			served, err := hot.Query(context.Background(), art, q)
+			if err != nil {
+				panic(err)
+			}
+			direct, err := sys.QueryWith(art, q, exec)
+			if err != nil {
+				panic(err)
+			}
+			hotIdentical = hotIdentical && served.EqualRows(direct)
+		}
+		t.Rows = append(t.Rows, []string{
+			"hot cache", fmt.Sprintf("%d", clients), fmt.Sprintf("%d", nHot),
+			ms(dHot), fmt.Sprintf("%.0f", qps(nHot, dHot)),
+			fmt.Sprintf("%.2fx", qps(nHot, dHot)/qps(nUn, dUn)),
+			fmt.Sprintf("%d", stHot.CacheHits), fmt.Sprintf("%d", stHot.CacheMisses),
+			fmt.Sprintf("%d", stHot.Coalesced), okMark(hotIdentical),
+		})
+
+		// Mutation churn: every round grows sv1 (shifting the epoch
+		// vector, so all cached entries stop matching), the fleet re-runs
+		// the working set, and a sample of served answers is diffed
+		// against the uncached engine between rounds.
+		churn := serve.New(sys, serve.Options{Exec: exec})
+		identical := true
+		nChurn := 0
+		dChurn := time.Duration(0)
+		for round := 0; round < serveChurnRounds; round++ {
+			inst := fmt.Sprintf("churnI%d", round)
+			if _, err := churn.AddFacts("sv1", []kb.Fact{
+				{Subject: inst, Predicate: "InstanceOf", Object: kb.Term("Item")},
+				{Subject: inst, Predicate: "Price", Object: kb.Number(float64(50 + round*60))},
+			}); err != nil {
+				panic(err)
+			}
+			dChurn += runServeWorkload(churn, art, queries, clients, len(queries))
+			nChurn += clients * len(queries)
+			for _, qi := range []int{0, round % len(queries), len(queries) - 1} {
+				served, err := churn.Query(context.Background(), art, queries[qi])
+				if err != nil {
+					panic(err)
+				}
+				direct, err := sys.QueryWith(art, queries[qi], exec)
+				if err != nil {
+					panic(err)
+				}
+				identical = identical && served.EqualRows(direct)
+			}
+		}
+		stChurn := churn.Stats()
+		t.Rows = append(t.Rows, []string{
+			"mutation churn", fmt.Sprintf("%d", clients), fmt.Sprintf("%d", nChurn),
+			ms(dChurn), fmt.Sprintf("%.0f", qps(nChurn, dChurn)),
+			fmt.Sprintf("%.2fx", qps(nChurn, dChurn)/qps(nUn, dUn)),
+			fmt.Sprintf("%d", stChurn.CacheHits), fmt.Sprintf("%d", stChurn.CacheMisses),
+			fmt.Sprintf("%d", stChurn.Coalesced), okMark(identical),
+		})
+	}
+	return t
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE14ServingCacheEffective locks the E14 shape at a reduced client
+// count: every leg's rows are byte-identical to the uncached engine, the
+// hot cache actually serves hits, and hot throughput beats uncached. The
+// full ≥5x margin at 8 clients is reported by `onionbench -exp E14`; the
+// test asserts the direction to stay robust under CI timing noise.
+func TestE14ServingCacheEffective(t *testing.T) {
+	tab := E14ServingThroughput([]int{4})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E14 rows = %d, want 3 legs", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("E14 leg %q diverged from the uncached engine: %v", row[0], row)
+		}
+	}
+	hot := tab.Rows[1]
+	if hot[0] != "hot cache" {
+		t.Fatalf("unexpected leg order: %v", hot)
+	}
+	if hits := hot[6]; hits == "0" {
+		t.Errorf("hot leg served no cache hits: %v", hot)
+	}
+	sp := parseFloat(t, strings.TrimSuffix(hot[5], "x"))
+	if sp <= 1.0 {
+		t.Errorf("hot cache not faster than uncached: %v", hot)
+	}
+	churn := tab.Rows[2]
+	if churn[7] == "0" {
+		t.Errorf("churn leg never recomputed (epoch keying broken?): %v", churn)
+	}
+}

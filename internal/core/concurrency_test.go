@@ -131,8 +131,10 @@ func TestConcurrentMutationAndQuery(t *testing.T) {
 	}
 }
 
-// TestEngineCacheInvalidation checks that mutations drop cached query
-// engines: after Infer adds edges, a repeated query sees the new state.
+// TestEngineCacheInvalidation checks the two invalidation regimes: data
+// mutations (Infer, AddFacts) keep the cached engine — its epoch check
+// self-heals the stale plan/index state — while structural mutations
+// (re-registering a KB) still drop engines wholesale.
 func TestEngineCacheInvalidation(t *testing.T) {
 	s := paperSystem(t)
 	e1, err := s.QueryEngine(fixtures.ArtName)
@@ -153,7 +155,22 @@ func TestEngineCacheInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e3 == e1 {
-		t.Fatalf("engine cache not invalidated by Infer")
+	if e3 != e1 {
+		t.Fatalf("Infer dropped the cached engine; epochs should self-heal it instead")
+	}
+	if res, err := s.Query(fixtures.ArtName, "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"); err != nil || len(res.Rows) == 0 {
+		t.Fatalf("query through the healed engine failed: %v", err)
+	}
+	// Structural change: rewiring a KB swaps Source pointers, which the
+	// epochs cannot see — the engine must be rebuilt.
+	if err := s.RegisterKB(fixtures.CarrierKB()); err != nil {
+		t.Fatal(err)
+	}
+	e4, err := s.QueryEngine(fixtures.ArtName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4 == e1 {
+		t.Fatalf("engine cache not invalidated by RegisterKB")
 	}
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -34,9 +35,14 @@ import (
 // A System is safe for concurrent use: read operations (Query, Explain,
 // lookups, algebra) run concurrently, while mutating operations
 // (Register, RegisterKB, Load, Drop, Articulate, Regenerate, Infer,
-// SetLexicon) serialise against everything else and invalidate the
-// cached query engines. Callers must not mutate an *Ontology or *Store
-// obtained from the registry while other goroutines query the system.
+// AddFacts, SetLexicon) serialise against everything else. Structural
+// mutations (source set or wiring changes) invalidate the cached query
+// engines wholesale; data mutations (AddFacts, Infer) rely on per-source
+// epochs instead — engines validate their caches at query entry and
+// rebuild only the mutated sources' state. Callers must not mutate an
+// *Ontology or *Store obtained from the registry while other goroutines
+// query the system; mutate through the System (AddFacts, Infer, ...) or
+// quiesce queries first.
 type System struct {
 	mu         sync.RWMutex
 	ontologies map[string]*ontology.Ontology
@@ -116,8 +122,51 @@ func (s *System) RegisterKB(store *kb.Store) error {
 		return fmt.Errorf("core: knowledge base %q has no registered ontology", store.Name())
 	}
 	s.kbs[store.Name()] = store
+	// Attaching (or swapping) a store rewires cached engines' Source
+	// pointers — that is a structural change epochs cannot see.
 	s.invalidateEnginesLocked()
 	return nil
+}
+
+// AddFact inserts one instance fact into a registered source's knowledge
+// base, creating the store on first use. It is the serving layer's
+// mutation path: the write serialises against in-flight queries, the
+// store's epoch bump invalidates exactly the affected cached state
+// (engines validate epochs at query entry, and epoch-keyed result-cache
+// entries stop matching), and no engine is rebuilt unless the store was
+// newly attached.
+func (s *System) AddFact(source, subject, predicate string, object kb.Value) error {
+	_, err := s.AddFacts(source, []kb.Fact{{Subject: subject, Predicate: predicate, Object: object}})
+	return err
+}
+
+// AddFacts is AddFact over a batch, returning how many facts were
+// actually inserted (duplicates are ignored and do not bump the epoch).
+func (s *System) AddFacts(source string, facts []kb.Fact) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ontologies[source]; !ok {
+		return 0, fmt.Errorf("core: unknown ontology %q", source)
+	}
+	store, ok := s.kbs[source]
+	if !ok {
+		store = kb.New(source)
+		s.kbs[source] = store
+		// A newly attached store rewires cached engines (they captured a
+		// nil KB pointer at build time) — structural, not epoch-visible.
+		s.invalidateEnginesLocked()
+	}
+	added := 0
+	for _, f := range facts {
+		before := store.Epoch()
+		if err := store.Add(f.Subject, f.Predicate, f.Object); err != nil {
+			return added, err
+		}
+		if store.Epoch() != before {
+			added++
+		}
+	}
+	return added, nil
 }
 
 // Load reads an ontology from r in the given wrapper format and registers
@@ -372,17 +421,52 @@ func (s *System) Query(artName, text string) (*query.Result, error) {
 // registry read lock, so mutators (Infer, Regenerate, ...) wait for
 // in-flight queries instead of racing their scans.
 func (s *System) QueryWith(artName, text string, opts query.Options) (*query.Result, error) {
+	return s.QueryCtx(context.Background(), artName, text, opts)
+}
+
+// QueryCtx is QueryWith under a context: cancellation or deadline expiry
+// stops further scan dispatch and returns ctx.Err().
+func (s *System) QueryCtx(ctx context.Context, artName, text string, opts query.Options) (*query.Result, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
 	}
+	res, _, err := s.ExecuteVersioned(ctx, artName, q, opts)
+	return res, err
+}
+
+// QueryEpochKey returns the articulation engine's current epoch key —
+// the opaque per-source version vector the serving layer keys its result
+// cache on. Taken under the registry read lock, so every mutation that
+// completed before the call is reflected in the key.
+func (s *System) QueryEpochKey(artName string) (string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, err := s.engineLocked(artName)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
-	return e.ExecuteWith(q, opts)
+	return e.EpochKey(), nil
+}
+
+// ExecuteVersioned executes a parsed query under the registry read lock
+// and returns the epoch key the execution ran at. Mutators are excluded
+// for the whole execution, so the key exactly versions the returned
+// rows: a result cached under it may be served for as long as the
+// articulation's epoch key still matches.
+func (s *System) ExecuteVersioned(ctx context.Context, artName string, q query.Query, opts query.Options) (*query.Result, string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.engineLocked(artName)
+	if err != nil {
+		return nil, "", err
+	}
+	key := e.EpochKey()
+	res, err := e.ExecuteCtx(ctx, q, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, key, nil
 }
 
 // Explain reformulates a query against a registered articulation without
@@ -418,9 +502,9 @@ func (s *System) Infer(ontName string) (int, error) {
 	eng.AddGraph(o.Graph())
 	eng.Run()
 	applied, _ := inference.ApplyDerived(o, eng.Derived())
-	if applied > 0 {
-		s.invalidateEnginesLocked()
-	}
+	// No engine invalidation: the applied edges bumped the ontology's
+	// epoch, so cached engines heal exactly the mutated source's indexes
+	// at their next query instead of being rebuilt wholesale.
 	return applied, nil
 }
 

@@ -20,6 +20,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within a single Graph. IDs are assigned densely
@@ -63,6 +64,12 @@ type Graph struct {
 	in      map[NodeID][]Edge
 	edges   map[Edge]struct{}
 	nextID  NodeID
+	// epoch counts structural mutations (node/edge add/delete, relabel,
+	// rename). Derived-structure caches (the query engine's edge indexes
+	// and qualified-name tables) validate against it instead of relying on
+	// invalidation callbacks. Atomic so epoch polls need not synchronise
+	// with the owner; the graph itself is still single-writer.
+	epoch atomic.Uint64
 }
 
 // New returns an empty graph. The name is carried through clones and
@@ -83,7 +90,25 @@ func New(name string) *Graph {
 func (g *Graph) Name() string { return g.name }
 
 // SetName renames the graph.
-func (g *Graph) SetName(name string) { g.name = name }
+func (g *Graph) SetName(name string) {
+	if g.name != name {
+		g.name = name
+		g.epoch.Add(1)
+	}
+}
+
+// Epoch returns the graph's mutation epoch: a counter bumped by every
+// effective mutation. Two equal epochs from the same graph guarantee no
+// mutation happened in between, so derived structure built at the first
+// read is still valid at the second. Epoch reads are atomic and may run
+// concurrently with other readers; mutation itself remains single-writer
+// (callers serialise mutators against everything, as before).
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
+// Touch bumps the epoch without a structural change — the hook for owners
+// layering extra mutable state on top of the graph (package ontology's
+// relation declarations version themselves through it).
+func (g *Graph) Touch() { g.epoch.Add(1) }
 
 // NumNodes returns the number of nodes currently in the graph.
 func (g *Graph) NumNodes() int { return len(g.labels) }
@@ -102,6 +127,7 @@ func (g *Graph) AddNode(label string) NodeID {
 	g.nextID++
 	g.labels[id] = label
 	g.byLabel[label] = append(g.byLabel[label], id)
+	g.epoch.Add(1)
 	return id
 }
 
@@ -123,6 +149,7 @@ func (g *Graph) addNodeWithID(id NodeID, label string) error {
 	if id >= g.nextID {
 		g.nextID = id + 1
 	}
+	g.epoch.Add(1)
 	return nil
 }
 
@@ -170,6 +197,7 @@ func (g *Graph) DeleteNode(id NodeID) bool {
 	if len(g.byLabel[label]) == 0 {
 		delete(g.byLabel, label)
 	}
+	g.epoch.Add(1)
 	return true
 }
 
@@ -191,6 +219,7 @@ func (g *Graph) AddEdge(from NodeID, label string, to NodeID) error {
 	g.edges[e] = struct{}{}
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
+	g.epoch.Add(1)
 	return nil
 }
 
@@ -214,6 +243,7 @@ func (g *Graph) DeleteEdge(e Edge) bool {
 	delete(g.edges, e)
 	g.out[e.From] = removeEdge(g.out[e.From], e)
 	g.in[e.To] = removeEdge(g.in[e.To], e)
+	g.epoch.Add(1)
 	return true
 }
 
@@ -274,6 +304,7 @@ func (g *Graph) SetLabel(id NodeID, label string) error {
 		delete(g.byLabel, old)
 	}
 	g.byLabel[label] = append(g.byLabel[label], id)
+	g.epoch.Add(1)
 	return nil
 }
 

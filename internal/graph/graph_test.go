@@ -421,3 +421,52 @@ func mustAdd(t testing.TB, g *Graph, from NodeID, label string, to NodeID) {
 		t.Fatalf("AddEdge(%d,%s,%d): %v", from, label, to, err)
 	}
 }
+
+func TestEpochTracksEffectiveMutations(t *testing.T) {
+	g := New("g")
+	base := g.Epoch()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	if g.Epoch() == base {
+		t.Fatalf("AddNode did not bump epoch")
+	}
+	e := g.Epoch()
+	if err := g.AddEdge(a, "rel", b); err != nil || g.Epoch() == e {
+		t.Fatalf("AddEdge did not bump epoch (err=%v)", err)
+	}
+	// Idempotent operations must not bump: an unchanged epoch is a
+	// promise of unchanged structure to cache validators.
+	e = g.Epoch()
+	if err := g.AddEdge(a, "rel", b); err != nil || g.Epoch() != e {
+		t.Fatalf("duplicate AddEdge bumped epoch (err=%v)", err)
+	}
+	if g.DeleteEdge(Edge{From: a, Label: "nope", To: b}) || g.Epoch() != e {
+		t.Fatalf("no-op DeleteEdge bumped epoch")
+	}
+	if err := g.SetLabel(a, "A"); err != nil || g.Epoch() != e {
+		t.Fatalf("no-op SetLabel bumped epoch (err=%v)", err)
+	}
+	g.SetName("g")
+	if g.Epoch() != e {
+		t.Fatalf("no-op SetName bumped epoch")
+	}
+	// Effective mutations of every kind bump.
+	for _, step := range []struct {
+		name string
+		run  func() bool
+	}{
+		{"DeleteEdge", func() bool { return g.DeleteEdge(Edge{From: a, Label: "rel", To: b}) }},
+		{"DeleteNode", func() bool { return g.DeleteNode(b) }},
+		{"SetLabel", func() bool { return g.SetLabel(a, "A2") == nil }},
+		{"SetName", func() bool { g.SetName("g2"); return true }},
+		{"Touch", func() bool { g.Touch(); return true }},
+	} {
+		e = g.Epoch()
+		if !step.run() {
+			t.Fatalf("%s failed", step.name)
+		}
+		if g.Epoch() == e {
+			t.Fatalf("%s did not bump epoch", step.name)
+		}
+	}
+}

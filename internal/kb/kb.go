@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // ValueKind discriminates Value.
@@ -107,6 +108,10 @@ type Store struct {
 	bySubj   map[string][]int
 	byPred   map[string][]int
 	existing map[string]struct{}
+	// epoch counts effective mutations (facts actually inserted; ignored
+	// duplicates do not bump it). Query engines validate their cached
+	// plans against it, and the serving layer's result cache keys on it.
+	epoch atomic.Uint64
 }
 
 // New returns an empty store named after its knowledge source (usually
@@ -126,6 +131,12 @@ func (s *Store) Name() string { return s.name }
 // Len returns the number of facts.
 func (s *Store) Len() int { return len(s.facts) }
 
+// Epoch returns the store's mutation epoch: bumped by every fact actually
+// inserted (a duplicate Add leaves it unchanged). Epoch reads are atomic
+// and may run concurrently with other readers; mutation itself remains
+// single-writer, serialised by the store's owner.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
 // Add inserts a fact (duplicates are ignored). Empty subjects or
 // predicates are rejected.
 func (s *Store) Add(subject, predicate string, object Value) error {
@@ -142,6 +153,7 @@ func (s *Store) Add(subject, predicate string, object Value) error {
 	s.facts = append(s.facts, f)
 	s.bySubj[subject] = append(s.bySubj[subject], idx)
 	s.byPred[predicate] = append(s.byPred[predicate], idx)
+	s.epoch.Add(1)
 	return nil
 }
 

@@ -134,3 +134,28 @@ func TestStringDump(t *testing.T) {
 		t.Fatalf("String unstable")
 	}
 }
+
+func TestEpochBumpsOnInsertOnly(t *testing.T) {
+	s := New("carrier")
+	if s.Epoch() != 0 {
+		t.Fatalf("fresh store epoch = %d", s.Epoch())
+	}
+	s.MustAdd("MyCar", "Price", Number(3000))
+	e1 := s.Epoch()
+	if e1 == 0 {
+		t.Fatalf("insert did not bump epoch")
+	}
+	// A duplicate is ignored and must not bump: equal epochs promise an
+	// unchanged fact set to cache validators.
+	s.MustAdd("MyCar", "Price", Number(3000))
+	if s.Epoch() != e1 {
+		t.Fatalf("duplicate add bumped epoch: %d -> %d", e1, s.Epoch())
+	}
+	s.MustAdd("MyCar", "Owner", String("Alice"))
+	if s.Epoch() <= e1 {
+		t.Fatalf("second insert did not bump epoch: %d -> %d", e1, s.Epoch())
+	}
+	if err := s.Add("", "Price", Number(1)); err == nil || s.Epoch() != e1+1 {
+		t.Fatalf("rejected add must not bump epoch (err=%v, epoch=%d)", err, s.Epoch())
+	}
+}

@@ -129,9 +129,17 @@ func (o *Ontology) SetName(name string) { o.g.SetName(name) }
 // bulk manipulation.
 func (o *Ontology) Graph() *graph.Graph { return o.g }
 
+// Epoch returns the ontology's mutation epoch: bumped by every effective
+// term/relationship mutation (including direct Graph manipulation) and by
+// relation declarations. Query engines validate their per-source caches
+// against it at query entry instead of requiring an explicit invalidation
+// call after mutation.
+func (o *Ontology) Epoch() uint64 { return o.g.Epoch() }
+
 // DeclareRelation records (or replaces) a relationship declaration.
 func (o *Ontology) DeclareRelation(spec RelationSpec) {
 	o.relations[spec.Name] = spec
+	o.g.Touch()
 }
 
 // Relation returns the declaration for name, if any.

@@ -1,5 +1,7 @@
 package query
 
+import "context"
+
 // executeCompat is the PR 1 planned executor, retained behind
 // Options{CompatJoins} as the E12 benchmark baseline and as a third
 // differential check in the determinism suite: binding maps per row,
@@ -7,7 +9,7 @@ package query
 // barrier between each step's scans and its join. The slot-based tuple
 // executor (exec.go) replaces it on the default path; the scan fan-out
 // machinery (runScanTasks) is shared.
-func (e *Engine) executeCompat(q Query, plan *execPlan, opts Options, res *Result) {
+func (e *Engine) executeCompat(ctx context.Context, q Query, plan *execPlan, opts Options, res *Result) error {
 	st := &res.Stats
 	workers := resolveWorkers(opts)
 
@@ -15,6 +17,9 @@ func (e *Engine) executeCompat(q Query, plan *execPlan, opts Options, res *Resul
 	bound := make(map[string]bool)
 	applied := make([]bool, len(q.Filters))
 	for si := range plan.steps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		stp := &plan.steps[si]
 		// Every (triple, source) pair counts as a source scan, skipped
 		// or not, matching the sequential accounting.
@@ -26,7 +31,7 @@ func (e *Engine) executeCompat(q Query, plan *execPlan, opts Options, res *Resul
 			}
 		}
 		results := make([][]binding, len(stp.scans))
-		e.runScanTasks(stp, tasks, workers, st, func(j int, ts *Stats) {
+		e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
 			sc := stp.scans[j]
 			results[j] = e.scanWithView(sc.name, sc.src, stp.triple, sc.view, ts, true)
 		})
@@ -46,6 +51,10 @@ func (e *Engine) executeCompat(q Query, plan *execPlan, opts Options, res *Resul
 			break
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	st.JoinedRows = len(rows)
 	e.project(res, rows, q)
+	return nil
 }

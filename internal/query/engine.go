@@ -1,9 +1,13 @@
 package query
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/articulation"
 	"repro/internal/graph"
@@ -122,20 +126,23 @@ func (r *Result) EqualRows(o *Result) bool {
 // reformulating each triple through the semantic bridges.
 //
 // An Engine is safe for concurrent Execute/ExecuteWith/Explain calls.
-// It caches compiled plans and per-source edge indexes; if a source
-// ontology or knowledge base is mutated underneath a live engine, call
-// InvalidateCache before the next query (core.System does this for its
-// own cached engines).
+// It caches compiled plans and per-source edge indexes, validated against
+// the sources' mutation epochs at every query: mutating a source ontology
+// or knowledge base underneath a live engine (between queries — never
+// concurrently with one) is self-healing, and only the mutated sources'
+// scan indexes are rebuilt. InvalidateCache remains as a forced flush.
 type Engine struct {
 	art     *articulation.Articulation
 	sources map[string]*Source
 	names   []string // sorted source names, articulation first
 	opts    Options  // defaults for Execute
+	id      uint64   // process-unique engine identity (EpochKey component)
 
 	mu      sync.RWMutex
 	plans   map[string]*execPlan
 	edgeIdx map[string]map[string][]graph.Edge // source → edge label → edges
 	qualIdx map[string]map[string]string       // source → term → qualified name
+	epochs  []uint64                           // per-source epochs the caches were built under, in names order
 }
 
 // NewEngine builds an engine over the articulation and its sources. The
@@ -172,7 +179,93 @@ func NewEngineWith(art *articulation.Articulation, sources map[string]*Source, o
 		e.names = append(e.names, name)
 	}
 	sort.Strings(e.names)
+	e.id = engineSeq.Add(1)
+	e.epochs = make([]uint64, len(e.names))
+	e.sourceEpochs(e.epochs)
 	return e, nil
+}
+
+// engineSeq hands every engine a process-unique id. EpochKey folds it
+// in, so keys from different engines — including a rebuilt engine over a
+// swapped-in store whose epoch count happens to coincide with its
+// predecessor's — can never collide in a serving-layer cache.
+var engineSeq atomic.Uint64
+
+// sourceEpoch folds one source's ontology and KB epochs into a single
+// monotonic counter: both inputs only ever grow, so any mutation moves
+// the sum and equal sums guarantee an unmutated source.
+func sourceEpoch(src *Source) uint64 {
+	ep := src.Ont.Epoch()
+	if src.KB != nil {
+		ep += src.KB.Epoch()
+	}
+	return ep
+}
+
+// sourceEpochs fills dst (len == len(e.names)) with every source's
+// current epoch in sorted source-name order.
+func (e *Engine) sourceEpochs(dst []uint64) {
+	for i, name := range e.names {
+		dst[i] = sourceEpoch(e.sources[name])
+	}
+}
+
+// EpochVector returns every source's current mutation epoch in sorted
+// source-name order. Two equal vectors from the same engine guarantee
+// that no source was mutated in between, so any result computed at the
+// first read is still exact at the second — the property the serving
+// layer's result cache keys on.
+func (e *Engine) EpochVector() []uint64 {
+	out := make([]uint64, len(e.names))
+	e.sourceEpochs(out)
+	return out
+}
+
+// EpochKey renders the engine's identity plus the current epoch vector
+// as a compact opaque string — the cache-key component used by the
+// serving layer. The identity prefix makes keys engine-unique: after a
+// structural change rebuilds an engine (core.System drops engines when
+// source wiring changes), the new engine's keys cannot collide with
+// entries cached under the old one, even if the replacement sources'
+// epoch counts coincide.
+func (e *Engine) EpochKey() string {
+	buf := make([]byte, 0, 4+2*len(e.names))
+	buf = binary.AppendUvarint(buf, e.id)
+	for _, name := range e.names {
+		buf = binary.AppendUvarint(buf, sourceEpoch(e.sources[name]))
+	}
+	return string(buf)
+}
+
+// validateEpochs compares every source's current epoch against the
+// snapshot the caches were built under and heals stale state: a changed
+// source drops exactly its own edge/qual indexes, and any change flushes
+// the plan cache wholesale (compilation consults every source — term
+// expansion probes KB subjects, estimates read index cardinalities, and
+// a mutation can even un-skip a previously impossible scan — so no plan
+// can be proven unaffected). Runs at query/explain entry, so direct
+// NewEngine users need no InvalidateCache call after mutating a source.
+func (e *Engine) validateEpochs() {
+	cur := make([]uint64, len(e.names))
+	e.sourceEpochs(cur)
+	e.mu.RLock()
+	same := slices.Equal(e.epochs, cur)
+	e.mu.RUnlock()
+	if same {
+		return
+	}
+	e.mu.Lock()
+	if !slices.Equal(e.epochs, cur) {
+		for i, name := range e.names {
+			if e.epochs[i] != cur[i] {
+				delete(e.edgeIdx, name)
+				delete(e.qualIdx, name)
+			}
+		}
+		e.plans = make(map[string]*execPlan)
+		copy(e.epochs, cur)
+	}
+	e.mu.Unlock()
 }
 
 type binding map[string]kb.Value
@@ -187,23 +280,39 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 // byte-identical across option combinations; only Stats and wall-clock
 // time differ.
 func (e *Engine) ExecuteWith(q Query, opts Options) (*Result, error) {
+	return e.ExecuteCtx(context.Background(), q, opts)
+}
+
+// ExecuteCtx is ExecuteWith under a context: cancellation or deadline
+// expiry stops further scan dispatch (scans already running finish — a
+// single scan is never interrupted mid-walk) and the call returns
+// ctx.Err() instead of a partial result. The serving layer threads
+// per-request deadlines through here.
+func (e *Engine) ExecuteCtx(ctx context.Context, q Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Sequential {
-		return e.executeSequential(q)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return e.executePlanned(q, opts)
+	e.validateEpochs()
+	if opts.Sequential {
+		return e.executeSequential(ctx, q)
+	}
+	return e.executePlanned(ctx, q, opts)
 }
 
 // executeSequential is the reference execution path: textual join order,
 // unindexed scans, no plan cache, no parallelism. The determinism tests
 // and the E11 benchmark compare the planned path against it.
-func (e *Engine) executeSequential(q Query) (*Result, error) {
+func (e *Engine) executeSequential(ctx context.Context, q Query) (*Result, error) {
 	res := &Result{Vars: q.Select}
 	res.Stats.Workers = 1
 	rows := []binding{{}}
 	for _, triple := range q.Where {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next, err := e.evalTriple(triple, &res.Stats)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -105,7 +106,7 @@ func resolveWorkers(opts Options) int {
 // bound. Scans dispatch one step at a time, so an empty join
 // short-circuits the remaining steps' scan work just like the sequential
 // path. Options{CompatJoins} swaps in the retained PR 1 executor.
-func (e *Engine) executePlanned(q Query, opts Options) (*Result, error) {
+func (e *Engine) executePlanned(ctx context.Context, q Query, opts Options) (*Result, error) {
 	plan, hit := e.cachedPlan(q)
 	res := &Result{Vars: q.Select}
 	st := &res.Stats
@@ -113,10 +114,14 @@ func (e *Engine) executePlanned(q Query, opts Options) (*Result, error) {
 	st.ReorderedTriples = plan.reordered
 	st.Workers = 1
 	st.accrue(plan.expand)
+	var err error
 	if opts.CompatJoins {
-		e.executeCompat(q, plan, opts, res)
+		err = e.executeCompat(ctx, q, plan, opts, res)
 	} else {
-		e.executeTuples(q, plan, opts, res)
+		err = e.executeTuples(ctx, q, plan, opts, res)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -127,13 +132,12 @@ func (e *Engine) executePlanned(q Query, opts Options) (*Result, error) {
 // step, a disconnected cross product, or Options{StepBarriers} — it runs
 // the per-step path, where each join step materialises its output before
 // the next step's scans dispatch.
-func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Result) {
+func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opts Options, res *Result) error {
 	st := &res.Stats
 	width := len(plan.slotNames)
 	workers := resolveWorkers(opts)
 	if plan.pipelines(opts, workers) {
-		e.executePipelined(q, plan, opts, res)
-		return
+		return e.executePipelined(ctx, q, plan, opts, res)
 	}
 	parts := resolvePartitions(opts, workers)
 
@@ -142,6 +146,9 @@ func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Resul
 	applied := make([]bool, len(q.Filters))
 	stepParts := make([]int, 0, len(plan.steps))
 	for si := range plan.steps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		stp := &plan.steps[si]
 		// Every (triple, source) pair counts as a source scan, skipped
 		// or not, matching the sequential accounting.
@@ -154,17 +161,17 @@ func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Resul
 		}
 		switch {
 		case si == 0:
-			rows = e.gatherScans(stp, width, workers, tasks, st)
+			rows = e.gatherScans(ctx, stp, width, workers, tasks, st)
 			stepParts = append(stepParts, 0)
 		case len(stp.keySlots) == 0:
-			right := e.gatherScans(stp, width, workers, tasks, st)
+			right := e.gatherScans(ctx, stp, width, workers, tasks, st)
 			rows = crossJoinTuples(rows, right, stp, width)
 			stepParts = append(stepParts, 0)
 		case workers > 1 && len(tasks) > 0:
-			rows = e.joinStreamed(rows, stp, width, workers, parts, tasks, st)
+			rows = e.joinStreamed(ctx, rows, stp, width, workers, parts, tasks, st)
 			stepParts = append(stepParts, parts)
 		default:
-			rows = e.joinInline(rows, stp, width, tasks, st)
+			rows = e.joinInline(ctx, rows, stp, width, tasks, st)
 			stepParts = append(stepParts, 0)
 		}
 		for _, v := range stp.vars {
@@ -175,18 +182,26 @@ func (e *Engine) executeTuples(q Query, plan *execPlan, opts Options, res *Resul
 			break
 		}
 	}
+	// A cancellation that landed mid-step left the frontier partial;
+	// report the error rather than a truncated result.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if st.JoinPartitions > 0 {
 		st.StepPartitions = stepParts
 	}
 	st.JoinedRows = len(rows)
 	projectTuples(res, [][]tuple{rows}, q, plan)
+	return nil
 }
 
 // runScanTasks executes the step's live scans — inline, or fanned out on
 // a bounded worker pool — giving each task a private Stats merged in
 // source order afterwards, so the counters are deterministic under any
-// scheduling.
-func (e *Engine) runScanTasks(stp *planStep, tasks []int, workers int, st *Stats, run func(j int, ts *Stats)) {
+// scheduling. A cancelled context stops dispatch between tasks (the
+// per-request deadline hook); the caller detects the cancellation via
+// ctx.Err() and discards the partial output.
+func (e *Engine) runScanTasks(ctx context.Context, stp *planStep, tasks []int, workers int, st *Stats, run func(j int, ts *Stats)) {
 	taskStats := make([]Stats, len(stp.scans))
 	w := workers
 	if w > len(tasks) {
@@ -194,6 +209,9 @@ func (e *Engine) runScanTasks(stp *planStep, tasks []int, workers int, st *Stats
 	}
 	if w <= 1 {
 		for _, j := range tasks {
+			if ctx.Err() != nil {
+				break
+			}
 			run(j, &taskStats[j])
 		}
 	} else {
@@ -213,6 +231,9 @@ func (e *Engine) runScanTasks(stp *planStep, tasks []int, workers int, st *Stats
 			}()
 		}
 		for _, j := range tasks {
+			if ctx.Err() != nil {
+				break
+			}
 			jobs <- j
 		}
 		close(jobs)
@@ -250,9 +271,9 @@ func tupleEmit(stp *planStep, arena *tupleArena, sink func(tuple)) func(s, p, o 
 
 // gatherScans materialises one step's scan output as tuples (first step,
 // and the rare disconnected cross-product step).
-func (e *Engine) gatherScans(stp *planStep, width, workers int, tasks []int, st *Stats) []tuple {
+func (e *Engine) gatherScans(ctx context.Context, stp *planStep, width, workers int, tasks []int, st *Stats) []tuple {
 	results := make([][]tuple, len(stp.scans))
-	e.runScanTasks(stp, tasks, workers, st, func(j int, ts *Stats) {
+	e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
 		sc := stp.scans[j]
 		arena := &tupleArena{width: width}
 		var out []tuple
@@ -300,7 +321,7 @@ func crossJoinTuples(left, right []tuple, stp *planStep, width int) []tuple {
 // once by key hash, then every scan-emitted tuple probes it immediately —
 // the scan side is never materialised and no key string ever is (hash
 // keys plus keySlotsEqual verification).
-func (e *Engine) joinInline(left []tuple, stp *planStep, width int, tasks []int, st *Stats) []tuple {
+func (e *Engine) joinInline(ctx context.Context, left []tuple, stp *planStep, width int, tasks []int, st *Stats) []tuple {
 	if len(left) == 0 {
 		return nil
 	}
@@ -313,7 +334,7 @@ func (e *Engine) joinInline(left []tuple, stp *planStep, width int, tasks []int,
 	}
 	mergeArena := &tupleArena{width: width}
 	var out []tuple
-	e.runScanTasks(stp, tasks, 1, st, func(j int, ts *Stats) {
+	e.runScanTasks(ctx, stp, tasks, 1, st, func(j int, ts *Stats) {
 		sc := stp.scans[j]
 		scanArena := &tupleArena{width: width}
 		e.scanMatch(sc.name, sc.src, stp.triple, sc.view, ts, true,
@@ -359,7 +380,7 @@ type hashedTuple struct {
 // pipelined executor removes that one too). Per-partition outputs are
 // concatenated in partition order and per-task counters merge in source
 // order, so everything observable is deterministic.
-func (e *Engine) joinStreamed(left []tuple, stp *planStep, width, workers, parts int, tasks []int, st *Stats) []tuple {
+func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, width, workers, parts int, tasks []int, st *Stats) []tuple {
 	if len(left) == 0 {
 		return nil
 	}
@@ -376,7 +397,7 @@ func (e *Engine) joinStreamed(left []tuple, stp *planStep, width, workers, parts
 	scansDone := make(chan struct{})
 	go func() {
 		defer close(scansDone)
-		e.runScanTasks(stp, tasks, workers, st, func(j int, ts *Stats) {
+		e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
 			sc := stp.scans[j]
 			arena := &tupleArena{width: width}
 			local := make([]streamedBatch, parts)

@@ -128,6 +128,7 @@ func (e *Engine) Explain(q Query) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	e.validateEpochs()
 	ep, _ := e.cachedPlan(q)
 	workers := resolveWorkers(e.opts)
 	plan := &Plan{

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -168,8 +169,11 @@ func makePartChans(parts int) []chan *streamedBatch {
 
 // executePipelined runs a keyed join chain as a cross-step streaming
 // pipeline. Callers guarantee: more than one worker, at least two steps,
-// and every step after the first has key slots (plan.chainKeyed).
-func (e *Engine) executePipelined(q Query, plan *execPlan, opts Options, res *Result) {
+// and every step after the first has key slots (plan.chainKeyed). A
+// cancelled context rides the same machinery as the provably-empty
+// short-circuit: remaining scan dispatch is skipped, the stages drain,
+// and ctx.Err() is returned instead of the partial result.
+func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, opts Options, res *Result) error {
 	st := &res.Stats
 	width := len(plan.slotNames)
 	workers := resolveWorkers(opts)
@@ -289,6 +293,12 @@ func (e *Engine) executePipelined(q Query, plan *execPlan, opts Options, res *Re
 					// Provably-empty output upstream: skip this and
 					// every remaining scan, releasing the per-step
 					// completion counts so the stages drain.
+					cancelled++
+					scanWg[si].Done()
+				case <-ctx.Done():
+					// Deadline/cancellation: same drain path as the
+					// empty short-circuit; the caller discards the
+					// partial result and reports ctx.Err().
 					cancelled++
 					scanWg[si].Done()
 				}
@@ -445,6 +455,9 @@ func (e *Engine) executePipelined(q Query, plan *execPlan, opts Options, res *Re
 	stageWg[n-1].Wait()
 	poolWg.Wait()
 	<-dispatcherDone
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Deterministic stat merge: task stats in (step, source) order, then
 	// the stage batch counters in (step, partition) order.
@@ -475,4 +488,5 @@ func (e *Engine) executePipelined(q Query, plan *execPlan, opts Options, res *Re
 		st.JoinedRows += len(o)
 	}
 	projectTuples(res, outs, q, plan)
+	return nil
 }

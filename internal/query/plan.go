@@ -100,6 +100,10 @@ type execPlan struct {
 	// non-empty key — the shape the cross-step pipeline executes; a
 	// disconnected cross-product step forces the per-step path.
 	chainKeyed bool
+	// totalEst is the summed scan estimate across every step — the
+	// planner's proxy for how much work the pipeline can overlap, used by
+	// the shallow-chain executor choice.
+	totalEst int
 }
 
 // maxCachedPlans bounds the per-engine plan cache; at the cap the cache
@@ -153,13 +157,18 @@ func (e *Engine) cachedPlan(q Query) (*execPlan, bool) {
 }
 
 // InvalidateCache drops the compiled plans and per-source edge indexes.
-// Call it after mutating a source ontology or knowledge base underneath
-// a live engine; core.System invalidates its cached engines instead.
+// Since per-source epoch validation landed, calling it after mutating a
+// source is no longer required — every query validates the caches
+// against the sources' epochs and heals exactly the stale state — so
+// this remains only as a forced wholesale flush (for example after
+// swapping in state the epochs cannot see, such as replacing a Source's
+// Ont or KB pointer in place).
 func (e *Engine) InvalidateCache() {
 	e.mu.Lock()
 	e.plans = make(map[string]*execPlan)
 	e.edgeIdx = make(map[string]map[string][]graph.Edge)
 	e.qualIdx = make(map[string]map[string]string)
+	e.sourceEpochs(e.epochs)
 	e.mu.Unlock()
 }
 
@@ -299,17 +308,39 @@ func (e *Engine) compile(q Query) *execPlan {
 			p.steps[i].nextKeySlots = p.steps[i+1].keySlots
 			p.steps[i].alignedNext = i > 0 && slices.Equal(p.steps[i].keySlots, p.steps[i].nextKeySlots)
 		}
+		p.totalEst += p.steps[i].est
 	}
 	return p
 }
 
+// Shallow-chain executor choice: a chain of at most shallowJoinSteps
+// keyed joins only ties the per-step executor unless there is enough
+// scan volume for cross-step overlap to repay the pipeline's fixed setup
+// (per-stage partition workers, channel wiring, batch routing). The
+// planner's summed scan estimate is the cost proxy: below
+// shallowPipelineMinEst the per-step (StepBarriers) executor runs
+// instead. Deeper chains always pipeline — each extra step is another
+// materialisation barrier avoided.
+const (
+	shallowJoinSteps      = 2
+	shallowPipelineMinEst = 4096
+)
+
 // pipelines reports whether the given options execute this plan as the
 // cross-step streaming pipeline — the one dispatch predicate shared by
 // executeTuples and Explain, so the explanation can never drift from
-// what the engine actually runs.
+// what the engine actually runs. Shallow keyed chains fall back to the
+// per-step executor when the planner's cost estimate says the pipeline's
+// setup would not pay for itself.
 func (p *execPlan) pipelines(opts Options, workers int) bool {
-	return workers > 1 && !opts.Sequential && !opts.CompatJoins && !opts.StepBarriers &&
-		p.chainKeyed && len(p.steps) > 1
+	if !(workers > 1 && !opts.Sequential && !opts.CompatJoins && !opts.StepBarriers &&
+		p.chainKeyed && len(p.steps) > 1) {
+		return false
+	}
+	if len(p.steps)-1 <= shallowJoinSteps && p.totalEst < shallowPipelineMinEst {
+		return false
+	}
+	return true
 }
 
 // estimateScan predicts how many rows the scan will produce, using the

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"container/list"
+
+	"repro/internal/query"
+)
+
+// resultCache is a bounded LRU over query results. Entries whose epoch
+// component went stale are never looked up again (the key includes the
+// epoch vector), so they need no eviction of their own — they simply age
+// off the cold end of the list. Not safe for concurrent use; the Service
+// serialises access under its mutex.
+type resultCache struct {
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key → element holding *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	res *query.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *resultCache) get(key string) (*query.Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) an entry and returns how many entries were
+// evicted to respect the bound.
+func (c *resultCache) put(key string, res *query.Result) int {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}

@@ -1,0 +1,281 @@
+// Package serve is ONION's serving layer: a concurrent query service
+// over a core.System, built for the paper's positioning of the
+// articulated system as a long-lived shared resource many applications
+// query (EDBT 2000, §2; cf. Euzenat's networks-of-ontologies reading).
+//
+// The service adds three things the bare engine does not have:
+//
+//   - a bounded LRU result cache keyed on (articulation, normalized
+//     query, epoch vector) — the per-source epochs make cached rows
+//     provably exact: a mutation bumps the touched source's epoch, the
+//     key stops matching, and the stale entry ages out of the LRU
+//     without any invalidation traffic;
+//   - singleflight coalescing of identical in-flight queries, so a
+//     thundering herd on one hot query computes it once;
+//   - per-request deadlines threaded into the engine's scan dispatch
+//     (query.Engine.ExecuteCtx) plus served-traffic counters.
+//
+// A Service is safe for concurrent use by any number of goroutines, and
+// mutations may run concurrently with queries as long as they go through
+// the underlying System (AddFacts here or on the System, Infer, ...).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/query"
+)
+
+// DefaultCacheEntries bounds the result cache when Options.CacheEntries
+// is zero.
+const DefaultCacheEntries = 1024
+
+// Options tune a Service.
+type Options struct {
+	// CacheEntries bounds the result cache: 0 means DefaultCacheEntries,
+	// negative disables caching entirely (every query executes; the E14
+	// baseline runs this way).
+	CacheEntries int
+	// DefaultTimeout bounds each request without its own deadline; zero
+	// means no implicit deadline.
+	DefaultTimeout time.Duration
+	// Exec are the execution options every query runs with (worker pool,
+	// partitions, executor selection).
+	Exec query.Options
+}
+
+// Stats are the service's monotonically increasing traffic counters
+// (json tags give them a stable wire form in oniond's /stats).
+type Stats struct {
+	// CacheHits counts queries answered straight from the result cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts queries that executed (singleflight leaders).
+	CacheMisses uint64 `json:"cache_misses"`
+	// Coalesced counts queries that waited on an identical in-flight
+	// execution instead of executing themselves.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts result-cache entries displaced by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Mutations counts facts inserted through the service.
+	Mutations uint64 `json:"mutations"`
+}
+
+// Outcome reports how a query was answered.
+type Outcome int
+
+// Outcomes, in increasing order of work performed.
+const (
+	// OutcomeHit: served from the result cache.
+	OutcomeHit Outcome = iota
+	// OutcomeCoalesced: waited on an identical in-flight execution.
+	OutcomeCoalesced
+	// OutcomeMiss: executed (and populated the cache).
+	OutcomeMiss
+)
+
+// String renders the outcome for logs and HTTP responses.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeCoalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// flight is one in-progress execution identical queries coalesce onto.
+type flight struct {
+	done chan struct{}
+	res  *query.Result
+	err  error
+}
+
+// Service is the concurrent query service. Create with New.
+type Service struct {
+	sys  *core.System
+	opts Options
+
+	// mu guards the cache and the flight table. Both critical sections
+	// are map/list operations — never an execution — so a cache hit is a
+	// short lock, and that is exactly what the E14 hot-cache speedup
+	// measures.
+	mu      sync.Mutex
+	cache   *resultCache // nil when caching is disabled
+	flights map[string]*flight
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+	mutations atomic.Uint64
+
+	// leaderGate, when non-nil, runs on the singleflight leader between
+	// registering its flight and executing — a test hook that lets the
+	// coalescing test hold the flight open deterministically.
+	leaderGate func()
+}
+
+// New returns a Service over the system.
+func New(sys *core.System, opts Options) *Service {
+	s := &Service{sys: sys, opts: opts, flights: make(map[string]*flight)}
+	if opts.CacheEntries >= 0 {
+		n := opts.CacheEntries
+		if n == 0 {
+			n = DefaultCacheEntries
+		}
+		s.cache = newResultCache(n)
+	}
+	return s
+}
+
+// System returns the underlying registry, for read-side endpoints.
+func (s *Service) System() *core.System { return s.sys }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Evictions:   s.evictions.Load(),
+		Mutations:   s.mutations.Load(),
+	}
+}
+
+// Query parses and answers one query against a registered articulation.
+func (s *Service) Query(ctx context.Context, artName, text string) (*query.Result, error) {
+	res, _, err := s.QueryOutcome(ctx, artName, text)
+	return res, err
+}
+
+// QueryOutcome is Query, also reporting how the answer was produced.
+func (s *Service) QueryOutcome(ctx context.Context, artName, text string) (*query.Result, Outcome, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, OutcomeMiss, err
+	}
+	return s.Do(ctx, artName, q)
+}
+
+// Do answers a parsed query. The returned Result is shared — with the
+// cache and possibly with concurrent callers — and must be treated as
+// read-only.
+func (s *Service) Do(ctx context.Context, artName string, q query.Query) (*query.Result, Outcome, error) {
+	if err := q.Validate(); err != nil {
+		return nil, OutcomeMiss, err
+	}
+	if s.opts.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.DefaultTimeout)
+			defer cancel()
+		}
+	}
+
+	for {
+		// The epoch key versions the whole lookup: it is read under the
+		// registry read lock, so every completed mutation is reflected,
+		// and an entry stored under the same key is exact by
+		// construction.
+		epoch, err := s.sys.QueryEpochKey(artName)
+		if err != nil {
+			return nil, OutcomeMiss, err
+		}
+		key := cacheKey(artName, q, epoch)
+
+		s.mu.Lock()
+		if s.cache != nil {
+			if res, ok := s.cache.get(key); ok {
+				s.mu.Unlock()
+				s.hits.Add(1)
+				return res, OutcomeHit, nil
+			}
+		}
+		f, inFlight := s.flights[key]
+		if !inFlight {
+			f = &flight{done: make(chan struct{})}
+			s.flights[key] = f
+			s.mu.Unlock()
+			s.misses.Add(1)
+			return s.lead(ctx, artName, q, key, f)
+		}
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-f.done:
+			if f.err != nil && ctx.Err() == nil &&
+				(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+				// The leader died of its *own* deadline or a
+				// disconnected client, not ours: retry instead of
+				// inheriting an error this request never earned. The
+				// next round hits the cache, parks on a newer flight,
+				// or leads with this request's budget.
+				continue
+			}
+			return f.res, OutcomeCoalesced, f.err
+		case <-ctx.Done():
+			// The leader keeps computing for the other waiters; only
+			// this caller gives up.
+			return nil, OutcomeCoalesced, ctx.Err()
+		}
+	}
+}
+
+// lead executes a query as the singleflight leader. Cleanup — dropping
+// the flight, publishing to the cache, releasing the waiters — is
+// deferred, so even a panicking execution cannot wedge the key: waiters
+// are released with an error and later queries start a fresh flight.
+func (s *Service) lead(ctx context.Context, artName string, q query.Query, key string, f *flight) (*query.Result, Outcome, error) {
+	var execEpoch string
+	completed := false
+	defer func() {
+		if !completed && f.err == nil {
+			f.err = fmt.Errorf("serve: query execution panicked")
+		}
+		s.mu.Lock()
+		delete(s.flights, key)
+		if f.err == nil && s.cache != nil {
+			// Store under the epoch the execution actually ran at — if
+			// a mutation slipped in between the key read and the
+			// execution, the entry is filed under the newer (correct)
+			// version and the old key simply never hits.
+			s.evictions.Add(uint64(s.cache.put(cacheKey(artName, q, execEpoch), f.res)))
+		}
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	if s.leaderGate != nil {
+		s.leaderGate()
+	}
+	res, epoch, err := s.sys.ExecuteVersioned(ctx, artName, q, s.opts.Exec)
+	f.res, f.err, execEpoch = res, err, epoch
+	completed = true
+	return res, OutcomeMiss, err
+}
+
+// AddFacts inserts facts through the underlying system (counting them in
+// Stats.Mutations). Affected cache entries stop matching on their own:
+// the mutation bumps the source's epoch, so subsequent lookups compute a
+// different key and recompute.
+func (s *Service) AddFacts(source string, facts []kb.Fact) (int, error) {
+	added, err := s.sys.AddFacts(source, facts)
+	s.mutations.Add(uint64(added))
+	return added, err
+}
+
+// cacheKey builds the result-cache key. q.String() is the normalized
+// rendering (Parse canonicalises whitespace and keyword case), and the
+// components are joined with bytes that cannot appear in names, so keys
+// cannot collide across articulations or epochs.
+func cacheKey(artName string, q query.Query, epoch string) string {
+	return artName + "\x00" + q.String() + "\x00" + epoch
+}

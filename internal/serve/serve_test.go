@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/articulation"
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/kb"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/rules"
+)
+
+const vehiclePriceQ = "SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p"
+
+// paperService wires the Fig. 2 world behind a Service.
+func paperService(t testing.TB, opts Options) *Service {
+	t.Helper()
+	sys := core.NewSystem()
+	for _, step := range []error{
+		sys.Register(fixtures.Carrier()),
+		sys.Register(fixtures.Factory()),
+		sys.RegisterKB(fixtures.CarrierKB()),
+		sys.RegisterKB(fixtures.FactoryKB()),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	if _, err := sys.Articulate(fixtures.ArtName, "carrier", "factory", fixtures.TransportRules(), fixtures.GenOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return New(sys, opts)
+}
+
+func TestCacheHitMissAndEpochInvalidation(t *testing.T) {
+	s := paperService(t, Options{})
+	ctx := context.Background()
+
+	r1, out, err := s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("first query: outcome %v err %v, want miss", out, err)
+	}
+	r2, out, err := s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+	if err != nil || out != OutcomeHit {
+		t.Fatalf("second query: outcome %v err %v, want hit", out, err)
+	}
+	if !r1.EqualRows(r2) {
+		t.Fatalf("cache returned different rows")
+	}
+	// Normalization: a differently spelled but identical query hits too.
+	if _, out, err = s.QueryOutcome(ctx, fixtures.ArtName,
+		"select  ?x   ?p  where ?x InstanceOf Vehicle .  ?x Price ?p"); err != nil || out != OutcomeHit {
+		t.Fatalf("normalized respelling: outcome %v err %v, want hit", out, err)
+	}
+
+	// A mutation shifts the epoch vector: the old entry stops matching,
+	// the next query recomputes and reflects the new fact.
+	if _, err := s.AddFacts("carrier", []kb.Fact{
+		{Subject: "NewCar", Predicate: "InstanceOf", Object: kb.Term("PassengerCar")},
+		{Subject: "NewCar", Predicate: "Price", Object: kb.Number(2500)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r3, out, err := s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("post-mutation query: outcome %v err %v, want miss", out, err)
+	}
+	if len(r3.Rows) != len(r1.Rows)+1 {
+		t.Fatalf("post-mutation rows = %d, want %d", len(r3.Rows), len(r1.Rows)+1)
+	}
+
+	st := s.Stats()
+	if st.CacheHits != 2 || st.CacheMisses != 2 || st.Mutations != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Errors are not cached and unknown articulations fail cleanly.
+	if _, _, err := s.QueryOutcome(ctx, "nope", vehiclePriceQ); err == nil {
+		t.Fatalf("unknown articulation accepted")
+	}
+	if _, _, err := s.QueryOutcome(ctx, fixtures.ArtName, "SELECT bogus"); err == nil {
+		t.Fatalf("parse error accepted")
+	}
+}
+
+func TestCacheDisabledAndEvictions(t *testing.T) {
+	ctx := context.Background()
+
+	// Negative CacheEntries disables caching: identical queries miss.
+	off := paperService(t, Options{CacheEntries: -1})
+	for i := 0; i < 2; i++ {
+		if _, out, err := off.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ); err != nil || out != OutcomeMiss {
+			t.Fatalf("uncached query %d: outcome %v err %v", i, out, err)
+		}
+	}
+
+	// A two-entry cache over three distinct queries evicts the oldest.
+	small := paperService(t, Options{CacheEntries: 2})
+	qs := []string{
+		"SELECT ?x WHERE ?x InstanceOf Vehicle",
+		"SELECT ?p WHERE carrier.MyCar Price ?p",
+		"SELECT ?x ?p WHERE ?x InstanceOf Vehicle . ?x Price ?p",
+	}
+	for _, q := range qs {
+		if _, _, err := small.QueryOutcome(ctx, fixtures.ArtName, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := small.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (stats %+v)", st.Evictions, st)
+	}
+	// The evicted (oldest) query misses; the newest still hits.
+	if _, out, _ := small.QueryOutcome(ctx, fixtures.ArtName, qs[0]); out != OutcomeMiss {
+		t.Fatalf("evicted query outcome = %v, want miss", out)
+	}
+	if _, out, _ := small.QueryOutcome(ctx, fixtures.ArtName, qs[2]); out != OutcomeHit {
+		t.Fatalf("resident query outcome = %v, want hit", out)
+	}
+}
+
+// TestSingleflightCoalescing holds the leader's flight open until every
+// follower has parked on it, then releases: exactly one execution, the
+// rest coalesce onto its result.
+func TestSingleflightCoalescing(t *testing.T) {
+	const followers = 7
+	s := paperService(t, Options{})
+	release := make(chan struct{})
+	s.leaderGate = func() {
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+			panic("coalescing test wedged: followers never arrived")
+		}
+	}
+
+	ctx := context.Background()
+	results := make([]*query.Result, followers+1)
+	outcomes := make([]Outcome, followers+1)
+	var wg sync.WaitGroup
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, out, err := s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			results[i], outcomes[i] = res, out
+		}(i)
+	}
+	// Release the leader once all followers are parked on its flight.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if s.Stats().Coalesced == followers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never coalesced: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.CacheMisses != 1 || st.Coalesced != followers || st.CacheHits != 0 {
+		t.Fatalf("stats = %+v, want 1 miss + %d coalesced", st, followers)
+	}
+	var nMiss int
+	for i, out := range outcomes {
+		if out == OutcomeMiss {
+			nMiss++
+		}
+		if results[i] == nil || !results[0].EqualRows(results[i]) {
+			t.Fatalf("worker %d got a different result", i)
+		}
+	}
+	if nMiss != 1 {
+		t.Fatalf("leaders = %d, want 1", nMiss)
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	s := paperService(t, Options{DefaultTimeout: time.Nanosecond})
+	_, _, err := s.QueryOutcome(context.Background(), fixtures.ArtName, vehiclePriceQ)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("default timeout not applied: %v", err)
+	}
+	// An explicit (generous) caller deadline overrides the default.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if res, _, err := s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ); err != nil || len(res.Rows) == 0 {
+		t.Fatalf("caller deadline run failed: %v", err)
+	}
+	// Errors must not poison the cache: the next unbounded call executes
+	// and succeeds.
+	if res, out, err := s.QueryOutcome(context.Background(), fixtures.ArtName, vehiclePriceQ); err != nil || out != OutcomeHit || len(res.Rows) == 0 {
+		t.Fatalf("after deadline error: outcome %v err %v", out, err)
+	}
+}
+
+// growWorld builds a two-source world whose result set grows by exactly
+// one row per mutation — the shape the staleness hammer checks
+// monotonicity against.
+func growWorld(t testing.TB) (*core.System, string) {
+	t.Helper()
+	sys := core.NewSystem()
+	for _, name := range []string{"g1", "g2"} {
+		o := ontology.New(name)
+		o.MustAddTerm("Item")
+		o.MustAddTerm("Price")
+		o.MustRelate("Item", ontology.AttributeOf, "Price")
+		if err := sys.Register(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := rules.NewSet(rules.MustParse("g1.Item => g2.Item"))
+	if _, err := sys.Articulate("growart", "g1", "g2", set, articulation.Options{Lenient: true}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, "growart"
+}
+
+// TestNoStaleRowsUnderMutationHammer is the cache-consistency hammer:
+// concurrent clients query through the Service while a mutator grows a
+// source through the System. The world is grow-only, so any client ever
+// observing the row count shrink has been served a stale cached result —
+// exactly what epoch-vector keying must prevent. The final cached answer
+// must be byte-identical to an uncached sequential run.
+func TestNoStaleRowsUnderMutationHammer(t *testing.T) {
+	sys, art := growWorld(t)
+	s := New(sys, Options{Exec: query.Options{Workers: 4}})
+	const q = "SELECT ?x ?p WHERE ?x InstanceOf Item . ?x Price ?p"
+	const clients = 6
+	const mutations = 60
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			seen := -1
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Query(context.Background(), art, q)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if len(res.Rows) < seen {
+					t.Errorf("client %d observed stale rows: %d after %d", c, len(res.Rows), seen)
+					return
+				}
+				seen = len(res.Rows)
+			}
+		}(c)
+	}
+	for i := 0; i < mutations; i++ {
+		inst := fmt.Sprintf("I%03d", i)
+		if _, err := s.AddFacts("g1", []kb.Fact{
+			{Subject: inst, Predicate: "InstanceOf", Object: kb.Term("Item")},
+			{Subject: inst, Predicate: "Price", Object: kb.Number(float64(i))},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	final, err := s.Query(context.Background(), art, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.QueryWith(art, q, query.Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Rows) != mutations || !want.EqualRows(final) {
+		t.Fatalf("final served rows (%d) diverge from uncached sequential (%d)", len(final.Rows), len(want.Rows))
+	}
+}
+
+// BenchmarkServeHotCache is the serving layer's per-request cost on a
+// resident entry: one mutex-guarded map lookup plus an LRU bump.
+func BenchmarkServeHotCache(b *testing.B) {
+	s := paperService(b, Options{})
+	ctx := context.Background()
+	if _, err := s.Query(ctx, fixtures.ArtName, vehiclePriceQ); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(ctx, fixtures.ArtName, vehiclePriceQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFollowerSurvivesLeaderCancellation pins the orphaned-follower
+// rule: when the singleflight leader dies of its *own* context — a
+// disconnected client, a tight per-request deadline — a healthy
+// follower must not inherit that error; it retries and executes with
+// its own budget.
+func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
+	s := paperService(t, Options{})
+	release := make(chan struct{})
+	s.leaderGate = func() { <-release } // a closed channel passes instantly on retry
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.QueryOutcome(leaderCtx, fixtures.ArtName, vehiclePriceQ)
+		leaderErr <- err
+	}()
+	waitForStat(t, s, func(st Stats) bool { return st.CacheMisses == 1 })
+
+	followerRes := make(chan error, 1)
+	go func() {
+		res, _, err := s.QueryOutcome(context.Background(), fixtures.ArtName, vehiclePriceQ)
+		if err == nil && len(res.Rows) == 0 {
+			err = errors.New("empty result")
+		}
+		followerRes <- err
+	}()
+	waitForStat(t, s, func(st Stats) bool { return st.Coalesced == 1 })
+
+	// Kill the leader's context, then let it run into the cancellation.
+	cancelLeader()
+	close(release)
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	if err := <-followerRes; err != nil {
+		t.Fatalf("follower inherited the leader's death: %v", err)
+	}
+	if st := s.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("follower did not retry as leader: %+v", st)
+	}
+}
+
+// waitForStat polls the service counters until cond holds.
+func waitForStat(t *testing.T, s *Service, cond func(Stats) bool) {
+	t.Helper()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if cond(s.Stats()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/query"
 	"repro/internal/rules"
+	"repro/internal/serve"
 	"repro/internal/skat"
 	"repro/internal/view"
 	"repro/internal/wrapper"
@@ -344,6 +345,31 @@ func NewQueryEngine(art *Articulation, sources map[string]*QuerySource) (*QueryE
 // applied to every Execute call.
 func NewQueryEngineWith(art *Articulation, sources map[string]*QuerySource, opts QueryOptions) (*QueryEngine, error) {
 	return query.NewEngineWith(art, sources, opts)
+}
+
+// Serving layer (internal/serve): a concurrent query service over a
+// System with an epoch-keyed result cache, singleflight coalescing of
+// identical in-flight queries and per-request deadlines. cmd/oniond
+// exposes it over HTTP/JSON.
+type (
+	// QueryService answers queries through the coalescing result cache.
+	QueryService = serve.Service
+	// ServeOptions tune the service (cache bound, default deadline,
+	// execution options).
+	ServeOptions = serve.Options
+	// ServeStats are the service's traffic counters (hits, misses,
+	// coalesced, evictions, mutations).
+	ServeStats = serve.Stats
+	// ServeOutcome reports how a query was answered (hit, coalesced,
+	// miss).
+	ServeOutcome = serve.Outcome
+)
+
+// NewQueryService wraps a System in a serving layer. Results served from
+// the cache are exact: every mutation through the System bumps the
+// touched source's epoch, and cache keys include the epoch vector.
+func NewQueryService(sys *System, opts ServeOptions) *QueryService {
+	return serve.New(sys, opts)
 }
 
 // Inference engine (Horn clauses over binary atoms).
