@@ -76,6 +76,10 @@ type queryRequest struct {
 	Query        string `json:"query"`
 	// TimeoutMS bounds this request; 0 falls back to the service default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MemoryLimitBytes caps this request's execution memory; joins
+	// degrade to grace-hash spilling instead of exceeding it. 0 falls
+	// back to the service default; a tighter service default wins.
+	MemoryLimitBytes int64 `json:"memory_limit_bytes,omitempty"`
 }
 
 type queryResponse struct {
@@ -179,7 +183,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, outcome, err := s.svc.QueryOutcome(ctx, req.Articulation, req.Query)
+	res, outcome, err := s.svc.QueryLimited(ctx, req.Articulation, req.Query,
+		serve.Limits{MemoryBytes: req.MemoryLimitBytes})
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)

@@ -88,10 +88,11 @@ func All() []*Table {
 		E12JoinHeavy(nil),
 		E13PipelineDepth(nil),
 		E14ServingThroughput(nil),
+		E15BoundedMemory(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E14"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E15"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -123,6 +124,8 @@ func ByID(id string) (*Table, bool) {
 		return E13PipelineDepth(nil), true
 	case "E14":
 		return E14ServingThroughput(nil), true
+	case "E15":
+		return E15BoundedMemory(nil), true
 	default:
 		return nil, false
 	}

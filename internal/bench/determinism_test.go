@@ -79,6 +79,10 @@ func TestPlannedExecutionMatchesSequential(t *testing.T) {
 		{"barrier-pool-8", query.Options{Workers: 8, StepBarriers: true}}, // PR 2 per-step executor
 		{"compat-inline", query.Options{Workers: 1, CompatJoins: true}},
 		{"compat-pool-8", query.Options{Workers: 8, CompatJoins: true}},
+		// The tiny-budget leg: a 16KB cap forces every pipeline join
+		// partition into grace-hash spilling (and forces shallow chains
+		// onto the pipeline), yet rows must stay byte-identical.
+		{"pipelined-8-tinybudget", query.Options{Workers: 8, MemoryLimit: 1 << 14}},
 	}
 	for _, w := range worlds {
 		for qi, q := range w.qs {
@@ -97,6 +101,18 @@ func TestPlannedExecutionMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+	}
+
+	// The tiny budget must actually have exercised the spill path on the
+	// deep-chain world (the other worlds may or may not cross their
+	// per-partition reservations; the chain world's frontier always
+	// does).
+	spilled, err := ceng.ExecuteWith(cq, query.Options{Workers: 8, MemoryLimit: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled.Stats.SpilledPartitions == 0 || spilled.Stats.SpillRuns == 0 {
+		t.Errorf("tiny-budget chain run did not spill: %+v", spilled.Stats)
 	}
 }
 

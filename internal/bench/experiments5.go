@@ -61,8 +61,11 @@ func E13PipelineDepth(depths []int) *Table {
 	const reps = 5
 	for _, nt := range depths {
 		eng, q := buildChainWorld(chainSources, chainInstances, nt, chainDup)
-		barrier := query.Options{Workers: chainWorkers, StepBarriers: true}
-		pipe := query.Options{Workers: chainWorkers}
+		// Partitions pinned to the worker count: E13 tracks the barrier
+		// cost against PR 3/4 baselines, so the planner's adaptive
+		// per-step counts (E15's territory) are held out of this sweep.
+		barrier := query.Options{Workers: chainWorkers, Partitions: chainWorkers, StepBarriers: true}
+		pipe := query.Options{Workers: chainWorkers, Partitions: chainWorkers}
 
 		var resBar, resPipe *query.Result
 		var err error

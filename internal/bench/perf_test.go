@@ -120,3 +120,32 @@ func BenchmarkE13WorldPipelined(b *testing.B) {
 	eng, q := buildChainWorld(8, 60, 5, 2)
 	benchWorldExec(b, eng, q, query.Options{Workers: 4})
 }
+
+// TestE15BoundedMemoryCompletes locks the E15 acceptance shape on a
+// scaled-down cap: the capped run must spill, keep its accounted peak
+// under the cap, and return rows byte-identical to the unbounded
+// pipeline and the sequential reference. The wall-clock bar (≤1.5x) is
+// reported by `onionbench -exp E15` and recorded in BENCH_PR5.json;
+// the test asserts only the timing-independent invariants so CI stays
+// robust on shared runners.
+func TestE15BoundedMemoryCompletes(t *testing.T) {
+	r := runE15(e15Cap)
+	if !r.identical {
+		t.Errorf("capped rows diverged from unbounded/sequential")
+	}
+	if !r.forcedSpilling {
+		t.Errorf("cap %d did not force spilling (unbounded peak %d)", r.cap, r.unboundedPeak)
+	}
+	if !r.peakUnderCap {
+		t.Errorf("accounted peak %d exceeds cap %d", r.cappedPeak, r.cap)
+	}
+	if r.unboundedPeak <= r.cap {
+		t.Errorf("world too small: unbounded peak %d under cap %d", r.unboundedPeak, r.cap)
+	}
+	if r.adaptiveSteps == 0 {
+		t.Errorf("partition counts not planner-derived")
+	}
+	if r.rows == 0 {
+		t.Errorf("bounded run produced no rows")
+	}
+}

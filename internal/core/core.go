@@ -412,14 +412,18 @@ func (s *System) Query(artName, text string) (*query.Result, error) {
 }
 
 // QueryWith is Query with explicit execution options (worker-pool size
-// and join partition count — with more than one worker, keyed join
-// chains run as a cross-step streaming pipeline — plus the per-step
-// barrier, sequential-reference and compat-join paths). The returned
-// Result's Stats carry the execution counters, including
+// and join partitioning — with more than one worker, keyed join chains
+// run as a cross-step streaming pipeline whose per-step partition
+// counts the planner derives from its estimates — plus a MemoryLimit
+// under which pipeline joins degrade to grace-hash spilling, and the
+// per-step barrier, sequential-reference and compat-join paths). The
+// returned Result's Stats carry the execution counters, including
 // JoinPartitions, StreamedBatches, PipelinedSteps and StepPartitions
-// from the partitioned scan→join pipeline. Execution runs under the
-// registry read lock, so mutators (Infer, Regenerate, ...) wait for
-// in-flight queries instead of racing their scans.
+// from the partitioned scan→join pipeline and BytesReserved,
+// SpilledPartitions, SpillRuns and AdaptivePartitions from the memory
+// governor. Execution runs under the registry read lock, so mutators
+// (Infer, Regenerate, ...) wait for in-flight queries instead of
+// racing their scans.
 func (s *System) QueryWith(artName, text string, opts query.Options) (*query.Result, error) {
 	return s.QueryCtx(context.Background(), artName, text, opts)
 }

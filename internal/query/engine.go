@@ -73,6 +73,28 @@ type Stats struct {
 	// (an in-flight scan runs to completion), unlike the row counters,
 	// which are deterministic.
 	ScansCancelled int
+	// BytesReserved is the peak accounted bytes of the execution's
+	// memory budget (internal/query/mem): build tables, pending probe
+	// queues, arena blocks, projection dedup sets and spill buffers.
+	// Reported whether or not Options{MemoryLimit} caps it (0 on the
+	// sequential and compat reference paths, which do not account).
+	BytesReserved int64
+	// SpilledPartitions counts join partitions that spilled tuples to
+	// disk under Options{MemoryLimit} — a pending probe queue
+	// overflowing to a run (build table still in memory), or the full
+	// grace-hash degrade when the build table itself could not reserve.
+	// Whether a given partition crosses its reservation can depend on
+	// arrival interleaving, so the count is timing-influenced — but it
+	// is always > 0 when the limit genuinely undercuts the build
+	// footprint, and always 0 without a limit.
+	SpilledPartitions int
+	// SpillRuns counts temp-file runs the grace-hash joins created
+	// (build + probe sides, including recursive sub-partitioning).
+	SpillRuns int
+	// AdaptivePartitions counts join steps whose hash-partition count
+	// was derived from the planner's scan estimates (0 when
+	// Options{Partitions} pins a global count or no join partitioned).
+	AdaptivePartitions int
 }
 
 // accrue adds the order-independent work counters of s into dst. The

@@ -225,6 +225,20 @@ func TestShallowChainCostChoice(t *testing.T) {
 	if dres.Stats.PipelinedSteps == 0 {
 		t.Fatalf("deep chain did not pipeline: %+v", dres.Stats)
 	}
+
+	// A memory budget bypasses the shallow gate: only the pipeline can
+	// degrade to grace-hash spilling, so the tiny world pipelines when a
+	// limit is set — with identical rows.
+	capped, err := small.ExecuteWith(q2, Options{Workers: 4, MemoryLimit: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Stats.PipelinedSteps == 0 {
+		t.Fatalf("budgeted shallow chain did not pipeline: %+v", capped.Stats)
+	}
+	if !seq.EqualRows(capped) {
+		t.Fatalf("budgeted shallow chain diverged from sequential")
+	}
 }
 
 // shallowHeavyEngine builds a two-source, two-triple world whose scan

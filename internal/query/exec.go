@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/kb"
+	"repro/internal/query/mem"
 )
 
 // This file is the slot-based tuple executor: the default planned
@@ -24,17 +25,42 @@ import (
 // per-row bound mask.
 type tuple []kb.Value
 
-// arenaBlock is how many tuples a tupleArena carves from one allocation.
-const arenaBlock = 256
+// arenaBlock is how many tuples a tupleArena carves from one allocation;
+// budgetedArenaBlock is the smaller block used under Options{MemoryLimit}
+// so the fixed (non-spillable) working set stays well below the cap.
+const (
+	arenaBlock         = 256
+	budgetedArenaBlock = 16
+)
 
 // tupleArena hands out fixed-width tuples from shared blocks: one
-// allocation per arenaBlock rows instead of one per row. An arena belongs
+// allocation per block of rows instead of one per row. An arena belongs
 // to a single goroutine and a single step, so an abandoned next() (a
 // repeated-variable rejection) can safely reuse its memory — the next
 // row writes the same slot set before any slot is read.
 type tupleArena struct {
 	width int
 	block []kb.Value
+	// blockTuples overrides the tuples carved per allocation (0 =
+	// arenaBlock).
+	blockTuples int
+	// bud, when non-nil, is charged for the arena's *current* block and
+	// released when the block rotates or the arena closes. Handed-off
+	// tuples' retention is the consumer's ledger (build tables, pending
+	// probe queues, projection sets, spill runs), so the arena accounts
+	// only the block it is still filling.
+	bud     *mem.Budget
+	charged int64
+}
+
+// newArena returns an arena charged to the execution budget; blocks
+// shrink under a memory limit so the fixed working set stays small.
+func newArena(width int, bud *mem.Budget) *tupleArena {
+	bt := 0
+	if bud.Limit() > 0 {
+		bt = budgetedArenaBlock
+	}
+	return &tupleArena{width: width, blockTuples: bt, bud: bud}
 }
 
 // next returns the arena's pending tuple without committing it. All slots
@@ -42,7 +68,14 @@ type tupleArena struct {
 // subset of the slots the caller is about to write.
 func (a *tupleArena) next() tuple {
 	if len(a.block) < a.width {
-		a.block = make([]kb.Value, a.width*arenaBlock)
+		bt := a.blockTuples
+		if bt == 0 {
+			bt = arenaBlock
+		}
+		a.bud.Release(a.charged)
+		a.charged = int64(a.width*bt) * valueBytes
+		a.bud.MustReserve(a.charged)
+		a.block = make([]kb.Value, a.width*bt)
 	}
 	return a.block[:a.width:a.width]
 }
@@ -50,6 +83,12 @@ func (a *tupleArena) next() tuple {
 // commit finalises the pending tuple; the next next() returns fresh
 // memory.
 func (a *tupleArena) commit() { a.block = a.block[a.width:] }
+
+// close releases the charge for the arena's current block.
+func (a *tupleArena) close() {
+	a.bud.Release(a.charged)
+	a.charged = 0
+}
 
 // appendSlotKey appends a collision-free join-key encoding of the key
 // slots to buf — appendValueKey (rowkey.go) per slot, the same encoding
@@ -99,6 +138,27 @@ func resolveWorkers(opts Options) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// partsForBuild sizes the per-step path's hash-partition count from the
+// accumulated frontier's actual cardinality — on this path the frontier
+// *is* the build side (the pipeline sizes from the planner's scan
+// estimate instead, because its build side is the step's own scan
+// output). Never below the worker pool — a small-scan step of a
+// wide-frontier chain must not serialise its probe workers — and at
+// most 4x the pool, like the planner's hints.
+func partsForBuild(buildRows int, opts Options, workers int) int {
+	if opts.Partitions > 0 {
+		return opts.Partitions
+	}
+	p := (buildRows + partitionRowTarget - 1) / partitionRowTarget
+	if p < workers {
+		p = workers
+	}
+	if lim := 4 * workers; p > lim {
+		p = lim
+	}
+	return p
+}
+
 // executePlanned is the planned execution path: compiled (cached) plan,
 // slot-tuple rows, per-source scans fanned out to a bounded worker pool,
 // hash joins in selectivity order (partitioned across the pool when it
@@ -118,7 +178,14 @@ func (e *Engine) executePlanned(ctx context.Context, q Query, opts Options) (*Re
 	if opts.CompatJoins {
 		err = e.executeCompat(ctx, q, plan, opts, res)
 	} else {
-		err = e.executeTuples(ctx, q, plan, opts, res)
+		// The per-query memory budget: every tuple-executor component
+		// charges it (arenas, build tables, pending probe queues,
+		// projection sets, spill buffers), and under Options{MemoryLimit}
+		// the pipelined joins degrade to grace-hash spills rather than
+		// outgrow it.
+		bud := mem.New(opts.MemoryLimit)
+		err = e.executeTuples(ctx, q, plan, opts, bud, res)
+		st.BytesReserved = bud.Peak()
 	}
 	if err != nil {
 		return nil, err
@@ -132,19 +199,28 @@ func (e *Engine) executePlanned(ctx context.Context, q Query, opts Options) (*Re
 // step, a disconnected cross product, or Options{StepBarriers} — it runs
 // the per-step path, where each join step materialises its output before
 // the next step's scans dispatch.
-func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opts Options, res *Result) error {
+func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opts Options, bud *mem.Budget, res *Result) error {
 	st := &res.Stats
 	width := len(plan.slotNames)
 	workers := resolveWorkers(opts)
 	if plan.pipelines(opts, workers) {
-		return e.executePipelined(ctx, q, plan, opts, res)
+		return e.executePipelined(ctx, q, plan, opts, bud, res)
 	}
-	parts := resolvePartitions(opts, workers)
 
 	var rows []tuple
 	bound := make(map[string]bool)
 	applied := make([]bool, len(q.Filters))
 	stepParts := make([]int, 0, len(plan.steps))
+	// The per-step path materialises the frontier between steps by
+	// construction; the budget accounts it (release the previous step's
+	// frontier, charge the new one) but only the pipeline can spill.
+	var frontierCharge int64
+	defer func() { bud.Release(frontierCharge) }()
+	chargeFrontier := func() {
+		bud.Release(frontierCharge)
+		frontierCharge = int64(len(rows)) * tupleCost(width)
+		bud.MustReserve(frontierCharge)
+	}
 	for si := range plan.steps {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -161,23 +237,28 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 		}
 		switch {
 		case si == 0:
-			rows = e.gatherScans(ctx, stp, width, workers, tasks, st)
+			rows = e.gatherScans(ctx, stp, width, workers, tasks, bud, st)
 			stepParts = append(stepParts, 0)
 		case len(stp.keySlots) == 0:
-			right := e.gatherScans(ctx, stp, width, workers, tasks, st)
-			rows = crossJoinTuples(rows, right, stp, width)
+			right := e.gatherScans(ctx, stp, width, workers, tasks, bud, st)
+			rows = crossJoinTuples(rows, right, stp, width, bud)
 			stepParts = append(stepParts, 0)
 		case workers > 1 && len(tasks) > 0:
-			rows = e.joinStreamed(ctx, rows, stp, width, workers, parts, tasks, st)
+			parts := partsForBuild(len(rows), opts, workers)
+			if opts.Partitions == 0 {
+				st.AdaptivePartitions++
+			}
+			rows = e.joinStreamed(ctx, rows, stp, width, workers, parts, tasks, bud, st)
 			stepParts = append(stepParts, parts)
 		default:
-			rows = e.joinInline(ctx, rows, stp, width, tasks, st)
+			rows = e.joinInline(ctx, rows, stp, width, tasks, bud, st)
 			stepParts = append(stepParts, 0)
 		}
 		for _, v := range stp.vars {
 			bound[v] = true
 		}
 		rows = applyTupleFilters(rows, q.Filters, plan, applied, bound)
+		chargeFrontier()
 		if len(rows) == 0 {
 			break
 		}
@@ -271,11 +352,12 @@ func tupleEmit(stp *planStep, arena *tupleArena, sink func(tuple)) func(s, p, o 
 
 // gatherScans materialises one step's scan output as tuples (first step,
 // and the rare disconnected cross-product step).
-func (e *Engine) gatherScans(ctx context.Context, stp *planStep, width, workers int, tasks []int, st *Stats) []tuple {
+func (e *Engine) gatherScans(ctx context.Context, stp *planStep, width, workers int, tasks []int, bud *mem.Budget, st *Stats) []tuple {
 	results := make([][]tuple, len(stp.scans))
 	e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
 		sc := stp.scans[j]
-		arena := &tupleArena{width: width}
+		arena := newArena(width, bud)
+		defer arena.close()
 		var out []tuple
 		e.scanMatch(sc.name, sc.src, stp.triple, sc.view, ts, true,
 			tupleEmit(stp, arena, func(t tuple) { out = append(out, t) }))
@@ -302,11 +384,12 @@ func mergeTuple(arena *tupleArena, l, r tuple, newSlots []int) tuple {
 
 // crossJoinTuples merges every left tuple with every right tuple — the
 // disconnected-query case with no shared slots.
-func crossJoinTuples(left, right []tuple, stp *planStep, width int) []tuple {
+func crossJoinTuples(left, right []tuple, stp *planStep, width int, bud *mem.Budget) []tuple {
 	if len(left) == 0 || len(right) == 0 {
 		return nil
 	}
-	arena := &tupleArena{width: width}
+	arena := newArena(width, bud)
+	defer arena.close()
 	out := make([]tuple, 0, len(left)*len(right))
 	for _, l := range left {
 		for _, r := range right {
@@ -321,10 +404,13 @@ func crossJoinTuples(left, right []tuple, stp *planStep, width int) []tuple {
 // once by key hash, then every scan-emitted tuple probes it immediately —
 // the scan side is never materialised and no key string ever is (hash
 // keys plus keySlotsEqual verification).
-func (e *Engine) joinInline(ctx context.Context, left []tuple, stp *planStep, width int, tasks []int, st *Stats) []tuple {
+func (e *Engine) joinInline(ctx context.Context, left []tuple, stp *planStep, width int, tasks []int, bud *mem.Budget, st *Stats) []tuple {
 	if len(left) == 0 {
 		return nil
 	}
+	buildCharge := int64(len(left)) * tupleCost(width)
+	bud.MustReserve(buildCharge)
+	defer bud.Release(buildCharge)
 	build := make(map[uint64][]tuple, len(left))
 	var buf []byte
 	for _, l := range left {
@@ -332,11 +418,13 @@ func (e *Engine) joinInline(ctx context.Context, left []tuple, stp *planStep, wi
 		h := hashKey(buf)
 		build[h] = append(build[h], l)
 	}
-	mergeArena := &tupleArena{width: width}
+	mergeArena := newArena(width, bud)
+	defer mergeArena.close()
 	var out []tuple
 	e.runScanTasks(ctx, stp, tasks, 1, st, func(j int, ts *Stats) {
 		sc := stp.scans[j]
-		scanArena := &tupleArena{width: width}
+		scanArena := newArena(width, bud)
+		defer scanArena.close()
 		e.scanMatch(sc.name, sc.src, stp.triple, sc.view, ts, true,
 			tupleEmit(stp, scanArena, func(r tuple) {
 				buf = appendSlotKey(buf[:0], r, stp.keySlots)
@@ -380,13 +468,18 @@ type hashedTuple struct {
 // pipelined executor removes that one too). Per-partition outputs are
 // concatenated in partition order and per-task counters merge in source
 // order, so everything observable is deterministic.
-func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, width, workers, parts int, tasks []int, st *Stats) []tuple {
+func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, width, workers, parts int, tasks []int, bud *mem.Budget, st *Stats) []tuple {
 	if len(left) == 0 {
 		return nil
 	}
 	if st.JoinPartitions < parts {
 		st.JoinPartitions = parts
 	}
+	// The left side is the build table, materialised by construction on
+	// this path; account it for the whole join.
+	buildCharge := int64(len(left)) * tupleCost(width)
+	bud.MustReserve(buildCharge)
+	defer bud.Release(buildCharge)
 	partCh := make([]chan streamedBatch, parts)
 	for p := range partCh {
 		partCh[p] = make(chan streamedBatch, 4)
@@ -399,7 +492,8 @@ func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, 
 		defer close(scansDone)
 		e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
 			sc := stp.scans[j]
-			arena := &tupleArena{width: width}
+			arena := newArena(width, bud)
+			defer arena.close()
 			local := make([]streamedBatch, parts)
 			var buf []byte
 			batches := 0
@@ -470,7 +564,8 @@ func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, 
 					build[l.hash] = append(build[l.hash], l.tup)
 				}
 			}
-			arena := &tupleArena{width: width}
+			arena := newArena(width, bud)
+			defer arena.close()
 			var out []tuple
 			for batch := range partCh[p] {
 				for i, r := range batch.tups {

@@ -88,13 +88,18 @@ func TestTupleExecutorMatchesReferences(t *testing.T) {
 			t.Errorf("%s JoinedRows = %d, want %d", m.name, got.Stats.JoinedRows, want.Stats.JoinedRows)
 		}
 	}
-	// The pipelined run must actually have partitioned and streamed.
+	// The pipelined run must actually have partitioned and streamed,
+	// with the partition counts planner-derived (adaptive) rather than
+	// pinned by an Options{Partitions} override.
 	got, err := eng.ExecuteWith(q, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Stats.JoinPartitions != 4 {
-		t.Errorf("JoinPartitions = %d, want 4", got.Stats.JoinPartitions)
+	if got.Stats.JoinPartitions < 1 {
+		t.Errorf("JoinPartitions = %d, want >= 1", got.Stats.JoinPartitions)
+	}
+	if got.Stats.AdaptivePartitions == 0 {
+		t.Errorf("default partitioning not planner-derived: %+v", got.Stats)
 	}
 	if got.Stats.StreamedBatches == 0 {
 		t.Errorf("no batches streamed: %+v", got.Stats)
@@ -107,11 +112,19 @@ func TestTupleExecutorMatchesReferences(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if barrier.Stats.JoinPartitions != 4 || barrier.Stats.StreamedBatches == 0 {
+	if barrier.Stats.JoinPartitions < 1 || barrier.Stats.StreamedBatches == 0 {
 		t.Errorf("barrier run did not partition/stream within steps: %+v", barrier.Stats)
 	}
 	if barrier.Stats.PipelinedSteps != 0 {
 		t.Errorf("barrier run claims pipelining: %+v", barrier.Stats)
+	}
+	// An explicit global Partitions override still pins every step.
+	pinned, err := eng.ExecuteWith(q, Options{Workers: 4, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Stats.JoinPartitions != 4 || pinned.Stats.AdaptivePartitions != 0 {
+		t.Errorf("Partitions override not honoured: %+v", pinned.Stats)
 	}
 	// And the inline run must not report phantom partitions.
 	inline, err := eng.ExecuteWith(q, Options{Workers: 1})

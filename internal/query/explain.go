@@ -42,6 +42,11 @@ type TriplePlan struct {
 	// key variables the output is re-hashed on at production time.
 	StreamsInto   int
 	StreamKeyVars []string
+	// Partitions is the hash-partition count this step's join runs with
+	// under the engine's default options: planner-derived from the scan
+	// estimates (skew-aware) unless Options{Partitions} pins a global
+	// count (0 for the leading scan step and when joins run inline).
+	Partitions int
 }
 
 // Plan is the explanation of a query's reformulation (§2.3: "a query
@@ -57,9 +62,14 @@ type Plan struct {
 	// Workers is the worker-pool size the engine's default options
 	// resolve to.
 	Workers int
-	// Partitions is the hash-partition count of the partitioned joins
-	// (Options{Partitions}, default = Workers; 0 when joins run inline).
+	// Partitions is the widest hash-partition count across the join
+	// steps (each step's own count is in its TriplePlan.Partitions;
+	// Options{Partitions} pins them all; 0 when joins run inline).
 	Partitions int
+	// MemoryLimit is the engine default options' execution budget in
+	// bytes (0 = unlimited): joins that cannot reserve within it degrade
+	// to grace-hash spilling on the pipelined path.
+	MemoryLimit int64
 	// Pipelined reports that the engine's default options execute this
 	// plan as a cross-step streaming pipeline: every step's probe output
 	// streams straight into the next step's partitions while later
@@ -90,13 +100,20 @@ func (p *Plan) String() string {
 	default:
 		b.WriteString("  exec: slot tuples; keyed joins inline (single worker)\n")
 	}
+	if p.MemoryLimit > 0 {
+		fmt.Fprintf(&b, "  memory: budget %d bytes — joins degrade to grace-hash spill at their reservation\n", p.MemoryLimit)
+	}
 	for i, tp := range p.Triples {
 		key := "-"
 		if len(tp.KeyVars) > 0 {
 			key = "{?" + strings.Join(tp.KeyVars, " ?") + "}"
 		}
-		fmt.Fprintf(&b, "  step %d: triple %s  (where #%d, est %d, join key %s)\n",
-			i+1, tp.Triple, tp.Index+1, tp.Est, key)
+		parts := ""
+		if tp.Partitions > 0 {
+			parts = fmt.Sprintf(", parts %d", tp.Partitions)
+		}
+		fmt.Fprintf(&b, "  step %d: triple %s  (where #%d, est %d, join key %s%s)\n",
+			i+1, tp.Triple, tp.Index+1, tp.Est, key, parts)
 		if tp.StreamsInto >= 0 {
 			fmt.Fprintf(&b, "    ~> streams into step %d on {?%s}\n",
 				tp.StreamsInto+1, strings.Join(tp.StreamKeyVars, " ?"))
@@ -132,12 +149,10 @@ func (e *Engine) Explain(q Query) (*Plan, error) {
 	ep, _ := e.cachedPlan(q)
 	workers := resolveWorkers(e.opts)
 	plan := &Plan{
-		Query:   q.String(),
-		Slots:   append([]string(nil), ep.slotNames...),
-		Workers: workers,
-	}
-	if workers > 1 {
-		plan.Partitions = resolvePartitions(e.opts, workers)
+		Query:       q.String(),
+		Slots:       append([]string(nil), ep.slotNames...),
+		Workers:     workers,
+		MemoryLimit: e.opts.MemoryLimit,
 	}
 	plan.Pipelined = ep.pipelines(e.opts, workers)
 	for i, stp := range ep.steps {
@@ -148,6 +163,15 @@ func (e *Engine) Explain(q Query) (*Plan, error) {
 			KeyVars:     slotVars(ep, stp.keySlots),
 			NewVars:     slotVars(ep, stp.newSlots),
 			StreamsInto: -1,
+		}
+		// Per-step planner-derived partition counts, as the engine's
+		// default options would execute them (keyed steps only; joins
+		// run inline on a single worker).
+		if workers > 1 && i > 0 && len(stp.keySlots) > 0 {
+			tp.Partitions = ep.stepPartCount(i, e.opts, workers)
+			if plan.Partitions < tp.Partitions {
+				plan.Partitions = tp.Partitions
+			}
 		}
 		if plan.Pipelined && i+1 < len(ep.steps) {
 			tp.StreamsInto = i + 1

@@ -1,0 +1,157 @@
+// Package mem is the query engine's memory-governance substrate: a
+// per-query byte Budget that execution-layer components (scan arenas,
+// join build tables, pending probe queues, projection dedup sets, spill
+// buffers) charge as they retain memory and release as they let it go.
+//
+// The articulation engine answers queries over the union of
+// independently-evolving source KBs, so join frontiers and build tables
+// grow with the product of the sources, not any single one. A Budget
+// turns that from an OOM risk into a planned degradation: the pipelined
+// executor gives every join partition a child reservation, and a
+// partition whose build table cannot reserve another batch degrades to a
+// grace-hash spilling join instead of growing without bound.
+//
+// Accounting is deliberately two-tier:
+//
+//   - Reserve is all-or-nothing against every limit on the path to the
+//     root. It is used for the memory that *can* be traded for disk
+//     (build tables, buffered probe batches): a failed Reserve is the
+//     spill trigger, never an error.
+//   - MustReserve always succeeds and may push Used past Limit. It is
+//     used for the small fixed working state that cannot spill (the
+//     current arena block, in-flight batches, spill-file write buffers,
+//     the final projected rows); callers size that state well under the
+//     limit, so the accounted peak stays below the cap whenever the
+//     spillable components respect their reservations.
+//
+// A nil *Budget is valid everywhere and means "unlimited, unaccounted";
+// all methods are safe for concurrent use.
+package mem
+
+import "sync/atomic"
+
+// Budget is one node of a hierarchical byte budget. Charges propagate to
+// the root, so a child reservation counts against both its own limit and
+// every ancestor's; the root's Peak is the query's accounted high-water
+// mark (Stats.BytesReserved).
+type Budget struct {
+	parent *Budget
+	limit  int64 // <= 0: no limit at this level (accounting only)
+	used   atomic.Int64
+	peak   atomic.Int64
+}
+
+// New returns a root budget. limit <= 0 builds an unlimited budget that
+// still accounts (Reserve never fails, Peak is still tracked).
+func New(limit int64) *Budget {
+	return &Budget{limit: limit}
+}
+
+// Child returns a sub-budget whose charges also count against b and its
+// ancestors. limit <= 0 bounds the child only by its ancestors.
+func (b *Budget) Child(limit int64) *Budget {
+	if b == nil {
+		return nil
+	}
+	return &Budget{parent: b, limit: limit}
+}
+
+// Limit returns this level's byte limit (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Used returns the bytes currently charged at this level (including all
+// descendants' charges).
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Peak returns the high-water mark of Used.
+func (b *Budget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
+}
+
+// Reserve charges n bytes against this budget and every ancestor,
+// all-or-nothing: when any level on the path would exceed its limit the
+// whole charge unwinds and Reserve reports false — the caller's cue to
+// degrade (spill) rather than retain. n <= 0 is a no-op that succeeds.
+//
+// Limited levels charge by compare-and-swap, so a doomed reservation is
+// never visible to concurrent readers even transiently — Used (and
+// therefore Peak, i.e. Stats.BytesReserved) cannot exceed a level's
+// limit through Reserve alone, whatever the interleaving.
+func (b *Budget) Reserve(n int64) bool {
+	if b == nil || n <= 0 {
+		return true
+	}
+	for lvl := b; lvl != nil; lvl = lvl.parent {
+		if !lvl.tryCharge(n) {
+			// Unwind every level already charged.
+			for r := b; r != lvl; r = r.parent {
+				r.used.Add(-n)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// tryCharge adds n at one level, refusing (without ever publishing the
+// charge) when a limit would be exceeded.
+func (b *Budget) tryCharge(n int64) bool {
+	if b.limit <= 0 {
+		b.bumpPeak(b.used.Add(n))
+		return true
+	}
+	for {
+		cur := b.used.Load()
+		if cur+n > b.limit {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, cur+n) {
+			b.bumpPeak(cur + n)
+			return true
+		}
+	}
+}
+
+// MustReserve charges n bytes unconditionally — the path for fixed
+// working state that cannot be traded for disk. It may push Used past
+// Limit; callers keep such state small relative to the limit.
+func (b *Budget) MustReserve(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	for lvl := b; lvl != nil; lvl = lvl.parent {
+		lvl.bumpPeak(lvl.used.Add(n))
+	}
+}
+
+// Release returns n bytes to this budget and every ancestor.
+func (b *Budget) Release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	for lvl := b; lvl != nil; lvl = lvl.parent {
+		lvl.used.Add(-n)
+	}
+}
+
+func (b *Budget) bumpPeak(used int64) {
+	for {
+		p := b.peak.Load()
+		if used <= p || b.peak.CompareAndSwap(p, used) {
+			return
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if !b.Reserve(1 << 40) {
+		t.Fatal("nil budget refused a reservation")
+	}
+	b.MustReserve(5)
+	b.Release(5)
+	if b.Used() != 0 || b.Peak() != 0 || b.Limit() != 0 {
+		t.Fatal("nil budget reported non-zero accounting")
+	}
+	if b.Child(10) != nil {
+		t.Fatal("nil budget produced a non-nil child")
+	}
+}
+
+func TestReserveRespectsLimit(t *testing.T) {
+	b := New(100)
+	if !b.Reserve(60) {
+		t.Fatal("reserve under limit failed")
+	}
+	if b.Reserve(41) {
+		t.Fatal("reserve past limit succeeded")
+	}
+	if got := b.Used(); got != 60 {
+		t.Fatalf("failed reserve leaked: used = %d, want 60", got)
+	}
+	if !b.Reserve(40) {
+		t.Fatal("reserve exactly to limit failed")
+	}
+	b.Release(100)
+	if b.Used() != 0 {
+		t.Fatalf("used = %d after full release", b.Used())
+	}
+	if b.Peak() != 100 {
+		t.Fatalf("peak = %d, want 100", b.Peak())
+	}
+}
+
+func TestUnlimitedRootStillAccounts(t *testing.T) {
+	b := New(0)
+	if !b.Reserve(1 << 30) {
+		t.Fatal("unlimited root refused a reservation")
+	}
+	if b.Peak() != 1<<30 {
+		t.Fatalf("peak = %d", b.Peak())
+	}
+}
+
+func TestMustReservePushesPastLimit(t *testing.T) {
+	b := New(10)
+	b.MustReserve(25)
+	if b.Used() != 25 || b.Peak() != 25 {
+		t.Fatalf("used/peak = %d/%d, want 25/25", b.Used(), b.Peak())
+	}
+	// Spillable reservations keep failing while over.
+	if b.Reserve(1) {
+		t.Fatal("reserve succeeded while over limit")
+	}
+}
+
+func TestChildChargesPropagate(t *testing.T) {
+	root := New(100)
+	c1 := root.Child(30)
+	c2 := root.Child(0) // bounded only by the root
+	if !c1.Reserve(30) {
+		t.Fatal("child reserve up to child limit failed")
+	}
+	if c1.Reserve(1) {
+		t.Fatal("child reserve past child limit succeeded")
+	}
+	if root.Used() != 30 {
+		t.Fatalf("root used = %d, want 30", root.Used())
+	}
+	if !c2.Reserve(70) {
+		t.Fatal("sibling reserve within root headroom failed")
+	}
+	// Root is full: the unlimited child is stopped by its ancestor, and
+	// the failed charge unwinds at every level.
+	if c2.Reserve(1) {
+		t.Fatal("child reserve past root limit succeeded")
+	}
+	if c2.Used() != 70 || root.Used() != 100 {
+		t.Fatalf("failed child reserve leaked: child %d root %d", c2.Used(), root.Used())
+	}
+	c1.Release(30)
+	if root.Used() != 70 {
+		t.Fatalf("root used = %d after child release, want 70", root.Used())
+	}
+	if root.Peak() != 100 {
+		t.Fatalf("root peak = %d, want 100", root.Peak())
+	}
+}
+
+func TestConcurrentReserveNeverExceedsLimit(t *testing.T) {
+	const limit = 1 << 20
+	root := New(limit)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child(0)
+			held := int64(0)
+			for i := 0; i < 5000; i++ {
+				if c.Reserve(512) {
+					held += 512
+				}
+				if held > 4096 {
+					c.Release(held)
+					held = 0
+				}
+			}
+			c.Release(held)
+		}()
+	}
+	wg.Wait()
+	if root.Used() != 0 {
+		t.Fatalf("used = %d after all releases", root.Used())
+	}
+	if root.Peak() > limit {
+		t.Fatalf("peak %d exceeded limit %d despite Reserve-only charges", root.Peak(), limit)
+	}
+}

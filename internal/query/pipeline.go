@@ -2,16 +2,27 @@ package query
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/kb"
+	"repro/internal/query/mem"
 )
 
 // pipeBatch is how many tuples a pipeline producer accumulates per
 // partition before streaming the batch downstream. Larger than the
 // scan-side streamBatch: cross-step traffic carries the whole frontier,
 // so fewer, fuller batches cut channel and select overhead, and the
-// batch pool makes their buffers free to recycle.
-const pipeBatch = 256
+// batch pool makes their buffers free to recycle. Budgeted executions
+// use the smaller batch and channel depth so the accounted in-flight
+// volume stays well under the cap.
+const (
+	pipeBatch         = 256
+	budgetedPipeBatch = 48
+	pipeChanDepth     = 4
+	budgetedChanDepth = 2
+)
 
 // batchPool recycles batch buffers between pipeline producers and
 // consumers. A consumer returns a batch as soon as it has indexed or
@@ -53,38 +64,49 @@ func putBatch(b *streamedBatch) {
 //     undispatched scans are skipped (the pipelined form of the per-step
 //     empty-join short-circuit) and the stages drain out.
 //
-// The partition count decouples from the scan worker count
-// (Options{Partitions}, default = resolved workers). Rows, JoinedRows
-// and the projection are byte-identical to every other path: tuple
-// arrival order varies run to run, but the row *set* per partition is
-// fixed by the key hash, and the final projection sort normalises order.
-
-// resolvePartitions turns the Partitions option into a concrete
-// hash-partition count for the partitioned and pipelined joins.
-func resolvePartitions(opts Options, workers int) int {
-	if opts.Partitions > 0 {
-		return opts.Partitions
-	}
-	return workers
-}
+// Partition counts are planner-derived per step (plan.stepPartCount:
+// estimate-proportional, skew-aware) unless Options{Partitions} pins a
+// global count. The final step's output never materialises either: each
+// last-stage partition dedups its probe output straight onto the SELECT
+// slots (the streaming projection) and the executor merges the sorted
+// per-partition row sets.
+//
+// Memory governance: every stage partition charges a child reservation
+// of the per-query budget (internal/query/mem) for its build table and
+// pending probe queue. A partition whose reservation runs out degrades
+// in two steps: first the pending probe queue overflows to a temp-file
+// run (the build table stays in memory and the run is replayed through
+// it once complete); if the build table itself cannot reserve, the
+// partition becomes a grace-hash join (spill.go) — both sides spill to
+// runs, recursively sub-partitioned until each piece joins within
+// budget. Rows, JoinedRows and the projection are byte-identical to
+// every other path, spilled or not: tuple arrival order varies run to
+// run, but the row *set* per partition is fixed by the key hash, the
+// spill wire format round-trips kind-strictly, and the final ordered
+// merge normalises order.
 
 // partRouter batches tuples toward one step's partition channels,
 // hashing each tuple once on the consuming step's key slots. The hash
 // travels with the batch, so the consumer indexes or probes without
-// re-encoding keys.
+// re-encoding keys; in-flight batch bytes are charged to the root budget
+// at send and released by the consumer at receipt.
 type partRouter struct {
-	chans []chan *streamedBatch
-	slots []int
-	local []*streamedBatch
-	buf   []byte
+	chans     []chan *streamedBatch
+	slots     []int
+	local     []*streamedBatch
+	buf       []byte
+	root      *mem.Budget
+	tc        int64
+	batchSize int
 	// batches and count are per-owner totals, merged deterministically
 	// after the owning goroutine finishes.
 	batches int
 	count   int64
 }
 
-func newPartRouter(chans []chan *streamedBatch, slots []int) *partRouter {
-	return &partRouter{chans: chans, slots: slots, local: make([]*streamedBatch, len(chans))}
+func newPartRouter(chans []chan *streamedBatch, slots []int, root *mem.Budget, tc int64, batchSize int) *partRouter {
+	return &partRouter{chans: chans, slots: slots, local: make([]*streamedBatch, len(chans)),
+		root: root, tc: tc, batchSize: batchSize}
 }
 
 func (rt *partRouter) send(t tuple) {
@@ -106,7 +128,8 @@ func (rt *partRouter) sendHashed(t tuple, h uint64) {
 	lb.tups = append(lb.tups, t)
 	lb.hashes = append(lb.hashes, h)
 	rt.count++
-	if len(lb.tups) >= pipeBatch {
+	if len(lb.tups) >= rt.batchSize {
+		rt.root.MustReserve(int64(len(lb.tups)) * rt.tc)
 		rt.chans[p] <- lb
 		rt.local[p] = nil
 		rt.batches++
@@ -116,6 +139,7 @@ func (rt *partRouter) sendHashed(t tuple, h uint64) {
 func (rt *partRouter) flush() {
 	for p, b := range rt.local {
 		if b != nil && len(b.tups) > 0 {
+			rt.root.MustReserve(int64(len(b.tups)) * rt.tc)
 			rt.chans[p] <- b
 			rt.local[p] = nil
 			rt.batches++
@@ -159,12 +183,93 @@ func passFilters(t tuple, fs []Filter, plan *execPlan) bool {
 // absorbs producer/consumer jitter; stage workers always keep consuming
 // (select over both inputs), so bounded buffers cannot deadlock the
 // pipeline — they only apply backpressure upstream.
-func makePartChans(parts int) []chan *streamedBatch {
+func makePartChans(parts, depth int) []chan *streamedBatch {
 	chs := make([]chan *streamedBatch, parts)
 	for p := range chs {
-		chs[p] = make(chan *streamedBatch, 4)
+		chs[p] = make(chan *streamedBatch, depth)
 	}
 	return chs
+}
+
+// stageProj is one last-stage partition's streaming projection: probe
+// output dedups straight onto the SELECT slots as it is emitted, so the
+// final frontier is never materialised — only the partition's distinct
+// projected rows are retained (charged as un-spillable state: they are
+// the answer). Rows are sorted by their row key at stage end and the
+// executor merges the sorted partitions.
+type stageProj struct {
+	sel  []int
+	keys map[string]struct{}
+	rows []keyedRow
+	buf  []byte
+	bud  *mem.Budget
+}
+
+func newStageProj(q Query, plan *execPlan, bud *mem.Budget) *stageProj {
+	sel := make([]int, len(q.Select))
+	for i, v := range q.Select {
+		sel[i] = plan.slotOf[v]
+	}
+	return &stageProj{sel: sel, keys: make(map[string]struct{}), bud: bud}
+}
+
+func (pp *stageProj) add(t tuple) {
+	pp.buf = pp.buf[:0]
+	for _, s := range pp.sel {
+		pp.buf = appendValueKey(pp.buf, t[s])
+	}
+	if _, dup := pp.keys[string(pp.buf)]; dup {
+		return
+	}
+	key := string(pp.buf)
+	pp.keys[key] = struct{}{}
+	out := make([]kb.Value, len(pp.sel))
+	for i, s := range pp.sel {
+		out[i] = t[s]
+	}
+	pp.rows = append(pp.rows, keyedRow{key, out})
+	pp.bud.MustReserve(2*int64(len(key)) + 24 + int64(len(pp.sel))*valueBytes)
+}
+
+func (pp *stageProj) finish() []keyedRow {
+	sort.Slice(pp.rows, func(i, j int) bool { return pp.rows[i].key < pp.rows[j].key })
+	return pp.rows
+}
+
+// mergeSortedKeyed merges per-partition sorted keyedRow groups into the
+// deterministic global row order, dropping cross-partition duplicates
+// (two partitions can project onto the same row even though their join
+// keys differ). Group count is small, so a linear head scan beats a
+// heap.
+func mergeSortedKeyed(groups [][]keyedRow) [][]kb.Value {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	rows := make([][]kb.Value, 0, total)
+	idx := make([]int, len(groups))
+	lastKey, have := "", false
+	for {
+		best := -1
+		for gi, g := range groups {
+			if idx[gi] >= len(g) {
+				continue
+			}
+			if best == -1 || g[idx[gi]].key < groups[best][idx[best]].key {
+				best = gi
+			}
+		}
+		if best == -1 {
+			return rows
+		}
+		kr := groups[best][idx[best]]
+		idx[best]++
+		if have && kr.key == lastKey {
+			continue
+		}
+		lastKey, have = kr.key, true
+		rows = append(rows, kr.row)
+	}
 }
 
 // executePipelined runs a keyed join chain as a cross-step streaming
@@ -172,14 +277,46 @@ func makePartChans(parts int) []chan *streamedBatch {
 // and every step after the first has key slots (plan.chainKeyed). A
 // cancelled context rides the same machinery as the provably-empty
 // short-circuit: remaining scan dispatch is skipped, the stages drain,
-// and ctx.Err() is returned instead of the partial result.
-func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, opts Options, res *Result) error {
+// and ctx.Err() is returned instead of the partial result. A spill I/O
+// failure drains the same way and surfaces as the returned error.
+func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, opts Options, bud *mem.Budget, res *Result) error {
 	st := &res.Stats
 	width := len(plan.slotNames)
 	workers := resolveWorkers(opts)
-	parts := resolvePartitions(opts, workers)
 	n := len(plan.steps)
 	filters := stepFilterSets(q, plan)
+	tc := tupleCost(width)
+
+	// Per-step planner-derived partition counts (or the global override).
+	parts := make([]int, n)
+	totalParts := 0
+	for si := 1; si < n; si++ {
+		parts[si] = plan.stepPartCount(si, opts, workers)
+		totalParts += parts[si]
+	}
+	if opts.Partitions == 0 {
+		st.AdaptivePartitions = n - 1
+	}
+
+	// Budget wiring: every stage partition's spillable retention (build
+	// table + pending probe queue) reserves from one shared pool — half
+	// the cap — so memory fills first-come and only the overflow
+	// degrades to disk (the fleet-level hybrid: a 2x-over-cap workload
+	// spills roughly half its partitions, not all of them). The other
+	// half of the cap is headroom for the fixed working state charged
+	// via MustReserve (arena blocks, in-flight batches, spill write
+	// buffers, the projected rows) and for the grace joins' finish-time
+	// chunk reservations, which draw on the root directly.
+	limit := opts.MemoryLimit
+	batchSize, chanDepth := pipeBatch, pipeChanDepth
+	poolLimit := int64(0)
+	if limit > 0 {
+		batchSize, chanDepth = budgetedPipeBatch, budgetedChanDepth
+		// Floor at one byte: a degenerate limit must yield a pool that
+		// refuses everything (spill-everything), not an unlimited one.
+		poolLimit = max(limit/2, 1)
+	}
+	spillPool := bud.Child(poolLimit)
 
 	// Wiring: stage si (1..n-1) builds from scanCh[si] and probes
 	// upCh[si]; both carry hashes on steps[si].keySlots. Stage si routes
@@ -187,16 +324,26 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	upCh := make([][]chan *streamedBatch, n)
 	scanCh := make([][]chan *streamedBatch, n)
 	for si := 1; si < n; si++ {
-		upCh[si] = makePartChans(parts)
-		scanCh[si] = makePartChans(parts)
+		upCh[si] = makePartChans(parts[si], chanDepth)
+		scanCh[si] = makePartChans(parts[si], chanDepth)
 	}
 
-	// cancel fires when some step's output is provably empty: the final
-	// result is empty regardless of the remaining scans, so dispatch
-	// stops and the stages drain.
+	// cancel fires when some step's output is provably empty (the final
+	// result is empty regardless of the remaining scans) or when a spill
+	// I/O error makes the result unreachable: dispatch stops and the
+	// stages drain.
 	cancel := make(chan struct{})
 	var cancelOnce sync.Once
 	cancelFn := func() { cancelOnce.Do(func() { close(cancel) }) }
+	var errOnce sync.Once
+	var pipeErr error
+	setErr := func(err error) {
+		if err == nil {
+			return
+		}
+		errOnce.Do(func() { pipeErr = err })
+		cancelFn()
+	}
 
 	// Per-(step, scan) private stats, merged in (step, source) order
 	// after the pipeline drains, so the work counters are deterministic
@@ -220,11 +367,15 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	// stepOut[si] counts the tuples step si emitted downstream (step 0:
 	// scan output after filters; stages: probe output after filters).
 	stepOut := make([]int64, n)
-	// stageBatches[si][p] counts the batches stage worker (si, p)
-	// streamed downstream; summed in index order afterwards.
+	// Per-stage-partition counters, merged in (step, partition) order
+	// afterwards.
 	stageBatches := make([][]int, n)
+	stageSpilled := make([][]int, n)
+	stageRuns := make([][]int, n)
 	for si := 1; si < n; si++ {
-		stageBatches[si] = make([]int, parts)
+		stageBatches[si] = make([]int, parts[si])
+		stageSpilled[si] = make([]int, parts[si])
+		stageRuns[si] = make([]int, parts[si])
 	}
 
 	// Scan worker pool, shared by every step's scans, dispatched in step
@@ -239,12 +390,13 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 		stp := &plan.steps[si]
 		sc := stp.scans[j]
 		ts := &taskStats[si][j]
-		arena := &tupleArena{width: width}
+		arena := newArena(width, bud)
+		defer arena.close()
 		var rt *partRouter
 		if si == 0 {
-			rt = newPartRouter(upCh[1], stp.nextKeySlots)
+			rt = newPartRouter(upCh[1], stp.nextKeySlots, bud, tc, batchSize)
 		} else {
-			rt = newPartRouter(scanCh[si], stp.keySlots)
+			rt = newPartRouter(scanCh[si], stp.keySlots, bud, tc, batchSize)
 		}
 		sink := func(t tuple) {
 			if si == 0 && !passFilters(t, filters[0], plan) {
@@ -290,9 +442,9 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 				case jobs <- scanJob{si, j}:
 					dispatched++
 				case <-cancel:
-					// Provably-empty output upstream: skip this and
-					// every remaining scan, releasing the per-step
-					// completion counts so the stages drain.
+					// Provably-empty output upstream (or a spill error):
+					// skip this and every remaining scan, releasing the
+					// per-step completion counts so the stages drain.
 					cancelled++
 					scanWg[si].Done()
 				case <-ctx.Done():
@@ -330,16 +482,128 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	// builds from its scan-side channel while *always* staying ready to
 	// buffer early probe-side batches — the select keeps every producer
 	// unblocked, so the shared scan pool can never wedge behind a stage.
-	outs := make([][]tuple, parts) // last stage's per-partition output
+	// Retention (build table, pending queue) charges the partition's
+	// child budget; a failed reservation degrades the partition (probe
+	// overflow run first, full grace-hash spill when the build side
+	// cannot reserve).
+	projParts := make([][]keyedRow, parts[n-1]) // last stage's sorted projected rows
 	stageWg := make([]sync.WaitGroup, n)
 	for si := 1; si < n; si++ {
-		stageWg[si].Add(parts)
-		for p := 0; p < parts; p++ {
+		stageWg[si].Add(parts[si])
+		for p := 0; p < parts[si]; p++ {
 			go func(si, p int) {
 				defer stageWg[si].Done()
 				stp := &plan.steps[si]
+				partBud := spillPool.Child(0)
 				build := make(map[uint64][]tuple)
 				var pending []*streamedBatch
+				var charged int64
+				sp := &spillPart{dir: opts.SpillDir, width: width, bud: partBud, io: bud}
+				buildSpilled, probeSpilled := false, false
+				var spillErr error
+				fail := func(err error) {
+					if err != nil && spillErr == nil {
+						spillErr = err
+						setErr(err)
+					}
+				}
+				writeProbeBatch := func(b *streamedBatch) {
+					for i := range b.tups {
+						if err := sp.probe.add(b.tups[i], b.hashes[i]); err != nil {
+							fail(err)
+							return
+						}
+					}
+				}
+				degradeBuild := func() {
+					if buildSpilled || spillErr != nil {
+						return
+					}
+					if err := sp.ensureBuild(); err != nil {
+						fail(err)
+						return
+					}
+					if err := sp.ensureProbe(); err != nil {
+						fail(err)
+						return
+					}
+					buildSpilled = true
+					stageSpilled[si][p] = 1
+					for h, ts := range build {
+						for _, t := range ts {
+							if err := sp.build.add(t, h); err != nil {
+								fail(err)
+								return
+							}
+						}
+					}
+					build = nil
+					for _, b := range pending {
+						if spillErr == nil {
+							writeProbeBatch(b)
+						}
+						putBatch(b)
+					}
+					pending = nil
+					partBud.Release(charged)
+					charged = 0
+				}
+				takeBuild := func(b *streamedBatch) {
+					defer putBatch(b)
+					bud.Release(int64(len(b.tups)) * tc) // in-flight charge
+					if spillErr != nil {
+						return
+					}
+					cost := int64(len(b.tups)) * tc
+					if !buildSpilled && partBud.Reserve(cost) {
+						charged += cost
+						for i, r := range b.tups {
+							build[b.hashes[i]] = append(build[b.hashes[i]], r)
+						}
+						return
+					}
+					degradeBuild()
+					if spillErr != nil {
+						return
+					}
+					for i := range b.tups {
+						if err := sp.build.add(b.tups[i], b.hashes[i]); err != nil {
+							fail(err)
+							return
+						}
+					}
+				}
+				takeProbeEarly := func(b *streamedBatch) {
+					bud.Release(int64(len(b.tups)) * tc)
+					if spillErr != nil {
+						putBatch(b)
+						return
+					}
+					if buildSpilled {
+						writeProbeBatch(b)
+						putBatch(b)
+						return
+					}
+					cost := int64(len(b.tups)) * tc
+					if partBud.Reserve(cost) {
+						charged += cost
+						pending = append(pending, b)
+						return
+					}
+					// Pending overflow: the build table stays in memory;
+					// probe tuples overflow to a run replayed once the
+					// build side is complete. Counts as a spilled
+					// partition — it is writing tuples to disk.
+					if err := sp.ensureProbe(); err != nil {
+						fail(err)
+						putBatch(b)
+						return
+					}
+					probeSpilled = true
+					stageSpilled[si][p] = 1
+					writeProbeBatch(b)
+					putBatch(b)
+				}
 				sc, up := scanCh[si][p], upCh[si][p]
 				for sc != nil {
 					select {
@@ -348,26 +612,29 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 							sc = nil
 							continue
 						}
-						for i, r := range b.tups {
-							build[b.hashes[i]] = append(build[b.hashes[i]], r)
-						}
-						putBatch(b)
+						takeBuild(b)
 					case b, ok := <-up:
 						if !ok {
 							up = nil
 							continue
 						}
-						pending = append(pending, b)
+						takeProbeEarly(b)
 					}
 				}
-				// Build side complete: probe the buffered batches, then
-				// whatever is still streaming in from upstream.
-				arena := &tupleArena{width: width}
+				// Build side complete. In-memory partitions probe the
+				// buffered batches, replay any probe-overflow run, then
+				// stream from upstream; grace-hash partitions keep
+				// spilling the probe side and join from disk at the end.
+				arena := newArena(width, bud)
+				defer arena.close()
 				var rt *partRouter
 				if si+1 < n {
-					rt = newPartRouter(upCh[si+1], stp.nextKeySlots)
+					rt = newPartRouter(upCh[si+1], stp.nextKeySlots, bud, tc, batchSize)
 				}
-				var out []tuple
+				var proj *stageProj
+				if rt == nil {
+					proj = newStageProj(q, plan, bud)
+				}
 				var emitted int64
 				emit := func(m tuple, h uint64) {
 					if !passFilters(m, filters[si], plan) {
@@ -376,7 +643,7 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 					emitted++
 					switch {
 					case rt == nil:
-						out = append(out, m)
+						proj.add(m)
 					case stp.alignedNext:
 						// Same key slots downstream: the merged tuple
 						// keeps the probe tuple's key values, so its
@@ -386,51 +653,96 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 						rt.send(m)
 					}
 				}
+				probeOne := func(l tuple, h uint64) {
+					// A probe tuple is exclusively owned by its batch (or
+					// its decode arena) and dead once probed, so its first
+					// match merges in place (overlay the new slots on l);
+					// only additional matches pay an arena copy.
+					var first tuple
+					for _, r := range build[h] {
+						if !keySlotsEqual(l, r, stp.keySlots) {
+							continue
+						}
+						if first == nil {
+							first = r
+							continue
+						}
+						emit(mergeTuple(arena, l, r, stp.newSlots), h)
+					}
+					if first != nil {
+						for _, s := range stp.newSlots {
+							l[s] = first[s]
+						}
+						emit(l, h)
+					}
+				}
 				probe := func(b *streamedBatch) {
 					if len(build) == 0 {
 						return // drain only; nothing can join
 					}
 					for i, l := range b.tups {
-						h := b.hashes[i]
-						// A probe tuple is exclusively owned by this
-						// batch and dead once probed, so its first match
-						// merges in place (overlay the new slots on l);
-						// only additional matches pay an arena copy.
-						var first tuple
-						for _, r := range build[h] {
-							if !keySlotsEqual(l, r, stp.keySlots) {
-								continue
+						probeOne(l, b.hashes[i])
+					}
+				}
+				if spillErr == nil && !buildSpilled {
+					for _, b := range pending {
+						probe(b)
+						putBatch(b)
+					}
+					pending = nil
+					if probeSpilled {
+						decodeArena := &tupleArena{width: width, blockTuples: spillDecodeBlock}
+						fail(sp.probe.replay(width, decodeArena, func(t tuple, h uint64) error {
+							if len(build) > 0 {
+								probeOne(t, h)
 							}
-							if first == nil {
-								first = r
-								continue
+							return nil
+						}))
+						sp.probe.close()
+						sp.probe = nil
+					}
+					if up != nil {
+						for b := range up {
+							bud.Release(int64(len(b.tups)) * tc)
+							if spillErr == nil {
+								probe(b)
 							}
-							emit(mergeTuple(arena, l, r, stp.newSlots), h)
+							putBatch(b)
 						}
-						if first != nil {
+					}
+				} else {
+					if up != nil {
+						for b := range up {
+							bud.Release(int64(len(b.tups)) * tc)
+							if spillErr == nil && buildSpilled {
+								writeProbeBatch(b)
+							}
+							putBatch(b)
+						}
+					}
+					if spillErr == nil && buildSpilled {
+						// Grace-hash completion: both sides on disk, joined
+						// sub-partition by sub-partition within budget.
+						fail(sp.join(stp, func(l tuple, h uint64, rs []tuple) {
+							first := rs[0]
+							for _, r := range rs[1:] {
+								emit(mergeTuple(arena, l, r, stp.newSlots), h)
+							}
 							for _, s := range stp.newSlots {
 								l[s] = first[s]
 							}
 							emit(l, h)
-						}
+						}))
 					}
 				}
-				for _, b := range pending {
-					probe(b)
-					putBatch(b)
-				}
-				pending = nil
-				if up != nil {
-					for b := range up {
-						probe(b)
-						putBatch(b)
-					}
-				}
+				sp.close()
+				stageRuns[si][p] = sp.runs
+				partBud.Release(charged)
 				if rt != nil {
 					rt.flush()
 					stageBatches[si][p] = rt.batches
 				} else {
-					outs[p] = out
+					projParts[p] = proj.finish()
 				}
 				atomic.AddInt64(&stepOut[si], emitted)
 			}(si, p)
@@ -458,35 +770,40 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if pipeErr != nil {
+		return pipeErr
+	}
 
 	// Deterministic stat merge: task stats in (step, source) order, then
-	// the stage batch counters in (step, partition) order.
+	// the per-partition counters in (step, partition) order.
 	for si := range plan.steps {
 		for j := range taskStats[si] {
 			st.accrue(taskStats[si][j])
 		}
 	}
 	for si := 1; si < n; si++ {
-		for p := 0; p < parts; p++ {
+		for p := 0; p < parts[si]; p++ {
 			st.StreamedBatches += stageBatches[si][p]
+			st.SpilledPartitions += stageSpilled[si][p]
+			st.SpillRuns += stageRuns[si][p]
 		}
 	}
 	st.ParallelScans += dispatched
 	st.ScansCancelled += cancelled
 	st.PipelinedSteps = n - 1
-	if st.JoinPartitions < parts {
-		st.JoinPartitions = parts
+	for si := 1; si < n; si++ {
+		if st.JoinPartitions < parts[si] {
+			st.JoinPartitions = parts[si]
+		}
 	}
 	st.StepPartitions = make([]int, n)
-	for si := 1; si < n; si++ {
-		st.StepPartitions[si] = parts
-	}
+	copy(st.StepPartitions[1:], parts[1:])
 
-	// Hand the per-partition outputs to the projection as-is: the final
-	// frontier is never concatenated either.
-	for _, o := range outs {
-		st.JoinedRows += len(o)
-	}
-	projectTuples(res, outs, q, plan)
+	// The streaming projection's ordered merge: every partition's rows
+	// arrive deduplicated and sorted; the merge drops cross-partition
+	// duplicates and yields the deterministic global order shared by all
+	// execution paths.
+	st.JoinedRows = int(stepOut[n-1])
+	res.Rows = mergeSortedKeyed(projParts)
 	return nil
 }

@@ -40,6 +40,23 @@ type Options struct {
 	// benchmark baseline and as a differential leg in the determinism
 	// suite; results are always byte-identical to the pipelined path.
 	StepBarriers bool
+	// MemoryLimit caps the accounted bytes of one execution (0 = no
+	// cap). The pipelined executor honours it by degrading: a join
+	// partition whose build table (or pending probe queue) cannot
+	// reserve its next batch spills both sides to temp-file grace-hash
+	// runs and joins partition-by-partition within budget, and a
+	// budgeted execution always pipelines when the plan allows it (the
+	// shallow-chain fast path is bypassed — only the pipeline can
+	// spill). Rows are byte-identical with or without a limit. The
+	// StepBarriers and single-worker inline tuple paths account their
+	// materialised frontiers in Stats.BytesReserved but never spill;
+	// the Sequential and CompatJoins reference paths neither account
+	// nor spill (BytesReserved stays 0).
+	MemoryLimit int64
+	// SpillDir is where grace-hash runs are created ("" = the OS temp
+	// directory). Run files are unlinked at creation, so they cannot
+	// outlive the process.
+	SpillDir string
 }
 
 // sourceScan is one (triple, source) unit of work in a compiled plan.
@@ -71,6 +88,12 @@ type planStep struct {
 	// on them at production time and streams it straight into the next
 	// step's partition channels, so downstream never re-encodes keys.
 	nextKeySlots []int
+	// partHint is the planner's hash-partition count for this step's
+	// join, derived from the scan estimates (see adaptiveParts): wider
+	// fan-out for the heaviest step, a single partition for provably
+	// small builds. Options{Partitions} overrides it globally, and the
+	// executor clamps it to the resolved worker pool (stepPartCount).
+	partHint int
 	// alignedNext reports nextKeySlots == keySlots (a chain joining on
 	// the same variables throughout). The pipeline then forwards probe
 	// output under its incoming key hash — partitions align across the
@@ -310,7 +333,69 @@ func (e *Engine) compile(q Query) *execPlan {
 		}
 		p.totalEst += p.steps[i].est
 	}
+	p.adaptiveParts()
 	return p
+}
+
+// Adaptive partition sizing: instead of one global hash-partition count,
+// the planner sizes every join step from its own scan estimate.
+const (
+	// partitionRowTarget is the build-row volume one partition is sized
+	// to absorb; a step estimated at k·target rows fans out k ways.
+	partitionRowTarget = 1024
+	// maxPartHint bounds the planner's raw fan-out before the executor
+	// clamps it to the resolved worker pool.
+	maxPartHint = 64
+)
+
+// adaptiveParts derives every join step's hash-partition hint from the
+// planner's scan estimates, skew-aware: the heaviest step of a deeper
+// chain gets twice the proportional fan-out (its build and probe volume
+// dominate the wall clock, and extra partitions shrink the largest build
+// table — the one a memory budget would otherwise spill first), while a
+// provably small build collapses to a single partition (partitioning
+// overhead would exceed the join). Options{Partitions} overrides all
+// hints globally; stepPartCount applies the override and the worker
+// clamp at execution time.
+func (p *execPlan) adaptiveParts() {
+	maxEst := 0
+	for i := 1; i < len(p.steps); i++ {
+		if p.steps[i].est > maxEst {
+			maxEst = p.steps[i].est
+		}
+	}
+	for i := 1; i < len(p.steps); i++ {
+		st := &p.steps[i]
+		hint := (st.est + partitionRowTarget - 1) / partitionRowTarget
+		if st.est == maxEst && len(p.steps) > 2 {
+			hint *= 2
+		}
+		if hint < 1 {
+			hint = 1
+		}
+		if hint > maxPartHint {
+			hint = maxPartHint
+		}
+		st.partHint = hint
+	}
+}
+
+// stepPartCount resolves one join step's hash-partition count for an
+// execution: an explicit Options{Partitions} pins every step; otherwise
+// the planner's estimate-derived hint applies, clamped to four times the
+// worker pool (beyond that, extra partitions only add channel wiring).
+func (p *execPlan) stepPartCount(si int, opts Options, workers int) int {
+	if opts.Partitions > 0 {
+		return opts.Partitions
+	}
+	h := p.steps[si].partHint
+	if lim := 4 * workers; h > lim {
+		h = lim
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
 }
 
 // Shallow-chain executor choice: a chain of at most shallowJoinSteps
@@ -321,9 +406,21 @@ func (e *Engine) compile(q Query) *execPlan {
 // shallowPipelineMinEst the per-step (StepBarriers) executor runs
 // instead. Deeper chains always pipeline — each extra step is another
 // materialisation barrier avoided.
+//
+// shallowPipelineMinEst is calibrated, not guessed: a best-of-7 sweep of
+// two-keyed-join chains on the E13 world shape (buildChainWorld at
+// 8 sources, 3 triples, dup 2, instances 4..96; 8 workers, the E11/E13
+// methodology — warm plan, GC between reps) measured barrier/pipeline
+// wall-clock ratios of ~0.95-1.1x (noise) for summed estimates up to
+// ~2240, then a clean break: ~1.4-1.6x at 2560 and ~1.7-2.2x from 2880
+// up, stable across repeated sweeps. The constant sits just below the
+// measured break because the mistake costs are asymmetric there — under
+// it the barrier wins by at most ~5%, above it the pipeline's margin
+// grows quickly with volume. The seed value 4096 left the 2560-3840
+// band (a reliable ~1.5-1.9x pipeline win) on the slow executor.
 const (
 	shallowJoinSteps      = 2
-	shallowPipelineMinEst = 4096
+	shallowPipelineMinEst = 2400
 )
 
 // pipelines reports whether the given options execute this plan as the
@@ -336,6 +433,13 @@ func (p *execPlan) pipelines(opts Options, workers int) bool {
 	if !(workers > 1 && !opts.Sequential && !opts.CompatJoins && !opts.StepBarriers &&
 		p.chainKeyed && len(p.steps) > 1) {
 		return false
+	}
+	// A budgeted execution always pipelines when the plan allows it:
+	// only the pipeline can degrade to grace-hash spilling, so the
+	// shallow fast path would trade the memory bound for a few
+	// microseconds of setup.
+	if opts.MemoryLimit > 0 {
+		return true
 	}
 	if len(p.steps)-1 <= shallowJoinSteps && p.totalEst < shallowPipelineMinEst {
 		return false

@@ -2,6 +2,8 @@ package query
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 
@@ -78,6 +80,56 @@ func appendRowKey(buf []byte, vals []kb.Value) []byte {
 		buf = appendValueKey(buf, v)
 	}
 	return buf
+}
+
+// decodeValueKey is the inverse of appendValueKey: it decodes one value
+// from the front of b and returns it with the number of bytes consumed.
+// The encoding doubles as the spill wire format of the grace-hash joins
+// (spill.go), so spilled tuples round-trip kind-strictly: the kind tag,
+// the escape/terminator framing and the order-preserving float image all
+// invert exactly. The only non-identity is the NaN class — every NaN
+// encodes (and therefore decodes) as the canonical quiet NaN, which is
+// the engine's value semantics anyway (sameCell puts every NaN in one
+// class), so a spilled row is EqualRows-identical to its in-memory twin.
+func decodeValueKey(b []byte) (kb.Value, int, error) {
+	if len(b) == 0 {
+		return kb.Value{}, 0, errors.New("rowkey: empty value encoding")
+	}
+	kind := kb.ValueKind(b[0])
+	if kind == kb.KindNumber {
+		if len(b) < 9 {
+			return kb.Value{}, 0, errors.New("rowkey: truncated number encoding")
+		}
+		bits := binary.BigEndian.Uint64(b[1:9])
+		if bits&(1<<63) != 0 {
+			bits &^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		return kb.Number(math.Float64frombits(bits)), 9, nil
+	}
+	if kind != kb.KindTerm && kind != kb.KindString {
+		return kb.Value{}, 0, fmt.Errorf("rowkey: unknown kind tag %d", b[0])
+	}
+	var sb strings.Builder
+	i := 1
+	for {
+		j := i
+		for j < len(b) && b[j] != 0 {
+			j++
+		}
+		if j >= len(b) {
+			return kb.Value{}, 0, errors.New("rowkey: unterminated payload")
+		}
+		sb.Write(b[i:j])
+		if j+1 < len(b) && b[j+1] == 0xff {
+			// Escaped NUL inside the payload.
+			sb.WriteByte(0)
+			i = j + 2
+			continue
+		}
+		return kb.Value{Kind: kind, Str: sb.String()}, j + 1, nil
+	}
 }
 
 // sameCell reports whether two cells are equal under the engine's value

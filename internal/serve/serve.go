@@ -3,17 +3,23 @@
 // articulated system as a long-lived shared resource many applications
 // query (EDBT 2000, §2; cf. Euzenat's networks-of-ontologies reading).
 //
-// The service adds three things the bare engine does not have:
+// The service adds four things the bare engine does not have:
 //
 //   - a bounded LRU result cache keyed on (articulation, normalized
 //     query, epoch vector) — the per-source epochs make cached rows
 //     provably exact: a mutation bumps the touched source's epoch, the
 //     key stops matching, and the stale entry ages out of the LRU
 //     without any invalidation traffic;
+//   - a separate, wider negative-result cache: empty results are filed
+//     apart from the main LRU, so positive-result churn cannot displace
+//     them and provably-empty answers stop re-executing;
 //   - singleflight coalescing of identical in-flight queries, so a
 //     thundering herd on one hot query computes it once;
-//   - per-request deadlines threaded into the engine's scan dispatch
-//     (query.Engine.ExecuteCtx) plus served-traffic counters.
+//   - per-request resource bounds — deadlines threaded into the
+//     engine's scan dispatch (query.Engine.ExecuteCtx) and memory
+//     limits threaded into its budget (query.Options{MemoryLimit}, under
+//     which joins degrade to grace-hash spilling) — plus served-traffic
+//     counters, including spilled_queries.
 //
 // A Service is safe for concurrent use by any number of goroutines, and
 // mutations may run concurrently with queries as long as they go through
@@ -34,8 +40,12 @@ import (
 )
 
 // DefaultCacheEntries bounds the result cache when Options.CacheEntries
-// is zero.
-const DefaultCacheEntries = 1024
+// is zero; DefaultNegativeEntries likewise bounds the negative-result
+// cache (empty results are tiny, so it is wider).
+const (
+	DefaultCacheEntries    = 1024
+	DefaultNegativeEntries = 4096
+)
 
 // Options tune a Service.
 type Options struct {
@@ -43,12 +53,33 @@ type Options struct {
 	// negative disables caching entirely (every query executes; the E14
 	// baseline runs this way).
 	CacheEntries int
+	// NegativeEntries bounds the negative-result cache: empty results —
+	// provably exact under the epoch key like any other — are filed
+	// here instead of the main LRU, so a burst of large positive
+	// results cannot churn them out and a miss-heavy workload (probing
+	// queries, monitoring) stops re-executing provably-empty answers.
+	// 0 means DefaultNegativeEntries, negative disables the negative
+	// cache (empty results then share the main LRU). Ignored when
+	// CacheEntries disables caching.
+	NegativeEntries int
 	// DefaultTimeout bounds each request without its own deadline; zero
 	// means no implicit deadline.
 	DefaultTimeout time.Duration
-	// Exec are the execution options every query runs with (worker pool,
-	// partitions, executor selection).
+	// Exec are the execution options every query runs with (worker
+	// pool, partitions, memory budget, executor selection). Per-request
+	// Limits may tighten the memory budget further.
 	Exec query.Options
+}
+
+// Limits are per-request resource bounds, beside the context deadline.
+type Limits struct {
+	// MemoryBytes caps the executed query's accounted memory
+	// (query.Options{MemoryLimit}); joins degrade to grace-hash
+	// spilling instead of exceeding it. 0 keeps the service default; a
+	// tighter service default wins. Cache hits are unaffected (a cached
+	// result costs no execution memory), and a coalesced request
+	// inherits the leader's budget.
+	MemoryBytes int64
 }
 
 // Stats are the service's monotonically increasing traffic counters
@@ -61,10 +92,18 @@ type Stats struct {
 	// Coalesced counts queries that waited on an identical in-flight
 	// execution instead of executing themselves.
 	Coalesced uint64 `json:"coalesced"`
-	// Evictions counts result-cache entries displaced by the LRU bound.
+	// NegativeHits counts queries answered from the negative-result
+	// cache (provably empty under the current epoch key).
+	NegativeHits uint64 `json:"negative_hits"`
+	// Evictions counts result-cache entries displaced by the LRU bounds
+	// (positive and negative caches combined).
 	Evictions uint64 `json:"evictions"`
 	// Mutations counts facts inserted through the service.
 	Mutations uint64 `json:"mutations"`
+	// SpilledQueries counts executed queries whose joins degraded to
+	// grace-hash spilling under a memory limit (service default or
+	// per-request Limits).
+	SpilledQueries uint64 `json:"spilled_queries"`
 }
 
 // Outcome reports how a query was answered.
@@ -104,19 +143,22 @@ type Service struct {
 	sys  *core.System
 	opts Options
 
-	// mu guards the cache and the flight table. Both critical sections
+	// mu guards the caches and the flight table. All critical sections
 	// are map/list operations — never an execution — so a cache hit is a
 	// short lock, and that is exactly what the E14 hot-cache speedup
 	// measures.
-	mu      sync.Mutex
-	cache   *resultCache // nil when caching is disabled
-	flights map[string]*flight
+	mu       sync.Mutex
+	cache    *resultCache // nil when caching is disabled
+	negCache *resultCache // empty results; nil when disabled
+	flights  map[string]*flight
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
+	negHits   atomic.Uint64
 	evictions atomic.Uint64
 	mutations atomic.Uint64
+	spilled   atomic.Uint64
 
 	// leaderGate, when non-nil, runs on the singleflight leader between
 	// registering its flight and executing — a test hook that lets the
@@ -133,6 +175,13 @@ func New(sys *core.System, opts Options) *Service {
 			n = DefaultCacheEntries
 		}
 		s.cache = newResultCache(n)
+		if opts.NegativeEntries >= 0 {
+			nn := opts.NegativeEntries
+			if nn == 0 {
+				nn = DefaultNegativeEntries
+			}
+			s.negCache = newResultCache(nn)
+		}
 	}
 	return s
 }
@@ -143,11 +192,13 @@ func (s *Service) System() *core.System { return s.sys }
 // Stats returns a snapshot of the traffic counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		CacheHits:   s.hits.Load(),
-		CacheMisses: s.misses.Load(),
-		Coalesced:   s.coalesced.Load(),
-		Evictions:   s.evictions.Load(),
-		Mutations:   s.mutations.Load(),
+		CacheHits:      s.hits.Load(),
+		CacheMisses:    s.misses.Load(),
+		Coalesced:      s.coalesced.Load(),
+		NegativeHits:   s.negHits.Load(),
+		Evictions:      s.evictions.Load(),
+		Mutations:      s.mutations.Load(),
+		SpilledQueries: s.spilled.Load(),
 	}
 }
 
@@ -159,17 +210,28 @@ func (s *Service) Query(ctx context.Context, artName, text string) (*query.Resul
 
 // QueryOutcome is Query, also reporting how the answer was produced.
 func (s *Service) QueryOutcome(ctx context.Context, artName, text string) (*query.Result, Outcome, error) {
+	return s.QueryLimited(ctx, artName, text, Limits{})
+}
+
+// QueryLimited is QueryOutcome under per-request resource limits.
+func (s *Service) QueryLimited(ctx context.Context, artName, text string, lim Limits) (*query.Result, Outcome, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, OutcomeMiss, err
 	}
-	return s.Do(ctx, artName, q)
+	return s.DoLimited(ctx, artName, q, lim)
 }
 
 // Do answers a parsed query. The returned Result is shared — with the
 // cache and possibly with concurrent callers — and must be treated as
 // read-only.
 func (s *Service) Do(ctx context.Context, artName string, q query.Query) (*query.Result, Outcome, error) {
+	return s.DoLimited(ctx, artName, q, Limits{})
+}
+
+// DoLimited is Do under per-request resource limits (a memory budget
+// beside the context deadline).
+func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, lim Limits) (*query.Result, Outcome, error) {
 	if err := q.Validate(); err != nil {
 		return nil, OutcomeMiss, err
 	}
@@ -200,13 +262,20 @@ func (s *Service) Do(ctx context.Context, artName string, q query.Query) (*query
 				return res, OutcomeHit, nil
 			}
 		}
+		if s.negCache != nil {
+			if res, ok := s.negCache.get(key); ok {
+				s.mu.Unlock()
+				s.negHits.Add(1)
+				return res, OutcomeHit, nil
+			}
+		}
 		f, inFlight := s.flights[key]
 		if !inFlight {
 			f = &flight{done: make(chan struct{})}
 			s.flights[key] = f
 			s.mu.Unlock()
 			s.misses.Add(1)
-			return s.lead(ctx, artName, q, key, f)
+			return s.lead(ctx, artName, q, key, f, lim)
 		}
 		s.mu.Unlock()
 		s.coalesced.Add(1)
@@ -234,7 +303,7 @@ func (s *Service) Do(ctx context.Context, artName string, q query.Query) (*query
 // the flight, publishing to the cache, releasing the waiters — is
 // deferred, so even a panicking execution cannot wedge the key: waiters
 // are released with an error and later queries start a fresh flight.
-func (s *Service) lead(ctx context.Context, artName string, q query.Query, key string, f *flight) (*query.Result, Outcome, error) {
+func (s *Service) lead(ctx context.Context, artName string, q query.Query, key string, f *flight, lim Limits) (*query.Result, Outcome, error) {
 	var execEpoch string
 	completed := false
 	defer func() {
@@ -247,8 +316,14 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 			// Store under the epoch the execution actually ran at — if
 			// a mutation slipped in between the key read and the
 			// execution, the entry is filed under the newer (correct)
-			// version and the old key simply never hits.
-			s.evictions.Add(uint64(s.cache.put(cacheKey(artName, q, execEpoch), f.res)))
+			// version and the old key simply never hits. Empty results
+			// go to the wide negative cache, so positive churn cannot
+			// displace them.
+			into := s.cache
+			if s.negCache != nil && len(f.res.Rows) == 0 {
+				into = s.negCache
+			}
+			s.evictions.Add(uint64(into.put(cacheKey(artName, q, execEpoch), f.res)))
 		}
 		s.mu.Unlock()
 		close(f.done)
@@ -256,7 +331,14 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 	if s.leaderGate != nil {
 		s.leaderGate()
 	}
-	res, epoch, err := s.sys.ExecuteVersioned(ctx, artName, q, s.opts.Exec)
+	exec := s.opts.Exec
+	if lim.MemoryBytes > 0 && (exec.MemoryLimit <= 0 || lim.MemoryBytes < exec.MemoryLimit) {
+		exec.MemoryLimit = lim.MemoryBytes
+	}
+	res, epoch, err := s.sys.ExecuteVersioned(ctx, artName, q, exec)
+	if err == nil && res.Stats.SpilledPartitions > 0 {
+		s.spilled.Add(1)
+	}
 	f.res, f.err, execEpoch = res, err, epoch
 	completed = true
 	return res, OutcomeMiss, err

@@ -365,3 +365,169 @@ func waitForStat(t *testing.T, s *Service, cond func(Stats) bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestNegativeResultCache covers the dedicated empty-result cache: an
+// empty answer is cached apart from the main LRU (so positive churn
+// cannot displace it), hits count separately, survives a storm of
+// positive insertions, and stops matching the moment a mutation shifts
+// the epoch vector.
+func TestNegativeResultCache(t *testing.T) {
+	sys, art := growWorld(t)
+	// A two-entry positive cache: any churn would evict an empty result
+	// filed in the main LRU.
+	s := New(sys, Options{CacheEntries: 2, Exec: query.Options{Workers: 1}})
+	ctx := context.Background()
+	const emptyQ = "SELECT ?x WHERE ?x InstanceOf Item . ?x Price 424242"
+
+	r, out, err := s.QueryOutcome(ctx, art, emptyQ)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("first empty query: outcome %v err %v, want miss", out, err)
+	}
+	if len(r.Rows) != 0 {
+		t.Fatalf("probe query returned %d rows, want 0", len(r.Rows))
+	}
+	// Churn the positive cache far past its bound.
+	for i := 0; i < 8; i++ {
+		q := fmt.Sprintf("SELECT ?x WHERE ?x InstanceOf Item . ?x Price %d", i)
+		if _, _, err := s.QueryOutcome(ctx, art, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, out, err = s.QueryOutcome(ctx, art, emptyQ)
+	if err != nil || out != OutcomeHit {
+		t.Fatalf("empty re-query: outcome %v err %v, want hit from negative cache", out, err)
+	}
+	st := s.Stats()
+	if st.NegativeHits != 1 {
+		t.Fatalf("NegativeHits = %d, want 1", st.NegativeHits)
+	}
+	// A mutation makes the provably-empty answer stale: the epoch key
+	// shifts, the negative entry stops matching, and the fresh row shows.
+	if _, err := s.AddFacts("g1", []kb.Fact{
+		{Subject: "late", Predicate: "InstanceOf", Object: kb.Term("Item")},
+		{Subject: "late", Predicate: "Price", Object: kb.Number(424242)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, out, err = s.QueryOutcome(ctx, art, emptyQ)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("post-mutation query: outcome %v err %v, want miss", out, err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("post-mutation rows = %d, want 1", len(r.Rows))
+	}
+	if s.Stats().NegativeHits != 1 {
+		t.Fatalf("stale negative entry served after mutation")
+	}
+}
+
+// TestNegativeCacheDisabled checks the opt-out: with NegativeEntries < 0
+// empty results share the main LRU (still cached, no negative hits).
+func TestNegativeCacheDisabled(t *testing.T) {
+	sys, art := growWorld(t)
+	s := New(sys, Options{NegativeEntries: -1, Exec: query.Options{Workers: 1}})
+	ctx := context.Background()
+	const emptyQ = "SELECT ?x WHERE ?x InstanceOf Item . ?x Price 7"
+	if _, out, err := s.QueryOutcome(ctx, art, emptyQ); err != nil || out != OutcomeMiss {
+		t.Fatalf("first: outcome %v err %v", out, err)
+	}
+	if _, out, err := s.QueryOutcome(ctx, art, emptyQ); err != nil || out != OutcomeHit {
+		t.Fatalf("second: outcome %v err %v, want hit from the main cache", out, err)
+	}
+	if st := s.Stats(); st.NegativeHits != 0 {
+		t.Fatalf("NegativeHits = %d with the negative cache disabled", st.NegativeHits)
+	}
+}
+
+// spillWorld is a federation whose join build tables dwarf a small
+// memory limit, so a budgeted request must spill.
+func spillWorld(t testing.TB) (*core.System, string) {
+	t.Helper()
+	sys := core.NewSystem()
+	for _, name := range []string{"s1", "s2"} {
+		o := ontology.New(name)
+		o.MustAddTerm("Item")
+		for _, p := range []string{"Price", "Qty"} {
+			o.MustAddTerm(p)
+			o.MustRelate("Item", ontology.AttributeOf, p)
+		}
+		if err := sys.Register(o); err != nil {
+			t.Fatal(err)
+		}
+		store := kb.New(name)
+		for k := 0; k < 300; k++ {
+			inst := fmt.Sprintf("%sI%d", name, k)
+			store.MustAdd(inst, "InstanceOf", kb.Term("Item"))
+			store.MustAdd(inst, "Price", kb.Number(float64(k%97)))
+			store.MustAdd(inst, "Qty", kb.Number(float64(k%13)))
+		}
+		if err := sys.RegisterKB(store); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := rules.NewSet(rules.MustParse("s1.Item => s2.Item"))
+	if _, err := sys.Articulate("spillart", "s1", "s2", set, articulation.Options{Lenient: true}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, "spillart"
+}
+
+// TestPerRequestMemoryLimit threads a per-request memory budget beside
+// the deadline: the limited request completes by spilling (counted in
+// spilled_queries), its rows are byte-identical to the unlimited run,
+// and the tighter of the service default and the request limit wins.
+func TestPerRequestMemoryLimit(t *testing.T) {
+	sys, art := spillWorld(t)
+	s := New(sys, Options{Exec: query.Options{Workers: 4}})
+	ctx := context.Background()
+	const q = "SELECT ?x ?p ?q WHERE ?x InstanceOf Item . ?x Price ?p . ?x Qty ?q"
+
+	free, out, err := s.QueryOutcome(ctx, art, q)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("unlimited query: outcome %v err %v", out, err)
+	}
+	if st := s.Stats(); st.SpilledQueries != 0 {
+		t.Fatalf("unlimited query spilled: %+v", st)
+	}
+	// A different articulation-identical query under a 16KB request cap
+	// (respelled so it misses the cache and actually executes).
+	capped, out, err := s.QueryLimited(ctx, art,
+		"SELECT ?x ?p ?q WHERE ?x InstanceOf Item . ?x Qty ?q . ?x Price ?p", Limits{MemoryBytes: 1 << 14})
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("limited query: outcome %v err %v", out, err)
+	}
+	if got, want := len(capped.Rows), len(free.Rows); got != want {
+		t.Fatalf("limited rows = %d, want %d", got, want)
+	}
+	if capped.Stats.SpilledPartitions == 0 {
+		t.Fatalf("16KB request did not spill: %+v", capped.Stats)
+	}
+	if st := s.Stats(); st.SpilledQueries != 1 {
+		t.Fatalf("SpilledQueries = %d, want 1", st.SpilledQueries)
+	}
+	// A cache hit costs no execution memory, so the limit is moot there.
+	if _, out, err := s.QueryLimited(ctx, art, q, Limits{MemoryBytes: 1}); err != nil || out != OutcomeHit {
+		t.Fatalf("cached limited query: outcome %v err %v, want hit", out, err)
+	}
+}
+
+// TestServiceDefaultMemoryLimitWins checks precedence: the tighter of
+// the service-wide Exec.MemoryLimit and the request limit governs.
+func TestServiceDefaultMemoryLimitWins(t *testing.T) {
+	sys, art := spillWorld(t)
+	s := New(sys, Options{Exec: query.Options{Workers: 4, MemoryLimit: 1 << 14}})
+	ctx := context.Background()
+	// The request asks for a huge budget; the 16KB service default still
+	// forces a spill.
+	res, _, err := s.QueryLimited(ctx, art,
+		"SELECT ?x ?p WHERE ?x InstanceOf Item . ?x Price ?p . ?x Qty ?q", Limits{MemoryBytes: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpilledPartitions == 0 {
+		t.Fatalf("service default limit ignored: %+v", res.Stats)
+	}
+	if st := s.Stats(); st.SpilledQueries != 1 {
+		t.Fatalf("SpilledQueries = %d, want 1", st.SpilledQueries)
+	}
+}

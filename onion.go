@@ -311,19 +311,24 @@ type (
 	QuerySource = query.Source
 	// QueryOptions tune execution: Workers bounds the scan worker pool
 	// (0 = GOMAXPROCS, 1 = inline); with more than one worker a keyed
-	// join chain runs as a cross-step streaming pipeline whose
-	// hash-partition count Partitions decouples from the pool size
-	// (0 = same as workers). StepBarriers keeps the per-step executor
-	// (each join step materialises its output before the next step's
-	// scans dispatch); Sequential forces the reference path (textual
-	// join order, unindexed scans, no plan cache); CompatJoins keeps the
+	// join chain runs as a cross-step streaming pipeline whose per-step
+	// hash-partition counts the planner derives from its scan estimates
+	// (Partitions > 0 pins a global count instead). MemoryLimit caps
+	// the execution's accounted bytes: pipeline join partitions that
+	// cannot reserve within it degrade to grace-hash spilling joins
+	// (temp-file runs under SpillDir), with rows byte-identical to the
+	// unbounded run. StepBarriers keeps the per-step executor (each
+	// join step materialises its output before the next step's scans
+	// dispatch); Sequential forces the reference path (textual join
+	// order, unindexed scans, no plan cache); CompatJoins keeps the
 	// compiled plan but runs the retained binding-map join
 	// representation (benchmark baseline).
 	QueryOptions = query.Options
 	// QueryStats counts the work one execution performed, including the
 	// plan/parallelism counters of the planned path (scan workers, join
 	// partitions per step, streamed batches, pipelined steps, cancelled
-	// scans).
+	// scans) and the memory-governance counters (peak accounted bytes,
+	// spilled partitions, spill runs, adaptive partition steps).
 	QueryStats = query.Stats
 )
 
@@ -354,15 +359,19 @@ func NewQueryEngineWith(art *Articulation, sources map[string]*QuerySource, opts
 type (
 	// QueryService answers queries through the coalescing result cache.
 	QueryService = serve.Service
-	// ServeOptions tune the service (cache bound, default deadline,
-	// execution options).
+	// ServeOptions tune the service (cache bounds — including the
+	// separate negative-result cache — default deadline, execution
+	// options).
 	ServeOptions = serve.Options
 	// ServeStats are the service's traffic counters (hits, misses,
-	// coalesced, evictions, mutations).
+	// coalesced, negative hits, evictions, mutations, spilled queries).
 	ServeStats = serve.Stats
 	// ServeOutcome reports how a query was answered (hit, coalesced,
 	// miss).
 	ServeOutcome = serve.Outcome
+	// ServeLimits are per-request resource bounds beside the context
+	// deadline (a memory budget under which joins spill).
+	ServeLimits = serve.Limits
 )
 
 // NewQueryService wraps a System in a serving layer. Results served from
