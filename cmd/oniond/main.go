@@ -5,6 +5,7 @@
 //
 //	oniond -fig2                        # serve the Fig. 2 world on :8080
 //	oniond -fig2 -addr :9000 -workers 8 -cache 4096 -timeout 2s
+//	oniond -fig2 -data-dir /var/lib/onion  # durable: log+snapshot per source, recover at startup
 //	oniond -smoke http://127.0.0.1:8080 # diff a live daemon against the library
 //
 // Endpoints (JSON in, JSON out):
@@ -12,12 +13,20 @@
 //	POST /query      {"articulation","query","timeout_ms"?}    → vars, rows, outcome (hit|coalesced|miss), stats
 //	POST /mutate     {"source","facts":[{subject,predicate,object:{kind,value}}]} → {"added"}
 //	POST /articulate {"name","left","right","rules","lenient"?} → {"name","terms","bridges","skipped"?}
+//	POST /snapshot                                              → per-source {"facts","epoch"} after folding logs into snapshots
 //	GET  /stats                                                 → uptime, registry, epoch keys, serve counters
 //
 // Results are served through the epoch-keyed coalescing cache: identical
 // queries at an unchanged epoch vector are cache hits, mutations through
 // /mutate bump the touched source's epoch and the affected entries stop
 // matching on their own.
+//
+// With -data-dir, every accepted mutation is appended to the source's
+// fact log before it is acknowledged, logs periodically fold into
+// snapshots, startup replays snapshot + log tail (truncating a torn
+// tail from a crash mid-append), and evicted positive cache entries
+// demote to a disk tier under <data-dir>/cache instead of being
+// recomputed. A kill -9 and restart yields the same rows.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"reflect"
 	"time"
 
@@ -44,7 +54,9 @@ func main() {
 	workers := flag.Int("workers", 0, "scan worker pool per query (0 = GOMAXPROCS)")
 	partitions := flag.Int("partitions", 0, "join hash partitions (0 = workers)")
 	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default, negative disables)")
+	diskCache := flag.Int("disk-cache", 0, "disk cache tier entries under <data-dir>/cache (0 = default, negative disables; needs -data-dir)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline (0 disables)")
+	dataDir := flag.String("data-dir", "", "durable mode: persist fact logs and snapshots here, recover at startup")
 	smoke := flag.String("smoke", "", "smoke-test mode: POST the Fig. 2 query to this base URL, diff against the library result, and exit")
 	flag.Parse()
 
@@ -63,17 +75,43 @@ func main() {
 			log.Fatalf("oniond: loading Fig. 2 world: %v", err)
 		}
 	}
+	if *dataDir != "" {
+		stats, err := sys.OpenDir(*dataDir)
+		if err != nil {
+			log.Fatalf("oniond: opening data dir %s: %v", *dataDir, err)
+		}
+		for _, r := range stats.Recovered {
+			if r.TruncatedBytes > 0 {
+				log.Printf("oniond: recovered %s: %d facts at epoch %d (truncated %d-byte torn log tail)",
+					r.Name, r.Facts, r.Epoch, r.TruncatedBytes)
+			} else {
+				log.Printf("oniond: recovered %s: %d facts at epoch %d", r.Name, r.Facts, r.Epoch)
+			}
+		}
+		for _, name := range stats.Bootstrapped {
+			log.Printf("oniond: bootstrapped %s: first snapshot written", name)
+		}
+		for _, name := range stats.Skipped {
+			log.Printf("oniond: skipped on-disk state for unregistered source %s", name)
+		}
+	}
 	svc := serve.New(sys, serve.Options{
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
 		Exec:           query.Options{Workers: *workers, Partitions: *partitions},
 	})
+	if *dataDir != "" && *diskCache >= 0 {
+		if err := svc.EnableDiskCache(filepath.Join(*dataDir, "cache"), *diskCache); err != nil {
+			log.Fatalf("oniond: disk cache tier: %v", err)
+		}
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(svc).routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("oniond: listening on %s (fig2=%v, cache=%d, timeout=%s)", *addr, *fig2, *cacheEntries, *timeout)
+	log.Printf("oniond: listening on %s (fig2=%v, cache=%d, timeout=%s, data-dir=%q)",
+		*addr, *fig2, *cacheEntries, *timeout, *dataDir)
 	log.Fatal(srv.ListenAndServe())
 }
 

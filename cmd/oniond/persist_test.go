@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/serve"
+)
+
+// durableFig2Server is fig2Server with persistence open at root — one
+// "process lifetime" of a daemon started with -data-dir.
+func durableFig2Server(t *testing.T, root string) (*httptest.Server, *core.System) {
+	t.Helper()
+	sys := core.NewSystem()
+	if err := loadFig2(sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.OpenDir(root); err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(sys, serve.Options{})
+	ts := httptest.NewServer(newServer(svc).routes())
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+// TestRestartRecoveryOverHTTP is the daemon-level durability contract:
+// facts accepted through /mutate survive a restart (a fresh server over
+// the same data dir), and the recovered daemon's /query rows are
+// byte-identical on the wire.
+func TestRestartRecoveryOverHTTP(t *testing.T) {
+	root := t.TempDir()
+	ts1, _ := durableFig2Server(t, root)
+	q := queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}
+
+	var mut mutateResponse
+	if code := post(t, ts1.URL+"/mutate", mutateRequest{Source: "carrier", Facts: []factJSON{
+		{Subject: "DurableCar", Predicate: "InstanceOf", Object: valueJSON{Kind: "term", Value: json.RawMessage(`"PassengerCar"`)}},
+		{Subject: "DurableCar", Predicate: "Price", Object: valueJSON{Kind: "number", Value: json.RawMessage(`4100`)}},
+	}}, &mut); code != http.StatusOK || mut.Added != 2 {
+		t.Fatalf("mutate: HTTP %d, %+v", code, mut)
+	}
+	var want queryResponse
+	if code := post(t, ts1.URL+"/query", q, &want); code != http.StatusOK {
+		t.Fatalf("pre-restart query failed")
+	}
+	ts1.Close()
+
+	ts2, _ := durableFig2Server(t, root)
+	var got queryResponse
+	if code := post(t, ts2.URL+"/query", q, &got); code != http.StatusOK {
+		t.Fatalf("post-restart query failed")
+	}
+	if !reflect.DeepEqual(got.Vars, want.Vars) || !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("restarted daemon's rows diverge:\n%+v\nvs\n%+v", got.Rows, want.Rows)
+	}
+}
+
+// TestSnapshotEndpoint: POST /snapshot folds the logs and reports the
+// persisted world; a daemon without -data-dir answers 409.
+func TestSnapshotEndpoint(t *testing.T) {
+	root := t.TempDir()
+	ts, sys := durableFig2Server(t, root)
+
+	var snap snapshotResponse
+	if code := post(t, ts.URL+"/snapshot", struct{}{}, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot: HTTP %d", code)
+	}
+	if snap.Root != root {
+		t.Fatalf("snapshot root = %q, want %q", snap.Root, root)
+	}
+	carrier, ok := sys.KB("carrier")
+	if !ok {
+		t.Fatalf("no carrier KB")
+	}
+	if info := snap.Sources["carrier"]; info.Facts != carrier.Len() || info.Epoch != carrier.Epoch() {
+		t.Fatalf("snapshot reported %+v, store has %d facts at epoch %d", info, carrier.Len(), carrier.Epoch())
+	}
+
+	ephemeral, _ := fig2Server(t)
+	var e errorResponse
+	if code := post(t, ephemeral.URL+"/snapshot", struct{}{}, &e); code != http.StatusConflict || e.Error == "" {
+		t.Fatalf("snapshot without -data-dir: HTTP %d, %+v", code, e)
+	}
+}

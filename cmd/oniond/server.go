@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/articulation"
+	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/query"
 	"repro/internal/rules"
@@ -127,6 +128,11 @@ type statsResponse struct {
 	Serve         serve.Stats       `json:"serve"`
 }
 
+type snapshotResponse struct {
+	Root    string                       `json:"root"`
+	Sources map[string]core.SnapshotInfo `json:"sources"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -146,6 +152,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /mutate", s.handleMutate)
 	mux.HandleFunc("POST /articulate", s.handleArticulate)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
@@ -248,6 +255,18 @@ func (s *server) handleArticulate(w http.ResponseWriter, r *http.Request) {
 		resp.Skipped = append(resp.Skipped, fmt.Sprintf("%s: %s", sk.Rule, sk.Reason))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot folds every durable source's log into a fresh snapshot
+// (bounding the next recovery's replay) and reports the persisted world.
+// Fails with 409 when the daemon runs without -data-dir.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := s.svc.System().SnapshotAll()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Root: s.svc.System().PersistRoot(), Sources: info})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

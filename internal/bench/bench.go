@@ -89,10 +89,11 @@ func All() []*Table {
 		E13PipelineDepth(nil),
 		E14ServingThroughput(nil),
 		E15BoundedMemory(nil),
+		E16ColdStart(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E15"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E16"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -126,6 +127,8 @@ func ByID(id string) (*Table, bool) {
 		return E14ServingThroughput(nil), true
 	case "E15":
 		return E15BoundedMemory(nil), true
+	case "E16":
+		return E16ColdStart(nil), true
 	default:
 		return nil, false
 	}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE16ColdStartShape locks the E16 table at a reduced corpus: the
+// snapshot-loaded store must match the re-added one, the disk-tier leg
+// must serve rows identical to a direct execution, and snapshot load
+// must not be slower than re-adding (the full 1M-fact margin is reported
+// by `onionbench -exp E16`; the test asserts the direction).
+func TestE16ColdStartShape(t *testing.T) {
+	tab := E16ColdStart([]int{50_000})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("E16 rows = %d, want 5 legs", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("E16 leg %q not identical: %v", row[0], row)
+		}
+	}
+	load := tab.Rows[1]
+	if load[0] != "snapshot load" {
+		t.Fatalf("unexpected leg order: %v", load)
+	}
+	if sp := parseFloat(t, strings.TrimSuffix(load[3], "x")); sp < 1.0 {
+		t.Errorf("snapshot load slower than re-add (%.2fx): %v", sp, load)
+	}
+	disk := tab.Rows[3]
+	if disk[0] != "disk-tier hit" {
+		t.Fatalf("unexpected leg order: %v", disk)
+	}
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/persist"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+// Parameters of the E16 cold-start world.
+const (
+	// e16Facts is the default knowledge-base size for the cold-start
+	// comparison: large enough that index construction dominates and the
+	// snapshot loader's advantage (no per-fact dedup probe, no epoch
+	// bump, no journal hook) is structural, not noise.
+	e16Facts = 1_000_000
+	// e16HitReps is how many serving-layer hits each latency leg averages
+	// over.
+	e16HitReps = 64
+)
+
+// e16ColdResult is one measured cold-start pair.
+type e16ColdResult struct {
+	n        int
+	readd    time.Duration
+	load     time.Duration
+	speedup  float64
+	loadOK   bool // recovered store matches the re-added one
+	snapSize int64
+}
+
+// e16Fact synthesises fact i of the cold-start corpus: subjects are
+// unique, predicates cycle, and the object alternates across all three
+// value kinds so the load path exercises the full codec.
+func e16Fact(i int) kb.Fact {
+	f := kb.Fact{Subject: fmt.Sprintf("S%07d", i)}
+	switch i % 3 {
+	case 0:
+		f.Predicate, f.Object = "InstanceOf", kb.Term(fmt.Sprintf("Class%d", i%17))
+	case 1:
+		f.Predicate, f.Object = "Price", kb.Number(float64(i%9973)+0.5)
+	default:
+		f.Predicate, f.Object = "Label", kb.String(fmt.Sprintf("item-%d", i))
+	}
+	return f
+}
+
+// runE16Cold measures re-adding n facts into a fresh store versus
+// snapshot-loading the same facts (persist.Recover + kb.Restore), best
+// of reps with a GC between runs.
+func runE16Cold(n int) e16ColdResult {
+	const reps = 3
+	facts := make([]kb.Fact, n)
+	for i := range facts {
+		facts[i] = e16Fact(i)
+	}
+
+	best := func(f func()) time.Duration {
+		d := time.Duration(math.MaxInt64)
+		for i := 0; i < reps; i++ {
+			runtime.GC()
+			if di := timeIt(f); di < d {
+				d = di
+			}
+		}
+		return d
+	}
+
+	var readded *kb.Store
+	dAdd := best(func() {
+		st := kb.New("cold")
+		for _, f := range facts {
+			if err := st.Add(f.Subject, f.Predicate, f.Object); err != nil {
+				panic(err)
+			}
+		}
+		readded = st
+	})
+
+	dir, err := os.MkdirTemp("", "onion-e16-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	d, err := persist.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	src, err := d.Source("cold")
+	if err != nil {
+		panic(err)
+	}
+	if err := src.Snapshot(facts, uint64(n)); err != nil {
+		panic(err)
+	}
+	var loaded *kb.Store
+	dLoad := best(func() {
+		rec, err := src.Recover()
+		if err != nil {
+			panic(err)
+		}
+		loaded, err = kb.Restore("cold", rec.Facts, rec.Epoch)
+		if err != nil {
+			panic(err)
+		}
+	})
+	src.Close()
+
+	r := e16ColdResult{
+		n:      n,
+		readd:  dAdd,
+		load:   dLoad,
+		loadOK: loaded.Len() == readded.Len() && loaded.Epoch() >= readded.Epoch(),
+	}
+	if dLoad > 0 {
+		r.speedup = float64(dAdd) / float64(dLoad)
+	}
+	if info, err := os.Stat(dir + "/sources/cold/snapshot"); err == nil {
+		r.snapSize = info.Size()
+	}
+	return r
+}
+
+// e16HitLatencies measures the serving layer's per-answer latency for
+// the three places a repeated query can be answered from: a fresh
+// execution (cache off), the disk tier (a one-entry memory cache over
+// two alternating queries — every repeat is a demote/promote cycle), and
+// the resident memory cache. Returns (execute, diskHit, ramHit) average
+// latencies plus whether the disk-served rows were identical to a direct
+// execution.
+func e16HitLatencies() (time.Duration, time.Duration, time.Duration, bool) {
+	sys, art, queries := buildServeWorld()
+	exec := query.Options{Workers: 1}
+	ctx := context.Background()
+	qA, qB := queries[0], queries[1]
+
+	avg := func(svc *serve.Service, qs []string, reps int) time.Duration {
+		d := timeIt(func() {
+			for i := 0; i < reps; i++ {
+				if _, err := svc.Query(ctx, art, qs[i%len(qs)]); err != nil {
+					panic(err)
+				}
+			}
+		})
+		return d / time.Duration(reps)
+	}
+
+	// Fresh execution baseline: the cache is off, every answer executes.
+	uncached := serve.New(sys, serve.Options{CacheEntries: -1, Exec: exec})
+	avg(uncached, []string{qA, qB}, 4) // warm plans
+	dExec := avg(uncached, []string{qA, qB}, e16HitReps)
+
+	// Disk tier: a one-entry memory cache over two alternating queries —
+	// each answer promotes from disk and demotes the other entry.
+	dir, err := os.MkdirTemp("", "onion-e16-cache-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	disk := serve.New(sys, serve.Options{CacheEntries: 1, NegativeEntries: -1, Exec: exec})
+	if err := disk.EnableDiskCache(dir, 8); err != nil {
+		panic(err)
+	}
+	avg(disk, []string{qA, qB}, 4) // populate both tiers
+	dDisk := avg(disk, []string{qA, qB}, e16HitReps)
+	served, err := disk.Query(ctx, art, qA)
+	if err != nil {
+		panic(err)
+	}
+	direct, err := sys.QueryWith(art, qA, exec)
+	if err != nil {
+		panic(err)
+	}
+	identical := served.EqualRows(direct)
+	st := disk.Stats()
+	if st.DiskHits == 0 || st.DiskDemotions == 0 {
+		panic(fmt.Sprintf("E16 disk leg never touched the disk tier: %+v", st))
+	}
+
+	// Memory tier: the default cache holds both queries resident.
+	ram := serve.New(sys, serve.Options{Exec: exec})
+	avg(ram, []string{qA, qB}, 4) // prewarm
+	dRAM := avg(ram, []string{qA, qB}, e16HitReps)
+
+	return dExec, dDisk, dRAM, identical
+}
+
+// E16ColdStart measures the durable layer's two promises in wall-clock
+// terms: (1) cold start — snapshot-loading a knowledge base
+// (persist.Recover + kb.Restore, which builds indexes directly and
+// defers the dedup map) versus re-Adding the same facts one by one; and
+// (2) the serving-layer latency ladder — fresh execution vs. a disk-tier
+// hit (demote/promote through the cold cache) vs. a resident memory hit,
+// all answering with identical rows.
+func E16ColdStart(sizes []int) *Table {
+	if sizes == nil {
+		sizes = []int{e16Facts}
+	}
+	t := &Table{
+		ID:      "E16",
+		Title:   "cold start — snapshot load vs re-add, and the cache latency ladder",
+		Columns: []string{"leg", "n", "ms", "speedup", "snapshot MB", "identical"},
+		Notes: []string{
+			"re-add: kb.New + Add per fact (dedup probe, epoch bump each); snapshot load: persist.Recover + kb.Restore (indexes built directly, dedup map deferred); both best-of-3 with a GC between runs",
+			"latency legs answer the same two serving-world queries: execute = cache off; disk hit = one-entry memory cache + disk tier, every repeat promotes from disk; ram hit = both resident; ms is the per-answer average",
+			"identical: recovered store matches the re-added one (cold legs); disk-served rows EqualRows a direct execution (latency legs)",
+		},
+	}
+	for _, n := range sizes {
+		r := runE16Cold(n)
+		t.Rows = append(t.Rows, []string{
+			"re-add", fmt.Sprintf("%d", r.n), ms(r.readd), "1.00x", "", okMark(true),
+		})
+		t.Rows = append(t.Rows, []string{
+			"snapshot load", fmt.Sprintf("%d", r.n), ms(r.load),
+			fmt.Sprintf("%.2fx", r.speedup),
+			fmt.Sprintf("%.1f", float64(r.snapSize)/(1<<20)),
+			okMark(r.loadOK),
+		})
+	}
+	dExec, dDisk, dRAM, identical := e16HitLatencies()
+	t.Rows = append(t.Rows, []string{"execute (cache off)", fmt.Sprintf("%d", e16HitReps), ms(dExec), "1.00x", "", okMark(true)})
+	t.Rows = append(t.Rows, []string{"disk-tier hit", fmt.Sprintf("%d", e16HitReps), ms(dDisk),
+		fmt.Sprintf("%.2fx", float64(dExec)/float64(dDisk)), "", okMark(identical)})
+	t.Rows = append(t.Rows, []string{"ram hit", fmt.Sprintf("%d", e16HitReps), ms(dRAM),
+		fmt.Sprintf("%.2fx", float64(dExec)/float64(dRAM)), "", okMark(true)})
+	return t
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/lexicon"
 	"repro/internal/ontology"
+	"repro/internal/persist"
 	"repro/internal/query"
 	"repro/internal/rules"
 	"repro/internal/skat"
@@ -56,6 +57,14 @@ type System struct {
 	// before engMu, never the reverse.
 	engMu   sync.Mutex
 	engines map[string]*query.Engine
+
+	// Persistence (OpenDir): when pdir is non-nil, every knowledge base
+	// is durable — recovered at open, write-through journaled on Add,
+	// snapshotted whenever its log outgrows snapshotEvery records.
+	// Guarded by s.mu (persistence state only changes under mutators).
+	pdir          *persist.Dir
+	psrcs         map[string]*persist.Source
+	snapshotEvery int
 }
 
 // NewSystem returns an empty system using the embedded default lexicon
@@ -142,6 +151,13 @@ func (s *System) AddFact(source, subject, predicate string, object kb.Value) err
 
 // AddFacts is AddFact over a batch, returning how many facts were
 // actually inserted (duplicates are ignored and do not bump the epoch).
+//
+// The batch is not atomic: facts apply in order, and on the first error
+// the insertion stops — the returned count is exactly the facts that
+// landed (and, on a durable system, were journaled) before the failure,
+// so `added` is meaningful even when err != nil. Callers surfacing both
+// (the serving layer's mutation counter, oniond's /mutate) count the
+// returned value, never len(facts).
 func (s *System) AddFacts(source string, facts []kb.Fact) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,6 +167,14 @@ func (s *System) AddFacts(source string, facts []kb.Fact) (int, error) {
 	store, ok := s.kbs[source]
 	if !ok {
 		store = kb.New(source)
+		if s.pdir != nil {
+			src, err := s.pdir.Source(source)
+			if err != nil {
+				return 0, err
+			}
+			s.psrcs[source] = src
+			store.SetJournal(src)
+		}
 		s.kbs[source] = store
 		// A newly attached store rewires cached engines (they captured a
 		// nil KB pointer at build time) — structural, not epoch-visible.
@@ -166,7 +190,200 @@ func (s *System) AddFacts(source string, facts []kb.Fact) (int, error) {
 			added++
 		}
 	}
+	// Periodic snapshot: once the log outgrows the threshold, fold it
+	// into a fresh snapshot so recovery replay stays bounded. Runs under
+	// the mutator lock, so the fact set and epoch are consistent.
+	if src := s.psrcs[source]; src != nil && src.LogRecords() >= s.snapshotThreshold() {
+		if err := src.Snapshot(store.Facts(), store.Epoch()); err != nil {
+			return added, err
+		}
+	}
 	return added, nil
+}
+
+// DefaultSnapshotEvery is how many log records a durable source
+// accumulates before AddFacts folds them into a fresh snapshot.
+const DefaultSnapshotEvery = 1 << 16
+
+func (s *System) snapshotThreshold() int {
+	if s.snapshotEvery > 0 {
+		return s.snapshotEvery
+	}
+	return DefaultSnapshotEvery
+}
+
+// SetSnapshotEvery overrides the periodic-snapshot threshold (records in
+// a source's log before AddFacts snapshots it); n <= 0 restores the
+// default.
+func (s *System) SetSnapshotEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapshotEvery = n
+}
+
+// RecoveryStats reports what OpenDir did.
+type RecoveryStats struct {
+	// Recovered lists sources loaded from disk, with the fact count and
+	// epoch they came back at and any torn log tail truncated.
+	Recovered []RecoveredSource
+	// Bootstrapped lists registered knowledge bases that had no disk
+	// state yet: their current facts were snapshotted so a restart
+	// reproduces them even though they predate the journal.
+	Bootstrapped []string
+	// Skipped lists on-disk sources with no registered ontology; their
+	// files are left untouched.
+	Skipped []string
+}
+
+// RecoveredSource is one source's recovery outcome.
+type RecoveredSource struct {
+	Name           string
+	Facts          int
+	Epoch          uint64
+	TruncatedBytes int64
+}
+
+// OpenDir makes the system durable against the given directory: every
+// source with on-disk state is recovered (snapshot plus log tail, torn
+// tails truncated, checksums verified) and every knowledge base —
+// recovered, already registered, or created later by AddFacts — becomes
+// write-through journaled, with periodic snapshots bounding the log.
+//
+// Recovery composes with in-code world loading (oniond -fig2 then
+// -data-dir): a source registered with baseline facts AND found on disk
+// comes back as the union — the durable state wins the store identity,
+// then baseline facts missing from it are re-added (and journaled) like
+// any fresh insert, so fixture growth across versions is not lost.
+// On-disk sources whose ontology is not registered are skipped, not
+// deleted. Call after the world is registered and before serving.
+func (s *System) OpenDir(root string) (RecoveryStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stats RecoveryStats
+	if s.pdir != nil {
+		return stats, fmt.Errorf("core: persistence already open at %q", s.pdir.Root())
+	}
+	d, err := persist.Open(root)
+	if err != nil {
+		return stats, err
+	}
+	names, err := d.Sources()
+	if err != nil {
+		return stats, err
+	}
+	psrcs := make(map[string]*persist.Source)
+	for _, name := range names {
+		if _, ok := s.ontologies[name]; !ok {
+			stats.Skipped = append(stats.Skipped, name)
+			continue
+		}
+		src, err := d.Source(name)
+		if err != nil {
+			return stats, err
+		}
+		rec, err := src.Recover()
+		if err != nil {
+			return stats, err
+		}
+		store, err := kb.Restore(name, rec.Facts, rec.Epoch)
+		if err != nil {
+			return stats, fmt.Errorf("core: recovering %q: %w", name, err)
+		}
+		store.SetJournal(src)
+		baseline := s.kbs[name]
+		s.kbs[name] = store
+		psrcs[name] = src
+		if baseline != nil {
+			var merr error
+			baseline.ForEach(func(f kb.Fact) bool {
+				if err := store.Add(f.Subject, f.Predicate, f.Object); err != nil {
+					merr = err
+					return false
+				}
+				return true
+			})
+			if merr != nil {
+				return stats, fmt.Errorf("core: merging baseline facts of %q: %w", name, merr)
+			}
+		}
+		stats.Recovered = append(stats.Recovered, RecoveredSource{
+			Name: name, Facts: store.Len(), Epoch: store.Epoch(), TruncatedBytes: rec.TruncatedBytes,
+		})
+	}
+	// Registered knowledge bases with no disk state yet: snapshot their
+	// pre-journal facts so they survive the first restart, then journal
+	// everything after.
+	kbNames := make([]string, 0, len(s.kbs))
+	for name := range s.kbs {
+		kbNames = append(kbNames, name)
+	}
+	sort.Strings(kbNames)
+	for _, name := range kbNames {
+		if _, done := psrcs[name]; done {
+			continue
+		}
+		store := s.kbs[name]
+		src, err := d.Source(name)
+		if err != nil {
+			return stats, err
+		}
+		if err := src.Snapshot(store.Facts(), store.Epoch()); err != nil {
+			return stats, err
+		}
+		store.SetJournal(src)
+		psrcs[name] = src
+		stats.Bootstrapped = append(stats.Bootstrapped, name)
+	}
+	s.pdir = d
+	s.psrcs = psrcs
+	// Recovered stores replaced registry pointers — structural.
+	s.invalidateEnginesLocked()
+	return stats, nil
+}
+
+// SnapshotInfo is one source's state at a manual snapshot.
+type SnapshotInfo struct {
+	Facts int    `json:"facts"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// SnapshotAll snapshots every durable source now (oniond's /snapshot
+// endpoint; also useful before planned restarts so recovery replays no
+// log at all). Returns per-source fact counts and epochs.
+func (s *System) SnapshotAll() (map[string]SnapshotInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pdir == nil {
+		return nil, fmt.Errorf("core: no persistence directory open")
+	}
+	out := make(map[string]SnapshotInfo, len(s.psrcs))
+	names := make([]string, 0, len(s.psrcs))
+	for name := range s.psrcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		store := s.kbs[name]
+		if store == nil {
+			continue
+		}
+		if err := s.psrcs[name].Snapshot(store.Facts(), store.Epoch()); err != nil {
+			return out, err
+		}
+		out[name] = SnapshotInfo{Facts: store.Len(), Epoch: store.Epoch()}
+	}
+	return out, nil
+}
+
+// PersistRoot returns the open persistence directory ("" when the
+// system is not durable).
+func (s *System) PersistRoot() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.pdir == nil {
+		return ""
+	}
+	return s.pdir.Root()
 }
 
 // Load reads an ontology from r in the given wrapper format and registers
@@ -236,7 +453,10 @@ func (s *System) Articulation(name string) (*articulation.Articulation, bool) {
 // Drop removes an ontology "from further consideration" (§2.2), along
 // with its knowledge base. Articulations referring to it stay registered
 // but will fail validation until regenerated. Dropping an articulation
-// ontology also unregisters the articulation.
+// ontology also unregisters the articulation. On a durable system the
+// source's journal is closed but its files are kept — dropping is a
+// registry operation, not a deletion; a later OpenDir run skips (never
+// destroys) orphaned state.
 func (s *System) Drop(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,6 +466,10 @@ func (s *System) Drop(name string) bool {
 	delete(s.ontologies, name)
 	delete(s.kbs, name)
 	delete(s.arts, name)
+	if src, ok := s.psrcs[name]; ok {
+		src.Close()
+		delete(s.psrcs, name)
+	}
 	s.invalidateEnginesLocked()
 	return true
 }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/kb"
+)
+
+// restartedPaperSystem simulates a process restart: a fresh System with
+// the same registered world, recovered from root.
+func restartedPaperSystem(t *testing.T, root string) (*System, RecoveryStats) {
+	t.Helper()
+	s := paperSystem(t)
+	stats, err := s.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, stats
+}
+
+// TestOpenDirSurvivesRestart: mutations made through a durable system
+// come back after a "restart" (fresh System over the same directory),
+// and queries over the recovered state are byte-identical.
+func TestOpenDirSurvivesRestart(t *testing.T) {
+	root := t.TempDir()
+	s1, stats := restartedPaperSystem(t, root)
+	if len(stats.Bootstrapped) == 0 {
+		t.Fatalf("first open bootstrapped nothing, want the fixture KBs snapshotted")
+	}
+	if _, err := s1.AddFacts("carrier", []kb.Fact{
+		{Subject: "NewCar", Predicate: "InstanceOf", Object: kb.Term("PassengerCar")},
+		{Subject: "NewCar", Predicate: "Price", Object: kb.Number(2500)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.Query(fixtures.ArtName, vehiclePriceQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFacts := mustKB(t, s1, "carrier").Facts()
+
+	s2, stats2 := restartedPaperSystem(t, root)
+	if len(stats2.Recovered) == 0 {
+		t.Fatalf("second open recovered nothing")
+	}
+	if gotFacts := mustKB(t, s2, "carrier").Facts(); !reflect.DeepEqual(gotFacts, wantFacts) {
+		t.Fatalf("recovered carrier facts diverge: %d vs %d", len(gotFacts), len(wantFacts))
+	}
+	got, err := s2.Query(fixtures.ArtName, vehiclePriceQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualRows(want) {
+		t.Fatalf("recovered system's rows diverge from pre-restart rows")
+	}
+}
+
+func mustKB(t *testing.T, s *System, name string) *kb.Store {
+	t.Helper()
+	st, ok := s.KB(name)
+	if !ok {
+		t.Fatalf("no KB %q", name)
+	}
+	return st
+}
+
+// TestCrashRecoveryEqualsPreCrash is the satellite crash test at the
+// system level: a torn tail appended to the log (a kill mid-append) must
+// not survive recovery, and replay must equal the pre-crash Facts()
+// snapshot exactly. Runs under -race in CI like every test here.
+func TestCrashRecoveryEqualsPreCrash(t *testing.T) {
+	root := t.TempDir()
+	s1, _ := restartedPaperSystem(t, root)
+	if _, err := s1.AddFacts("factory", []kb.Fact{
+		{Subject: "W7", Predicate: "InstanceOf", Object: kb.Term("Truck")},
+		{Subject: "W7", Predicate: "Weight", Object: kb.Number(3.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	preCrash := mustKB(t, s1, "factory").Facts()
+
+	// The crash: the process dies while a record is half-written. The
+	// log lives at <root>/sources/factory/log (persist's layout).
+	logPath := filepath.Join(root, "sources", "factory", "log")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x1b, 'h', 'a', 'l', 'f'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, stats := restartedPaperSystem(t, root)
+	if got := mustKB(t, s2, "factory").Facts(); !reflect.DeepEqual(got, preCrash) {
+		t.Fatalf("post-crash replay has %d facts, pre-crash snapshot had %d", len(got), len(preCrash))
+	}
+	var truncated int64
+	for _, r := range stats.Recovered {
+		if r.Name == "factory" {
+			truncated = r.TruncatedBytes
+		}
+	}
+	if truncated == 0 {
+		t.Fatalf("torn tail not reported truncated")
+	}
+	// The recovered store keeps working durably.
+	if _, err := s2.AddFacts("factory", []kb.Fact{
+		{Subject: "W8", Predicate: "InstanceOf", Object: kb.Term("Truck")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := restartedPaperSystem(t, root)
+	if got := mustKB(t, s3, "factory").Len(); got != len(preCrash)+1 {
+		t.Fatalf("post-recovery append lost: %d facts, want %d", got, len(preCrash)+1)
+	}
+}
+
+// TestPeriodicSnapshotAndManualSnapshot: the log folds into a snapshot
+// once it outgrows the threshold, and SnapshotAll reports the durable
+// world; recovery stays exact either way.
+func TestPeriodicSnapshotAndManualSnapshot(t *testing.T) {
+	root := t.TempDir()
+	s1, _ := restartedPaperSystem(t, root)
+	s1.SetSnapshotEvery(3)
+	for i := 0; i < 10; i++ {
+		if _, err := s1.AddFacts("carrier", []kb.Fact{
+			{Subject: "Car", Predicate: "SerialNo", Object: kb.Number(float64(i))},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := s1.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier := mustKB(t, s1, "carrier")
+	if info["carrier"].Facts != carrier.Len() || info["carrier"].Epoch != carrier.Epoch() {
+		t.Fatalf("SnapshotAll reported %+v, store has %d facts at epoch %d",
+			info["carrier"], carrier.Len(), carrier.Epoch())
+	}
+	// After a manual snapshot the log is empty: a restart must still see
+	// everything (and the snapshot alone carries it).
+	s2, _ := restartedPaperSystem(t, root)
+	if got := mustKB(t, s2, "carrier").Facts(); !reflect.DeepEqual(got, carrier.Facts()) {
+		t.Fatalf("post-snapshot recovery diverges")
+	}
+	if s2.PersistRoot() != root {
+		t.Fatalf("PersistRoot = %q", s2.PersistRoot())
+	}
+}
+
+// TestAddFactsPartialInsertContract: the batch applies in order, stops
+// at the first error, and the returned count is exactly the facts that
+// landed — meaningful even when err != nil.
+func TestAddFactsPartialInsertContract(t *testing.T) {
+	s := paperSystem(t)
+	added, err := s.AddFacts("carrier", []kb.Fact{
+		{Subject: "A1", Predicate: "InstanceOf", Object: kb.Term("Truck")},
+		{Subject: "", Predicate: "InstanceOf", Object: kb.Term("Truck")}, // invalid
+		{Subject: "A2", Predicate: "InstanceOf", Object: kb.Term("Truck")},
+	})
+	if err == nil {
+		t.Fatalf("invalid fact accepted")
+	}
+	if added != 1 {
+		t.Fatalf("added = %d, want 1 (only the fact before the failure landed)", added)
+	}
+	st := mustKB(t, s, "carrier")
+	if len(st.Match("A1", "", nil)) != 1 || len(st.Match("A2", "", nil)) != 0 {
+		t.Fatalf("store state diverges from the partial-insert contract")
+	}
+}
+
+// TestOpenDirSkipsUnknownSources: on-disk state for an unregistered
+// ontology is skipped and untouched, never deleted.
+func TestOpenDirSkipsUnknownSources(t *testing.T) {
+	root := t.TempDir()
+	s1, _ := restartedPaperSystem(t, root)
+	if _, err := s1.AddFacts("carrier", []kb.Fact{
+		{Subject: "X", Predicate: "InstanceOf", Object: kb.Term("Truck")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// "Restart" into a world that no longer registers the factory.
+	s2 := NewSystem()
+	if err := s2.Register(fixtures.Carrier()); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s2.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stats.Skipped, []string{"factory"}) {
+		t.Fatalf("Skipped = %v, want [factory]", stats.Skipped)
+	}
+	if _, err := os.Stat(filepath.Join(root, "sources", "factory", "snapshot")); err != nil {
+		t.Fatalf("skipped source's files touched: %v", err)
+	}
+}

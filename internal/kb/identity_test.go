@@ -1,0 +1,218 @@
+package kb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestAddKindCollisionRegression is the PR 6 headline regression: the
+// seed deduped on Fact.String(), whose Format() rendering collides
+// distinct values, so the second fact of each pair below was silently
+// dropped and the epoch never bumped (the serving cache then provably
+// served stale rows).
+func TestAddKindCollisionRegression(t *testing.T) {
+	pairs := [][2]Value{
+		{Term("3000"), Number(3000)},
+		{Term(`"x"`), String("x")},
+		{String("3000"), Number(3000)},
+	}
+	for _, p := range pairs {
+		s := New("src")
+		s.MustAdd("s", "p", p[0])
+		e1 := s.Epoch()
+		s.MustAdd("s", "p", p[1])
+		if s.Len() != 2 {
+			t.Errorf("Add(%s then %s): %d facts, want 2 (kind collision)",
+				p[0].Format(), p[1].Format(), s.Len())
+		}
+		if s.Epoch() != e1+1 {
+			t.Errorf("Add(%s then %s): epoch %d after second add, want %d (stale-epoch bug)",
+				p[0].Format(), p[1].Format(), s.Epoch(), e1+1)
+		}
+	}
+}
+
+// TestAddFramingSafety: length framing keeps subject/predicate/object
+// boundary shifts from colliding.
+func TestAddFramingSafety(t *testing.T) {
+	s := New("src")
+	s.MustAdd("ab", "c", Term("d"))
+	s.MustAdd("a", "bc", Term("d"))
+	s.MustAdd("a", "b", Term("cd"))
+	s.MustAdd("a\x00b", "c", Term("d"))
+	s.MustAdd("a", "\x00bc", Term("d"))
+	if s.Len() != 5 {
+		t.Fatalf("%d facts, want 5 distinct", s.Len())
+	}
+	// Exact duplicates still dedup.
+	s.MustAdd("ab", "c", Term("d"))
+	if s.Len() != 5 {
+		t.Fatalf("duplicate re-add inserted: %d facts", s.Len())
+	}
+}
+
+// TestAddEqualSemantics: dedup follows Value.Equal exactly — ±0 are one
+// value, NaN equals nothing (so NaN facts always insert).
+func TestAddEqualSemantics(t *testing.T) {
+	s := New("src")
+	s.MustAdd("s", "p", Number(0))
+	s.MustAdd("s", "p", Number(math.Copysign(0, -1)))
+	if s.Len() != 1 {
+		t.Fatalf("+0/-0 did not dedup: %d facts", s.Len())
+	}
+	s.MustAdd("s", "p", Number(math.NaN()))
+	s.MustAdd("s", "p", Number(math.NaN()))
+	if s.Len() != 3 {
+		t.Fatalf("NaN adds: %d facts, want 3 (NaN never equals an existing fact)", s.Len())
+	}
+}
+
+// TestRestoreMatchesAdds: Restore rebuilds indexes and epoch, and the
+// lazily built dedup index still rejects duplicates on the next Add.
+func TestRestoreMatchesAdds(t *testing.T) {
+	src := New("src")
+	for i := 0; i < 100; i++ {
+		src.MustAdd(fmt.Sprintf("s%d", i/10), fmt.Sprintf("p%d", i%7), Number(float64(i)))
+	}
+	got, err := Restore("src", src.Facts(), src.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != src.Len() || got.Epoch() != src.Epoch() {
+		t.Fatalf("restore: %d facts epoch %d, want %d/%d", got.Len(), got.Epoch(), src.Len(), src.Epoch())
+	}
+	if len(got.Match("s3", "p4", nil)) != len(src.Match("s3", "p4", nil)) {
+		t.Fatalf("restored indexes diverge")
+	}
+	got.MustAdd("s0", "p0", Number(0)) // duplicate of i=0
+	if got.Len() != src.Len() {
+		t.Fatalf("restored store accepted a duplicate")
+	}
+	got.MustAdd("fresh", "p", Term("v"))
+	if got.Len() != src.Len()+1 || got.Epoch() != src.Epoch()+1 {
+		t.Fatalf("restored store refused a fresh fact")
+	}
+	if _, err := Restore("src", src.Facts(), 3); err == nil {
+		t.Fatalf("Restore accepted an epoch below the insert count")
+	}
+}
+
+// journalFunc adapts a func to the Journal interface.
+type journalFunc func(f Fact, epoch uint64) error
+
+func (j journalFunc) Append(f Fact, epoch uint64) error { return j(f, epoch) }
+
+// TestJournalWriteAhead: the journal sees every effective insert (not
+// duplicates) with the post-insert epoch, before the store mutates; an
+// append error vetoes the insert.
+func TestJournalWriteAhead(t *testing.T) {
+	s := New("src")
+	s.MustAdd("pre", "p", Term("v")) // pre-journal fact, never replayed
+	var seen []Fact
+	var epochs []uint64
+	fail := false
+	s.SetJournal(journalFunc(func(f Fact, epoch uint64) error {
+		if fail {
+			return fmt.Errorf("disk full")
+		}
+		seen = append(seen, f)
+		epochs = append(epochs, epoch)
+		return nil
+	}))
+	s.MustAdd("a", "p", Term("v"))
+	s.MustAdd("a", "p", Term("v")) // duplicate: not journaled
+	s.MustAdd("b", "p", Number(1))
+	if len(seen) != 2 || seen[0].Subject != "a" || seen[1].Subject != "b" {
+		t.Fatalf("journal saw %v, want the two effective inserts", seen)
+	}
+	if epochs[0] != 2 || epochs[1] != 3 {
+		t.Fatalf("journal epochs %v, want [2 3]", epochs)
+	}
+	fail = true
+	if err := s.Add("c", "p", Term("v")); err == nil {
+		t.Fatalf("Add swallowed a journal error")
+	}
+	if s.Len() != 3 || s.Epoch() != 3 {
+		t.Fatalf("vetoed insert mutated the store: len %d epoch %d", s.Len(), s.Epoch())
+	}
+	if len(s.Match("c", "p", nil)) != 0 {
+		t.Fatalf("vetoed fact is visible")
+	}
+}
+
+// fuzzValue decodes a fuzz payload into a Value deterministically.
+func fuzzValue(kind uint8, str string, bits uint64) Value {
+	switch kind % 3 {
+	case 0:
+		return Term(str)
+	case 1:
+		return String(str)
+	default:
+		return Number(math.Float64frombits(bits))
+	}
+}
+
+// FuzzFactIdentity: for random value pairs, two Adds under one
+// subject/predicate dedup iff Value.Equal — the store's documented
+// identity. Run in CI's race job via its seed corpus and in the fuzz
+// smoke step.
+func FuzzFactIdentity(f *testing.F) {
+	f.Add(uint8(0), "3000", uint64(0), uint8(2), "", math.Float64bits(3000))
+	f.Add(uint8(0), `"x"`, uint64(0), uint8(1), "x", uint64(0))
+	f.Add(uint8(2), "", math.Float64bits(0), uint8(2), "", math.Float64bits(math.Copysign(0, -1)))
+	f.Add(uint8(2), "", uint64(0x7FF8000000000001), uint8(2), "", uint64(0x7FF8000000000001))
+	f.Add(uint8(0), "a\x00b", uint64(0), uint8(0), "a", uint64(0))
+	f.Fuzz(func(t *testing.T, k1 uint8, s1 string, b1 uint64, k2 uint8, s2 string, b2 uint64) {
+		v1, v2 := fuzzValue(k1, s1, b1), fuzzValue(k2, s2, b2)
+		st := New("fuzz")
+		st.MustAdd("s", "p", v1)
+		st.MustAdd("s", "p", v2)
+		wantLen := 2
+		if v1.Equal(v2) {
+			wantLen = 1
+		}
+		if st.Len() != wantLen {
+			t.Fatalf("Add(%#v) then Add(%#v): %d facts, want %d (Equal=%v)",
+				v1, v2, st.Len(), wantLen, v1.Equal(v2))
+		}
+		if st.Epoch() != uint64(wantLen) {
+			t.Fatalf("epoch %d, want %d", st.Epoch(), wantLen)
+		}
+		// The subject/predicate framing must never leak into the value:
+		// shifting bytes across the boundary is a distinct fact.
+		st2 := New("fuzz2")
+		st2.MustAdd("s"+s1, "p", v2)
+		if s1 != "" && st2.Len() != 1 {
+			t.Fatalf("unexpected state")
+		}
+	})
+}
+
+// TestFactKeyInjective cross-checks factKey against Value.Equal over the
+// codec corpus directly (the map-free property the fuzz target samples).
+func TestFactKeyInjective(t *testing.T) {
+	vals := []Value{
+		Term("3000"), Number(3000), String("3000"), Term(`"x"`), String("x"),
+		Term(""), String(""), Term("a\x00b"), Number(0), Number(math.Copysign(0, -1)),
+		Number(math.Inf(1)), Number(1.5),
+	}
+	for _, v := range vals {
+		for _, w := range vals {
+			kv := string(factKey(nil, Fact{Subject: "s", Predicate: "p", Object: v}))
+			kw := string(factKey(nil, Fact{Subject: "s", Predicate: "p", Object: w}))
+			if (kv == kw) != v.Equal(w) {
+				t.Errorf("factKey(%s) vs factKey(%s): equal=%v, Value.Equal=%v",
+					v.Format(), w.Format(), kv == kw, v.Equal(w))
+			}
+		}
+	}
+	// Sanity: the key really is length-framed (uvarint prefixes), so a
+	// crafted subject cannot absorb the predicate.
+	k := factKey(nil, Fact{Subject: "ab", Predicate: "c", Object: Term("d")})
+	n, sz := binary.Uvarint(k)
+	if sz <= 0 || n != 2 {
+		t.Fatalf("subject frame = %d (%d bytes), want 2", n, sz)
+	}
+}

@@ -10,7 +10,9 @@
 package kb
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,14 +102,32 @@ func (f Fact) String() string {
 	return fmt.Sprintf("%s %s %s", f.Subject, f.Predicate, f.Object.Format())
 }
 
+// Journal receives every effective insert of a durable store before it
+// is applied, in insertion order, carrying the epoch the store will be
+// at once the fact lands. An Append error vetoes the insert: the store
+// is unchanged and Add returns the error, so the in-memory state is
+// always a prefix-closed subset of what the journal accepted
+// (write-ahead semantics). internal/persist implements it with an
+// append-only fact log.
+type Journal interface {
+	Append(f Fact, epoch uint64) error
+}
+
 // Store is an indexed in-memory fact store for one knowledge source. The
-// zero value is not usable; call New.
+// zero value is not usable; call New (or Restore, for recovery paths).
 type Store struct {
-	name     string
-	facts    []Fact
-	bySubj   map[string][]int
-	byPred   map[string][]int
+	name   string
+	facts  []Fact
+	bySubj map[string][]int
+	byPred map[string][]int
+	// existing is the dedup index, keyed by factKey — a kind-tagged,
+	// length-framed identity (NOT Fact.String(), whose Format()
+	// rendering collides distinct values: Term("3000") and Number(3000)
+	// both render `3000`). nil after Restore until the first Add needs
+	// it; see ensureDedup.
 	existing map[string]struct{}
+	keyBuf   []byte  // factKey scratch, reused across Adds
+	journal  Journal // nil unless the store is durable (SetJournal)
 	// epoch counts effective mutations (facts actually inserted; ignored
 	// duplicates do not bump it). Query engines validate their cached
 	// plans against it, and the serving layer's result cache keys on it.
@@ -125,6 +145,38 @@ func New(name string) *Store {
 	}
 }
 
+// Restore rebuilds a store from recovered facts at a recorded epoch —
+// the persistence layer's cold-start constructor. The facts are trusted
+// to be valid and mutually distinct (a fact log only ever records
+// effective inserts, so snapshot+log replay satisfies this by
+// construction): Restore builds the scan indexes directly and defers the
+// dedup index until the first post-restore Add needs it, which is what
+// makes loading a snapshot measurably cheaper than re-Adding every fact
+// (E16). epoch must be at least len(facts) — every insert bumped it once.
+func Restore(name string, facts []Fact, epoch uint64) (*Store, error) {
+	s := New(name)
+	s.existing = nil // rebuilt lazily by ensureDedup
+	s.facts = append(s.facts, facts...)
+	for i, f := range facts {
+		if f.Subject == "" || f.Predicate == "" {
+			return nil, fmt.Errorf("kb %s: restore: fact %d needs subject and predicate", name, i)
+		}
+		s.bySubj[f.Subject] = append(s.bySubj[f.Subject], i)
+		s.byPred[f.Predicate] = append(s.byPred[f.Predicate], i)
+	}
+	if epoch < uint64(len(facts)) {
+		return nil, fmt.Errorf("kb %s: restore: epoch %d below %d recovered inserts", name, epoch, len(facts))
+	}
+	s.epoch.Store(epoch)
+	return s, nil
+}
+
+// SetJournal makes the store durable: every subsequent effective insert
+// is offered to j before it is applied (see Journal). Facts already in
+// the store are not replayed — the persistence layer snapshots them
+// instead. Passing nil detaches the journal.
+func (s *Store) SetJournal(j Journal) { s.journal = j }
+
 // Name returns the store's source name.
 func (s *Store) Name() string { return s.name }
 
@@ -137,18 +189,76 @@ func (s *Store) Len() int { return len(s.facts) }
 // single-writer, serialised by the store's owner.
 func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
+// factKey appends f's dedup identity to buf: subject and predicate
+// length-framed, the object kind-tagged — so the key is injective
+// exactly up to Value.Equal. The seed keyed on Fact.String(), whose
+// Format() rendering is kind-blind and framing-ambiguous: Term("3000")
+// vs Number(3000) and Term(`"x"`) vs String("x") rendered identically,
+// so the second distinct fact was silently dropped and the epoch never
+// bumped — the serving layer then provably served stale cached rows.
+// Numbers key on the IEEE bit image with -0 canonicalised to +0, because
+// Value.Equal (Num == Num) calls them equal; NaN objects never reach
+// this key (see Add).
+func factKey(buf []byte, f Fact) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(f.Subject)))
+	buf = append(buf, f.Subject...)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Predicate)))
+	buf = append(buf, f.Predicate...)
+	buf = append(buf, byte(f.Object.Kind))
+	if f.Object.Kind == KindNumber {
+		bits := math.Float64bits(f.Object.Num)
+		if f.Object.Num == 0 {
+			bits = 0 // +0 and -0 are Equal, so they share one key
+		}
+		return binary.BigEndian.AppendUint64(buf, bits)
+	}
+	return append(buf, f.Object.Str...)
+}
+
+// ensureDedup materialises the dedup index when a restored store first
+// needs it (Restore defers it so cold starts serve immediately).
+func (s *Store) ensureDedup() {
+	if s.existing != nil {
+		return
+	}
+	s.existing = make(map[string]struct{}, len(s.facts))
+	for _, f := range s.facts {
+		if f.Object.IsNumber() && math.IsNaN(f.Object.Num) {
+			continue
+		}
+		s.keyBuf = factKey(s.keyBuf[:0], f)
+		s.existing[string(s.keyBuf)] = struct{}{}
+	}
+}
+
 // Add inserts a fact (duplicates are ignored). Empty subjects or
-// predicates are rejected.
+// predicates are rejected. Duplicate detection follows Value.Equal
+// exactly: kind-strict (Term("3000") and Number(3000) are distinct
+// facts), +0 and -0 are one value, and a NaN object never equals any
+// existing fact — including a byte-identical one — so NaN facts always
+// insert. On a durable store the insert is offered to the journal first;
+// a journal error leaves the store unchanged.
 func (s *Store) Add(subject, predicate string, object Value) error {
 	if subject == "" || predicate == "" {
 		return fmt.Errorf("kb %s: fact needs subject and predicate", s.name)
 	}
 	f := Fact{Subject: subject, Predicate: predicate, Object: object}
-	key := f.String()
-	if _, dup := s.existing[key]; dup {
-		return nil
+	dedupable := !(object.Kind == KindNumber && math.IsNaN(object.Num))
+	if dedupable {
+		s.ensureDedup()
+		s.keyBuf = factKey(s.keyBuf[:0], f)
+		if _, dup := s.existing[string(s.keyBuf)]; dup {
+			return nil
+		}
 	}
-	s.existing[key] = struct{}{}
+	if s.journal != nil {
+		if err := s.journal.Append(f, s.epoch.Load()+1); err != nil {
+			return fmt.Errorf("kb %s: journal: %w", s.name, err)
+		}
+	}
+	if dedupable {
+		s.existing[string(s.keyBuf)] = struct{}{}
+	}
 	idx := len(s.facts)
 	s.facts = append(s.facts, f)
 	s.bySubj[subject] = append(s.bySubj[subject], idx)

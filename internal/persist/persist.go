@@ -1,0 +1,482 @@
+// Package persist is the disk-native substrate beneath the knowledge
+// bases: an append-only fact log plus a periodic snapshot per source, so
+// an articulated system survives its process (EDBT 2000 positions the
+// articulation system as a long-lived shared resource over external
+// sources; a long-lived resource needs state that outlives restarts, and
+// the ROADMAP's dependency-analysis direction needs a durable fact log
+// deltas can replay).
+//
+// Records are encoded in the PR 5 rowkey wire format
+// (internal/rowcodec) — the same kind-strict encoding the query
+// executors spill and join on — so a fact that round-trips through disk
+// can never collapse with, or diverge from, a distinct in-memory value.
+// Each record carries the store epoch it produced, a uvarint length
+// frame and a CRC32 checksum; recovery replays the newest snapshot plus
+// the log tail, truncating a torn tail (a record cut short by kill -9
+// mid-write) at the last verifiable boundary.
+//
+// Durability model: appends reach the operating system synchronously
+// (one plain write(2) per record, no user-space buffering), so the log
+// survives any process death. Snapshots are fsynced and renamed into
+// place atomically. Power-loss durability of individual appends would
+// additionally need an fsync per record; the serving layer's crash model
+// (process kill, OOM, deploy) does not pay that price.
+//
+// Layout under a root directory:
+//
+//	<root>/sources/<name>/snapshot   full fact set at a recorded epoch
+//	<root>/sources/<name>/log        effective inserts since (or before) it
+//
+// Source names are escaped for the filesystem (escapeName); everything
+// else is byte-exact.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/kb"
+	"repro/internal/rowcodec"
+)
+
+const (
+	sourcesDir  = "sources"
+	logName     = "log"
+	snapName    = "snapshot"
+	snapMagic   = "ONIONSP1"
+	maxRecBytes = 1 << 26 // 64MB: no sane fact record is larger; bounds torn-length allocations
+)
+
+// Dir is an open persistence root. Safe for concurrent use; per-source
+// state lives in Source.
+type Dir struct {
+	root string
+
+	mu   sync.Mutex
+	open map[string]*Source
+}
+
+// Open opens (creating if needed) a persistence root.
+func Open(root string) (*Dir, error) {
+	if err := os.MkdirAll(filepath.Join(root, sourcesDir), 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &Dir{root: root, open: make(map[string]*Source)}, nil
+}
+
+// Root returns the directory the Dir was opened on.
+func (d *Dir) Root() string { return d.root }
+
+// Sources lists the source names with on-disk state, sorted.
+func (d *Dir) Sources() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(d.root, sourcesDir))
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := unescapeName(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("persist: source dir %q: %w", e.Name(), err)
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Source opens (creating if needed) the named source's log/snapshot
+// state. Repeated calls return the same *Source.
+func (d *Dir) Source(name string) (*Source, error) {
+	if name == "" {
+		return nil, errors.New("persist: empty source name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.open[name]; ok {
+		return s, nil
+	}
+	dir := filepath.Join(d.root, sourcesDir, escapeName(name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: source %q: %w", name, err)
+	}
+	s := &Source{name: name, dir: dir}
+	d.open[name] = s
+	return s, nil
+}
+
+// escapeName maps an arbitrary source name to a safe directory name.
+// Names made of [A-Za-z0-9._-] pass through (except "", "." and "..",
+// and anything starting with '%', which collide with the escaped form);
+// everything else becomes "%" + lowercase hex of the raw bytes. The
+// mapping is injective, so two distinct sources can never share a
+// directory — the same aliasing class the cache-key and fact-key fixes
+// in this PR close elsewhere.
+func escapeName(name string) string {
+	safe := name != "" && name != "." && name != ".." && !strings.HasPrefix(name, "%")
+	if safe {
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+				c == '.' || c == '_' || c == '-') {
+				safe = false
+				break
+			}
+		}
+	}
+	if safe {
+		return name
+	}
+	return "%" + fmt.Sprintf("%x", []byte(name))
+}
+
+// unescapeName inverts escapeName.
+func unescapeName(dir string) (string, error) {
+	if !strings.HasPrefix(dir, "%") {
+		return dir, nil
+	}
+	var raw []byte
+	if _, err := fmt.Sscanf(dir[1:], "%x", &raw); err != nil {
+		return "", fmt.Errorf("bad escaped name: %w", err)
+	}
+	return string(raw), nil
+}
+
+// Source is one knowledge source's durable state. It implements
+// kb.Journal, so attaching it to a store (kb.Store.SetJournal) makes
+// every effective insert write-through. Safe for concurrent use, though
+// in practice the owning core.System serialises mutations.
+type Source struct {
+	name string
+	dir  string
+
+	mu         sync.Mutex
+	log        *os.File // opened lazily, kept open; nil until first Append
+	logRecords int      // live records in the log (post-snapshot), set by Recover/Append/Snapshot
+	buf        []byte   // record scratch, reused across Appends
+}
+
+// Name returns the source name.
+func (s *Source) Name() string { return s.name }
+
+// LogRecords returns how many live log records (appends since the last
+// snapshot) the source carries — the input to snapshot policies.
+func (s *Source) LogRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logRecords
+}
+
+// Close releases the open log handle. Append reopens it on demand.
+func (s *Source) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
+
+// appendPayload encodes one log/snapshot record payload: uvarint epoch,
+// length-framed subject and predicate, rowcodec value.
+func appendPayload(buf []byte, f kb.Fact, epoch uint64) []byte {
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Subject)))
+	buf = append(buf, f.Subject...)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Predicate)))
+	buf = append(buf, f.Predicate...)
+	return rowcodec.AppendValue(buf, f.Object)
+}
+
+// decodePayload inverts appendPayload, requiring the payload to be
+// exactly consumed.
+func decodePayload(b []byte) (kb.Fact, uint64, error) {
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 {
+		return kb.Fact{}, 0, errors.New("persist: bad record epoch")
+	}
+	b = b[n:]
+	readStr := func() (string, error) {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return "", errors.New("persist: bad string frame")
+		}
+		out := string(b[n : n+int(l)])
+		b = b[n+int(l):]
+		return out, nil
+	}
+	subj, err := readStr()
+	if err != nil {
+		return kb.Fact{}, 0, err
+	}
+	pred, err := readStr()
+	if err != nil {
+		return kb.Fact{}, 0, err
+	}
+	obj, used, err := rowcodec.DecodeValue(b)
+	if err != nil {
+		return kb.Fact{}, 0, fmt.Errorf("persist: record value: %w", err)
+	}
+	if used != len(b) {
+		return kb.Fact{}, 0, fmt.Errorf("persist: record has %d trailing bytes", len(b)-used)
+	}
+	return kb.Fact{Subject: subj, Predicate: pred, Object: obj}, epoch, nil
+}
+
+// Append writes one effective insert to the log: uvarint payload length,
+// payload, CRC32(payload). One write(2) call, so a killed process leaves
+// at worst a torn tail that recovery truncates. Implements kb.Journal.
+func (s *Source) Append(f kb.Fact, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		lf, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("persist: %s: %w", s.name, err)
+		}
+		s.log = lf
+	}
+	payload := appendPayload(s.buf[:0], f, epoch)
+	s.buf = payload
+	rec := make([]byte, 0, len(payload)+binary.MaxVarintLen64+4)
+	rec = binary.AppendUvarint(rec, uint64(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	if _, err := s.log.Write(rec); err != nil {
+		return fmt.Errorf("persist: %s: log append: %w", s.name, err)
+	}
+	s.logRecords++
+	return nil
+}
+
+// Recovered is the outcome of Source.Recover.
+type Recovered struct {
+	// Facts is the recovered fact set in insertion order: the snapshot's
+	// facts followed by the post-snapshot log tail.
+	Facts []kb.Fact
+	// Epoch is the store epoch the facts were at — the last log record's
+	// epoch, or the snapshot's if the log adds nothing.
+	Epoch uint64
+	// LogRecords is how many live log records survive (the snapshot
+	// policy counter resumes from it).
+	LogRecords int
+	// TruncatedBytes reports how much torn tail was cut from the log (0
+	// on a clean shutdown).
+	TruncatedBytes int64
+}
+
+// Recover loads the source's durable state: the snapshot (verified
+// end-to-end by checksum), then the log tail. Log records are verified
+// record-by-record; the first unreadable, checksum-failing or
+// epoch-regressing record — a torn tail from a mid-append crash — ends
+// the replay and is truncated away, so a subsequent Append continues
+// from a verifiable boundary. Records at or below the snapshot epoch are
+// skipped: they are leftovers of a crash between snapshot publication
+// and log truncation, already folded into the snapshot.
+func (s *Source) Recover() (Recovered, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		// Recovery truncates; a live append handle would race it.
+		s.log.Close()
+		s.log = nil
+	}
+	var rec Recovered
+	facts, snapEpoch, err := readSnapshot(filepath.Join(s.dir, snapName))
+	if err != nil {
+		return rec, fmt.Errorf("persist: %s: %w", s.name, err)
+	}
+	rec.Facts = facts
+	rec.Epoch = snapEpoch
+
+	logPath := filepath.Join(s.dir, logName)
+	lf, err := os.Open(logPath)
+	if errors.Is(err, os.ErrNotExist) {
+		s.logRecords = 0
+		return rec, nil
+	}
+	if err != nil {
+		return rec, fmt.Errorf("persist: %s: %w", s.name, err)
+	}
+	defer lf.Close()
+
+	data, err := io.ReadAll(lf)
+	if err != nil {
+		return rec, fmt.Errorf("persist: %s: reading log: %w", s.name, err)
+	}
+	off := 0
+	lastEpoch := uint64(0)
+	for off < len(data) {
+		plen, n := binary.Uvarint(data[off:])
+		if n <= 0 || plen > maxRecBytes || uint64(len(data)-off-n) < plen+4 {
+			break // torn tail
+		}
+		payload := data[off+n : off+n+int(plen)]
+		sum := binary.BigEndian.Uint32(data[off+n+int(plen):][:4])
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn or corrupt record
+		}
+		f, epoch, derr := decodePayload(payload)
+		if derr != nil {
+			break
+		}
+		if epoch <= lastEpoch && lastEpoch != 0 {
+			break // epochs are strictly increasing; a regression is damage
+		}
+		lastEpoch = epoch
+		off += n + int(plen) + 4
+		if epoch <= snapEpoch {
+			continue // pre-snapshot leftover, already in the snapshot
+		}
+		rec.Facts = append(rec.Facts, f)
+		rec.Epoch = epoch
+		rec.LogRecords++
+	}
+	if off < len(data) {
+		rec.TruncatedBytes = int64(len(data) - off)
+		if err := os.Truncate(logPath, int64(off)); err != nil {
+			return rec, fmt.Errorf("persist: %s: truncating torn tail: %w", s.name, err)
+		}
+	}
+	s.logRecords = rec.LogRecords
+	return rec, nil
+}
+
+// Snapshot atomically publishes the full fact set at the given epoch and
+// resets the log. The snapshot is written to a temp file, fsynced and
+// renamed into place; only then is the log truncated. A crash between
+// the rename and the truncation is benign — recovery skips log records
+// at or below the snapshot epoch.
+func (s *Source) Snapshot(facts []kb.Fact, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, snapName+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: %s: %w", s.name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+
+	buf := make([]byte, 0, 64+len(facts)*32)
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(facts)))
+	sum := crc32.NewIEEE()
+	sum.Write(buf)
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %s: %w", s.name, err)
+	}
+	buf = buf[:0]
+	for i, f := range facts {
+		buf = binary.AppendUvarint(buf[:0], uint64(len(f.Subject)))
+		buf = append(buf, f.Subject...)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Predicate)))
+		buf = append(buf, f.Predicate...)
+		buf = rowcodec.AppendValue(buf, f.Object)
+		sum.Write(buf)
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: %s: snapshot fact %d: %w", s.name, i, err)
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf[:0], sum.Sum32())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %s: %w", s.name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %s: %w", s.name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %s: %w", s.name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("persist: %s: publishing snapshot: %w", s.name, err)
+	}
+	// The snapshot is durable; the log's records are all subsumed.
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
+	if err := os.Truncate(filepath.Join(s.dir, logName), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("persist: %s: resetting log: %w", s.name, err)
+	}
+	s.logRecords = 0
+	return nil
+}
+
+// readSnapshot loads and verifies a snapshot file; a missing file is an
+// empty source at epoch 0. Unlike the log, a snapshot is written
+// atomically, so any corruption is real damage and surfaces as an error
+// rather than silent truncation.
+func readSnapshot(path string) ([]kb.Fact, uint64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, errors.New("snapshot: bad magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, 0, errors.New("snapshot: checksum mismatch")
+	}
+	b := body[len(snapMagic):]
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, errors.New("snapshot: bad epoch")
+	}
+	b = b[n:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, errors.New("snapshot: bad count")
+	}
+	b = b[n:]
+	readStr := func() (string, error) {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return "", errors.New("snapshot: bad string frame")
+		}
+		out := string(b[n : n+int(l)])
+		b = b[n+int(l):]
+		return out, nil
+	}
+	facts := make([]kb.Fact, 0, count)
+	for i := uint64(0); i < count; i++ {
+		subj, err := readStr()
+		if err != nil {
+			return nil, 0, err
+		}
+		pred, err := readStr()
+		if err != nil {
+			return nil, 0, err
+		}
+		obj, used, err := rowcodec.DecodeValue(b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("snapshot: fact %d: %w", i, err)
+		}
+		b = b[used:]
+		facts = append(facts, kb.Fact{Subject: subj, Predicate: pred, Object: obj})
+	}
+	if len(b) != 0 {
+		return nil, 0, fmt.Errorf("snapshot: %d trailing bytes", len(b))
+	}
+	return facts, epoch, nil
+}

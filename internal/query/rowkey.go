@@ -1,150 +1,30 @@
 package query
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"math"
-	"strings"
-
 	"repro/internal/kb"
+	"repro/internal/rowcodec"
 )
 
-// This file is the one value-key encoding every execution path keys rows
-// and joins on. The seed keyed projection dedup, row sorting and the
-// sequential join on Format() strings joined with raw '\x00' — an
-// encoding that is kind-blind (Term("3000") and Number(3000) format
-// identically) and framing-ambiguous (a payload containing '\x00' shifts
-// bytes across field boundaries), so adversarial values could collapse
-// distinct SELECT rows or falsely join. appendValueKey replaces all of
-// those call sites with a single collision-free encoding.
+// The value-key encoding every execution path keys rows and joins on
+// lives in internal/rowcodec since it became the persistence layer's
+// on-disk record format too (see that package's doc for the encoding
+// itself). These aliases keep the executor's call sites on the short
+// internal names; the semantics — one collision-free, kind-strict,
+// order-preserving encoding shared by join keys, dedup keys, sort keys,
+// spill runs, fact logs and snapshots — are rowcodec's.
 
-// appendValueKey appends a collision-free, order-preserving encoding of v
-// to buf:
-//
-//   - a kind tag byte first, so values of different kinds never compare
-//     equal (Term("3000") vs Number(3000) vs String("3000")), and rows
-//     sort kind-major within a column;
-//   - numbers as the 8-byte big-endian IEEE image with the sign-flip
-//     transform, so byte order equals numeric order (-0 sorts before +0,
-//     and they stay distinct — Format renders them "-0" and "0"). NaN
-//     payloads are canonicalised so every NaN encodes alike: the
-//     reference semantics key on Format(), where all NaNs render "NaN"
-//     and therefore compare equal;
-//   - terms and strings as the payload with '\x00' escaped as
-//     "\x00\xff" followed by a '\x00' terminator. The escape keeps
-//     NUL-bearing payloads from shifting bytes across field boundaries,
-//     and the terminator (never followed by 0xff; kind tags are 0..2)
-//     keeps concatenated fields prefix-free while preserving plain
-//     lexicographic order for NUL-free payloads.
-//
-// The encoding is injective up to NaN payloads, so it is simultaneously
-// the join-key, dedup-key and sort-key encoding: two values encode
-// equally iff they are equal under the engine's value semantics.
-func appendValueKey(buf []byte, v kb.Value) []byte {
-	buf = append(buf, byte(v.Kind))
-	if v.Kind == kb.KindNumber {
-		bits := math.Float64bits(v.Num)
-		if math.IsNaN(v.Num) {
-			bits = 0x7FF8000000000000
-		}
-		if bits&(1<<63) != 0 {
-			bits = ^bits
-		} else {
-			bits |= 1 << 63
-		}
-		var n [8]byte
-		binary.BigEndian.PutUint64(n[:], bits)
-		return append(buf, n[:]...)
-	}
-	s := v.Str
-	for {
-		i := strings.IndexByte(s, 0)
-		if i < 0 {
-			break
-		}
-		buf = append(buf, s[:i]...)
-		buf = append(buf, 0x00, 0xff)
-		s = s[i+1:]
-	}
-	buf = append(buf, s...)
-	return append(buf, 0x00)
-}
+// appendValueKey appends the collision-free, order-preserving encoding
+// of v (rowcodec.AppendValue).
+func appendValueKey(buf []byte, v kb.Value) []byte { return rowcodec.AppendValue(buf, v) }
 
 // appendRowKey appends the row's dedup/sort key: appendValueKey over
-// every cell. project, projectTuples and the final row sort all key on
-// it, so the deterministic output order is shared by every execution
-// path and is safe under adversarial values.
-func appendRowKey(buf []byte, vals []kb.Value) []byte {
-	for _, v := range vals {
-		buf = appendValueKey(buf, v)
-	}
-	return buf
-}
+// every cell (rowcodec.AppendRow).
+func appendRowKey(buf []byte, vals []kb.Value) []byte { return rowcodec.AppendRow(buf, vals) }
 
-// decodeValueKey is the inverse of appendValueKey: it decodes one value
-// from the front of b and returns it with the number of bytes consumed.
-// The encoding doubles as the spill wire format of the grace-hash joins
-// (spill.go), so spilled tuples round-trip kind-strictly: the kind tag,
-// the escape/terminator framing and the order-preserving float image all
-// invert exactly. The only non-identity is the NaN class — every NaN
-// encodes (and therefore decodes) as the canonical quiet NaN, which is
-// the engine's value semantics anyway (sameCell puts every NaN in one
-// class), so a spilled row is EqualRows-identical to its in-memory twin.
-func decodeValueKey(b []byte) (kb.Value, int, error) {
-	if len(b) == 0 {
-		return kb.Value{}, 0, errors.New("rowkey: empty value encoding")
-	}
-	kind := kb.ValueKind(b[0])
-	if kind == kb.KindNumber {
-		if len(b) < 9 {
-			return kb.Value{}, 0, errors.New("rowkey: truncated number encoding")
-		}
-		bits := binary.BigEndian.Uint64(b[1:9])
-		if bits&(1<<63) != 0 {
-			bits &^= 1 << 63
-		} else {
-			bits = ^bits
-		}
-		return kb.Number(math.Float64frombits(bits)), 9, nil
-	}
-	if kind != kb.KindTerm && kind != kb.KindString {
-		return kb.Value{}, 0, fmt.Errorf("rowkey: unknown kind tag %d", b[0])
-	}
-	var sb strings.Builder
-	i := 1
-	for {
-		j := i
-		for j < len(b) && b[j] != 0 {
-			j++
-		}
-		if j >= len(b) {
-			return kb.Value{}, 0, errors.New("rowkey: unterminated payload")
-		}
-		sb.Write(b[i:j])
-		if j+1 < len(b) && b[j+1] == 0xff {
-			// Escaped NUL inside the payload.
-			sb.WriteByte(0)
-			i = j + 2
-			continue
-		}
-		return kb.Value{Kind: kind, Str: sb.String()}, j + 1, nil
-	}
-}
+// decodeValueKey is the inverse of appendValueKey, doubling as the spill
+// wire format decoder (rowcodec.DecodeValue).
+func decodeValueKey(b []byte) (kb.Value, int, error) { return rowcodec.DecodeValue(b) }
 
-// sameCell reports whether two cells are equal under the engine's value
-// semantics — the equality appendValueKey encodes: kind-strict, string
-// payloads byte-equal, numbers by IEEE bit image with every NaN in one
-// class. (kb.Value.Equal alone would call +0 and -0 equal and every NaN
-// unequal to itself, diverging from the row keys the executors dedup
-// and sort on.)
-func sameCell(a, b kb.Value) bool {
-	if a.Kind != b.Kind {
-		return false
-	}
-	if a.Kind == kb.KindNumber {
-		return math.Float64bits(a.Num) == math.Float64bits(b.Num) ||
-			(math.IsNaN(a.Num) && math.IsNaN(b.Num))
-	}
-	return a.Str == b.Str
-}
+// sameCell reports equality under the engine's value semantics — the
+// equality appendValueKey encodes (rowcodec.SameCell).
+func sameCell(a, b kb.Value) bool { return rowcodec.SameCell(a, b) }

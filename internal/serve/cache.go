@@ -39,21 +39,23 @@ func (c *resultCache) get(key string) (*query.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put inserts (or refreshes) an entry and returns how many entries were
-// evicted to respect the bound.
-func (c *resultCache) put(key string, res *query.Result) int {
+// put inserts (or refreshes) an entry and returns the entries evicted to
+// respect the bound — the Service demotes evicted positive entries to
+// the disk tier instead of dropping the computed rows.
+func (c *resultCache) put(key string, res *query.Result) []*cacheEntry {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).res = res
-		return 0
+		return nil
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
-	evicted := 0
+	var evicted []*cacheEntry
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		evicted++
+		e := oldest.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		evicted = append(evicted, e)
 	}
 	return evicted
 }

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/kb"
+	"repro/internal/query"
+	"repro/internal/rowcodec"
+)
+
+// diskCache is the cold second tier beneath the in-memory result cache:
+// positive entries evicted from the LRU demote here instead of being
+// recomputed from scratch on their next hit. Entries are keyed by the
+// same (articulation, query, epoch-vector) cache key as the memory tier,
+// so a cold hit is provably exact for exactly the same reason a warm one
+// is — the key stops matching the moment any source mutates. Rows are
+// encoded in the rowcodec wire format (the spill/persistence codec), so
+// a result that round-trips through disk is EqualRows-identical to the
+// one the executor produced.
+//
+// Not safe for concurrent use; the Service serialises access under its
+// mutex (entries are small — one result's rows — so the I/O inside the
+// critical section is a bounded, cache-sized write, not an execution).
+type diskCache struct {
+	dir   string
+	cap   int
+	order []string          // insertion/refresh order, oldest first
+	items map[string]string // cache key → file path
+}
+
+const (
+	diskEntryMagic   = "ONIONRC1"
+	diskEntryPrefix  = "res-"
+	diskEntrySuffix  = ".bin"
+	defaultDiskCache = 4096
+)
+
+// newDiskCache opens (creating if needed) the disk tier's directory and
+// clears leftover entries: cache keys embed the process-unique engine
+// id, so entries from a previous process can never hit again.
+func newDiskCache(dir string, capacity int) (*diskCache, error) {
+	if capacity <= 0 {
+		capacity = defaultDiskCache
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: disk cache: %w", err)
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, diskEntryPrefix+"*"+diskEntrySuffix))
+	if err != nil {
+		return nil, fmt.Errorf("serve: disk cache: %w", err)
+	}
+	for _, f := range stale {
+		os.Remove(f)
+	}
+	return &diskCache{dir: dir, cap: capacity, items: make(map[string]string)}, nil
+}
+
+// path derives an entry's file name from its cache key. Keys are binary,
+// so the name is a digest; the entry stores the full key and get
+// verifies it, so even a digest collision yields a miss, never a wrong
+// result.
+func (c *diskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, fmt.Sprintf("%s%x%s", diskEntryPrefix, sum[:16], diskEntrySuffix))
+}
+
+// put demotes one result to disk, evicting the oldest entries past the
+// capacity. Returns false when the entry could not be written (a full
+// disk must not fail the query path — the entry is simply not cached).
+func (c *diskCache) put(key string, res *query.Result) bool {
+	buf := make([]byte, 0, 256+len(res.Rows)*32)
+	buf = append(buf, diskEntryMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(res.Vars)))
+	for _, v := range res.Vars {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(res.Rows)))
+	for _, row := range res.Rows {
+		buf = rowcodec.AppendRow(buf, row)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	path := c.path(key)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		os.Remove(path)
+		return false
+	}
+	if _, dup := c.items[key]; !dup {
+		c.items[key] = path
+		c.order = append(c.order, key)
+		for len(c.order) > c.cap {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			if p, ok := c.items[oldest]; ok {
+				os.Remove(p)
+				delete(c.items, oldest)
+			}
+		}
+	}
+	return true
+}
+
+// get loads a demoted result; a missing, corrupt or key-mismatched
+// entry is a miss (and is dropped). The decoded rows carry no execution
+// stats — the work they represent was done by the execution that
+// populated the entry.
+func (c *diskCache) get(key string) (*query.Result, bool) {
+	path, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	res, err := readDiskEntry(path, key)
+	if err != nil {
+		os.Remove(path)
+		delete(c.items, key)
+		return nil, false
+	}
+	return res, true
+}
+
+func readDiskEntry(path, wantKey string) (*query.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(diskEntryMagic)+4 || string(data[:len(diskEntryMagic)]) != diskEntryMagic {
+		return nil, errors.New("bad magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, errors.New("checksum mismatch")
+	}
+	b := body[len(diskEntryMagic):]
+	readStr := func() (string, error) {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return "", errors.New("bad string frame")
+		}
+		out := string(b[n : n+int(l)])
+		b = b[n+int(l):]
+		return out, nil
+	}
+	key, err := readStr()
+	if err != nil {
+		return nil, err
+	}
+	if key != wantKey {
+		return nil, errors.New("key mismatch")
+	}
+	nvars, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, errors.New("bad var count")
+	}
+	b = b[n:]
+	res := &query.Result{Vars: make([]string, 0, nvars)}
+	for i := uint64(0); i < nvars; i++ {
+		v, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		res.Vars = append(res.Vars, v)
+	}
+	nrows, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, errors.New("bad row count")
+	}
+	b = b[n:]
+	res.Rows = make([][]kb.Value, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		row := make([]kb.Value, len(res.Vars))
+		for j := range row {
+			v, used, err := rowcodec.DecodeValue(b)
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %w", i, err)
+			}
+			row[j] = v
+			b = b[used:]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(b))
+	}
+	return res, nil
+}

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/query"
+)
+
+// TestCacheKeyAdversarialNames pins the framing fix in cacheKey. The old
+// key joined its components with "\x00", but articulation names arrive
+// over the wire unvalidated, so a name embedding the separator could
+// alias two distinct (articulation, query, epoch) triples onto one key —
+// and serve one triple's cached rows for the other. The adversarial pair
+// below collides under the old scheme by construction; the
+// length-prefixed key must keep them apart.
+func TestCacheKeyAdversarialNames(t *testing.T) {
+	q, err := query.Parse(vehiclePriceQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := q.String()
+
+	name1, epoch1 := "n\x00"+qs+"\x00e", "x"
+	name2, epoch2 := "n", "e\x00"+qs+"\x00x"
+	oldKey := func(name, epoch string) string { return name + "\x00" + qs + "\x00" + epoch }
+	if oldKey(name1, epoch1) != oldKey(name2, epoch2) {
+		t.Fatalf("adversarial pair no longer collides under the old scheme; fix the test")
+	}
+	if cacheKey(name1, q, epoch1) == cacheKey(name2, q, epoch2) {
+		t.Fatalf("length-prefixed cache key still aliases the adversarial pair")
+	}
+	// And the trivial injectivity cases hold too.
+	if cacheKey("a", q, "b") == cacheKey("a", q, "c") || cacheKey("a", q, "b") == cacheKey("ab", q, "") {
+		t.Fatalf("cache key not injective on simple pairs")
+	}
+}
+
+// TestStaleCacheAfterKindCollision is the serving-layer consequence of
+// the kb.Store.Add dedup bug: Term("3000") and Number(3000) rendered to
+// the same string, so the second Add was silently treated as a duplicate
+// — the fact was dropped AND the epoch never bumped, which means the
+// result cache kept serving rows from before the mutation. On pre-fix
+// code this test fails twice over: added == 0, and the post-mutation
+// query is a (stale) cache hit with the old row count.
+func TestStaleCacheAfterKindCollision(t *testing.T) {
+	sys, art := growWorld(t)
+	s := New(sys, Options{Exec: query.Options{Workers: 1}})
+	ctx := context.Background()
+	const q = "SELECT ?x WHERE ?x InstanceOf Item . ?x Price 3000"
+
+	// A Term-typed price that renders identically to the number 3000.
+	if _, err := s.AddFacts("g1", []kb.Fact{
+		{Subject: "S", Predicate: "InstanceOf", Object: kb.Term("Item")},
+		{Subject: "S", Predicate: "Price", Object: kb.Term("3000")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, out, err := s.QueryOutcome(ctx, art, q)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("first query: outcome %v err %v", out, err)
+	}
+	if len(r.Rows) != 0 {
+		t.Fatalf("Term(\"3000\") matched the numeric literal: %d rows", len(r.Rows))
+	}
+
+	// The colliding mutation: a genuinely new fact whose only difference
+	// is the value kind.
+	added, err := s.AddFacts("g1", []kb.Fact{
+		{Subject: "S", Predicate: "Price", Object: kb.Number(3000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("Number(3000) dropped as a duplicate of Term(\"3000\"): added = %d", added)
+	}
+	// The cache must miss: the epoch bumped, the old key no longer matches.
+	r, out, err = s.QueryOutcome(ctx, art, q)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("post-mutation query served stale cache: outcome %v err %v", out, err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("post-mutation rows = %d, want 1", len(r.Rows))
+	}
+}
+
+// TestMutationsCounterContract: Stats.Mutations counts facts that
+// actually landed — duplicates never count, and a failing batch counts
+// exactly the prefix that applied, not the attempted size.
+func TestMutationsCounterContract(t *testing.T) {
+	sys, art := growWorld(t)
+	_ = art
+	s := New(sys, Options{})
+	fact := kb.Fact{Subject: "A", Predicate: "InstanceOf", Object: kb.Term("Item")}
+
+	if added, err := s.AddFacts("g1", []kb.Fact{fact}); err != nil || added != 1 {
+		t.Fatalf("first insert: added %d err %v", added, err)
+	}
+	// An exact duplicate lands nothing.
+	if added, err := s.AddFacts("g1", []kb.Fact{fact}); err != nil || added != 0 {
+		t.Fatalf("duplicate insert: added %d err %v", added, err)
+	}
+	if got := s.Stats().Mutations; got != 1 {
+		t.Fatalf("Mutations = %d after one real insert + one duplicate, want 1", got)
+	}
+	// A batch failing midway counts only the landed prefix.
+	added, err := s.AddFacts("g1", []kb.Fact{
+		{Subject: "B", Predicate: "InstanceOf", Object: kb.Term("Item")},
+		{Subject: "", Predicate: "InstanceOf", Object: kb.Term("Item")}, // invalid
+		{Subject: "C", Predicate: "InstanceOf", Object: kb.Term("Item")},
+	})
+	if err == nil {
+		t.Fatalf("invalid fact accepted")
+	}
+	if added != 1 {
+		t.Fatalf("failing batch: added = %d, want 1", added)
+	}
+	if got := s.Stats().Mutations; got != 2 {
+		t.Fatalf("Mutations = %d, want 2 (never the attempted batch size)", got)
+	}
+}
+
+// TestDiskCacheTier drives the demote/promote cycle end to end: a
+// one-entry memory cache over two queries forces the older entry to
+// demote to disk; re-asking it is answered from the disk tier (counted
+// in disk_hits) and promoted back; a mutation shifts the epoch key so
+// no demoted entry can ever serve stale rows.
+func TestDiskCacheTier(t *testing.T) {
+	sys, art := growWorld(t)
+	s := New(sys, Options{CacheEntries: 1, NegativeEntries: -1, Exec: query.Options{Workers: 1}})
+	if err := s.EnableDiskCache(t.TempDir(), 8); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.AddFacts("g1", []kb.Fact{
+		{Subject: "I1", Predicate: "InstanceOf", Object: kb.Term("Item")},
+		{Subject: "I1", Predicate: "Price", Object: kb.Number(7)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const qA = "SELECT ?x ?p WHERE ?x InstanceOf Item . ?x Price ?p"
+	const qB = "SELECT ?x WHERE ?x InstanceOf Item"
+
+	resA, out, err := s.QueryOutcome(ctx, art, qA)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("qA first: outcome %v err %v", out, err)
+	}
+	// qB evicts qA from the one-entry memory tier; qA demotes to disk.
+	if _, out, err = s.QueryOutcome(ctx, art, qB); err != nil || out != OutcomeMiss {
+		t.Fatalf("qB: outcome %v err %v", out, err)
+	}
+	if st := s.Stats(); st.DiskDemotions != 1 {
+		t.Fatalf("DiskDemotions = %d, want 1 (stats %+v)", st.DiskDemotions, st)
+	}
+	// qA again: a disk hit, byte-identical rows, promoted back to memory.
+	got, out, err := s.QueryOutcome(ctx, art, qA)
+	if err != nil || out != OutcomeHit {
+		t.Fatalf("qA from disk: outcome %v err %v", out, err)
+	}
+	if !got.EqualRows(resA) {
+		t.Fatalf("disk tier returned different rows")
+	}
+	st := s.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1 (stats %+v)", st.DiskHits, st)
+	}
+	// The promotion evicted qB, which demoted in turn.
+	if st.DiskDemotions != 2 {
+		t.Fatalf("DiskDemotions = %d, want 2 after promotion evicted qB", st.DiskDemotions)
+	}
+	// qA is resident again: a plain memory hit, no disk traffic.
+	if _, out, err = s.QueryOutcome(ctx, art, qA); err != nil || out != OutcomeHit {
+		t.Fatalf("qA resident: outcome %v err %v", out, err)
+	}
+	if st := s.Stats(); st.DiskHits != 1 {
+		t.Fatalf("resident hit touched the disk tier: %+v", st)
+	}
+
+	// A mutation shifts the epoch vector: neither tier may answer, even
+	// though both hold entries for these queries under the old key.
+	if _, err := s.AddFacts("g1", []kb.Fact{
+		{Subject: "I2", Predicate: "InstanceOf", Object: kb.Term("Item")},
+		{Subject: "I2", Predicate: "Price", Object: kb.Number(9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, out, err := s.QueryOutcome(ctx, art, qA)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("post-mutation qA: outcome %v err %v, want miss", out, err)
+	}
+	if len(fresh.Rows) != len(resA.Rows)+1 {
+		t.Fatalf("post-mutation rows = %d, want %d", len(fresh.Rows), len(resA.Rows)+1)
+	}
+}
+
+// TestDiskCacheCorruptionAndStaleWipe: a corrupted entry is a miss (and
+// is dropped), and opening a tier over a directory with leftover entries
+// from a previous process clears them — their keys embed a dead engine
+// id and could never hit.
+func TestDiskCacheCorruptionAndStaleWipe(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, diskEntryPrefix+"deadbeef"+diskEntrySuffix)
+	if err := os.WriteFile(stale, []byte("leftover"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := newDiskCache(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale entry survived open: %v", err)
+	}
+
+	res := &query.Result{Vars: []string{"x"}, Rows: [][]kb.Value{{kb.Term("A")}, {kb.Number(3)}}}
+	if !c.put("k1", res) {
+		t.Fatalf("put failed")
+	}
+	got, ok := c.get("k1")
+	if !ok || !got.EqualRows(res) {
+		t.Fatalf("round trip failed: ok=%v", ok)
+	}
+	// Flip one byte: the checksum must reject it and the entry drops.
+	path := c.path("k1")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Fatalf("corrupt entry served")
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Fatalf("corrupt entry resurrected")
+	}
+
+	// Capacity bounds the tier: the oldest entry's file is removed.
+	for i := 0; i < 3; i++ {
+		if !c.put(fmt.Sprintf("cap%d", i), res) {
+			t.Fatalf("put cap%d failed", i)
+		}
+	}
+	if _, ok := c.get("cap0"); ok {
+		t.Fatalf("evicted entry cap0 still served")
+	}
+	if _, ok := c.get("cap2"); !ok {
+		t.Fatalf("resident entry cap2 lost")
+	}
+}

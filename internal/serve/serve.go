@@ -28,6 +28,7 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -98,8 +99,17 @@ type Stats struct {
 	// Evictions counts result-cache entries displaced by the LRU bounds
 	// (positive and negative caches combined).
 	Evictions uint64 `json:"evictions"`
-	// Mutations counts facts inserted through the service.
+	// Mutations counts facts actually inserted through the service:
+	// duplicates never count, and a batch that fails midway counts
+	// exactly the facts that landed before the failure (AddFacts'
+	// partial-insert contract) — never the attempted batch size.
 	Mutations uint64 `json:"mutations"`
+	// DiskHits counts queries answered from the disk cache tier (a
+	// demoted entry promoted back under an unchanged epoch key).
+	DiskHits uint64 `json:"disk_hits"`
+	// DiskDemotions counts positive entries the memory LRU evicted into
+	// the disk tier instead of dropping.
+	DiskDemotions uint64 `json:"disk_demotions"`
 	// SpilledQueries counts executed queries whose joins degraded to
 	// grace-hash spilling under a memory limit (service default or
 	// per-request Limits).
@@ -150,6 +160,7 @@ type Service struct {
 	mu       sync.Mutex
 	cache    *resultCache // nil when caching is disabled
 	negCache *resultCache // empty results; nil when disabled
+	disk     *diskCache   // cold tier for evicted positive entries; nil when disabled
 	flights  map[string]*flight
 
 	hits      atomic.Uint64
@@ -159,6 +170,8 @@ type Service struct {
 	evictions atomic.Uint64
 	mutations atomic.Uint64
 	spilled   atomic.Uint64
+	diskHits  atomic.Uint64
+	demotions atomic.Uint64
 
 	// leaderGate, when non-nil, runs on the singleflight leader between
 	// registering its flight and executing — a test hook that lets the
@@ -186,6 +199,44 @@ func New(sys *core.System, opts Options) *Service {
 	return s
 }
 
+// EnableDiskCache attaches the cold second cache tier: positive entries
+// evicted from the in-memory LRU demote to files under dir (keyed by the
+// same epoch-vector cache key, so a cold hit is still provably exact),
+// and a memory miss consults the tier before executing. entries bounds
+// the tier (0 = a default); leftover files from a previous process are
+// cleared, since their keys embed a dead engine id and can never match.
+// No-op when caching is disabled. Call before serving traffic.
+func (s *Service) EnableDiskCache(dir string, entries int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return nil
+	}
+	d, err := newDiskCache(dir, entries)
+	if err != nil {
+		return err
+	}
+	s.disk = d
+	return nil
+}
+
+// demoteLocked files evicted positive entries into the disk tier;
+// callers hold s.mu.
+func (s *Service) demoteLocked(evicted []*cacheEntry) {
+	s.evictions.Add(uint64(len(evicted)))
+	if s.disk == nil {
+		return
+	}
+	for _, e := range evicted {
+		if len(e.res.Rows) == 0 {
+			continue
+		}
+		if s.disk.put(e.key, e.res) {
+			s.demotions.Add(1)
+		}
+	}
+}
+
 // System returns the underlying registry, for read-side endpoints.
 func (s *Service) System() *core.System { return s.sys }
 
@@ -198,6 +249,8 @@ func (s *Service) Stats() Stats {
 		NegativeHits:   s.negHits.Load(),
 		Evictions:      s.evictions.Load(),
 		Mutations:      s.mutations.Load(),
+		DiskHits:       s.diskHits.Load(),
+		DiskDemotions:  s.demotions.Load(),
 		SpilledQueries: s.spilled.Load(),
 	}
 }
@@ -269,6 +322,17 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 				return res, OutcomeHit, nil
 			}
 		}
+		if s.disk != nil {
+			if res, ok := s.disk.get(key); ok {
+				// Promote the demoted entry back into the memory tier; a
+				// repeat of this query is a warm hit again. The promotion
+				// may in turn evict (and demote) the current coldest entry.
+				s.demoteLocked(s.cache.put(key, res))
+				s.mu.Unlock()
+				s.diskHits.Add(1)
+				return res, OutcomeHit, nil
+			}
+		}
 		f, inFlight := s.flights[key]
 		if !inFlight {
 			f = &flight{done: make(chan struct{})}
@@ -323,7 +387,12 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 			if s.negCache != nil && len(f.res.Rows) == 0 {
 				into = s.negCache
 			}
-			s.evictions.Add(uint64(into.put(cacheKey(artName, q, execEpoch), f.res)))
+			evicted := into.put(cacheKey(artName, q, execEpoch), f.res)
+			if into == s.cache {
+				s.demoteLocked(evicted)
+			} else {
+				s.evictions.Add(uint64(len(evicted)))
+			}
 		}
 		s.mu.Unlock()
 		close(f.done)
@@ -344,10 +413,15 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 	return res, OutcomeMiss, err
 }
 
-// AddFacts inserts facts through the underlying system (counting them in
-// Stats.Mutations). Affected cache entries stop matching on their own:
-// the mutation bumps the source's epoch, so subsequent lookups compute a
-// different key and recompute.
+// AddFacts inserts facts through the underlying system. It returns the
+// number of facts that actually landed in the store — duplicates are
+// dropped silently by kb.Store.Add, and a batch that fails midway stops
+// at the failing fact — and Stats.Mutations advances by exactly that
+// count, never by len(facts). The returned count is meaningful even when
+// err != nil (the partial-insert contract of core.System.AddFacts).
+// Affected cache entries stop matching on their own: the mutation bumps
+// the source's epoch, so subsequent lookups compute a different key and
+// recompute.
 func (s *Service) AddFacts(source string, facts []kb.Fact) (int, error) {
 	added, err := s.sys.AddFacts(source, facts)
 	s.mutations.Add(uint64(added))
@@ -355,9 +429,18 @@ func (s *Service) AddFacts(source string, facts []kb.Fact) (int, error) {
 }
 
 // cacheKey builds the result-cache key. q.String() is the normalized
-// rendering (Parse canonicalises whitespace and keyword case), and the
-// components are joined with bytes that cannot appear in names, so keys
-// cannot collide across articulations or epochs.
+// rendering (Parse canonicalises whitespace and keyword case). Each
+// component is length-prefixed rather than joined with a separator byte:
+// articulation names come from callers over the wire and are not
+// validated against any alphabet, so a name containing the separator
+// could otherwise alias two distinct (articulation, query, epoch)
+// triples onto one key and serve one's cached rows for the other.
 func cacheKey(artName string, q query.Query, epoch string) string {
-	return artName + "\x00" + q.String() + "\x00" + epoch
+	qs := q.String()
+	buf := make([]byte, 0, len(artName)+len(qs)+len(epoch)+3*binary.MaxVarintLen64)
+	for _, part := range [3]string{artName, qs, epoch} {
+		buf = binary.AppendUvarint(buf, uint64(len(part)))
+		buf = append(buf, part...)
+	}
+	return string(buf)
 }

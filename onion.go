@@ -76,6 +76,14 @@ type System = core.System
 // lexicon.
 func NewSystem() *System { return core.NewSystem() }
 
+// RecoveryStats reports what System.OpenDir recovered, bootstrapped and
+// skipped when opening a persistence directory.
+type RecoveryStats = core.RecoveryStats
+
+// SnapshotInfo is one source's durable state as reported by
+// System.SnapshotAll.
+type SnapshotInfo = core.SnapshotInfo
+
 // Ontology is a consistent ontology: a named directed labeled graph whose
 // terms each denote one concept.
 type Ontology = ontology.Ontology
