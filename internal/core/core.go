@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/persist"
 	"repro/internal/query"
+	"repro/internal/rowcodec"
 	"repro/internal/rules"
 	"repro/internal/skat"
 	"repro/internal/wrapper"
@@ -296,6 +298,14 @@ func (s *System) OpenDir(root string) (RecoveryStats, error) {
 		if baseline != nil {
 			var merr error
 			baseline.ForEach(func(f kb.Fact) bool {
+				// Add dedups everything except NaN-valued facts (a NaN never
+				// equals any existing fact, so it always inserts). Re-adding
+				// the baseline on every restart would therefore journal and
+				// snapshot another copy of each NaN fact each boot — skip
+				// baseline facts the recovered store already holds bitwise.
+				if f.Object.IsNumber() && math.IsNaN(f.Object.Num) && storeHasBitwise(store, f) {
+					return true
+				}
 				if err := store.Add(f.Subject, f.Predicate, f.Object); err != nil {
 					merr = err
 					return false
@@ -339,6 +349,23 @@ func (s *System) OpenDir(root string) (RecoveryStats, error) {
 	// Recovered stores replaced registry pointers — structural.
 	s.invalidateEnginesLocked()
 	return stats, nil
+}
+
+// storeHasBitwise reports whether the store holds a fact bitwise-equal
+// to f under the codec's cell semantics (rowcodec.SameCell: kind-strict,
+// every NaN in one class) — the membership check Add's Value.Equal-based
+// dedup cannot answer for NaN objects. Restart-merge only; it scans the
+// subject's index rather than keeping a second dedup structure.
+func storeHasBitwise(store *kb.Store, f kb.Fact) bool {
+	found := false
+	store.ForEachBySubject(f.Subject, func(g kb.Fact) bool {
+		if g.Predicate == f.Predicate && rowcodec.SameCell(g.Object, f.Object) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // SnapshotInfo is one source's state at a manual snapshot.

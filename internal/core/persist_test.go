@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -117,6 +118,43 @@ func TestCrashRecoveryEqualsPreCrash(t *testing.T) {
 	s3, _ := restartedPaperSystem(t, root)
 	if got := mustKB(t, s3, "factory").Len(); got != len(preCrash)+1 {
 		t.Fatalf("post-recovery append lost: %d facts, want %d", got, len(preCrash)+1)
+	}
+}
+
+// TestNaNBaselineMergeIsIdempotent: OpenDir's baseline merge must not
+// re-add NaN-valued baseline facts on every restart. Add never dedups a
+// NaN object (it equals no existing fact under Value.Equal), so without
+// the merge-path bitwise membership check each boot would journal and
+// snapshot another copy — unbounded growth across restarts.
+func TestNaNBaselineMergeIsIdempotent(t *testing.T) {
+	nanSystem := func() *System {
+		s := paperSystem(t)
+		mustKB(t, s, "carrier").MustAdd("Mystery", "Price", kb.Number(math.NaN()))
+		return s
+	}
+	root := t.TempDir()
+	s := nanSystem()
+	if _, err := s.OpenDir(root); err != nil {
+		t.Fatal(err)
+	}
+	want := mustKB(t, s, "carrier").Len()
+	for i := 1; i <= 3; i++ {
+		s = nanSystem()
+		if _, err := s.OpenDir(root); err != nil {
+			t.Fatal(err)
+		}
+		if got := mustKB(t, s, "carrier").Len(); got != want {
+			t.Fatalf("restart %d: carrier has %d facts, want %d (NaN baseline fact re-added)", i, got, want)
+		}
+	}
+	// A genuinely new NaN fact still inserts (the skip is merge-only).
+	if _, err := s.AddFacts("carrier", []kb.Fact{
+		{Subject: "Mystery2", Predicate: "Price", Object: kb.Number(math.NaN())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustKB(t, s, "carrier").Len(); got != want+1 {
+		t.Fatalf("fresh NaN insert dropped: %d facts, want %d", got, want+1)
 	}
 }
 

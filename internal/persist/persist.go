@@ -51,7 +51,7 @@ const (
 	sourcesDir  = "sources"
 	logName     = "log"
 	snapName    = "snapshot"
-	snapMagic   = "ONIONSP1"
+	snapMagic   = "ONIONSP2" // SP1 lacked per-fact length frames and could misparse (see appendFact)
 	maxRecBytes = 1 << 26 // 64MB: no sane fact record is larger; bounds torn-length allocations
 )
 
@@ -190,10 +190,15 @@ func (s *Source) Close() error {
 	return err
 }
 
-// appendPayload encodes one log/snapshot record payload: uvarint epoch,
-// length-framed subject and predicate, rowcodec value.
-func appendPayload(buf []byte, f kb.Fact, epoch uint64) []byte {
-	buf = binary.AppendUvarint(buf, epoch)
+// appendFact encodes one fact: length-framed subject and predicate,
+// rowcodec value. The caller must frame the result (log payloads are
+// framed by Append, snapshot records by Snapshot): the rowcodec string
+// terminator is only unambiguous when the value ends its buffer or is
+// followed by a kind tag, so a fact record must always be decoded from
+// its exact slice, never from an unframed concatenation (a following
+// uvarint can legitimately start with 0xff — e.g. a 255-byte subject —
+// which DecodeValue would misread as an escaped NUL).
+func appendFact(buf []byte, f kb.Fact) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(f.Subject)))
 	buf = append(buf, f.Subject...)
 	buf = binary.AppendUvarint(buf, uint64(len(f.Predicate)))
@@ -201,14 +206,8 @@ func appendPayload(buf []byte, f kb.Fact, epoch uint64) []byte {
 	return rowcodec.AppendValue(buf, f.Object)
 }
 
-// decodePayload inverts appendPayload, requiring the payload to be
-// exactly consumed.
-func decodePayload(b []byte) (kb.Fact, uint64, error) {
-	epoch, n := binary.Uvarint(b)
-	if n <= 0 {
-		return kb.Fact{}, 0, errors.New("persist: bad record epoch")
-	}
-	b = b[n:]
+// decodeFact inverts appendFact, requiring b to be exactly consumed.
+func decodeFact(b []byte) (kb.Fact, error) {
 	readStr := func() (string, error) {
 		l, n := binary.Uvarint(b)
 		if n <= 0 || uint64(len(b)-n) < l {
@@ -220,20 +219,41 @@ func decodePayload(b []byte) (kb.Fact, uint64, error) {
 	}
 	subj, err := readStr()
 	if err != nil {
-		return kb.Fact{}, 0, err
+		return kb.Fact{}, err
 	}
 	pred, err := readStr()
 	if err != nil {
-		return kb.Fact{}, 0, err
+		return kb.Fact{}, err
 	}
 	obj, used, err := rowcodec.DecodeValue(b)
 	if err != nil {
-		return kb.Fact{}, 0, fmt.Errorf("persist: record value: %w", err)
+		return kb.Fact{}, fmt.Errorf("persist: record value: %w", err)
 	}
 	if used != len(b) {
-		return kb.Fact{}, 0, fmt.Errorf("persist: record has %d trailing bytes", len(b)-used)
+		return kb.Fact{}, fmt.Errorf("persist: record has %d trailing bytes", len(b)-used)
 	}
-	return kb.Fact{Subject: subj, Predicate: pred, Object: obj}, epoch, nil
+	return kb.Fact{Subject: subj, Predicate: pred, Object: obj}, nil
+}
+
+// appendPayload encodes one log record payload: uvarint epoch, then the
+// fact record.
+func appendPayload(buf []byte, f kb.Fact, epoch uint64) []byte {
+	buf = binary.AppendUvarint(buf, epoch)
+	return appendFact(buf, f)
+}
+
+// decodePayload inverts appendPayload, requiring the payload to be
+// exactly consumed.
+func decodePayload(b []byte) (kb.Fact, uint64, error) {
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 {
+		return kb.Fact{}, 0, errors.New("persist: bad record epoch")
+	}
+	f, err := decodeFact(b[n:])
+	if err != nil {
+		return kb.Fact{}, 0, err
+	}
+	return f, epoch, nil
 }
 
 // Append writes one effective insert to the log: uvarint payload length,
@@ -379,13 +399,16 @@ func (s *Source) Snapshot(facts []kb.Fact, epoch uint64) error {
 		tmp.Close()
 		return fmt.Errorf("persist: %s: %w", s.name, err)
 	}
-	buf = buf[:0]
+	var rec []byte
 	for i, f := range facts {
-		buf = binary.AppendUvarint(buf[:0], uint64(len(f.Subject)))
-		buf = append(buf, f.Subject...)
-		buf = binary.AppendUvarint(buf, uint64(len(f.Predicate)))
-		buf = append(buf, f.Predicate...)
-		buf = rowcodec.AppendValue(buf, f.Object)
+		// Each fact is length-framed like a log payload so it decodes from
+		// its exact slice: without the frame, a string value's terminator
+		// could be followed by the next record's length uvarint, whose
+		// first byte may legitimately be 0xff — exactly the escape byte the
+		// value codec would then swallow (see appendFact).
+		rec = appendFact(rec[:0], f)
+		buf = binary.AppendUvarint(buf[:0], uint64(len(rec)))
+		buf = append(buf, rec...)
 		sum.Write(buf)
 		if _, err := tmp.Write(buf); err != nil {
 			tmp.Close()
@@ -449,31 +472,18 @@ func readSnapshot(path string) ([]kb.Fact, uint64, error) {
 		return nil, 0, errors.New("snapshot: bad count")
 	}
 	b = b[n:]
-	readStr := func() (string, error) {
-		l, n := binary.Uvarint(b)
-		if n <= 0 || uint64(len(b)-n) < l {
-			return "", errors.New("snapshot: bad string frame")
-		}
-		out := string(b[n : n+int(l)])
-		b = b[n+int(l):]
-		return out, nil
-	}
 	facts := make([]kb.Fact, 0, count)
 	for i := uint64(0); i < count; i++ {
-		subj, err := readStr()
-		if err != nil {
-			return nil, 0, err
+		rlen, n := binary.Uvarint(b)
+		if n <= 0 || rlen > maxRecBytes || uint64(len(b)-n) < rlen {
+			return nil, 0, fmt.Errorf("snapshot: fact %d: bad record frame", i)
 		}
-		pred, err := readStr()
-		if err != nil {
-			return nil, 0, err
-		}
-		obj, used, err := rowcodec.DecodeValue(b)
+		f, err := decodeFact(b[n : n+int(rlen)])
 		if err != nil {
 			return nil, 0, fmt.Errorf("snapshot: fact %d: %w", i, err)
 		}
-		b = b[used:]
-		facts = append(facts, kb.Fact{Subject: subj, Predicate: pred, Object: obj})
+		b = b[n+int(rlen):]
+		facts = append(facts, f)
 	}
 	if len(b) != 0 {
 		return nil, 0, fmt.Errorf("snapshot: %d trailing bytes", len(b))

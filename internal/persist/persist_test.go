@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/kb"
@@ -191,6 +192,33 @@ func TestCorruptRecordEndsReplay(t *testing.T) {
 	}
 	if rec.TruncatedBytes == 0 {
 		t.Fatalf("corrupt tail not truncated")
+	}
+}
+
+// TestSnapshotFramingAmbiguity pins the record-frame fix: a string
+// value's 0x00 terminator followed by a subject-length uvarint starting
+// 0xff (any length L with L%128 == 127 and L >= 128, e.g. 255) used to
+// be misread as the value codec's escaped-NUL sequence, so a valid,
+// checksum-clean snapshot failed to recover. Per-fact length frames make
+// every record decode from its exact slice.
+func TestSnapshotFramingAmbiguity(t *testing.T) {
+	d, _ := Open(t.TempDir())
+	src, _ := d.Source("carrier")
+	facts := []kb.Fact{
+		{Subject: "a", Predicate: "p", Object: kb.String("v")},
+		{Subject: strings.Repeat("s", 255), Predicate: "p", Object: kb.Term("t")},
+		{Subject: "b", Predicate: "q", Object: kb.Term(strings.Repeat("u", 127))},
+		{Subject: strings.Repeat("x", 16383), Predicate: "r", Object: kb.Number(1)},
+	}
+	if err := src.Snapshot(facts, uint64(len(facts))); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := src.Recover()
+	if err != nil {
+		t.Fatalf("recovering a valid snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(rec.Facts, facts) || rec.Epoch != uint64(len(facts)) {
+		t.Fatalf("recovered %d facts at epoch %d, want the %d written", len(rec.Facts), rec.Epoch, len(facts))
 	}
 }
 

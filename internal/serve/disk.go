@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/kb"
 	"repro/internal/query"
@@ -24,10 +25,12 @@ import (
 // a result that round-trips through disk is EqualRows-identical to the
 // one the executor produced.
 //
-// Not safe for concurrent use; the Service serialises access under its
-// mutex (entries are small — one result's rows — so the I/O inside the
-// critical section is a bounded, cache-sized write, not an execution).
+// Safe for concurrent use: it carries its own mutex, held across both
+// the index maps and the file I/O, so the Service can (and must) call it
+// OUTSIDE its global mutex — a slow disk then stalls only disk-tier
+// traffic, never memory-cache hits or flight registration.
 type diskCache struct {
+	mu    sync.Mutex
 	dir   string
 	cap   int
 	order []string          // insertion/refresh order, oldest first
@@ -71,9 +74,14 @@ func (c *diskCache) path(key string) string {
 }
 
 // put demotes one result to disk, evicting the oldest entries past the
-// capacity. Returns false when the entry could not be written (a full
-// disk must not fail the query path — the entry is simply not cached).
+// capacity. A put on an existing key rewrites the file and refreshes the
+// entry's age — a hot, repeatedly re-demoted entry must not be evicted
+// as "oldest" ahead of genuinely cold entries. Returns false when the
+// entry could not be written (a full disk must not fail the query path —
+// the entry is simply not cached).
 func (c *diskCache) put(key string, res *query.Result) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	buf := make([]byte, 0, 256+len(res.Rows)*32)
 	buf = append(buf, diskEntryMagic...)
 	buf = binary.AppendUvarint(buf, uint64(len(key)))
@@ -93,16 +101,24 @@ func (c *diskCache) put(key string, res *query.Result) bool {
 		os.Remove(path)
 		return false
 	}
-	if _, dup := c.items[key]; !dup {
-		c.items[key] = path
-		c.order = append(c.order, key)
-		for len(c.order) > c.cap {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			if p, ok := c.items[oldest]; ok {
-				os.Remove(p)
-				delete(c.items, oldest)
+	if _, dup := c.items[key]; dup {
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
 			}
+		}
+		c.order = append(c.order, key)
+		return true
+	}
+	c.items[key] = path
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		if p, ok := c.items[oldest]; ok {
+			os.Remove(p)
+			delete(c.items, oldest)
 		}
 	}
 	return true
@@ -113,6 +129,8 @@ func (c *diskCache) put(key string, res *query.Result) bool {
 // stats — the work they represent was done by the execution that
 // populated the entry.
 func (c *diskCache) get(key string) (*query.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	path, ok := c.items[key]
 	if !ok {
 		return nil, false
@@ -121,6 +139,12 @@ func (c *diskCache) get(key string) (*query.Result, bool) {
 	if err != nil {
 		os.Remove(path)
 		delete(c.items, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
 		return nil, false
 	}
 	return res, true

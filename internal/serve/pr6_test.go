@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/kb"
@@ -195,6 +196,101 @@ func TestDiskCacheTier(t *testing.T) {
 	}
 	if len(fresh.Rows) != len(resA.Rows)+1 {
 		t.Fatalf("post-mutation rows = %d, want %d", len(fresh.Rows), len(resA.Rows)+1)
+	}
+}
+
+// TestDiskCacheRefreshOnRedemote: a put on an existing key must refresh
+// the entry's age. Pre-fix, a hot, repeatedly re-demoted entry kept its
+// original position in the eviction order and was evicted as "oldest"
+// ahead of genuinely cold entries.
+func TestDiskCacheRefreshOnRedemote(t *testing.T) {
+	c, err := newDiskCache(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &query.Result{Vars: []string{"x"}, Rows: [][]kb.Value{{kb.Term("A")}}}
+	for _, k := range []string{"hot", "cold", "hot"} { // re-put refreshes "hot"
+		if !c.put(k, res) {
+			t.Fatalf("put %q failed", k)
+		}
+	}
+	if !c.put("new", res) { // capacity 2: must evict "cold", not the refreshed "hot"
+		t.Fatalf("put new failed")
+	}
+	if _, ok := c.get("hot"); !ok {
+		t.Fatalf("refreshed entry evicted as oldest")
+	}
+	if _, ok := c.get("cold"); ok {
+		t.Fatalf("cold entry survived past capacity")
+	}
+}
+
+// TestDiskTierConcurrentTraffic hammers the disk tier's demote/promote
+// cycle from many goroutines with mutation churn, under -race in CI: the
+// tier synchronises itself and is called outside the service mutex, so
+// this pins both the locking and that no path ever serves wrong rows
+// (every result is re-checked against an uncached execution's row count).
+func TestDiskTierConcurrentTraffic(t *testing.T) {
+	sys, art := growWorld(t)
+	s := New(sys, Options{CacheEntries: 1, NegativeEntries: -1, Exec: query.Options{Workers: 1}})
+	if err := s.EnableDiskCache(t.TempDir(), 4); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := []string{
+		"SELECT ?x ?p WHERE ?x InstanceOf Item . ?x Price ?p",
+		"SELECT ?x WHERE ?x InstanceOf Item",
+		"SELECT ?p WHERE I0 Price ?p",
+	}
+	if _, err := s.AddFacts("g1", []kb.Fact{
+		{Subject: "I0", Predicate: "InstanceOf", Object: kb.Term("Item")},
+		{Subject: "I0", Predicate: "Price", Object: kb.Number(1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if g == 0 && i%10 == 9 { // one goroutine churns the epochs
+					if _, err := s.AddFacts("g1", []kb.Fact{
+						{Subject: fmt.Sprintf("I%d", i), Predicate: "InstanceOf", Object: kb.Term("Item")},
+					}); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if _, _, err := s.QueryOutcome(ctx, art, queries[(g+i)%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The churned tiers still answer exactly: a final round of every query
+	// must match a cache-bypassing service's rows.
+	bypass := New(sys, Options{CacheEntries: -1, Exec: query.Options{Workers: 1}})
+	for _, q := range queries {
+		want, _, err := bypass.QueryOutcome(ctx, art, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.QueryOutcome(ctx, art, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualRows(want) {
+			t.Fatalf("query %q diverges from uncached execution after churn", q)
+		}
 	}
 }
 

@@ -153,15 +153,21 @@ type Service struct {
 	sys  *core.System
 	opts Options
 
-	// mu guards the caches and the flight table. All critical sections
-	// are map/list operations — never an execution — so a cache hit is a
-	// short lock, and that is exactly what the E14 hot-cache speedup
-	// measures.
+	// mu guards the memory caches and the flight table. All critical
+	// sections are map/list operations — never an execution and never
+	// file I/O (the disk tier synchronises itself and is only called
+	// with mu released) — so a cache hit is a short lock, and that is
+	// exactly what the E14 hot-cache speedup measures.
 	mu       sync.Mutex
 	cache    *resultCache // nil when caching is disabled
 	negCache *resultCache // empty results; nil when disabled
-	disk     *diskCache   // cold tier for evicted positive entries; nil when disabled
 	flights  map[string]*flight
+
+	// disk is the cold tier for evicted positive entries; nil when
+	// disabled. Set once by EnableDiskCache before serving traffic and
+	// then only read; it carries its own mutex, so calls happen OUTSIDE
+	// mu — a slow disk stalls only disk-tier traffic.
+	disk *diskCache
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -220,9 +226,11 @@ func (s *Service) EnableDiskCache(dir string, entries int) error {
 	return nil
 }
 
-// demoteLocked files evicted positive entries into the disk tier;
-// callers hold s.mu.
-func (s *Service) demoteLocked(evicted []*cacheEntry) {
+// demote files evicted positive entries into the disk tier. Callers must
+// NOT hold s.mu: the disk tier synchronises itself, so its file writes
+// never extend the global critical section — a slow disk stalls only
+// disk-tier traffic, never memory-cache hits.
+func (s *Service) demote(evicted []*cacheEntry) {
 	s.evictions.Add(uint64(len(evicted)))
 	if s.disk == nil {
 		return
@@ -323,13 +331,28 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 			}
 		}
 		if s.disk != nil {
+			// The disk tier is consulted outside s.mu (it synchronises
+			// itself): its file reads must never stall concurrent
+			// memory-cache hits behind the global lock.
+			s.mu.Unlock()
 			if res, ok := s.disk.get(key); ok {
 				// Promote the demoted entry back into the memory tier; a
 				// repeat of this query is a warm hit again. The promotion
-				// may in turn evict (and demote) the current coldest entry.
-				s.demoteLocked(s.cache.put(key, res))
+				// may in turn evict the current coldest entry, which
+				// demotes back to disk — again outside the lock.
+				s.mu.Lock()
+				evicted := s.cache.put(key, res)
 				s.mu.Unlock()
+				s.demote(evicted)
 				s.diskHits.Add(1)
+				return res, OutcomeHit, nil
+			}
+			s.mu.Lock()
+			// Re-check the memory tier: a concurrent disk hit may have
+			// promoted this key while the lock was released.
+			if res, ok := s.cache.get(key); ok {
+				s.mu.Unlock()
+				s.hits.Add(1)
 				return res, OutcomeHit, nil
 			}
 		}
@@ -374,6 +397,7 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 		if !completed && f.err == nil {
 			f.err = fmt.Errorf("serve: query execution panicked")
 		}
+		var evicted []*cacheEntry
 		s.mu.Lock()
 		delete(s.flights, key)
 		if f.err == nil && s.cache != nil {
@@ -387,15 +411,15 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 			if s.negCache != nil && len(f.res.Rows) == 0 {
 				into = s.negCache
 			}
-			evicted := into.put(cacheKey(artName, q, execEpoch), f.res)
-			if into == s.cache {
-				s.demoteLocked(evicted)
-			} else {
-				s.evictions.Add(uint64(len(evicted)))
-			}
+			evicted = into.put(cacheKey(artName, q, execEpoch), f.res)
 		}
 		s.mu.Unlock()
 		close(f.done)
+		// Demotion writes run after the lock is dropped and the waiters
+		// are released: disk I/O must never extend the global critical
+		// section or delay coalesced followers. (Negative-cache evictions
+		// carry no rows, so demote only counts them.)
+		s.demote(evicted)
 	}()
 	if s.leaderGate != nil {
 		s.leaderGate()
