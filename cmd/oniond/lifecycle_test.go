@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// TestHealthAndReadyEndpoints: /healthz reports liveness always;
+// /readyz flips to 503 the moment the drain starts, so load balancers
+// stop routing while in-flight work finishes.
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	sys := core.NewSystem()
+	if err := loadFig2(sys); err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(serve.New(sys, serve.Options{}))
+	ts := httptest.NewServer(h.routes())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", got)
+	}
+	h.ready.Store(false) // what the SIGTERM handler does first
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200 (the process is alive)", got)
+	}
+}
+
+// TestQueryErrorStatusMapping pins the overload wire contract: shed →
+// 429, queue-timeout → 503 (checked BEFORE the deadline mapping, since
+// ErrQueueTimeout wraps the context error), plain deadline → 504,
+// anything else → 400.
+func TestQueryErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{serve.ErrShed, http.StatusTooManyRequests},
+		{fmt.Errorf("wrapped: %w", serve.ErrShed), http.StatusTooManyRequests},
+		{fmt.Errorf("%w: %w", serve.ErrQueueTimeout, context.DeadlineExceeded), http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{errors.New("parse error"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := queryErrorStatus(c.err); got != c.want {
+			t.Errorf("queryErrorStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -15,6 +15,19 @@
 //	POST /articulate {"name","left","right","rules","lenient"?} → {"name","terms","bridges","skipped"?}
 //	POST /snapshot                                              → per-source {"facts","epoch"} after folding logs into snapshots
 //	GET  /stats                                                 → uptime, registry, epoch keys, serve counters
+//	GET  /healthz                                               → liveness (always 200 while the process serves)
+//	GET  /readyz                                                → readiness (503 once a drain has begun)
+//
+// With -admission-cap, every executed query reserves its memory limit
+// from one process-wide pool before running: under overload the daemon
+// first shrinks grants (queries spill instead of swapping), then queues
+// (bounded, deadline-aware), then sheds. A shed request is HTTP 429, an
+// expired queue wait 503 — both with Retry-After — so clients back off
+// instead of piling on.
+//
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503, in-flight
+// requests finish under -drain-timeout, and with -data-dir a final
+// snapshot folds every log so the next start replays nothing.
 //
 // Results are served through the epoch-keyed coalescing cache: identical
 // queries at an unchanged epoch vector are cache hits, mutations through
@@ -31,6 +44,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,8 +52,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"reflect"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -57,6 +73,9 @@ func main() {
 	diskCache := flag.Int("disk-cache", 0, "disk cache tier entries under <data-dir>/cache (0 = default, negative disables; needs -data-dir)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline (0 disables)")
 	dataDir := flag.String("data-dir", "", "durable mode: persist fact logs and snapshots here, recover at startup")
+	admissionCap := flag.Int64("admission-cap", 0, "admission control: aggregate execution-memory pool in bytes (0 disables)")
+	admissionQueue := flag.Int("admission-queue", 0, "admission queue length (0 = default, negative disables queuing; needs -admission-cap)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	smoke := flag.String("smoke", "", "smoke-test mode: POST the Fig. 2 query to this base URL, diff against the library result, and exit")
 	flag.Parse()
 
@@ -96,23 +115,55 @@ func main() {
 		}
 	}
 	svc := serve.New(sys, serve.Options{
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		Exec:           query.Options{Workers: *workers, Partitions: *partitions},
+		CacheEntries:      *cacheEntries,
+		DefaultTimeout:    *timeout,
+		Exec:              query.Options{Workers: *workers, Partitions: *partitions},
+		AdmissionCapBytes: *admissionCap,
+		AdmissionQueue:    *admissionQueue,
 	})
 	if *dataDir != "" && *diskCache >= 0 {
 		if err := svc.EnableDiskCache(filepath.Join(*dataDir, "cache"), *diskCache); err != nil {
 			log.Fatalf("oniond: disk cache tier: %v", err)
 		}
 	}
+	handler := newServer(svc)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(svc).routes(),
+		Handler:           handler.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
 	}
-	log.Printf("oniond: listening on %s (fig2=%v, cache=%d, timeout=%s, data-dir=%q)",
-		*addr, *fig2, *cacheEntries, *timeout, *dataDir)
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("oniond: listening on %s (fig2=%v, cache=%d, timeout=%s, data-dir=%q, admission-cap=%d)",
+		*addr, *fig2, *cacheEntries, *timeout, *dataDir, *admissionCap)
+
+	// Serve until a shutdown signal, then drain in-flight requests under
+	// the drain deadline and — in durable mode — fold every log into a
+	// final snapshot, so the next start replays nothing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("oniond: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("oniond: shutdown signal; draining (deadline %s)", *drainTimeout)
+	handler.ready.Store(false) // /readyz flips 503: load balancers stop sending
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("oniond: drain incomplete: %v", err)
+	}
+	if *dataDir != "" {
+		if _, err := sys.SnapshotAll(); err != nil {
+			log.Printf("oniond: final snapshot: %v", err)
+		} else {
+			log.Printf("oniond: final snapshot written")
+		}
+	}
+	log.Printf("oniond: stopped")
 }
 
 // loadFig2 registers the running example: carrier and factory with their

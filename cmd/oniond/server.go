@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/articulation"
@@ -141,10 +142,15 @@ type errorResponse struct {
 type server struct {
 	svc     *serve.Service
 	started time.Time
+	// ready gates /readyz: true while serving, flipped false when the
+	// drain starts so load balancers stop routing new traffic here.
+	ready atomic.Bool
 }
 
 func newServer(svc *serve.Service) *server {
-	return &server{svc: svc, started: time.Now()}
+	s := &server{svc: svc, started: time.Now()}
+	s.ready.Store(true)
+	return s
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -154,7 +160,24 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /articulate", s.handleArticulate)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleHealthz is liveness: the process is up and able to answer.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 while accepting traffic, 503 once the
+// drain has begun (or before serving starts).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -192,12 +215,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, outcome, err := s.svc.QueryLimited(ctx, req.Articulation, req.Query,
 		serve.Limits{MemoryBytes: req.MemoryLimitBytes})
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		status := queryErrorStatus(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
@@ -206,6 +229,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Outcome: outcome.String(),
 		Stats:   res.Stats,
 	})
+}
+
+// queryErrorStatus maps a query error to its HTTP status. Admission
+// refusals come first: a shed request is the client's cue to back off
+// (429), a queue wait that expired is the server's overload (503) —
+// and ErrQueueTimeout wraps the context error, so it must be checked
+// before the generic deadline → 504 mapping.
+func queryErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrQueueTimeout):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {

@@ -90,10 +90,11 @@ func All() []*Table {
 		E14ServingThroughput(nil),
 		E15BoundedMemory(nil),
 		E16ColdStart(nil),
+		E17OverloadServing(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E16"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E17"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -129,6 +130,8 @@ func ByID(id string) (*Table, bool) {
 		return E15BoundedMemory(nil), true
 	case "E16":
 		return E16ColdStart(nil), true
+	case "E17":
+		return E17OverloadServing(nil), true
 	default:
 		return nil, false
 	}

@@ -10,6 +10,35 @@ import (
 // hot cache actually serves hits, and hot throughput beats uncached. The
 // full ≥5x margin at 8 clients is reported by `onionbench -exp E14`; the
 // test asserts the direction to stay robust under CI timing noise.
+// TestE17OverloadSafe locks the E17 shape and the overload-safety
+// invariants at the full client count: the request accounting closes
+// (every request is admitted or shed, none lost), every successful
+// answer is row-identical to the bare engine, and overload engages at
+// least one governor mechanism (degraded grants, queue, or shed). The
+// timing bars (1.5x per-answer goodput, 10ms shed) are reported by
+// `onionbench -exp E17` without the race detector's inflation; the test
+// asserts the correctness half to stay robust under CI timing noise.
+func TestE17OverloadSafe(t *testing.T) {
+	tab := E17OverloadServing(nil)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E17 rows = %d, want unloaded + overload", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("E17 leg %q failed its identity/accounting check: %v", row[0], row)
+		}
+	}
+	over := tab.Rows[1]
+	if over[0] != "overload" {
+		t.Fatalf("unexpected leg order: %v", over)
+	}
+	// Overload must engage the governor somewhere: an 8x offered load
+	// that sails through untouched means admission control is inert.
+	if over[4] == "0" && over[5] == "0" && over[6] == "0" {
+		t.Errorf("8x overload engaged no admission mechanism (shed/degraded/queued all 0): %v", over)
+	}
+}
+
 func TestE14ServingCacheEffective(t *testing.T) {
 	tab := E14ServingThroughput([]int{4})
 	if len(tab.Rows) != 3 {

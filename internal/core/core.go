@@ -26,6 +26,7 @@ import (
 	"repro/internal/rowcodec"
 	"repro/internal/rules"
 	"repro/internal/skat"
+	"repro/internal/vfs"
 	"repro/internal/wrapper"
 )
 
@@ -259,13 +260,20 @@ type RecoveredSource struct {
 // On-disk sources whose ontology is not registered are skipped, not
 // deleted. Call after the world is registered and before serving.
 func (s *System) OpenDir(root string) (RecoveryStats, error) {
+	return s.OpenDirFS(root, vfs.OS{})
+}
+
+// OpenDirFS is OpenDir over an injectable filesystem (internal/vfs) —
+// the seam the fault-injection suites use to script disk failures
+// against a whole durable system instead of one source.
+func (s *System) OpenDirFS(root string, fsys vfs.FS) (RecoveryStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var stats RecoveryStats
 	if s.pdir != nil {
 		return stats, fmt.Errorf("core: persistence already open at %q", s.pdir.Root())
 	}
-	d, err := persist.Open(root)
+	d, err := persist.OpenFS(root, fsys)
 	if err != nil {
 		return stats, err
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/kb"
+	"repro/internal/vfs"
+)
+
+// TestJournalFaultVetoesInsert scripts an ENOSPC against a whole durable
+// system (OpenDirFS + vfs.Faulty): the journal's append-before-insert
+// contract must veto the in-memory insert, AddFacts must report exactly
+// the facts that landed, queries must keep answering from RAM, and once
+// the device recovers the same mutation goes through and survives a
+// restart.
+func TestJournalFaultVetoesInsert(t *testing.T) {
+	root := t.TempDir()
+	fsys := vfs.NewFaulty(vfs.OS{})
+	s := paperSystem(t)
+	if _, err := s.OpenDirFS(root, fsys); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Query(fixtures.ArtName, vehiclePriceQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeLen := mustKB(t, s, "carrier").Len()
+
+	fsys.Inject(vfs.Rule{Op: vfs.OpWrite, PathSubstr: "log", Times: 1})
+	facts := []kb.Fact{
+		{Subject: "FaultCar", Predicate: "InstanceOf", Object: kb.Term("PassengerCar")},
+		{Subject: "FaultCar", Predicate: "Price", Object: kb.Number(777)},
+	}
+	added, err := s.AddFacts("carrier", facts)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("AddFacts err = %v, want ENOSPC", err)
+	}
+	if added != 0 {
+		t.Fatalf("added = %d on a first-fact journal failure, want 0", added)
+	}
+	if got := mustKB(t, s, "carrier").Len(); got != beforeLen {
+		t.Fatalf("store grew to %d despite the journal veto, want %d", got, beforeLen)
+	}
+	// Disk trouble must not take down the query path: the same query
+	// still answers, from RAM, with unchanged rows.
+	after, err := s.Query(fixtures.ArtName, vehiclePriceQ)
+	if err != nil {
+		t.Fatalf("query after journal fault: %v", err)
+	}
+	if !after.EqualRows(before) {
+		t.Fatal("rows changed after a vetoed insert")
+	}
+
+	// The device recovers; the mutation lands and survives a restart.
+	if added, err := s.AddFacts("carrier", facts); err != nil || added != 2 {
+		t.Fatalf("AddFacts after fault cleared = %d, %v; want 2, nil", added, err)
+	}
+	s2, _ := restartedPaperSystem(t, root)
+	if got, want := mustKB(t, s2, "carrier").Len(), beforeLen+2; got != want {
+		t.Fatalf("restart recovered %d carrier facts, want %d", got, want)
+	}
+}

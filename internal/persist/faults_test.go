@@ -1,0 +1,176 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/vfs"
+)
+
+// openFaulty opens a persistence root over a fault-injecting filesystem
+// with one source, appending n seed facts before any rule is armed.
+func openFaulty(t *testing.T, n int) (*vfs.Faulty, *Source) {
+	t.Helper()
+	fsys := vfs.NewFaulty(vfs.OS{})
+	d, err := OpenFS(t.TempDir(), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := d.Source("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := src.Append(testFact(i), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fsys, src
+}
+
+func testFact(i int) kb.Fact {
+	return kb.Fact{Subject: fmt.Sprintf("S%d", i), Predicate: "P", Object: kb.Number(float64(i))}
+}
+
+// TestAppendShortWriteRepairsBoundary injects an ENOSPC that lands only
+// a prefix of the record: the failed append must surface the error, the
+// log must be trimmed back to the last record boundary, and later
+// appends plus recovery must see exactly the successful records.
+func TestAppendShortWriteRepairsBoundary(t *testing.T) {
+	fsys, src := openFaulty(t, 3)
+	fsys.Inject(vfs.Rule{Op: vfs.OpWrite, PathSubstr: "log", Times: 1, ShortBytes: 5})
+	if err := src.Append(testFact(3), 4); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append err = %v, want ENOSPC", err)
+	}
+	// The device recovered: the next append continues from a clean
+	// boundary rather than burying torn bytes mid-log.
+	if err := src.Append(testFact(4), 5); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	rec, err := src.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TruncatedBytes != 0 {
+		t.Errorf("recovery truncated %d bytes; the failed append should have repaired the log", rec.TruncatedBytes)
+	}
+	if len(rec.Facts) != 4 || rec.Epoch != 5 {
+		t.Fatalf("recovered %d facts at epoch %d, want 4 at 5", len(rec.Facts), rec.Epoch)
+	}
+	for i, want := range []int{0, 1, 2, 4} {
+		if rec.Facts[i] != testFact(want) {
+			t.Errorf("fact %d = %+v, want %+v", i, rec.Facts[i], testFact(want))
+		}
+	}
+}
+
+// TestAppendUnrepairableTornTail makes both the write AND the repair
+// truncate fail: the source must refuse further appends (ErrTornLog)
+// instead of appending after torn bytes, and Recover must clear the
+// condition by trimming the tail itself.
+func TestAppendUnrepairableTornTail(t *testing.T) {
+	fsys, src := openFaulty(t, 2)
+	fsys.Inject(vfs.Rule{Op: vfs.OpWrite, PathSubstr: "log", Times: 1, ShortBytes: 3})
+	fsys.Inject(vfs.Rule{Op: vfs.OpTruncate, PathSubstr: "log", Times: 1, Err: syscall.EIO})
+	if err := src.Append(testFact(2), 3); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append err = %v, want ENOSPC", err)
+	}
+	if err := src.Append(testFact(3), 4); !errors.Is(err, ErrTornLog) {
+		t.Fatalf("append on torn log err = %v, want ErrTornLog", err)
+	}
+	rec, err := src.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Error("recovery should have truncated the torn bytes the failed repair left")
+	}
+	if len(rec.Facts) != 2 {
+		t.Fatalf("recovered %d facts, want the 2 intact ones", len(rec.Facts))
+	}
+	// The boundary is verifiable again; appends resume.
+	if err := src.Append(testFact(4), 5); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// TestSnapshotFsyncErrorPreservesState injects an fsync failure into the
+// snapshot temp file: Snapshot must fail without disturbing the previous
+// snapshot or the log, so recovery still sees every fact.
+func TestSnapshotFsyncErrorPreservesState(t *testing.T) {
+	fsys, src := openFaulty(t, 4)
+	facts := []kb.Fact{testFact(0), testFact(1), testFact(2), testFact(3)}
+	fsys.Inject(vfs.Rule{Op: vfs.OpSync, PathSubstr: "snapshot-", Times: 1, Err: syscall.EIO})
+	if err := src.Snapshot(facts, 4); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("snapshot err = %v, want EIO", err)
+	}
+	rec, err := src.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Facts) != 4 || rec.Epoch != 4 {
+		t.Fatalf("recovered %d facts at epoch %d after failed snapshot, want 4 at 4", len(rec.Facts), rec.Epoch)
+	}
+	// The device recovered: the snapshot goes through and resets the log.
+	if err := src.Snapshot(facts, 4); err != nil {
+		t.Fatalf("snapshot after fault cleared: %v", err)
+	}
+	if src.LogRecords() != 0 {
+		t.Errorf("log records = %d after snapshot, want 0", src.LogRecords())
+	}
+}
+
+// TestSnapshotRenameErrorKeepsLog injects a rename failure at snapshot
+// publication: the old state must survive untouched — in particular the
+// log must NOT be truncated, since its records are the only copy.
+func TestSnapshotRenameErrorKeepsLog(t *testing.T) {
+	fsys, src := openFaulty(t, 3)
+	fsys.Inject(vfs.Rule{Op: vfs.OpRename, PathSubstr: "snapshot", Times: 1, Err: syscall.EIO})
+	if err := src.Snapshot([]kb.Fact{testFact(0), testFact(1), testFact(2)}, 3); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("snapshot err = %v, want EIO", err)
+	}
+	rec, err := src.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Facts) != 3 || rec.LogRecords != 3 {
+		t.Fatalf("recovered %d facts / %d log records, want 3/3 (log must survive a failed publication)",
+			len(rec.Facts), rec.LogRecords)
+	}
+}
+
+// TestSnapshotDirFsyncError checks the directory fsync after the rename
+// is on the error path: if the entry cannot be made durable, Snapshot
+// says so instead of pretending.
+func TestSnapshotDirFsyncError(t *testing.T) {
+	fsys, src := openFaulty(t, 2)
+	fsys.Inject(vfs.Rule{Op: vfs.OpSyncDir, Times: 1, Err: syscall.EIO})
+	err := src.Snapshot([]kb.Fact{testFact(0), testFact(1)}, 2)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("snapshot err = %v, want EIO from the directory fsync", err)
+	}
+}
+
+// TestAppendENOSPCCleanRefusal checks a clean ENOSPC (no bytes land)
+// leaves the log byte-identical: nothing to repair, next append fine.
+func TestAppendENOSPCCleanRefusal(t *testing.T) {
+	fsys, src := openFaulty(t, 2)
+	fsys.Inject(vfs.Rule{Op: vfs.OpWrite, PathSubstr: "log", Times: 1})
+	if err := src.Append(testFact(2), 3); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append err = %v, want ENOSPC", err)
+	}
+	if err := src.Append(testFact(3), 4); err != nil {
+		t.Fatalf("append after clean refusal: %v", err)
+	}
+	rec, err := src.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Facts) != 3 || rec.TruncatedBytes != 0 {
+		t.Fatalf("recovered %d facts (truncated %d), want 3 facts, 0 truncated",
+			len(rec.Facts), rec.TruncatedBytes)
+	}
+}

@@ -29,6 +29,13 @@
 //
 // Source names are escaped for the filesystem (escapeName); everything
 // else is byte-exact.
+//
+// All file I/O goes through an injectable filesystem (internal/vfs):
+// Open uses the real one, OpenFS lets tests script disk failures —
+// short writes, fsync errors, ENOSPC — against the exact code paths
+// production runs. Directory entries are made durable too: the parent
+// directory is fsynced after the snapshot rename and after log
+// creation, so a power cut after either cannot lose the entry itself.
 package persist
 
 import (
@@ -36,7 +43,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,6 +51,7 @@ import (
 
 	"repro/internal/kb"
 	"repro/internal/rowcodec"
+	"repro/internal/vfs"
 )
 
 const (
@@ -59,17 +66,25 @@ const (
 // state lives in Source.
 type Dir struct {
 	root string
+	fs   vfs.FS
 
 	mu   sync.Mutex
 	open map[string]*Source
 }
 
-// Open opens (creating if needed) a persistence root.
+// Open opens (creating if needed) a persistence root on the real
+// filesystem.
 func Open(root string) (*Dir, error) {
-	if err := os.MkdirAll(filepath.Join(root, sourcesDir), 0o755); err != nil {
+	return OpenFS(root, vfs.OS{})
+}
+
+// OpenFS is Open over an injectable filesystem — the fault-injection
+// seam (vfs.Faulty) the durability tests script disk failures through.
+func OpenFS(root string, fsys vfs.FS) (*Dir, error) {
+	if err := fsys.MkdirAll(filepath.Join(root, sourcesDir), 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	return &Dir{root: root, open: make(map[string]*Source)}, nil
+	return &Dir{root: root, fs: fsys, open: make(map[string]*Source)}, nil
 }
 
 // Root returns the directory the Dir was opened on.
@@ -77,7 +92,7 @@ func (d *Dir) Root() string { return d.root }
 
 // Sources lists the source names with on-disk state, sorted.
 func (d *Dir) Sources() ([]string, error) {
-	ents, err := os.ReadDir(filepath.Join(d.root, sourcesDir))
+	ents, err := d.fs.ReadDir(filepath.Join(d.root, sourcesDir))
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
@@ -108,10 +123,16 @@ func (d *Dir) Source(name string) (*Source, error) {
 		return s, nil
 	}
 	dir := filepath.Join(d.root, sourcesDir, escapeName(name))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := d.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: source %q: %w", name, err)
 	}
-	s := &Source{name: name, dir: dir}
+	// Make the new directory entry itself durable: a crash right after
+	// the first append would otherwise recover an empty root because
+	// sources/<name> never reached the disk.
+	if err := d.fs.SyncDir(filepath.Join(d.root, sourcesDir)); err != nil {
+		return nil, fmt.Errorf("persist: source %q: syncing sources dir: %w", name, err)
+	}
+	s := &Source{name: name, dir: dir, fs: d.fs}
 	d.open[name] = s
 	return s, nil
 }
@@ -160,10 +181,13 @@ func unescapeName(dir string) (string, error) {
 type Source struct {
 	name string
 	dir  string
+	fs   vfs.FS
 
 	mu         sync.Mutex
-	log        *os.File // opened lazily, kept open; nil until first Append
+	log        vfs.File // opened lazily, kept open; nil until first Append
+	logSize    int64    // bytes of verified records in the log (the repair boundary)
 	logRecords int      // live records in the log (post-snapshot), set by Recover/Append/Snapshot
+	tornTail   bool     // a failed append left torn bytes that could not be trimmed
 	buf        []byte   // record scratch, reused across Appends
 }
 
@@ -259,15 +283,38 @@ func decodePayload(b []byte) (kb.Fact, uint64, error) {
 // Append writes one effective insert to the log: uvarint payload length,
 // payload, CRC32(payload). One write(2) call, so a killed process leaves
 // at worst a torn tail that recovery truncates. Implements kb.Journal.
+//
+// A *failed* write is handled more carefully than a crash: if the device
+// landed a prefix of the record (ENOSPC mid-write), the log is truncated
+// back to the last record boundary, so the next append continues from a
+// verifiable position instead of burying torn bytes mid-log — recovery
+// would otherwise stop at them and silently drop every later record. If
+// even that repair fails, the source refuses further appends (ErrTornLog)
+// until Recover or Snapshot re-establishes a clean boundary.
 func (s *Source) Append(f kb.Fact, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.tornTail {
+		return fmt.Errorf("persist: %s: %w", s.name, ErrTornLog)
+	}
 	if s.log == nil {
-		lf, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		path := filepath.Join(s.dir, logName)
+		lf, err := s.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("persist: %s: %w", s.name, err)
 		}
-		s.log = lf
+		// The open may have created the file: fsync the directory so the
+		// log's entry survives a crash as surely as its appends do.
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			lf.Close()
+			return fmt.Errorf("persist: %s: syncing log dir entry: %w", s.name, err)
+		}
+		info, err := s.fs.Stat(path)
+		if err != nil {
+			lf.Close()
+			return fmt.Errorf("persist: %s: %w", s.name, err)
+		}
+		s.log, s.logSize = lf, info.Size()
 	}
 	payload := appendPayload(s.buf[:0], f, epoch)
 	s.buf = payload
@@ -276,11 +323,21 @@ func (s *Source) Append(f kb.Fact, epoch uint64) error {
 	rec = append(rec, payload...)
 	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
 	if _, err := s.log.Write(rec); err != nil {
+		// Cut any torn prefix back to the last record boundary.
+		if terr := s.fs.Truncate(filepath.Join(s.dir, logName), s.logSize); terr != nil {
+			s.tornTail = true
+		}
 		return fmt.Errorf("persist: %s: log append: %w", s.name, err)
 	}
+	s.logSize += int64(len(rec))
 	s.logRecords++
 	return nil
 }
+
+// ErrTornLog marks a source whose log holds torn bytes that could not be
+// trimmed after a failed append; appends are refused until Recover or
+// Snapshot re-establishes a verifiable boundary.
+var ErrTornLog = errors.New("log has an untrimmed torn tail")
 
 // Recovered is the outcome of Source.Recover.
 type Recovered struct {
@@ -315,7 +372,7 @@ func (s *Source) Recover() (Recovered, error) {
 		s.log = nil
 	}
 	var rec Recovered
-	facts, snapEpoch, err := readSnapshot(filepath.Join(s.dir, snapName))
+	facts, snapEpoch, err := readSnapshot(s.fs, filepath.Join(s.dir, snapName))
 	if err != nil {
 		return rec, fmt.Errorf("persist: %s: %w", s.name, err)
 	}
@@ -323,17 +380,11 @@ func (s *Source) Recover() (Recovered, error) {
 	rec.Epoch = snapEpoch
 
 	logPath := filepath.Join(s.dir, logName)
-	lf, err := os.Open(logPath)
+	data, err := s.fs.ReadFile(logPath)
 	if errors.Is(err, os.ErrNotExist) {
-		s.logRecords = 0
+		s.logRecords, s.logSize, s.tornTail = 0, 0, false
 		return rec, nil
 	}
-	if err != nil {
-		return rec, fmt.Errorf("persist: %s: %w", s.name, err)
-	}
-	defer lf.Close()
-
-	data, err := io.ReadAll(lf)
 	if err != nil {
 		return rec, fmt.Errorf("persist: %s: reading log: %w", s.name, err)
 	}
@@ -367,27 +418,28 @@ func (s *Source) Recover() (Recovered, error) {
 	}
 	if off < len(data) {
 		rec.TruncatedBytes = int64(len(data) - off)
-		if err := os.Truncate(logPath, int64(off)); err != nil {
+		if err := s.fs.Truncate(logPath, int64(off)); err != nil {
 			return rec, fmt.Errorf("persist: %s: truncating torn tail: %w", s.name, err)
 		}
 	}
-	s.logRecords = rec.LogRecords
+	s.logRecords, s.logSize, s.tornTail = rec.LogRecords, int64(off), false
 	return rec, nil
 }
 
 // Snapshot atomically publishes the full fact set at the given epoch and
 // resets the log. The snapshot is written to a temp file, fsynced and
-// renamed into place; only then is the log truncated. A crash between
-// the rename and the truncation is benign — recovery skips log records
-// at or below the snapshot epoch.
+// renamed into place, and the directory is fsynced so the renamed entry
+// itself survives a power cut; only then is the log truncated. A crash
+// between the rename and the truncation is benign — recovery skips log
+// records at or below the snapshot epoch.
 func (s *Source) Snapshot(facts []kb.Fact, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tmp, err := os.CreateTemp(s.dir, snapName+"-*.tmp")
+	tmp, err := s.fs.CreateTemp(s.dir, snapName+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: %s: %w", s.name, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after the rename
+	defer s.fs.Remove(tmp.Name()) // no-op after the rename
 
 	buf := make([]byte, 0, 64+len(facts)*32)
 	buf = append(buf, snapMagic...)
@@ -427,18 +479,25 @@ func (s *Source) Snapshot(facts []kb.Fact, epoch uint64) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: %s: %w", s.name, err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapName)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(s.dir, snapName)); err != nil {
 		return fmt.Errorf("persist: %s: publishing snapshot: %w", s.name, err)
+	}
+	// fsync the directory: the rename updated a directory entry, and only
+	// the directory's own fsync makes that entry durable — without it a
+	// power cut can come back with the *old* snapshot (or none) even
+	// though the new file's contents were fsynced.
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("persist: %s: syncing snapshot dir entry: %w", s.name, err)
 	}
 	// The snapshot is durable; the log's records are all subsumed.
 	if s.log != nil {
 		s.log.Close()
 		s.log = nil
 	}
-	if err := os.Truncate(filepath.Join(s.dir, logName), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := s.fs.Truncate(filepath.Join(s.dir, logName), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("persist: %s: resetting log: %w", s.name, err)
 	}
-	s.logRecords = 0
+	s.logRecords, s.logSize, s.tornTail = 0, 0, false
 	return nil
 }
 
@@ -446,8 +505,8 @@ func (s *Source) Snapshot(facts []kb.Fact, epoch uint64) error {
 // empty source at epoch 0. Unlike the log, a snapshot is written
 // atomically, so any corruption is real damage and surfaces as an error
 // rather than silent truncation.
-func readSnapshot(path string) ([]kb.Fact, uint64, error) {
-	data, err := os.ReadFile(path)
+func readSnapshot(fsys vfs.FS, path string) ([]kb.Fact, uint64, error) {
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, nil
 	}

@@ -1,0 +1,230 @@
+// Admission control: a process-wide memory governor in front of query
+// execution.
+//
+// Every executed query already runs under a per-request memory budget
+// (query.Options{MemoryLimit}, PR 5) — but those budgets are
+// independent, so N concurrent queries can legitimately demand N times
+// the machine's memory. The governor closes that hole: each
+// singleflight leader must reserve its effective memory limit from one
+// aggregate mem.Budget before executing, so the sum of all in-flight
+// execution budgets never exceeds Options.AdmissionCapBytes.
+//
+// When the pool cannot cover a request, overload is absorbed in two
+// stages before anything is refused:
+//
+//  1. Degradation ladder — the requested grant is halved repeatedly
+//     (down to AdmissionMinGrant) until a reservation fits. A degraded
+//     grant tightens the query's MemoryLimit, which the execution layer
+//     already handles by degrading joins to grace-hash spilling: the
+//     query still answers, exactly, just slower.
+//  2. Bounded FIFO queue — if even the minimum grant does not fit, the
+//     request waits its turn. The queue is deadline-aware: a waiter
+//     whose context expires removes itself and fails with
+//     ErrQueueTimeout; capacity released by a finishing query wakes the
+//     head of the queue (never a later waiter, so waiting is
+//     starvation-free).
+//
+// Only when the queue itself is full is a request shed outright
+// (ErrShed) — a fast failure by design, so an overloaded server stays
+// responsive instead of accumulating doomed work.
+//
+// Cache hits, negative hits, disk hits and coalesced followers bypass
+// the governor entirely: they cost no execution memory, and keeping
+// them admission-free means overload never blocks the cheap paths.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/query/mem"
+)
+
+// Admission defaults: the queue bound when Options.AdmissionQueue is
+// zero, and the degradation ladder's floor when AdmissionMinGrant is
+// zero. The floor is deliberately small — under PR 5's grace-hash
+// spilling a query stays correct under any positive budget, so the
+// ladder can squeeze hard before the queue has to absorb anything.
+const (
+	DefaultAdmissionQueue    = 64
+	DefaultAdmissionMinGrant = 64 << 10
+)
+
+// Admission-control refusals, in order of increasing patience spent.
+var (
+	// ErrShed reports a request refused immediately: the memory pool was
+	// exhausted and the admission queue full. Shedding is fast by
+	// design; oniond maps it to 429.
+	ErrShed = errors.New("serve: overloaded, request shed")
+	// ErrQueueTimeout reports a request admitted to the queue whose
+	// context expired before capacity freed up. It wraps the context's
+	// own error (so errors.Is sees Canceled/DeadlineExceeded); oniond
+	// maps it to 503.
+	ErrQueueTimeout = errors.New("serve: admission queue wait expired")
+)
+
+// admitWaiter is one request parked in the admission queue. The grant
+// channel is buffered so a release can hand over capacity without
+// rendezvousing with a waiter that is concurrently timing out.
+type admitWaiter struct {
+	want    int64
+	granted chan int64
+}
+
+// admitResult reports how an acquisition went: the bytes actually
+// reserved, whether the ladder shrank the ask, and whether (and how
+// long) the request queued.
+type admitResult struct {
+	granted  int64
+	degraded bool
+	queued   bool
+	waitNs   int64
+}
+
+// governor is the admission controller. The pool is a plain mem.Budget
+// — the same all-or-nothing reservation primitive the execution layer
+// uses per query, reused here as the cross-query aggregate cap.
+type governor struct {
+	pool         *mem.Budget
+	minGrant     int64
+	defaultGrant int64
+	maxQueue     int
+
+	mu    sync.Mutex
+	queue []*admitWaiter
+}
+
+// newGovernor builds a governor from service options; callers ensure
+// AdmissionCapBytes > 0.
+func newGovernor(o Options) *governor {
+	cap := o.AdmissionCapBytes
+	min := o.AdmissionMinGrant
+	if min <= 0 {
+		min = DefaultAdmissionMinGrant
+	}
+	if min > cap {
+		min = cap
+	}
+	def := o.AdmissionDefaultGrant
+	if def <= 0 {
+		def = cap / 8
+	}
+	if def < min {
+		def = min
+	}
+	q := o.AdmissionQueue
+	if q == 0 {
+		q = DefaultAdmissionQueue
+	} else if q < 0 {
+		q = 0
+	}
+	return &governor{pool: mem.New(cap), minGrant: min, defaultGrant: def, maxQueue: q}
+}
+
+// tryLadder walks the degradation ladder: the full ask first, then
+// halves, finally the minimum grant. It returns the reservation that
+// fit, or ok=false if even the floor does not.
+func (g *governor) tryLadder(want int64) (int64, bool) {
+	for grant := want; ; grant /= 2 {
+		if grant < g.minGrant {
+			grant = g.minGrant
+		}
+		if g.pool.Reserve(grant) {
+			return grant, true
+		}
+		if grant <= g.minGrant {
+			return 0, false
+		}
+	}
+}
+
+// acquire reserves execution memory for one request. want <= 0 asks for
+// the default grant. On success the caller owns res.granted bytes and
+// must release them; on ErrShed or ErrQueueTimeout nothing is held.
+func (g *governor) acquire(ctx context.Context, want int64) (admitResult, error) {
+	if want <= 0 {
+		want = g.defaultGrant
+	}
+	var res admitResult
+	if granted, ok := g.tryLadder(want); ok {
+		res.granted, res.degraded = granted, granted < want
+		return res, nil
+	}
+
+	g.mu.Lock()
+	if len(g.queue) >= g.maxQueue {
+		g.mu.Unlock()
+		return res, ErrShed
+	}
+	w := &admitWaiter{want: want, granted: make(chan int64, 1)}
+	g.queue = append(g.queue, w)
+	// Re-drain while holding the lock: capacity released between the
+	// failed ladder walk above and the enqueue would otherwise strand
+	// this waiter until the *next* release.
+	g.drainLocked()
+	g.mu.Unlock()
+
+	res.queued = true
+	start := time.Now()
+	select {
+	case granted := <-w.granted:
+		res.waitNs = time.Since(start).Nanoseconds()
+		res.granted, res.degraded = granted, granted < want
+		return res, nil
+	case <-ctx.Done():
+		res.waitNs = time.Since(start).Nanoseconds()
+		g.mu.Lock()
+		removed := g.removeLocked(w)
+		g.mu.Unlock()
+		if !removed {
+			// A release handed this waiter capacity in the instant the
+			// context expired. The request is abandoning the wait, so
+			// hand the grant straight back (waking the next waiter).
+			g.release(<-w.granted)
+		}
+		return res, fmt.Errorf("%w: %w", ErrQueueTimeout, ctx.Err())
+	}
+}
+
+// release returns a grant to the pool and hands freed capacity to
+// queued waiters, head first.
+func (g *governor) release(granted int64) {
+	if granted <= 0 {
+		return
+	}
+	g.pool.Release(granted)
+	g.mu.Lock()
+	g.drainLocked()
+	g.mu.Unlock()
+}
+
+// drainLocked admits queued waiters in FIFO order while the pool can
+// cover them (ladder-degraded if need be). It stops at the first waiter
+// that does not fit: later waiters never jump the queue, so a large
+// request cannot be starved by a stream of small ones.
+func (g *governor) drainLocked() {
+	for len(g.queue) > 0 {
+		head := g.queue[0]
+		granted, ok := g.tryLadder(head.want)
+		if !ok {
+			return
+		}
+		g.queue = g.queue[1:]
+		head.granted <- granted
+	}
+}
+
+// removeLocked unlinks a waiter that is giving up; false means a
+// concurrent release already granted it.
+func (g *governor) removeLocked(w *admitWaiter) bool {
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

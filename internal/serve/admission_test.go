@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fixtures"
+)
+
+// waitUntil polls cond until it holds or the test deadline-ish budget
+// runs out — used to sync with goroutines parked inside the governor.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGovernorLadderDegrades walks the degradation ladder directly: a
+// request the pool cannot cover in full is granted a halved (then
+// floored) reservation instead of queuing.
+func TestGovernorLadderDegrades(t *testing.T) {
+	g := newGovernor(Options{AdmissionCapBytes: 1 << 20}) // min grant = 64K
+	ctx := context.Background()
+
+	a1, err := g.acquire(ctx, 768<<10)
+	if err != nil || a1.granted != 768<<10 || a1.degraded || a1.queued {
+		t.Fatalf("full-fit acquire = %+v, %v", a1, err)
+	}
+	// 256K remain: a 512K ask degrades to 256K.
+	a2, err := g.acquire(ctx, 512<<10)
+	if err != nil || a2.granted != 256<<10 || !a2.degraded {
+		t.Fatalf("degraded acquire = %+v, %v", a2, err)
+	}
+	// 0 remain: even the 64K floor fails, so the next ask queues; with
+	// an already-expired context it reports a queue timeout.
+	expired, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	<-expired.Done()
+	a3, err := g.acquire(expired, 100<<10)
+	if !errors.Is(err, ErrQueueTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("exhausted-pool acquire err = %v, want ErrQueueTimeout wrapping DeadlineExceeded", err)
+	}
+	if !a3.queued || a3.granted != 0 {
+		t.Fatalf("exhausted-pool acquire = %+v, want queued with no grant", a3)
+	}
+	g.release(a1.granted)
+	g.release(a2.granted)
+	// The pool is whole again: a full-cap ask fits undegraded.
+	a4, err := g.acquire(ctx, 1<<20)
+	if err != nil || a4.granted != 1<<20 || a4.degraded {
+		t.Fatalf("post-release acquire = %+v, %v", a4, err)
+	}
+}
+
+// TestGovernorFIFOAndShed parks two waiters behind a full pool and
+// checks (a) a third is shed once the queue is full, (b) releases admit
+// the waiters strictly head-first.
+func TestGovernorFIFOAndShed(t *testing.T) {
+	// cap == one min grant: releases admit exactly one waiter at a time,
+	// so the admission order below is fully determined.
+	g := newGovernor(Options{AdmissionCapBytes: 64 << 10, AdmissionQueue: 2})
+	ctx := context.Background()
+	hold, err := g.acquire(ctx, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan int, 2)
+	spawn := func(id int, queueLen int) {
+		go func() {
+			if a, err := g.acquire(ctx, 64<<10); err == nil {
+				order <- id
+				g.release(a.granted)
+			}
+		}()
+		waitUntil(t, "waiter to park", func() bool {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return len(g.queue) == queueLen
+		})
+	}
+	spawn(1, 1)
+	spawn(2, 2)
+
+	// Queue full: the next ask is refused fast with ErrShed.
+	if _, err := g.acquire(ctx, 64<<10); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire with full queue err = %v, want ErrShed", err)
+	}
+
+	g.release(hold.granted)
+	if first, second := <-order, <-order; first != 1 || second != 2 {
+		t.Fatalf("waiters admitted in order %d,%d; want 1,2", first, second)
+	}
+}
+
+// TestGovernorTimeoutLeavesQueueClean checks an expired waiter removes
+// itself: the queue slot frees up and later traffic is unaffected.
+func TestGovernorTimeoutLeavesQueueClean(t *testing.T) {
+	g := newGovernor(Options{AdmissionCapBytes: 1 << 20, AdmissionQueue: 1})
+	hold, err := g.acquire(context.Background(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := g.acquire(ctx, 64<<10); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	g.mu.Lock()
+	left := len(g.queue)
+	g.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("expired waiter left %d queue entries", left)
+	}
+	g.release(hold.granted)
+	if a, err := g.acquire(context.Background(), 1<<20); err != nil || a.granted != 1<<20 {
+		t.Fatalf("acquire after timeout cleanup = %+v, %v", a, err)
+	}
+}
+
+// TestAdmissionShedAndQueueOutcomes drives overload through the full
+// service: one query pins the whole pool at the admission gate, and a
+// second is shed (queue disabled) or queued (queue enabled), with the
+// new outcomes, errors, HTTP-facing counters and row-exactness intact.
+func TestAdmissionShedAndQueueOutcomes(t *testing.T) {
+	ctx := context.Background()
+	const otherQ = "SELECT ?x WHERE ?x InstanceOf Vehicle"
+
+	t.Run("shed", func(t *testing.T) {
+		s := paperService(t, Options{
+			CacheEntries:      -1, // every query executes: each one faces admission
+			AdmissionCapBytes: 64 << 10,
+			AdmissionQueue:    -1, // no queue: exhaustion sheds immediately
+		})
+		gate, entered := make(chan struct{}), make(chan struct{})
+		var once sync.Once
+		s.admitGate = func() { once.Do(func() { close(entered) }); <-gate }
+
+		type res struct {
+			out Outcome
+			err error
+		}
+		leader := make(chan res, 1)
+		go func() {
+			_, out, err := s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+			leader <- res{out, err}
+		}()
+		<-entered
+
+		// The pool (one min grant) is pinned: a distinct query sheds fast.
+		start := time.Now()
+		_, out, err := s.QueryOutcome(ctx, fixtures.ArtName, otherQ)
+		if !errors.Is(err, ErrShed) || out != OutcomeShed {
+			t.Fatalf("overloaded query = outcome %v, err %v; want shed/ErrShed", out, err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("shed took %v; shedding must be fast", d)
+		}
+		close(gate)
+		if r := <-leader; r.err != nil || r.out != OutcomeMiss {
+			t.Fatalf("pinned leader = outcome %v, err %v; want a plain miss", r.out, r.err)
+		}
+		st := s.Stats()
+		if st.Admitted != 1 || st.Shed != 1 || st.Queued != 0 {
+			t.Fatalf("stats = %+v, want admitted 1 / shed 1 / queued 0", st)
+		}
+		// Overload refusals must not poison anything: the shed query now runs.
+		if _, out, err := s.QueryOutcome(ctx, fixtures.ArtName, otherQ); err != nil || out != OutcomeMiss {
+			t.Fatalf("retry after shed = outcome %v, err %v", out, err)
+		}
+	})
+
+	t.Run("queued then admitted", func(t *testing.T) {
+		s := paperService(t, Options{
+			CacheEntries:      -1,
+			AdmissionCapBytes: 64 << 10,
+			AdmissionQueue:    1,
+		})
+		gate, entered := make(chan struct{}), make(chan struct{})
+		var once sync.Once
+		s.admitGate = func() { once.Do(func() { close(entered) }); <-gate }
+		go s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+		<-entered
+
+		type res struct {
+			out Outcome
+			err error
+		}
+		waiterDone := make(chan res, 1)
+		go func() {
+			_, out, err := s.QueryOutcome(ctx, fixtures.ArtName, otherQ)
+			waiterDone <- res{out, err}
+		}()
+		waitUntil(t, "query to park in the admission queue", func() bool {
+			s.gov.mu.Lock()
+			defer s.gov.mu.Unlock()
+			return len(s.gov.queue) == 1
+		})
+		close(gate) // leader finishes, releasing its grant to the waiter
+		if r := <-waiterDone; r.err != nil || r.out != OutcomeMiss {
+			t.Fatalf("queued query = outcome %v, err %v; want an admitted miss", r.out, r.err)
+		}
+		st := s.Stats()
+		if st.Admitted != 2 || st.Queued != 1 || st.Shed != 0 {
+			t.Fatalf("stats = %+v, want admitted 2 / queued 1 / shed 0", st)
+		}
+		if st.QueueWaitNs == 0 {
+			t.Fatal("queue_wait_ns did not advance for a queued request")
+		}
+	})
+
+	t.Run("queue wait expires", func(t *testing.T) {
+		s := paperService(t, Options{
+			CacheEntries:      -1,
+			AdmissionCapBytes: 64 << 10,
+			AdmissionQueue:    1,
+		})
+		gate, entered := make(chan struct{}), make(chan struct{})
+		var once sync.Once
+		s.admitGate = func() { once.Do(func() { close(entered) }); <-gate }
+		go s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+		<-entered
+		defer close(gate)
+
+		qctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+		defer cancel()
+		_, out, err := s.QueryOutcome(qctx, fixtures.ArtName, otherQ)
+		if !errors.Is(err, ErrQueueTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want ErrQueueTimeout wrapping DeadlineExceeded", err)
+		}
+		if out != OutcomeQueued {
+			t.Fatalf("outcome = %v, want queued", out)
+		}
+		st := s.Stats()
+		if st.Queued != 1 || st.Shed != 1 {
+			t.Fatalf("stats = %+v, want queued 1 / shed 1 (an expired wait counts as shed)", st)
+		}
+	})
+}
+
+// TestAdmissionDegradedGrantStaysExact checks the ladder end to end: a
+// request asking for more memory than the pool holds is admitted under
+// a shrunken grant and still answers with exactly the rows an
+// unconstrained service produces.
+func TestAdmissionDegradedGrantStaysExact(t *testing.T) {
+	ctx := context.Background()
+	free := paperService(t, Options{})
+	want, _, err := free.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := paperService(t, Options{AdmissionCapBytes: 96 << 10})
+	got, out, err := s.QueryLimited(ctx, fixtures.ArtName, vehiclePriceQ, Limits{MemoryBytes: 1 << 20})
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("degraded query = outcome %v, err %v", out, err)
+	}
+	if !got.EqualRows(want) {
+		t.Fatal("degraded grant changed the result rows")
+	}
+	st := s.Stats()
+	if st.Admitted != 1 || st.DegradedGrants != 1 {
+		t.Fatalf("stats = %+v, want admitted 1 / degraded_grants 1", st)
+	}
+	// The grant was released: the full pool is available again.
+	if !s.gov.pool.Reserve(96 << 10) {
+		t.Fatal("grant was not released back to the pool")
+	}
+	s.gov.pool.Release(96 << 10)
+}

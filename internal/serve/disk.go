@@ -6,13 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/kb"
 	"repro/internal/query"
 	"repro/internal/rowcodec"
+	"repro/internal/vfs"
 )
 
 // diskCache is the cold second tier beneath the in-memory result cache:
@@ -29,12 +31,24 @@ import (
 // the index maps and the file I/O, so the Service can (and must) call it
 // OUTSIDE its global mutex — a slow disk then stalls only disk-tier
 // traffic, never memory-cache hits or flight registration.
+//
+// The tier is an optimization, so it fails soft (PR 7): transient I/O
+// errors are retried with doubling backoff, persistent ones trip a
+// circuit breaker that degrades the tier to instant misses until a
+// probe finds the device healthy again — a broken disk slows queries
+// back down to execution speed, it never makes them fail.
 type diskCache struct {
 	mu    sync.Mutex
+	fs    vfs.FS
 	dir   string
 	cap   int
 	order []string          // insertion/refresh order, oldest first
 	items map[string]string // cache key → file path
+
+	brk     *breaker
+	retries int           // I/O retries after the first attempt
+	backoff time.Duration // first retry's sleep; doubles per retry
+	faults  atomic.Uint64 // failed I/O attempts (each retry counts)
 }
 
 const (
@@ -42,26 +56,57 @@ const (
 	diskEntryPrefix  = "res-"
 	diskEntrySuffix  = ".bin"
 	defaultDiskCache = 4096
+
+	diskRetries      = 2
+	diskRetryBackoff = 2 * time.Millisecond
 )
 
-// newDiskCache opens (creating if needed) the disk tier's directory and
-// clears leftover entries: cache keys embed the process-unique engine
-// id, so entries from a previous process can never hit again.
+// newDiskCache opens the disk tier on the real filesystem.
 func newDiskCache(dir string, capacity int) (*diskCache, error) {
+	return newDiskCacheFS(dir, capacity, vfs.OS{})
+}
+
+// newDiskCacheFS opens (creating if needed) the disk tier's directory
+// over an injectable filesystem and clears leftover entries: cache keys
+// embed the process-unique engine id, so entries from a previous
+// process can never hit again.
+func newDiskCacheFS(dir string, capacity int, fsys vfs.FS) (*diskCache, error) {
 	if capacity <= 0 {
 		capacity = defaultDiskCache
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: disk cache: %w", err)
 	}
-	stale, err := filepath.Glob(filepath.Join(dir, diskEntryPrefix+"*"+diskEntrySuffix))
+	stale, err := fsys.Glob(filepath.Join(dir, diskEntryPrefix+"*"+diskEntrySuffix))
 	if err != nil {
 		return nil, fmt.Errorf("serve: disk cache: %w", err)
 	}
 	for _, f := range stale {
-		os.Remove(f)
+		fsys.Remove(f)
 	}
-	return &diskCache{dir: dir, cap: capacity, items: make(map[string]string)}, nil
+	return &diskCache{
+		fs: fsys, dir: dir, cap: capacity, items: make(map[string]string),
+		brk: newBreaker(), retries: diskRetries, backoff: diskRetryBackoff,
+	}, nil
+}
+
+// retryIO runs one disk operation with retry-plus-doubling-backoff for
+// transient errors, counting every failed attempt in faults. It returns
+// the last error once the retries are spent.
+func (c *diskCache) retryIO(op func() error) error {
+	wait := c.backoff
+	var err error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(wait)
+			wait *= 2
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		c.faults.Add(1)
+	}
+	return err
 }
 
 // path derives an entry's file name from its cache key. Keys are binary,
@@ -82,6 +127,11 @@ func (c *diskCache) path(key string) string {
 func (c *diskCache) put(key string, res *query.Result) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.brk.allow() {
+		// Breaker open: the tier is degraded to memory-only. Not caching
+		// is always safe — the entry just recomputes on its next miss.
+		return false
+	}
 	buf := make([]byte, 0, 256+len(res.Rows)*32)
 	buf = append(buf, diskEntryMagic...)
 	buf = binary.AppendUvarint(buf, uint64(len(key)))
@@ -97,10 +147,15 @@ func (c *diskCache) put(key string, res *query.Result) bool {
 	}
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	path := c.path(key)
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		os.Remove(path)
+	if err := c.retryIO(func() error { return c.fs.WriteFile(path, buf, 0o644) }); err != nil {
+		c.brk.record(err)
+		// A failed write may have torn the file; remove it (best effort)
+		// so a later read cannot see the fragment. The CRC would catch
+		// it anyway — this just saves the read.
+		c.fs.Remove(path)
 		return false
 	}
+	c.brk.record(nil)
 	if _, dup := c.items[key]; dup {
 		for i, k := range c.order {
 			if k == key {
@@ -117,7 +172,7 @@ func (c *diskCache) put(key string, res *query.Result) bool {
 		oldest := c.order[0]
 		c.order = c.order[1:]
 		if p, ok := c.items[oldest]; ok {
-			os.Remove(p)
+			c.fs.Remove(p)
 			delete(c.items, oldest)
 		}
 	}
@@ -125,9 +180,11 @@ func (c *diskCache) put(key string, res *query.Result) bool {
 }
 
 // get loads a demoted result; a missing, corrupt or key-mismatched
-// entry is a miss (and is dropped). The decoded rows carry no execution
-// stats — the work they represent was done by the execution that
-// populated the entry.
+// entry is a miss (and is dropped). An I/O failure is also just a miss
+// — the caller falls through to execution — but it feeds the breaker
+// rather than dropping the entry: the file may be intact once the
+// device recovers. The decoded rows carry no execution stats — the work
+// they represent was done by the execution that populated the entry.
 func (c *diskCache) get(key string) (*query.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -135,9 +192,25 @@ func (c *diskCache) get(key string) (*query.Result, bool) {
 	if !ok {
 		return nil, false
 	}
-	res, err := readDiskEntry(path, key)
+	if !c.brk.allow() {
+		return nil, false
+	}
+	var data []byte
+	readErr := c.retryIO(func() error {
+		var err error
+		data, err = c.fs.ReadFile(path)
+		return err
+	})
+	if readErr != nil {
+		c.brk.record(readErr)
+		return nil, false
+	}
+	c.brk.record(nil)
+	res, err := decodeDiskEntry(data, key)
 	if err != nil {
-		os.Remove(path)
+		// Corruption, not device trouble: drop the entry (the next miss
+		// recomputes and re-demotes it) and leave the breaker alone.
+		c.fs.Remove(path)
 		delete(c.items, key)
 		for i, k := range c.order {
 			if k == key {
@@ -150,11 +223,7 @@ func (c *diskCache) get(key string) (*query.Result, bool) {
 	return res, true
 }
 
-func readDiskEntry(path, wantKey string) (*query.Result, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+func decodeDiskEntry(data []byte, wantKey string) (*query.Result, error) {
 	if len(data) < len(diskEntryMagic)+4 || string(data[:len(diskEntryMagic)]) != diskEntryMagic {
 		return nil, errors.New("bad magic")
 	}

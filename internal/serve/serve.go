@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/query"
+	"repro/internal/vfs"
 )
 
 // DefaultCacheEntries bounds the result cache when Options.CacheEntries
@@ -70,6 +71,26 @@ type Options struct {
 	// pool, partitions, memory budget, executor selection). Per-request
 	// Limits may tighten the memory budget further.
 	Exec query.Options
+	// AdmissionCapBytes > 0 enables admission control: every executed
+	// query must reserve its effective memory limit from a process-wide
+	// pool of this many bytes before running, so aggregate execution
+	// memory stays bounded no matter how many clients arrive. Under
+	// pressure the service first shrinks grants (forcing grace-hash
+	// spilling), then queues, then sheds — see admission.go. 0 disables
+	// admission control (the pre-PR-7 behavior).
+	AdmissionCapBytes int64
+	// AdmissionQueue bounds the admission queue: 0 means
+	// DefaultAdmissionQueue, negative disables queuing (exhaustion
+	// sheds immediately).
+	AdmissionQueue int
+	// AdmissionDefaultGrant is the reservation for requests with no
+	// memory limit of their own (neither Exec.MemoryLimit nor
+	// per-request Limits). 0 means AdmissionCapBytes/8, floored at the
+	// minimum grant.
+	AdmissionDefaultGrant int64
+	// AdmissionMinGrant floors the degradation ladder: grants shrink by
+	// halving but never below this. 0 means DefaultAdmissionMinGrant.
+	AdmissionMinGrant int64
 }
 
 // Limits are per-request resource bounds, beside the context deadline.
@@ -114,6 +135,31 @@ type Stats struct {
 	// grace-hash spilling under a memory limit (service default or
 	// per-request Limits).
 	SpilledQueries uint64 `json:"spilled_queries"`
+	// Admitted counts executions granted memory by the admission
+	// governor (including after a queue wait). Zero when admission
+	// control is disabled.
+	Admitted uint64 `json:"admitted"`
+	// Queued counts requests that waited in the admission queue,
+	// whether they were eventually admitted or timed out.
+	Queued uint64 `json:"queued"`
+	// Shed counts requests refused by admission control: immediate
+	// sheds (pool exhausted, queue full) and queue waits that expired.
+	Shed uint64 `json:"shed"`
+	// DegradedGrants counts admissions where the governor's ladder
+	// shrank the memory grant below the request's ask, forcing the
+	// execution to run under a tighter budget (and typically spill).
+	DegradedGrants uint64 `json:"degraded_grants"`
+	// QueueWaitNs accumulates nanoseconds spent waiting in the
+	// admission queue, across admitted and expired waiters alike.
+	QueueWaitNs uint64 `json:"queue_wait_ns"`
+	// DiskFaults counts failed disk-tier I/O attempts (every failed
+	// try, including ones a retry then healed). Corrupt entries do not
+	// count — they are dropped, not device trouble.
+	DiskFaults uint64 `json:"disk_faults"`
+	// BreakerTrips counts how many times repeated disk-tier faults
+	// opened the circuit breaker, degrading the tier to memory-only
+	// until a probe succeeded.
+	BreakerTrips uint64 `json:"breaker_trips"`
 }
 
 // Outcome reports how a query was answered.
@@ -127,6 +173,12 @@ const (
 	OutcomeCoalesced
 	// OutcomeMiss: executed (and populated the cache).
 	OutcomeMiss
+	// OutcomeQueued: waited in the admission queue but the request's
+	// context expired before capacity freed up (ErrQueueTimeout).
+	OutcomeQueued
+	// OutcomeShed: refused immediately by admission control — pool
+	// exhausted and queue full (ErrShed).
+	OutcomeShed
 )
 
 // String renders the outcome for logs and HTTP responses.
@@ -136,6 +188,10 @@ func (o Outcome) String() string {
 		return "hit"
 	case OutcomeCoalesced:
 		return "coalesced"
+	case OutcomeQueued:
+		return "queued"
+	case OutcomeShed:
+		return "shed"
 	default:
 		return "miss"
 	}
@@ -169,20 +225,34 @@ type Service struct {
 	// mu — a slow disk stalls only disk-tier traffic.
 	disk *diskCache
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	negHits   atomic.Uint64
-	evictions atomic.Uint64
-	mutations atomic.Uint64
-	spilled   atomic.Uint64
-	diskHits  atomic.Uint64
-	demotions atomic.Uint64
+	// gov is the admission governor; nil when AdmissionCapBytes is 0.
+	// Acquisition happens on the singleflight leader only — after the
+	// flight is registered, so a whole coalition waits (and pays) once.
+	gov *governor
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	coalesced   atomic.Uint64
+	negHits     atomic.Uint64
+	evictions   atomic.Uint64
+	mutations   atomic.Uint64
+	spilled     atomic.Uint64
+	diskHits    atomic.Uint64
+	demotions   atomic.Uint64
+	admitted    atomic.Uint64
+	queued      atomic.Uint64
+	shed        atomic.Uint64
+	degraded    atomic.Uint64
+	queueWaitNs atomic.Uint64
 
 	// leaderGate, when non-nil, runs on the singleflight leader between
 	// registering its flight and executing — a test hook that lets the
 	// coalescing test hold the flight open deterministically.
 	leaderGate func()
+	// admitGate, when non-nil, runs on the leader while it holds its
+	// admission grant, before executing — a test hook that lets
+	// admission tests pin the pool in a known state.
+	admitGate func()
 }
 
 // New returns a Service over the system.
@@ -202,6 +272,9 @@ func New(sys *core.System, opts Options) *Service {
 			s.negCache = newResultCache(nn)
 		}
 	}
+	if opts.AdmissionCapBytes > 0 {
+		s.gov = newGovernor(opts)
+	}
 	return s
 }
 
@@ -213,12 +286,19 @@ func New(sys *core.System, opts Options) *Service {
 // cleared, since their keys embed a dead engine id and can never match.
 // No-op when caching is disabled. Call before serving traffic.
 func (s *Service) EnableDiskCache(dir string, entries int) error {
+	return s.EnableDiskCacheFS(dir, entries, vfs.OS{})
+}
+
+// EnableDiskCacheFS is EnableDiskCache over an injectable filesystem —
+// the seam the fault-injection tests script disk trouble through
+// (vfs.Faulty).
+func (s *Service) EnableDiskCacheFS(dir string, entries int, fsys vfs.FS) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cache == nil {
 		return nil
 	}
-	d, err := newDiskCache(dir, entries)
+	d, err := newDiskCacheFS(dir, entries, fsys)
 	if err != nil {
 		return err
 	}
@@ -250,7 +330,14 @@ func (s *Service) System() *core.System { return s.sys }
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Service) Stats() Stats {
+	var diskFaults, breakerTrips uint64
+	if s.disk != nil {
+		diskFaults = s.disk.faults.Load()
+		breakerTrips = s.disk.brk.trips()
+	}
 	return Stats{
+		DiskFaults:   diskFaults,
+		BreakerTrips: breakerTrips,
 		CacheHits:      s.hits.Load(),
 		CacheMisses:    s.misses.Load(),
 		Coalesced:      s.coalesced.Load(),
@@ -260,6 +347,11 @@ func (s *Service) Stats() Stats {
 		DiskHits:       s.diskHits.Load(),
 		DiskDemotions:  s.demotions.Load(),
 		SpilledQueries: s.spilled.Load(),
+		Admitted:       s.admitted.Load(),
+		Queued:         s.queued.Load(),
+		Shed:           s.shed.Load(),
+		DegradedGrants: s.degraded.Load(),
+		QueueWaitNs:    s.queueWaitNs.Load(),
 	}
 }
 
@@ -427,6 +519,41 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 	exec := s.opts.Exec
 	if lim.MemoryBytes > 0 && (exec.MemoryLimit <= 0 || lim.MemoryBytes < exec.MemoryLimit) {
 		exec.MemoryLimit = lim.MemoryBytes
+	}
+	if s.gov != nil {
+		// Admission happens after the flight is registered, so every
+		// coalesced follower shares this one reservation (and this one
+		// queue wait) instead of multiplying demand. A refusal fans out
+		// through the flight like any other leader error — except a
+		// queue timeout wraps the context error, which the follower
+		// retry path treats as the leader's own deadline and retries.
+		adm, err := s.gov.acquire(ctx, exec.MemoryLimit)
+		if adm.queued {
+			s.queued.Add(1)
+			s.queueWaitNs.Add(uint64(adm.waitNs))
+		}
+		if err != nil {
+			s.shed.Add(1)
+			out := OutcomeShed
+			if adm.queued {
+				out = OutcomeQueued
+			}
+			f.err = err
+			completed = true
+			return nil, out, err
+		}
+		s.admitted.Add(1)
+		if adm.degraded {
+			s.degraded.Add(1)
+		}
+		defer s.gov.release(adm.granted)
+		// The grant IS the execution budget: a degraded grant tightens
+		// MemoryLimit, and the execution layer answers exactly anyway by
+		// spilling joins to disk.
+		exec.MemoryLimit = adm.granted
+	}
+	if s.admitGate != nil {
+		s.admitGate()
 	}
 	res, epoch, err := s.sys.ExecuteVersioned(ctx, artName, q, exec)
 	if err == nil && res.Stats.SpilledPartitions > 0 {

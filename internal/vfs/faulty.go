@@ -1,0 +1,275 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names one filesystem operation class for fault matching.
+type Op string
+
+// Operation classes. OpWrite covers WriteFile and File.Write, OpRead
+// covers ReadFile and File.Read, OpSync covers File.Sync, OpSyncDir the
+// directory fsync; OpAny matches everything.
+const (
+	OpAny        Op = "*"
+	OpMkdirAll   Op = "mkdirall"
+	OpOpenFile   Op = "openfile"
+	OpOpen       Op = "open"
+	OpRead       Op = "read"
+	OpWrite      Op = "write"
+	OpRemove     Op = "remove"
+	OpRename     Op = "rename"
+	OpTruncate   Op = "truncate"
+	OpStat       Op = "stat"
+	OpReadDir    Op = "readdir"
+	OpGlob       Op = "glob"
+	OpCreateTemp Op = "createtemp"
+	OpSync       Op = "sync"
+	OpSyncDir    Op = "syncdir"
+)
+
+// Rule scripts one fault: after After matching operations have passed
+// through unharmed, the next Times matching operations fail with Err
+// (syscall.ENOSPC when nil). For OpWrite, ShortBytes > 0 additionally
+// lets each failing write land that many bytes before erroring — a torn
+// write, not a clean refusal. Times 0 means "keep failing forever".
+type Rule struct {
+	Op         Op
+	PathSubstr string // "" matches any path
+	After      int
+	Times      int
+	Err        error
+	ShortBytes int
+
+	passed   int
+	injected int
+}
+
+// Faulty wraps an FS and injects scripted failures. Safe for concurrent
+// use. With no rules armed it is transparent.
+type Faulty struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*Rule
+	ops      int64
+	injected int64
+}
+
+// NewFaulty wraps inner (typically OS{}).
+func NewFaulty(inner FS) *Faulty {
+	return &Faulty{inner: inner}
+}
+
+// Inject arms one fault rule. Rules are matched in arming order; the
+// first rule matching an operation owns its fate.
+func (f *Faulty) Inject(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &r)
+}
+
+// Reset disarms every rule (counters keep their totals).
+func (f *Faulty) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected returns how many operations failed by injection.
+func (f *Faulty) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Ops returns how many operations were observed (failed or not).
+func (f *Faulty) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// check consults the rules for one operation. It returns the error to
+// inject (nil = proceed) and, for writes, how many bytes a torn write
+// should land first (-1 = fail cleanly, no bytes land).
+func (f *Faulty) check(op Op, path string) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	for _, r := range f.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.PathSubstr != "" && !strings.Contains(path, r.PathSubstr) {
+			continue
+		}
+		if r.Times > 0 && r.injected >= r.Times {
+			continue // spent; later rules may still apply
+		}
+		if r.passed < r.After {
+			r.passed++
+			break // first live matching rule owns this op's fate
+		}
+		r.injected++
+		f.injected++
+		err := r.Err
+		if err == nil {
+			err = syscall.ENOSPC
+		}
+		short := -1
+		if op == OpWrite && r.ShortBytes > 0 {
+			short = r.ShortBytes
+		}
+		return err, short
+	}
+	return nil, -1
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := f.check(OpMkdirAll, path); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, _ := f.check(OpOpenFile, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+func (f *Faulty) Open(name string) (File, error) {
+	if err, _ := f.check(OpOpen, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if err, _ := f.check(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if err, short := f.check(OpWrite, name); err != nil {
+		if short >= 0 && short < len(data) {
+			// Torn write: a prefix lands, then the device gives out.
+			_ = f.inner.WriteFile(name, data[:short], perm)
+		}
+		return &os.PathError{Op: "write", Path: name, Err: err}
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if err, _ := f.check(OpRemove, name); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Truncate(name string, size int64) error {
+	if err, _ := f.check(OpTruncate, name); err != nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *Faulty) Stat(name string) (fs.FileInfo, error) {
+	if err, _ := f.check(OpStat, name); err != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err, _ := f.check(OpReadDir, name); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Faulty) Glob(pattern string) ([]string, error) {
+	if err, _ := f.check(OpGlob, pattern); err != nil {
+		return nil, &os.PathError{Op: "glob", Path: pattern, Err: err}
+	}
+	return f.inner.Glob(pattern)
+}
+
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := f.check(OpCreateTemp, dir); err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+func (f *Faulty) SyncDir(dir string) error {
+	if err, _ := f.check(OpSyncDir, dir); err != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile threads per-handle reads/writes/syncs back through the
+// rule table, so "the 3rd write to the log fails" is expressible.
+type faultyFile struct {
+	f     *Faulty
+	inner File
+}
+
+func (ff *faultyFile) Name() string { return ff.inner.Name() }
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	if err, _ := ff.f.check(OpRead, ff.inner.Name()); err != nil {
+		return 0, &os.PathError{Op: "read", Path: ff.inner.Name(), Err: err}
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if err, short := ff.f.check(OpWrite, ff.inner.Name()); err != nil {
+		n := 0
+		if short >= 0 && short < len(p) {
+			// Torn write: a prefix reaches the file before the failure.
+			n, _ = ff.inner.Write(p[:short])
+		}
+		return n, &os.PathError{Op: "write", Path: ff.inner.Name(), Err: err}
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) Close() error { return ff.inner.Close() }
+
+func (ff *faultyFile) Sync() error {
+	if err, _ := ff.f.check(OpSync, ff.inner.Name()); err != nil {
+		return &os.PathError{Op: "sync", Path: ff.inner.Name(), Err: err}
+	}
+	return ff.inner.Sync()
+}

@@ -1,0 +1,98 @@
+// Package vfs is the filesystem seam beneath the durable layers
+// (internal/persist, the serving layer's disk cache tier): a small
+// interface covering exactly the operations those layers perform, an OS
+// implementation that forwards to the os package, and a fault-injecting
+// implementation (Faulty) that makes disk failure a first-class test
+// input — fail-the-Nth-op, short writes, fsync errors, ENOSPC.
+//
+// The articulation system positions itself as long-lived shared
+// infrastructure (EDBT 2000, §2); infrastructure is defined by how it
+// behaves when the disk misbehaves, and that behavior is only real if
+// it is exercised. Production code takes an FS and defaults to OS{};
+// tests hand it a Faulty wrapping OS{} and script the failures.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the open-file surface the durable layers use: sequential
+// reads/writes, fsync and close. *os.File implements it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+}
+
+// FS is the filesystem operation set of the durable layers. All paths
+// are interpreted as by the os package.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Glob(pattern string) ([]string, error)
+	CreateTemp(dir, pattern string) (File, error)
+	// SyncDir fsyncs a directory, making renames/creations of entries
+	// inside it durable — the step after an atomic rename that makes the
+	// *directory entry* itself survive a power cut, not just the file
+	// contents.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse fsync on directories; the entry rename is
+	// still atomic there, so a refusal downgrades durability rather than
+	// correctness. Close errors on a read-only handle carry no data.
+	serr := d.Sync()
+	d.Close()
+	return serr
+}

@@ -1,0 +1,162 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip exercises the OS implementation end to end: create,
+// write, sync, rename, dir-sync, read back, glob, remove.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.CreateTemp(filepath.Join(dir, "sub"), "x-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(dir, "sub", "final")
+	if err := fsys.Rename(f.Name(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("read %q, want %q", data, "payload")
+	}
+	matches, err := fsys.Glob(filepath.Join(dir, "sub", "fin*"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob = %v, %v", matches, err)
+	}
+	if err := fsys.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultyTransparent checks that an unarmed Faulty changes nothing.
+func TestFaultyTransparent(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS{})
+	path := filepath.Join(dir, "a")
+	if err := fsys.WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if fsys.Injected() != 0 {
+		t.Fatalf("injected %d faults with no rules", fsys.Injected())
+	}
+	if fsys.Ops() == 0 {
+		t.Fatal("operations were not counted")
+	}
+}
+
+// TestFaultyFailNth arms "the 2nd matching write fails" and checks the
+// 1st passes, the 2nd fails with the scripted error, and — Times=1 —
+// the 3rd passes again.
+func TestFaultyFailNth(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS{})
+	boom := errors.New("boom")
+	fsys.Inject(Rule{Op: OpWrite, After: 1, Times: 1, Err: boom})
+	p := func(i int) string { return filepath.Join(dir, "f"+string(rune('a'+i))) }
+	if err := fsys.WriteFile(p(0), []byte("x"), 0o644); err != nil {
+		t.Fatalf("1st write: %v", err)
+	}
+	if err := fsys.WriteFile(p(1), []byte("x"), 0o644); !errors.Is(err, boom) {
+		t.Fatalf("2nd write err = %v, want boom", err)
+	}
+	if err := fsys.WriteFile(p(2), []byte("x"), 0o644); err != nil {
+		t.Fatalf("3rd write: %v", err)
+	}
+	if fsys.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", fsys.Injected())
+	}
+}
+
+// TestFaultyShortWrite checks a torn write lands exactly the scripted
+// prefix before failing, for both WriteFile and File.Write.
+func TestFaultyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS{})
+	fsys.Inject(Rule{Op: OpWrite, Times: 1, ShortBytes: 3})
+	path := filepath.Join(dir, "torn")
+	err := fsys.WriteFile(path, []byte("abcdef"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil || string(data) != "abc" {
+		t.Fatalf("torn file = %q, %v; want prefix \"abc\"", data, rerr)
+	}
+
+	fsys.Inject(Rule{Op: OpWrite, After: 0, Times: 1, ShortBytes: 2})
+	f, err := fsys.OpenFile(filepath.Join(dir, "torn2"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("abcdef"))
+	if !errors.Is(werr, syscall.ENOSPC) || n != 2 {
+		t.Fatalf("handle write = %d, %v; want 2, ENOSPC", n, werr)
+	}
+	f.Close()
+	data, rerr = os.ReadFile(filepath.Join(dir, "torn2"))
+	if rerr != nil || string(data) != "ab" {
+		t.Fatalf("torn2 file = %q, %v; want \"ab\"", data, rerr)
+	}
+}
+
+// TestFaultyPathAndOpFilters checks rules only bite matching ops/paths:
+// a sync-only rule scoped to "log" leaves writes and other files alone.
+func TestFaultyPathAndOpFilters(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS{})
+	fsys.Inject(Rule{Op: OpSync, PathSubstr: "log", Err: syscall.EIO})
+
+	lf, err := fsys.OpenFile(filepath.Join(dir, "log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	if _, err := lf.Write([]byte("x")); err != nil {
+		t.Fatalf("write to log should pass: %v", err)
+	}
+	if err := lf.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("log sync err = %v, want EIO", err)
+	}
+
+	of, err := fsys.OpenFile(filepath.Join(dir, "other"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	if err := of.Sync(); err != nil {
+		t.Fatalf("other sync should pass: %v", err)
+	}
+
+	fsys.Reset()
+	if err := lf.Sync(); err != nil {
+		t.Fatalf("after Reset, log sync should pass: %v", err)
+	}
+}

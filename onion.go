@@ -362,24 +362,38 @@ func NewQueryEngineWith(art *Articulation, sources map[string]*QuerySource, opts
 
 // Serving layer (internal/serve): a concurrent query service over a
 // System with an epoch-keyed result cache, singleflight coalescing of
-// identical in-flight queries and per-request deadlines. cmd/oniond
-// exposes it over HTTP/JSON.
+// identical in-flight queries, per-request deadlines and — when
+// ServeOptions.AdmissionCapBytes is set — admission control over one
+// process-wide execution-memory pool. cmd/oniond exposes it over
+// HTTP/JSON.
 type (
 	// QueryService answers queries through the coalescing result cache.
 	QueryService = serve.Service
 	// ServeOptions tune the service (cache bounds — including the
 	// separate negative-result cache — default deadline, execution
-	// options).
+	// options, and the admission pool: cap, queue length, default and
+	// minimum grant of the degradation ladder).
 	ServeOptions = serve.Options
 	// ServeStats are the service's traffic counters (hits, misses,
-	// coalesced, negative hits, evictions, mutations, spilled queries).
+	// coalesced, negative hits, evictions, mutations, spilled queries,
+	// admission admitted/queued/shed/degraded counts and queue-wait
+	// time, disk-tier faults and circuit-breaker trips).
 	ServeStats = serve.Stats
 	// ServeOutcome reports how a query was answered (hit, coalesced,
-	// miss).
+	// miss) or refused under overload (queued, shed).
 	ServeOutcome = serve.Outcome
 	// ServeLimits are per-request resource bounds beside the context
 	// deadline (a memory budget under which joins spill).
 	ServeLimits = serve.Limits
+)
+
+// Admission refusals, for errors.Is against QueryService errors: ErrShed
+// is an immediate refusal (full pool and full queue — back off and
+// retry), ErrQueueTimeout an admission wait that outlived the request's
+// context (it wraps the context error).
+var (
+	ErrShed         = serve.ErrShed
+	ErrQueueTimeout = serve.ErrQueueTimeout
 )
 
 // NewQueryService wraps a System in a serving layer. Results served from
