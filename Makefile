@@ -1,0 +1,38 @@
+# Development entry points. CI calls these same targets, so the pinned
+# tool versions below are the single place to bump them.
+
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+ONIONLINT_BIN       ?= $(CURDIR)/bin/onionlint
+
+.PHONY: build test race vet onionlint staticcheck govulncheck lint
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -shuffle=on ./...
+
+# onionlint is the repo's own invariant suite (see internal/analysis):
+# epoch bumps, budget charges, lock scope, error wrapping, context
+# plumbing. The standalone run sees the whole program (full call-graph
+# walks); the vet target below additionally exercises the unitchecker
+# protocol editors use.
+onionlint:
+	go run ./cmd/onionlint ./...
+
+vet:
+	go vet ./...
+	go build -o $(ONIONLINT_BIN) ./cmd/onionlint
+	go vet -vettool=$(ONIONLINT_BIN) ./...
+
+staticcheck:
+	go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	go run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+lint: vet onionlint staticcheck

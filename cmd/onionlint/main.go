@@ -1,0 +1,90 @@
+// Command onionlint machine-checks the repo's cross-cutting invariants:
+// epoch bumps on effective mutations, budget charges on executor
+// allocations, no I/O under serve mutexes, %w/errors.Is error identity,
+// and request-path context threading. See internal/analysis for the
+// individual analyzers and the //lint:onion-ignore suppression syntax.
+//
+// It runs two ways:
+//
+//	onionlint ./...                         # standalone multichecker
+//	go vet -vettool=$(which onionlint) ./...  # unitchecker (editors/gopls)
+//
+// The vet protocol is detected by the trailing *.cfg argument go vet
+// passes; everything else is treated as package patterns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// go vet probes the tool's identity with -V=full before using it.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("onionlint version 1 (repro invariants suite)\n")
+		return
+	}
+	// go vet also asks which analyzer flags the tool accepts (a JSON
+	// array of flag descriptions); onionlint exposes none to vet.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// go vet invokes the tool once per package with a JSON config file.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runUnitchecker(os.Args[1]))
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: onionlint [-list] [-only a,b] [package patterns]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := prog.Run(analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "onionlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// runUnitchecker implements enough of the `go vet -vettool` protocol to
+// run the suite one package at a time: go vet hands the tool a JSON
+// config describing the package's files and its dependencies' export
+// data, the tool type-checks and analyzes, prints findings to stderr
+// and writes the (for onionlint: empty — the analyzers exchange no
+// facts) .vetx output file the go command expects.
+//
+// Single-package mode sees no dependency bodies, so lockscope's
+// call-graph walk only crosses calls within the checked package; the CI
+// gate runs the standalone multichecker over the whole repo for the
+// full walk, and vet mode exists so editors and gopls surface the same
+// findings inline.
+
+// vetConfig mirrors the fields of the go command's vet config file that
+// onionlint consumes (the file carries more; unknown fields are
+// ignored).
+type vetConfig struct {
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	VetxOnly                  bool
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: parsing vet config: %v\n", err)
+		return 2
+	}
+	// The go command also invokes the tool over every dependency —
+	// including the standard library — purely to compute facts
+	// (VetxOnly). Onionlint exchanges no facts and its contracts only
+	// bind this repo's code, so dependency invocations just produce the
+	// empty facts file and report nothing.
+	if cfg.VetxOnly {
+		return writeVetx(cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg)
+			}
+			fmt.Fprintf(os.Stderr, "onionlint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		fmt.Fprintf(os.Stderr, "onionlint: %v\n", err)
+		return 2
+	}
+
+	prog := analysis.NewSinglePackageProgram(fset, &analysis.Package{
+		Path:   cfg.ImportPath,
+		Name:   tpkg.Name(),
+		Target: true,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	})
+	findings, err := prog.Run(analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: %v\n", err)
+		return 2
+	}
+	if code := writeVetx(cfg); code != 0 {
+		return code
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx writes the empty facts file the go command requires from a
+// vet tool, even when the tool exchanges no facts.
+func writeVetx(cfg vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "onionlint: writing vetx output: %v\n", err)
+		return 2
+	}
+	return 0
+}

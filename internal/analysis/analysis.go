@@ -1,0 +1,266 @@
+// Package analysis is onionlint's engine: a small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis model (the
+// container bakes in only the standard toolchain, so the framework is
+// built directly on go/ast, go/types and `go list`).
+//
+// The suite machine-checks the cross-cutting invariants this repo's
+// growth has come to depend on — each one was the root cause of at
+// least one shipped bug before it was written down:
+//
+//   - epochbump: every effective mutation of an epoch-carrying store
+//     must bump the epoch (PR 4/6, the stale-cache contract);
+//   - memcharge: executor allocations of tuple storage must charge the
+//     query memory budget (PR 5);
+//   - lockscope: no file I/O, network or sleeping on a call path
+//     entered while a serve-layer mutex is held (PR 6 review fix);
+//   - errwrap: propagated errors use %w, sentinel comparisons use
+//     errors.Is (PR 7, the queue-timeout → 503/504 mapping);
+//   - ctxflow: request-path code threads its incoming context instead
+//     of minting context.Background()/TODO().
+//
+// Deliberate exceptions are annotated in the source as
+//
+//	//lint:onion-ignore <reason>
+//
+// on the offending line or the line above it; the driver suppresses the
+// finding and rejects directives with no reason, so every exception
+// stays visible and justified.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and -only filters.
+	Name string
+	// Doc is the one-paragraph description shown by `onionlint -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Package is one type-checked package of the loaded program.
+type Package struct {
+	// Path is the import path; Name the package name.
+	Path string
+	Name string
+	// Target reports whether the package matched the load patterns
+	// (diagnostics are only reported for target packages; the rest are
+	// loaded for cross-package call-graph walks).
+	Target bool
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Program is a load result: every module-local package of the requested
+// patterns plus their module-local dependencies, type-checked against
+// one shared type world (stdlib via export data, module packages from
+// source, in dependency order).
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs lists the loaded packages in dependency order.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	cg     *callGraph
+}
+
+// PackageByPath returns a loaded package, or nil.
+func (prog *Program) PackageByPath(path string) *Package { return prog.byPath[path] }
+
+// NewSinglePackageProgram wraps one externally type-checked package as a
+// program — the unitchecker (`go vet -vettool`) entry point, where the
+// go command drives loading one package at a time. Cross-package
+// call-graph walks see only this package's bodies in this mode.
+func NewSinglePackageProgram(fset *token.FileSet, pkg *Package) *Program {
+	return &Program{
+		Fset:   fset,
+		Pkgs:   []*Package{pkg},
+		byPath: map[string]*Package{pkg.Path: pkg},
+	}
+}
+
+// Run executes the analyzers over every target package and returns the
+// surviving findings (suppression directives applied), sorted by
+// position. Analyzer errors abort the run.
+func (prog *Program) Run(analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, findings: &all}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	all = prog.applyIgnores(all)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{EpochBump, MemCharge, LockScope, ErrWrap, CtxFlow}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// pathElem returns the last element of an import path — the analyzers
+// match packages on it ("kb", "serve", ...) so the same rules apply to
+// both the real tree (repro/internal/kb) and test fixtures
+// (fixtures/epochbump/kb).
+func pathElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// pkgElemIs reports whether the package's import path ends in one of the
+// given elements.
+func pkgElemIs(pkg *Package, elems ...string) bool {
+	last := pathElem(pkg.Path)
+	for _, e := range elems {
+		if last == e {
+			return true
+		}
+	}
+	return false
+}
+
+// typeIs reports whether t (after unwrapping pointers and named types'
+// origins) is the named type `name` declared in a package whose import
+// path ends in pkgElem. It is the analyzers' portable type test:
+// isKBValue := typeIs(t, "kb", "Value") holds for repro/internal/kb and
+// for a fixture's local kb package alike.
+func typeIs(t types.Type, pkgElem, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == name && pathElem(obj.Pkg().Path()) == pkgElem
+}
+
+// funcIs reports whether f is the function or method `name` of a package
+// whose import path ends in pkgElem.
+func funcIs(f *types.Func, pkgElem, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Name() == name && pathElem(f.Pkg().Path()) == pkgElem
+}
+
+// calleeOf resolves the called function of a call expression, through
+// direct references, selections and method values; nil for builtins,
+// conversions and indirect calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvBase peels selectors/indexes/stars off an lvalue and returns the
+// root identifier and the first selected field name, e.g. s.bySubj[k]
+// → (s, "bySubj"). ok is false for anything not rooted at an identifier
+// field selection.
+func recvBase(expr ast.Expr) (root *ast.Ident, field string, ok bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if id, isIdent := ast.Unparen(e.X).(*ast.Ident); isIdent {
+				return id, e.Sel.Name, true
+			}
+			expr = e.X
+		default:
+			return nil, "", false
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each analyzer runs alone over its fixture subtree so the want
+// comments pin exactly its behaviour; the fixtures also carry
+// //lint:onion-ignore sites with reasons, whose silence (no want
+// comment, no finding) proves suppression end to end.
+
+func TestEpochBump(t *testing.T) {
+	checkFixture(t, fixtureProgram(t, "fixtures/epochbump/..."), []*Analyzer{EpochBump})
+}
+
+func TestMemCharge(t *testing.T) {
+	checkFixture(t, fixtureProgram(t, "fixtures/memcharge/..."), []*Analyzer{MemCharge})
+}
+
+func TestLockScope(t *testing.T) {
+	checkFixture(t, fixtureProgram(t, "fixtures/lockscope/..."), []*Analyzer{LockScope})
+}
+
+func TestErrWrap(t *testing.T) {
+	checkFixture(t, fixtureProgram(t, "fixtures/errwrap/..."), []*Analyzer{ErrWrap})
+}
+
+func TestCtxFlow(t *testing.T) {
+	checkFixture(t, fixtureProgram(t, "fixtures/ctxflow/..."), []*Analyzer{CtxFlow})
+}
+
+// TestIgnoreRequiresReason pins the driver half of the suppression
+// contract: a reason-less //lint:onion-ignore suppresses nothing and
+// is itself a finding.
+func TestIgnoreRequiresReason(t *testing.T) {
+	prog := fixtureProgram(t, "fixtures/ignorereason/...")
+	findings, err := prog.Run(All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the directive finding: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "onion-ignore" {
+		t.Errorf("finding analyzer = %q, want %q", f.Analyzer, "onion-ignore")
+	}
+	if want := "requires a reason"; !strings.Contains(f.Message, want) {
+		t.Errorf("finding message %q does not mention %q", f.Message, want)
+	}
+}
+
+// TestByName covers the -only flag's resolution.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := ByName("errwrap, ctxflow")
+	if err != nil || len(two) != 2 || two[0].Name != "errwrap" || two[1].Name != "ctxflow" {
+		t.Fatalf("ByName(\"errwrap, ctxflow\") = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") succeeded, want error")
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+// The fixture harness: a miniature of x/tools' analysistest. Fixture
+// packages live in an independent module under testdata/src (the go
+// tool ignores testdata directories, so the fixtures never leak into
+// the repo's builds), annotated with
+//
+//	// want "regexp"
+//
+// trailing comments on the lines where findings must land. The check
+// is bidirectional — an expected finding that never fires fails the
+// test exactly like an unexpected one — so the fixtures pin both the
+// positive and the negative behaviour of every analyzer, including
+// that //lint:onion-ignore suppressions (which carry no want comment)
+// really do suppress.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureProgram loads fixture packages (plus their in-module
+// dependencies) from the testdata module.
+func fixtureProgram(t *testing.T, patterns ...string) *Program {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("resolving fixture dir: %v", err)
+	}
+	prog, err := Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	return prog
+}
+
+// checkFixture runs the analyzers over the program and diffs the
+// findings against the fixtures' want comments.
+func checkFixture(t *testing.T, prog *Program, analyzers []*Analyzer) {
+	t.Helper()
+	findings, err := prog.Run(analyzers)
+	if err != nil {
+		t.Fatalf("running %d analyzer(s): %v", len(analyzers), err)
+	}
+
+	type expectation struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var expects []*expectation
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					for _, pat := range wantPatterns(t, prog.Fset.Position(c.Pos()).String(), c.Text) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", prog.Fset.Position(c.Pos()), pat, err)
+						}
+						pos := prog.Fset.Position(c.Pos())
+						expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		text := f.Analyzer + ": " + f.Message
+		matched := false
+		for _, e := range expects {
+			if e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(text) {
+				e.matched, matched = true, true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// wantPatterns extracts the quoted regexps of a `// want "..." "..."`
+// comment (nil for ordinary comments).
+func wantPatterns(t *testing.T, at, comment string) []string {
+	t.Helper()
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return nil // block comments never carry expectations
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment %q: %v", at, comment, err)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %s: %v", at, q, err)
+		}
+		out = append(out, pat)
+		rest = rest[len(q):]
+	}
+	return out
+}

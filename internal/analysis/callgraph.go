@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The call graph is deliberately simple: one node per declared function
+// or method (keyed by types.Func.FullName, which is stable across
+// packages), edges to every statically-resolvable callee in its body.
+// Calls through function values stay unresolved (no edge) and calls
+// through interfaces resolve to the interface method — which is all
+// lockscope needs, because the I/O seams it polices (vfs.FS, os.File)
+// are named types and named interfaces.
+
+type callGraph struct {
+	nodes map[string]*funcNode
+}
+
+type funcNode struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	calls []*types.Func
+}
+
+// CallGraph builds (once) and returns the program-wide call graph.
+func (prog *Program) CallGraph() *callGraph {
+	if prog.cg != nil {
+		return prog.cg
+	}
+	cg := &callGraph{nodes: map[string]*funcNode{}}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{fn: obj, decl: fd, pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if callee := calleeOf(pkg.Info, call); callee != nil {
+							node.calls = append(node.calls, callee)
+						}
+					}
+					return true
+				})
+				cg.nodes[obj.FullName()] = node
+			}
+		}
+	}
+	prog.cg = cg
+	return cg
+}
+
+// ReachesSink walks the call graph from fn looking for a callee that
+// sink classifies as forbidden; it returns the call chain (fn excluded,
+// sink included, rendered by FullName) of the first hit. Functions whose
+// bodies are outside the program (stdlib, interface methods) are leaves:
+// they either are sinks themselves or end the walk.
+func (cg *callGraph) ReachesSink(fn *types.Func, sink func(*types.Func) (string, bool)) ([]string, bool) {
+	type memoKey = string
+	memo := map[memoKey][]string{} // FullName → chain (nil = proven clean)
+	visiting := map[memoKey]bool{}
+	var walk func(f *types.Func) ([]string, bool)
+	walk = func(f *types.Func) ([]string, bool) {
+		if desc, isSink := sink(f); isSink {
+			return []string{desc}, true
+		}
+		key := f.FullName()
+		if chain, done := memo[key]; done {
+			return chain, chain != nil
+		}
+		if visiting[key] {
+			return nil, false // cycle: resolved by the outer frame
+		}
+		visiting[key] = true
+		defer delete(visiting, key)
+		node := cg.nodes[key]
+		if node == nil {
+			memo[key] = nil // no body in the program: leaf
+			return nil, false
+		}
+		for _, callee := range node.calls {
+			if chain, hit := walk(callee); hit {
+				full := append([]string{key}, chain...)
+				memo[key] = full
+				return full, true
+			}
+		}
+		memo[key] = nil
+		return nil, false
+	}
+	chain, hit := walk(fn)
+	return chain, hit
+}

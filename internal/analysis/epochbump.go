@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EpochBump enforces the stale-cache contract from PR 4/6: types that
+// carry a mutation epoch (a field `epoch atomic.Uint64`) promise that
+// every effective mutation of their query-visible indexes bumps it —
+// the query engine validates cached plans against the epoch and the
+// serving layer keys its result cache on it, so an index write that
+// skips the bump makes the cache provably stale (the shipped PR 6 dedup
+// bug was exactly this: a mutation path that returned without bumping).
+//
+// The check: in every package, for every struct type with an epoch
+// field, each *exported* method that writes a protected field — fields
+// marked `//onion:index`, or, when a struct marks none, every map- or
+// slice-typed field — must somewhere on its body (or in a same-type
+// method it calls) touch the epoch (epoch.Add / epoch.Store). The check
+// is deliberately path-insensitive: a method that can mutate must be
+// *able* to bump, and the tests own the per-path contract (bump exactly
+// on effective change).
+var EpochBump = &Analyzer{
+	Name: "epochbump",
+	Doc: "exported methods of epoch-carrying types (kb.Store, graph.Graph) that write " +
+		"//onion:index fields must also touch the epoch counter (PR 4/6 stale-cache contract)",
+	Run: runEpochBump,
+}
+
+// indexMarker tags a struct field as part of the epoch-protected
+// query-visible state.
+const indexMarker = "onion:index"
+
+func runEpochBump(pass *Pass) error {
+	pkg := pass.Pkg
+	protected := epochedTypes(pkg)
+	if len(protected) == 0 {
+		return nil
+	}
+
+	// Summarise every method of every epoched type, then propagate
+	// writes/bumps through same-type method calls to a fixed point, so a
+	// bump (or a write) in an unexported helper is credited to the
+	// exported entry points that reach it.
+	type methodInfo struct {
+		decl          *ast.FuncDecl
+		typeName      string
+		writes        string   // first protected field written ("" = none)
+		writesPos     ast.Node // where
+		bumps         bool
+		sameTypeCalls []string // method names called on the receiver
+	}
+	methods := map[string]*methodInfo{} // "Type.Method" → info
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			tname := recvTypeName(pkg, fd)
+			fields, epoched := protected[tname]
+			if !epoched {
+				continue
+			}
+			recv := recvIdent(fd)
+			mi := &methodInfo{decl: fd, typeName: tname}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if f, hit := protectedWrite(lhs, recv, fields); hit && mi.writes == "" {
+							mi.writes, mi.writesPos = f, st
+						}
+					}
+				case *ast.IncDecStmt:
+					if f, hit := protectedWrite(st.X, recv, fields); hit && mi.writes == "" {
+						mi.writes, mi.writesPos = f, st
+					}
+				case *ast.CallExpr:
+					if isBuiltin(pkg.Info, st, "delete") || isBuiltin(pkg.Info, st, "copy") {
+						if len(st.Args) > 0 {
+							if f, hit := protectedWrite(st.Args[0], recv, fields); hit && mi.writes == "" {
+								mi.writes, mi.writesPos = f, st
+							}
+						}
+					}
+					if isEpochTouch(st, recv) {
+						mi.bumps = true
+					}
+					if m, ok := recvMethodCall(st, recv); ok {
+						mi.sameTypeCalls = append(mi.sameTypeCalls, m)
+					}
+				}
+				return true
+			})
+			methods[tname+"."+fd.Name.Name] = mi
+		}
+	}
+
+	// Fixed point: inherit writes and bumps from same-type callees.
+	for changed := true; changed; {
+		changed = false
+		for _, mi := range methods {
+			for _, callee := range mi.sameTypeCalls {
+				ci, ok := methods[mi.typeName+"."+callee]
+				if !ok {
+					continue
+				}
+				if ci.bumps && !mi.bumps {
+					mi.bumps = true
+					changed = true
+				}
+				if ci.writes != "" && mi.writes == "" {
+					mi.writes = ci.writes + "()" // via callee: report the field
+					mi.writesPos = mi.decl
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, mi := range methods {
+		if !mi.decl.Name.IsExported() || mi.writes == "" || mi.bumps {
+			continue
+		}
+		field := strings.TrimSuffix(mi.writes, "()")
+		pass.Reportf(mi.decl.Name.Pos(),
+			"%s.%s writes index field %q but never touches the mutation epoch; "+
+				"every effective mutation must bump it or cached plans and served results go stale (PR 4/6 contract)",
+			mi.typeName, mi.decl.Name.Name, field)
+	}
+	return nil
+}
+
+// epochedTypes finds the package's structs carrying an epoch field and
+// returns, per type name, the set of protected field names.
+func epochedTypes(pkg *Package) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				var hasEpoch bool
+				marked := map[string]bool{}
+				fallback := map[string]bool{}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						if name.Name == "epoch" && typeIs(pkg.Info.Types[f.Type].Type, "atomic", "Uint64") {
+							hasEpoch = true
+							continue
+						}
+						if fieldMarked(f) {
+							marked[name.Name] = true
+						}
+						switch pkg.Info.Types[f.Type].Type.Underlying().(type) {
+						case *types.Map, *types.Slice:
+							fallback[name.Name] = true
+						}
+					}
+				}
+				if !hasEpoch {
+					continue
+				}
+				if len(marked) > 0 {
+					out[ts.Name.Name] = marked
+				} else {
+					out[ts.Name.Name] = fallback
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fieldMarked reports whether the field's doc or trailing comment
+// carries the //onion:index marker.
+func fieldMarked(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, indexMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvTypeName names the receiver's type ("" if unresolvable).
+func recvTypeName(pkg *Package, fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// recvIdent returns the receiver identifier's name ("" for anonymous).
+func recvIdent(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// protectedWrite reports whether expr is rooted at recv.<field> for a
+// protected field.
+func protectedWrite(expr ast.Expr, recv string, fields map[string]bool) (string, bool) {
+	root, field, ok := recvBase(expr)
+	if !ok || recv == "" || root.Name != recv {
+		return "", false
+	}
+	if fields[field] {
+		return field, true
+	}
+	return "", false
+}
+
+// isEpochTouch matches recv.epoch.Add(...) / recv.epoch.Store(...).
+func isEpochTouch(call *ast.CallExpr, recv string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Store") {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "epoch" {
+		return false
+	}
+	id, ok := ast.Unparen(inner.X).(*ast.Ident)
+	return ok && id.Name == recv
+}
+
+// recvMethodCall matches recv.Method(...) and returns the method name.
+func recvMethodCall(call *ast.CallExpr, recv string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || recv == "" || id.Name != recv {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the error-identity contract the serving layer's
+// overload semantics depend on (PR 7): oniond maps ErrShed → 429 and
+// ErrQueueTimeout → 503 with errors.Is, and ErrQueueTimeout itself
+// *wraps* the context error — so a fmt.Errorf that renders a propagated
+// error with %v instead of %w, or a sentinel comparison written with ==,
+// silently breaks the status-code mapping (and every other errors.Is
+// caller) as soon as anyone adds a wrapping layer.
+//
+// Two rules, applied to every package:
+//
+//   - fmt.Errorf: an argument whose type implements error must be
+//     formatted with %w (not %v/%s/%q/%x) — the propagated cause must
+//     stay errors.Is/As-reachable;
+//   - ==/!= against an exported error sentinel (a package-level `var
+//     ErrX` of error type) or against context.Canceled /
+//     context.DeadlineExceeded must be errors.Is instead.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf must wrap propagated errors with %w, and sentinel comparisons " +
+		"(ErrShed, ErrQueueTimeout, context errors) must use errors.Is, never == (PR 7 contract)",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfVerbs(pass, n)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfVerbs flags error-typed fmt.Errorf arguments formatted with
+// a non-wrapping verb.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr) {
+	f := calleeOf(pass.Pkg.Info, call)
+	if !funcIs(f, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to line up against
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb == 'w' || verb == 'T' || verb == 'p' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if argType, ok := pass.Pkg.Info.Types[arg]; ok && implementsError(argType.Type) {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%%c loses its identity; use %%w so the cause stays "+
+					"errors.Is/errors.As-reachable through the wrap (PR 7 contract)", verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a printf-style format, in
+// argument order (%% skipped; indexed arguments like %[1]v are treated
+// positionally, which is good enough for lining up error arguments).
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision and index.
+		for i < len(format) && strings.ContainsRune("+-# 0.[]0123456789*", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs
+}
+
+// implementsError reports whether t implements the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}
+
+// checkSentinelCompare flags ==/!= where one operand is an exported
+// error sentinel (or a context error) and the other is not nil.
+func checkSentinelCompare(pass *Pass, cmp *ast.BinaryExpr) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+		sentinel, other := pair[0], pair[1]
+		name, ok := errorSentinel(info, sentinel)
+		if !ok {
+			continue
+		}
+		if tv, has := info.Types[other]; has && tv.IsNil() {
+			continue // err == nil is the one comparison identity supports
+		}
+		pass.Reportf(cmp.Pos(),
+			"comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is (PR 7 contract)",
+			name, cmp.Op)
+		return
+	}
+}
+
+// errorSentinel matches references to exported package-level error
+// variables named Err* and to context.Canceled/DeadlineExceeded.
+func errorSentinel(info *types.Info, expr ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !implementsError(v.Type()) {
+		return "", false
+	}
+	if v.Pkg().Path() == "context" && (v.Name() == "Canceled" || v.Name() == "DeadlineExceeded") {
+		return "context." + v.Name(), true
+	}
+	if v.Exported() && strings.HasPrefix(v.Name(), "Err") {
+		return v.Name(), true
+	}
+	return "", false
+}

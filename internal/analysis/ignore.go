@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the suppression marker: placed on the offending
+// line (trailing comment) or alone on the line above it, it silences
+// every finding anchored there. The reason is mandatory — an exception
+// nobody can justify is a bug with a comment on it.
+const ignoreDirective = "//lint:onion-ignore"
+
+// fileIgnores maps line number → directive reason ("" = missing).
+type fileIgnores map[int]string
+
+// collectIgnores scans every comment of the program's target packages
+// and indexes the suppression directives by file and line.
+func (prog *Program) collectIgnores() map[string]fileIgnores {
+	byFile := map[string]fileIgnores{}
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+					if !ok {
+						continue
+					}
+					// Reject look-alikes such as //lint:onion-ignored.
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fi := byFile[pos.Filename]
+					if fi == nil {
+						fi = fileIgnores{}
+						byFile[pos.Filename] = fi
+					}
+					fi[pos.Line] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return byFile
+}
+
+// applyIgnores drops findings suppressed by a directive on their line or
+// the line above, and turns reason-less directives into findings of
+// their own (the driver half of the suppression contract).
+func (prog *Program) applyIgnores(findings []Finding) []Finding {
+	ignores := prog.collectIgnores()
+	out := findings[:0]
+	for _, f := range findings {
+		if fi := ignores[f.Pos.Filename]; fi != nil {
+			if reason, ok := directiveFor(fi, f.Pos.Line); ok {
+				if reason != "" {
+					continue // justified exception: suppressed
+				}
+				// Reason-less directives do not suppress; the finding
+				// stays and the directive itself is flagged below.
+			}
+		}
+		out = append(out, f)
+	}
+	// Every reason-less directive is itself a finding, whether or not it
+	// had anything to suppress.
+	for file, fi := range ignores {
+		for line, reason := range fi {
+			if reason == "" {
+				out = append(out, Finding{
+					Analyzer: "onion-ignore",
+					Pos:      token.Position{Filename: file, Line: line, Column: 1},
+					Message:  "//lint:onion-ignore requires a reason (//lint:onion-ignore <why this exception is safe>)",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// directiveFor finds the directive covering a finding on the given line:
+// same line first, then the line immediately above.
+func directiveFor(fi fileIgnores, line int) (reason string, ok bool) {
+	if r, hit := fi[line]; hit {
+		return r, true
+	}
+	if r, hit := fi[line-1]; hit {
+		return r, true
+	}
+	return "", false
+}

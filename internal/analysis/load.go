@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The loader resolves packages with `go list -export -deps`: the go
+// command does the build-system work (build constraints, cgo, module
+// resolution) and hands back compiled export data for every dependency,
+// so module-local packages can be type-checked from source against one
+// coherent type world without golang.org/x/tools. `go list -deps`
+// guarantees dependencies are listed before dependents, which is
+// exactly the order source checking needs.
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (resolved in dir) plus
+// their module-local dependencies and returns the program. Test files
+// are not loaded (`go list`'s GoFiles excludes them): onionlint checks
+// shipped code.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path → export data file
+	var local []listedPackage      // module-local packages, dependency order
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			local = append(local, p)
+		}
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), byPath: map[string]*Package{}}
+	checked := map[string]*types.Package{}
+	imp := &chainImporter{
+		checked: checked,
+		gc: importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+	for _, lp := range local {
+		pkg, err := checkPackage(prog.Fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = !lp.DepOnly
+		checked[lp.ImportPath] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.byPath[lp.ImportPath] = pkg
+	}
+	return prog, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, lp listedPackage, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Name:  lp.Name,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// chainImporter serves module-local packages from the source-checked set
+// (so the whole program shares one type identity for them) and falls
+// back to compiled export data for the standard library.
+type chainImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.checked[path]; ok {
+		return pkg, nil
+	}
+	return c.gc.Import(path)
+}

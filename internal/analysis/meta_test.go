@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoClean is the suite's own acceptance gate: the full analyzer
+// suite over the whole repository must report nothing. Every deliberate
+// exception in the tree carries a //lint:onion-ignore with a reason; a
+// new finding here is either a real invariant violation or a new
+// exception that needs justifying — both want a human.
+//
+// This is the same check CI runs as `onionlint ./...`; keeping it in
+// `go test` too means a violation fails the ordinary test loop, not
+// just the lint step.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("resolving repo root: %v", err)
+	}
+	prog, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	findings, err := prog.Run(All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,49 @@
+// Package serve is the ctxflow fixture: request-path functions that
+// mint fresh root contexts beside an incoming one, the allowed entry
+// points that receive none, and a justified suppression.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// handleBad receives ctx and then detaches from it.
+func handleBad(ctx context.Context, q string) error {
+	sub, cancel := context.WithTimeout(context.Background(), time.Second) // want "handleBad receives a context but mints context.Background"
+	defer cancel()
+	_ = sub
+	_ = ctx
+	return nil
+}
+
+// handleTODO parks on context.TODO the same way.
+func handleTODO(ctx context.Context) {
+	_ = context.TODO() // want "handleTODO receives a context but mints context.TODO"
+}
+
+// handler carries the request context through *http.Request.
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = context.Background() // want "handler receives a context but mints context.Background"
+}
+
+// handleGood threads the incoming context.
+func handleGood(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return sub.Err()
+}
+
+// entry has no incoming context: minting a root here is the documented
+// context-free convenience form, not a violation.
+func entry(q string) error {
+	return handleGood(context.Background())
+}
+
+// detachAudit is the suppression case: work that must outlive the
+// request by design.
+func detachAudit(ctx context.Context) {
+	//lint:onion-ignore fixture: audit write must survive request cancellation by design
+	_ = context.Background()
+}

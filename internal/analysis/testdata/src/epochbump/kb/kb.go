@@ -1,0 +1,87 @@
+// Package kb is the epochbump fixture: a miniature of the repo's
+// kb.Store, with an epoch field, marked index fields and the mutation
+// patterns the analyzer must separate — bumping writers, non-bumping
+// writers (the shipped PR 6 bug class), helper-mediated writes and
+// bumps, scratch-field writes, and a justified suppression.
+package kb
+
+import "sync/atomic"
+
+type Store struct {
+	epoch  atomic.Uint64
+	facts  map[string]int // onion:index — query-visible fact index
+	names  []string       // onion:index — interned label table
+	keyBuf []byte         // scratch buffer, deliberately unmarked
+}
+
+// Add writes the index without bumping: the exact shipped bug class.
+func (s *Store) Add(k string) { // want "Store.Add writes index field \"facts\" but never touches the mutation epoch"
+	s.facts[k] = 1
+}
+
+// Put is the contract-conforming writer.
+func (s *Store) Put(k string) {
+	s.facts[k] = 1
+	s.epoch.Add(1)
+}
+
+// Drop mutates through the delete builtin and skips the bump.
+func (s *Store) Drop(k string) { // want "Store.Drop writes index field \"facts\""
+	delete(s.facts, k)
+}
+
+// Rename writes only through an unexported helper; the summary
+// propagation must charge the write to the exported entry point.
+func (s *Store) Rename(k string) { // want "Store.Rename writes index field \"facts\""
+	s.replace(k)
+}
+
+func (s *Store) replace(k string) {
+	s.facts[k] = 2
+}
+
+// Clear both writes and bumps through a helper: no finding.
+func (s *Store) Clear() {
+	s.reset()
+}
+
+func (s *Store) reset() {
+	s.facts = map[string]int{}
+	s.epoch.Add(1)
+}
+
+// Len reads only: no finding.
+func (s *Store) Len() int { return len(s.facts) }
+
+// Key writes an unmarked scratch field: not index state, no finding.
+func (s *Store) Key(k string) []byte {
+	s.keyBuf = append(s.keyBuf[:0], k...)
+	return s.keyBuf
+}
+
+//lint:onion-ignore fixture: rebuilt index is installed behind a swap that bumps elsewhere
+func (s *Store) Rebuild(m map[string]int) {
+	s.facts = m
+}
+
+// Graph marks no field, so every map/slice field is protected by the
+// fallback rule — but scalar fields are not.
+type Graph struct {
+	epoch atomic.Uint64
+	out   map[string][]string
+	n     int
+}
+
+func (g *Graph) Link(a, b string) { // want "Graph.Link writes index field \"out\""
+	g.out[a] = append(g.out[a], b)
+}
+
+// SetN writes a scalar: outside the fallback's map/slice rule.
+func (g *Graph) SetN(n int) { g.n = n }
+
+// Plain has no epoch field at all: the analyzer must skip it entirely.
+type Plain struct {
+	rows map[string]int
+}
+
+func (p *Plain) Set(k string) { p.rows[k] = 1 }

@@ -1,0 +1,58 @@
+// Package errwrap is the errwrap fixture: non-wrapping verbs on
+// propagated errors, ==/!= against sentinels and context errors, the
+// allowed forms (%w, errors.Is, nil comparisons), and a justified
+// suppression.
+package errwrap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var ErrShed = errors.New("shed")
+
+// wrapBad renders the cause with %v: identity lost.
+func wrapBad(err error) error {
+	return fmt.Errorf("query: %v", err) // want "error formatted with %v loses its identity; use %w"
+}
+
+// wrapBadQuoted loses it through %q the same way.
+func wrapBadQuoted(err error) error {
+	return fmt.Errorf("op %q failed: %s", "scan", err) // want "error formatted with %s loses its identity"
+}
+
+// wrapGood keeps the cause errors.Is-reachable.
+func wrapGood(err error) error {
+	return fmt.Errorf("query: %w", err)
+}
+
+// describeType may print an error's type: %T never claims identity.
+func describeType(err error) string {
+	return fmt.Sprintf("%T", err)
+}
+
+// compareBad breaks the moment anyone wraps the sentinel.
+func compareBad(err error) bool {
+	return err == ErrShed // want "comparing against sentinel ErrShed with == breaks once the error is wrapped"
+}
+
+// compareCtx does the same against a context error.
+func compareCtx(err error) bool {
+	return err != context.Canceled // want "comparing against sentinel context.Canceled with !="
+}
+
+// compareGood uses errors.Is, and nil comparison stays legal.
+func compareGood(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrShed)
+}
+
+// localCompare is the suppression case: the error is produced and
+// consumed in the same scope, never wrapped.
+func localCompare(err error) bool {
+	//lint:onion-ignore fixture: sentinel is created and compared in the same scope and never crosses a wrap boundary
+	return err == ErrShed
+}

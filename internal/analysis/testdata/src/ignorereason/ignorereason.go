@@ -1,0 +1,7 @@
+// Package ignorereason exercises the driver half of the suppression
+// contract: a //lint:onion-ignore directive with no reason does not
+// suppress anything and is itself reported.
+package ignorereason
+
+//lint:onion-ignore
+var placeholder = 0

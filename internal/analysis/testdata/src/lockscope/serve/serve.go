@@ -1,0 +1,86 @@
+// Package serve is the lockscope fixture: critical sections that reach
+// I/O directly, transitively through helpers, the exempt forms (after
+// unlock, go statements, function literals), and a justified
+// suppression.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"fixtures/lockscope/vfs"
+)
+
+type Service struct {
+	mu   sync.Mutex
+	rwmu sync.RWMutex
+	fs   vfs.FS
+	hits int
+}
+
+// Bad reads a file inside the critical section: the PR 6 review bug.
+func (s *Service) Bad(p string) {
+	s.mu.Lock()
+	s.fs.ReadFile(p) // want "reaches blocking I/O .* while holding s.mu"
+	s.mu.Unlock()
+}
+
+// BadDeferred holds to end of function via deferred Unlock.
+func (s *Service) BadDeferred(p string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fs.Remove(p) // want "reaches blocking I/O .* while holding s.mu"
+}
+
+// BadIndirect only reaches the sink through a helper: the call-graph
+// walk must find it.
+func (s *Service) BadIndirect(p string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.load(p) // want "reaches blocking I/O .* while holding s.mu"
+}
+
+func (s *Service) load(p string) {
+	s.fs.ReadFile(p)
+}
+
+// BadSleep blocks on time inside a read-locked section.
+func (s *Service) BadSleep() {
+	s.rwmu.RLock()
+	time.Sleep(time.Millisecond) // want "reaches blocking I/O .* while holding s.rwmu"
+	s.rwmu.RUnlock()
+}
+
+// Good does its I/O after the unlock.
+func (s *Service) Good(p string) {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	s.fs.ReadFile(p)
+}
+
+// GoodSpawn hands the I/O to a goroutine: it does not run under the
+// caller's lock.
+func (s *Service) GoodSpawn(p string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.load(p)
+}
+
+// GoodClosure builds a closure under the lock but runs it after: the
+// literal's body is analyzed as its own function.
+func (s *Service) GoodClosure(p string) func() {
+	s.mu.Lock()
+	fn := func() { s.load(p) }
+	s.mu.Unlock()
+	return fn
+}
+
+// OwnLock is the suppression case: a tier whose own lock is documented
+// to span its I/O.
+func (s *Service) OwnLock(p string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:onion-ignore fixture: this tier's own lock is documented to span its I/O and is never held with the hot-path mutex
+	s.fs.WriteFile(p, nil, 0)
+}

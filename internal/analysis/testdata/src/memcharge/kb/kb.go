@@ -1,0 +1,9 @@
+// Package kb stubs the repo's value type for the memcharge fixture:
+// the analyzer matches it by package path element and type name.
+package kb
+
+type Value struct {
+	Kind byte
+	Str  string
+	Num  float64
+}

@@ -1,0 +1,28 @@
+// Package mem stubs the repo's query memory budget for the memcharge
+// fixture.
+package mem
+
+import "errors"
+
+var ErrBudget = errors.New("mem: budget exceeded")
+
+type Budget struct {
+	used, limit int64
+}
+
+func (b *Budget) Reserve(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.limit > 0 && b.used+n > b.limit {
+		return ErrBudget
+	}
+	b.used += n
+	return nil
+}
+
+func (b *Budget) MustReserve(n int64) {
+	if b != nil {
+		b.used += n
+	}
+}

@@ -56,13 +56,17 @@ type HalfEdge struct {
 
 // Graph is a mutable directed labeled multigraph. The zero value is not
 // ready to use; call New.
+// The //onion:index markers declare the graph's query-visible structure
+// for the epochbump analyzer: an exported method writing a marked field
+// must also bump the epoch, or onionlint rejects it (the stale-cache
+// contract — derived engine caches validate against the epoch).
 type Graph struct {
 	name    string
-	labels  map[NodeID]string
-	byLabel map[string][]NodeID
-	out     map[NodeID][]Edge
-	in      map[NodeID][]Edge
-	edges   map[Edge]struct{}
+	labels  map[NodeID]string   //onion:index
+	byLabel map[string][]NodeID //onion:index
+	out     map[NodeID][]Edge   //onion:index
+	in      map[NodeID][]Edge   //onion:index
+	edges   map[Edge]struct{}   //onion:index
 	nextID  NodeID
 	// epoch counts structural mutations (node/edge add/delete, relabel,
 	// rename). Derived-structure caches (the query engine's edge indexes

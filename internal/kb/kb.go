@@ -115,19 +115,24 @@ type Journal interface {
 
 // Store is an indexed in-memory fact store for one knowledge source. The
 // zero value is not usable; call New (or Restore, for recovery paths).
+// The //onion:index markers below declare the store's query-visible
+// state for the epochbump analyzer: an exported method that writes a
+// marked field without touching the epoch is rejected by onionlint
+// (the PR 6 dedup bug was exactly such a skipped bump). Scratch fields
+// (keyBuf) and non-state wiring (journal) stay unmarked.
 type Store struct {
 	name   string
-	facts  []Fact
-	bySubj map[string][]int
-	byPred map[string][]int
+	facts  []Fact           //onion:index
+	bySubj map[string][]int //onion:index
+	byPred map[string][]int //onion:index
 	// existing is the dedup index, keyed by factKey — a kind-tagged,
 	// length-framed identity (NOT Fact.String(), whose Format()
 	// rendering collides distinct values: Term("3000") and Number(3000)
 	// both render `3000`). nil after Restore until the first Add needs
 	// it; see ensureDedup.
-	existing map[string]struct{}
-	keyBuf   []byte  // factKey scratch, reused across Adds
-	journal  Journal // nil unless the store is durable (SetJournal)
+	existing map[string]struct{} //onion:index
+	keyBuf   []byte              // factKey scratch, reused across Adds
+	journal  Journal             // nil unless the store is durable (SetJournal)
 	// epoch counts effective mutations (facts actually inserted; ignored
 	// duplicates do not bump it). Query engines validate their cached
 	// plans against it, and the serving layer's result cache keys on it.

@@ -59,7 +59,7 @@ const (
 	logName     = "log"
 	snapName    = "snapshot"
 	snapMagic   = "ONIONSP2" // SP1 lacked per-fact length frames and could misparse (see appendFact)
-	maxRecBytes = 1 << 26 // 64MB: no sane fact record is larger; bounds torn-length allocations
+	maxRecBytes = 1 << 26    // 64MB: no sane fact record is larger; bounds torn-length allocations
 )
 
 // Dir is an open persistence root. Safe for concurrent use; per-source

@@ -272,7 +272,7 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 		st.StepPartitions = stepParts
 	}
 	st.JoinedRows = len(rows)
-	projectTuples(res, [][]tuple{rows}, q, plan)
+	projectTuples(res, [][]tuple{rows}, q, plan, bud)
 	return nil
 }
 
@@ -615,7 +615,7 @@ func applyTupleFilters(rows []tuple, filters []Filter, plan *execPlan, applied [
 // duplicate rows are dropped before any output row is materialised. Rows
 // arrive as one or more slices (the pipelined executor hands its
 // per-partition outputs over directly, never concatenating the frontier).
-func projectTuples(res *Result, groups [][]tuple, q Query, plan *execPlan) {
+func projectTuples(res *Result, groups [][]tuple, q Query, plan *execPlan, bud *mem.Budget) {
 	sel := make([]int, len(q.Select))
 	for i, v := range q.Select {
 		sel[i] = plan.slotOf[v]
@@ -642,6 +642,10 @@ func projectTuples(res *Result, groups [][]tuple, q Query, plan *execPlan) {
 			for i, s := range sel {
 				out[i] = t[s]
 			}
+			// The kept row is final output that cannot spill: charge it as
+			// fixed working state, mirroring the streaming projection's
+			// per-row formula (stageProj.add).
+			bud.MustReserve(2*int64(len(key)) + 24 + int64(len(sel))*valueBytes)
 			keep = append(keep, keyedRow{key, out})
 		}
 	}

@@ -36,6 +36,7 @@ func getBatch() *streamedBatch {
 	if b, ok := batchPool.Get().(*streamedBatch); ok {
 		return b
 	}
+	//lint:onion-ignore pool-recycled fixed-size buffer shared across queries; in-flight retention is charged per batch by the router (partRouter MustReserve at route/flush)
 	return &streamedBatch{tups: make([]tuple, 0, pipeBatch), hashes: make([]uint64, 0, pipeBatch)}
 }
 
@@ -241,11 +242,14 @@ func (pp *stageProj) finish() []keyedRow {
 // (two partitions can project onto the same row even though their join
 // keys differ). Group count is small, so a linear head scan beats a
 // heap.
-func mergeSortedKeyed(groups [][]keyedRow) [][]kb.Value {
+func mergeSortedKeyed(groups [][]keyedRow, bud *mem.Budget) [][]kb.Value {
 	total := 0
 	for _, g := range groups {
 		total += len(g)
 	}
+	// The merged slice shares its row backing with the (already charged)
+	// per-partition projections; only the row headers are new retention.
+	bud.MustReserve(int64(total) * 24)
 	rows := make([][]kb.Value, 0, total)
 	idx := make([]int, len(groups))
 	lastKey, have := "", false
@@ -804,6 +808,6 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	// duplicates and yields the deterministic global order shared by all
 	// execution paths.
 	st.JoinedRows = int(stepOut[n-1])
-	res.Rows = mergeSortedKeyed(projParts)
+	res.Rows = mergeSortedKeyed(projParts, bud)
 	return nil
 }

@@ -280,7 +280,7 @@ func tokenize(s string) ([]qtok, error) {
 			}
 			text, err := strconv.Unquote(s[i : j+1])
 			if err != nil {
-				return nil, fmt.Errorf("query: bad string literal at %d in %q: %v", i, s, err)
+				return nil, fmt.Errorf("query: bad string literal at %d in %q: %w", i, s, err)
 			}
 			toks = append(toks, qtok{text: text, pos: i, str: true})
 			i = j + 1

@@ -250,7 +250,7 @@ func TestKindCollidingProjection(t *testing.T) {
 	}
 	res := &Result{Vars: []string{"v"}}
 	plan := &execPlan{slotOf: map[string]int{"v": 0}, slotNames: []string{"v"}}
-	projectTuples(res, [][]tuple{rows}, Query{Select: []string{"v"}}, plan)
+	projectTuples(res, [][]tuple{rows}, Query{Select: []string{"v"}}, plan, nil)
 	if len(res.Rows) != 3 {
 		t.Fatalf("kind-colliding rows deduped to %d, want 3: %v", len(res.Rows), res.Rows)
 	}

@@ -294,15 +294,21 @@ func (s *Service) EnableDiskCache(dir string, entries int) error {
 // (vfs.Faulty).
 func (s *Service) EnableDiskCacheFS(dir string, entries int, fsys vfs.FS) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cache == nil {
+	enabled := s.cache != nil
+	s.mu.Unlock()
+	if !enabled {
 		return nil
 	}
+	// Open the tier (directory creation, stale-entry sweep — file I/O)
+	// before re-taking the lock: even a setup-path critical section must
+	// never span disk work (onionlint:lockscope enforces this).
 	d, err := newDiskCacheFS(dir, entries, fsys)
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.disk = d
+	s.mu.Unlock()
 	return nil
 }
 
@@ -336,8 +342,8 @@ func (s *Service) Stats() Stats {
 		breakerTrips = s.disk.brk.trips()
 	}
 	return Stats{
-		DiskFaults:   diskFaults,
-		BreakerTrips: breakerTrips,
+		DiskFaults:     diskFaults,
+		BreakerTrips:   breakerTrips,
 		CacheHits:      s.hits.Load(),
 		CacheMisses:    s.misses.Load(),
 		Coalesced:      s.coalesced.Load(),

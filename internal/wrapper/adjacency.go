@@ -206,7 +206,7 @@ func splitQuoted(s string) ([]string, error) {
 			}
 			unq, err := strconv.Unquote(s[i : j+1])
 			if err != nil {
-				return nil, fmt.Errorf("bad quoted field %s: %v", s[i:j+1], err)
+				return nil, fmt.Errorf("bad quoted field %s: %w", s[i:j+1], err)
 			}
 			out = append(out, unq)
 			i = j + 1
