@@ -15,8 +15,17 @@
 //	POST /articulate {"name","left","right","rules","lenient"?} → {"name","terms","bridges","skipped"?}
 //	POST /snapshot                                              → per-source {"facts","epoch"} after folding logs into snapshots
 //	GET  /stats                                                 → uptime, registry, epoch keys, serve counters
+//	GET  /metrics                                               → Prometheus text exposition (serve, query, persist metrics)
 //	GET  /healthz                                               → liveness (always 200 while the process serves)
 //	GET  /readyz                                                → readiness (503 once a drain has begun)
+//
+// Observability: /query accepts {"trace":true} (or ?trace=1) and returns
+// the request's span tree — cache lookup, admission, and the engine's
+// per-step execution spans — in the response. -slow-query-threshold logs
+// a JSON line with the span tree for every query over the threshold,
+// -access-log logs one JSON line per request with a propagated request
+// id, -pprof mounts net/http/pprof, and -check-metrics scrapes a live
+// daemon's /metrics and validates the exposition (the CI smoke uses it).
 //
 // With -admission-cap, every executed query reserves its memory limit
 // from one process-wide pool before running: under overload the daemon
@@ -55,11 +64,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"reflect"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fixtures"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/serve"
 )
@@ -77,6 +89,10 @@ func main() {
 	admissionQueue := flag.Int("admission-queue", 0, "admission queue length (0 = default, negative disables queuing; needs -admission-cap)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	smoke := flag.String("smoke", "", "smoke-test mode: POST the Fig. 2 query to this base URL, diff against the library result, and exit")
+	checkMetrics := flag.String("check-metrics", "", "check mode: scrape <URL>/metrics, validate the Prometheus exposition and key series, and exit")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	slowQuery := flag.Duration("slow-query-threshold", 0, "log a JSON line with the span tree for queries at or over this duration (0 disables; forces per-query tracing)")
+	accessLog := flag.Bool("access-log", false, "log one JSON line per HTTP request (method, path, outcome, duration, bytes, request id)")
 	flag.Parse()
 
 	if *smoke != "" {
@@ -85,6 +101,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("oniond smoke: daemon result identical to library result")
+		return
+	}
+	if *checkMetrics != "" {
+		if err := runCheckMetrics(*checkMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "oniond check-metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("oniond check-metrics: exposition valid, key series present")
 		return
 	}
 
@@ -127,6 +151,9 @@ func main() {
 		}
 	}
 	handler := newServer(svc)
+	handler.pprofOn = *pprofOn
+	handler.slowQuery = *slowQuery
+	handler.accessLog = *accessLog
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler.routes(),
@@ -253,4 +280,70 @@ func runSmoke(baseURL string) error {
 		}
 	}
 	return nil
+}
+
+// runCheckMetrics scrapes a live daemon's /metrics and fails unless the
+// payload is a valid Prometheus text exposition (internal/obs's
+// validator: HELP/TYPE syntax, unique series, self-consistent histogram
+// bucket ladders) that carries the key families from every instrumented
+// layer — and, for the serving layer, series that actually counted
+// traffic. CI runs it right after the -smoke step, so at least two
+// queries (one miss, one hit) must be on the books.
+func runCheckMetrics(baseURL string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		return fmt.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE onion_serve_query_seconds histogram",
+		"# TYPE onion_serve_cache_events_total counter",
+		"# TYPE onion_query_executions_total counter",
+		"# TYPE onion_query_budget_peak_bytes histogram",
+		"# TYPE onion_persist_append_seconds histogram",
+		"# TYPE onion_persist_torn_tail_recoveries_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("missing family: %s", want)
+		}
+	}
+	for _, series := range []string{"onion_serve_query_seconds_count", "onion_query_executions_total"} {
+		if !seriesPositive(text, series) {
+			return fmt.Errorf("series %s counted no traffic", series)
+		}
+	}
+	return nil
+}
+
+// seriesPositive reports whether any sample of the named series (any
+// label set) has a positive value.
+func seriesPositive(text, name string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil && v > 0 {
+			return true
+		}
+	}
+	return false
 }

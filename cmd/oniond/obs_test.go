@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/obs"
+)
+
+// TestQueryTraceParam checks the wire contract for tracing: trace=1 (or
+// the JSON field) returns the span tree in the response, and its absence
+// keeps the response trace-free.
+func TestQueryTraceParam(t *testing.T) {
+	ts, _ := fig2Server(t)
+
+	var plain queryResponse
+	if code := post(t, ts.URL+"/query", queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}, &plain); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if plain.Trace != nil {
+		t.Fatalf("untraced response carries a trace")
+	}
+
+	var traced queryResponse
+	if code := post(t, ts.URL+"/query?trace=1", queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}, &traced); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if traced.Trace == nil || traced.Trace.Name != "request" {
+		t.Fatalf("trace=1 response trace = %+v, want request root", traced.Trace)
+	}
+	if traced.Trace.DurNs <= 0 {
+		t.Errorf("trace root not ended")
+	}
+	// The repeat was a cache hit: the span tree says which tier served it.
+	if traced.Trace.Find("cache.hit") == nil {
+		t.Errorf("hit trace lacks cache.hit span:\n%s", traced.Trace.Tree())
+	}
+	// The request id minted by the middleware is stamped on the root.
+	found := false
+	for _, a := range traced.Trace.Attrs {
+		if a.Key == "request_id" && a.Val != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace root lacks request_id attr: %+v", traced.Trace.Attrs)
+	}
+
+	// The JSON body field works too.
+	var traced2 queryResponse
+	post(t, ts.URL+"/query", queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery, Trace: true}, &traced2)
+	if traced2.Trace == nil {
+		t.Fatalf("trace request field ignored")
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after traffic and validates the
+// exposition with the in-tree validator, plus spot-checks that serving
+// and engine series counted the queries just issued.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := fig2Server(t)
+	for i := 0; i < 2; i++ {
+		post(t, ts.URL+"/query", queryRequest{Articulation: fixtures.ArtName, Query: smokeQuery}, nil)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d err %v", resp.StatusCode, err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE onion_serve_query_seconds histogram",
+		"# TYPE onion_serve_cache_events_total counter",
+		"# TYPE onion_query_executions_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing family %q", want)
+		}
+	}
+	if !seriesPositive(text, "onion_serve_query_seconds_count") {
+		t.Errorf("onion_serve_query_seconds counted no queries:\n%s", text)
+	}
+}

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/articulation"
 	"repro/internal/core"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rules"
 	"repro/internal/serve"
@@ -82,6 +85,10 @@ type queryRequest struct {
 	// degrade to grace-hash spilling instead of exceeding it. 0 falls
 	// back to the service default; a tighter service default wins.
 	MemoryLimitBytes int64 `json:"memory_limit_bytes,omitempty"`
+	// Trace requests the span tree in the response ("?trace=1" on the
+	// URL does the same): cache lookup, admission, and on a miss the
+	// engine's full execution subtree.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type queryResponse struct {
@@ -89,6 +96,9 @@ type queryResponse struct {
 	Rows    [][]valueJSON `json:"rows"`
 	Outcome string        `json:"outcome"`
 	Stats   query.Stats   `json:"stats"`
+	// Trace is the request's span tree, present only when it was asked
+	// for (body {"trace":true} or ?trace=1).
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 type factJSON struct {
@@ -145,6 +155,16 @@ type server struct {
 	// ready gates /readyz: true while serving, flipped false when the
 	// drain starts so load balancers stop routing new traffic here.
 	ready atomic.Bool
+
+	// slowQuery, when > 0, forces tracing on every query and logs one
+	// JSON line (with the span tree) per query at or over the threshold.
+	slowQuery time.Duration
+	// accessLog, when true, logs one JSON line per HTTP request.
+	accessLog bool
+	// pprofOn mounts net/http/pprof under /debug/pprof/.
+	pprofOn bool
+	// reqSeq numbers requests for the per-request id.
+	reqSeq atomic.Uint64
 }
 
 func newServer(svc *serve.Service) *server {
@@ -153,7 +173,7 @@ func newServer(svc *serve.Service) *server {
 	return s
 }
 
-func (s *server) routes() *http.ServeMux {
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /mutate", s.handleMutate)
@@ -162,7 +182,96 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	return mux
+	mux.Handle("GET /metrics", obs.Handler())
+	if s.pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.middleware(mux)
+}
+
+// reqInfo carries per-request metadata between the middleware and the
+// handlers: the request id flows down (and into trace spans), the
+// articulation and outcome flow back up for the access log.
+type reqInfo struct {
+	id           string
+	articulation string
+	outcome      string
+}
+
+type reqInfoKey struct{}
+
+// requestInfo returns the request's reqInfo, nil outside the middleware
+// (direct handler tests).
+func requestInfo(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// statusWriter records what actually went over the wire.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessLogLine is the JSON shape of one access-log entry.
+type accessLogLine struct {
+	RequestID    string  `json:"request_id"`
+	Method       string  `json:"method"`
+	Path         string  `json:"path"`
+	Status       int     `json:"status"`
+	Articulation string  `json:"articulation,omitempty"`
+	Outcome      string  `json:"outcome,omitempty"`
+	DurationMS   float64 `json:"duration_ms"`
+	Bytes        int64   `json:"bytes"`
+}
+
+// middleware assigns every request an id (which handleQuery propagates
+// into trace spans) and, with -access-log, emits one JSON line per
+// request after it completes.
+func (s *server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := &reqInfo{id: fmt.Sprintf("%x-%06d", s.started.UnixNano(), s.reqSeq.Add(1))}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
+		if !s.accessLog {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		line, err := json.Marshal(accessLogLine{
+			RequestID:    info.id,
+			Method:       r.Method,
+			Path:         r.URL.Path,
+			Status:       sw.status,
+			Articulation: info.articulation,
+			Outcome:      info.outcome,
+			DurationMS:   float64(time.Since(t0).Nanoseconds()) / 1e6,
+			Bytes:        sw.bytes,
+		})
+		if err == nil {
+			log.Printf("access %s", line)
+		}
+	})
 }
 
 // handleHealthz is liveness: the process is up and able to answer.
@@ -213,8 +322,35 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, outcome, err := s.svc.QueryLimited(ctx, req.Articulation, req.Query,
-		serve.Limits{MemoryBytes: req.MemoryLimitBytes})
+	info := requestInfo(ctx)
+	lim := serve.Limits{MemoryBytes: req.MemoryLimitBytes}
+	// The client gets the span tree only when it asked; the slow-query
+	// log needs one for every query it might report, so a configured
+	// threshold forces tracing on the service call either way.
+	wantTrace := req.Trace || r.URL.Query().Get("trace") == "1"
+	var (
+		res     *query.Result
+		outcome serve.Outcome
+		root    *obs.Span
+		err     error
+	)
+	t0 := time.Now()
+	if wantTrace || s.slowQuery > 0 {
+		res, outcome, root, err = s.svc.QueryTraced(ctx, req.Articulation, req.Query, lim)
+		if info != nil {
+			root.SetAttr("request_id", info.id)
+		}
+	} else {
+		res, outcome, err = s.svc.QueryLimited(ctx, req.Articulation, req.Query, lim)
+	}
+	dur := time.Since(t0)
+	if info != nil {
+		info.articulation = req.Articulation
+		info.outcome = outcome.String()
+	}
+	if s.slowQuery > 0 && dur >= s.slowQuery {
+		s.logSlowQuery(&req, info, outcome, dur, res, root)
+	}
 	if err != nil {
 		status := queryErrorStatus(err)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
@@ -223,12 +359,49 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Vars:    res.Vars,
 		Rows:    encodeRows(res.Rows),
 		Outcome: outcome.String(),
 		Stats:   res.Stats,
-	})
+	}
+	if wantTrace {
+		resp.Trace = root
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// slowQueryLine is the JSON shape of one slow-query log entry; the span
+// tree pinpoints which stage (admission wait, a scan, a spilling join)
+// spent the time.
+type slowQueryLine struct {
+	RequestID    string    `json:"request_id,omitempty"`
+	Articulation string    `json:"articulation"`
+	Query        string    `json:"query"`
+	Outcome      string    `json:"outcome"`
+	DurationMS   float64   `json:"duration_ms"`
+	Rows         int       `json:"rows"`
+	Trace        *obs.Span `json:"trace,omitempty"`
+}
+
+func (s *server) logSlowQuery(req *queryRequest, info *reqInfo, outcome serve.Outcome, dur time.Duration, res *query.Result, root *obs.Span) {
+	entry := slowQueryLine{
+		Articulation: req.Articulation,
+		Query:        req.Query,
+		Outcome:      outcome.String(),
+		DurationMS:   float64(dur.Nanoseconds()) / 1e6,
+		Trace:        root,
+	}
+	if info != nil {
+		entry.RequestID = info.id
+	}
+	if res != nil {
+		entry.Rows = len(res.Rows)
+	}
+	line, err := json.Marshal(entry)
+	if err == nil {
+		log.Printf("slow-query %s", line)
+	}
 }
 
 // queryErrorStatus maps a query error to its HTTP status. Admission

@@ -91,10 +91,11 @@ func All() []*Table {
 		E15BoundedMemory(nil),
 		E16ColdStart(nil),
 		E17OverloadServing(nil),
+		E18ObservabilityOverhead(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E17"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E18"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -132,6 +133,8 @@ func ByID(id string) (*Table, bool) {
 		return E16ColdStart(nil), true
 	case "E17":
 		return E17OverloadServing(nil), true
+	case "E18":
+		return E18ObservabilityOverhead(nil), true
 	default:
 		return nil, false
 	}

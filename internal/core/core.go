@@ -748,6 +748,24 @@ func (s *System) Explain(artName, text string) (*query.Plan, error) {
 	return e.Explain(q)
 }
 
+// ExplainAnalyze reformulates and executes a query, returning the plan
+// annotated with per-step actual row counts and durations alongside the
+// result. Runs under the registry read lock like ExecuteVersioned, so
+// the plan and the execution see the same epoch.
+func (s *System) ExplainAnalyze(ctx context.Context, artName, text string, opts query.Options) (*query.Plan, *query.Result, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.engineLocked(artName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.ExplainAnalyze(ctx, q, opts)
+}
+
 // Infer expands a registered ontology with the consequences of its
 // relationship property declarations (via the semi-naive Horn engine) and
 // returns the number of edges added.

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: bounds are
+// inclusive upper limits, values past the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	cases := []struct {
+		v    float64
+		want int // bucket index, 3 = +Inf
+	}{
+		{0, 0},
+		{0.0005, 0},
+		{0.001, 0}, // exactly on a bound is inside it (le = ≤)
+		{0.0010001, 1},
+		{0.01, 1},
+		{0.05, 2},
+		{0.1, 2},
+		{0.11, 3},
+		{1e9, 3},
+	}
+	for _, c := range cases {
+		before := bucketCounts(h)
+		h.Observe(c.v)
+		after := bucketCounts(h)
+		hit := -1
+		for i := range after {
+			if after[i] != before[i] {
+				hit = i
+				break
+			}
+		}
+		if hit != c.want {
+			t.Errorf("Observe(%g): landed in bucket %d, want %d", c.v, hit, c.want)
+		}
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", got, len(cases))
+	}
+}
+
+func bucketCounts(h *Histogram) []uint64 {
+	out := make([]uint64, len(h.counts)+1)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	out[len(h.counts)] = h.inf.Load()
+	return out
+}
+
+// TestHistogramCumulativeSnapshot checks the exposition-side view:
+// cumulative counts are non-decreasing and end at the total.
+func TestHistogramCumulativeSnapshot(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 8, 9} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	want := []uint64{2, 3, 4, 6}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+	if sum != 0.5+1+1.5+3+8+9 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+// TestConcurrentObserveHammer races many observers against readers;
+// run under -race this is the data-race gate, and the final totals
+// must be exact whatever the interleaving.
+func TestConcurrentObserveHammer(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hammer_seconds", "hammer", LatencyBuckets)
+	c := reg.Counter("hammer_total", "hammer")
+	hv := reg.HistogramVec("hammer_labeled_seconds", "hammer", "leg", LatencyBuckets)
+	const workers = 8
+	const perWorker = 5000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent exposition reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if _, err := reg.WriteTo(&b); err != nil {
+				t.Errorf("WriteTo: %v", err)
+				return
+			}
+			if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+				t.Errorf("mid-flight exposition invalid: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			leg := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%100) * 1e-5)
+				c.Inc()
+				hv.With(leg).Observe(1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	cum, count, _ := h.snapshot()
+	if cum[len(cum)-1] != count {
+		t.Fatalf("+Inf cumulative %d != count %d", cum[len(cum)-1], count)
+	}
+	var labeled uint64
+	for _, leg := range []string{"a", "b", "c", "d"} {
+		labeled += hv.With(leg).Count()
+	}
+	if labeled != workers*perWorker {
+		t.Fatalf("labeled total = %d, want %d", labeled, workers*perWorker)
+	}
+}
+
+// TestExpositionGolden pins the exact text rendered for a fixed
+// registry — the promtool-style golden gate.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("onion_test_total", "Things counted.").Add(3)
+	reg.Gauge("onion_test_gauge", "A level.").Set(-2)
+	cv := reg.CounterVec("onion_test_events_total", "Events by kind.", "kind")
+	cv.With("hit").Add(2)
+	cv.With("miss").Inc()
+	h := reg.Histogram("onion_test_seconds", "A latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP onion_test_events_total Events by kind.
+# TYPE onion_test_events_total counter
+onion_test_events_total{kind="hit"} 2
+onion_test_events_total{kind="miss"} 1
+# HELP onion_test_gauge A level.
+# TYPE onion_test_gauge gauge
+onion_test_gauge -2
+# HELP onion_test_seconds A latency.
+# TYPE onion_test_seconds histogram
+onion_test_seconds_bucket{le="0.01"} 1
+onion_test_seconds_bucket{le="0.1"} 2
+onion_test_seconds_bucket{le="+Inf"} 3
+onion_test_seconds_sum 0.555
+onion_test_seconds_count 3
+# HELP onion_test_total Things counted.
+# TYPE onion_test_total counter
+onion_test_total 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("golden output fails own validator: %v", err)
+	}
+}
+
+// TestValidateExpositionRejects exercises the validator's teeth.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"bad metric name", "0bad_name 1\n"},
+		{"bad value", "x_total one\n"},
+		{"unterminated labels", `x_total{a="b" 1` + "\n"},
+		{"bad escape", `x_total{a="\q"} 1` + "\n"},
+		{"duplicate series", "x_total 1\nx_total 2\n"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x counter\n"},
+		{"unknown type", "# TYPE x sortedset\n"},
+		{"TYPE after samples", "x 1\n# TYPE x counter\n"},
+		{"histogram without +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"decreasing buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"count disagrees", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n"},
+	}
+	for _, c := range cases {
+		if err := ValidateExposition(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: validator accepted %q", c.name, c.text)
+		}
+	}
+	ok := "# HELP x_total fine\n# TYPE x_total counter\nx_total{a=\"b\\\"c\\\\d\\ne\"} 4 1700000000\n"
+	if err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("validator rejected valid input: %v", err)
+	}
+}
+
+// TestSetEnabled checks the process-wide switch gates every mutation.
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	reg := NewRegistry()
+	c := reg.Counter("switch_total", "")
+	h := reg.Histogram("switch_seconds", "", LatencyBuckets)
+	g := reg.Gauge("switch_gauge", "")
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(1)
+	g.Set(5)
+	if c.Value() != 0 || h.Count() != 0 || g.Value() != 0 {
+		t.Fatal("disabled metrics advanced")
+	}
+	SetEnabled(true)
+	c.Inc()
+	h.Observe(1)
+	g.Set(5)
+	if c.Value() != 1 || h.Count() != 1 || g.Value() != 5 {
+		t.Fatal("re-enabled metrics did not advance")
+	}
+}
+
+// TestRegistryShapeConflictPanics pins re-registration rules: same
+// shape returns the same handle, different shape panics.
+func TestRegistryShapeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("dup_total", "")
+	c2 := reg.Counter("dup_total", "")
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Fatal("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape conflict did not panic")
+		}
+	}()
+	reg.Gauge("dup_total", "")
+}
+
+// TestSpanTree checks span structure: parentage, offsets, attrs,
+// nil-safety, and JSON round-tripping.
+func TestSpanTree(t *testing.T) {
+	root := NewTrace("request")
+	a := root.Child("plan")
+	a.SetInt("steps", 3)
+	a.End()
+	b := root.Child("execute")
+	c := b.Child("step 1")
+	c.End()
+	b.End()
+	root.End()
+	if len(root.Children) != 2 || len(b.Children) != 1 {
+		t.Fatalf("tree shape wrong: %+v", root)
+	}
+	if root.DurNs <= 0 || c.DurNs < 0 {
+		t.Fatalf("durations not recorded: root=%d c=%d", root.DurNs, c.DurNs)
+	}
+	if c.StartNs < b.StartNs {
+		t.Fatal("child starts before parent")
+	}
+	if got := root.Find("step 1"); got != c {
+		t.Fatal("Find missed a nested span")
+	}
+	if !strings.Contains(root.Tree(), "steps=3") {
+		t.Fatalf("Tree() missing attr:\n%s", root.Tree())
+	}
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "request" || len(back.Children) != 2 {
+		t.Fatalf("JSON round trip lost structure: %s", raw)
+	}
+
+	// The nil span swallows everything.
+	var nilSpan *Span
+	nilSpan.End()
+	nilSpan.SetAttr("k", "v")
+	nilSpan.SetInt("k", 1)
+	if nilSpan.Child("x") != nil || nilSpan.Tree() != "" || nilSpan.Find("x") != nil {
+		t.Fatal("nil span misbehaved")
+	}
+}
+
+// TestSpanConcurrentChildren hammers Child/SetAttr from goroutines —
+// the -race gate for the executor's concurrent span writes.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewTrace("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c := root.Child("c")
+				c.SetInt("j", int64(j))
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children) != 8*500 {
+		t.Fatalf("children = %d, want %d", len(root.Children), 8*500)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (row counts, byte sizes,
+// cache outcomes). Values are strings so the span tree marshals to
+// JSON without interface boxing.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Span is one timed region of a traced operation. Spans form a tree:
+// the root is created by NewTrace, children by Child. Start offsets
+// are nanoseconds from the root's start, so a marshaled tree is
+// self-contained without wall-clock timestamps.
+//
+// The nil *Span is the disabled recorder: every method is a
+// nil-receiver no-op that allocates nothing, so instrumented code
+// threads spans unconditionally and pays only a nil check when tracing
+// is off. Callers must still guard any argument computation that
+// allocates (fmt.Sprintf and friends) behind an explicit nil check.
+//
+// Children and attributes may be added from concurrent goroutines (the
+// executor's scan and stage workers); reading the tree — marshaling,
+// Tree — is safe only after the traced operation has finished.
+type Span struct {
+	Name     string  `json:"name"`
+	StartNs  int64   `json:"start_ns"`
+	DurNs    int64   `json:"dur_ns"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	mu    sync.Mutex
+	epoch time.Time // the root's start, shared by the whole tree
+	begun time.Time
+}
+
+// NewTrace starts a new root span.
+func NewTrace(name string) *Span {
+	now := time.Now()
+	return &Span{Name: name, epoch: now, begun: now}
+}
+
+// Child starts a new span under s and returns it. Safe for concurrent
+// use; returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	c := &Span{Name: name, StartNs: now.Sub(s.epoch).Nanoseconds(), epoch: s.epoch, begun: now}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the span's duration. Ending twice keeps the first
+// measurement.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.begun).Nanoseconds()
+	s.mu.Lock()
+	if s.DurNs == 0 {
+		s.DurNs = d
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key/value annotation.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer annotation.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// Duration returns the recorded duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.DurNs)
+}
+
+// Find returns the first span named name in a preorder walk of the
+// tree rooted at s, or nil. Test and tooling helper; call only after
+// the trace has settled.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Tree renders the span tree as indented text, one span per line:
+//
+//	serve.request 1.204ms
+//	  execute 1.101ms rows=42
+//	    step 1: ?x InstanceOf Vehicle 0.412ms
+//
+// Call only after the traced operation has finished.
+func (s *Span) Tree() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.tree(&b, 0)
+	return b.String()
+}
+
+func (s *Span) tree(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(float64(s.DurNs)/1e6, 'f', 3, 64))
+	b.WriteString("ms")
+	for _, a := range s.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Val)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.tree(b, depth+1)
+	}
+}

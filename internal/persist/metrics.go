@@ -1,0 +1,20 @@
+package persist
+
+import "repro/internal/obs"
+
+// Durability metrics on the process-wide registry. Observations happen
+// once per Append/Snapshot/Recover call — operations that do file I/O
+// anyway — so the instrumentation cost is noise against the fsyncs.
+var (
+	pmAppendDur = obs.Default.Histogram(
+		"onion_persist_append_seconds",
+		"Latency of successful log appends (encode, write, boundary bookkeeping).",
+		obs.LatencyBuckets)
+	pmSnapshotDur = obs.Default.Histogram(
+		"onion_persist_snapshot_seconds",
+		"Latency of successful snapshot publications (write, fsync, rename, dir fsync, log reset).",
+		obs.LatencyBuckets)
+	pmTornRecoveries = obs.Default.Counter(
+		"onion_persist_torn_tail_recoveries_total",
+		"Recoveries that found and truncated a torn log tail (TruncatedBytes > 0).")
+)

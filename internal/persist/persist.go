@@ -48,6 +48,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/kb"
 	"repro/internal/rowcodec"
@@ -292,6 +293,7 @@ func decodePayload(b []byte) (kb.Fact, uint64, error) {
 // even that repair fails, the source refuses further appends (ErrTornLog)
 // until Recover or Snapshot re-establishes a clean boundary.
 func (s *Source) Append(f kb.Fact, epoch uint64) error {
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tornTail {
@@ -331,6 +333,7 @@ func (s *Source) Append(f kb.Fact, epoch uint64) error {
 	}
 	s.logSize += int64(len(rec))
 	s.logRecords++
+	pmAppendDur.ObserveSince(t0)
 	return nil
 }
 
@@ -421,6 +424,7 @@ func (s *Source) Recover() (Recovered, error) {
 		if err := s.fs.Truncate(logPath, int64(off)); err != nil {
 			return rec, fmt.Errorf("persist: %s: truncating torn tail: %w", s.name, err)
 		}
+		pmTornRecoveries.Inc()
 	}
 	s.logRecords, s.logSize, s.tornTail = rec.LogRecords, int64(off), false
 	return rec, nil
@@ -433,6 +437,7 @@ func (s *Source) Recover() (Recovered, error) {
 // between the rename and the truncation is benign — recovery skips log
 // records at or below the snapshot epoch.
 func (s *Source) Snapshot(facts []kb.Fact, epoch uint64) error {
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp, err := s.fs.CreateTemp(s.dir, snapName+"-*.tmp")
@@ -498,6 +503,7 @@ func (s *Source) Snapshot(facts []kb.Fact, epoch uint64) error {
 		return fmt.Errorf("persist: %s: resetting log: %w", s.name, err)
 	}
 	s.logRecords, s.logSize, s.tornTail = 0, 0, false
+	pmSnapshotDur.ObserveSince(t0)
 	return nil
 }
 

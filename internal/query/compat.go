@@ -31,7 +31,7 @@ func (e *Engine) executeCompat(ctx context.Context, q Query, plan *execPlan, opt
 			}
 		}
 		results := make([][]binding, len(stp.scans))
-		e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
+		e.runScanTasks(ctx, stp, tasks, workers, st, nil, func(j int, ts *Stats) {
 			sc := stp.scans[j]
 			results[j] = e.scanWithView(sc.name, sc.src, stp.triple, sc.view, ts, true)
 		})

@@ -12,6 +12,7 @@ import (
 	"repro/internal/articulation"
 	"repro/internal/graph"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 )
 
@@ -95,6 +96,21 @@ type Stats struct {
 	// was derived from the planner's scan estimates (0 when
 	// Options{Partitions} pins a global count or no join partitioned).
 	AdaptivePartitions int
+	// SpilledBytes counts bytes written to grace-hash spill runs
+	// (record framing included, recursion included). Deterministic for
+	// a given spilled-partition set; 0 without a memory limit.
+	SpilledBytes int64
+	// StepRows records each planned step's emitted row count in join
+	// order, after the filters that first apply at that step — the
+	// actuals EXPLAIN ANALYZE reports against the planner estimates.
+	// Deterministic; nil on the Sequential and CompatJoins reference
+	// paths, which do not run the slot executor's step machinery.
+	StepRows []int
+	// StepDurNs records each planned step's wall-clock duration in
+	// nanoseconds, in join order. On the pipelined path all steps run
+	// concurrently from execution start, so durations overlap rather
+	// than sum. Timing-dependent by nature; nil where StepRows is nil.
+	StepDurNs []int64
 }
 
 // accrue adds the order-independent work counters of s into dst. The
@@ -114,6 +130,10 @@ type Result struct {
 	Vars  []string
 	Rows  [][]kb.Value
 	Stats Stats
+	// Trace is the execution's recorded span tree when Options.Trace
+	// enabled tracing; nil otherwise. It is settled by the time the
+	// Result is returned and safe to marshal or render.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // EqualRows reports whether two results carry the same variables and
@@ -311,6 +331,19 @@ func (e *Engine) ExecuteWith(q Query, opts Options) (*Result, error) {
 // ctx.Err() instead of a partial result. The serving layer threads
 // per-request deadlines through here.
 func (e *Engine) ExecuteCtx(ctx context.Context, q Query, opts Options) (*Result, error) {
+	// Tracing: re-root the option's parent span on this execution so
+	// every child recorded below hangs off one "query.execute" span.
+	// opts is a value copy, so overwriting Trace is local to this call.
+	var root *obs.Span
+	if opts.Trace != nil {
+		root = opts.Trace.Child("query.execute")
+		root.SetAttr("query", q.String())
+		opts.Trace = root
+	}
+	var vs *obs.Span
+	if root != nil {
+		vs = root.Child("validate")
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -318,10 +351,23 @@ func (e *Engine) ExecuteCtx(ctx context.Context, q Query, opts Options) (*Result
 		return nil, err
 	}
 	e.validateEpochs()
+	vs.End()
+	var res *Result
+	var err error
 	if opts.Sequential {
-		return e.executeSequential(ctx, q)
+		res, err = e.executeSequential(ctx, q)
+	} else {
+		res, err = e.executePlanned(ctx, q, opts)
 	}
-	return e.executePlanned(ctx, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if root != nil {
+		root.SetInt("rows", int64(len(res.Rows)))
+		root.End()
+		res.Trace = root
+	}
+	return res, nil
 }
 
 // executeSequential is the reference execution path: textual join order,

@@ -3,9 +3,12 @@ package query
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/query/mem"
 )
 
@@ -167,7 +170,21 @@ func partsForBuild(buildRows int, opts Options, workers int) int {
 // short-circuits the remaining steps' scan work just like the sequential
 // path. Options{CompatJoins} swaps in the retained PR 1 executor.
 func (e *Engine) executePlanned(ctx context.Context, q Query, opts Options) (*Result, error) {
+	var ps *obs.Span
+	if opts.Trace != nil {
+		ps = opts.Trace.Child("plan")
+	}
 	plan, hit := e.cachedPlan(q)
+	if ps != nil {
+		if hit {
+			ps.SetAttr("cache", "hit")
+		} else {
+			ps.SetAttr("cache", "compiled")
+		}
+		ps.SetInt("steps", int64(len(plan.steps)))
+		ps.SetInt("est_rows", int64(plan.totalEst))
+		ps.End()
+	}
 	res := &Result{Vars: q.Select}
 	st := &res.Stats
 	st.PlanCacheHit = hit
@@ -190,6 +207,7 @@ func (e *Engine) executePlanned(ctx context.Context, q Query, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
+	recordQueryMetrics(st)
 	return res, nil
 }
 
@@ -211,6 +229,9 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 	bound := make(map[string]bool)
 	applied := make([]bool, len(q.Filters))
 	stepParts := make([]int, 0, len(plan.steps))
+	st.StepRows = make([]int, 0, len(plan.steps))
+	st.StepDurNs = make([]int64, 0, len(plan.steps))
+	tr := opts.Trace
 	// The per-step path materialises the frontier between steps by
 	// construction; the budget accounts it (release the previous step's
 	// frontier, charge the new one) but only the pipeline can spill.
@@ -226,6 +247,12 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 			return err
 		}
 		stp := &plan.steps[si]
+		var span *obs.Span
+		if tr != nil {
+			span = tr.Child("step " + strconv.Itoa(si+1) + ": " + stp.triple.String())
+			span.SetInt("est_rows", int64(stp.est))
+		}
+		stepT0 := time.Now()
 		// Every (triple, source) pair counts as a source scan, skipped
 		// or not, matching the sequential accounting.
 		st.SourceScans += len(stp.scans)
@@ -237,10 +264,10 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 		}
 		switch {
 		case si == 0:
-			rows = e.gatherScans(ctx, stp, width, workers, tasks, bud, st)
+			rows = e.gatherScans(ctx, stp, width, workers, tasks, bud, st, span)
 			stepParts = append(stepParts, 0)
 		case len(stp.keySlots) == 0:
-			right := e.gatherScans(ctx, stp, width, workers, tasks, bud, st)
+			right := e.gatherScans(ctx, stp, width, workers, tasks, bud, st, span)
 			rows = crossJoinTuples(rows, right, stp, width, bud)
 			stepParts = append(stepParts, 0)
 		case workers > 1 && len(tasks) > 0:
@@ -248,10 +275,10 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 			if opts.Partitions == 0 {
 				st.AdaptivePartitions++
 			}
-			rows = e.joinStreamed(ctx, rows, stp, width, workers, parts, tasks, bud, st)
+			rows = e.joinStreamed(ctx, rows, stp, width, workers, parts, tasks, bud, st, span)
 			stepParts = append(stepParts, parts)
 		default:
-			rows = e.joinInline(ctx, rows, stp, width, tasks, bud, st)
+			rows = e.joinInline(ctx, rows, stp, width, tasks, bud, st, span)
 			stepParts = append(stepParts, 0)
 		}
 		for _, v := range stp.vars {
@@ -259,6 +286,12 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 		}
 		rows = applyTupleFilters(rows, q.Filters, plan, applied, bound)
 		chargeFrontier()
+		st.StepRows = append(st.StepRows, len(rows))
+		st.StepDurNs = append(st.StepDurNs, time.Since(stepT0).Nanoseconds())
+		if span != nil {
+			span.SetInt("rows", int64(len(rows)))
+			span.End()
+		}
 		if len(rows) == 0 {
 			break
 		}
@@ -272,7 +305,15 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 		st.StepPartitions = stepParts
 	}
 	st.JoinedRows = len(rows)
+	var span *obs.Span
+	if tr != nil {
+		span = tr.Child("project")
+	}
 	projectTuples(res, [][]tuple{rows}, q, plan, bud)
+	if span != nil {
+		span.SetInt("rows", int64(len(res.Rows)))
+		span.End()
+	}
 	return nil
 }
 
@@ -281,8 +322,18 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 // source order afterwards, so the counters are deterministic under any
 // scheduling. A cancelled context stops dispatch between tasks (the
 // per-request deadline hook); the caller detects the cancellation via
-// ctx.Err() and discards the partial output.
-func (e *Engine) runScanTasks(ctx context.Context, stp *planStep, tasks []int, workers int, st *Stats, run func(j int, ts *Stats)) {
+// ctx.Err() and discards the partial output. When sp is non-nil each
+// scan records a child span under it (the scan fan-out in the trace).
+func (e *Engine) runScanTasks(ctx context.Context, stp *planStep, tasks []int, workers int, st *Stats, sp *obs.Span, run func(j int, ts *Stats)) {
+	if sp != nil {
+		inner := run
+		run = func(j int, ts *Stats) {
+			c := sp.Child("scan " + stp.scans[j].name)
+			inner(j, ts)
+			c.SetInt("rows", int64(ts.EdgeRows+ts.FactRows))
+			c.End()
+		}
+	}
 	taskStats := make([]Stats, len(stp.scans))
 	w := workers
 	if w > len(tasks) {
@@ -352,9 +403,9 @@ func tupleEmit(stp *planStep, arena *tupleArena, sink func(tuple)) func(s, p, o 
 
 // gatherScans materialises one step's scan output as tuples (first step,
 // and the rare disconnected cross-product step).
-func (e *Engine) gatherScans(ctx context.Context, stp *planStep, width, workers int, tasks []int, bud *mem.Budget, st *Stats) []tuple {
+func (e *Engine) gatherScans(ctx context.Context, stp *planStep, width, workers int, tasks []int, bud *mem.Budget, st *Stats, sp *obs.Span) []tuple {
 	results := make([][]tuple, len(stp.scans))
-	e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
+	e.runScanTasks(ctx, stp, tasks, workers, st, sp, func(j int, ts *Stats) {
 		sc := stp.scans[j]
 		arena := newArena(width, bud)
 		defer arena.close()
@@ -404,7 +455,7 @@ func crossJoinTuples(left, right []tuple, stp *planStep, width int, bud *mem.Bud
 // once by key hash, then every scan-emitted tuple probes it immediately —
 // the scan side is never materialised and no key string ever is (hash
 // keys plus keySlotsEqual verification).
-func (e *Engine) joinInline(ctx context.Context, left []tuple, stp *planStep, width int, tasks []int, bud *mem.Budget, st *Stats) []tuple {
+func (e *Engine) joinInline(ctx context.Context, left []tuple, stp *planStep, width int, tasks []int, bud *mem.Budget, st *Stats, sp *obs.Span) []tuple {
 	if len(left) == 0 {
 		return nil
 	}
@@ -421,7 +472,7 @@ func (e *Engine) joinInline(ctx context.Context, left []tuple, stp *planStep, wi
 	mergeArena := newArena(width, bud)
 	defer mergeArena.close()
 	var out []tuple
-	e.runScanTasks(ctx, stp, tasks, 1, st, func(j int, ts *Stats) {
+	e.runScanTasks(ctx, stp, tasks, 1, st, sp, func(j int, ts *Stats) {
 		sc := stp.scans[j]
 		scanArena := newArena(width, bud)
 		defer scanArena.close()
@@ -468,7 +519,7 @@ type hashedTuple struct {
 // pipelined executor removes that one too). Per-partition outputs are
 // concatenated in partition order and per-task counters merge in source
 // order, so everything observable is deterministic.
-func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, width, workers, parts int, tasks []int, bud *mem.Budget, st *Stats) []tuple {
+func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, width, workers, parts int, tasks []int, bud *mem.Budget, st *Stats, sp *obs.Span) []tuple {
 	if len(left) == 0 {
 		return nil
 	}
@@ -490,7 +541,7 @@ func (e *Engine) joinStreamed(ctx context.Context, left []tuple, stp *planStep, 
 	scansDone := make(chan struct{})
 	go func() {
 		defer close(scansDone)
-		e.runScanTasks(ctx, stp, tasks, workers, st, func(j int, ts *Stats) {
+		e.runScanTasks(ctx, stp, tasks, workers, st, sp, func(j int, ts *Stats) {
 			sc := stp.scans[j]
 			arena := newArena(width, bud)
 			defer arena.close()

@@ -1,9 +1,11 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // TripleScan describes how one triple is reformulated for one source.
@@ -47,6 +49,14 @@ type TriplePlan struct {
 	// estimates (skew-aware) unless Options{Partitions} pins a global
 	// count (0 for the leading scan step and when joins run inline).
 	Partitions int
+	// ActualRows and ActualNs are the step's measured row output (after
+	// the filters that first apply at it) and wall-clock duration, set
+	// only when the enclosing Plan is Analyzed. Rows are deterministic;
+	// durations are wall-clock, and on the pipelined path every step
+	// runs concurrently from execution start, so step durations overlap
+	// rather than sum.
+	ActualRows int
+	ActualNs   int64
 }
 
 // Plan is the explanation of a query's reformulation (§2.3: "a query
@@ -77,12 +87,27 @@ type Plan struct {
 	Pipelined bool
 	// Triples are the WHERE conjuncts in execution (join) order.
 	Triples []TriplePlan
+	// Analyzed is true when the plan came from ExplainAnalyze: the query
+	// actually ran, and ActualRows/ActualNs (whole query) plus each
+	// TriplePlan's actuals record what the execution measured against
+	// the planner's estimates. Per-step actuals are populated on the
+	// slot-executor paths (StepRows); the Sequential reference path
+	// reports only the totals.
+	Analyzed   bool
+	ActualRows int
+	ActualNs   int64
 }
 
-// String renders the plan for terminal display.
+// String renders the plan for terminal display; Analyzed plans carry
+// "actual" annotations next to every estimate.
 func (p *Plan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan for %s\n", p.Query)
+	if p.Analyzed {
+		fmt.Fprintf(&b, "plan for %s  (analyzed: %d rows in %s)\n",
+			p.Query, p.ActualRows, time.Duration(p.ActualNs).Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(&b, "plan for %s\n", p.Query)
+	}
 	if len(p.Slots) > 0 {
 		parts := make([]string, len(p.Slots))
 		for i, v := range p.Slots {
@@ -112,8 +137,13 @@ func (p *Plan) String() string {
 		if tp.Partitions > 0 {
 			parts = fmt.Sprintf(", parts %d", tp.Partitions)
 		}
-		fmt.Fprintf(&b, "  step %d: triple %s  (where #%d, est %d, join key %s%s)\n",
-			i+1, tp.Triple, tp.Index+1, tp.Est, key, parts)
+		actual := ""
+		if p.Analyzed && tp.ActualNs > 0 {
+			actual = fmt.Sprintf(", actual %d rows in %s",
+				tp.ActualRows, time.Duration(tp.ActualNs).Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, "  step %d: triple %s  (where #%d, est %d, join key %s%s%s)\n",
+			i+1, tp.Triple, tp.Index+1, tp.Est, key, parts, actual)
 		if tp.StreamsInto >= 0 {
 			fmt.Fprintf(&b, "    ~> streams into step %d on {?%s}\n",
 				tp.StreamsInto+1, strings.Join(tp.StreamKeyVars, " ?"))
@@ -195,6 +225,39 @@ func (e *Engine) Explain(q Query) (*Plan, error) {
 		plan.Triples = append(plan.Triples, tp)
 	}
 	return plan, nil
+}
+
+// ExplainAnalyze executes the query under opts and returns its plan
+// annotated with the execution's measured actuals (EXPLAIN ANALYZE):
+// the whole-query row count and wall time on the Plan, and — on the
+// slot-executor paths, which record Stats.StepRows/StepDurNs — each
+// step's emitted rows and duration next to the planner's estimates.
+// The executed Result is returned alongside so callers get the rows,
+// full Stats and (when opts.Trace is set) the span tree in one call.
+func (e *Engine) ExplainAnalyze(ctx context.Context, q Query, opts Options) (*Plan, *Result, error) {
+	plan, err := e.Explain(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	t0 := time.Now()
+	res, err := e.ExecuteCtx(ctx, q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.Analyzed = true
+	plan.ActualRows = len(res.Rows)
+	plan.ActualNs = time.Since(t0).Nanoseconds()
+	st := &res.Stats
+	// Per-step actuals only when the executed path produced them and
+	// the step count matches the explained plan (it always does for the
+	// planned paths — both come from the same cached plan).
+	if len(st.StepRows) == len(plan.Triples) && len(st.StepDurNs) == len(plan.Triples) {
+		for i := range plan.Triples {
+			plan.Triples[i].ActualRows = st.StepRows[i]
+			plan.Triples[i].ActualNs = st.StepDurNs[i]
+		}
+	}
+	return plan, res, nil
 }
 
 func slotVars(p *execPlan, slots []int) []string {

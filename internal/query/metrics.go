@@ -1,0 +1,47 @@
+package query
+
+import "repro/internal/obs"
+
+// Package-wide executor metrics, registered on obs.Default and exposed
+// by oniond's /metrics. Every update happens once per planned execution
+// (recordQueryMetrics), never per row or per tuple batch, so the
+// instrumented path stays within the E18 overhead bar.
+var (
+	qmExecutions = obs.Default.CounterVec(
+		"onion_query_executions_total",
+		"Planned query executions completed successfully, by plan-cache outcome.",
+		"cache")
+	qmSpillRuns = obs.Default.Counter(
+		"onion_query_spill_runs_total",
+		"Grace-hash spill runs created (build and probe sides, recursion included).")
+	qmSpilledBytes = obs.Default.Counter(
+		"onion_query_spilled_bytes_total",
+		"Bytes written to grace-hash spill runs, record framing included.")
+	qmSpilledPartitions = obs.Default.Counter(
+		"onion_query_spilled_partitions_total",
+		"Join partitions that spilled tuples to disk under a memory limit.")
+	qmJoinPartitions = obs.Default.Histogram(
+		"onion_query_join_partitions",
+		"Hash partitions used by an execution's widest partitioned join step.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	qmBudgetPeak = obs.Default.Histogram(
+		"onion_query_budget_peak_bytes",
+		"Peak accounted memory-budget bytes per execution (0 when the path does not account).",
+		[]float64{1 << 10, 16 << 10, 256 << 10, 1 << 20, 16 << 20, 256 << 20, 1 << 30})
+)
+
+// recordQueryMetrics folds one successful planned execution's stats
+// into the package metrics. Gated on obs.Enabled at each mutation (a
+// single atomic load when disabled, which is E18's uninstrumented leg).
+func recordQueryMetrics(st *Stats) {
+	cache := "compiled"
+	if st.PlanCacheHit {
+		cache = "hit"
+	}
+	qmExecutions.With(cache).Inc()
+	qmSpillRuns.Add(uint64(st.SpillRuns))
+	qmSpilledBytes.Add(uint64(st.SpilledBytes))
+	qmSpilledPartitions.Add(uint64(st.SpilledPartitions))
+	qmJoinPartitions.Observe(float64(st.JoinPartitions))
+	qmBudgetPeak.Observe(float64(st.BytesReserved))
+}

@@ -3,10 +3,13 @@ package query
 import (
 	"context"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/query/mem"
 )
 
@@ -290,6 +293,7 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	n := len(plan.steps)
 	filters := stepFilterSets(q, plan)
 	tc := tupleCost(width)
+	pipeT0 := time.Now()
 
 	// Per-step planner-derived partition counts (or the global override).
 	parts := make([]int, n)
@@ -300,6 +304,30 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	}
 	if opts.Partitions == 0 {
 		st.AdaptivePartitions = n - 1
+	}
+
+	// Tracing: one span per step, opened up front — every stage runs
+	// concurrently from pipeline start, so span offsets reflect the real
+	// overlap. Scan and partition sub-spans hang off these; stepSpan
+	// returns nil when tracing is off, and every recording site guards
+	// its argument computation behind that nil.
+	var stepSpans []*obs.Span
+	if opts.Trace != nil {
+		stepSpans = make([]*obs.Span, n)
+		for si := range plan.steps {
+			s := opts.Trace.Child("step " + strconv.Itoa(si+1) + ": " + plan.steps[si].triple.String())
+			s.SetInt("est_rows", int64(plan.steps[si].est))
+			if si > 0 {
+				s.SetInt("partitions", int64(parts[si]))
+			}
+			stepSpans[si] = s
+		}
+	}
+	stepSpan := func(si int) *obs.Span {
+		if stepSpans == nil {
+			return nil
+		}
+		return stepSpans[si]
 	}
 
 	// Budget wiring: every stage partition's spillable retention (build
@@ -371,15 +399,20 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	// stepOut[si] counts the tuples step si emitted downstream (step 0:
 	// scan output after filters; stages: probe output after filters).
 	stepOut := make([]int64, n)
+	// stepDur[si] is the step's wall-clock from pipeline start to its
+	// completion, stamped by the step's closer (Stats.StepDurNs).
+	stepDur := make([]int64, n)
 	// Per-stage-partition counters, merged in (step, partition) order
 	// afterwards.
 	stageBatches := make([][]int, n)
 	stageSpilled := make([][]int, n)
 	stageRuns := make([][]int, n)
+	stageBytes := make([][]int64, n)
 	for si := 1; si < n; si++ {
 		stageBatches[si] = make([]int, parts[si])
 		stageSpilled[si] = make([]int, parts[si])
 		stageRuns[si] = make([]int, parts[si])
+		stageBytes[si] = make([]int64, parts[si])
 	}
 
 	// Scan worker pool, shared by every step's scans, dispatched in step
@@ -394,6 +427,14 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 		stp := &plan.steps[si]
 		sc := stp.scans[j]
 		ts := &taskStats[si][j]
+		var ss *obs.Span
+		if sp := stepSpan(si); sp != nil {
+			ss = sp.Child("scan " + sc.name)
+			defer func() {
+				ss.SetInt("rows", int64(ts.EdgeRows+ts.FactRows))
+				ss.End()
+			}()
+		}
 		arena := newArena(width, bud)
 		defer arena.close()
 		var rt *partRouter
@@ -464,8 +505,19 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 
 	// Per-step closers: a step's scan side closes when its scans finish
 	// (or are skipped). Step 0's "scan side" is stage 1's probe side.
+	// Closers also stamp the step's duration and close its trace span;
+	// closersWg gives the final stat merge a happens-before edge on
+	// those writes.
+	var closersWg sync.WaitGroup
+	closersWg.Add(n)
 	go func() {
+		defer closersWg.Done()
 		scanWg[0].Wait()
+		stepDur[0] = time.Since(pipeT0).Nanoseconds()
+		if sp := stepSpan(0); sp != nil {
+			sp.SetInt("rows", atomic.LoadInt64(&stepOut[0]))
+			sp.End()
+		}
 		for _, ch := range upCh[1] {
 			close(ch)
 		}
@@ -498,6 +550,11 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 			go func(si, p int) {
 				defer stageWg[si].Done()
 				stp := &plan.steps[si]
+				var partSpan, buildSpan *obs.Span
+				if ssp := stepSpan(si); ssp != nil {
+					partSpan = ssp.Child("part " + strconv.Itoa(p))
+					buildSpan = partSpan.Child("build")
+				}
 				partBud := spillPool.Child(0)
 				build := make(map[uint64][]tuple)
 				var pending []*streamedBatch
@@ -629,6 +686,14 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 				// buffered batches, replay any probe-overflow run, then
 				// stream from upstream; grace-hash partitions keep
 				// spilling the probe side and join from disk at the end.
+				if buildSpan != nil {
+					buildSpan.SetAttr("spilled", strconv.FormatBool(buildSpilled))
+					buildSpan.End()
+				}
+				var probeSpan *obs.Span
+				if partSpan != nil {
+					probeSpan = partSpan.Child("probe")
+				}
 				arena := newArena(width, bud)
 				defer arena.close()
 				var rt *partRouter
@@ -695,6 +760,10 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 					}
 					pending = nil
 					if probeSpilled {
+						var spillSpan *obs.Span
+						if partSpan != nil {
+							spillSpan = partSpan.Child("spill")
+						}
 						decodeArena := &tupleArena{width: width, blockTuples: spillDecodeBlock}
 						fail(sp.probe.replay(width, decodeArena, func(t tuple, h uint64) error {
 							if len(build) > 0 {
@@ -704,6 +773,11 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 						}))
 						sp.probe.close()
 						sp.probe = nil
+						if spillSpan != nil {
+							spillSpan.SetInt("runs", int64(sp.runs))
+							spillSpan.SetInt("bytes", sp.bytes)
+							spillSpan.End()
+						}
 					}
 					if up != nil {
 						for b := range up {
@@ -727,6 +801,10 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 					if spillErr == nil && buildSpilled {
 						// Grace-hash completion: both sides on disk, joined
 						// sub-partition by sub-partition within budget.
+						var spillSpan *obs.Span
+						if partSpan != nil {
+							spillSpan = partSpan.Child("spill")
+						}
 						fail(sp.join(stp, func(l tuple, h uint64, rs []tuple) {
 							first := rs[0]
 							for _, r := range rs[1:] {
@@ -737,10 +815,16 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 							}
 							emit(l, h)
 						}))
+						if spillSpan != nil {
+							spillSpan.SetInt("runs", int64(sp.runs))
+							spillSpan.SetInt("bytes", sp.bytes)
+							spillSpan.End()
+						}
 					}
 				}
 				sp.close()
 				stageRuns[si][p] = sp.runs
+				stageBytes[si][p] = sp.bytes
 				partBud.Release(charged)
 				if rt != nil {
 					rt.flush()
@@ -748,6 +832,11 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 				} else {
 					projParts[p] = proj.finish()
 				}
+				if probeSpan != nil {
+					probeSpan.SetInt("rows", emitted)
+					probeSpan.End()
+				}
+				partSpan.End()
 				atomic.AddInt64(&stepOut[si], emitted)
 			}(si, p)
 		}
@@ -756,7 +845,13 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	// side closes; an empty stage output cancels remaining scan work.
 	for si := 1; si < n; si++ {
 		go func(si int) {
+			defer closersWg.Done()
 			stageWg[si].Wait()
+			stepDur[si] = time.Since(pipeT0).Nanoseconds()
+			if sp := stepSpan(si); sp != nil {
+				sp.SetInt("rows", atomic.LoadInt64(&stepOut[si]))
+				sp.End()
+			}
 			if si+1 < n {
 				for _, ch := range upCh[si+1] {
 					close(ch)
@@ -771,6 +866,7 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	stageWg[n-1].Wait()
 	poolWg.Wait()
 	<-dispatcherDone
+	closersWg.Wait()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -790,7 +886,14 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 			st.StreamedBatches += stageBatches[si][p]
 			st.SpilledPartitions += stageSpilled[si][p]
 			st.SpillRuns += stageRuns[si][p]
+			st.SpilledBytes += stageBytes[si][p]
 		}
+	}
+	st.StepRows = make([]int, n)
+	st.StepDurNs = make([]int64, n)
+	for si := 0; si < n; si++ {
+		st.StepRows[si] = int(stepOut[si])
+		st.StepDurNs[si] = stepDur[si]
 	}
 	st.ParallelScans += dispatched
 	st.ScansCancelled += cancelled

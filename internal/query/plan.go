@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kb"
+	"repro/internal/obs"
 )
 
 // Options tune query execution.
@@ -57,6 +58,14 @@ type Options struct {
 	// directory). Run files are unlinked at creation, so they cannot
 	// outlive the process.
 	SpillDir string
+	// Trace, when non-nil, is the parent span under which the executor
+	// records this execution's span tree: plan lookup, every scan
+	// fan-out, each join step (with per-partition build/probe/spill
+	// sub-spans on the pipelined path) and the projection. The tree is
+	// also attached to Result.Trace. A nil Trace disables tracing
+	// entirely — the executor performs no span work and allocates
+	// nothing for it, so the hot paths are unchanged.
+	Trace *obs.Span
 }
 
 // sourceScan is one (triple, source) unit of work in a compiled plan.

@@ -1,0 +1,8 @@
+//go:build race
+
+package query
+
+// raceEnabled reports whether the race detector instruments this build;
+// exact allocation-count assertions get a small slack under it (the
+// race runtime allocates shadow state nondeterministically).
+const raceEnabled = true

@@ -82,6 +82,7 @@ type spillRun struct {
 	tuples int
 	closed bool
 	buf    []byte // reusable record scratch
+	acct   *int64 // optional byte accumulator (Stats.SpilledBytes)
 }
 
 // newSpillRun creates an anonymous run in dir ("" = os.TempDir),
@@ -112,6 +113,9 @@ func (r *spillRun) add(t tuple, h uint64) error {
 	}
 	if _, err := r.w.Write(rec); err != nil {
 		return fmt.Errorf("query: spill write: %w", err)
+	}
+	if r.acct != nil {
+		*r.acct += int64(n + len(rec))
 	}
 	r.tuples++
 	return nil
@@ -277,12 +281,14 @@ type spillPart struct {
 	build *spillRun // non-nil once the build side degraded
 	probe *spillRun // probe overflow (may exist with an in-memory build)
 	runs  int       // runs created, including recursion (Stats.SpillRuns)
+	bytes int64     // record bytes written across runs (Stats.SpilledBytes)
 }
 
 func (sp *spillPart) newRun() (*spillRun, error) {
 	r, err := newSpillRun(sp.dir, sp.io)
 	if err == nil {
 		sp.runs++
+		r.acct = &sp.bytes
 	}
 	return r, err
 }

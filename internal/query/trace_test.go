@@ -1,0 +1,215 @@
+package query
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceSpansPipelined checks the span tree the cross-step pipeline
+// records: one query.execute root with validate/plan children, a span
+// per join step carrying per-partition build/probe sub-spans, and row
+// attributes that match the execution's stats.
+func TestTraceSpansPipelined(t *testing.T) {
+	eng, q := joinHeavyEngine(t, 120)
+	tr := obs.NewTrace("test")
+	res, err := eng.ExecuteWith(q, Options{Workers: 4, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PipelinedSteps == 0 {
+		t.Fatalf("expected the pipelined path: %+v", res.Stats)
+	}
+	root := res.Trace
+	if root == nil || root.Name != "query.execute" {
+		t.Fatalf("Result.Trace = %+v, want query.execute root", root)
+	}
+	if root.DurNs <= 0 {
+		t.Errorf("root span not ended: dur %d", root.DurNs)
+	}
+	for _, name := range []string{"validate", "plan"} {
+		if root.Find(name) == nil {
+			t.Errorf("span %q missing from trace:\n%s", name, root.Tree())
+		}
+	}
+	steps := 0
+	for _, c := range root.Children {
+		if strings.HasPrefix(c.Name, "step ") {
+			steps++
+			if len(c.Children) == 0 {
+				t.Errorf("step span %q has no scan/partition children", c.Name)
+			}
+		}
+	}
+	if want := len(res.Stats.StepRows); steps != want {
+		t.Errorf("trace has %d step spans, stats have %d steps", steps, want)
+	}
+	if root.Find("build") == nil || root.Find("probe") == nil {
+		t.Errorf("pipelined trace missing build/probe sub-spans:\n%s", root.Tree())
+	}
+}
+
+// TestTraceSpansPerStep checks the inline (single-worker) executor's
+// spans: plan, per-step spans wrapping the scan fan-out, and the
+// projection span — and that StepRows actuals line up with the join.
+func TestTraceSpansPerStep(t *testing.T) {
+	eng, q := joinHeavyEngine(t, 80)
+	tr := obs.NewTrace("test")
+	res, err := eng.ExecuteWith(q, Options{Workers: 1, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Trace
+	if root == nil {
+		t.Fatal("no trace recorded")
+	}
+	for _, name := range []string{"plan", "project"} {
+		if root.Find(name) == nil {
+			t.Errorf("span %q missing:\n%s", name, root.Tree())
+		}
+	}
+	n := len(res.Stats.StepRows)
+	if n == 0 {
+		t.Fatalf("per-step path recorded no StepRows: %+v", res.Stats)
+	}
+	if len(res.Stats.StepDurNs) != n {
+		t.Fatalf("StepDurNs len %d != StepRows len %d", len(res.Stats.StepDurNs), n)
+	}
+	if got := res.Stats.StepRows[n-1]; got != res.Stats.JoinedRows {
+		t.Errorf("last StepRows = %d, want JoinedRows %d", got, res.Stats.JoinedRows)
+	}
+	// Tracing must not perturb results.
+	plain, err := eng.ExecuteWith(q, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Errorf("untraced execution returned a trace")
+	}
+	if !plain.EqualRows(res) {
+		t.Errorf("traced rows diverged from untraced")
+	}
+}
+
+// TestTraceSpillSpans forces grace-hash spilling under a trace and
+// checks the spill sub-spans and the SpilledBytes accounting.
+func TestTraceSpillSpans(t *testing.T) {
+	eng, q := spillAdversarialEngine(t, 40, 1)
+	tr := obs.NewTrace("test")
+	res, err := eng.ExecuteWith(q, Options{Workers: 4, MemoryLimit: 1 << 12, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpilledPartitions == 0 {
+		t.Fatalf("4KB budget did not spill: %+v", res.Stats)
+	}
+	if res.Stats.SpilledBytes <= 0 {
+		t.Errorf("SpilledBytes = %d, want > 0 with %d spilled partitions",
+			res.Stats.SpilledBytes, res.Stats.SpilledPartitions)
+	}
+	if res.Trace.Find("spill") == nil {
+		t.Errorf("no spill span recorded:\n%s", res.Trace.Tree())
+	}
+	// Unbounded run writes nothing.
+	free, err := eng.ExecuteWith(q, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Stats.SpilledBytes != 0 {
+		t.Errorf("unbounded run reports SpilledBytes = %d", free.Stats.SpilledBytes)
+	}
+}
+
+// TestExplainAnalyze checks the EXPLAIN ANALYZE contract: the plan's
+// estimates stay, actuals are stamped per step (deterministic rows) and
+// for the whole query, and the rendering carries both.
+func TestExplainAnalyze(t *testing.T) {
+	eng, q := joinHeavyEngine(t, 100)
+	plan, res, err := eng.ExplainAnalyze(context.Background(), q, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Analyzed {
+		t.Fatal("plan not marked Analyzed")
+	}
+	if plan.ActualRows != len(res.Rows) {
+		t.Errorf("plan.ActualRows = %d, want %d", plan.ActualRows, len(res.Rows))
+	}
+	if plan.ActualNs <= 0 {
+		t.Errorf("plan.ActualNs = %d, want > 0", plan.ActualNs)
+	}
+	if len(plan.Triples) != len(res.Stats.StepRows) {
+		t.Fatalf("plan has %d steps, stats %d", len(plan.Triples), len(res.Stats.StepRows))
+	}
+	for i, tp := range plan.Triples {
+		if tp.ActualRows != res.Stats.StepRows[i] {
+			t.Errorf("step %d ActualRows = %d, want %d", i+1, tp.ActualRows, res.Stats.StepRows[i])
+		}
+		if tp.ActualNs <= 0 {
+			t.Errorf("step %d ActualNs = %d, want > 0", i+1, tp.ActualNs)
+		}
+	}
+	last := plan.Triples[len(plan.Triples)-1]
+	if last.ActualRows != res.Stats.JoinedRows {
+		t.Errorf("last step ActualRows = %d, want JoinedRows %d", last.ActualRows, res.Stats.JoinedRows)
+	}
+	out := plan.String()
+	if !strings.Contains(out, "analyzed:") || !strings.Contains(out, "actual") {
+		t.Errorf("rendering lacks actuals:\n%s", out)
+	}
+	// Plain Explain stays estimate-only.
+	cold, err := eng.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Analyzed || strings.Contains(cold.String(), "actual") {
+		t.Errorf("Explain leaked actuals")
+	}
+}
+
+// TestTracingOffAllocs is the zero-overhead guard: with metrics
+// registered but no Trace set, a query must allocate exactly as much as
+// with the whole obs package disabled. Any per-row span or metric work
+// on the disabled path shows up here as a diff.
+func TestTracingOffAllocs(t *testing.T) {
+	eng, q := joinHeavyEngine(t, 200)
+	opts := Options{Workers: 1}
+	run := func() {
+		if _, err := eng.ExecuteWith(q, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm plan cache and metric label children
+
+	// AllocsPerRun counts process-wide mallocs, so a background GC cycle
+	// landing inside one measurement inflates it by a couple of allocs.
+	// That noise is strictly additive — take the minimum of several
+	// measurements per leg and compare those exactly.
+	measure := func() float64 {
+		best := math.Inf(1)
+		for i := 0; i < 4; i++ {
+			if a := testing.AllocsPerRun(3, run); a < best {
+				best = a
+			}
+		}
+		return best
+	}
+	on := measure()
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	off := measure()
+	// Exact equality in normal builds. The race runtime allocates shadow
+	// state nondeterministically, so under -race allow a few allocs of
+	// slack — still orders of magnitude below any per-row regression
+	// (this world runs thousands of rows per execution).
+	slack := 0.0
+	if raceEnabled {
+		slack = 16
+	}
+	if diff := on - off; diff > slack || diff < -slack {
+		t.Errorf("allocs with metrics on = %.1f, obs disabled = %.1f; want identical (slack %.0f)", on, off, slack)
+	}
+}

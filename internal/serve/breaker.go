@@ -49,6 +49,21 @@ func newBreaker() *breaker {
 	return &breaker{threshold: breakerThreshold, cooldown: breakerCooldown}
 }
 
+// publish mirrors the state into the process-wide breaker gauge
+// (0 closed, 1 probing, 2 open). Called with b.mu held — a gauge set is
+// one atomic store, never I/O. The gauge is last-writer-wins across
+// breakers; oniond runs exactly one disk tier.
+func (b *breaker) publish() {
+	switch b.state {
+	case breakerClosed:
+		smBreakerState.Set(0)
+	case breakerProbing:
+		smBreakerState.Set(1)
+	default:
+		smBreakerState.Set(2)
+	}
+}
+
 func (b *breaker) clock() time.Time {
 	if b.now != nil {
 		return b.now()
@@ -69,6 +84,7 @@ func (b *breaker) allow() bool {
 	case breakerOpen:
 		if b.clock().Sub(b.openedAt) >= b.cooldown {
 			b.state = breakerProbing
+			b.publish()
 			return true
 		}
 		return false
@@ -86,6 +102,7 @@ func (b *breaker) record(err error) {
 	if err == nil {
 		b.state = breakerClosed
 		b.failures = 0
+		b.publish()
 		return
 	}
 	b.failures++
@@ -95,6 +112,7 @@ func (b *breaker) record(err error) {
 		}
 		b.state = breakerOpen
 		b.openedAt = b.clock()
+		b.publish()
 	}
 }
 

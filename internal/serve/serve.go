@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/vfs"
 )
@@ -318,6 +319,7 @@ func (s *Service) EnableDiskCacheFS(dir string, entries int, fsys vfs.FS) error 
 // disk-tier traffic, never memory-cache hits.
 func (s *Service) demote(evicted []*cacheEntry) {
 	s.evictions.Add(uint64(len(evicted)))
+	smEvEviction.Add(uint64(len(evicted)))
 	if s.disk == nil {
 		return
 	}
@@ -327,6 +329,7 @@ func (s *Service) demote(evicted []*cacheEntry) {
 		}
 		if s.disk.put(e.key, e.res) {
 			s.demotions.Add(1)
+			smEvDemotion.Inc()
 		}
 	}
 }
@@ -334,31 +337,41 @@ func (s *Service) demote(evicted []*cacheEntry) {
 // System returns the underlying registry, for read-side endpoints.
 func (s *Service) System() *core.System { return s.sys }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a point-in-time snapshot of the traffic counters. Each
+// field is loaded atomically, but the struct is not one consistent cut:
+// traffic keeps advancing while the snapshot assembles, so fields can
+// reflect slightly different instants. What the snapshot does guarantee
+// is that a derived counter never exceeds the total that bounds it:
+// every such child (degraded grants, spilled queries, disk demotions,
+// queue-wait time) is incremented *after* its parent on the serving
+// paths, so loading the child before the parent here means any child
+// increment the snapshot sees has its parent increment included in the
+// later parent load. (The previous version loaded parents first, so a
+// concurrent degraded admission could surface as degraded_grants >
+// admitted in the snapshot.)
 func (s *Service) Stats() Stats {
-	var diskFaults, breakerTrips uint64
+	var st Stats
 	if s.disk != nil {
-		diskFaults = s.disk.faults.Load()
-		breakerTrips = s.disk.brk.trips()
+		st.DiskFaults = s.disk.faults.Load()
+		st.BreakerTrips = s.disk.brk.trips()
 	}
-	return Stats{
-		DiskFaults:     diskFaults,
-		BreakerTrips:   breakerTrips,
-		CacheHits:      s.hits.Load(),
-		CacheMisses:    s.misses.Load(),
-		Coalesced:      s.coalesced.Load(),
-		NegativeHits:   s.negHits.Load(),
-		Evictions:      s.evictions.Load(),
-		Mutations:      s.mutations.Load(),
-		DiskHits:       s.diskHits.Load(),
-		DiskDemotions:  s.demotions.Load(),
-		SpilledQueries: s.spilled.Load(),
-		Admitted:       s.admitted.Load(),
-		Queued:         s.queued.Load(),
-		Shed:           s.shed.Load(),
-		DegradedGrants: s.degraded.Load(),
-		QueueWaitNs:    s.queueWaitNs.Load(),
-	}
+	// Children before parents, per the invariant pairs above.
+	st.DegradedGrants = s.degraded.Load()
+	st.Admitted = s.admitted.Load()
+	st.QueueWaitNs = s.queueWaitNs.Load()
+	st.Queued = s.queued.Load()
+	st.SpilledQueries = s.spilled.Load()
+	st.CacheMisses = s.misses.Load()
+	st.DiskDemotions = s.demotions.Load()
+	st.Evictions = s.evictions.Load()
+	// Independent counters, in declaration order.
+	st.CacheHits = s.hits.Load()
+	st.Coalesced = s.coalesced.Load()
+	st.NegativeHits = s.negHits.Load()
+	st.Mutations = s.mutations.Load()
+	st.DiskHits = s.diskHits.Load()
+	st.Shed = s.shed.Load()
+	return st
 }
 
 // Query parses and answers one query against a registered articulation.
@@ -381,6 +394,28 @@ func (s *Service) QueryLimited(ctx context.Context, artName, text string, lim Li
 	return s.DoLimited(ctx, artName, q, lim)
 }
 
+// QueryTraced is QueryLimited with per-request tracing: the service
+// records the request's span tree — cache lookup, coalesce wait,
+// admission, and the engine's own query.execute subtree — and returns
+// its root alongside the result. The root is always non-nil (even on
+// errors) so callers can log or return it unconditionally; spans cost
+// allocations, so this entry point is for requests that asked for a
+// trace (oniond's trace=1, the slow-query log), not the default path.
+func (s *Service) QueryTraced(ctx context.Context, artName, text string, lim Limits) (*query.Result, Outcome, *obs.Span, error) {
+	root := obs.NewTrace("request")
+	root.SetAttr("articulation", artName)
+	q, err := query.Parse(text)
+	if err != nil {
+		root.End()
+		return nil, OutcomeMiss, root, err
+	}
+	root.SetAttr("query", q.String())
+	res, out, err := s.doLimited(ctx, artName, q, lim, root)
+	root.SetAttr("outcome", out.String())
+	root.End()
+	return res, out, root, err
+}
+
 // Do answers a parsed query. The returned Result is shared — with the
 // cache and possibly with concurrent callers — and must be treated as
 // read-only.
@@ -391,6 +426,21 @@ func (s *Service) Do(ctx context.Context, artName string, q query.Query) (*query
 // DoLimited is Do under per-request resource limits (a memory budget
 // beside the context deadline).
 func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, lim Limits) (*query.Result, Outcome, error) {
+	return s.doLimited(ctx, artName, q, lim, nil)
+}
+
+// doLimited answers one parsed query, timing it into the per-outcome
+// latency histogram and, when sp is non-nil, hanging the request's
+// spans (cache, coalesce, admission, execution) under it.
+func (s *Service) doLimited(ctx context.Context, artName string, q query.Query, lim Limits, sp *obs.Span) (*query.Result, Outcome, error) {
+	t0 := time.Now()
+	res, out, err := s.answer(ctx, artName, q, lim, sp)
+	durFor(out).ObserveSince(t0)
+	return res, out, err
+}
+
+// answer is the cache/coalesce/lead state machine behind doLimited.
+func (s *Service) answer(ctx context.Context, artName string, q query.Query, lim Limits, sp *obs.Span) (*query.Result, Outcome, error) {
 	if err := q.Validate(); err != nil {
 		return nil, OutcomeMiss, err
 	}
@@ -418,6 +468,8 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 			if res, ok := s.cache.get(key); ok {
 				s.mu.Unlock()
 				s.hits.Add(1)
+				smEvHit.Inc()
+				cacheSpan(sp, "memory")
 				return res, OutcomeHit, nil
 			}
 		}
@@ -425,6 +477,8 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 			if res, ok := s.negCache.get(key); ok {
 				s.mu.Unlock()
 				s.negHits.Add(1)
+				smEvNegHit.Inc()
+				cacheSpan(sp, "negative")
 				return res, OutcomeHit, nil
 			}
 		}
@@ -443,6 +497,8 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 				s.mu.Unlock()
 				s.demote(evicted)
 				s.diskHits.Add(1)
+				smEvDiskHit.Inc()
+				cacheSpan(sp, "disk")
 				return res, OutcomeHit, nil
 			}
 			s.mu.Lock()
@@ -451,6 +507,8 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 			if res, ok := s.cache.get(key); ok {
 				s.mu.Unlock()
 				s.hits.Add(1)
+				smEvHit.Inc()
+				cacheSpan(sp, "memory")
 				return res, OutcomeHit, nil
 			}
 		}
@@ -460,12 +518,19 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 			s.flights[key] = f
 			s.mu.Unlock()
 			s.misses.Add(1)
-			return s.lead(ctx, artName, q, key, f, lim)
+			smEvMiss.Inc()
+			return s.lead(ctx, artName, q, key, f, lim, sp)
 		}
 		s.mu.Unlock()
 		s.coalesced.Add(1)
+		smEvCoalesced.Inc()
+		var ws *obs.Span
+		if sp != nil {
+			ws = sp.Child("coalesce.wait")
+		}
 		select {
 		case <-f.done:
+			ws.End()
 			if f.err != nil && ctx.Err() == nil &&
 				(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
 				// The leader died of its *own* deadline or a
@@ -479,16 +544,28 @@ func (s *Service) DoLimited(ctx context.Context, artName string, q query.Query, 
 		case <-ctx.Done():
 			// The leader keeps computing for the other waiters; only
 			// this caller gives up.
+			ws.End()
 			return nil, OutcomeCoalesced, ctx.Err()
 		}
 	}
+}
+
+// cacheSpan records an instantaneous cache-hit span carrying the tier
+// that answered. Nil sp — the untraced default path — costs nothing.
+func cacheSpan(sp *obs.Span, tier string) {
+	if sp == nil {
+		return
+	}
+	c := sp.Child("cache.hit")
+	c.SetAttr("tier", tier)
+	c.End()
 }
 
 // lead executes a query as the singleflight leader. Cleanup — dropping
 // the flight, publishing to the cache, releasing the waiters — is
 // deferred, so even a panicking execution cannot wedge the key: waiters
 // are released with an error and later queries start a fresh flight.
-func (s *Service) lead(ctx context.Context, artName string, q query.Query, key string, f *flight, lim Limits) (*query.Result, Outcome, error) {
+func (s *Service) lead(ctx context.Context, artName string, q query.Query, key string, f *flight, lim Limits, sp *obs.Span) (*query.Result, Outcome, error) {
 	var execEpoch string
 	completed := false
 	defer func() {
@@ -533,10 +610,16 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 		// through the flight like any other leader error — except a
 		// queue timeout wraps the context error, which the follower
 		// retry path treats as the leader's own deadline and retries.
+		var as *obs.Span
+		if sp != nil {
+			as = sp.Child("admission")
+		}
 		adm, err := s.gov.acquire(ctx, exec.MemoryLimit)
 		if adm.queued {
 			s.queued.Add(1)
 			s.queueWaitNs.Add(uint64(adm.waitNs))
+			smQueueWait.Observe(float64(adm.waitNs) / 1e9)
+			as.SetInt("queue_wait_ns", adm.waitNs)
 		}
 		if err != nil {
 			s.shed.Add(1)
@@ -544,13 +627,31 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 			if adm.queued {
 				out = OutcomeQueued
 			}
+			if as != nil {
+				as.SetAttr("decision", out.String())
+				as.End()
+			}
 			f.err = err
 			completed = true
 			return nil, out, err
 		}
+		// Counter order matters to Stats(): admitted first, then the
+		// degraded child, so a snapshot loading children before parents
+		// never sees degraded_grants > admitted.
 		s.admitted.Add(1)
+		rung, rungName := smRungFull, "full"
 		if adm.degraded {
 			s.degraded.Add(1)
+			rung, rungName = smRungDegraded, "degraded"
+			if adm.granted <= s.gov.minGrant {
+				rung, rungName = smRungMin, "min"
+			}
+		}
+		rung.Inc()
+		if as != nil {
+			as.SetAttr("rung", rungName)
+			as.SetInt("granted_bytes", adm.granted)
+			as.End()
 		}
 		defer s.gov.release(adm.granted)
 		// The grant IS the execution budget: a degraded grant tightens
@@ -561,9 +662,15 @@ func (s *Service) lead(ctx context.Context, artName string, q query.Query, key s
 	if s.admitGate != nil {
 		s.admitGate()
 	}
+	if sp != nil {
+		// The engine hangs its query.execute subtree (plan, scans, join
+		// steps, spills, projection) under the request root.
+		exec.Trace = sp
+	}
 	res, epoch, err := s.sys.ExecuteVersioned(ctx, artName, q, exec)
 	if err == nil && res.Stats.SpilledPartitions > 0 {
 		s.spilled.Add(1)
+		smSpilled.Inc()
 	}
 	f.res, f.err, execEpoch = res, err, epoch
 	completed = true

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/query"
+)
+
+// TestQueryTraced checks the request-level span tree: a miss records
+// the engine's query.execute subtree under the request root, a repeat
+// records a cache.hit span with the memory tier, and an admission-
+// controlled run records the admission span with its ladder rung.
+func TestQueryTraced(t *testing.T) {
+	s := paperService(t, Options{Exec: query.Options{Workers: 4}})
+	ctx := context.Background()
+
+	res, out, root, err := s.QueryTraced(ctx, fixtures.ArtName, vehiclePriceQ, Limits{})
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("first query: outcome %v err %v, want miss", out, err)
+	}
+	if root == nil || root.Name != "request" {
+		t.Fatalf("root span = %+v, want request", root)
+	}
+	if root.DurNs <= 0 {
+		t.Errorf("root span not ended")
+	}
+	if got := root.Find("query.execute"); got == nil {
+		t.Errorf("miss trace lacks query.execute subtree:\n%s", root.Tree())
+	}
+	if res == nil || len(res.Rows) == 0 {
+		t.Fatalf("no rows")
+	}
+
+	_, out, root2, err := s.QueryTraced(ctx, fixtures.ArtName, vehiclePriceQ, Limits{})
+	if err != nil || out != OutcomeHit {
+		t.Fatalf("second query: outcome %v err %v, want hit", out, err)
+	}
+	hit := root2.Find("cache.hit")
+	if hit == nil {
+		t.Fatalf("hit trace lacks cache.hit span:\n%s", root2.Tree())
+	}
+	if !strings.Contains(root2.Tree(), "tier=memory") {
+		t.Errorf("cache.hit span lacks tier attr:\n%s", root2.Tree())
+	}
+	if root2.Find("query.execute") != nil {
+		t.Errorf("cache hit recorded an execution subtree")
+	}
+
+	// Parse errors still return a finished root for logging.
+	_, _, errRoot, err := s.QueryTraced(ctx, fixtures.ArtName, "SELECT bogus", Limits{})
+	if err == nil {
+		t.Fatalf("parse error accepted")
+	}
+	if errRoot == nil || errRoot.DurNs <= 0 {
+		t.Errorf("error path root = %+v, want ended span", errRoot)
+	}
+
+	// Admission control: the leader's trace carries the admission span
+	// and its rung.
+	adm := paperService(t, Options{
+		Exec:              query.Options{Workers: 1},
+		AdmissionCapBytes: 1 << 20,
+	})
+	_, out, aroot, err := adm.QueryTraced(ctx, fixtures.ArtName, vehiclePriceQ, Limits{})
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("admitted query: outcome %v err %v", out, err)
+	}
+	asp := aroot.Find("admission")
+	if asp == nil {
+		t.Fatalf("admitted trace lacks admission span:\n%s", aroot.Tree())
+	}
+	if !strings.Contains(aroot.Tree(), "rung=") {
+		t.Errorf("admission span lacks rung attr:\n%s", aroot.Tree())
+	}
+
+	// The untraced entry points stay trace-free.
+	plain, out, err := s.QueryOutcome(ctx, fixtures.ArtName, vehiclePriceQ)
+	if err != nil || out != OutcomeHit {
+		t.Fatalf("untraced query: outcome %v err %v", out, err)
+	}
+	_ = plain
+}
+
+// TestStatsSnapshotInvariants hammers the service while snapshotting
+// and asserts the children-before-parents load order holds: no snapshot
+// may show a derived counter exceeding the total that bounds it.
+func TestStatsSnapshotInvariants(t *testing.T) {
+	s := paperService(t, Options{
+		Exec:              query.Options{Workers: 2},
+		CacheEntries:      -1, // every query executes: misses and admissions churn
+		AdmissionCapBytes: 256 << 10,
+		AdmissionMinGrant: 32 << 10,
+	})
+	ctx := context.Background()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _, _ = s.QueryLimited(ctx, fixtures.ArtName, vehiclePriceQ, Limits{MemoryBytes: 512 << 10})
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		st := s.Stats()
+		if st.DegradedGrants > st.Admitted {
+			t.Fatalf("snapshot %d: degraded %d > admitted %d", i, st.DegradedGrants, st.Admitted)
+		}
+		if st.SpilledQueries > st.CacheMisses {
+			t.Fatalf("snapshot %d: spilled %d > misses %d", i, st.SpilledQueries, st.CacheMisses)
+		}
+		if st.DiskDemotions > st.Evictions {
+			t.Fatalf("snapshot %d: demotions %d > evictions %d", i, st.DiskDemotions, st.Evictions)
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/inference"
 	"repro/internal/kb"
 	"repro/internal/lexicon"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/pattern"
 	"repro/internal/query"
@@ -268,8 +269,28 @@ func NewIOExpert(in io.Reader, out io.Writer, maxRounds int) Expert {
 	return &skat.IOExpert{In: in, Out: out, MaxRounds: maxRounds}
 }
 
-// QueryPlan is the reformulation plan of a query (System.Explain).
+// QueryPlan is the reformulation plan of a query (System.Explain). When
+// produced by System.ExplainAnalyze it additionally carries per-step
+// actual row counts and durations from a real execution.
 type QueryPlan = query.Plan
+
+// Observability (internal/obs): every process shares one metrics
+// registry — cmd/oniond serves it at GET /metrics in the Prometheus
+// text exposition — and executions requested with tracing record a span
+// tree.
+type (
+	// TraceSpan is one node of a query's span tree (QueryService
+	// QueryTraced, or oniond's trace=1): a named timed operation with
+	// attributes and children. Its Tree method renders the indented
+	// text form.
+	TraceSpan = obs.Span
+	// TraceAttr is one key/value annotation on a span.
+	TraceAttr = obs.Attr
+)
+
+// NewTrace starts a root span for a hand-driven trace; end it with End
+// and pass it through QueryOptions-independent instrumented call paths.
+func NewTrace(name string) *TraceSpan { return obs.NewTrace(name) }
 
 // Lexicon is the WordNet-substitute semantic lexicon.
 type Lexicon = lexicon.Lexicon
