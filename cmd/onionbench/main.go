@@ -1,10 +1,10 @@
 // Onionbench regenerates the experiment tables of DESIGN.md /
 // EXPERIMENTS.md: the Fig. 1 / Fig. 2 reproductions (E1, E2) and the
-// quantified claims (E3..E16).
+// quantified claims (E3..E19).
 //
 //	onionbench                         # run everything
 //	onionbench -exp E3                 # one experiment
-//	onionbench -exp E11,E12,E13,E14,E15,E16 -json  # machine-readable results (BENCH_*.json)
+//	onionbench -exp E11,E12,E15,E19 -json  # machine-readable results (BENCH_*.json)
 //	onionbench -list                   # list experiments
 package main
 

@@ -30,11 +30,16 @@ var MemCharge = &Analyzer{
 	Run: runMemCharge,
 }
 
-// memChargeFiles are the tuple-execution files the contract covers.
+// memChargeFiles are the tuple-execution files the contract covers —
+// the row-at-a-time path and the columnar batch path (whose column
+// vectors are tuple storage turned sideways).
 var memChargeFiles = map[string]bool{
-	"exec.go":     true,
-	"pipeline.go": true,
-	"spill.go":    true,
+	"exec.go":      true,
+	"pipeline.go":  true,
+	"spill.go":     true,
+	"batch.go":     true,
+	"batchpipe.go": true,
+	"projspill.go": true,
 }
 
 func runMemCharge(pass *Pass) error {
@@ -62,7 +67,8 @@ func runMemCharge(pass *Pass) error {
 				if isBuiltin(pkg.Info, call, "make") && tupleStorage(pkg.Info.Types[call].Type) {
 					hotAllocs = append(hotAllocs, call)
 				}
-				if isBudgetCharge(pkg.Info, call) || isArenaUse(pkg.Info, call) {
+				if isBudgetCharge(pkg.Info, call) || isArenaUse(pkg.Info, call) ||
+					isProjCharge(pkg.Info, call) {
 					charges = true
 				}
 				return true
@@ -111,6 +117,22 @@ func isBudgetCharge(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	return typeIs(sig.Recv().Type(), "mem", "Budget")
+}
+
+// isProjCharge matches the streaming projection's charge helper: a
+// stageProj.ensure call reserves the row's retention (or rotates the
+// dedup set to a spill run), so a function that allocates a projected
+// row through it participates in accounting.
+func isProjCharge(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeOf(info, call)
+	if f == nil || f.Name() != "ensure" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return typeIs(sig.Recv().Type(), "query", "stageProj")
 }
 
 // isArenaUse matches tuple allocation routed through the budget-carrying

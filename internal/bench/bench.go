@@ -92,10 +92,11 @@ func All() []*Table {
 		E16ColdStart(nil),
 		E17OverloadServing(nil),
 		E18ObservabilityOverhead(nil),
+		E19BatchExecution(nil),
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E18"); ok is false for unknown
+// ByID runs one experiment by id ("E1".."E19"); ok is false for unknown
 // ids.
 func ByID(id string) (*Table, bool) {
 	switch strings.ToUpper(id) {
@@ -135,6 +136,8 @@ func ByID(id string) (*Table, bool) {
 		return E17OverloadServing(nil), true
 	case "E18":
 		return E18ObservabilityOverhead(nil), true
+	case "E19":
+		return E19BatchExecution(nil), true
 	default:
 		return nil, false
 	}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/query"
+)
+
+// E19BatchExecution measures the columnar batch executor (PR 10) against
+// the row-at-a-time streaming pipeline it replaced as the default
+// pipelined data plane. Both legs run the identical plan with the
+// identical worker pool; the only difference is Options{RowAtATime},
+// which pins the PR 3 tuple-at-a-time pipeline. Two worlds:
+//
+//   - the E12 join world (2 sources, duplicate-keyed predicates), where
+//     per-row routing and probing dominate — the headline comparison;
+//   - the E13 deep chain (depth 5), where every step boundary pays the
+//     per-row hash+route cost, so vectorization compounds with depth.
+//
+// Methodology is E18's: executions are milliseconds and CI-class
+// scheduler noise is bursty, so the legs alternate execution-by-
+// execution (a burst lands on both), the GC pacer is disabled with
+// collections forced at round boundaries outside the timed regions, and
+// the reported speedup is the ratio of per-leg medians with a two-
+// standard-error noise column bounding what the samples can resolve.
+// The acceptance bar is a ≥1.5x batch speedup on the join world with
+// byte-identical rows (EqualRows) across the legs.
+func E19BatchExecution(triples []int) *Table {
+	if triples == nil {
+		triples = []int{3, 4}
+	}
+	t := &Table{
+		ID:    "E19",
+		Title: "columnar batch execution — batch vs. row-at-a-time pipeline",
+		Columns: []string{"world", "rows", "row ms", "batch ms",
+			"speedup", "noise ±", "batches", ">=1.5x", "identical"},
+		Notes: []string{
+			fmt.Sprintf("join world: %d instances per source; chain world: depth 5; warm plan; %d workers; %d interleaved executions per leg", e19Instances, chainWorkers, e19Reps),
+			"row leg pins Options{RowAtATime} (the PR 3 tuple pipeline); batch leg is the default",
+			"ms columns are per-leg medians (legs alternate execution-by-execution)",
+			"noise ± is two standard errors of the speedup estimate, from the samples' own spread",
+			"batches is the batch leg's Stats.Batches (staging batches through the vectorized passes)",
+			"the >=1.5x bar applies to the join worlds; the chain row is reported for visibility",
+			"identical checks byte-equal rows across both legs",
+		},
+	}
+	prevGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prevGC)
+
+	type world struct {
+		name  string
+		eng   *query.Engine
+		q     query.Query
+		gated bool // the >=1.5x acceptance bar applies
+	}
+	var worlds []world
+	for _, nt := range triples {
+		eng, q, _ := buildJoinWorld(2, e19Instances, nt)
+		worlds = append(worlds, world{fmt.Sprintf("join/%dt", nt), eng, q, true})
+	}
+	{
+		eng, q := buildChainWorld(chainSources, chainInstances, 5, chainDup)
+		worlds = append(worlds, world{"chain/d5", eng, q, false})
+	}
+
+	for _, w := range worlds {
+		rowOpts := query.Options{Workers: chainWorkers, RowAtATime: true}
+		batchOpts := query.Options{Workers: chainWorkers}
+
+		base, err := w.eng.ExecuteWith(w.q, rowOpts)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := w.eng.ExecuteWith(w.q, batchOpts); err != nil {
+				panic(err)
+			}
+		}
+
+		var resRow, resBatch *query.Result
+		rowS := make([]float64, 0, e19Reps)
+		batS := make([]float64, 0, e19Reps)
+		for i := 0; i < e19Reps; i++ {
+			runtime.GC()
+			rRow, dr := e18Timed(w.eng, w.q, rowOpts)
+			rBat, db := e18Timed(w.eng, w.q, batchOpts)
+			resRow, resBatch = rRow, rBat
+			rowS = append(rowS, float64(dr))
+			batS = append(batS, float64(db))
+		}
+
+		dRow := time.Duration(median(rowS))
+		dBatch := time.Duration(median(batS))
+		speedup := float64(dRow) / float64(dBatch)
+		noise := ratioNoisePct(rowS, batS) / 100
+		identical := base.EqualRows(resRow) && base.EqualRows(resBatch)
+		t.Rows = append(t.Rows, []string{
+			w.name,
+			fmt.Sprintf("%d", len(resBatch.Rows)),
+			ms(dRow), ms(dBatch),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.2f", noise),
+			fmt.Sprintf("%d", resBatch.Stats.Batches),
+			okMark(!w.gated || speedup >= 1.5),
+			okMark(identical),
+		})
+	}
+	return t
+}
+
+// e19Instances matches e18Instances so the two tables describe the same
+// join world; e19Reps matches e18Reps for the same noise floor.
+const (
+	e19Instances = 6000
+	e19Reps      = 15
+)

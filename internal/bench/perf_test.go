@@ -79,6 +79,20 @@ func BenchmarkE12WorldPartitionedJoins(b *testing.B) {
 	benchWorldExec(b, eng, q, query.Options{Workers: 4, StepBarriers: true})
 }
 
+// The E19 pair: the columnar batch executor vs. the row-at-a-time
+// pipeline it replaced as the default pipelined data plane, on the
+// scaled-up E19 join world — for -benchmem tracking and profiling.
+
+func BenchmarkE19WorldRowPipeline(b *testing.B) {
+	eng, q, _ := buildJoinWorld(2, e19Instances, 4)
+	benchWorldExec(b, eng, q, query.Options{Workers: chainWorkers, RowAtATime: true})
+}
+
+func BenchmarkE19WorldBatch(b *testing.B) {
+	eng, q, _ := buildJoinWorld(2, e19Instances, 4)
+	benchWorldExec(b, eng, q, query.Options{Workers: chainWorkers})
+}
+
 // TestE13PipelineBeatsBarriers locks the E13 shape at a reduced scale:
 // rows cell-identical across barrier, pipeline and sequential, the
 // pipeline stats populated, and the cross-step pipeline ahead of the

@@ -340,6 +340,19 @@ func (s *Store) ForEachByPredicate(pred string, fn func(Fact) bool) {
 	}
 }
 
+// ForEachByPredicateIndexed is ForEachByPredicate with each fact's store
+// ordinal: callers that maintain fact-aligned caches (the query engine's
+// qualified-term cache) key them by ordinal. The fact log is append-only
+// — Add appends, duplicates are rejected, nothing reorders — so a cache
+// built at one epoch stays valid for every ordinal below its length.
+func (s *Store) ForEachByPredicateIndexed(pred string, fn func(i int, f Fact) bool) {
+	for _, i := range s.byPred[pred] {
+		if !fn(i, s.facts[i]) {
+			return
+		}
+	}
+}
+
 // ForEachBySubject streams the facts about the subject via the subject
 // index; fn returning false stops the walk.
 func (s *Store) ForEachBySubject(subject string, fn func(Fact) bool) {

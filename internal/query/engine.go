@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -100,6 +101,30 @@ type Stats struct {
 	// (record framing included, recursion included). Deterministic for
 	// a given spilled-partition set; 0 without a memory limit.
 	SpilledBytes int64
+	// Batches counts the column batches the batch executor produced
+	// (scan-side and stage-output batches; 0 on every other path).
+	// Deterministic: batch boundaries are fixed by per-producer row
+	// counts and the batch capacity, not by scheduling.
+	Batches int
+	// BatchRows counts the rows those batches carried before selection
+	// masks dropped filtered rows — alongside Batches it gives the
+	// realised batch fill (BatchRows/Batches) on the batch path.
+	BatchRows int
+	// SelectivityPct is the percentage of rows entering the batch
+	// executor's vectorized filter passes that survived them (100 when
+	// no filter applied; 0 only when every filtered row dropped).
+	// Deterministic, like the row counters it derives from.
+	SelectivityPct float64
+	// HybridJoins counts join partitions that degraded as hybrid
+	// grace-hash joins: the build prefix already reserved stayed in
+	// memory and only the overflow spilled to runs. A subset of
+	// SpilledPartitions, and timing-influenced the same way.
+	HybridJoins int
+	// ProjectionSpills counts last-stage partitions whose streaming
+	// projection dedup set could not reserve and degraded to sorted
+	// spill runs merged (and deduplicated) at stage end. The runs and
+	// bytes count in SpillRuns/SpilledBytes.
+	ProjectionSpills int
 	// StepRows records each planned step's emitted row count in join
 	// order, after the filters that first apply at that step — the
 	// actuals EXPLAIN ANALYZE reports against the planner estimates.
@@ -122,6 +147,8 @@ func (dst *Stats) accrue(s Stats) {
 	dst.Conversions += s.Conversions
 	dst.ExpandedTerms += s.ExpandedTerms
 	dst.StreamedBatches += s.StreamedBatches
+	dst.Batches += s.Batches
+	dst.BatchRows += s.BatchRows
 }
 
 // Result is a query answer: variable names and value rows, deterministic
@@ -180,11 +207,21 @@ type Engine struct {
 	opts    Options  // defaults for Execute
 	id      uint64   // process-unique engine identity (EpochKey component)
 
-	mu      sync.RWMutex
-	plans   map[string]*execPlan
-	edgeIdx map[string]map[string][]graph.Edge // source → edge label → edges
-	qualIdx map[string]map[string]string       // source → term → qualified name
-	epochs  []uint64                           // per-source epochs the caches were built under, in names order
+	mu       sync.RWMutex
+	plans    map[string]*execPlan
+	edgeIdx  map[string]map[string][]graph.Edge // source → edge label → edges
+	qualIdx  map[string]map[string]string       // source → term → qualified name
+	factQIdx map[string][]factQual              // source → fact ordinal → qualified subject/object
+	epochs   []uint64                           // per-source epochs the caches were built under, in names order
+}
+
+// factQual is one fact's pre-qualified emission values: the subject as a
+// qualified term, and — when the fact's object is a term — the object
+// too. Indexed scans read these by fact ordinal instead of hashing the
+// subject through the qualification table once per row.
+type factQual struct {
+	subj kb.Value
+	obj  kb.Value // KindTerm iff the fact's object is a term
 }
 
 // NewEngine builds an engine over the articulation and its sources. The
@@ -200,12 +237,13 @@ func NewEngineWith(art *articulation.Articulation, sources map[string]*Source, o
 		return nil, fmt.Errorf("query: nil articulation")
 	}
 	e := &Engine{
-		art:     art,
-		sources: make(map[string]*Source, len(sources)+1),
-		opts:    opts,
-		plans:   make(map[string]*execPlan),
-		edgeIdx: make(map[string]map[string][]graph.Edge),
-		qualIdx: make(map[string]map[string]string),
+		art:      art,
+		sources:  make(map[string]*Source, len(sources)+1),
+		opts:     opts,
+		plans:    make(map[string]*execPlan),
+		edgeIdx:  make(map[string]map[string][]graph.Edge),
+		qualIdx:  make(map[string]map[string]string),
+		factQIdx: make(map[string][]factQual),
 	}
 	e.sources[art.Ont.Name()] = &Source{Ont: art.Ont}
 	for name, s := range sources {
@@ -302,6 +340,7 @@ func (e *Engine) validateEpochs() {
 			if e.epochs[i] != cur[i] {
 				delete(e.edgeIdx, name)
 				delete(e.qualIdx, name)
+				delete(e.factQIdx, name)
 			}
 		}
 		e.plans = make(map[string]*execPlan)
@@ -445,9 +484,10 @@ type keyedRow struct {
 // sortKeyedRows orders deduplicated rows by their row key — the
 // deterministic output order shared by every execution path: cell-wise,
 // kind-major, lexicographic for terms and strings, numeric for numbers.
-// Keys are unique after dedup, so the order is total.
+// Keys are unique after dedup, so the order is total (which also makes
+// the unstable slices sort deterministic — no reflection-based swaps).
 func sortKeyedRows(keep []keyedRow) [][]kb.Value {
-	sort.Slice(keep, func(i, j int) bool { return keep[i].key < keep[j].key })
+	slices.SortFunc(keep, func(a, b keyedRow) int { return strings.Compare(a.key, b.key) })
 	rows := make([][]kb.Value, len(keep))
 	for i := range keep {
 		rows[i] = keep[i].row
@@ -613,10 +653,18 @@ func (e *Engine) scanMatch(name string, src *Source, t Triple, v scanView, stats
 		}
 	}
 
-	// Scan KB facts.
+	// Scan KB facts. matchFactQ takes the fact's pre-qualified subject
+	// and (term-)object values when the caller has them — the indexed
+	// predicate path reads both from the fact-ordinal cache, skipping
+	// the per-fact qualification-table probe entirely. That path also
+	// hoists the per-predicate work out of the fact loop: the predicate
+	// membership probe (every fact under byPred[p] carries p) and the
+	// functional-bridge resolution (nf, the conversion candidates for
+	// this predicate, resolved once instead of re-walking the bridge
+	// index per fact).
 	if src.KB != nil && !isArt {
-		matchFact := func(f kb.Fact) bool {
-			if v.preds != nil && !v.preds[f.Predicate] {
+		matchFactQ := func(f kb.Fact, subjQ, objQ kb.Value, haveQ bool, nf []string, hoisted bool) bool {
+			if !hoisted && v.preds != nil && !v.preds[f.Predicate] {
 				return true
 			}
 			if v.subj != nil && !v.subj[f.Subject] {
@@ -625,9 +673,17 @@ func (e *Engine) scanMatch(name string, src *Source, t Triple, v scanView, stats
 			obj := f.Object
 			conv := false
 			if obj.IsNumber() {
-				if nv, applied := e.normalize(name, f.Predicate, obj); applied {
-					obj = nv
+				if !hoisted {
+					nf = e.normFuncNames(name, f.Predicate)
+				}
+				for _, fname := range nf {
+					out, err := e.art.Funcs.Apply(fname, obj.Num)
+					if err != nil {
+						continue
+					}
+					obj = kb.Number(out)
 					conv = true
+					break
 				}
 			}
 			if !t.O.IsVar() {
@@ -648,9 +704,17 @@ func (e *Engine) scanMatch(name string, src *Source, t Triple, v scanView, stats
 			}
 			objVal := obj
 			if obj.IsTerm() {
-				objVal = qual(obj.Str)
+				if haveQ {
+					objVal = objQ
+				} else {
+					objVal = qual(obj.Str)
+				}
 			}
-			if emit(qual(f.Subject), kb.Term(f.Predicate), objVal) {
+			subjVal := subjQ
+			if !haveQ {
+				subjVal = qual(f.Subject)
+			}
+			if emit(subjVal, kb.Term(f.Predicate), objVal) {
 				stats.FactRows++
 				if conv {
 					stats.Conversions++
@@ -658,10 +722,20 @@ func (e *Engine) scanMatch(name string, src *Source, t Triple, v scanView, stats
 			}
 			return true
 		}
+		matchFact := func(f kb.Fact) bool {
+			return matchFactQ(f, kb.Value{}, kb.Value{}, false, nil, false)
+		}
 		switch {
 		case indexed && v.preds != nil:
+			fq := e.factQuals(name)
 			for _, p := range v.predList {
-				src.KB.ForEachByPredicate(p, matchFact)
+				nf := e.normFuncNames(name, p)
+				src.KB.ForEachByPredicateIndexed(p, func(i int, f kb.Fact) bool {
+					if i < len(fq) {
+						return matchFactQ(f, fq[i].subj, fq[i].obj, true, nf, true)
+					}
+					return matchFactQ(f, kb.Value{}, kb.Value{}, false, nf, true)
+				})
 			}
 		case indexed && v.subj != nil:
 			for _, s := range v.subjList {
@@ -797,20 +871,37 @@ func (e *Engine) expandPred(srcName string, t Term, stats *Stats) (map[string]bo
 	return set, true
 }
 
-// normalize converts a numeric KB value into the articulation's metric
-// space when a functional bridge (src.pred → art.X) with a registered
-// conversion exists — the paper's "query processor will utilize these
-// normalization functions" (§4.1).
-func (e *Engine) normalize(srcName, pred string, v kb.Value) (kb.Value, bool) {
+// normFuncNames resolves the conversion candidates for one source
+// predicate: the registered function names of its functional bridges
+// into the articulation, in bridge order. The resolution is static per
+// (source, predicate) — only Apply depends on the value — so indexed
+// scans hoist it out of their per-fact loop.
+func (e *Engine) normFuncNames(srcName, pred string) []string {
+	if e.art.Funcs == nil {
+		return nil
+	}
 	from := ontology.MakeRef(srcName, pred)
+	var names []string
 	for _, b := range e.art.BridgesFrom(from) {
 		if !b.Functional() || b.To.Ont != e.art.Ont.Name() {
 			continue
 		}
-		if e.art.Funcs == nil || !e.art.Funcs.Has(b.FuncName()) {
+		if !e.art.Funcs.Has(b.FuncName()) {
 			continue
 		}
-		out, err := e.art.Funcs.Apply(b.FuncName(), v.Num)
+		names = append(names, b.FuncName())
+	}
+	return names
+}
+
+// normalize converts a numeric KB value into the articulation's metric
+// space when a functional bridge (src.pred → art.X) with a registered
+// conversion exists — the paper's "query processor will utilize these
+// normalization functions" (§4.1). The first candidate whose conversion
+// applies cleanly wins.
+func (e *Engine) normalize(srcName, pred string, v kb.Value) (kb.Value, bool) {
+	for _, fname := range e.normFuncNames(srcName, pred) {
+		out, err := e.art.Funcs.Apply(fname, v.Num)
 		if err != nil {
 			continue
 		}

@@ -221,6 +221,9 @@ func (e *Engine) executeTuples(ctx context.Context, q Query, plan *execPlan, opt
 	st := &res.Stats
 	width := len(plan.slotNames)
 	workers := resolveWorkers(opts)
+	if plan.batches(opts, workers) {
+		return e.executeBatched(ctx, q, plan, opts, bud, res)
+	}
 	if plan.pipelines(opts, workers) {
 		return e.executePipelined(ctx, q, plan, opts, bud, res)
 	}

@@ -73,6 +73,9 @@ func TestTupleExecutorMatchesReferences(t *testing.T) {
 		{"pipelined", Options{Workers: 4}},
 		{"pipelined-cached", Options{Workers: 4}},
 		{"pipelined-parts-3", Options{Workers: 4, Partitions: 3}},
+		{"row-pipeline", Options{Workers: 4, RowAtATime: true}},
+		{"row-pipeline-parts-3", Options{Workers: 4, Partitions: 3, RowAtATime: true}},
+		{"batch-16k-budget", Options{Workers: 4, MemoryLimit: 1 << 14}},
 		{"compat-inline", Options{Workers: 1, CompatJoins: true}},
 		{"compat-pool", Options{Workers: 4, CompatJoins: true}},
 	}
@@ -106,6 +109,18 @@ func TestTupleExecutorMatchesReferences(t *testing.T) {
 	}
 	if got.Stats.PipelinedSteps == 0 {
 		t.Errorf("pooled chain did not pipeline: %+v", got.Stats)
+	}
+	// The default pipelined run executes on the columnar batch plane;
+	// Options{RowAtATime} must pin the tuple plane on the same pool.
+	if got.Stats.Batches == 0 || got.Stats.BatchRows == 0 {
+		t.Errorf("default pipeline did not batch: %+v", got.Stats)
+	}
+	rowLeg, err := eng.ExecuteWith(q, Options{Workers: 4, RowAtATime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowLeg.Stats.Batches != 0 || rowLeg.Stats.BatchRows != 0 {
+		t.Errorf("RowAtATime run reported column batches: %+v", rowLeg.Stats)
 	}
 	// So must the per-step barrier run — within each step.
 	barrier, err := eng.ExecuteWith(q, Options{Workers: 4, StepBarriers: true})
@@ -238,6 +253,42 @@ func TestPerRowJoinAllocs(t *testing.T) {
 	// return to per-row maps or string join keys.
 	if perRow > 15 {
 		t.Errorf("per-row join allocations = %.2f (total %.0f over %d rows), want <= 15", perRow, avg, rows)
+	}
+}
+
+// TestPerRowBatchAllocs pins the batch plane's amortized allocation
+// rate below the row-at-a-time pipeline's measured ~8 per joined row:
+// columns, hash vectors and selection masks are allocated per batch and
+// pooled, so the per-row count must drop well under the PR 2 bound.
+func TestPerRowBatchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting under -short")
+	}
+	eng, q := joinHeavyEngine(t, 300)
+	opts := Options{Workers: 4}
+	res, err := eng.ExecuteWith(q, opts) // warm plan cache, edge indexes and batch pools
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Stats.JoinedRows
+	if rows == 0 {
+		t.Fatalf("no joined rows")
+	}
+	if res.Stats.Batches == 0 {
+		t.Fatalf("batch path not engaged: %+v", res.Stats)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := eng.ExecuteWith(q, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perRow := avg / float64(rows)
+	// Measured ~2.7 allocs per joined row for the whole execution
+	// (pooled column batches, projection keys, worker machinery). The
+	// bound leaves headroom for runtime changes while failing on any
+	// return to per-row column or hash-vector allocation.
+	if perRow > 8 {
+		t.Errorf("per-row batch allocations = %.2f (total %.0f over %d rows), want <= 8", perRow, avg, rows)
 	}
 }
 

@@ -2,7 +2,6 @@ package query
 
 import (
 	"context"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -198,23 +197,55 @@ func makePartChans(parts, depth int) []chan *streamedBatch {
 // stageProj is one last-stage partition's streaming projection: probe
 // output dedups straight onto the SELECT slots as it is emitted, so the
 // final frontier is never materialised — only the partition's distinct
-// projected rows are retained (charged as un-spillable state: they are
-// the answer). Rows are sorted by their row key at stage end and the
+// projected rows are retained. Under Options{MemoryLimit} that retention
+// is itself spillable (projspill.go): the dedup set reserves from the
+// shared pool and rotates to sorted temp-file runs when refused, so even
+// a distinct answer set larger than the cap stays within it. Rows are
+// sorted by their row key at stage end (merging any runs back) and the
 // executor merges the sorted partitions.
 type stageProj struct {
 	sel  []int
 	keys map[string]struct{}
 	rows []keyedRow
 	buf  []byte
-	bud  *mem.Budget
+	bud  *mem.Budget // root: final rows and run write buffers (MustReserve)
+
+	// Spill state (limit-governed executions only; projspill.go).
+	spill    *mem.Budget // spillable dedup-set reservations (nil: never spills)
+	dir      string
+	runs     []*projRun
+	charged  int64 // bytes currently reserved on spill
+	headroom int64 // granted but not yet consumed by row charges
+	bytes    int64 // record bytes written across runs (Stats.SpilledBytes)
+	spilled  bool  // rotated at least once (Stats.ProjectionSpills)
+	err      error
 }
 
-func newStageProj(q Query, plan *execPlan, bud *mem.Budget) *stageProj {
+// projKeysPool recycles projection dedup sets across partitions and
+// executions: a cleared map keeps its buckets, so a steady query mix
+// dedups into already-grown tables. Live entries are charged per row
+// (MustReserve in add); an idle pooled map holds no entries.
+var projKeysPool sync.Pool
+
+// newStageProj builds one partition's projection. pool, when non-nil,
+// is the spillable reservation pool the dedup set draws on (the
+// limit-governed executors pass their spill pool; unbounded executions
+// pass nil and the set charges the root as un-spillable state).
+func newStageProj(q Query, plan *execPlan, bud, pool *mem.Budget, dir string) *stageProj {
 	sel := make([]int, len(q.Select))
 	for i, v := range q.Select {
 		sel[i] = plan.slotOf[v]
 	}
-	return &stageProj{sel: sel, keys: make(map[string]struct{}), bud: bud}
+	keys, ok := projKeysPool.Get().(map[string]struct{})
+	if !ok {
+		keys = make(map[string]struct{})
+	}
+	pp := &stageProj{sel: sel, keys: keys, bud: bud}
+	if pool != nil {
+		pp.spill = pool.Child(0)
+		pp.dir = dir
+	}
+	return pp
 }
 
 func (pp *stageProj) add(t tuple) {
@@ -226,25 +257,46 @@ func (pp *stageProj) add(t tuple) {
 		return
 	}
 	key := string(pp.buf)
+	// Charge before inserting: a rotation inside ensure flushes the
+	// buffered set to a run, and the new row belongs to the next set.
+	pp.ensure(projRowCost(key, len(pp.sel)))
 	pp.keys[key] = struct{}{}
 	out := make([]kb.Value, len(pp.sel))
 	for i, s := range pp.sel {
 		out[i] = t[s]
 	}
 	pp.rows = append(pp.rows, keyedRow{key, out})
-	pp.bud.MustReserve(2*int64(len(key)) + 24 + int64(len(pp.sel))*valueBytes)
 }
 
-func (pp *stageProj) finish() []keyedRow {
-	sort.Slice(pp.rows, func(i, j int) bool { return pp.rows[i].key < pp.rows[j].key })
-	return pp.rows
+// addBatchRow is add for a columnar batch row (the batch executor's
+// last stage): same key encoding, same dedup, same charge — only the
+// cell source differs.
+func (pp *stageProj) addBatchRow(b *colBatch, i int) {
+	pp.buf = pp.buf[:0]
+	for _, s := range pp.sel {
+		pp.buf = appendValueKey(pp.buf, b.cols[s][i])
+	}
+	if _, dup := pp.keys[string(pp.buf)]; dup {
+		return
+	}
+	key := string(pp.buf)
+	pp.ensure(projRowCost(key, len(pp.sel)))
+	pp.keys[key] = struct{}{}
+	out := make([]kb.Value, len(pp.sel))
+	for k, s := range pp.sel {
+		out[k] = b.cols[s][i]
+	}
+	pp.rows = append(pp.rows, keyedRow{key, out})
 }
 
 // mergeSortedKeyed merges per-partition sorted keyedRow groups into the
 // deterministic global row order, dropping cross-partition duplicates
 // (two partitions can project onto the same row even though their join
-// keys differ). Group count is small, so a linear head scan beats a
-// heap.
+// keys differ — a duplicated key always carries a cell-identical row,
+// since the key is the row's full encoding, so pop order among equal
+// keys cannot change the output). A min-heap over the group heads keeps
+// the per-row cost at log(groups) key compares; below mergeHeapMin
+// groups a linear head scan is cheaper.
 func mergeSortedKeyed(groups [][]keyedRow, bud *mem.Budget) [][]kb.Value {
 	total := 0
 	for _, g := range groups {
@@ -256,28 +308,78 @@ func mergeSortedKeyed(groups [][]keyedRow, bud *mem.Budget) [][]kb.Value {
 	rows := make([][]kb.Value, 0, total)
 	idx := make([]int, len(groups))
 	lastKey, have := "", false
-	for {
-		best := -1
-		for gi, g := range groups {
-			if idx[gi] >= len(g) {
-				continue
-			}
-			if best == -1 || g[idx[gi]].key < groups[best][idx[best]].key {
-				best = gi
-			}
-		}
-		if best == -1 {
-			return rows
-		}
-		kr := groups[best][idx[best]]
-		idx[best]++
+	emit := func(kr keyedRow) {
 		if have && kr.key == lastKey {
-			continue
+			return
 		}
 		lastKey, have = kr.key, true
 		rows = append(rows, kr.row)
 	}
+	if len(groups) < mergeHeapMin {
+		for {
+			best := -1
+			for gi, g := range groups {
+				if idx[gi] >= len(g) {
+					continue
+				}
+				if best == -1 || g[idx[gi]].key < groups[best][idx[best]].key {
+					best = gi
+				}
+			}
+			if best == -1 {
+				return rows
+			}
+			kr := groups[best][idx[best]]
+			idx[best]++
+			emit(kr)
+		}
+	}
+	// heap[0..len) holds group indices ordered by each group's current
+	// head key.
+	less := func(a, b int) bool { return groups[a][idx[a]].key < groups[b][idx[b]].key }
+	h := make([]int, 0, len(groups))
+	for gi, g := range groups {
+		if len(g) > 0 {
+			h = append(h, gi)
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(h) && less(h[r], h[l]) {
+				m = r
+			}
+			if !less(h[m], h[i]) {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		g := h[0]
+		kr := groups[g][idx[g]]
+		idx[g]++
+		if idx[g] >= len(groups[g]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
+		emit(kr)
+	}
+	return rows
 }
+
+// mergeHeapMin is the group count at which mergeSortedKeyed switches
+// from a linear head scan to the heap.
+const mergeHeapMin = 8
 
 // executePipelined runs a keyed join chain as a cross-step streaming
 // pipeline. Callers guarantee: more than one worker, at least two steps,
@@ -349,6 +451,13 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 		poolLimit = max(limit/2, 1)
 	}
 	spillPool := bud.Child(poolLimit)
+	// The last stage's projection dedup sets draw on the same pool —
+	// but only under a limit; unbounded executions keep the historical
+	// root accounting and never rotate.
+	var projPool *mem.Budget
+	if limit > 0 {
+		projPool = spillPool
+	}
 
 	// Wiring: stage si (1..n-1) builds from scanCh[si] and probes
 	// upCh[si]; both carry hashes on steps[si].keySlots. Stage si routes
@@ -406,14 +515,20 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	// afterwards.
 	stageBatches := make([][]int, n)
 	stageSpilled := make([][]int, n)
+	stageHybrid := make([][]int, n)
 	stageRuns := make([][]int, n)
 	stageBytes := make([][]int64, n)
 	for si := 1; si < n; si++ {
 		stageBatches[si] = make([]int, parts[si])
 		stageSpilled[si] = make([]int, parts[si])
+		stageHybrid[si] = make([]int, parts[si])
 		stageRuns[si] = make([]int, parts[si])
 		stageBytes[si] = make([]int64, parts[si])
 	}
+	// Last-stage projection spill counters (one slot per partition).
+	projSpills := make([]int, parts[n-1])
+	projRunCnt := make([]int, parts[n-1])
+	projRunBytes := make([]int64, parts[n-1])
 
 	// Scan worker pool, shared by every step's scans, dispatched in step
 	// order: step 0 feeds upCh[1] directly (hashed on step 1's keys);
@@ -540,8 +655,13 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 	// unblocked, so the shared scan pool can never wedge behind a stage.
 	// Retention (build table, pending queue) charges the partition's
 	// child budget; a failed reservation degrades the partition (probe
-	// overflow run first, full grace-hash spill when the build side
-	// cannot reserve).
+	// overflow run first, grace-hash spill when the build side cannot
+	// reserve). Build degradation is hybrid, like the batch executor's:
+	// the already-reserved build prefix stays resident and frozen, only
+	// rows from the failure on go to disk, and the completion replays
+	// the probe run against the frozen half before the grace join covers
+	// the spilled half — the two match sets are disjoint because every
+	// build row lives on exactly one side.
 	projParts := make([][]keyedRow, parts[n-1]) // last stage's sorted projected rows
 	stageWg := make([]sync.WaitGroup, n)
 	for si := 1; si < n; si++ {
@@ -558,9 +678,9 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 				partBud := spillPool.Child(0)
 				build := make(map[uint64][]tuple)
 				var pending []*streamedBatch
-				var charged int64
+				var buildCharged, pendCharged int64
 				sp := &spillPart{dir: opts.SpillDir, width: width, bud: partBud, io: bud}
-				buildSpilled, probeSpilled := false, false
+				buildSpilled, probeSpilled, hybrid := false, false, false
 				var spillErr error
 				fail := func(err error) {
 					if err != nil && spillErr == nil {
@@ -590,15 +710,14 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 					}
 					buildSpilled = true
 					stageSpilled[si][p] = 1
-					for h, ts := range build {
-						for _, t := range ts {
-							if err := sp.build.add(t, h); err != nil {
-								fail(err)
-								return
-							}
-						}
+					// Hybrid grace: the reserved build prefix stays resident
+					// and frozen; only rows from here on go to disk. Pending
+					// probe batches go to the probe run before any probing,
+					// so the encoded bytes predate any in-place merge.
+					if len(build) > 0 {
+						hybrid = true
+						stageHybrid[si][p] = 1
 					}
-					build = nil
 					for _, b := range pending {
 						if spillErr == nil {
 							writeProbeBatch(b)
@@ -606,8 +725,8 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 						putBatch(b)
 					}
 					pending = nil
-					partBud.Release(charged)
-					charged = 0
+					partBud.Release(pendCharged)
+					pendCharged = 0
 				}
 				takeBuild := func(b *streamedBatch) {
 					defer putBatch(b)
@@ -617,7 +736,7 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 					}
 					cost := int64(len(b.tups)) * tc
 					if !buildSpilled && partBud.Reserve(cost) {
-						charged += cost
+						buildCharged += cost
 						for i, r := range b.tups {
 							build[b.hashes[i]] = append(build[b.hashes[i]], r)
 						}
@@ -647,7 +766,7 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 					}
 					cost := int64(len(b.tups)) * tc
 					if partBud.Reserve(cost) {
-						charged += cost
+						pendCharged += cost
 						pending = append(pending, b)
 						return
 					}
@@ -688,6 +807,7 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 				// spilling the probe side and join from disk at the end.
 				if buildSpan != nil {
 					buildSpan.SetAttr("spilled", strconv.FormatBool(buildSpilled))
+					buildSpan.SetAttr("hybrid", strconv.FormatBool(hybrid))
 					buildSpan.End()
 				}
 				var probeSpan *obs.Span
@@ -702,7 +822,7 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 				}
 				var proj *stageProj
 				if rt == nil {
-					proj = newStageProj(q, plan, bud)
+					proj = newStageProj(q, plan, bud, projPool, opts.SpillDir)
 				}
 				var emitted int64
 				emit := func(m tuple, h uint64) {
@@ -799,22 +919,35 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 						}
 					}
 					if spillErr == nil && buildSpilled {
-						// Grace-hash completion: both sides on disk, joined
-						// sub-partition by sub-partition within budget.
+						// Grace-hash completion: the spilled half of the
+						// build side joins from disk, sub-partition by
+						// sub-partition within budget.
 						var spillSpan *obs.Span
 						if partSpan != nil {
 							spillSpan = partSpan.Child("spill")
 						}
-						fail(sp.join(stp, func(l tuple, h uint64, rs []tuple) {
-							first := rs[0]
-							for _, r := range rs[1:] {
-								emit(mergeTuple(arena, l, r, stp.newSlots), h)
-							}
-							for _, s := range stp.newSlots {
-								l[s] = first[s]
-							}
-							emit(l, h)
-						}))
+						if hybrid {
+							// The frozen prefix's matches first: the probe
+							// run is re-readable, so the grace join streams
+							// it again afterwards for the disk half.
+							decodeArena := &tupleArena{width: width, blockTuples: spillDecodeBlock}
+							fail(sp.probe.replay(width, decodeArena, func(t tuple, h uint64) error {
+								probeOne(t, h)
+								return nil
+							}))
+						}
+						if spillErr == nil {
+							fail(sp.join(stp, func(l tuple, h uint64, rs []tuple) {
+								first := rs[0]
+								for _, r := range rs[1:] {
+									emit(mergeTuple(arena, l, r, stp.newSlots), h)
+								}
+								for _, s := range stp.newSlots {
+									l[s] = first[s]
+								}
+								emit(l, h)
+							}))
+						}
 						if spillSpan != nil {
 							spillSpan.SetInt("runs", int64(sp.runs))
 							spillSpan.SetInt("bytes", sp.bytes)
@@ -825,12 +958,19 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 				sp.close()
 				stageRuns[si][p] = sp.runs
 				stageBytes[si][p] = sp.bytes
-				partBud.Release(charged)
+				partBud.Release(buildCharged + pendCharged)
 				if rt != nil {
 					rt.flush()
 					stageBatches[si][p] = rt.batches
 				} else {
-					projParts[p] = proj.finish()
+					rows, perr := proj.finish()
+					fail(perr)
+					projParts[p] = rows
+					if proj.spilled {
+						projSpills[p] = 1
+						projRunCnt[p] = len(proj.runs)
+						projRunBytes[p] = proj.bytes
+					}
 				}
 				if probeSpan != nil {
 					probeSpan.SetInt("rows", emitted)
@@ -885,9 +1025,15 @@ func (e *Engine) executePipelined(ctx context.Context, q Query, plan *execPlan, 
 		for p := 0; p < parts[si]; p++ {
 			st.StreamedBatches += stageBatches[si][p]
 			st.SpilledPartitions += stageSpilled[si][p]
+			st.HybridJoins += stageHybrid[si][p]
 			st.SpillRuns += stageRuns[si][p]
 			st.SpilledBytes += stageBytes[si][p]
 		}
+	}
+	for p := 0; p < parts[n-1]; p++ {
+		st.ProjectionSpills += projSpills[p]
+		st.SpillRuns += projRunCnt[p]
+		st.SpilledBytes += projRunBytes[p]
 	}
 	st.StepRows = make([]int, n)
 	st.StepDurNs = make([]int64, n)

@@ -86,6 +86,9 @@ func TestPipelinedExecutorMatchesReferences(t *testing.T) {
 		{"pipelined-cached", Options{Workers: 4}},
 		{"pipelined-parts-2", Options{Workers: 4, Partitions: 2}},
 		{"pipelined-parts-7", Options{Workers: 3, Partitions: 7}},
+		{"row-pipeline", Options{Workers: 4, RowAtATime: true}},
+		{"row-pipeline-parts-7", Options{Workers: 3, Partitions: 7, RowAtATime: true}},
+		{"batch-16k-budget", Options{Workers: 4, MemoryLimit: 1 << 14}},
 	}
 	for _, m := range modes {
 		got, err := eng.ExecuteWith(q, m.opts)

@@ -41,6 +41,14 @@ type Options struct {
 	// benchmark baseline and as a differential leg in the determinism
 	// suite; results are always byte-identical to the pipelined path.
 	StepBarriers bool
+	// RowAtATime pins the row-at-a-time streaming pipeline (the PR 3
+	// executor: one tuple hashed, verified and filtered at a time) on
+	// plans that would otherwise run the columnar batch executor —
+	// per-slot value vectors in ~1024-row batches with vectorized hash,
+	// probe and filter loops. Retained as the E19 benchmark baseline
+	// and as a differential leg in the determinism suite; results are
+	// always byte-identical to the batch path.
+	RowAtATime bool
 	// MemoryLimit caps the accounted bytes of one execution (0 = no
 	// cap). The pipelined executor honours it by degrading: a join
 	// partition whose build table (or pending probe queue) cannot
@@ -268,6 +276,50 @@ func (e *Engine) qualTable(name string) map[string]string {
 	return t
 }
 
+// factQuals returns the fact-ordinal-aligned qualification cache for one
+// source's KB: entry i holds fact i's subject (and term object) already
+// qualified, sharing the qualTable's strings. Indexed scans emit through
+// it with a slice index instead of a map probe per fact — on the
+// join-heavy worlds that probe was the single largest per-row scan cost.
+// Built lazily under the same epoch discipline as qualTable; facts
+// appended after the build (ordinals past the cache's length) fall back
+// to the table.
+func (e *Engine) factQuals(name string) []factQual {
+	e.mu.RLock()
+	fq := e.factQIdx[name]
+	e.mu.RUnlock()
+	if fq != nil {
+		return fq
+	}
+	src := e.sources[name]
+	if src.KB == nil {
+		return nil
+	}
+	qt := e.qualTable(name)
+	qual := func(term string) kb.Value {
+		if q, ok := qt[term]; ok {
+			return kb.Value{Kind: kb.KindTerm, Str: q}
+		}
+		return kb.Term(qualify(name, term))
+	}
+	built := make([]factQual, 0, src.KB.Len())
+	src.KB.ForEach(func(f kb.Fact) bool {
+		q := factQual{subj: qual(f.Subject)}
+		if f.Object.IsTerm() {
+			q.obj = qual(f.Object.Str)
+		}
+		built = append(built, q)
+		return true
+	})
+	e.mu.Lock()
+	if fq = e.factQIdx[name]; fq == nil {
+		e.factQIdx[name] = built
+		fq = built
+	}
+	e.mu.Unlock()
+	return fq
+}
+
 // compile reformulates every (triple, source) pair once, estimates scan
 // cardinalities from the ontology and KB indexes, orders the joins
 // smallest-first, and wires the slot assignment the tuple executor runs
@@ -454,6 +506,15 @@ func (p *execPlan) pipelines(opts Options, workers int) bool {
 		return false
 	}
 	return true
+}
+
+// batches reports whether the given options execute this plan on the
+// columnar batch pipeline (batchpipe.go) — the default data plane for
+// every pipelined execution unless Options{RowAtATime} pins the PR 3
+// tuple-at-a-time pipeline. Shared with Explain, like pipelines, so the
+// explanation can never drift from the executed path.
+func (p *execPlan) batches(opts Options, workers int) bool {
+	return p.pipelines(opts, workers) && !opts.RowAtATime
 }
 
 // estimateScan predicts how many rows the scan will produce, using the

@@ -1,0 +1,362 @@
+package query
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/query/mem"
+)
+
+// This file makes the last stage's streaming projection (stageProj,
+// pipeline.go) spillable under Options{MemoryLimit}. The projection's
+// dedup set is the one retention the memory-governed pipeline could not
+// previously trade for disk: a query whose *distinct answer set* alone
+// exceeded the cap blew past it via MustReserve. Now the set reserves
+// from the shared spillable pool in chunk-sized grants; when a grant is
+// refused the buffered rows rotate to a sorted temp-file run — the row
+// key doubles as the record (it IS the row's full encoding, decodable
+// cell by cell) — and finish() merge-dedups the sorted runs with the
+// sorted in-memory remainder back into the partition's deterministic
+// row order. Rows that reach the caller are charged to the root as
+// before (they are the answer); only the transient dedup state spills.
+//
+// A duplicate row can land in two runs (the dedup map forgets spilled
+// keys), but a duplicated key always carries a cell-identical row —
+// the key is the row's encoding — so the merge's first-wins dedup
+// yields exactly the rows an unbounded run yields, byte-identical.
+
+const (
+	// projChunkBytes is the granularity of the projection's spillable
+	// reservations: row charges consume grant headroom, so the pool sees
+	// one Reserve per chunk instead of one per distinct row.
+	projChunkBytes = 16 << 10
+	// projRotateMinBytes is the smallest buffered set worth a sorted
+	// run. Below it a refused grant holds the rows anyway (MustReserve)
+	// — a bounded overshoot, at most this many bytes per last-stage
+	// partition (cf. minChunkTuples) — so a crowded pool cannot explode
+	// the projection into per-row runs.
+	projRotateMinBytes = 64 << 10
+)
+
+// projRowCost is the accounted retention of one distinct projected row:
+// its key string (map entry + keyedRow copy), the keyedRow header and
+// the row's value cells.
+func projRowCost(key string, selN int) int64 {
+	return 2*int64(len(key)) + 24 + int64(selN)*valueBytes
+}
+
+// projRun is one sorted temp-file run of projected-row keys. Records
+// are uvarint-length-prefixed key bytes, written in ascending key order;
+// like spillRun the file is unlinked at creation and the write buffer is
+// charged to the root as fixed working state.
+type projRun struct {
+	f      *os.File
+	w      *bufio.Writer
+	bud    *mem.Budget
+	keys   int
+	closed bool
+}
+
+func newProjRun(dir string, bud *mem.Budget) (*projRun, error) {
+	f, err := os.CreateTemp(dir, "onion-proj-*")
+	if err != nil {
+		return nil, fmt.Errorf("query: projection spill: %w", err)
+	}
+	os.Remove(f.Name())
+	bud.MustReserve(spillBufBytes)
+	return &projRun{f: f, w: bufio.NewWriterSize(f, spillBufBytes), bud: bud}, nil
+}
+
+// add appends one key record, returning the bytes written
+// (Stats.SpilledBytes).
+func (r *projRun) add(key string) (int64, error) {
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(len(key)))
+	if _, err := r.w.Write(lenb[:n]); err != nil {
+		return 0, fmt.Errorf("query: projection spill write: %w", err)
+	}
+	if _, err := r.w.WriteString(key); err != nil {
+		return 0, fmt.Errorf("query: projection spill write: %w", err)
+	}
+	r.keys++
+	return int64(n + len(key)), nil
+}
+
+// reader flushes the run and opens a sequential reader at its start.
+func (r *projRun) reader() (*projReader, error) {
+	if err := r.w.Flush(); err != nil {
+		return nil, fmt.Errorf("query: projection spill flush: %w", err)
+	}
+	if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("query: projection spill seek: %w", err)
+	}
+	return &projReader{br: bufio.NewReaderSize(r.f, spillBufBytes), remaining: r.keys}, nil
+}
+
+// close releases the run's fd and its accounted write buffer
+// (idempotent, like spillRun.close).
+func (r *projRun) close() {
+	if r == nil || r.closed {
+		return
+	}
+	r.closed = true
+	r.f.Close()
+	r.bud.Release(spillBufBytes)
+}
+
+// projReader streams a run's keys back in (sorted) write order. The
+// returned bytes are valid until the next call.
+type projReader struct {
+	br        *bufio.Reader
+	remaining int
+	buf       []byte
+}
+
+func (pr *projReader) next() ([]byte, bool, error) {
+	if pr.remaining == 0 {
+		return nil, false, nil
+	}
+	pr.remaining--
+	n, err := binary.ReadUvarint(pr.br)
+	if err != nil {
+		return nil, false, fmt.Errorf("query: projection spill read: %w", err)
+	}
+	if uint64(cap(pr.buf)) < n {
+		pr.buf = make([]byte, n)
+	}
+	key := pr.buf[:n]
+	if _, err := io.ReadFull(pr.br, key); err != nil {
+		return nil, false, fmt.Errorf("query: projection spill read: %w", err)
+	}
+	return key, true, nil
+}
+
+// ensure charges one distinct row's retention. Without a spill pool
+// (unbounded executions) this is the historical root MustReserve; with
+// one, charges consume chunk-granted headroom, a refused grant rotates
+// the buffered set to a sorted run, and a pool exhausted by sibling
+// partitions degrades to the bounded projRotateMinBytes overshoot.
+func (pp *stageProj) ensure(n int64) {
+	if pp.spill == nil {
+		pp.bud.MustReserve(n)
+		return
+	}
+	if pp.err != nil {
+		return
+	}
+	if pp.headroom >= n {
+		pp.headroom -= n
+		return
+	}
+	need := int64(projChunkBytes)
+	if n > need {
+		need = n
+	}
+	if pp.spill.Reserve(need) {
+		pp.charged += need
+		pp.headroom += need - n
+		return
+	}
+	if pp.charged+n >= projRotateMinBytes {
+		pp.rotate()
+		if pp.err != nil {
+			return
+		}
+		if pp.spill.Reserve(need) {
+			pp.charged += need
+			pp.headroom += need - n
+			return
+		}
+	}
+	// Pool exhausted with too little buffered to trade for disk: hold
+	// the row anyway — bounded overshoot, the projection always makes
+	// progress.
+	pp.spill.MustReserve(n)
+	pp.charged += n
+}
+
+// rotate writes the buffered dedup set to a sorted run and resets it,
+// releasing its pool reservation. The dedup map forgets the spilled
+// keys; the merge at finish() re-drops any re-projected duplicates.
+func (pp *stageProj) rotate() {
+	slices.SortFunc(pp.rows, func(a, b keyedRow) int { return strings.Compare(a.key, b.key) })
+	r, err := newProjRun(pp.dir, pp.bud)
+	if err != nil {
+		pp.err = err
+		return
+	}
+	pp.runs = append(pp.runs, r)
+	pp.spilled = true
+	for i := range pp.rows {
+		n, err := r.add(pp.rows[i].key)
+		if err != nil {
+			pp.err = err
+			break
+		}
+		pp.bytes += n
+	}
+	clear(pp.keys)
+	pp.rows = pp.rows[:0]
+	pp.spill.Release(pp.charged)
+	pp.charged, pp.headroom = 0, 0
+}
+
+// finish returns the partition's deduplicated rows in ascending key
+// order, merging any spilled runs back. The returned rows' retention is
+// charged to the root either way — they are the answer; only the dedup
+// state was spillable.
+func (pp *stageProj) finish() ([]keyedRow, error) {
+	clear(pp.keys)
+	projKeysPool.Put(pp.keys)
+	pp.keys = nil
+	if pp.err != nil {
+		pp.cleanup()
+		return nil, pp.err
+	}
+	// Keys are unique within the buffered set (deduped on add), so the
+	// unstable slices sort is deterministic and avoids sort.Slice's
+	// reflection swaps on the hot final stage.
+	slices.SortFunc(pp.rows, func(a, b keyedRow) int { return strings.Compare(a.key, b.key) })
+	if pp.spill == nil {
+		return pp.rows, nil
+	}
+	// Hand the retention from the spillable pool back before charging
+	// the root for the final rows, so the two never stack in the peak.
+	pp.spill.Release(pp.charged)
+	pp.charged, pp.headroom = 0, 0
+	if len(pp.runs) == 0 {
+		for i := range pp.rows {
+			pp.bud.MustReserve(projRowCost(pp.rows[i].key, len(pp.sel)))
+		}
+		return pp.rows, nil
+	}
+	rows, err := pp.mergeRuns()
+	pp.cleanup()
+	return rows, err
+}
+
+// cleanup closes any runs and drops remaining pool reservations (the
+// error path's sweep; the success path released them in finish).
+func (pp *stageProj) cleanup() {
+	for _, r := range pp.runs {
+		r.close()
+	}
+	pp.spill.Release(pp.charged)
+	pp.charged, pp.headroom = 0, 0
+}
+
+// decodeProjKey reconstructs a projected row from its key — the key is
+// appendValueKey over the SELECT cells, so it decodes cell by cell.
+func decodeProjKey(key []byte, selN int) ([]kb.Value, error) {
+	//lint:onion-ignore the caller (mergeRuns) charges projRowCost to the root for every merged row it retains; decode itself holds nothing past return
+	row := make([]kb.Value, selN)
+	body := key
+	for k := 0; k < selN; k++ {
+		v, consumed, err := decodeValueKey(body)
+		if err != nil {
+			return nil, fmt.Errorf("query: projection spill cell %d: %w", k, err)
+		}
+		row[k] = v
+		body = body[consumed:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("query: projection spill record has %d trailing bytes", len(body))
+	}
+	return row, nil
+}
+
+// cmpKeyBytes compares a run head against a string key without
+// materialising either.
+func cmpKeyBytes(b []byte, s string) int {
+	n := min(len(b), len(s))
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}
+
+// mergeRuns merge-dedups the sorted runs with the sorted in-memory
+// remainder (pp.rows): a linear head scan — run counts are small, one
+// per rotation — emitting each distinct key once, decoding spilled rows
+// from their keys and charging every surviving row to the root.
+func (pp *stageProj) mergeRuns() ([]keyedRow, error) {
+	readers := make([]*projReader, len(pp.runs))
+	heads := make([][]byte, len(pp.runs))
+	for i, r := range pp.runs {
+		pr, err := r.reader()
+		if err != nil {
+			return nil, err
+		}
+		readers[i] = pr
+		if heads[i], _, err = pr.next(); err != nil {
+			return nil, err
+		}
+	}
+	var out []keyedRow
+	ri := 0 // next in-memory remainder row
+	lastKey, have := "", false
+	for {
+		best := -1 // run with the smallest head
+		for i, h := range heads {
+			if h == nil {
+				continue
+			}
+			if best == -1 || bytes.Compare(h, heads[best]) < 0 {
+				best = i
+			}
+		}
+		fromRem := best == -1 ||
+			(ri < len(pp.rows) && cmpKeyBytes(heads[best], pp.rows[ri].key) >= 0)
+		if best == -1 && ri >= len(pp.rows) {
+			return out, nil
+		}
+		if fromRem {
+			kr := pp.rows[ri]
+			ri++
+			if have && kr.key == lastKey {
+				continue
+			}
+			lastKey, have = kr.key, true
+			pp.bud.MustReserve(projRowCost(kr.key, len(pp.sel)))
+			out = append(out, kr)
+			continue
+		}
+		h := heads[best]
+		var err error
+		if have && string(h) == lastKey {
+			if heads[best], _, err = readers[best].next(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		key := string(h)
+		row, err := decodeProjKey(h, len(pp.sel))
+		if err != nil {
+			return nil, err
+		}
+		if heads[best], _, err = readers[best].next(); err != nil {
+			return nil, err
+		}
+		lastKey, have = key, true
+		pp.bud.MustReserve(projRowCost(key, len(pp.sel)))
+		out = append(out, keyedRow{key, row})
+	}
+}

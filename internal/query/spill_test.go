@@ -255,6 +255,19 @@ func TestSpillJoinMatchesInMemory(t *testing.T) {
 			t.Errorf("seed %d: JoinedRows = %d, want %d", seed,
 				spilled.Stats.JoinedRows, want.Stats.JoinedRows)
 		}
+		// The default spilled leg above runs on the batch plane; the
+		// pinned tuple plane must spill to the same rows.
+		rowSpilled, err := eng.ExecuteWith(q, Options{Workers: 4, MemoryLimit: 1 << 12, RowAtATime: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowSpilled.Stats.SpilledPartitions == 0 {
+			t.Fatalf("seed %d: row-at-a-time 4KB budget did not spill: %+v", seed, rowSpilled.Stats)
+		}
+		if !want.EqualRows(rowSpilled) {
+			t.Errorf("seed %d: row-at-a-time spilled rows diverged: sequential %d rows, spilled %d rows",
+				seed, len(want.Rows), len(rowSpilled.Rows))
+		}
 	}
 }
 
@@ -484,5 +497,135 @@ func TestGraceJoinSplitAndRecurse(t *testing.T) {
 	}
 	if used := root.Used(); used != 0 {
 		t.Fatalf("budget not released after join: used = %d", used)
+	}
+}
+
+// projWideEngine builds a two-source world whose *distinct answer set*
+// dwarfs any single join build table: every instance carries one unique
+// P value, so the streaming projection must retain one row per instance
+// while each join partition only ever holds its share of the chain.
+// This is the world where, before the projection learned to spill, the
+// answer alone blew past Options{MemoryLimit} via MustReserve.
+func projWideEngine(t testing.TB, instances int) (*Engine, Query) {
+	t.Helper()
+	sources := make(map[string]*Source, 2)
+	var onts []*ontology.Ontology
+	for i := 1; i <= 2; i++ {
+		name := fmt.Sprintf("pw%d", i)
+		o := ontology.New(name)
+		o.MustAddTerm("Item")
+		o.MustAddTerm("P")
+		o.MustRelate("Item", ontology.AttributeOf, "P")
+		store := kb.New(name)
+		for k := 0; k < instances; k++ {
+			inst := fmt.Sprintf("%sI%d", name, k)
+			store.MustAdd(inst, "InstanceOf", kb.Term("Item"))
+			store.MustAdd(inst, "P", kb.Number(float64(i*1000000+k)))
+		}
+		sources[name] = &Source{Ont: o, KB: store}
+		onts = append(onts, o)
+	}
+	set := rules.NewSet(rules.MustParse("pw1.Item => pw2.Item"))
+	res, err := articulation.Generate("pwart", onts[0], onts[1], set, articulation.Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(res.Art, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse("SELECT ?x ?v WHERE ?x InstanceOf Item . ?x P ?v")
+	return eng, q
+}
+
+// TestProjectionSpillMatchesInMemory is satellite determinism for the
+// spillable projection: under a cap the distinct answer set cannot fit,
+// the dedup sets must rotate to sorted runs (Stats.ProjectionSpills)
+// and the merged-back rows must stay byte-identical to the sequential
+// reference — on both the row-at-a-time and the columnar executor.
+func TestProjectionSpillMatchesInMemory(t *testing.T) {
+	eng, q := projWideEngine(t, 4000)
+	want, err := eng.ExecuteWith(q, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != 8000 {
+		t.Fatalf("projection world produced %d rows, want 8000", len(want.Rows))
+	}
+	unbounded, err := eng.ExecuteWith(q, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Stats.ProjectionSpills != 0 {
+		t.Fatalf("unbounded run rotated its projection: %+v", unbounded.Stats)
+	}
+	if !want.EqualRows(unbounded) {
+		t.Fatal("unbounded pipeline diverged from sequential")
+	}
+	for _, leg := range []struct {
+		name string
+		opts Options
+	}{
+		{"batch", Options{Workers: 4, MemoryLimit: 1 << 19}},
+		{"row", Options{Workers: 4, MemoryLimit: 1 << 19, RowAtATime: true}},
+	} {
+		got, err := eng.ExecuteWith(q, leg.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", leg.name, err)
+		}
+		if got.Stats.ProjectionSpills == 0 {
+			t.Fatalf("%s: answer set over the cap did not rotate the projection: %+v",
+				leg.name, got.Stats)
+		}
+		if got.Stats.SpillRuns == 0 {
+			t.Errorf("%s: projection spilled without runs: %+v", leg.name, got.Stats)
+		}
+		if got.Stats.SpilledBytes == 0 {
+			t.Errorf("%s: projection spilled without bytes: %+v", leg.name, got.Stats)
+		}
+		if !want.EqualRows(got) {
+			t.Errorf("%s: projection-spilled rows diverged: sequential %d rows, got %d",
+				leg.name, len(want.Rows), len(got.Rows))
+		}
+	}
+}
+
+// TestHybridGraceJoin locks the hybrid degradation on both executors: at
+// a cap that lets build tables partially reserve before the pool runs
+// out, degraded partitions keep their frozen in-memory prefix
+// (Stats.HybridJoins) and the completion — frozen-half replay plus
+// grace-hash over the spilled half — still yields byte-identical rows.
+func TestHybridGraceJoin(t *testing.T) {
+	eng, q := deepChainEngine(t, 60, 2)
+	want, err := eng.ExecuteWith(q, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leg := range []struct {
+		name string
+		opts Options
+	}{
+		{"batch", Options{Workers: 4, MemoryLimit: 1 << 16}},
+		{"row", Options{Workers: 4, MemoryLimit: 1 << 16, RowAtATime: true}},
+	} {
+		got, err := eng.ExecuteWith(q, leg.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", leg.name, err)
+		}
+		if got.Stats.SpilledPartitions == 0 {
+			t.Fatalf("%s: expected spilling at 64KB: %+v", leg.name, got.Stats)
+		}
+		if got.Stats.HybridJoins == 0 {
+			t.Fatalf("%s: no partition degraded hybrid (frozen prefix kept): %+v",
+				leg.name, got.Stats)
+		}
+		if !want.EqualRows(got) {
+			t.Errorf("%s: hybrid rows diverged: sequential %d rows, got %d",
+				leg.name, len(want.Rows), len(got.Rows))
+		}
+		if got.Stats.JoinedRows != want.Stats.JoinedRows {
+			t.Errorf("%s: JoinedRows = %d, want %d", leg.name,
+				got.Stats.JoinedRows, want.Stats.JoinedRows)
+		}
 	}
 }

@@ -342,7 +342,11 @@ type (
 	// (0 = GOMAXPROCS, 1 = inline); with more than one worker a keyed
 	// join chain runs as a cross-step streaming pipeline whose per-step
 	// hash-partition counts the planner derives from its scan estimates
-	// (Partitions > 0 pins a global count instead). MemoryLimit caps
+	// (Partitions > 0 pins a global count instead). The pipeline's
+	// default data plane is the columnar batch executor — rows flow
+	// between stages as per-slot value vectors with vectorized hash,
+	// filter and probe passes; RowAtATime pins the tuple-at-a-time
+	// pipeline instead (same rows, byte-identical). MemoryLimit caps
 	// the execution's accounted bytes: pipeline join partitions that
 	// cannot reserve within it degrade to grace-hash spilling joins
 	// (temp-file runs under SpillDir), with rows byte-identical to the
